@@ -1,0 +1,141 @@
+//! *Greedy-by-Size for Offset Calculation* (GSOC) — the fixed-length
+//! planner of Pisarchyk & Lee (paper reference [15]) that TurboTransformers
+//! compares against in Figure 7.
+//!
+//! GSOC packs all tensors into **one** contiguous region: tensors are taken
+//! in non-increasing size order and each is placed at the lowest offset
+//! where it fits among already-placed, lifetime-conflicting tensors
+//! (best-fit gap, or appended at the end of the conflicting extent). For a
+//! *fixed* input length this yields a near-optimal footprint and is planned
+//! only once.
+//!
+//! Under *variable-length* serving the region's required size changes with
+//! every request, so the backing device buffer must be reallocated whenever
+//! demand grows — the allocation traffic the paper measures at 2.78 MB per
+//! request on average, versus 0.70 MB for the chunked allocator.
+
+use crate::turbo::{find_gap_from_chunk, GapRecord, PlanStats};
+use crate::{Assignment, Plan, TensorUsage};
+
+/// GSOC planner with a persistent exact-fit backing buffer.
+#[derive(Debug, Clone, Default)]
+pub struct GsocAllocator {
+    /// Current capacity of the single backing device buffer.
+    capacity: usize,
+    last_stats: PlanStats,
+}
+
+impl GsocAllocator {
+    /// Create an allocator with no backing buffer yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Statistics of the most recent planning pass.
+    pub fn last_stats(&self) -> PlanStats {
+        self.last_stats
+    }
+
+    /// Current backing-buffer capacity.
+    pub fn footprint(&self) -> usize {
+        self.capacity
+    }
+
+    /// Compute offsets for one inference and adjust the backing buffer to
+    /// the exact requirement (growing allocates, shrinking frees — GSOC has
+    /// no notion of cached spare chunks).
+    pub fn plan(&mut self, usages: &[TensorUsage]) -> Plan {
+        let (assignments, required) = gsoc_offsets(usages);
+        let new_bytes = required.saturating_sub(self.capacity);
+        let released_bytes = self.capacity.saturating_sub(required);
+        self.capacity = required;
+        self.last_stats = PlanStats {
+            new_bytes,
+            released_bytes,
+            new_chunks: usize::from(new_bytes > 0),
+            footprint: self.capacity,
+        };
+        Plan { assignments, chunk_sizes: vec![required] }
+    }
+}
+
+/// Pure GSOC offset calculation: returns assignments (all in chunk 0) and
+/// the required region size.
+pub fn gsoc_offsets(usages: &[TensorUsage]) -> (Vec<Assignment>, usize) {
+    let mut order: Vec<&TensorUsage> = usages.iter().collect();
+    order.sort_by(|a, b| b.size.cmp(&a.size).then(a.id.cmp(&b.id)));
+
+    let mut records: Vec<GapRecord> = Vec::with_capacity(usages.len());
+    let mut assignments = Vec::with_capacity(usages.len());
+    let mut required = 0usize;
+
+    for t in order {
+        // An unbounded chunk: the tail branch of find_gap_from_chunk always
+        // fits, so a placement is guaranteed.
+        let offset = find_gap_from_chunk(t, usize::MAX, &records)
+            .expect("unbounded region always has a tail gap");
+        let rec = GapRecord { offset, size: t.size, first_op: t.first_op, last_op: t.last_op };
+        let pos = records.partition_point(|r| r.offset <= offset);
+        records.insert(pos, rec);
+        required = required.max(offset + t.size);
+        assignments.push(Assignment { tensor: t.id, chunk: 0, offset, size: t.size });
+    }
+    (assignments, required)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{peak_live_bytes, validate_plan};
+
+    fn usage(id: usize, f: usize, l: usize, s: usize) -> TensorUsage {
+        TensorUsage::new(id, f, l, s)
+    }
+
+    #[test]
+    fn packs_disjoint_lifetimes_into_same_bytes() {
+        let usages = vec![usage(0, 0, 1, 100), usage(1, 2, 3, 100)];
+        let (assignments, required) = gsoc_offsets(&usages);
+        assert_eq!(required, 100, "disjoint tensors share the region");
+        assert_eq!(assignments[0].offset, 0);
+        assert_eq!(assignments[1].offset, 0);
+    }
+
+    #[test]
+    fn plan_is_valid_on_a_ladder() {
+        let usages: Vec<TensorUsage> = (0..30).map(|i| usage(i, i, i + 3, 64 + i * 8)).collect();
+        let mut g = GsocAllocator::new();
+        let plan = g.plan(&usages);
+        validate_plan(&usages, &plan).unwrap();
+        assert!(plan.footprint() >= peak_live_bytes(&usages));
+        // GSOC is near-optimal: within 2× of the live-bytes lower bound on
+        // this benign pattern.
+        assert!(plan.footprint() <= 2 * peak_live_bytes(&usages));
+    }
+
+    #[test]
+    fn growth_and_shrink_traffic_is_tracked() {
+        let mut g = GsocAllocator::new();
+        g.plan(&[usage(0, 0, 0, 1000)]);
+        assert_eq!(g.last_stats().new_bytes, 1000);
+        assert_eq!(g.footprint(), 1000);
+        // Bigger request: pays the delta.
+        g.plan(&[usage(0, 0, 0, 1500)]);
+        assert_eq!(g.last_stats().new_bytes, 500);
+        // Smaller request: frees the difference, and a later big request
+        // pays again — the thrash the chunked allocator avoids.
+        g.plan(&[usage(0, 0, 0, 800)]);
+        assert_eq!(g.last_stats().released_bytes, 700);
+        g.plan(&[usage(0, 0, 0, 1500)]);
+        assert_eq!(g.last_stats().new_bytes, 700);
+    }
+
+    #[test]
+    fn empty_request_empties_the_buffer() {
+        let mut g = GsocAllocator::new();
+        g.plan(&[usage(0, 0, 0, 512)]);
+        let p = g.plan(&[]);
+        assert_eq!(p.footprint(), 0);
+        assert_eq!(g.footprint(), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! `cudaMalloc`/`cudaFree` per tensor — the strawman dynamic allocator.
+//!
+//! Every tensor allocation goes straight to the device driver and every
+//! free returns the memory immediately. Footprint is optimal (exactly the
+//! live bytes) but *every* allocation is a slow synchronizing device call —
+//! the paper measures 50 % of compute idle on a Tesla M40 at
+//! batch 20 / length 128 under this policy.
+
+use crate::sim::DynamicAllocator;
+
+/// Direct device allocator: no caching whatsoever.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveAllocator {
+    live: Vec<Option<usize>>, // size per live block handle
+    reserved: usize,
+    calls: usize,
+    bytes: usize,
+}
+
+impl NaiveAllocator {
+    /// Create an empty allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DynamicAllocator for NaiveAllocator {
+    fn malloc(&mut self, size: usize) -> usize {
+        self.calls += 1;
+        self.bytes += size;
+        self.reserved += size;
+        self.live.push(Some(size));
+        self.live.len() - 1
+    }
+
+    fn free(&mut self, block: usize) {
+        let size = self.live[block].take().expect("double free");
+        self.reserved -= size;
+    }
+
+    fn reserved_bytes(&self) -> usize {
+        self.reserved
+    }
+
+    fn device_alloc_calls(&self) -> usize {
+        self.calls
+    }
+
+    fn device_alloc_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_malloc_hits_the_device() {
+        let mut a = NaiveAllocator::new();
+        let b1 = a.malloc(100);
+        let b2 = a.malloc(200);
+        assert_eq!(a.device_alloc_calls(), 2);
+        assert_eq!(a.reserved_bytes(), 300);
+        a.free(b1);
+        assert_eq!(a.reserved_bytes(), 200);
+        a.free(b2);
+        assert_eq!(a.reserved_bytes(), 0);
+        // No reuse: another malloc is another device call.
+        a.malloc(100);
+        assert_eq!(a.device_alloc_calls(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_is_detected() {
+        let mut a = NaiveAllocator::new();
+        let b = a.malloc(10);
+        a.free(b);
+        a.free(b);
+    }
+}

@@ -1,0 +1,99 @@
+//! Lifetime replay driver for *dynamic* allocators (caching, naive).
+//!
+//! Planner-style allocators (turbo, GSOC) see all usage records at once;
+//! dynamic allocators see a malloc at each tensor's producing op and a free
+//! after its last consuming op — the call pattern a framework runtime
+//! generates. [`replay`] converts usage records into that event stream and
+//! reports the footprint/traffic metrics Figure 7 compares.
+
+use crate::TensorUsage;
+
+/// The dynamic allocation interface (a `cudaMalloc`-level API).
+pub trait DynamicAllocator {
+    /// Allocate `size` bytes; returns an opaque block handle.
+    fn malloc(&mut self, size: usize) -> usize;
+    /// Release a previously allocated block.
+    fn free(&mut self, block: usize);
+    /// Bytes currently reserved from the device (the footprint a monitoring
+    /// tool would report).
+    fn reserved_bytes(&self) -> usize;
+    /// Cumulative count of slow-path device allocations performed.
+    fn device_alloc_calls(&self) -> usize;
+    /// Cumulative bytes requested from the device.
+    fn device_alloc_bytes(&self) -> usize;
+}
+
+/// Metrics of one replayed inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayReport {
+    /// Peak reserved bytes observed during the replay.
+    pub peak_reserved: usize,
+    /// Reserved bytes at the end of the replay.
+    pub final_reserved: usize,
+    /// Device allocation calls issued *during this replay*.
+    pub device_allocs: usize,
+    /// Device bytes requested *during this replay*.
+    pub device_alloc_bytes: usize,
+}
+
+/// Replay one inference's tensor lifetimes against a dynamic allocator:
+/// at op `i`, allocate every tensor with `first_op == i`, then free every
+/// tensor with `last_op == i`.
+pub fn replay<A: DynamicAllocator>(alloc: &mut A, usages: &[TensorUsage]) -> ReplayReport {
+    let calls_before = alloc.device_alloc_calls();
+    let bytes_before = alloc.device_alloc_bytes();
+    let max_op = usages.iter().map(|u| u.last_op).max().unwrap_or(0);
+
+    let mut blocks: Vec<Option<usize>> = vec![None; usages.len()];
+    let mut peak = alloc.reserved_bytes();
+    for op in 0..=max_op {
+        for (i, u) in usages.iter().enumerate() {
+            if u.first_op == op {
+                blocks[i] = Some(alloc.malloc(u.size));
+            }
+        }
+        peak = peak.max(alloc.reserved_bytes());
+        for (i, u) in usages.iter().enumerate() {
+            if u.last_op == op {
+                if let Some(b) = blocks[i].take() {
+                    alloc.free(b);
+                }
+            }
+        }
+    }
+
+    ReplayReport {
+        peak_reserved: peak,
+        final_reserved: alloc.reserved_bytes(),
+        device_allocs: alloc.device_alloc_calls() - calls_before,
+        device_alloc_bytes: alloc.device_alloc_bytes() - bytes_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveAllocator;
+
+    #[test]
+    fn replay_allocs_then_frees_in_op_order() {
+        let usages = vec![
+            TensorUsage::new(0, 0, 1, 100),
+            TensorUsage::new(1, 1, 2, 50),
+        ];
+        let mut a = NaiveAllocator::new();
+        let r = replay(&mut a, &usages);
+        // At op 1 both are alive: peak 150; everything freed by the end.
+        assert_eq!(r.peak_reserved, 150);
+        assert_eq!(r.final_reserved, 0);
+        assert_eq!(r.device_allocs, 2);
+        assert_eq!(r.device_alloc_bytes, 150);
+    }
+
+    #[test]
+    fn replay_of_nothing_reports_zero() {
+        let mut a = NaiveAllocator::new();
+        let r = replay(&mut a, &[]);
+        assert_eq!(r, ReplayReport::default());
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion benches of the allocator planners: offset-planning time on
+//! real BERT-base lifetime records — the "allocation efficiency" axis of
+//! paper §4.2 ("lightweight … evoked after knowing the length of each
+//! inference").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tt_alloc::caching::CachingAllocator;
+use tt_alloc::gsoc::GsocAllocator;
+use tt_alloc::sim::replay;
+use tt_alloc::{TensorUsage, TurboAllocator, TurboConfig};
+use tt_graph::lifetime::activation_lifetimes;
+use tt_model::bert::{graph_skeleton, BertConfig};
+
+fn bert_usages(seq: usize) -> Vec<TensorUsage> {
+    let bound = graph_skeleton(&BertConfig::base(), 1, seq, false);
+    activation_lifetimes(&bound.graph).0
+}
+
+fn bench_turbo_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("turbo_plan");
+    for &seq in &[40usize, 200, 500] {
+        let usages = bert_usages(seq);
+        g.bench_with_input(BenchmarkId::from_parameter(seq), &usages, |b, usages| {
+            // Warm allocator: steady-state replanning, the serving path.
+            let mut alloc = TurboAllocator::new(TurboConfig::default());
+            let _ = alloc.plan(usages);
+            b.iter(|| black_box(alloc.plan(usages)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gsoc_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gsoc_plan");
+    for &seq in &[40usize, 500] {
+        let usages = bert_usages(seq);
+        g.bench_with_input(BenchmarkId::from_parameter(seq), &usages, |b, usages| {
+            let mut alloc = GsocAllocator::new();
+            b.iter(|| black_box(alloc.plan(usages)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_caching_replay(c: &mut Criterion) {
+    let usages = bert_usages(200);
+    c.bench_function("caching_pool_replay_len200", |b| {
+        let mut alloc = CachingAllocator::new();
+        let _ = replay(&mut alloc, &usages); // warm the pool
+        b.iter(|| black_box(replay(&mut alloc, &usages)))
+    });
+}
+
+criterion_group!(benches, bench_turbo_plan, bench_gsoc_plan, bench_caching_replay);
+criterion_main!(benches);

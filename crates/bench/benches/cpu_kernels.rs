@@ -1,0 +1,116 @@
+//! Criterion benches of the *real* CPU kernels — the measured counterpart
+//! of the simulated kernel study: fused vs unfused op chains, one-pass vs
+//! two-pass LayerNorm, SGEMM, and a full BERT layer forward.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tt_kernels as k;
+use tt_model::bert::{Bert, BertConfig};
+use tt_model::ids_batch;
+use tt_tensor::{sgemm, GemmSpec};
+
+fn data(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i * 37) % 101) as f32 * 0.07 - 3.0).collect()
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut g = c.benchmark_group("softmax_rows");
+    for &(rows, len) in &[(120usize, 10usize), (1200, 100), (2400, 500)] {
+        let src = data(rows * len);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{rows}x{len}")), &src, |b, src| {
+            b.iter(|| {
+                let mut buf = src.clone();
+                k::softmax_rows(rows, len, &mut buf);
+                black_box(buf)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_layernorm_formulas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layernorm");
+    let (rows, hidden) = (2560usize, 768usize);
+    let src = data(rows * hidden);
+    let gamma = vec![1.0f32; hidden];
+    let beta = vec![0.0f32; hidden];
+    g.bench_function("one_pass_var_trick", |b| {
+        b.iter(|| {
+            let mut out = vec![0.0f32; src.len()];
+            k::layer_norm(rows, hidden, &src, &gamma, &beta, 1e-5, &mut out);
+            black_box(out)
+        })
+    });
+    g.bench_function("two_pass_reference", |b| {
+        b.iter(|| {
+            let mut out = vec![0.0f32; src.len()];
+            k::layer_norm_two_pass(rows, hidden, &src, &gamma, &beta, 1e-5, &mut out);
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bias_residual_layernorm");
+    let (rows, hidden) = (2560usize, 768usize);
+    let x = data(rows * hidden);
+    let res = data(rows * hidden);
+    let bias = vec![0.1f32; hidden];
+    let gamma = vec![1.0f32; hidden];
+    let beta = vec![0.0f32; hidden];
+    g.bench_function("fused", |b| {
+        b.iter(|| {
+            let mut out = vec![0.0f32; x.len()];
+            k::add_bias_residual_layer_norm(rows, hidden, &x, &bias, &res, &gamma, &beta, 1e-5, &mut out);
+            black_box(out)
+        })
+    });
+    g.bench_function("unfused", |b| {
+        b.iter(|| {
+            let mut tmp = x.clone();
+            k::add_bias(rows, hidden, &mut tmp, &bias);
+            k::residual_add(&mut tmp, &res);
+            let mut out = vec![0.0f32; x.len()];
+            k::layer_norm(rows, hidden, &tmp, &gamma, &beta, 1e-5, &mut out);
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+fn bench_sgemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sgemm");
+    g.sample_size(20);
+    for &(m, kk, n) in &[(128usize, 768usize, 768usize), (512, 768, 3072)] {
+        let a = data(m * kk);
+        let bb = data(kk * n);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{kk}x{n}")), &(), |b, _| {
+            b.iter(|| {
+                let mut cbuf = vec![0.0f32; m * n];
+                sgemm(GemmSpec::nn(m, kk, n), &a, &bb, &mut cbuf);
+                black_box(cbuf)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bert_tiny_forward(c: &mut Criterion) {
+    let model = Bert::new_random(&BertConfig::tiny(), 3);
+    let ids = ids_batch(&[&[1u32; 40][..]]);
+    c.bench_function("bert_tiny_forward_len40", |b| {
+        b.iter(|| black_box(model.forward(&ids, None)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_softmax,
+    bench_layernorm_formulas,
+    bench_fused_vs_unfused,
+    bench_sgemm,
+    bench_bert_tiny_forward
+);
+criterion_main!(benches);

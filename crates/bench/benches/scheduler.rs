@@ -1,0 +1,44 @@
+//! Criterion benches of the DP batch scheduler (paper Algorithm 3): O(n²)
+//! scheduling time must stay negligible next to the multi-millisecond
+//! inferences it schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+use tt_serving::request::Request;
+use tt_serving::scheduler::{BatchScheduler, DpScheduler, NaiveBatchScheduler};
+use tt_serving::CachedCost;
+
+fn queue(n: usize) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(9);
+    (0..n).map(|i| Request::new(i, rng.random_range(5..=500), 0.0)).collect()
+}
+
+fn costs() -> CachedCost {
+    CachedCost::from_fn(512, 20, 8, |len, b| 1.0e-3 + 8.0e-6 * (len * b) as f64)
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let costs = costs();
+    let mut g = c.benchmark_group("dp_schedule");
+    for &n in &[8usize, 32, 128, 512] {
+        let q = queue(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| black_box(DpScheduler.schedule(q, &costs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_naive(c: &mut Criterion) {
+    let costs = costs();
+    let q = queue(128);
+    c.bench_function("naive_schedule_128", |b| {
+        b.iter(|| black_box(NaiveBatchScheduler.schedule(&q, &costs)))
+    });
+}
+
+criterion_group!(benches, bench_dp, bench_naive);
+criterion_main!(benches);

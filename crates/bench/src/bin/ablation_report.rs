@@ -1,0 +1,264 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//!
+//! 1. `X` in `warpAllReduceSum_XElem` (1 = classic schedule with merged
+//!    boundary; 2 = the paper's figure; 4 = the released code);
+//! 2. LayerNorm variance formula (two-pass `E(x−E x)²` vs one-pass
+//!    `E(x²)−E²(x)`);
+//! 3. allocator chunk size and K_SCALE;
+//! 4. allocator release policy (eager paper-literal vs retained);
+//! 5. scheduler choice under increasing length variance;
+//! 6. hungry vs lazy trigger strategies;
+//! 7. DP objective: throughput vs mean latency (extension);
+//! 8. activation-memory budget vs batch size (extension — the allocator's
+//!    footprint profile feeding the scheduler).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tt_bench::{fmt_time, print_table};
+use tt_bench::serving_setup::{self, System};
+use tt_gpusim::device::DeviceKind;
+use tt_gpusim::kernels::{layernorm_time, turbo_softmax_launches, BatchShape, LayerNormAlgo};
+use tt_gpusim::launch::sequence_time;
+use tt_graph::lifetime::activation_lifetimes;
+use tt_model::bert::{graph_skeleton, BertConfig};
+use tt_serving::request::{LengthDist, Request, WorkloadSpec};
+use tt_serving::scheduler::{batching_cost, BatchScheduler, DpScheduler, NaiveBatchScheduler, NoBatchScheduler};
+use tt_serving::simulator::{simulate, ServingConfig, Trigger};
+use tt_serving::CachedCost;
+use tt_alloc::{TurboAllocator, TurboConfig};
+
+fn ablate_xelem() {
+    let dev = DeviceKind::V100.config();
+    let mut rows = Vec::new();
+    for &(batch, seq) in &[(1usize, 100usize), (20, 100), (20, 500)] {
+        let shape = BatchShape { rows: batch * 12 * seq, row_len: seq };
+        let base = sequence_time(&dev, &turbo_softmax_launches(&dev, shape, 1));
+        let mut row = vec![format!("({batch}, {seq})")];
+        for x in [1usize, 2, 4, 8] {
+            let t = sequence_time(&dev, &turbo_softmax_launches(&dev, shape, x));
+            row.push(format!("{} ({:.2}x)", fmt_time(t), base / t));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Ablation 1 — softmax time vs XElem batching factor (V100; speedup vs X=1)",
+        &["(batch, seq)", "X=1", "X=2", "X=4", "X=8"],
+        &rows,
+    );
+}
+
+fn ablate_layernorm_formula() {
+    let dev = DeviceKind::V100.config();
+    let mut rows = Vec::new();
+    for &(batch, seq) in &[(1usize, 100usize), (20, 100), (20, 500)] {
+        let shape = BatchShape { rows: batch * seq, row_len: 768 };
+        let two = layernorm_time(&dev, LayerNormAlgo::ClassicTwoPass, shape);
+        let one = layernorm_time(&dev, LayerNormAlgo::TurboOnePass, shape);
+        rows.push(vec![
+            format!("({batch}, {seq})"),
+            fmt_time(two),
+            fmt_time(one),
+            format!("{:.2}x", two / one),
+        ]);
+    }
+    print_table(
+        "Ablation 2 — LayerNorm variance formula (V100, hidden 768)",
+        &["(batch, seq)", "two-pass E(x−Ex)²", "one-pass E(x²)−E²(x)", "speedup"],
+        &rows,
+    );
+}
+
+fn ablate_chunk_size() {
+    let cfg = BertConfig::base();
+    let mut rng = StdRng::seed_from_u64(33);
+    let lengths: Vec<usize> = (0..40).map(|_| rng.random_range(5..=500)).collect();
+    let mut rows = Vec::new();
+    for (label, config) in [
+        ("0.5 MB chunks", TurboConfig { default_chunk_size: 512 * 1024, ..Default::default() }),
+        ("2 MB chunks (paper)", TurboConfig::default()),
+        ("8 MB chunks", TurboConfig { default_chunk_size: 8 * 1024 * 1024, ..Default::default() }),
+        ("K_SCALE 1.0", TurboConfig { k_scale: 1.0, ..Default::default() }),
+        ("K_SCALE 2.0", TurboConfig { k_scale: 2.0, ..Default::default() }),
+        ("eager release (paper-literal)", TurboConfig::eager_release()),
+    ] {
+        let mut alloc = TurboAllocator::new(config);
+        let mut new_total = 0usize;
+        let mut peak = 0usize;
+        let mut chunks = 0usize;
+        for &len in &lengths {
+            let bound = graph_skeleton(&cfg, 1, len, false);
+            let (usages, _) = activation_lifetimes(&bound.graph);
+            let _ = alloc.plan(&usages);
+            let st = alloc.last_stats();
+            new_total += st.new_bytes;
+            peak = peak.max(st.footprint);
+            chunks += st.new_chunks;
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2} MB", peak as f64 / 1048576.0),
+            format!("{:.2} MB", new_total as f64 / lengths.len() as f64 / 1048576.0),
+            chunks.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation 3/4 — allocator knobs over 40 variable-length BERT requests",
+        &["config", "peak footprint", "avg new bytes/request", "device mallocs"],
+        &rows,
+    );
+}
+
+fn ablate_scheduler_variance() {
+    let costs = CachedCost::from_fn(512, 20, 8, |len, b| 1.0e-3 + 8.0e-6 * (len * b) as f64);
+    let mut rows = Vec::new();
+    for &(label, lo, hi) in &[("low (230..270)", 230usize, 270usize), ("medium (100..400)", 100, 400), ("high (5..500)", 5, 500)] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let queue: Vec<Request> =
+            (0..20).map(|i| Request::new(i, rng.random_range(lo..=hi), 0.0)).collect();
+        let dp = batching_cost(&queue, &DpScheduler.schedule(&queue, &costs), &costs);
+        let naive = batching_cost(&queue, &NaiveBatchScheduler.schedule(&queue, &costs), &costs);
+        let none = batching_cost(&queue, &NoBatchScheduler.schedule(&queue, &costs), &costs);
+        rows.push(vec![
+            label.to_string(),
+            fmt_time(dp),
+            format!("{} ({:.2}x)", fmt_time(naive), naive / dp),
+            format!("{} ({:.2}x)", fmt_time(none), none / dp),
+        ]);
+    }
+    print_table(
+        "Ablation 5 — scheduler vs length variance (20 queued requests; ratios vs DP)",
+        &["length variance", "DP", "naive single batch", "no batching"],
+        &rows,
+    );
+}
+
+fn ablate_latency_objective() {
+    use tt_serving::scheduler::{batching_mean_completion, LatencyDpScheduler};
+    let costs = CachedCost::from_fn(512, 20, 8, |len, b| 1.0e-3 + 8.0e-6 * (len * b) as f64);
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut rows = Vec::new();
+    for n in [10usize, 20, 40] {
+        let queue: Vec<Request> =
+            (0..n).map(|i| Request::new(i, rng.random_range(5..=500), 0.0)).collect();
+        let tp = DpScheduler.schedule(&queue, &costs);
+        let lat = LatencyDpScheduler.schedule(&queue, &costs);
+        rows.push(vec![
+            n.to_string(),
+            format!(
+                "{} total / {} mean",
+                fmt_time(batching_cost(&queue, &tp, &costs)),
+                fmt_time(batching_mean_completion(&queue, &tp, &costs)),
+            ),
+            format!(
+                "{} total / {} mean",
+                fmt_time(batching_cost(&queue, &lat, &costs)),
+                fmt_time(batching_mean_completion(&queue, &lat, &costs)),
+            ),
+            format!("{} vs {}", tp.len(), lat.len()),
+        ]);
+    }
+    print_table(
+        "Ablation 7 — DP objective: throughput (paper Alg. 3) vs mean latency (extension)",
+        &["queue", "throughput-DP (total / mean compl.)", "latency-DP (total / mean compl.)", "batches"],
+        &rows,
+    );
+}
+
+fn ablate_memory_budget() {
+    use tt_runtime::{RuntimeConfig, TurboRuntime};
+    use tt_serving::scheduler::MemoryAwareDpScheduler;
+    let cfg = BertConfig::base();
+    let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+    let costs = CachedCost::warm_up(&rt, &cfg, 500, 20, 20).with_memory_profile(&cfg);
+
+    // Similar lengths: the unconstrained DP wants one big batch, so the
+    // footprint budget is what decides.
+    let mut rng = StdRng::seed_from_u64(44);
+    let queue: Vec<Request> =
+        (0..20).map(|i| Request::new(i, rng.random_range(400..=500), 0.0)).collect();
+
+    let mut rows = Vec::new();
+    for (label, budget) in [
+        ("64 MB", 64usize << 20),
+        ("128 MB", 128 << 20),
+        ("512 MB", 512 << 20),
+        ("unlimited", usize::MAX),
+    ] {
+        let sched = MemoryAwareDpScheduler { budget_bytes: budget };
+        let batching = sched.schedule(&queue, &costs);
+        let total = batching_cost(&queue, &batching, &costs);
+        let largest = batching.iter().map(|b| b.len()).max().unwrap_or(0);
+        let peak_mem = batching
+            .iter()
+            .map(|b| {
+                let max_len = b.iter().map(|&i| queue[i].len).max().expect("non-empty");
+                costs.batch_memory(max_len, b.len())
+            })
+            .max()
+            .unwrap_or(0);
+        rows.push(vec![
+            label.to_string(),
+            batching.len().to_string(),
+            largest.to_string(),
+            fmt_time(total),
+            format!("{:.1} MB", peak_mem as f64 / 1048576.0),
+        ]);
+    }
+    print_table(
+        "Ablation 8 — activation-memory budget vs batching (allocator-profiled footprints)",
+        &["budget", "batches", "largest batch", "total time", "peak batch footprint"],
+        &rows,
+    );
+}
+
+fn ablate_trigger() {
+    let systems = serving_setup::systems();
+    let dp: &System = systems.iter().find(|s| s.name == "Turbo-DP-Batch").expect("DP present");
+    let mut rows = Vec::new();
+    for &rate in &[40.0f64, 100.0, 160.0] {
+        let reqs = WorkloadSpec {
+            rate_per_sec: rate,
+            duration: 20.0,
+            lengths: LengthDist::ClampedNormal { mean: 150.0, std: 120.0, lo: 5, hi: 500 },
+            seed: 77,
+        }
+        .generate();
+        let hungry = simulate(
+            &reqs,
+            &dp.costs,
+            &ServingConfig { scheduler: dp.scheduler.as_ref(), trigger: Trigger::Hungry, pad_to_max: false, cache_capacity: None },
+            20.0,
+        );
+        let lazy = simulate(
+            &reqs,
+            &dp.costs,
+            &ServingConfig {
+                scheduler: dp.scheduler.as_ref(),
+                trigger: Trigger::Lazy { timeout: 0.02, slo: 0.2 },
+                pad_to_max: false,
+                cache_capacity: None,
+            },
+            20.0,
+        );
+        rows.push(vec![
+            format!("{rate:.0} req/s"),
+            format!("{:.1} resp/s / {:.1} ms", hungry.response_throughput, hungry.latency.mean() * 1e3),
+            format!("{:.1} resp/s / {:.1} ms", lazy.response_throughput, lazy.latency.mean() * 1e3),
+        ]);
+    }
+    print_table(
+        "Ablation 6 — hungry vs lazy trigger (Turbo-DP; throughput / mean latency)",
+        &["offered load", "hungry", "lazy (20 ms timeout, 200 ms SLO)"],
+        &rows,
+    );
+}
+
+fn main() {
+    ablate_xelem();
+    ablate_layernorm_formula();
+    ablate_chunk_size();
+    ablate_scheduler_variance();
+    ablate_latency_objective();
+    ablate_memory_budget();
+    ablate_trigger();
+}

@@ -1,0 +1,80 @@
+//! Extension experiment: multi-GPU serving behind a load balancer — the
+//! "upper-level load balancer as the one in Nexus" the paper's §5 defers
+//! to. Sweeps cluster size and balancer policy over the Fig. 12 workload.
+
+use tt_bench::print_table;
+use tt_bench::serving_setup::{systems, workload, LENGTHS};
+use tt_serving::cluster::{simulate_cluster, BalancerPolicy, ClusterConfig};
+use tt_serving::scheduler::{DpScheduler, NaiveBatchScheduler};
+
+fn main() {
+    let duration = 20.0;
+    let systems = systems();
+    let dp_costs = &systems.iter().find(|s| s.name == "Turbo-DP-Batch").expect("present").costs;
+    let _ = LENGTHS; // workload() already applies the Fig. 12 distribution
+
+    // --- cluster size sweep at a fixed heavy load ---
+    let rate = 600.0;
+    let reqs = workload(rate, duration, 4242);
+    let mut rows = Vec::new();
+    for servers in [1usize, 2, 4, 8] {
+        let rep = simulate_cluster(
+            &reqs,
+            dp_costs,
+            &ClusterConfig { servers, scheduler: &DpScheduler, policy: BalancerPolicy::LeastLoaded },
+            duration,
+        );
+        let util: f64 =
+            rep.busy_time.iter().sum::<f64>() / (rep.window * rep.busy_time.len() as f64);
+        rows.push(vec![
+            servers.to_string(),
+            format!("{:.1}", rep.response_throughput),
+            format!("{:.1}", rep.latency.mean() * 1e3),
+            format!("{:.1}", rep.latency.percentile(99.0) * 1e3),
+            format!("{:.0}%", util * 100.0),
+            if rep.saturated { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Cluster size sweep at {rate:.0} req/s (Turbo-DP per server, least-loaded)"),
+        &["servers", "resp/s", "avg ms", "p99 ms", "utilization", "saturated"],
+        &rows,
+    );
+
+    // --- balancer policy comparison at 3 servers, near capacity ---
+    let rate = 450.0;
+    let reqs = workload(rate, duration, 777);
+    let mut rows = Vec::new();
+    for (policy, name) in [
+        (BalancerPolicy::RoundRobin, "round robin"),
+        (BalancerPolicy::LeastLoaded, "least loaded"),
+        (BalancerPolicy::LengthBands, "length bands"),
+    ] {
+        for (sched, sched_name) in [
+            (&DpScheduler as &dyn tt_serving::scheduler::BatchScheduler, "DP"),
+            (&NaiveBatchScheduler, "naive"),
+        ] {
+            let rep = simulate_cluster(
+                &reqs,
+                dp_costs,
+                &ClusterConfig { servers: 3, scheduler: sched, policy },
+                duration,
+            );
+            rows.push(vec![
+                format!("{name} + {sched_name}"),
+                format!("{:.1}", rep.response_throughput),
+                format!("{:.1}", rep.latency.mean() * 1e3),
+                if rep.saturated { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Balancer × scheduler at {rate:.0} req/s, 3 servers"),
+        &["policy + scheduler", "resp/s", "avg ms", "saturated"],
+        &rows,
+    );
+    println!("\nTwo lessons: the per-server DP scheduler matters far more than the");
+    println!("balancer policy, and length-band dispatch — though it homogenizes each");
+    println!("queue — loses to least-loaded under this skewed length distribution");
+    println!("because the bands carry unequal load. Grouping belongs in the scheduler.");
+}

@@ -1,0 +1,106 @@
+//! Paper Figure 10: latency on sequentially-executed variable-length
+//! requests (RTX 2060), for the three models of Table 3:
+//!
+//! - BERT, random lengths 5–500: Turbo vs PyTorch vs onnxruntime;
+//! - ALBERT, random lengths 5–500: Turbo vs PyTorch;
+//! - Seq2Seq decoder (translation), source lengths 28–137: Turbo vs
+//!   PyTorch.
+//!
+//! Displayed sorted by length "for the sake of clearness", as in the paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tt_bench::{fmt_speedup, fmt_time, print_table};
+use tt_gpusim::device::DeviceKind;
+use tt_model::albert::AlbertConfig;
+use tt_model::bert::BertConfig;
+use tt_model::decoder::Seq2SeqDecoderConfig;
+use tt_runtime::{RuntimeConfig, RuntimeKind, TurboRuntime};
+
+fn runtime(kind: RuntimeKind) -> TurboRuntime {
+    TurboRuntime::new(RuntimeConfig::new(kind, DeviceKind::RTX2060))
+}
+
+fn summarize(name: &str, speedups: &[f64]) {
+    let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().cloned().fold(0.0f64, f64::max);
+    println!("  {name}: {min:.2}x – {max:.2}x");
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1010);
+    let mut lens: Vec<usize> = (0..30).map(|_| rng.random_range(5..=500)).collect();
+    lens.sort_unstable();
+
+    // --- BERT ---
+    let cfg = BertConfig::base();
+    let turbo = runtime(RuntimeKind::Turbo);
+    let pytorch = runtime(RuntimeKind::PyTorchLike);
+    let ort = runtime(RuntimeKind::OnnxRuntimeLike);
+    let mut rows = Vec::new();
+    let mut sp_pt = Vec::new();
+    let mut sp_ort = Vec::new();
+    for &len in &lens {
+        let t = turbo.bert_cost(&cfg, 1, len, false);
+        let p = pytorch.bert_cost(&cfg, 1, len, false);
+        let o = ort.bert_cost(&cfg, 1, len, false);
+        sp_pt.push(p / t);
+        sp_ort.push(o / t);
+        rows.push(vec![
+            len.to_string(),
+            fmt_time(t),
+            fmt_time(p),
+            fmt_time(o),
+            fmt_speedup(p / t),
+            fmt_speedup(o / t),
+        ]);
+    }
+    print_table(
+        "Figure 10a — BERT variable-length latency (RTX 2060)",
+        &["len", "Turbo", "PyTorch", "onnxruntime", "vs PyTorch", "vs ORT"],
+        &rows,
+    );
+    println!("\nSpeedup ranges (paper: vs PyTorch 1.10–2.58x, vs onnxruntime 0.84–1.68x):");
+    summarize("vs PyTorch", &sp_pt);
+    summarize("vs onnxruntime", &sp_ort);
+
+    // --- ALBERT ---
+    let acfg = AlbertConfig::base();
+    let mut rows = Vec::new();
+    let mut sp = Vec::new();
+    for &len in &lens {
+        let t = turbo.albert_cost(&acfg, 1, len, false);
+        let p = pytorch.albert_cost(&acfg, 1, len, false);
+        sp.push(p / t);
+        rows.push(vec![len.to_string(), fmt_time(t), fmt_time(p), fmt_speedup(p / t)]);
+    }
+    print_table(
+        "Figure 10b — ALBERT variable-length latency (RTX 2060)",
+        &["len", "Turbo", "PyTorch", "speedup"],
+        &rows,
+    );
+    println!("\nSpeedup range (paper: 1.35–2.26x):");
+    summarize("vs PyTorch", &sp);
+
+    // --- Seq2Seq decoder: Chinese→English translation, src 28–137 ---
+    let dcfg = Seq2SeqDecoderConfig::base();
+    let mut dlens: Vec<usize> = (0..15).map(|_| rng.random_range(28..=137)).collect();
+    dlens.sort_unstable();
+    let mut rows = Vec::new();
+    let mut sp = Vec::new();
+    for &src in &dlens {
+        // Target length ≈ 1.2× source for zh→en, capped by the model.
+        let tgt = ((src as f64 * 1.2) as usize).min(dcfg.max_target_len);
+        let t = turbo.decoder_cost(&dcfg, src, tgt);
+        let p = pytorch.decoder_cost(&dcfg, src, tgt);
+        sp.push(p / t);
+        rows.push(vec![src.to_string(), tgt.to_string(), fmt_time(t), fmt_time(p), fmt_speedup(p / t)]);
+    }
+    print_table(
+        "Figure 10c — Seq2Seq decoder latency, beam 4 (RTX 2060)",
+        &["src len", "tgt len", "Turbo", "PyTorch", "speedup"],
+        &rows,
+    );
+    println!("\nSpeedup range (paper: 1.85–2.51x):");
+    summarize("vs PyTorch", &sp);
+}

@@ -1,0 +1,59 @@
+//! Paper Figure 12: response throughput of the serving systems as the
+//! offered request throughput grows — each curve rises along y = x until
+//! its runtime saturates, then plateaus at service capacity.
+
+use tt_bench::print_table;
+use tt_bench::serving_setup::{run_system, saturation_rate, systems};
+
+fn main() {
+    let duration = 30.0;
+    let seed = 2026;
+    let systems = systems();
+
+    let rates = [20.0f64, 40.0, 60.0, 80.0, 100.0, 120.0, 144.0, 200.0, 400.0, 800.0, 1500.0];
+
+    let headers: Vec<String> = std::iter::once("req/s".to_string())
+        .chain(systems.iter().map(|s| s.name.to_string()))
+        .collect();
+    let mut rows = Vec::new();
+    for &rate in &rates {
+        let mut row = vec![format!("{rate:.0}")];
+        for sys in &systems {
+            let rep = run_system(sys, rate, duration, seed);
+            let mark = if rep.saturated { "*" } else { "" };
+            row.push(format!("{:.1}{mark}", rep.response_throughput));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 12 — response throughput (resp/s) vs request throughput; * = saturated",
+        &headers,
+        &rows,
+    );
+
+    println!("\nSaturation points (bisection):");
+    let mut sat = Vec::new();
+    for sys in &systems {
+        let s = saturation_rate(sys, 10.0, 1600.0, duration, seed);
+        println!("  {:<28} {:>7.1} req/s", sys.name, s);
+        sat.push((sys.name, s));
+    }
+    let get = |name: &str| sat.iter().find(|(n, _)| n.contains(name)).expect("system present").1;
+    println!("\nRatios vs paper (paper saturations: PyTorch-NoBatch 60, Turbo-Naive 98, Turbo-NoBatch 120, Turbo-DP 144):");
+    println!(
+        "  Turbo-NoBatch / PyTorch-NoBatch = {:.2}x   (paper 2.0x)",
+        get("Turbo-NoBatch") / get("PyTorch-NoBatch")
+    );
+    println!(
+        "  Turbo-DP / Turbo-NoBatch       = {:.2}x   (paper 1.2x)",
+        get("Turbo-DP") / get("Turbo-NoBatch")
+    );
+    println!(
+        "  Turbo-DP / PyTorch-NoBatch     = {:.2}x   (paper 2.4x)",
+        get("Turbo-DP") / get("PyTorch-NoBatch")
+    );
+    println!(
+        "  Naive batching vs no batching  = {:.2}x   (paper < 1: naive is *worse*)",
+        get("Turbo-Naive-Batch") / get("Turbo-NoBatch")
+    );
+}

@@ -1,0 +1,52 @@
+//! Paper Figure 4, made executable: the anatomy of the classic batch
+//! reduction vs `warpAllReduceSum_XElem` — synchronization counts,
+//! divergent boundary replays, issue-slot consumption and dependency-stall
+//! latency, straight from the pipeline scoreboard.
+
+use tt_bench::print_table;
+use tt_gpusim::device::DeviceKind;
+use tt_gpusim::pipeline::simulate;
+use tt_gpusim::reduction::{classic_block_trace, xelem_block_trace, ReductionShape};
+
+fn main() {
+    let dev = DeviceKind::V100.config();
+    println!("## Figure 4 — schedule anatomy of one thread block (Tesla V100 timing model)\n");
+
+    for &(row_len, rows) in &[(128usize, 8usize), (100, 8), (500, 16)] {
+        let shape = ReductionShape { row_len, rows_per_block: rows, block_threads: 128 };
+        let classic = simulate(&dev, &classic_block_trace(&shape));
+        let mut rows_out = vec![vec![
+            "classic (FasterTransformer)".to_string(),
+            classic.instr_count.to_string(),
+            classic.syncs.to_string(),
+            classic.divergences.to_string(),
+            classic.issue_cycles.to_string(),
+            classic.latency_cycles.to_string(),
+            "1.00x".to_string(),
+        ]];
+        for x in [2usize, 4] {
+            let xe = simulate(&dev, &xelem_block_trace(&shape, x));
+            rows_out.push(vec![
+                format!("XElem (X={x})"),
+                xe.instr_count.to_string(),
+                xe.syncs.to_string(),
+                xe.divergences.to_string(),
+                xe.issue_cycles.to_string(),
+                xe.latency_cycles.to_string(),
+                format!("{:.2}x", classic.latency_cycles as f64 / xe.latency_cycles as f64),
+            ]);
+        }
+        print_table(
+            &format!("{rows} rows of length {row_len} per block (128 threads)"),
+            &["algorithm", "instrs", "syncs", "divergent tails", "issue cycles", "latency cycles", "latency speedup"],
+            &rows_out,
+        );
+    }
+
+    println!("\nReading the table (the paper's three arguments):");
+    println!("1. syncs drop by (X−1)/X — one barrier pair per X rows;");
+    println!("2. divergent tails merge — row 100 is not 32-aligned, so the classic");
+    println!("   schedule replays the boundary per row, XElem once per group;");
+    println!("3. latency beats issue — interleaved independent SHFL→FADD chains hide");
+    println!("   shuffle latency that the classic dependent chain must eat.");
+}

@@ -1,0 +1,61 @@
+//! Paper Figure 9: the batch-scheduler worked example — five requests of
+//! lengths {17, 18, 52, 63, 77}. Packing all five into one padded batch is
+//! *less* efficient than no batching; the optimal scheme packs three
+//! batches and improves response throughput by ~35 %.
+
+use tt_bench::{fmt_time, print_table};
+use tt_gpusim::device::DeviceKind;
+use tt_model::bert::BertConfig;
+use tt_runtime::{RuntimeConfig, TurboRuntime};
+use tt_serving::request::Request;
+use tt_serving::scheduler::{
+    batching_cost, BatchScheduler, DpScheduler, NaiveBatchScheduler, NoBatchScheduler,
+};
+use tt_serving::CachedCost;
+
+fn main() {
+    let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+    let cfg = BertConfig::base();
+    // Warm-up the cost table around the example's length range.
+    let costs = CachedCost::warm_up(&rt, &cfg, 96, 5, 4);
+
+    let lens = [17usize, 18, 52, 63, 77];
+    let queue: Vec<Request> = lens.iter().enumerate().map(|(i, &l)| Request::new(i, l, 0.0)).collect();
+
+    let mut rows = Vec::new();
+    let mut dp_time = 0.0;
+    let mut naive_time = 0.0;
+    for sched in [&DpScheduler as &dyn BatchScheduler, &NaiveBatchScheduler, &NoBatchScheduler] {
+        let batching = sched.schedule(&queue, &costs);
+        let total = batching_cost(&queue, &batching, &costs);
+        if sched.name() == "Turbo-DP-Batch" {
+            dp_time = total;
+        }
+        if sched.name() == "Turbo-Naive-Batch" {
+            naive_time = total;
+        }
+        let shape: Vec<String> = batching
+            .iter()
+            .map(|b| {
+                let ls: Vec<String> = b.iter().map(|&i| queue[i].len.to_string()).collect();
+                format!("[{}]", ls.join(","))
+            })
+            .collect();
+        rows.push(vec![
+            sched.name().to_string(),
+            shape.join(" "),
+            fmt_time(total),
+            format!("{:.1} resp/s", lens.len() as f64 / total),
+        ]);
+    }
+
+    print_table(
+        "Figure 9 — scheduling five requests of lengths {17, 18, 52, 63, 77} (BERT-base, RTX 2060)",
+        &["scheduler", "batches (by length)", "total time", "response throughput"],
+        &rows,
+    );
+    println!(
+        "\nDP vs single padded batch: +{:.0}% response throughput (paper: +35%).",
+        (naive_time / dp_time - 1.0) * 100.0
+    );
+}

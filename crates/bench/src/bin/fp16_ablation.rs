@@ -1,0 +1,49 @@
+//! Extension experiment: FP16 (tensor-core) execution — the released
+//! TurboTransformers' half-precision mode, beyond the paper's FP32
+//! evaluation. Models halved DRAM traffic and tensor-core GEMM throughput.
+
+use tt_bench::{fmt_speedup, fmt_time, print_table};
+use tt_gpusim::device::DeviceKind;
+use tt_model::bert::BertConfig;
+use tt_model::decoder::Seq2SeqDecoderConfig;
+use tt_runtime::{RuntimeConfig, TurboRuntime};
+
+fn main() {
+    let cfg = BertConfig::base();
+    for device in [DeviceKind::V100, DeviceKind::RTX2060] {
+        let fp32 = TurboRuntime::new(RuntimeConfig::turbo(device));
+        let fp16 = TurboRuntime::new(RuntimeConfig::turbo(device).fp16());
+        let mut rows = Vec::new();
+        for &(batch, seq) in &[(1usize, 10usize), (1, 100), (1, 500), (20, 100), (20, 500)] {
+            let t32 = fp32.bert_cost(&cfg, batch, seq, batch > 1);
+            let t16 = fp16.bert_cost(&cfg, batch, seq, batch > 1);
+            rows.push(vec![
+                format!("({batch}, {seq})"),
+                fmt_time(t32),
+                fmt_time(t16),
+                fmt_speedup(t32 / t16),
+            ]);
+        }
+        print_table(
+            &format!("FP32 vs FP16 BERT-base inference on {}", device.config().name),
+            &["(batch, seq)", "FP32", "FP16", "speedup"],
+            &rows,
+        );
+    }
+
+    // Decoding: memory-bound weight streaming halves → near-2× even at
+    // batch 1, where tensor cores barely matter.
+    let dcfg = Seq2SeqDecoderConfig::base();
+    let fp32 = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+    let fp16 = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060).fp16());
+    let t32 = fp32.decoder_cost(&dcfg, 100, 120);
+    let t16 = fp16.decoder_cost(&dcfg, 100, 120);
+    println!(
+        "\nSeq2Seq decoding (src 100 → tgt 120, beam 4, RTX 2060): {} → {} ({})",
+        fmt_time(t32),
+        fmt_time(t16),
+        fmt_speedup(t32 / t16)
+    );
+    println!("\nSmall shapes stay launch-bound (speedup ≈ 1); large batches approach the");
+    println!("compute/bandwidth gain. Decoding sits in between: weight streaming halves.");
+}

@@ -1,0 +1,63 @@
+//! Paper Table 4: average (min, max) serving latency of the four systems
+//! at request rates equal to each system's saturation point.
+//!
+//! The paper's rows are 60/98/120/144 req/s — the measured saturation rates
+//! of PyTorch-NoBatch, Turbo-Naive, Turbo-NoBatch and Turbo-DP on its
+//! testbed. This harness recomputes those four anchors from *this*
+//! reproduction's saturation points, then tabulates latency for every
+//! system at each anchor, `+∞` marking saturated cells exactly as the
+//! paper does.
+
+use tt_bench::print_table;
+use tt_bench::serving_setup::{run_system, saturation_rate, systems};
+
+fn main() {
+    let duration = 30.0;
+    let seed = 2026;
+    let systems = systems();
+
+    // Anchor rates: saturation of each non-TF system, ascending (the
+    // paper's 60/98/120/144 row structure).
+    let mut anchors: Vec<(String, f64)> = systems
+        .iter()
+        .filter(|s| s.name != "TF-serving (pad to max)")
+        .map(|s| {
+            let r = saturation_rate(s, 10.0, 1600.0, duration, seed);
+            (s.name.to_string(), (r / 2.0).round() * 2.0)
+        })
+        .collect();
+    anchors.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("rates are finite"));
+
+    let headers: Vec<String> = std::iter::once("req/s (≈ saturation of)".to_string())
+        .chain(systems.iter().filter(|s| s.name != "TF-serving (pad to max)").map(|s| s.name.to_string()))
+        .collect();
+
+    let mut rows = Vec::new();
+    for (anchor_name, rate) in &anchors {
+        let mut row = vec![format!("{rate:.0} ({anchor_name})")];
+        for sys in systems.iter().filter(|s| s.name != "TF-serving (pad to max)") {
+            let rep = run_system(sys, *rate, duration, seed);
+            if rep.saturated {
+                row.push("+∞".to_string());
+            } else {
+                row.push(format!(
+                    "{:.2} ({:.2}, {:.2})",
+                    rep.latency.mean() * 1e3,
+                    rep.latency.min() * 1e3,
+                    rep.latency.max() * 1e3,
+                ));
+            }
+        }
+        rows.push(row);
+    }
+
+    print_table(
+        "Table 4 — serving latency in ms: average (min, max); +∞ = saturated",
+        &headers,
+        &rows,
+    );
+    println!("\nPaper reference at its own anchors: PyTorch-NoBatch at 60 req/s:");
+    println!("77.71 (10.61, 158.06); Turbo-NoBatch 8.05 (2.76, 20.53); Turbo-DP at 144:");
+    println!("38.51 (4.44, 106.65). DP cuts both average and maximum latency wherever");
+    println!("two systems are unsaturated at the same rate.");
+}

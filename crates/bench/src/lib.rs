@@ -1,0 +1,85 @@
+//! # tt-bench — experiment harnesses for every table and figure
+//!
+//! One binary per experiment of the paper's evaluation (§6); each prints
+//! the same rows/series the paper reports, from this reproduction's
+//! simulated GPU (see DESIGN.md §4 for the experiment ↔ module index and
+//! EXPERIMENTS.md for paper-vs-measured):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table2_reduction_share` | Table 2 — softmax/LayerNorm share of attention |
+//! | `figure5_kernel_speedup` | Fig. 5 — batch-reduction kernel speedups |
+//! | `figure6_alloc_example` | Fig. 6 — allocator chunk layout, 200→240 |
+//! | `figure7_allocator_comparison` | Fig. 7 — footprint + allocation traffic |
+//! | `figure8_batching_gain` | Fig. 8 — batching gain vs batch size |
+//! | `figure9_scheduler_example` | Fig. 9 — the 5-request scheduling example |
+//! | `figure10_variable_length` | Fig. 10 — variable-length latency, 3 models |
+//! | `figure11_fixed_length` | Fig. 11 — fixed-length runtime comparison grid |
+//! | `figure12_serving_throughput` | Fig. 12 — response vs request throughput |
+//! | `table4_serving_latency` | Table 4 — serving latency, 4 systems |
+//!
+//! Criterion benches (`cargo bench -p tt-bench`) cover the *real* CPU
+//! kernels and the ablations DESIGN.md calls out.
+
+pub mod serving_setup;
+
+use std::fmt::Display;
+
+/// Print a markdown table.
+pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
+    println!("\n## {title}\n");
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("| {} |", head.join(" | "));
+    println!("|{}|", head.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+        println!("| {} |", cells.join(" | "));
+    }
+}
+
+/// Format seconds as adaptive ms/µs.
+pub fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{:.1} µs", secs * 1e6)
+    }
+}
+
+/// Format a ratio as `N.NNx`.
+pub fn fmt_speedup(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Format a fraction as a percentage.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.2}%", f * 100.0)
+}
+
+/// The sequence-length grid of the paper's fixed-length experiments.
+pub fn paper_seq_grid() -> Vec<usize> {
+    vec![10, 20, 40, 60, 80, 100, 200, 300, 400, 500]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.5 µs");
+        assert_eq!(fmt_speedup(1.234), "1.23x");
+        assert_eq!(fmt_pct(0.9068), "90.68%");
+    }
+
+    #[test]
+    fn grid_matches_paper_range() {
+        let g = paper_seq_grid();
+        assert_eq!(*g.first().unwrap(), 10);
+        assert_eq!(*g.last().unwrap(), 500);
+    }
+}

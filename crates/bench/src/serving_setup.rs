@@ -1,0 +1,123 @@
+//! Shared setup for the serving experiments (paper Fig. 12 and Table 4).
+//!
+//! The paper serves a BERT classification service on RTX 2060: Poisson
+//! arrivals, text lengths "satisfying a normal distribution from 5 to 500",
+//! hungry trigger, maximum batch size 20, caching off. Four systems:
+//!
+//! | name | runtime cost model | scheduler |
+//! |---|---|---|
+//! | PyTorch-NoBatch | PyTorch-like | one request per batch |
+//! | Turbo-NoBatch | Turbo | one request per batch |
+//! | Turbo-Naive-Batch | Turbo | whole queue in one padded batch |
+//! | Turbo-DP-Batch | Turbo | paper Algorithm 3 |
+//!
+//! plus the TF-serving baseline (PyTorch-like runtime, every batch padded
+//! to the model maximum).
+
+use tt_gpusim::device::DeviceKind;
+use tt_model::bert::BertConfig;
+use tt_runtime::{RuntimeConfig, RuntimeKind, TurboRuntime};
+use tt_serving::request::{LengthDist, Request, WorkloadSpec};
+use tt_serving::scheduler::{BatchScheduler, DpScheduler, NaiveBatchScheduler, NoBatchScheduler, PadToMaxScheduler};
+use tt_serving::simulator::{simulate, ServingConfig, ServingReport, Trigger};
+use tt_serving::CachedCost;
+
+/// Maximum batch size of the paper's serving experiments.
+pub const MAX_BATCH: usize = 20;
+/// Maximum sequence length of the workload.
+pub const MAX_LEN: usize = 500;
+/// Length-bucket granularity of the cost-table warm-up.
+pub const BUCKET: usize = 10;
+/// The paper's length distribution, "a normal distribution from 5 to 500";
+/// the exact parameters are not given — this choice centres the workload
+/// where the paper's absolute latencies (Table 4 min ≈ 2.8 ms) put it.
+pub const LENGTHS: LengthDist = LengthDist::ClampedNormal { mean: 150.0, std: 120.0, lo: 5, hi: MAX_LEN };
+
+/// One serving system under test.
+pub struct System {
+    /// Display name, matching the paper's legends.
+    pub name: &'static str,
+    /// Profiled batch-cost table of the system's runtime.
+    pub costs: CachedCost,
+    /// The batch scheduler.
+    pub scheduler: Box<dyn BatchScheduler>,
+    /// Whether every batch is padded to the model maximum (TF-serving).
+    pub pad_to_max: bool,
+}
+
+/// Build the paper's systems (cost tables are warmed on first use; this
+/// takes a few seconds for the two runtime variants).
+pub fn systems() -> Vec<System> {
+    let cfg = BertConfig::base();
+    let turbo_rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+    let pytorch_rt =
+        TurboRuntime::new(RuntimeConfig::new(RuntimeKind::PyTorchLike, DeviceKind::RTX2060));
+    let turbo_costs = CachedCost::warm_up(&turbo_rt, &cfg, MAX_LEN, MAX_BATCH, BUCKET);
+    let pytorch_costs = CachedCost::warm_up(&pytorch_rt, &cfg, MAX_LEN, MAX_BATCH, BUCKET);
+
+    vec![
+        System {
+            name: "TF-serving (pad to max)",
+            costs: pytorch_costs.clone(),
+            scheduler: Box::new(PadToMaxScheduler),
+            pad_to_max: true,
+        },
+        System {
+            name: "PyTorch-NoBatch",
+            costs: pytorch_costs,
+            scheduler: Box::new(NoBatchScheduler),
+            pad_to_max: false,
+        },
+        System {
+            name: "Turbo-NoBatch",
+            costs: turbo_costs.clone(),
+            scheduler: Box::new(NoBatchScheduler),
+            pad_to_max: false,
+        },
+        System {
+            name: "Turbo-Naive-Batch",
+            costs: turbo_costs.clone(),
+            scheduler: Box::new(NaiveBatchScheduler),
+            pad_to_max: false,
+        },
+        System {
+            name: "Turbo-DP-Batch",
+            costs: turbo_costs,
+            scheduler: Box::new(DpScheduler),
+            pad_to_max: false,
+        },
+    ]
+}
+
+/// Generate the Fig. 12 workload for one request rate.
+pub fn workload(rate: f64, duration: f64, seed: u64) -> Vec<Request> {
+    WorkloadSpec { rate_per_sec: rate, duration, lengths: LENGTHS, seed }.generate()
+}
+
+/// Run one (system, rate) cell.
+pub fn run_system(system: &System, rate: f64, duration: f64, seed: u64) -> ServingReport {
+    let reqs = workload(rate, duration, seed);
+    let cfg = ServingConfig {
+        scheduler: system.scheduler.as_ref(),
+        trigger: Trigger::Hungry,
+        pad_to_max: system.pad_to_max,
+        cache_capacity: None, // "We turned off the caching optimization."
+    };
+    simulate(&reqs, &system.costs, &cfg, duration)
+}
+
+/// Find a system's saturation point: the highest offered rate it still
+/// serves without backlog, by bisection over `lo..hi` req/s.
+pub fn saturation_rate(system: &System, lo: f64, hi: f64, duration: f64, seed: u64) -> f64 {
+    let (mut lo, mut hi) = (lo, hi);
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        let rep = run_system(system, mid, duration, seed);
+        if rep.saturated {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}

@@ -1,0 +1,192 @@
+//! Device descriptions for the GPUs the paper evaluates on.
+//!
+//! Headline numbers (SM count, clock, peak FLOP/s, memory bandwidth, launch
+//! overhead) come from public spec sheets; micro-latencies (shuffle, shared
+//! memory, barrier) are order-of-magnitude figures from NVIDIA's
+//! warp-primitives material and microbenchmarking literature. The figures
+//! reproduce *relative* behaviour; see the crate docs for the calibration
+//! caveat.
+
+use serde::{Deserialize, Serialize};
+
+/// The GPUs used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Tesla V100 (Volta): kernel study (Fig. 5, Table 2) and fixed-length
+    /// runtime comparison (Fig. 11, right).
+    V100,
+    /// GeForce RTX 2060 (Turing): variable-length runtime (Fig. 10),
+    /// fixed-length comparison (Fig. 11, left), batching gain (Fig. 8) and
+    /// the serving experiments (Fig. 12, Table 4).
+    RTX2060,
+    /// Tesla M40 (Maxwell): the allocation-stall anecdote in §4.2.
+    M40,
+}
+
+impl DeviceKind {
+    /// The configuration for this device.
+    pub fn config(self) -> DeviceConfig {
+        match self {
+            DeviceKind::V100 => DeviceConfig {
+                name: "Tesla V100",
+                num_sms: 80,
+                clock_ghz: 1.38,
+                warp_size: 32,
+                max_concurrent_blocks_per_sm: 8,
+                issue_width: 2,
+                shfl_latency: 12,
+                shfl_issue: 2,
+                arith_latency: 4,
+                arith_issue: 1,
+                sfu_latency: 16,
+                sfu_issue: 4,
+                shared_latency: 24,
+                shared_issue: 2,
+                sync_cost: 40,
+                divergence_penalty: 24,
+                launch_overhead_us: 5.0,
+                peak_tflops: 14.0,
+                mem_bandwidth_gbps: 900.0,
+            },
+            DeviceKind::RTX2060 => DeviceConfig {
+                name: "GeForce RTX 2060",
+                num_sms: 30,
+                clock_ghz: 1.68,
+                warp_size: 32,
+                max_concurrent_blocks_per_sm: 8,
+                issue_width: 2,
+                shfl_latency: 14,
+                shfl_issue: 2,
+                arith_latency: 4,
+                arith_issue: 1,
+                sfu_latency: 18,
+                sfu_issue: 4,
+                shared_latency: 26,
+                shared_issue: 2,
+                sync_cost: 44,
+                divergence_penalty: 26,
+                launch_overhead_us: 6.0,
+                peak_tflops: 6.5,
+                mem_bandwidth_gbps: 336.0,
+            },
+            DeviceKind::M40 => DeviceConfig {
+                name: "Tesla M40",
+                num_sms: 24,
+                clock_ghz: 1.11,
+                warp_size: 32,
+                max_concurrent_blocks_per_sm: 6,
+                issue_width: 1,
+                shfl_latency: 18,
+                shfl_issue: 2,
+                arith_latency: 6,
+                arith_issue: 1,
+                sfu_latency: 22,
+                sfu_issue: 4,
+                shared_latency: 30,
+                shared_issue: 2,
+                sync_cost: 50,
+                divergence_penalty: 30,
+                launch_overhead_us: 7.0,
+                peak_tflops: 6.8,
+                mem_bandwidth_gbps: 288.0,
+            },
+        }
+    }
+}
+
+/// Timing parameters of a simulated GPU.
+///
+/// All latencies and issue intervals are in core clock cycles; bandwidth and
+/// launch overhead are physical units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Threads per warp (32 on every NVIDIA architecture).
+    pub warp_size: usize,
+    /// How many thread blocks one SM can keep resident at once, bounding
+    /// latency hiding across blocks.
+    pub max_concurrent_blocks_per_sm: usize,
+    /// Independent instructions issued per cycle per warp scheduler.
+    pub issue_width: usize,
+    /// Result latency of a warp shuffle (`SHFL.DOWN` etc.).
+    pub shfl_latency: u64,
+    /// Issue interval of a shuffle.
+    pub shfl_issue: u64,
+    /// Result latency of simple FP arithmetic (`FADD`, `FMUL`, `FFMA`).
+    pub arith_latency: u64,
+    /// Issue interval of simple FP arithmetic.
+    pub arith_issue: u64,
+    /// Result latency of special-function ops (`exp`, `rsqrt`).
+    pub sfu_latency: u64,
+    /// Issue interval of special-function ops.
+    pub sfu_issue: u64,
+    /// Result latency of a shared-memory access.
+    pub shared_latency: u64,
+    /// Issue interval of a shared-memory access.
+    pub shared_issue: u64,
+    /// Cost of a `__syncthreads()` barrier (drain + reconverge).
+    pub sync_cost: u64,
+    /// Extra cycles charged when a warp diverges on a boundary check.
+    pub divergence_penalty: u64,
+    /// Fixed host-side cost of launching one kernel, in microseconds.
+    pub launch_overhead_us: f64,
+    /// Peak single-precision throughput in TFLOP/s.
+    pub peak_tflops: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+}
+
+impl DeviceConfig {
+    /// Convert a cycle count on one SM into seconds.
+    pub fn cycles_to_secs(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Time to stream `bytes` through DRAM at peak bandwidth, seconds.
+    pub fn mem_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.mem_bandwidth_gbps * 1e9)
+    }
+
+    /// Time to execute `flops` at peak compute, seconds.
+    pub fn compute_time(&self, flops: u64) -> f64 {
+        flops as f64 / (self.peak_tflops * 1e12)
+    }
+
+    /// Kernel launch overhead in seconds.
+    pub fn launch_overhead(&self) -> f64 {
+        self.launch_overhead_us * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct_and_sane() {
+        for kind in [DeviceKind::V100, DeviceKind::RTX2060, DeviceKind::M40] {
+            let c = kind.config();
+            assert!(c.num_sms > 0 && c.warp_size == 32);
+            assert!(c.peak_tflops > 1.0 && c.mem_bandwidth_gbps > 100.0);
+            assert!(c.shfl_latency > c.arith_latency, "shuffles cost more than adds");
+        }
+        assert!(
+            DeviceKind::V100.config().num_sms > DeviceKind::RTX2060.config().num_sms,
+            "V100 is the bigger part"
+        );
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let c = DeviceKind::V100.config();
+        let t = c.cycles_to_secs(1_380_000_000);
+        assert!((t - 1.0).abs() < 1e-9);
+        assert!((c.mem_time(900_000_000_000) - 1.0).abs() < 1e-9);
+        assert!((c.compute_time(14_000_000_000_000) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,177 @@
+//! A tiled shared-memory GEMM kernel model — the cuBLAS stand-in at
+//! instruction granularity.
+//!
+//! The op-level cost model ([`crate::cost::gemm_time`]) prices GEMM with a
+//! roofline at a fixed efficiency. This module builds the actual schedule a
+//! tiled SGEMM thread block executes — staged global→shared copies,
+//! barriers, and FFMA inner products over register accumulators — and runs
+//! it through the same pipeline scoreboard as the reduction kernels. Its
+//! jobs:
+//!
+//! 1. **validate the roofline**: on large shapes the simulated kernel must
+//!    land near the efficiency constant the cost model assumes;
+//! 2. **expose the small-GEMM cliff**: tiny shapes are latency/launch-bound
+//!    and fall far below peak — the regime where variable-length serving
+//!    lives and batching pays (paper Fig. 8).
+
+use crate::device::DeviceConfig;
+use crate::launch::{kernel_time, KernelLaunch};
+use crate::pipeline::{simulate, Instr, Op};
+use crate::reduction::RegAlloc;
+
+/// Classic tile geometry: a 128-thread block computes a 64×64 output tile,
+/// staging 64×16 / 16×64 operand panels through shared memory; each thread
+/// accumulates a 4×8 register tile.
+#[derive(Debug, Clone, Copy)]
+pub struct TileConfig {
+    /// Output tile rows per block.
+    pub bm: usize,
+    /// Output tile cols per block.
+    pub bn: usize,
+    /// Contraction-panel depth per stage.
+    pub bk: usize,
+    /// Threads per block.
+    pub threads: usize,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig { bm: 64, bn: 64, bk: 16, threads: 128 }
+    }
+}
+
+impl TileConfig {
+    /// Output elements (and accumulator registers) owned by each thread.
+    pub fn accs_per_thread(&self) -> usize {
+        (self.bm * self.bn).div_ceil(self.threads)
+    }
+}
+
+/// Build the per-block instruction trace of a tiled GEMM with `k` as the
+/// contraction extent.
+pub fn gemm_block_trace(tile: &TileConfig, k: usize) -> Vec<Instr> {
+    let mut regs = RegAlloc::default();
+    let mut trace = Vec::new();
+    let stages = k.div_ceil(tile.bk).max(1);
+    let accs: Vec<u32> = (0..tile.accs_per_thread()).map(|_| regs.fresh()).collect();
+
+    // Per stage: each thread copies its share of both operand panels into
+    // shared memory, barriers, then runs bk FFMA sweeps over its register
+    // tile (independent chains across accumulators — the ILP that makes
+    // GEMM pipelines dense), and barriers again before the next stage
+    // overwrites the panels.
+    let copies_per_thread = ((tile.bm + tile.bn) * tile.bk).div_ceil(tile.threads);
+    for _ in 0..stages {
+        for _ in 0..copies_per_thread {
+            let v = regs.fresh();
+            trace.push(Instr::new(Op::SharedStore, Some(v), vec![]));
+        }
+        trace.push(Instr::new(Op::Sync, None, vec![]));
+        for _ in 0..tile.bk {
+            // Operand fragments come from shared memory once per sweep…
+            let a = regs.fresh();
+            trace.push(Instr::new(Op::SharedLoad, Some(a), vec![]));
+            let b = regs.fresh();
+            trace.push(Instr::new(Op::SharedLoad, Some(b), vec![]));
+            // …then fan out across the accumulators.
+            for &acc in &accs {
+                trace.push(Instr::new(Op::Arith, Some(acc), vec![acc, a, b]));
+            }
+        }
+        trace.push(Instr::new(Op::Sync, None, vec![]));
+    }
+    trace
+}
+
+/// Simulated time of a (batched) `m×k·k×n` GEMM through the tiled-kernel
+/// model, seconds (one launch).
+pub fn gemm_kernel_time(dev: &DeviceConfig, batch: usize, m: usize, k: usize, n: usize) -> f64 {
+    let tile = TileConfig::default();
+    let blocks = batch * m.div_ceil(tile.bm) * n.div_ceil(tile.bn);
+    let stats = simulate(dev, &gemm_block_trace(&tile, k));
+    // DRAM traffic: each block streams its operand panels once (A panel
+    // bm×k + B panel k×bn) and writes its tile.
+    let per_block_bytes = 4 * (tile.bm * k + k * tile.bn + tile.bm * tile.bn);
+    let flops = 2 * batch * m * n * k;
+    let launch = KernelLaunch {
+        blocks,
+        stats,
+        bytes: (blocks * per_block_bytes) as u64,
+        flops: flops as u64,
+    };
+    // GEMM tiles stage fat shared-memory panels: residency is occupancy-
+    // bound, not the device default.
+    let kres = crate::occupancy::KernelResources::gemm_tile(tile.bm, tile.bn, tile.bk, tile.threads);
+    let dev = crate::occupancy::with_kernel_occupancy(dev, &kres);
+    kernel_time(&dev, &launch)
+}
+
+/// Effective fraction of peak FLOP/s the simulated kernel achieves on a
+/// shape — the quantity the cost model's `GEMM_EFFICIENCY` constant
+/// abstracts.
+pub fn effective_efficiency(dev: &DeviceConfig, batch: usize, m: usize, k: usize, n: usize) -> f64 {
+    let t = gemm_kernel_time(dev, batch, m, k, n) - dev.launch_overhead();
+    let flops = 2.0 * batch as f64 * m as f64 * n as f64 * k as f64;
+    (flops / t) / (dev.peak_tflops * 1e12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::GEMM_EFFICIENCY;
+    use crate::device::DeviceKind;
+
+    #[test]
+    fn trace_has_two_barriers_per_stage() {
+        let tile = TileConfig::default();
+        let dev = DeviceKind::V100.config();
+        let stats = simulate(&dev, &gemm_block_trace(&tile, 64));
+        assert_eq!(stats.syncs, 2 * 4, "4 stages of bk=16 for k=64");
+    }
+
+    #[test]
+    fn large_gemm_lands_near_the_roofline_constant() {
+        // The whole point: the instruction-level model justifies the
+        // cost model's flat efficiency within a factor of ~1.5 on big
+        // compute-bound shapes.
+        let dev = DeviceKind::V100.config();
+        let eff = effective_efficiency(&dev, 1, 2048, 2048, 2048);
+        assert!(
+            (GEMM_EFFICIENCY / 1.6..=1.0).contains(&eff),
+            "simulated efficiency {eff:.3} should bracket the assumed {GEMM_EFFICIENCY}"
+        );
+    }
+
+    #[test]
+    fn small_gemms_fall_off_the_cliff() {
+        let dev = DeviceKind::RTX2060.config();
+        let small = effective_efficiency(&dev, 1, 16, 768, 768);
+        let large = effective_efficiency(&dev, 1, 2048, 768, 768);
+        assert!(
+            small < large / 3.0,
+            "tiny GEMMs must be far below peak: {small:.4} vs {large:.4}"
+        );
+    }
+
+    #[test]
+    fn batching_small_gemms_recovers_efficiency() {
+        // The Fig. 8 mechanism at kernel level: 20 batched seq-10 requests
+        // beat 20 sequential ones.
+        let dev = DeviceKind::RTX2060.config();
+        let sequential = 20.0 * gemm_kernel_time(&dev, 1, 10, 768, 768);
+        let batched = gemm_kernel_time(&dev, 1, 200, 768, 768);
+        assert!(
+            batched < sequential / 2.0,
+            "batched {batched} should be far under sequential {sequential}"
+        );
+    }
+
+    #[test]
+    fn time_scales_roughly_linearly_in_flops_when_saturated() {
+        let dev = DeviceKind::V100.config();
+        let t1 = gemm_kernel_time(&dev, 1, 1024, 1024, 1024) - dev.launch_overhead();
+        let t2 = gemm_kernel_time(&dev, 1, 2048, 1024, 1024) - dev.launch_overhead();
+        let ratio = t2 / t1;
+        assert!((1.7..2.3).contains(&ratio), "2× flops ⇒ ≈2× time, got {ratio:.2}");
+    }
+}

@@ -1,0 +1,476 @@
+//! Kernel-level models of Softmax and LayerNorm, in every variant the paper
+//! compares (§4.1.2, Figure 5, Table 2).
+//!
+//! | variant | fusion | reduction | barriers | memory passes |
+//! |---|---|---|---|---|
+//! | Softmax *Naive* (PyTorch-like) | 4 separate kernels | shared-memory tree | `log₂T` per row per reduce | 6 |
+//! | Softmax *CudnnLike* | 1 kernel | classic warp shuffle | 4 per row | 3 |
+//! | Softmax *ClassicFused* (FasterTransformer) | 1 kernel | classic warp shuffle | 4 per row | 2 |
+//! | Softmax *TurboXElem* | 1 kernel | `warpAllReduceSum_XElem` | 4 per `X` rows | 2 |
+//! | LayerNorm *Naive* (PyTorch-like) | 4 separate kernels | shared-memory tree | `log₂T` per row per reduce | 6 |
+//! | LayerNorm *ClassicTwoPass* (FasterTransformer) | 1 kernel | classic, `E(x−E(x))²` | 4 per row | 3 |
+//! | LayerNorm *TurboOnePass* | 1 kernel | 2-elem XElem, `E(x²)−E²(x)` | 2 per row | 2 |
+
+use crate::device::DeviceConfig;
+use crate::launch::{sequence_time, KernelLaunch};
+use crate::pipeline::{simulate, Instr, Op};
+use crate::reduction::{warp_reduce_trace, RegAlloc, ReductionShape};
+
+/// Softmax kernel implementations under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SoftmaxAlgo {
+    /// PyTorch-like unfused path: max / subtract+exp / sum / divide as four
+    /// kernels with tree reductions.
+    Naive,
+    /// cuDNN v7.5-like: single kernel, classic shuffle reduction, one extra
+    /// memory pass (no fusion with neighbouring ops).
+    CudnnLike,
+    /// FasterTransformer-like: fully fused, classic per-row two-pass
+    /// shuffle reduction.
+    ClassicFused,
+    /// The paper's kernel: fused, `X` rows reduced together.
+    TurboXElem,
+}
+
+/// LayerNorm kernel implementations under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerNormAlgo {
+    /// PyTorch-like unfused path: mean / centred-square / sum / normalize
+    /// kernels with tree reductions.
+    Naive,
+    /// FasterTransformer-like fused kernel computing `E(x − E(x))²`: two
+    /// dependent reductions per row.
+    ClassicTwoPass,
+    /// The paper's kernel: one 2-element XElem reduction computing `Σx` and
+    /// `Σx²` together, variance by `E(x²) − E²(x)`.
+    TurboOnePass,
+}
+
+/// `X` used by the Turbo kernels; the paper's figure draws `X = 2`, the
+/// released code uses up to 4. Ablation benches sweep this.
+pub const DEFAULT_X: usize = 4;
+
+/// Effective-traffic multiplier for the naive (framework) kernels: their
+/// elementwise passes run on the 4-D score tensor in whatever layout the
+/// preceding op produced, so accesses are partially uncoalesced and each
+/// logical pass costs about two streamed ones.
+pub const UNCOALESCED: u64 = 2;
+
+/// A batch-reduction problem: `rows` independent rows of `row_len` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchShape {
+    /// Number of rows (for attention softmax: batch · heads · seq).
+    pub rows: usize,
+    /// Row length (for softmax: seq; for LayerNorm: hidden size).
+    pub row_len: usize,
+}
+
+/// Pick the block geometry for a problem: enough blocks to fill the device,
+/// rows batched per block once the grid saturates.
+pub fn geometry(dev: &DeviceConfig, shape: BatchShape) -> (ReductionShape, usize) {
+    let block_threads = shape.row_len.next_multiple_of(32).clamp(32, 256);
+    let target_blocks = dev.num_sms * dev.max_concurrent_blocks_per_sm;
+    let rows_per_block = shape.rows.div_ceil(target_blocks).clamp(1, 32);
+    let blocks = shape.rows.div_ceil(rows_per_block);
+    (
+        ReductionShape { row_len: shape.row_len, rows_per_block, block_threads },
+        blocks,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Trace fragments
+// ---------------------------------------------------------------------------
+
+/// Interleaved accumulation over `elems` per-thread elements for `x` rows:
+/// one `FADD`/`FMAX` per element per row, independent across rows.
+fn accum(regs: &mut RegAlloc, t: &mut Vec<Instr>, elems: usize, x: usize) -> Vec<u32> {
+    let accs: Vec<u32> = (0..x).map(|_| regs.fresh()).collect();
+    for _ in 0..elems {
+        for &a in &accs {
+            t.push(Instr::new(Op::Arith, Some(a), vec![a]));
+        }
+    }
+    accs
+}
+
+/// Two-pass shared-memory handoff closing a block reduction of `x`
+/// interleaved values: store partials, barrier, first-warp reduce, store
+/// results, barrier, broadcast loads. Returns the broadcast registers.
+fn reduce_finish(regs: &mut RegAlloc, t: &mut Vec<Instr>, accs: &[u32]) -> Vec<u32> {
+    warp_reduce_trace(regs, t, accs);
+    for &a in accs {
+        t.push(Instr::new(Op::SharedStore, None, vec![a]));
+    }
+    t.push(Instr::new(Op::Sync, None, vec![]));
+    let partials: Vec<u32> = accs
+        .iter()
+        .map(|_| {
+            let p = regs.fresh();
+            t.push(Instr::new(Op::SharedLoad, Some(p), vec![]));
+            p
+        })
+        .collect();
+    warp_reduce_trace(regs, t, &partials);
+    for &p in &partials {
+        t.push(Instr::new(Op::SharedStore, None, vec![p]));
+    }
+    t.push(Instr::new(Op::Sync, None, vec![]));
+    partials
+        .iter()
+        .map(|_| {
+            let b = regs.fresh();
+            t.push(Instr::new(Op::SharedLoad, Some(b), vec![]));
+            b
+        })
+        .collect()
+}
+
+/// Divergent boundary tails: one per row classic, one merged for XElem.
+fn boundary(t: &mut Vec<Instr>, shape: &ReductionShape, x: usize, merged: bool) {
+    if shape.unaligned() {
+        let n = if merged { 1 } else { x };
+        for _ in 0..n {
+            t.push(Instr::new(Op::Diverge, None, vec![]));
+        }
+    }
+}
+
+/// Fused softmax over a group of `x` rows: max-reduce, exp + sum-reduce,
+/// normalize. `merged` selects the XElem boundary/barrier behaviour.
+fn fused_softmax_group(shape: &ReductionShape, x: usize, merged: bool) -> Vec<Instr> {
+    let mut regs = RegAlloc::default();
+    let mut t = Vec::new();
+    let elems = shape.elems_per_thread();
+
+    // Pass A: running max.
+    let maxs = accum(&mut regs, &mut t, elems, x);
+    boundary(&mut t, shape, x, merged);
+    let maxs = reduce_finish(&mut regs, &mut t, &maxs);
+
+    // Pass B: exp(x - max), accumulating the sum.
+    let sums: Vec<u32> = (0..x).map(|_| regs.fresh()).collect();
+    for _ in 0..elems {
+        for (i, &s) in sums.iter().enumerate() {
+            let sub = regs.fresh();
+            t.push(Instr::new(Op::Arith, Some(sub), vec![maxs[i]]));
+            let e = regs.fresh();
+            t.push(Instr::new(Op::Sfu, Some(e), vec![sub]));
+            t.push(Instr::new(Op::Arith, Some(s), vec![s, e]));
+        }
+    }
+    let sums = reduce_finish(&mut regs, &mut t, &sums);
+
+    // Pass C: multiply by 1/sum and store.
+    let recips: Vec<u32> = sums
+        .iter()
+        .map(|&s| {
+            let r = regs.fresh();
+            t.push(Instr::new(Op::Sfu, Some(r), vec![s]));
+            r
+        })
+        .collect();
+    for _ in 0..elems {
+        for &r in &recips {
+            let o = regs.fresh();
+            t.push(Instr::new(Op::Arith, Some(o), vec![r]));
+        }
+    }
+    t
+}
+
+/// Fused LayerNorm over one row.
+///
+/// `one_pass = false`: classic `E(x − E(x))²` — mean reduce, then a second
+/// dependent reduce of centred squares. `one_pass = true`: the paper's
+/// simultaneous `Σx`/`Σx²` 2-element reduction and `E(x²) − E²(x)`.
+fn fused_layernorm_row(shape: &ReductionShape, one_pass: bool) -> Vec<Instr> {
+    let mut regs = RegAlloc::default();
+    let mut t = Vec::new();
+    let elems = shape.elems_per_thread();
+
+    let (mean_reg, var_reg) = if one_pass {
+        // Σx and Σx² interleaved: per element one FADD for x, one FMUL for
+        // x², one FADD for the square accumulator — two independent chains.
+        let acc_x = regs.fresh();
+        let acc_x2 = regs.fresh();
+        for _ in 0..elems {
+            t.push(Instr::new(Op::Arith, Some(acc_x), vec![acc_x]));
+            let sq = regs.fresh();
+            t.push(Instr::new(Op::Arith, Some(sq), vec![]));
+            t.push(Instr::new(Op::Arith, Some(acc_x2), vec![acc_x2, sq]));
+        }
+        boundary(&mut t, shape, 1, true);
+        let b = reduce_finish(&mut regs, &mut t, &[acc_x, acc_x2]);
+        // mean = Σx/n ; var = Σx²/n − mean².
+        let mean = regs.fresh();
+        t.push(Instr::new(Op::Arith, Some(mean), vec![b[0]]));
+        let var = regs.fresh();
+        t.push(Instr::new(Op::Arith, Some(var), vec![b[1], mean]));
+        (mean, var)
+    } else {
+        // Pass 1: mean.
+        let accs = accum(&mut regs, &mut t, elems, 1);
+        boundary(&mut t, shape, 1, false);
+        let b = reduce_finish(&mut regs, &mut t, &accs);
+        let mean = regs.fresh();
+        t.push(Instr::new(Op::Arith, Some(mean), vec![b[0]]));
+        // Pass 2: Σ(x − mean)², dependent on the broadcast mean.
+        let acc2 = regs.fresh();
+        for _ in 0..elems {
+            let c = regs.fresh();
+            t.push(Instr::new(Op::Arith, Some(c), vec![mean]));
+            let sq = regs.fresh();
+            t.push(Instr::new(Op::Arith, Some(sq), vec![c, c]));
+            t.push(Instr::new(Op::Arith, Some(acc2), vec![acc2, sq]));
+        }
+        boundary(&mut t, shape, 1, false);
+        let b2 = reduce_finish(&mut regs, &mut t, &[acc2]);
+        (mean, b2[0])
+    };
+
+    // rstd = rsqrt(var + eps); normalize: (x − mean)·rstd·γ + β.
+    let rstd = regs.fresh();
+    t.push(Instr::new(Op::Sfu, Some(rstd), vec![var_reg]));
+    for _ in 0..elems {
+        let c = regs.fresh();
+        t.push(Instr::new(Op::Arith, Some(c), vec![mean_reg]));
+        let n = regs.fresh();
+        t.push(Instr::new(Op::Arith, Some(n), vec![c, rstd]));
+        let g = regs.fresh();
+        t.push(Instr::new(Op::Arith, Some(g), vec![n]));
+        let o = regs.fresh();
+        t.push(Instr::new(Op::Arith, Some(o), vec![g]));
+    }
+    t
+}
+
+/// One row of a naive tree-reduction kernel (no warp primitives): strided
+/// accumulation then `log₂(block_threads)` shared-memory halving steps, each
+/// with a barrier — the pre-shuffle reduction style of framework kernels.
+fn tree_reduce_row(shape: &ReductionShape) -> Vec<Instr> {
+    let mut regs = RegAlloc::default();
+    let mut t = Vec::new();
+    let acc = accum(&mut regs, &mut t, shape.elems_per_thread(), 1)[0];
+    boundary(&mut t, shape, 1, false);
+    t.push(Instr::new(Op::SharedStore, None, vec![acc]));
+    t.push(Instr::new(Op::Sync, None, vec![]));
+    let steps = (shape.block_threads.max(2)).ilog2() as usize;
+    let mut cur = regs.fresh();
+    for _ in 0..steps {
+        let other = regs.fresh();
+        t.push(Instr::new(Op::SharedLoad, Some(other), vec![]));
+        let nxt = regs.fresh();
+        t.push(Instr::new(Op::Arith, Some(nxt), vec![cur, other]));
+        t.push(Instr::new(Op::SharedStore, None, vec![nxt]));
+        t.push(Instr::new(Op::Sync, None, vec![]));
+        cur = nxt;
+    }
+    t
+}
+
+/// A trivially-parallel elementwise kernel row: `ops` instructions per
+/// element per thread, all independent.
+fn elementwise_row(shape: &ReductionShape, ops: &[Op]) -> Vec<Instr> {
+    let mut regs = RegAlloc::default();
+    let mut t = Vec::new();
+    for _ in 0..shape.elems_per_thread() {
+        for &op in ops {
+            let d = regs.fresh();
+            t.push(Instr::new(op, Some(d), vec![]));
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Kernel assembly
+// ---------------------------------------------------------------------------
+
+fn repeat_rows(dev: &DeviceConfig, shape: &ReductionShape, row_trace: &[Instr]) -> crate::pipeline::TraceStats {
+    crate::pipeline::repeat(simulate(dev, row_trace), shape.rows_per_block as u64)
+}
+
+/// The kernel launches a softmax of the given algorithm performs.
+pub fn softmax_launches(dev: &DeviceConfig, algo: SoftmaxAlgo, shape: BatchShape) -> Vec<KernelLaunch> {
+    let (rs, blocks) = geometry(dev, shape);
+    let elem_bytes = (shape.rows * shape.row_len * 4) as u64;
+    match algo {
+        SoftmaxAlgo::Naive => {
+            let reduce = repeat_rows(dev, &rs, &tree_reduce_row(&rs));
+            let ew2 = repeat_rows(dev, &rs, &elementwise_row(&rs, &[Op::Arith, Op::Sfu]));
+            let ew1 = repeat_rows(dev, &rs, &elementwise_row(&rs, &[Op::Arith]));
+            vec![
+                // contiguous-layout copy the framework inserts before reducing
+                KernelLaunch { blocks, stats: ew1, bytes: UNCOALESCED * 2 * elem_bytes, flops: 0 },
+                KernelLaunch { blocks, stats: reduce, bytes: elem_bytes, flops: elem_bytes / 4 }, // max
+                KernelLaunch { blocks, stats: ew2, bytes: UNCOALESCED * 2 * elem_bytes, flops: elem_bytes / 2 }, // sub+exp
+                KernelLaunch { blocks, stats: reduce, bytes: elem_bytes, flops: elem_bytes / 4 }, // sum
+                KernelLaunch { blocks, stats: ew1, bytes: UNCOALESCED * 2 * elem_bytes, flops: elem_bytes / 4 }, // div
+            ]
+        }
+        SoftmaxAlgo::CudnnLike => {
+            let stats = repeat_rows(dev, &rs, &fused_softmax_group(&rs, 1, false));
+            vec![KernelLaunch { blocks, stats, bytes: 3 * elem_bytes, flops: elem_bytes }]
+        }
+        SoftmaxAlgo::ClassicFused => {
+            let stats = repeat_rows(dev, &rs, &fused_softmax_group(&rs, 1, false));
+            vec![KernelLaunch { blocks, stats, bytes: 2 * elem_bytes, flops: elem_bytes }]
+        }
+        SoftmaxAlgo::TurboXElem => turbo_softmax_launches(dev, shape, DEFAULT_X),
+    }
+}
+
+/// The Turbo fused softmax with an explicit `X` — the ablation surface for
+/// the `warpAllReduceSum_XElem` batching factor.
+pub fn turbo_softmax_launches(dev: &DeviceConfig, shape: BatchShape, x: usize) -> Vec<KernelLaunch> {
+    assert!(x >= 1, "X must be at least 1");
+    let (rs, blocks) = geometry(dev, shape);
+    let elem_bytes = (shape.rows * shape.row_len * 4) as u64;
+    let x = x.min(rs.rows_per_block.max(1));
+    let full_groups = rs.rows_per_block / x;
+    let rem = rs.rows_per_block % x;
+    let mut stats = crate::pipeline::repeat(
+        simulate(dev, &fused_softmax_group(&rs, x, true)),
+        full_groups as u64,
+    );
+    if rem > 0 {
+        stats = crate::pipeline::seq(stats, simulate(dev, &fused_softmax_group(&rs, rem, true)));
+    }
+    vec![KernelLaunch { blocks, stats, bytes: 2 * elem_bytes, flops: elem_bytes }]
+}
+
+/// Total softmax time, seconds.
+pub fn softmax_time(dev: &DeviceConfig, algo: SoftmaxAlgo, shape: BatchShape) -> f64 {
+    sequence_time(dev, &softmax_launches(dev, algo, shape))
+}
+
+/// The kernel launches a LayerNorm of the given algorithm performs.
+pub fn layernorm_launches(dev: &DeviceConfig, algo: LayerNormAlgo, shape: BatchShape) -> Vec<KernelLaunch> {
+    let (rs, blocks) = geometry(dev, shape);
+    let elem_bytes = (shape.rows * shape.row_len * 4) as u64;
+    match algo {
+        LayerNormAlgo::Naive => {
+            let reduce = repeat_rows(dev, &rs, &tree_reduce_row(&rs));
+            let ew2 = repeat_rows(dev, &rs, &elementwise_row(&rs, &[Op::Arith, Op::Arith]));
+            let ew4 = repeat_rows(dev, &rs, &elementwise_row(&rs, &[Op::Arith, Op::Arith, Op::Arith, Op::Arith]));
+            vec![
+                KernelLaunch { blocks, stats: reduce, bytes: elem_bytes, flops: elem_bytes / 4 }, // mean
+                KernelLaunch { blocks, stats: ew2, bytes: UNCOALESCED * 2 * elem_bytes, flops: elem_bytes / 2 }, // (x-μ)²
+                KernelLaunch { blocks, stats: reduce, bytes: elem_bytes, flops: elem_bytes / 4 }, // var
+                KernelLaunch { blocks, stats: ew4, bytes: UNCOALESCED * 2 * elem_bytes, flops: elem_bytes }, // normalize
+            ]
+        }
+        LayerNormAlgo::ClassicTwoPass => {
+            let stats = repeat_rows(dev, &rs, &fused_layernorm_row(&rs, false));
+            vec![KernelLaunch { blocks, stats, bytes: 3 * elem_bytes, flops: 2 * elem_bytes }]
+        }
+        LayerNormAlgo::TurboOnePass => {
+            let stats = repeat_rows(dev, &rs, &fused_layernorm_row(&rs, true));
+            vec![KernelLaunch { blocks, stats, bytes: 2 * elem_bytes, flops: 2 * elem_bytes }]
+        }
+    }
+}
+
+/// Total LayerNorm time, seconds.
+pub fn layernorm_time(dev: &DeviceConfig, algo: LayerNormAlgo, shape: BatchShape) -> f64 {
+    sequence_time(dev, &layernorm_launches(dev, algo, shape))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+
+    fn dev() -> DeviceConfig {
+        DeviceKind::V100.config()
+    }
+
+    #[test]
+    fn geometry_scales_rows_per_block() {
+        let d = dev();
+        let (small, blocks_small) = geometry(&d, BatchShape { rows: 10, row_len: 100 });
+        assert_eq!(small.rows_per_block, 1);
+        assert_eq!(blocks_small, 10);
+        let (big, _) = geometry(&d, BatchShape { rows: 1_000_000, row_len: 100 });
+        assert_eq!(big.rows_per_block, 32, "saturated grids batch rows per block");
+        assert_eq!(big.block_threads, 128, "row 100 rounds to 4 warps");
+    }
+
+    #[test]
+    fn turbo_softmax_beats_classic_everywhere_nontrivial() {
+        let d = dev();
+        for &(rows, len) in &[(120usize, 10usize), (2400, 100), (120_000, 500), (12_000, 128)] {
+            let shape = BatchShape { rows, row_len: len };
+            let classic = softmax_time(&d, SoftmaxAlgo::ClassicFused, shape);
+            let turbo = softmax_time(&d, SoftmaxAlgo::TurboXElem, shape);
+            assert!(
+                turbo <= classic,
+                "turbo must not lose to classic at rows={rows} len={len}: {turbo} vs {classic}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_softmax_pays_for_launches_and_passes() {
+        let d = dev();
+        let shape = BatchShape { rows: 120, row_len: 40 };
+        let naive = softmax_time(&d, SoftmaxAlgo::Naive, shape);
+        let turbo = softmax_time(&d, SoftmaxAlgo::TurboXElem, shape);
+        assert!(
+            naive > 3.0 * turbo,
+            "4 launches vs 1 must dominate at tiny sizes: naive={naive}, turbo={turbo}"
+        );
+    }
+
+    #[test]
+    fn turbo_layernorm_halves_barriers() {
+        let d = dev();
+        let shape = BatchShape { rows: 1000, row_len: 768 };
+        let classic = layernorm_launches(&d, LayerNormAlgo::ClassicTwoPass, shape);
+        let turbo = layernorm_launches(&d, LayerNormAlgo::TurboOnePass, shape);
+        assert_eq!(classic.len(), 1);
+        assert_eq!(turbo.len(), 1);
+        assert_eq!(
+            turbo[0].stats.syncs * 2,
+            classic[0].stats.syncs,
+            "one-pass LN has half the barriers"
+        );
+        assert!(layernorm_time(&d, LayerNormAlgo::TurboOnePass, shape)
+            < layernorm_time(&d, LayerNormAlgo::ClassicTwoPass, shape));
+    }
+
+    #[test]
+    fn layernorm_naive_is_worst() {
+        let d = dev();
+        let shape = BatchShape { rows: 2560, row_len: 768 };
+        let naive = layernorm_time(&d, LayerNormAlgo::Naive, shape);
+        let classic = layernorm_time(&d, LayerNormAlgo::ClassicTwoPass, shape);
+        assert!(naive > classic, "naive {naive} must exceed classic {classic}");
+    }
+
+    #[test]
+    fn speedup_grows_with_workload() {
+        // The paper's Fig. 5: larger batch/seq gives Turbo a bigger edge
+        // than the smallest case.
+        let d = dev();
+        let small = BatchShape { rows: 12 * 10, row_len: 10 }; // batch 1, seq 10
+        let large = BatchShape { rows: 20 * 12 * 500, row_len: 500 }; // batch 20, seq 500
+        let sp_small = softmax_time(&d, SoftmaxAlgo::ClassicFused, small)
+            / softmax_time(&d, SoftmaxAlgo::TurboXElem, small);
+        let sp_large = softmax_time(&d, SoftmaxAlgo::ClassicFused, large)
+            / softmax_time(&d, SoftmaxAlgo::TurboXElem, large);
+        assert!(
+            sp_large > sp_small.max(1.0),
+            "speedup should grow with workload: small={sp_small:.3}, large={sp_large:.3}"
+        );
+    }
+
+    #[test]
+    fn unaligned_rows_cost_more_than_aligned() {
+        let d = dev();
+        let aligned = softmax_time(&d, SoftmaxAlgo::ClassicFused, BatchShape { rows: 1000, row_len: 128 });
+        let unaligned = softmax_time(&d, SoftmaxAlgo::ClassicFused, BatchShape { rows: 1000, row_len: 127 });
+        assert!(unaligned > aligned, "divergent tails must show up: {unaligned} vs {aligned}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Grid-level kernel timing: occupancy, waves, launch overhead and the
+//! bandwidth roofline.
+//!
+//! A kernel's cost combines four effects:
+//!
+//! 1. a fixed host-side **launch overhead** (the dominant term for tiny
+//!    variable-length requests — the paper measures an 80.64 % idle GPU for
+//!    PyTorch BERT at batch 1 / length 40);
+//! 2. **SM occupancy**: blocks are distributed over SMs and execute in waves
+//!    bounded by the per-SM residency limit; co-resident blocks hide each
+//!    other's latencies but share issue bandwidth;
+//! 3. a **memory roofline** degraded by barrier stalls — while a block sits
+//!    at `__syncthreads()` it issues no loads, so heavy-sync kernels cannot
+//!    keep the DRAM pipe full (this is precisely why the paper's
+//!    sync-reducing XElem algorithm wins even at bandwidth-bound sizes);
+//! 4. a **compute roofline** for FLOP-dominated kernels (GEMM).
+
+use crate::device::DeviceConfig;
+use crate::pipeline::TraceStats;
+
+/// Description of one kernel launch for the timing model.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelLaunch {
+    /// Thread blocks in the grid.
+    pub blocks: usize,
+    /// Per-block trace cost from [`crate::pipeline::simulate`].
+    pub stats: TraceStats,
+    /// Total DRAM traffic of the kernel (reads + writes), bytes.
+    pub bytes: u64,
+    /// Total floating-point work, FLOPs.
+    pub flops: u64,
+}
+
+impl KernelLaunch {
+    /// Fraction of a block's issue slots consumed by barriers and divergent
+    /// replays — cycles in which the block cannot feed the memory pipeline.
+    pub fn stall_fraction(&self, dev: &DeviceConfig) -> f64 {
+        if self.stats.issue_cycles == 0 {
+            return 0.0;
+        }
+        let stall = self.stats.syncs * dev.sync_cost
+            + self.stats.divergences * dev.divergence_penalty;
+        (stall as f64 / self.stats.issue_cycles as f64).min(0.9)
+    }
+}
+
+/// Time for one kernel launch, in seconds.
+pub fn kernel_time(dev: &DeviceConfig, l: &KernelLaunch) -> f64 {
+    if l.blocks == 0 {
+        return dev.launch_overhead();
+    }
+    let per_sm_blocks = l.blocks.div_ceil(dev.num_sms) as u64;
+    let waves = per_sm_blocks.div_ceil(dev.max_concurrent_blocks_per_sm as u64);
+    // Issue bandwidth is shared among resident blocks; raw latency is hidden
+    // across them, so it binds only once per wave.
+    let sm_cycles = (per_sm_blocks * l.stats.issue_cycles).max(waves * l.stats.latency_cycles);
+    let exec = dev.cycles_to_secs(sm_cycles);
+
+    let mem = dev.mem_time(l.bytes) / (1.0 - l.stall_fraction(dev));
+    let flop = dev.compute_time(l.flops);
+
+    dev.launch_overhead() + exec.max(mem).max(flop)
+}
+
+/// Time for a sequence of dependent kernel launches (each pays its own
+/// launch overhead — the unfused-runtime tax the paper's kernel fusion
+/// removes).
+pub fn sequence_time(dev: &DeviceConfig, launches: &[KernelLaunch]) -> f64 {
+    launches.iter().map(|l| kernel_time(dev, l)).sum()
+}
+
+/// Ebird-style spatial sharing (paper §2.2's related work: "an elastic
+/// batch scheduler based on an inference engine supporting multiple batches
+/// of the same model running concurrently"): run several independent kernel
+/// sequences at once by partitioning the SMs proportionally to each
+/// stream's work, sharing DRAM bandwidth likewise. Returns the makespan.
+///
+/// Sharing pays when individual streams underfill the device (small
+/// batches); at saturation it converges to serial execution — exactly the
+/// trade Ebird's elastic batching navigates. Tests pin both regimes.
+pub fn spatial_sharing_time(dev: &DeviceConfig, streams: &[Vec<KernelLaunch>]) -> f64 {
+    if streams.is_empty() {
+        return 0.0;
+    }
+    if streams.len() == 1 {
+        return sequence_time(dev, &streams[0]);
+    }
+    // Work-proportional SM split (at least one SM per stream).
+    let serial: Vec<f64> = streams.iter().map(|s| sequence_time(dev, s)).collect();
+    let total: f64 = serial.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut makespan = 0.0f64;
+    for (stream, share) in streams.iter().zip(serial.iter().map(|t| t / total)) {
+        let mut sub = dev.clone();
+        sub.num_sms = ((dev.num_sms as f64 * share).round() as usize).max(1);
+        sub.mem_bandwidth_gbps = dev.mem_bandwidth_gbps * share.max(1.0 / dev.num_sms as f64);
+        makespan = makespan.max(sequence_time(&sub, stream));
+    }
+    // Concurrency cannot beat the best single stream's critical path nor
+    // lose to fully serial execution by construction; clamp for numeric
+    // safety of the roofline approximations.
+    makespan.min(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+
+    fn stats(issue: u64, latency: u64, syncs: u64) -> TraceStats {
+        TraceStats { latency_cycles: latency, issue_cycles: issue, syncs, divergences: 0, instr_count: issue }
+    }
+
+    #[test]
+    fn empty_grid_costs_one_launch() {
+        let dev = DeviceKind::V100.config();
+        let l = KernelLaunch { blocks: 0, stats: TraceStats::default(), bytes: 0, flops: 0 };
+        assert_eq!(kernel_time(&dev, &l), dev.launch_overhead());
+    }
+
+    #[test]
+    fn tiny_kernels_are_launch_bound() {
+        let dev = DeviceKind::V100.config();
+        let l = KernelLaunch { blocks: 1, stats: stats(100, 400, 0), bytes: 1024, flops: 1024 };
+        let t = kernel_time(&dev, &l);
+        assert!(t < 2.0 * dev.launch_overhead(), "tiny kernel ≈ launch overhead, got {t}");
+        assert!(t > dev.launch_overhead());
+    }
+
+    #[test]
+    fn more_blocks_cost_more_once_saturated() {
+        let dev = DeviceKind::V100.config();
+        let small = KernelLaunch { blocks: 1_000, stats: stats(2_000, 8_000, 0), bytes: 0, flops: 0 };
+        let large = KernelLaunch { blocks: 10_000, stats: stats(2_000, 8_000, 0), bytes: 0, flops: 0 };
+        assert!(kernel_time(&dev, &large) > 5.0 * kernel_time(&dev, &small) / 2.0);
+    }
+
+    #[test]
+    fn latency_binds_when_underoccupied() {
+        let dev = DeviceKind::V100.config();
+        // One block: can't hide its own latency.
+        let l = KernelLaunch { blocks: 1, stats: stats(100, 1_000_000, 0), bytes: 0, flops: 0 };
+        let t = kernel_time(&dev, &l) - dev.launch_overhead();
+        assert!((t - dev.cycles_to_secs(1_000_000)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sync_heavy_kernels_lose_bandwidth() {
+        let dev = DeviceKind::V100.config();
+        let bytes = 500_000_000u64;
+        let clean = KernelLaunch { blocks: 10_000, stats: stats(100, 400, 0), bytes, flops: 0 };
+        let sync_issue = 100 + 9 * dev.sync_cost;
+        let stalled = KernelLaunch {
+            blocks: 10_000,
+            stats: TraceStats { latency_cycles: 400, issue_cycles: sync_issue, syncs: 9, divergences: 0, instr_count: 100 },
+            bytes,
+            flops: 0,
+        };
+        let tc = kernel_time(&dev, &clean);
+        let ts = kernel_time(&dev, &stalled);
+        assert!(ts > 1.5 * tc, "stalls must degrade achieved bandwidth: {ts} vs {tc}");
+    }
+
+    #[test]
+    fn stall_fraction_is_capped() {
+        let dev = DeviceKind::V100.config();
+        let l = KernelLaunch {
+            blocks: 1,
+            stats: TraceStats { latency_cycles: 1, issue_cycles: 100, syncs: 1_000, divergences: 0, instr_count: 0 },
+            bytes: 0,
+            flops: 0,
+        };
+        assert!(l.stall_fraction(&dev) <= 0.9);
+    }
+
+    #[test]
+    fn flop_roofline_binds_for_gemm_like_kernels() {
+        let dev = DeviceKind::V100.config();
+        let flops = 14_000_000_000_000u64; // exactly one second at peak
+        let l = KernelLaunch { blocks: 100, stats: stats(10, 10, 0), bytes: 1000, flops };
+        let t = kernel_time(&dev, &l);
+        assert!((t - (1.0 + dev.launch_overhead())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spatial_sharing_helps_underutilized_kernels() {
+        // Two small grids (each fills a fraction of the SMs): sharing
+        // overlaps them almost perfectly.
+        let dev = DeviceKind::V100.config();
+        let small = vec![KernelLaunch { blocks: 40, stats: stats(5_000, 20_000, 0), bytes: 0, flops: 0 }];
+        let serial = sequence_time(&dev, &small) * 2.0;
+        let shared = spatial_sharing_time(&dev, &[small.clone(), small]);
+        assert!(
+            shared < serial * 0.85,
+            "sharing should overlap small kernels: {shared} vs serial {serial}"
+        );
+    }
+
+    #[test]
+    fn spatial_sharing_never_beats_critical_path_or_loses_to_serial() {
+        let dev = DeviceKind::V100.config();
+        let big = vec![KernelLaunch { blocks: 100_000, stats: stats(2_000, 8_000, 0), bytes: 0, flops: 0 }];
+        let tiny = vec![KernelLaunch { blocks: 10, stats: stats(100, 400, 0), bytes: 0, flops: 0 }];
+        let shared = spatial_sharing_time(&dev, &[big.clone(), tiny.clone()]);
+        let serial = sequence_time(&dev, &big) + sequence_time(&dev, &tiny);
+        let critical = sequence_time(&dev, &big);
+        assert!(shared <= serial + 1e-12);
+        assert!(shared >= critical * 0.9, "shared {shared} vs critical {critical}");
+    }
+
+    #[test]
+    fn spatial_sharing_degenerate_cases() {
+        let dev = DeviceKind::V100.config();
+        assert_eq!(spatial_sharing_time(&dev, &[]), 0.0);
+        let one = vec![KernelLaunch { blocks: 10, stats: stats(100, 400, 0), bytes: 0, flops: 0 }];
+        assert_eq!(spatial_sharing_time(&dev, &[one.clone()]), sequence_time(&dev, &one));
+    }
+
+    #[test]
+    fn sequence_sums_launches() {
+        let dev = DeviceKind::V100.config();
+        let l = KernelLaunch { blocks: 1, stats: stats(10, 10, 0), bytes: 0, flops: 0 };
+        let one = kernel_time(&dev, &l);
+        let four = sequence_time(&dev, &[l; 4]);
+        assert!((four - 4.0 * one).abs() < 1e-12);
+    }
+}

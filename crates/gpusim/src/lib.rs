@@ -1,0 +1,53 @@
+//! # tt-gpusim — a functional + timing simulator of the CUDA execution model
+//!
+//! The paper's first contribution is a GPU *kernel algorithm*
+//! (`warpAllReduceSum_XElem`, paper §4.1.2 and Figure 4) whose advantage over
+//! the classic FasterTransformer-style batch reduction comes from three
+//! schedule-level properties:
+//!
+//! 1. fewer shared-memory synchronizations — one `__syncthreads()` per `X`
+//!    rows instead of one per row;
+//! 2. merged boundary handling — one divergent tail instead of `X`;
+//! 3. better instruction-level parallelism — the classic kernel's
+//!    `SHFL.DOWN → FADD` register dependency stalls the pipeline every step,
+//!    while `X` interleaved independent reductions keep it fed.
+//!
+//! None of those depend on physical silicon: they are properties of the
+//! instruction schedule. This crate therefore models a GPU at exactly that
+//! granularity:
+//!
+//! - [`warp`] — *functional* 32-lane warp semantics (`shfl_down`, `shfl_xor`,
+//!   warp reductions) so every kernel variant's numerics can be verified
+//!   against serial oracles;
+//! - [`pipeline`] — a scoreboarded in-order issue model that prices an
+//!   instruction trace in cycles, reproducing dependency stalls;
+//! - [`reduction`] — trace builders + functional implementations for the
+//!   classic two-pass block reduction and the paper's `XElem` variant;
+//! - [`kernels`] — full Softmax and LayerNorm kernel models (naive /
+//!   cuDNN-like / classic / turbo) assembled from reductions;
+//! - [`launch`] — grid-level scheduling: occupancy, waves, launch overhead,
+//!   and a bandwidth roofline;
+//! - [`gemm`] — a tiled shared-memory GEMM kernel model validating the
+//!   roofline efficiency the op-level cost model assumes;
+//! - [`device`] — calibrated device descriptions (Tesla V100, RTX 2060,
+//!   Tesla M40);
+//! - [`cost`] — the op-level cost model (`gemm`, elementwise, reductions)
+//!   consumed by `tt-runtime` to timestamp simulated executions.
+//!
+//! Absolute cycle counts are *models*, not measurements; the reproduction
+//! targets the paper's relative claims (speedup shapes, crossovers, time
+//! shares), which survive any monotone recalibration of the constants.
+
+pub mod cost;
+pub mod device;
+pub mod gemm;
+pub mod kernels;
+pub mod launch;
+pub mod occupancy;
+pub mod pipeline;
+pub mod reduction;
+pub mod warp;
+
+pub use device::{DeviceConfig, DeviceKind};
+pub use kernels::{LayerNormAlgo, SoftmaxAlgo};
+pub use launch::KernelLaunch;

@@ -1,0 +1,145 @@
+//! Occupancy calculation: how many thread blocks an SM can keep resident,
+//! bounded by threads, registers and shared memory — the quantity the
+//! launch model's `max_concurrent_blocks_per_sm` abstracts, derived here
+//! from per-kernel resource usage the way `cudaOccupancyMaxActiveBlocksPerMultiprocessor`
+//! does.
+//!
+//! Residency is what hides latency: a reduction kernel using little shared
+//! memory runs 8 blocks/SM and overlaps its barrier stalls, while a tiled
+//! GEMM staging two big panels may fit only 2–3 blocks and must rely on ILP
+//! instead. The tests pin those regimes.
+
+use crate::device::DeviceConfig;
+
+/// Per-SM resource limits (identical across the modelled parts at the
+/// granularity this model needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmResources {
+    /// Maximum resident threads per SM.
+    pub max_threads: usize,
+    /// Register file size per SM (32-bit registers).
+    pub registers: usize,
+    /// Shared memory per SM, bytes.
+    pub shared_bytes: usize,
+    /// Hardware cap on resident blocks per SM.
+    pub max_blocks: usize,
+}
+
+impl SmResources {
+    /// The limits of the modelled Volta/Turing-class parts.
+    pub fn standard() -> Self {
+        SmResources { max_threads: 2048, registers: 65_536, shared_bytes: 96 * 1024, max_blocks: 32 }
+    }
+}
+
+/// A kernel's per-block resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResources {
+    /// Threads per block.
+    pub threads: usize,
+    /// Registers per thread.
+    pub regs_per_thread: usize,
+    /// Shared memory per block, bytes.
+    pub shared_bytes: usize,
+}
+
+impl KernelResources {
+    /// Typical usage of the fused reduction kernels: one warp-width row
+    /// buffer of partials in shared memory, modest register tile.
+    pub fn reduction(block_threads: usize) -> Self {
+        KernelResources {
+            threads: block_threads,
+            regs_per_thread: 32,
+            shared_bytes: 32 * 4 * 2, // two warp-partial arrays
+        }
+    }
+
+    /// Usage of the tiled GEMM block: two operand panels in shared memory
+    /// and a fat register tile.
+    pub fn gemm_tile(bm: usize, bn: usize, bk: usize, threads: usize) -> Self {
+        KernelResources {
+            threads,
+            regs_per_thread: 96,
+            shared_bytes: 4 * bk * (bm + bn) * 2, // double-buffered panels
+        }
+    }
+}
+
+/// Resident blocks per SM for a kernel on a device: the minimum over the
+/// thread, register, shared-memory and hardware-cap constraints (≥ 1 —
+/// a kernel that fits no block at all would fail to launch; callers model
+/// only launchable kernels).
+pub fn blocks_per_sm(res: &SmResources, kernel: &KernelResources) -> usize {
+    let by_threads = res.max_threads / kernel.threads.max(1);
+    let by_regs = res.registers / (kernel.regs_per_thread * kernel.threads).max(1);
+    let by_smem = res.shared_bytes.checked_div(kernel.shared_bytes).unwrap_or(usize::MAX);
+    by_threads.min(by_regs).min(by_smem).min(res.max_blocks).max(1)
+}
+
+/// Occupancy as a fraction of the SM's thread capacity.
+pub fn occupancy_fraction(res: &SmResources, kernel: &KernelResources) -> f64 {
+    (blocks_per_sm(res, kernel) * kernel.threads) as f64 / res.max_threads as f64
+}
+
+/// A device config with its residency bound tightened to what `kernel`
+/// actually achieves — plug into [`crate::launch::kernel_time`] for
+/// kernel-specific occupancy.
+pub fn with_kernel_occupancy(dev: &DeviceConfig, kernel: &KernelResources) -> DeviceConfig {
+    let mut d = dev.clone();
+    d.max_concurrent_blocks_per_sm =
+        blocks_per_sm(&SmResources::standard(), kernel).min(d.max_concurrent_blocks_per_sm);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+
+    #[test]
+    fn reduction_kernels_achieve_high_residency() {
+        let res = SmResources::standard();
+        let k = KernelResources::reduction(128);
+        // threads: 2048/128 = 16; regs: 65536/(32·128) = 16; smem: huge.
+        assert_eq!(blocks_per_sm(&res, &k), 16);
+        assert!(occupancy_fraction(&res, &k) >= 1.0);
+    }
+
+    #[test]
+    fn gemm_tiles_are_shared_memory_bound() {
+        let res = SmResources::standard();
+        let k = KernelResources::gemm_tile(64, 64, 16, 128);
+        // smem: 4·16·128·2 = 16 KiB per block → 6 blocks; regs: 65536/(96·128) = 5.
+        let blocks = blocks_per_sm(&res, &k);
+        assert!(blocks < 8, "fat GEMM tiles must limit residency, got {blocks}");
+        assert!(blocks >= 2);
+    }
+
+    #[test]
+    fn thread_bound_kernels() {
+        let res = SmResources::standard();
+        let k = KernelResources { threads: 1024, regs_per_thread: 16, shared_bytes: 0 };
+        assert_eq!(blocks_per_sm(&res, &k), 2);
+    }
+
+    #[test]
+    fn oversubscribed_kernels_still_run_one_block() {
+        let res = SmResources::standard();
+        let k = KernelResources { threads: 1024, regs_per_thread: 255, shared_bytes: 200 * 1024 };
+        assert_eq!(blocks_per_sm(&res, &k), 1);
+    }
+
+    #[test]
+    fn device_clamp_only_tightens() {
+        let dev = DeviceKind::V100.config();
+        let light = KernelResources::reduction(64);
+        let clamped = with_kernel_occupancy(&dev, &light);
+        assert_eq!(
+            clamped.max_concurrent_blocks_per_sm, dev.max_concurrent_blocks_per_sm,
+            "light kernels keep the device default"
+        );
+        let heavy = KernelResources::gemm_tile(128, 128, 32, 256);
+        let clamped = with_kernel_occupancy(&dev, &heavy);
+        assert!(clamped.max_concurrent_blocks_per_sm < dev.max_concurrent_blocks_per_sm);
+    }
+}

@@ -1,0 +1,290 @@
+//! Scoreboarded in-order issue model for warp instruction traces.
+//!
+//! The paper's Figure 4 argues at exactly this level: in the classic batch
+//! reduction the `FADD` consuming a `SHFL.DOWN` result "can only be issued
+//! until the SHFL is completely finished", while interleaving `X` independent
+//! reductions lets another `SHFL.DOWN` issue immediately. This module prices
+//! a per-warp instruction trace under that model and reports both:
+//!
+//! - `latency_cycles` — in-order issue with register-dependency stalls: the
+//!   time one warp needs when nothing else hides its latency;
+//! - `issue_cycles` — the pipeline-occupancy cost (issue slots + barrier
+//!   drains + divergence replay): the floor that survives even at full
+//!   occupancy, when co-resident blocks hide raw latencies.
+//!
+//! [`crate::launch`] combines the two with the grid geometry.
+
+use crate::device::DeviceConfig;
+
+/// Instruction classes the reduction kernels use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Warp shuffle (`SHFL.DOWN` / `SHFL.BFLY`).
+    Shfl,
+    /// Simple FP arithmetic (`FADD`, `FMUL`, `FFMA`, `FMAX`).
+    Arith,
+    /// Special-function unit op (`MUFU.EX2` for exp, `MUFU.RSQ` for rsqrt).
+    Sfu,
+    /// Shared-memory load.
+    SharedLoad,
+    /// Shared-memory store.
+    SharedStore,
+    /// `__syncthreads()` barrier: waits for all outstanding results, then
+    /// pays the drain/reconverge cost.
+    Sync,
+    /// A divergent boundary branch: the warp replays both paths.
+    Diverge,
+}
+
+/// A single warp-level instruction with register dependencies.
+///
+/// Registers are abstract ids scoped to the trace; `dst: None` models ops
+/// with no consumed result (stores, syncs).
+#[derive(Debug, Clone)]
+pub struct Instr {
+    /// Instruction class.
+    pub op: Op,
+    /// Destination register, if the op produces a value.
+    pub dst: Option<u32>,
+    /// Source registers the op must wait for.
+    pub srcs: Vec<u32>,
+}
+
+impl Instr {
+    /// Convenience constructor.
+    pub fn new(op: Op, dst: Option<u32>, srcs: impl Into<Vec<u32>>) -> Self {
+        Instr { op, dst, srcs: srcs.into() }
+    }
+}
+
+/// Aggregate cost of a simulated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TraceStats {
+    /// In-order completion time of the trace with dependency stalls.
+    pub latency_cycles: u64,
+    /// Issue-slot consumption (throughput floor at full occupancy).
+    pub issue_cycles: u64,
+    /// Number of barrier instructions.
+    pub syncs: u64,
+    /// Number of divergent boundary branches.
+    pub divergences: u64,
+    /// Number of instructions (excluding syncs/divergence markers).
+    pub instr_count: u64,
+}
+
+fn op_issue(dev: &DeviceConfig, op: Op) -> u64 {
+    match op {
+        Op::Shfl => dev.shfl_issue,
+        Op::Arith => dev.arith_issue,
+        Op::Sfu => dev.sfu_issue,
+        Op::SharedLoad | Op::SharedStore => dev.shared_issue,
+        Op::Sync | Op::Diverge => 0, // priced separately
+    }
+}
+
+fn op_latency(dev: &DeviceConfig, op: Op) -> u64 {
+    match op {
+        Op::Shfl => dev.shfl_latency,
+        Op::Arith => dev.arith_latency,
+        Op::Sfu => dev.sfu_latency,
+        Op::SharedLoad | Op::SharedStore => dev.shared_latency,
+        Op::Sync | Op::Diverge => 0,
+    }
+}
+
+/// Simulate a trace on the device's warp scheduler model.
+///
+/// In-order issue: an instruction issues at the later of (a) the cycle the
+/// issue port frees up and (b) the ready time of its sources. `issue_width`
+/// independent instructions may share a cycle. A `Sync` waits for every
+/// outstanding result then costs `sync_cost`; a `Diverge` marker costs
+/// `divergence_penalty` issue-and-latency cycles (the warp replays the
+/// branch).
+pub fn simulate(dev: &DeviceConfig, trace: &[Instr]) -> TraceStats {
+    let mut reg_ready: Vec<u64> = Vec::new();
+    let mut clock: u64 = 0; // next issue opportunity
+    let mut issued_this_cycle: usize = 0;
+    let mut last_completion: u64 = 0;
+    let mut stats = TraceStats::default();
+
+    for ins in trace {
+        match ins.op {
+            Op::Sync => {
+                clock = clock.max(last_completion) + dev.sync_cost;
+                issued_this_cycle = 0;
+                stats.syncs += 1;
+                stats.issue_cycles += dev.sync_cost;
+                continue;
+            }
+            Op::Diverge => {
+                clock += dev.divergence_penalty;
+                issued_this_cycle = 0;
+                stats.divergences += 1;
+                stats.issue_cycles += dev.divergence_penalty;
+                continue;
+            }
+            _ => {}
+        }
+
+        let ready = ins
+            .srcs
+            .iter()
+            .map(|&r| reg_ready.get(r as usize).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+
+        let mut at = clock.max(ready);
+        if at == clock {
+            // Same-cycle dual issue for independent instructions.
+            if issued_this_cycle + 1 >= dev.issue_width {
+                at += op_issue(dev, ins.op).max(1);
+                issued_this_cycle = 0;
+            } else {
+                issued_this_cycle += 1;
+            }
+        } else {
+            issued_this_cycle = 0;
+        }
+        clock = clock.max(at);
+
+        let done = at + op_latency(dev, ins.op);
+        last_completion = last_completion.max(done);
+        if let Some(dst) = ins.dst {
+            let idx = dst as usize;
+            if reg_ready.len() <= idx {
+                reg_ready.resize(idx + 1, 0);
+            }
+            reg_ready[idx] = done;
+        }
+
+        stats.issue_cycles += op_issue(dev, ins.op);
+        stats.instr_count += 1;
+    }
+
+    stats.latency_cycles = clock.max(last_completion);
+    stats
+}
+
+/// Merge the stats of `n` repetitions of the same trace executed back to
+/// back (e.g. a block looping over rows).
+pub fn repeat(stats: TraceStats, n: u64) -> TraceStats {
+    TraceStats {
+        latency_cycles: stats.latency_cycles * n,
+        issue_cycles: stats.issue_cycles * n,
+        syncs: stats.syncs * n,
+        divergences: stats.divergences * n,
+        instr_count: stats.instr_count * n,
+    }
+}
+
+/// Concatenate stats of two phases executed back to back.
+pub fn seq(a: TraceStats, b: TraceStats) -> TraceStats {
+    TraceStats {
+        latency_cycles: a.latency_cycles + b.latency_cycles,
+        issue_cycles: a.issue_cycles + b.issue_cycles,
+        syncs: a.syncs + b.syncs,
+        divergences: a.divergences + b.divergences,
+        instr_count: a.instr_count + b.instr_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+
+    fn dev() -> DeviceConfig {
+        DeviceKind::V100.config()
+    }
+
+    #[test]
+    fn dependent_chain_pays_full_latency() {
+        let d = dev();
+        // SHFL r1 <- r0 ; FADD r0 <- r0, r1 : FADD stalls on shuffle latency.
+        let trace = vec![
+            Instr::new(Op::Shfl, Some(1), vec![0]),
+            Instr::new(Op::Arith, Some(0), vec![0, 1]),
+        ];
+        let s = simulate(&d, &trace);
+        assert!(
+            s.latency_cycles >= d.shfl_latency + d.arith_latency,
+            "latency {} must include shuffle latency {}",
+            s.latency_cycles,
+            d.shfl_latency
+        );
+    }
+
+    #[test]
+    fn independent_instructions_overlap() {
+        let d = dev();
+        // Two independent SHFL+FADD chains, interleaved (the XElem pattern).
+        let interleaved = vec![
+            Instr::new(Op::Shfl, Some(2), vec![0]),
+            Instr::new(Op::Shfl, Some(3), vec![1]),
+            Instr::new(Op::Arith, Some(0), vec![0, 2]),
+            Instr::new(Op::Arith, Some(1), vec![1, 3]),
+        ];
+        // The same work as two sequential dependent chains.
+        let sequential = vec![
+            Instr::new(Op::Shfl, Some(2), vec![0]),
+            Instr::new(Op::Arith, Some(0), vec![0, 2]),
+            Instr::new(Op::Shfl, Some(3), vec![1]),
+            Instr::new(Op::Arith, Some(1), vec![1, 3]),
+        ];
+        let si = simulate(&d, &interleaved);
+        let ss = simulate(&d, &sequential);
+        assert!(
+            si.latency_cycles < ss.latency_cycles,
+            "interleaving must hide shuffle latency: {} vs {}",
+            si.latency_cycles,
+            ss.latency_cycles
+        );
+        assert_eq!(si.issue_cycles, ss.issue_cycles, "same instruction mix, same issue cost");
+    }
+
+    #[test]
+    fn sync_waits_for_outstanding_results() {
+        let d = dev();
+        let trace = vec![
+            Instr::new(Op::SharedStore, None, vec![0]),
+            Instr::new(Op::Sync, None, vec![]),
+        ];
+        let s = simulate(&d, &trace);
+        assert!(s.latency_cycles >= d.shared_latency + d.sync_cost);
+        assert_eq!(s.syncs, 1);
+    }
+
+    #[test]
+    fn divergence_adds_penalty() {
+        let d = dev();
+        let base = simulate(&d, &[Instr::new(Op::Arith, Some(0), vec![])]);
+        let with_div = simulate(
+            &d,
+            &[
+                Instr::new(Op::Diverge, None, vec![]),
+                Instr::new(Op::Arith, Some(0), vec![]),
+            ],
+        );
+        assert_eq!(
+            with_div.latency_cycles,
+            base.latency_cycles + d.divergence_penalty
+        );
+        assert_eq!(with_div.divergences, 1);
+    }
+
+    #[test]
+    fn repeat_and_seq_compose_linearly() {
+        let d = dev();
+        let s = simulate(&d, &[Instr::new(Op::Arith, Some(0), vec![])]);
+        let r = repeat(s, 3);
+        assert_eq!(r.latency_cycles, 3 * s.latency_cycles);
+        let q = seq(s, r);
+        assert_eq!(q.instr_count, 4 * s.instr_count);
+    }
+
+    #[test]
+    fn empty_trace_is_free() {
+        let s = simulate(&dev(), &[]);
+        assert_eq!(s, TraceStats::default());
+    }
+}

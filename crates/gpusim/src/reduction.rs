@@ -1,0 +1,367 @@
+//! Batch-reduction building blocks: functional semantics + instruction
+//! traces for the classic (FasterTransformer-style) algorithm and the
+//! paper's `warpAllReduceSum_XElem` variant.
+//!
+//! Terminology follows paper Figure 4:
+//!
+//! - *classic*: a thread block is handed `n` rows and reduces them one at a
+//!   time; each row reduction is two-pass (warp reduce → shared memory →
+//!   warp reduce of partials) with a barrier per pass and per-row boundary
+//!   handling.
+//! - *XElem*: the block reduces `X` rows *together*: thread-local
+//!   accumulation, shuffle steps and boundary handling of the `X` rows are
+//!   interleaved, and one barrier per pass covers all `X` rows — saving
+//!   `(X-1)/X` of the synchronizations and exposing `X` independent
+//!   dependency chains to the issue pipeline.
+
+use crate::pipeline::{Instr, Op};
+use crate::warp::{load_lanes, warp_reduce_max, warp_reduce_sum, Lanes, WARP_SIZE};
+
+/// What a reduction computes. Max and sum cost the same (FADD vs FMAX);
+/// the distinction only matters functionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum of the row.
+    Sum,
+    /// Maximum of the row.
+    Max,
+}
+
+/// Geometry of a block-level reduction problem.
+#[derive(Debug, Clone, Copy)]
+pub struct ReductionShape {
+    /// Length of each 1-D row being reduced.
+    pub row_len: usize,
+    /// Rows assigned to one thread block (the paper's `n`).
+    pub rows_per_block: usize,
+    /// Threads per block; a multiple of the warp size.
+    pub block_threads: usize,
+}
+
+impl ReductionShape {
+    /// Elements each thread accumulates locally before the tree phase.
+    pub fn elems_per_thread(&self) -> usize {
+        self.row_len.div_ceil(self.block_threads).max(1)
+    }
+
+    /// Whether rows spill past a warp boundary, forcing divergent tails.
+    pub fn unaligned(&self) -> bool {
+        !self.row_len.is_multiple_of(WARP_SIZE)
+    }
+
+    /// Warps per block.
+    pub fn warps(&self) -> usize {
+        self.block_threads.div_ceil(WARP_SIZE)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Functional semantics
+// ---------------------------------------------------------------------------
+
+/// Reduce one row exactly the way a thread block does: strided thread-local
+/// accumulation, per-warp tree reduction, then a second tree pass over the
+/// per-warp partials. Used to verify that the simulated kernels compute the
+/// same value as a serial oracle (up to FP reassociation).
+pub fn block_reduce_row(row: &[f32], block_threads: usize, op: ReduceOp) -> f32 {
+    assert!(block_threads.is_multiple_of(WARP_SIZE) && block_threads > 0, "block must be whole warps");
+    let identity = match op {
+        ReduceOp::Sum => 0.0f32,
+        ReduceOp::Max => f32::NEG_INFINITY,
+    };
+    // Thread-local strided accumulation.
+    let mut acc = vec![identity; block_threads];
+    for (i, &v) in row.iter().enumerate() {
+        let t = i % block_threads;
+        acc[t] = match op {
+            ReduceOp::Sum => acc[t] + v,
+            ReduceOp::Max => acc[t].max(v),
+        };
+    }
+    // First pass: per-warp tree reduction.
+    let mut partials = Vec::with_capacity(block_threads / WARP_SIZE);
+    for warp in acc.chunks_exact(WARP_SIZE) {
+        let lanes: Lanes = warp.try_into().expect("chunk is warp-sized");
+        partials.push(match op {
+            ReduceOp::Sum => warp_reduce_sum(&lanes),
+            ReduceOp::Max => warp_reduce_max(&lanes),
+        });
+    }
+    // Second pass: one warp reduces the partials (≤ 32 of them).
+    let lanes = load_lanes(&partials, 0, identity);
+    match op {
+        ReduceOp::Sum => warp_reduce_sum(&lanes),
+        ReduceOp::Max => warp_reduce_max(&lanes),
+    }
+}
+
+/// Reduce a whole batch of rows with the classic algorithm: each block's
+/// rows are processed sequentially (functionally identical to mapping
+/// [`block_reduce_row`] over the rows).
+pub fn batch_reduce_classic(rows: &[Vec<f32>], block_threads: usize, op: ReduceOp) -> Vec<f32> {
+    rows.iter().map(|r| block_reduce_row(r, block_threads, op)).collect()
+}
+
+/// Reduce a batch with the XElem algorithm, `x` rows at a time. The
+/// interleaving is a scheduling device only — each row's value must equal
+/// the classic result bit-for-bit, which the tests assert.
+pub fn batch_reduce_xelem(rows: &[Vec<f32>], block_threads: usize, x: usize, op: ReduceOp) -> Vec<f32> {
+    assert!(x >= 1);
+    let mut out = Vec::with_capacity(rows.len());
+    for group in rows.chunks(x) {
+        // The X reductions share instruction slots but not data; compute
+        // each through the same two-pass machinery.
+        for row in group {
+            out.push(block_reduce_row(row, block_threads, op));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Instruction traces
+// ---------------------------------------------------------------------------
+
+/// Allocates abstract register ids for trace construction.
+#[derive(Debug, Default)]
+pub struct RegAlloc {
+    next: u32,
+}
+
+impl RegAlloc {
+    /// Fresh register id.
+    pub fn fresh(&mut self) -> u32 {
+        let r = self.next;
+        self.next += 1;
+        r
+    }
+}
+
+/// Trace of the thread-local accumulation phase for `x` interleaved rows:
+/// each thread folds `elems` values into a running register per row. The
+/// accumulate of row `i` depends on its own previous accumulate only, so
+/// `x` chains interleave.
+///
+/// Returns the accumulator registers.
+pub fn accum_trace(regs: &mut RegAlloc, trace: &mut Vec<Instr>, elems: usize, x: usize) -> Vec<u32> {
+    let accs: Vec<u32> = (0..x).map(|_| regs.fresh()).collect();
+    for _ in 0..elems {
+        for &acc in &accs {
+            // FFMA acc <- acc, loaded element (load cost folded into the
+            // kernel-level bandwidth roofline).
+            trace.push(Instr::new(Op::Arith, Some(acc), vec![acc]));
+        }
+    }
+    accs
+}
+
+/// Trace of `x` interleaved warp tree reductions over the given accumulator
+/// registers: 5 steps of (x shuffles, then x adds), the paper's
+/// `warpAllReduceSum_XElem` schedule.
+pub fn warp_reduce_trace(regs: &mut RegAlloc, trace: &mut Vec<Instr>, accs: &[u32]) {
+    let steps = WARP_SIZE.trailing_zeros(); // 5
+    for _ in 0..steps {
+        let tmps: Vec<u32> = accs
+            .iter()
+            .map(|&acc| {
+                let tmp = regs.fresh();
+                trace.push(Instr::new(Op::Shfl, Some(tmp), vec![acc]));
+                tmp
+            })
+            .collect();
+        for (&acc, &tmp) in accs.iter().zip(tmps.iter()) {
+            trace.push(Instr::new(Op::Arith, Some(acc), vec![acc, tmp]));
+        }
+    }
+}
+
+/// Trace of one *two-pass block reduction* of `x` rows processed together
+/// (x = 1 gives the classic per-row schedule):
+///
+/// 1. thread-local accumulation (`elems_per_thread` folds per row),
+/// 2. optional divergent boundary tail — one per row classic, one merged
+///    for the group in XElem,
+/// 3. interleaved warp tree reduction,
+/// 4. per-warp partials to shared memory, barrier,
+/// 5. first warp reduces partials, writes the result back, barrier,
+/// 6. all warps read the broadcast result.
+pub fn block_reduce_group_trace(shape: &ReductionShape, x: usize, merged_boundary: bool) -> Vec<Instr> {
+    let mut regs = RegAlloc::default();
+    let mut trace = Vec::new();
+
+    let accs = accum_trace(&mut regs, &mut trace, shape.elems_per_thread(), x);
+
+    if shape.unaligned() {
+        let tails = if merged_boundary { 1 } else { x };
+        for _ in 0..tails {
+            trace.push(Instr::new(Op::Diverge, None, vec![]));
+        }
+    }
+
+    warp_reduce_trace(&mut regs, &mut trace, &accs);
+
+    // Pass 1 → shared memory handoff: lane 0 of each warp stores x partials.
+    for &acc in &accs {
+        trace.push(Instr::new(Op::SharedStore, None, vec![acc]));
+    }
+    trace.push(Instr::new(Op::Sync, None, vec![]));
+
+    // Pass 2: first warp loads partials and reduces them.
+    let partials: Vec<u32> = (0..x)
+        .map(|_| {
+            let p = regs.fresh();
+            trace.push(Instr::new(Op::SharedLoad, Some(p), vec![]));
+            p
+        })
+        .collect();
+    warp_reduce_trace(&mut regs, &mut trace, &partials);
+
+    // Broadcast: results to shared memory, barrier, everyone reads.
+    for &p in &partials {
+        trace.push(Instr::new(Op::SharedStore, None, vec![p]));
+    }
+    trace.push(Instr::new(Op::Sync, None, vec![]));
+    for _ in 0..x {
+        let b = regs.fresh();
+        trace.push(Instr::new(Op::SharedLoad, Some(b), vec![]));
+    }
+
+    trace
+}
+
+/// Full block trace for reducing all `rows_per_block` rows with the
+/// *classic* algorithm: rows strictly one after another.
+pub fn classic_block_trace(shape: &ReductionShape) -> Vec<Instr> {
+    let mut trace = Vec::new();
+    for _ in 0..shape.rows_per_block {
+        trace.extend(block_reduce_group_trace(shape, 1, false));
+    }
+    trace
+}
+
+/// Full block trace for the *XElem* algorithm: rows in groups of `x`,
+/// boundary tails merged, barriers shared across the group.
+pub fn xelem_block_trace(shape: &ReductionShape, x: usize) -> Vec<Instr> {
+    assert!(x >= 1, "x must be at least 1");
+    let mut trace = Vec::new();
+    let mut remaining = shape.rows_per_block;
+    while remaining > 0 {
+        let g = remaining.min(x);
+        trace.extend(block_reduce_group_trace(shape, g, true));
+        remaining -= g;
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+    use crate::pipeline::simulate;
+
+    fn rows(n: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|r| (0..len).map(|i| ((r * 31 + i * 7) % 13) as f32 - 6.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn block_reduce_row_matches_serial_sum() {
+        for len in [1, 5, 32, 33, 100, 500] {
+            let row: Vec<f32> = (0..len).map(|i| (i % 9) as f32 - 4.0).collect();
+            let got = block_reduce_row(&row, 128, ReduceOp::Sum);
+            let want: f32 = row.iter().sum();
+            assert!(
+                (got - want).abs() < 1e-3,
+                "len={len}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_reduce_row_matches_serial_max() {
+        for len in [1, 31, 32, 200] {
+            let row: Vec<f32> = (0..len).map(|i| ((i * 17) % 23) as f32).collect();
+            let got = block_reduce_row(&row, 64, ReduceOp::Max);
+            let want = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            assert_eq!(got, want, "max is exact, no reassociation error");
+        }
+    }
+
+    #[test]
+    fn xelem_is_functionally_identical_to_classic() {
+        let data = rows(10, 77);
+        let classic = batch_reduce_classic(&data, 128, ReduceOp::Sum);
+        for x in [1, 2, 4] {
+            let xe = batch_reduce_xelem(&data, 128, x, ReduceOp::Sum);
+            assert_eq!(classic, xe, "X={x} must not change results");
+        }
+    }
+
+    #[test]
+    fn xelem_trace_has_fewer_syncs() {
+        let shape = ReductionShape { row_len: 128, rows_per_block: 8, block_threads: 128 };
+        let dev = DeviceKind::V100.config();
+        let classic = simulate(&dev, &classic_block_trace(&shape));
+        let xelem = simulate(&dev, &xelem_block_trace(&shape, 4));
+        assert_eq!(classic.syncs, 16, "2 barriers per row");
+        assert_eq!(xelem.syncs, 4, "2 barriers per group of 4");
+    }
+
+    #[test]
+    fn xelem_trace_merges_divergent_tails() {
+        let shape = ReductionShape { row_len: 100, rows_per_block: 8, block_threads: 128 };
+        let dev = DeviceKind::V100.config();
+        let classic = simulate(&dev, &classic_block_trace(&shape));
+        let xelem = simulate(&dev, &xelem_block_trace(&shape, 4));
+        assert_eq!(classic.divergences, 8);
+        assert_eq!(xelem.divergences, 2);
+    }
+
+    #[test]
+    fn aligned_rows_do_not_diverge() {
+        let shape = ReductionShape { row_len: 96, rows_per_block: 4, block_threads: 96 };
+        let dev = DeviceKind::V100.config();
+        let classic = simulate(&dev, &classic_block_trace(&shape));
+        assert_eq!(classic.divergences, 0);
+    }
+
+    #[test]
+    fn xelem_is_faster_per_row_in_latency() {
+        let shape = ReductionShape { row_len: 128, rows_per_block: 8, block_threads: 128 };
+        let dev = DeviceKind::V100.config();
+        let classic = simulate(&dev, &classic_block_trace(&shape));
+        let xelem = simulate(&dev, &xelem_block_trace(&shape, 4));
+        assert!(
+            xelem.latency_cycles < classic.latency_cycles,
+            "XElem {} must beat classic {}",
+            xelem.latency_cycles,
+            classic.latency_cycles
+        );
+        assert!(
+            xelem.issue_cycles < classic.issue_cycles,
+            "fewer barriers/tails must also cut issue cost: {} vs {}",
+            xelem.issue_cycles,
+            classic.issue_cycles
+        );
+    }
+
+    #[test]
+    fn xelem_handles_row_count_not_divisible_by_x() {
+        let shape = ReductionShape { row_len: 64, rows_per_block: 5, block_threads: 64 };
+        let trace = xelem_block_trace(&shape, 4); // groups of 4 + 1
+        let dev = DeviceKind::V100.config();
+        let s = simulate(&dev, &trace);
+        assert_eq!(s.syncs, 4, "two groups, 2 barriers each");
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let s = ReductionShape { row_len: 100, rows_per_block: 2, block_threads: 32 };
+        assert_eq!(s.elems_per_thread(), 4);
+        assert!(s.unaligned());
+        assert_eq!(s.warps(), 1);
+        let s2 = ReductionShape { row_len: 64, rows_per_block: 1, block_threads: 64 };
+        assert!(!s2.unaligned());
+    }
+}

@@ -1,0 +1,202 @@
+//! Functional 32-lane warp semantics.
+//!
+//! A warp is modelled as an array of 32 lane values. The shuffle intrinsics
+//! here follow the CUDA 9+ `__shfl_*_sync` definitions with a full mask, so
+//! the reduction kernels built on top can be verified numerically against
+//! serial oracles — the same role unit tests of the CUDA kernels play in the
+//! original codebase.
+
+/// Number of threads in a warp.
+pub const WARP_SIZE: usize = 32;
+
+/// Per-lane values of one warp.
+pub type Lanes = [f32; WARP_SIZE];
+
+/// `__shfl_down_sync(FULL_MASK, v, delta)`: lane `i` receives the value of
+/// lane `i + delta`; lanes whose source is out of range keep their own value
+/// (hardware leaves the destination register unchanged — reading it is only
+/// meaningful for lanes `< WARP_SIZE - delta`, which is all the reduction
+/// algorithms use).
+pub fn shfl_down(v: &Lanes, delta: usize) -> Lanes {
+    let mut out = *v;
+    for i in 0..WARP_SIZE {
+        if i + delta < WARP_SIZE {
+            out[i] = v[i + delta];
+        }
+    }
+    out
+}
+
+/// `__shfl_xor_sync(FULL_MASK, v, mask)`: lane `i` exchanges with lane
+/// `i ^ mask`. Produces a butterfly pattern; after `log2(32)` steps every
+/// lane holds the full reduction (an *all*-reduce without shared memory).
+pub fn shfl_xor(v: &Lanes, mask: usize) -> Lanes {
+    let mut out = *v;
+    for i in 0..WARP_SIZE {
+        out[i] = v[i ^ (mask & (WARP_SIZE - 1))];
+    }
+    out
+}
+
+/// Tree warp reduction with `shfl_down`: after 5 steps lane 0 holds the sum
+/// of all 32 lanes. Mirrors the classic `warpReduceSum` from the NVIDIA
+/// warp-primitives blog post the paper cites as [16].
+pub fn warp_reduce_sum(v: &Lanes) -> f32 {
+    let mut cur = *v;
+    let mut delta = WARP_SIZE / 2;
+    while delta >= 1 {
+        let shifted = shfl_down(&cur, delta);
+        for i in 0..WARP_SIZE {
+            cur[i] += shifted[i];
+        }
+        delta /= 2;
+    }
+    cur[0]
+}
+
+/// Tree warp reduction for the maximum; lane 0 holds the max of all lanes.
+pub fn warp_reduce_max(v: &Lanes) -> f32 {
+    let mut cur = *v;
+    let mut delta = WARP_SIZE / 2;
+    while delta >= 1 {
+        let shifted = shfl_down(&cur, delta);
+        for i in 0..WARP_SIZE {
+            cur[i] = cur[i].max(shifted[i]);
+        }
+        delta /= 2;
+    }
+    cur[0]
+}
+
+/// Butterfly *all*-reduce sum with `shfl_xor`: every lane ends with the full
+/// sum. This is the `warpAllReduceSum` flavour the paper's `XElem` subroutine
+/// batches — no shared-memory round trip is needed to broadcast the result.
+pub fn warp_all_reduce_sum(v: &Lanes) -> Lanes {
+    let mut cur = *v;
+    let mut mask = WARP_SIZE / 2;
+    while mask >= 1 {
+        let swapped = shfl_xor(&cur, mask);
+        for i in 0..WARP_SIZE {
+            cur[i] += swapped[i];
+        }
+        mask /= 2;
+    }
+    cur
+}
+
+/// `warpAllReduceSum_XElem`: reduce `X` independent lane arrays together,
+/// interleaving the shuffle steps of all `X` reductions (paper Fig. 4,
+/// bottom). Functionally each array gets the same result as
+/// [`warp_all_reduce_sum`]; the interleaving only matters for timing, which
+/// [`crate::reduction`] prices.
+pub fn warp_all_reduce_sum_xelem<const X: usize>(vals: &[Lanes; X]) -> [Lanes; X] {
+    let mut cur = *vals;
+    let mut mask = WARP_SIZE / 2;
+    while mask >= 1 {
+        // One "step": first all X shuffles (independent), then all X adds —
+        // exactly the instruction order the timing model scores.
+        let mut swapped = [[0.0f32; WARP_SIZE]; X];
+        for (sw, c) in swapped.iter_mut().zip(cur.iter()) {
+            *sw = shfl_xor(c, mask);
+        }
+        for (c, sw) in cur.iter_mut().zip(swapped.iter()) {
+            for i in 0..WARP_SIZE {
+                c[i] += sw[i];
+            }
+        }
+        mask /= 2;
+    }
+    cur
+}
+
+/// Load a row chunk into lanes, padding out-of-range lanes with `pad` —
+/// the boundary handling whose divergence cost the paper's merged-boundary
+/// optimization targets.
+pub fn load_lanes(row: &[f32], start: usize, pad: f32) -> Lanes {
+    let mut lanes = [pad; WARP_SIZE];
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        if let Some(&v) = row.get(start + i) {
+            *lane = v;
+        }
+    }
+    lanes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota() -> Lanes {
+        let mut l = [0.0; WARP_SIZE];
+        for (i, v) in l.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        l
+    }
+
+    #[test]
+    fn shfl_down_shifts_and_keeps_tail() {
+        let v = iota();
+        let s = shfl_down(&v, 16);
+        assert_eq!(s[0], 16.0);
+        assert_eq!(s[15], 31.0);
+        assert_eq!(s[16], 16.0, "out-of-range lanes keep their own value");
+        assert_eq!(s[31], 31.0);
+    }
+
+    #[test]
+    fn shfl_xor_is_an_involution() {
+        let v = iota();
+        let once = shfl_xor(&v, 8);
+        let twice = shfl_xor(&once, 8);
+        assert_eq!(twice, v);
+    }
+
+    #[test]
+    fn warp_reduce_sum_matches_serial() {
+        let v = iota();
+        let expect: f32 = (0..32).map(|i| i as f32).sum();
+        assert_eq!(warp_reduce_sum(&v), expect);
+    }
+
+    #[test]
+    fn warp_reduce_max_matches_serial() {
+        let mut v = iota();
+        v[7] = 100.0;
+        assert_eq!(warp_reduce_max(&v), 100.0);
+        let neg = [-3.0f32; WARP_SIZE];
+        assert_eq!(warp_reduce_max(&neg), -3.0);
+    }
+
+    #[test]
+    fn all_reduce_gives_every_lane_the_sum() {
+        let v = iota();
+        let expect: f32 = (0..32).map(|i| i as f32).sum();
+        let r = warp_all_reduce_sum(&v);
+        assert!(r.iter().all(|&x| x == expect));
+    }
+
+    #[test]
+    fn xelem_matches_independent_all_reduces() {
+        let a = iota();
+        let mut b = iota();
+        for v in b.iter_mut() {
+            *v *= -2.0;
+        }
+        let [ra, rb] = warp_all_reduce_sum_xelem(&[a, b]);
+        assert_eq!(ra, warp_all_reduce_sum(&a));
+        assert_eq!(rb, warp_all_reduce_sum(&b));
+    }
+
+    #[test]
+    fn load_lanes_pads_boundary() {
+        let row = [1.0, 2.0, 3.0];
+        let lanes = load_lanes(&row, 0, 0.0);
+        assert_eq!(lanes[0], 1.0);
+        assert_eq!(lanes[2], 3.0);
+        assert_eq!(lanes[3], 0.0);
+        let lanes = load_lanes(&row, 2, f32::NEG_INFINITY);
+        assert_eq!(lanes[0], 3.0);
+        assert_eq!(lanes[1], f32::NEG_INFINITY);
+    }
+}

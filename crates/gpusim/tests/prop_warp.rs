@@ -1,0 +1,117 @@
+//! Property tests of the simulated warp/reduction semantics: the simulated
+//! kernels must compute the same values as serial oracles for arbitrary
+//! inputs, and the XElem schedule must never change numerics.
+
+use proptest::prelude::*;
+use tt_gpusim::device::DeviceKind;
+use tt_gpusim::pipeline::simulate;
+use tt_gpusim::reduction::{
+    batch_reduce_classic, batch_reduce_xelem, block_reduce_row, classic_block_trace,
+    xelem_block_trace, ReduceOp, ReductionShape,
+};
+use tt_gpusim::warp::{
+    load_lanes, shfl_xor, warp_all_reduce_sum, warp_reduce_max, warp_reduce_sum, WARP_SIZE,
+};
+
+fn lanes_strategy() -> impl Strategy<Value = [f32; WARP_SIZE]> {
+    prop::collection::vec(-100.0f32..100.0, WARP_SIZE).prop_map(|v| v.try_into().expect("32 lanes"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tree warp reduction equals the serial sum (within reassociation
+    /// tolerance) and max exactly.
+    #[test]
+    fn warp_reductions_match_serial(lanes in lanes_strategy()) {
+        let sum = warp_reduce_sum(&lanes);
+        let serial: f32 = lanes.iter().sum();
+        prop_assert!((sum - serial).abs() < 1e-2, "{sum} vs {serial}");
+        let max = warp_reduce_max(&lanes);
+        let serial_max = lanes.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert_eq!(max, serial_max);
+    }
+
+    /// The butterfly all-reduce puts the same total in every lane.
+    #[test]
+    fn all_reduce_broadcasts(lanes in lanes_strategy()) {
+        let r = warp_all_reduce_sum(&lanes);
+        for lane in &r {
+            prop_assert!((lane - r[0]).abs() < 1e-3);
+        }
+        let serial: f32 = lanes.iter().sum();
+        prop_assert!((r[0] - serial).abs() < 1e-2);
+    }
+
+    /// shfl_xor with any mask is an involution.
+    #[test]
+    fn shfl_xor_involution(lanes in lanes_strategy(), mask in 0usize..32) {
+        let twice = shfl_xor(&shfl_xor(&lanes, mask), mask);
+        prop_assert_eq!(twice, lanes);
+    }
+
+    /// Block reduction equals the serial sum for any row length and block
+    /// width.
+    #[test]
+    fn block_reduce_matches_serial(
+        len in 1usize..400,
+        warps in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let row: Vec<f32> = (0..len)
+            .map(|i| ((i as u64 * 31 + seed) % 23) as f32 - 11.0)
+            .collect();
+        let got = block_reduce_row(&row, warps * WARP_SIZE, ReduceOp::Sum);
+        let want: f32 = row.iter().sum();
+        prop_assert!((got - want).abs() < 1e-2 * (1.0 + want.abs()), "{got} vs {want}");
+    }
+
+    /// XElem batching never changes results, for any X.
+    #[test]
+    fn xelem_is_numerically_transparent(
+        rows in 1usize..12,
+        len in 1usize..100,
+        x in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let data: Vec<Vec<f32>> = (0..rows)
+            .map(|r| (0..len).map(|i| ((r * 131 + i * 17 + seed as usize) % 19) as f32 - 9.0).collect())
+            .collect();
+        let classic = batch_reduce_classic(&data, 64, ReduceOp::Sum);
+        let xe = batch_reduce_xelem(&data, 64, x, ReduceOp::Sum);
+        prop_assert_eq!(classic, xe);
+    }
+
+    /// Timing invariants for any geometry: XElem (X≥2) never has more
+    /// barriers, divergences, issue cycles or latency than classic.
+    #[test]
+    fn xelem_never_regresses_timing(
+        row_len in 1usize..600,
+        rows in 1usize..20,
+        x in 2usize..8,
+    ) {
+        let shape = ReductionShape { row_len, rows_per_block: rows, block_threads: 128 };
+        let dev = DeviceKind::V100.config();
+        let classic = simulate(&dev, &classic_block_trace(&shape));
+        let xe = simulate(&dev, &xelem_block_trace(&shape, x));
+        prop_assert!(xe.syncs <= classic.syncs);
+        prop_assert!(xe.divergences <= classic.divergences);
+        prop_assert!(xe.issue_cycles <= classic.issue_cycles);
+        prop_assert!(xe.latency_cycles <= classic.latency_cycles);
+        prop_assert_eq!(xe.instr_count, classic.instr_count, "same work, different schedule");
+    }
+
+    /// load_lanes pads exactly the out-of-range tail.
+    #[test]
+    fn load_lanes_pads_tail(len in 0usize..64, start in 0usize..64) {
+        let row: Vec<f32> = (0..len).map(|i| i as f32 + 1.0).collect();
+        let lanes = load_lanes(&row, start, -1.0);
+        for (i, &v) in lanes.iter().enumerate() {
+            if start + i < len {
+                prop_assert_eq!(v, (start + i) as f32 + 1.0);
+            } else {
+                prop_assert_eq!(v, -1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Graphviz (DOT) export of computation graphs — the debugging view of the
+//! fusion pass: render a graph before and after `fuse`/`decompose` and
+//! diff the shapes visually.
+
+use crate::{Graph, OpKind, TensorClass};
+
+/// Render the graph as a Graphviz `digraph`. Operator nodes are boxes
+/// (fused kernels shaded), tensors are ellipses colored by class; edges
+/// follow dataflow.
+pub fn to_dot(graph: &Graph, name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{name}\" {{\n"));
+    out.push_str("  rankdir=TB;\n  node [fontsize=10];\n");
+
+    for (i, t) in graph.tensors.iter().enumerate() {
+        let (color, style) = match t.class {
+            TensorClass::Input => ("lightblue", "filled"),
+            TensorClass::Weight => ("lightgray", "filled"),
+            TensorClass::Activation => ("white", "solid"),
+            TensorClass::Output => ("palegreen", "filled"),
+        };
+        let dims: Vec<String> = t.shape.iter().map(|d| d.to_string()).collect();
+        out.push_str(&format!(
+            "  t{i} [label=\"{}\\n[{}]\" shape=ellipse style={style} fillcolor={color}];\n",
+            escape(&t.name),
+            dims.join("x"),
+        ));
+    }
+
+    for (i, n) in graph.nodes.iter().enumerate() {
+        let fill = if n.kind.is_fused() {
+            "gold"
+        } else if n.kind.is_gemm() {
+            "salmon"
+        } else {
+            "white"
+        };
+        out.push_str(&format!(
+            "  op{i} [label=\"{}\" shape=box style=filled fillcolor={fill}];\n",
+            escape(&kind_label(&n.kind)),
+        ));
+        for &t in &n.inputs {
+            out.push_str(&format!("  t{t} -> op{i};\n"));
+        }
+        out.push_str(&format!("  op{i} -> t{};\n", n.output));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn kind_label(kind: &OpKind) -> String {
+    match kind {
+        OpKind::MatMul { trans_b, .. } => {
+            if *trans_b {
+                "MatMul (Bᵀ)".into()
+            } else {
+                "MatMul".into()
+            }
+        }
+        OpKind::ScaleMaskSoftmax { .. } => "ScaleMaskSoftmax".into(),
+        OpKind::AddBiasResidualLayerNorm { .. } => "AddBiasResidualLayerNorm".into(),
+        OpKind::AddBiasSplitHeads { heads } => format!("AddBiasSplitHeads (h={heads})"),
+        OpKind::SplitHeads { heads } => format!("SplitHeads (h={heads})"),
+        OpKind::LayerNorm { .. } => "LayerNorm".into(),
+        OpKind::Scale { alpha } => format!("Scale ({alpha:.3})"),
+        other => format!("{other:?}"),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorClass::{Activation, Input, Output, Weight};
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let x = g.add_tensor("x", vec![2, 4], Input);
+        let w = g.add_tensor("w\"quoted\"", vec![4, 4], Weight);
+        let h = g.add_tensor("h", vec![2, 4], Activation);
+        let b = g.add_tensor("b", vec![4], Weight);
+        let y = g.add_tensor("y", vec![2, 4], Output);
+        g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![x, w], h);
+        g.add_node(OpKind::AddBiasGelu, vec![h, b], y);
+        g
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let dot = to_dot(&sample(), "test");
+        assert!(dot.starts_with("digraph \"test\" {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("MatMul"));
+        assert!(dot.contains("AddBiasGelu"));
+        assert!(dot.contains("t0 -> op0"));
+        assert!(dot.contains("op1 -> t4"));
+        // One tensor node per tensor, one op node per op.
+        assert_eq!(dot.matches("shape=ellipse").count(), 5);
+        assert_eq!(dot.matches("shape=box").count(), 2);
+    }
+
+    #[test]
+    fn classes_are_color_coded_and_quotes_escaped() {
+        let dot = to_dot(&sample(), "g");
+        assert!(dot.contains("lightblue"), "inputs colored");
+        assert!(dot.contains("palegreen"), "outputs colored");
+        assert!(dot.contains("salmon"), "GEMMs shaded");
+        assert!(dot.contains("gold"), "fused kernels shaded");
+        assert!(dot.contains("w\\\"quoted\\\""), "quotes escaped");
+    }
+}

@@ -1,0 +1,346 @@
+//! Kernel fusion — paper §4.1.1 and Figure 3.
+//!
+//! [`fuse`] rewrites a fine-grained graph so that every chain of non-GEMM
+//! kernels between two GEMMs becomes one fused kernel; [`decompose`] is the
+//! exact inverse, producing the per-op graph a training framework executes
+//! (one kernel launch per node — the PyTorch-like baseline of the paper's
+//! evaluation). The two passes are mutual inverses up to tensor naming,
+//! which the tests assert structurally.
+//!
+//! Fusion patterns (all require the intermediate tensors to be
+//! single-consumer activations):
+//!
+//! - `AddBias → SplitHeads`            ⇒ `AddBiasSplitHeads`
+//! - `AddBias → Gelu`                  ⇒ `AddBiasGelu`
+//! - `Scale → [Mask] → Softmax`        ⇒ `ScaleMaskSoftmax`
+//! - `AddBias → Residual → LayerNorm`  ⇒ `AddBiasResidualLayerNorm`
+
+use crate::{Graph, Node, OpKind, TensorClass, TensorId};
+
+/// Expand every fused kernel into its constituent fine-grained ops.
+pub fn decompose(graph: &Graph) -> Graph {
+    let mut g = graph.clone();
+    let mut nodes = Vec::with_capacity(g.nodes.len() * 2);
+    let old_nodes = std::mem::take(&mut g.nodes);
+
+    for node in old_nodes {
+        match node.kind {
+            OpKind::AddBiasSplitHeads { heads } => {
+                let x = node.inputs[0];
+                let tmp = mid(&mut g, x, "bias");
+                nodes.push(Node { kind: OpKind::AddBias, inputs: vec![x, node.inputs[1]], output: tmp });
+                nodes.push(Node { kind: OpKind::SplitHeads { heads }, inputs: vec![tmp], output: node.output });
+            }
+            OpKind::AddBiasGelu => {
+                let x = node.inputs[0];
+                let tmp = mid(&mut g, x, "bias");
+                nodes.push(Node { kind: OpKind::AddBias, inputs: vec![x, node.inputs[1]], output: tmp });
+                nodes.push(Node { kind: OpKind::Gelu, inputs: vec![tmp], output: node.output });
+            }
+            OpKind::ScaleMaskSoftmax { scale } => {
+                let x = node.inputs[0];
+                let scaled = mid(&mut g, x, "scaled");
+                nodes.push(Node { kind: OpKind::Scale { alpha: scale }, inputs: vec![x], output: scaled });
+                let pre_softmax = if let Some(&mask) = node.inputs.get(1) {
+                    let masked = mid(&mut g, x, "masked");
+                    nodes.push(Node { kind: OpKind::Mask, inputs: vec![scaled, mask], output: masked });
+                    masked
+                } else {
+                    scaled
+                };
+                nodes.push(Node { kind: OpKind::Softmax, inputs: vec![pre_softmax], output: node.output });
+            }
+            OpKind::AddBiasResidualLayerNorm { eps } => {
+                let (x, bias, residual, gamma, beta) = (
+                    node.inputs[0],
+                    node.inputs[1],
+                    node.inputs[2],
+                    node.inputs[3],
+                    node.inputs[4],
+                );
+                let t1 = mid(&mut g, x, "biased");
+                let t2 = mid(&mut g, x, "residual");
+                nodes.push(Node { kind: OpKind::AddBias, inputs: vec![x, bias], output: t1 });
+                nodes.push(Node { kind: OpKind::Residual, inputs: vec![t1, residual], output: t2 });
+                nodes.push(Node { kind: OpKind::LayerNorm { eps }, inputs: vec![t2, gamma, beta], output: node.output });
+            }
+            _ => nodes.push(node),
+        }
+    }
+    g.nodes = nodes;
+    g
+}
+
+/// New intermediate activation shaped like tensor `like`.
+fn mid(g: &mut Graph, like: TensorId, suffix: &str) -> TensorId {
+    let name = format!("{}.{suffix}", g.tensors[like].name);
+    let shape = g.tensors[like].shape.clone();
+    g.add_tensor(name, shape, TensorClass::Activation)
+}
+
+/// Fuse non-GEMM chains into the custom kernels of paper Figure 3.
+pub fn fuse(graph: &Graph) -> Graph {
+    let mut g = graph.clone();
+    let order = g.topo_order();
+    let mut fused_away = vec![false; g.nodes.len()];
+    let mut new_nodes: Vec<Node> = Vec::with_capacity(g.nodes.len());
+
+    // A tensor is a fusible link if it is an activation with exactly one
+    // consumer — removing it cannot change any other op's inputs.
+    let fusible = |g: &Graph, t: TensorId| {
+        g.tensors[t].class == TensorClass::Activation && g.consumers(t).len() == 1
+    };
+    // The single consumer of tensor t.
+    let consumer = |g: &Graph, t: TensorId| g.consumers(t)[0];
+
+    for &id in &order {
+        if fused_away[id] {
+            continue;
+        }
+        let node = g.nodes[id].clone();
+        match node.kind {
+            OpKind::AddBias if fusible(&g, node.output) => {
+                let next_id = consumer(&g, node.output);
+                let next = g.nodes[next_id].clone();
+                match next.kind {
+                    OpKind::SplitHeads { heads } => {
+                        fused_away[next_id] = true;
+                        new_nodes.push(Node {
+                            kind: OpKind::AddBiasSplitHeads { heads },
+                            inputs: node.inputs,
+                            output: next.output,
+                        });
+                        continue;
+                    }
+                    OpKind::Gelu => {
+                        fused_away[next_id] = true;
+                        new_nodes.push(Node {
+                            kind: OpKind::AddBiasGelu,
+                            inputs: node.inputs,
+                            output: next.output,
+                        });
+                        continue;
+                    }
+                    OpKind::Residual if fusible(&g, next.output) => {
+                        let ln_id = consumer(&g, next.output);
+                        let ln = g.nodes[ln_id].clone();
+                        if let OpKind::LayerNorm { eps } = ln.kind {
+                            // The residual's *other* operand.
+                            let residual_in = if next.inputs[0] == node.output {
+                                next.inputs[1]
+                            } else {
+                                next.inputs[0]
+                            };
+                            fused_away[next_id] = true;
+                            fused_away[ln_id] = true;
+                            new_nodes.push(Node {
+                                kind: OpKind::AddBiasResidualLayerNorm { eps },
+                                inputs: vec![
+                                    node.inputs[0],
+                                    node.inputs[1],
+                                    residual_in,
+                                    ln.inputs[1],
+                                    ln.inputs[2],
+                                ],
+                                output: ln.output,
+                            });
+                            continue;
+                        }
+                        new_nodes.push(node);
+                        continue;
+                    }
+                    _ => {
+                        new_nodes.push(node);
+                        continue;
+                    }
+                }
+            }
+            OpKind::Scale { alpha } if fusible(&g, node.output) => {
+                let next_id = consumer(&g, node.output);
+                let next = g.nodes[next_id].clone();
+                match next.kind {
+                    OpKind::Softmax => {
+                        fused_away[next_id] = true;
+                        new_nodes.push(Node {
+                            kind: OpKind::ScaleMaskSoftmax { scale: alpha },
+                            inputs: vec![node.inputs[0]],
+                            output: next.output,
+                        });
+                        continue;
+                    }
+                    OpKind::Mask if fusible(&g, next.output) => {
+                        let sm_id = consumer(&g, next.output);
+                        let sm = g.nodes[sm_id].clone();
+                        if matches!(sm.kind, OpKind::Softmax) {
+                            fused_away[next_id] = true;
+                            fused_away[sm_id] = true;
+                            new_nodes.push(Node {
+                                kind: OpKind::ScaleMaskSoftmax { scale: alpha },
+                                inputs: vec![node.inputs[0], next.inputs[1]],
+                                output: sm.output,
+                            });
+                            continue;
+                        }
+                        new_nodes.push(node);
+                        continue;
+                    }
+                    _ => {
+                        new_nodes.push(node);
+                        continue;
+                    }
+                }
+            }
+            _ => new_nodes.push(node),
+        }
+    }
+
+    g.nodes = new_nodes;
+    g.gc_tensors();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorClass::{Activation, Input, Output, Weight};
+
+    /// A miniature attention epilogue exercising all four patterns:
+    /// matmul → bias+split, scale+mask+softmax, matmul → bias+gelu,
+    /// matmul → bias+residual+layernorm.
+    fn fused_reference() -> Graph {
+        let mut g = Graph::new();
+        let x = g.add_tensor("x", vec![2, 8, 16], Input);
+        let mask = g.add_tensor("mask", vec![2, 8], Input);
+        let wq = g.add_tensor("wq", vec![16, 16], Weight);
+        let bq = g.add_tensor("bq", vec![16], Weight);
+        let w2 = g.add_tensor("w2", vec![16, 16], Weight);
+        let b2 = g.add_tensor("b2", vec![16], Weight);
+        let gamma = g.add_tensor("gamma", vec![16], Weight);
+        let beta = g.add_tensor("beta", vec![16], Weight);
+
+        let q0 = g.add_tensor("q0", vec![2, 8, 16], Activation);
+        let q = g.add_tensor("q", vec![2, 4, 8, 4], Activation);
+        let scores = g.add_tensor("scores", vec![2, 4, 8, 8], Activation);
+        let probs = g.add_tensor("probs", vec![2, 4, 8, 8], Activation);
+        let ctx = g.add_tensor("ctx", vec![2, 4, 8, 4], Activation);
+        let merged = g.add_tensor("merged", vec![2, 8, 16], Activation);
+        let proj = g.add_tensor("proj", vec![2, 8, 16], Activation);
+        let ffn = g.add_tensor("ffn", vec![2, 8, 16], Activation);
+        let act = g.add_tensor("act", vec![2, 8, 16], Activation);
+        let y = g.add_tensor("y", vec![2, 8, 16], Output);
+
+        g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![x, wq], q0);
+        g.add_node(OpKind::AddBiasSplitHeads { heads: 4 }, vec![q0, bq], q);
+        g.add_node(OpKind::MatMul { trans_b: true, alpha: 1.0 }, vec![q, q], scores);
+        g.add_node(OpKind::ScaleMaskSoftmax { scale: 0.5 }, vec![scores, mask], probs);
+        g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![probs, q], ctx);
+        g.add_node(OpKind::MergeHeads, vec![ctx], merged);
+        g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![merged, w2], proj);
+        g.add_node(OpKind::AddBiasGelu, vec![proj, b2], ffn);
+        g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![ffn, w2], act);
+        g.add_node(OpKind::AddBiasResidualLayerNorm { eps: 1e-5 }, vec![act, b2, x, gamma, beta], y);
+        g
+    }
+
+    #[test]
+    fn decompose_expands_every_fused_kernel() {
+        let g = fused_reference();
+        let d = decompose(&g);
+        assert!(d.nodes.iter().all(|n| !n.kind.is_fused()), "no fused ops survive");
+        // 4 fused nodes expand: +1 (bias/split) +2 (scale/mask/softmax)
+        // +1 (bias/gelu) +2 (bias/residual/ln) = 6 extra nodes.
+        assert_eq!(d.nodes.len(), g.nodes.len() + 6);
+        d.topo_order(); // still a DAG
+    }
+
+    #[test]
+    fn fuse_recovers_the_reference() {
+        let g = fused_reference();
+        let mut round = fuse(&decompose(&g));
+        // Structural equivalence: same op-kind multiset in topo order and
+        // same node count (names of intermediates differ).
+        assert_eq!(round.nodes.len(), g.nodes.len());
+        let kinds = |g: &Graph| {
+            g.topo_order().into_iter().map(|i| format!("{:?}", g.nodes[i].kind)).collect::<Vec<_>>()
+        };
+        assert_eq!(kinds(&round), kinds(&g));
+        round.gc_tensors();
+        assert_eq!(round.stats().activations, g.stats().activations);
+    }
+
+    #[test]
+    fn fusion_reduces_launches_and_activation_bytes() {
+        let g = fused_reference();
+        let d = decompose(&g);
+        let f = fuse(&d);
+        assert!(f.stats().non_gemm_nodes < d.stats().non_gemm_nodes);
+        assert!(
+            f.stats().activation_bytes < d.stats().activation_bytes,
+            "fused graphs materialize fewer intermediates"
+        );
+    }
+
+    #[test]
+    fn scale_softmax_without_mask_fuses() {
+        let mut g = Graph::new();
+        let x = g.add_tensor("x", vec![4, 4], Input);
+        let s = g.add_tensor("s", vec![4, 4], Activation);
+        let y = g.add_tensor("y", vec![4, 4], Output);
+        g.add_node(OpKind::Scale { alpha: 0.25 }, vec![x], s);
+        g.add_node(OpKind::Softmax, vec![s], y);
+        let f = fuse(&g);
+        assert_eq!(f.nodes.len(), 1);
+        assert_eq!(f.nodes[0].kind, OpKind::ScaleMaskSoftmax { scale: 0.25 });
+        assert_eq!(f.nodes[0].inputs.len(), 1, "no mask input");
+    }
+
+    #[test]
+    fn multi_consumer_intermediates_block_fusion() {
+        // The bias output feeds both a Gelu and a Residual: fusing
+        // AddBias+Gelu would orphan the second consumer.
+        let mut g = Graph::new();
+        let x = g.add_tensor("x", vec![4], Input);
+        let b = g.add_tensor("b", vec![4], Weight);
+        let biased = g.add_tensor("biased", vec![4], Activation);
+        let gelu = g.add_tensor("gelu", vec![4], Activation);
+        let y = g.add_tensor("y", vec![4], Output);
+        g.add_node(OpKind::AddBias, vec![x, b], biased);
+        g.add_node(OpKind::Gelu, vec![biased], gelu);
+        g.add_node(OpKind::Residual, vec![gelu, biased], y);
+        let f = fuse(&g);
+        assert_eq!(f.nodes.len(), 3, "nothing must fuse");
+        assert!(f.nodes.iter().all(|n| !n.kind.is_fused()));
+    }
+
+    #[test]
+    fn residual_operand_order_is_handled() {
+        // AddBias output as *second* residual operand.
+        let mut g = Graph::new();
+        let x = g.add_tensor("x", vec![4], Input);
+        let skip = g.add_tensor("skip", vec![4], Input);
+        let b = g.add_tensor("b", vec![4], Weight);
+        let gamma = g.add_tensor("gamma", vec![4], Weight);
+        let beta = g.add_tensor("beta", vec![4], Weight);
+        let biased = g.add_tensor("biased", vec![4], Activation);
+        let summed = g.add_tensor("summed", vec![4], Activation);
+        let y = g.add_tensor("y", vec![4], Output);
+        g.add_node(OpKind::AddBias, vec![x, b], biased);
+        g.add_node(OpKind::Residual, vec![skip, biased], summed);
+        g.add_node(OpKind::LayerNorm { eps: 1e-5 }, vec![summed, gamma, beta], y);
+        let f = fuse(&g);
+        assert_eq!(f.nodes.len(), 1);
+        assert_eq!(f.nodes[0].inputs, vec![x, b, skip, gamma, beta]);
+    }
+
+    #[test]
+    fn decompose_handles_maskless_softmax() {
+        let mut g = Graph::new();
+        let x = g.add_tensor("x", vec![4, 4], Input);
+        let y = g.add_tensor("y", vec![4, 4], Output);
+        g.add_node(OpKind::ScaleMaskSoftmax { scale: 0.1 }, vec![x], y);
+        let d = decompose(&g);
+        assert_eq!(d.nodes.len(), 2, "scale + softmax, no mask node");
+        assert!(matches!(d.nodes[0].kind, OpKind::Scale { .. }));
+        assert!(matches!(d.nodes[1].kind, OpKind::Softmax));
+    }
+}

@@ -1,0 +1,400 @@
+//! # tt-graph — the computation graph of the inference runtime
+//!
+//! "Similar to many popular frameworks … our runtime represents the DNN
+//! forward propagation by constructing a *computation graph*, in which nodes
+//! are operators and edges are tensors" (paper §4.1.1). The graph serves
+//! three masters:
+//!
+//! 1. **Kernel fusion** ([`fusion`]) — the paper's Figure 3 rewrite: all
+//!    non-GEMM kernels between two GEMMs collapse into single fused kernels
+//!    (`AddBias+SplitHeads`, `Scale+Mask+Softmax`,
+//!    `AddBias+Residual+LayerNorm`, `AddBias+GELU`). The inverse
+//!    ([`fusion::decompose`]) produces the fine-grained graph a training
+//!    framework would run — the PyTorch-like baseline.
+//! 2. **Lifetime analysis** ([`lifetime`]) — each activation's
+//!    `{first_op, last_op, size}` record in topological execution order,
+//!    the input of `tt-alloc`'s planners.
+//! 3. **Execution & costing** — `tt-runtime` interprets the graph node by
+//!    node (numerics via `tt-kernels`, simulated GPU time via `tt-gpusim`).
+//!
+//! Operators are the concrete transformer ops of the paper's models, not a
+//! generic op set: that keeps every node executable and costable.
+
+pub mod dot;
+pub mod fusion;
+pub mod lifetime;
+
+/// Index of a tensor within a [`Graph`].
+pub type TensorId = usize;
+/// Index of a node within a [`Graph`].
+pub type NodeId = usize;
+
+/// What kind of storage a tensor lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TensorClass {
+    /// Provided by the caller per request (token ids, masks).
+    Input,
+    /// Model parameter, resident for the life of the model.
+    Weight,
+    /// Intermediate activation — planned into the chunked arena.
+    Activation,
+    /// Final result, copied out to the caller.
+    Output,
+}
+
+/// A tensor (edge) of the graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorInfo {
+    /// Human-readable name (`"layer3.attn.scores"`).
+    pub name: String,
+    /// Logical shape; element count is the product.
+    pub shape: Vec<usize>,
+    /// Storage class.
+    pub class: TensorClass,
+}
+
+impl TensorInfo {
+    /// Number of elements.
+    pub fn elements(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Size in bytes (f32 storage).
+    pub fn bytes(&self) -> usize {
+        self.elements() * 4
+    }
+}
+
+/// The operator vocabulary: every op of the paper's BERT / ALBERT / decoder
+/// graphs, in both fused and fine-grained form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// GEMM `C = alpha · A · op(B)`; batched when A has rank > 2. `B` is a
+    /// `[k, n]` weight, or with `trans_b` an activation `[.., n, k]`
+    /// (attention `Q·Kᵀ`).
+    MatMul {
+        /// Transpose the second operand.
+        trans_b: bool,
+        /// Scale folded into the product (attention `1/√d`).
+        alpha: f32,
+    },
+    /// Add a `[n]` bias over the last dimension.
+    AddBias,
+    /// GELU activation (tanh approximation, as in BERT).
+    Gelu,
+    /// Fused bias + GELU — the FFN inner kernel.
+    AddBiasGelu,
+    /// `[b, s, h·d] → [b, h, s, d]` head split (a strided transpose).
+    SplitHeads {
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// Fused bias + head split — "no such API to combine matrix addition
+    /// and transpose in a single CUDA kernel" (paper §4.1.1), so it is a
+    /// custom kernel.
+    AddBiasSplitHeads {
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// `[b, h, s, d] → [b, s, h·d]` inverse of the head split.
+    MergeHeads,
+    /// Multiply by a scalar.
+    Scale {
+        /// The factor.
+        alpha: f32,
+    },
+    /// Add a broadcast attention mask (`-inf` outside the valid length).
+    Mask,
+    /// Row softmax over the last dimension.
+    Softmax,
+    /// Fused scale + mask + softmax over attention scores; the mask input
+    /// is optional (absent for unpadded single requests).
+    ScaleMaskSoftmax {
+        /// Score scale (`1/√d`).
+        scale: f32,
+    },
+    /// Elementwise add of two equal-shape tensors (residual connection).
+    Residual,
+    /// Layer normalization over the last dimension, with `gamma`/`beta`.
+    LayerNorm {
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// Fused bias + residual + LayerNorm — the transformer block epilogue.
+    AddBiasResidualLayerNorm {
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// Gather rows of an embedding table by token id and sum with position
+    /// (and optionally segment) embeddings.
+    Embedding,
+}
+
+impl OpKind {
+    /// Whether this is a GEMM (the fusion boundaries of paper Fig. 3).
+    pub fn is_gemm(&self) -> bool {
+        matches!(self, OpKind::MatMul { .. })
+    }
+
+    /// Whether this op is one of the fused custom kernels.
+    pub fn is_fused(&self) -> bool {
+        matches!(
+            self,
+            OpKind::AddBiasGelu
+                | OpKind::AddBiasSplitHeads { .. }
+                | OpKind::ScaleMaskSoftmax { .. }
+                | OpKind::AddBiasResidualLayerNorm { .. }
+        )
+    }
+}
+
+/// A node (operator) of the graph: inputs, one output, a kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Operator kind and attributes.
+    pub kind: OpKind,
+    /// Input tensors, in kind-specific order.
+    pub inputs: Vec<TensorId>,
+    /// The single output tensor.
+    pub output: TensorId,
+}
+
+/// The computation graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    /// All tensors (edges).
+    pub tensors: Vec<TensorInfo>,
+    /// All nodes, in the order they were added (builders append in
+    /// executable order; [`Graph::topo_order`] re-derives it defensively).
+    pub nodes: Vec<Node>,
+}
+
+/// Summary statistics used by reports and the fusion tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Total node count.
+    pub nodes: usize,
+    /// GEMM node count.
+    pub gemm_nodes: usize,
+    /// Non-GEMM node count (each is one kernel launch at runtime).
+    pub non_gemm_nodes: usize,
+    /// Number of activation tensors.
+    pub activations: usize,
+    /// Total activation bytes (no reuse).
+    pub activation_bytes: usize,
+}
+
+impl Graph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Add a tensor; returns its id.
+    pub fn add_tensor(
+        &mut self,
+        name: impl Into<String>,
+        shape: impl Into<Vec<usize>>,
+        class: TensorClass,
+    ) -> TensorId {
+        self.tensors.push(TensorInfo { name: name.into(), shape: shape.into(), class });
+        self.tensors.len() - 1
+    }
+
+    /// Add a node; all tensor ids must exist. Returns the node id.
+    pub fn add_node(&mut self, kind: OpKind, inputs: Vec<TensorId>, output: TensorId) -> NodeId {
+        for &t in inputs.iter().chain(std::iter::once(&output)) {
+            assert!(t < self.tensors.len(), "node references unknown tensor {t}");
+        }
+        self.nodes.push(Node { kind, inputs, output });
+        self.nodes.len() - 1
+    }
+
+    /// Producer node of a tensor, if any.
+    pub fn producer(&self, t: TensorId) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.output == t)
+    }
+
+    /// All nodes reading a tensor.
+    pub fn consumers(&self, t: TensorId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.inputs.contains(&t))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Topological order of the nodes (Kahn's algorithm over tensor
+    /// dependencies). Panics if the graph has a cycle or an activation is
+    /// consumed but never produced — both are builder bugs.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let producer: Vec<Option<NodeId>> = (0..self.tensors.len())
+            .map(|t| self.producer(t))
+            .collect();
+        let mut indegree = vec![0usize; self.nodes.len()];
+        let mut dependents: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &t in &n.inputs {
+                match (self.tensors[t].class, producer[t]) {
+                    (TensorClass::Input | TensorClass::Weight, _) => {}
+                    (_, Some(p)) => {
+                        indegree[i] += 1;
+                        dependents[p].push(i);
+                    }
+                    (TensorClass::Activation | TensorClass::Output, None) => {
+                        panic!("tensor {} consumed but never produced", self.tensors[t].name)
+                    }
+                }
+            }
+        }
+        let mut queue: std::collections::VecDeque<NodeId> = (0..self.nodes.len())
+            .filter(|&i| indegree[i] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(i) = queue.pop_front() {
+            order.push(i);
+            for &d in &dependents[i] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    queue.push_back(d);
+                }
+            }
+        }
+        assert_eq!(order.len(), self.nodes.len(), "graph has a cycle");
+        order
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> GraphStats {
+        let gemm_nodes = self.nodes.iter().filter(|n| n.kind.is_gemm()).count();
+        let acts: Vec<&TensorInfo> = self
+            .tensors
+            .iter()
+            .filter(|t| t.class == TensorClass::Activation)
+            .collect();
+        GraphStats {
+            nodes: self.nodes.len(),
+            gemm_nodes,
+            non_gemm_nodes: self.nodes.len() - gemm_nodes,
+            activations: acts.len(),
+            activation_bytes: acts.iter().map(|t| t.bytes()).sum(),
+        }
+    }
+
+    /// Drop tensors referenced by no node, remapping ids. Used after graph
+    /// rewrites, which orphan the intermediates of fused patterns.
+    pub fn gc_tensors(&mut self) {
+        let mut used = vec![false; self.tensors.len()];
+        for n in &self.nodes {
+            for &t in &n.inputs {
+                used[t] = true;
+            }
+            used[n.output] = true;
+        }
+        let mut remap = vec![usize::MAX; self.tensors.len()];
+        let mut kept = Vec::new();
+        for (i, t) in self.tensors.iter().enumerate() {
+            if used[i] {
+                remap[i] = kept.len();
+                kept.push(t.clone());
+            }
+        }
+        self.tensors = kept;
+        for n in &mut self.nodes {
+            for t in &mut n.inputs {
+                *t = remap[*t];
+            }
+            n.output = remap[n.output];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.add_tensor("x", vec![2, 4], TensorClass::Input);
+        let w = g.add_tensor("w", vec![4, 4], TensorClass::Weight);
+        let b = g.add_tensor("b", vec![4], TensorClass::Weight);
+        let h = g.add_tensor("h", vec![2, 4], TensorClass::Activation);
+        let y = g.add_tensor("y", vec![2, 4], TensorClass::Output);
+        g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![x, w], h);
+        g.add_node(OpKind::AddBias, vec![h, b], y);
+        g
+    }
+
+    #[test]
+    fn builder_and_lookups() {
+        let g = tiny_graph();
+        assert_eq!(g.producer(3), Some(0));
+        assert_eq!(g.producer(0), None);
+        assert_eq!(g.consumers(3), vec![1]);
+        assert_eq!(g.tensors[3].bytes(), 2 * 4 * 4);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        // Add nodes in reverse and check the order is fixed up.
+        let mut g = Graph::new();
+        let x = g.add_tensor("x", vec![4], TensorClass::Input);
+        let a = g.add_tensor("a", vec![4], TensorClass::Activation);
+        let y = g.add_tensor("y", vec![4], TensorClass::Output);
+        let n_late = g.add_node(OpKind::Gelu, vec![a], y); // consumes a
+        let n_early = g.add_node(OpKind::Scale { alpha: 2.0 }, vec![x], a); // produces a
+        let order = g.topo_order();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(n_early) < pos(n_late));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycles_are_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_tensor("a", vec![4], TensorClass::Activation);
+        let b = g.add_tensor("b", vec![4], TensorClass::Activation);
+        g.add_node(OpKind::Gelu, vec![a], b);
+        g.add_node(OpKind::Gelu, vec![b], a);
+        g.topo_order();
+    }
+
+    #[test]
+    #[should_panic(expected = "never produced")]
+    fn dangling_activation_is_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_tensor("a", vec![4], TensorClass::Activation);
+        let y = g.add_tensor("y", vec![4], TensorClass::Output);
+        g.add_node(OpKind::Gelu, vec![a], y);
+        g.topo_order();
+    }
+
+    #[test]
+    fn stats_count_gemms() {
+        let g = tiny_graph();
+        let s = g.stats();
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.gemm_nodes, 1);
+        assert_eq!(s.non_gemm_nodes, 1);
+        assert_eq!(s.activations, 1);
+    }
+
+    #[test]
+    fn gc_drops_orphans_and_remaps() {
+        let mut g = tiny_graph();
+        g.add_tensor("orphan", vec![1000], TensorClass::Activation);
+        let before = g.tensors.len();
+        g.gc_tensors();
+        assert_eq!(g.tensors.len(), before - 1);
+        // Graph still valid.
+        g.topo_order();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tensor")]
+    fn add_node_validates_ids() {
+        let mut g = Graph::new();
+        g.add_node(OpKind::Gelu, vec![0], 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Activation lifetime analysis: the bridge from graph topology to the
+//! sequence-length-aware allocator.
+//!
+//! "It utilizes the computation graph to know the life cycle of each
+//! intermediate tensor in advance, and calculates the offset of each tensor
+//! within a specific chunk as soon as it recognizes the sequence length of
+//! the new arrival request" (paper §4.2). This module produces the
+//! `{first_op, last_op, size}` records of paper Algorithm 1 from a graph.
+
+use crate::{Graph, TensorClass, TensorId};
+use tt_alloc::TensorUsage;
+
+/// Extract allocation records for every **activation** tensor, with op
+/// indices in topological execution order.
+///
+/// `first_op` is the producing node's position; `last_op` is the position of
+/// the last consumer (or the producer itself for dead stores, which keeps
+/// dangling intermediates safe rather than silently unallocated).
+/// Inputs, weights and outputs are externally owned and excluded.
+///
+/// Returns the records and the execution order they are indexed against.
+pub fn activation_lifetimes(graph: &Graph) -> (Vec<TensorUsage>, Vec<usize>) {
+    let order = graph.topo_order();
+    let mut position = vec![0usize; order.len()];
+    for (pos, &node) in order.iter().enumerate() {
+        position[node] = pos;
+    }
+
+    let mut first: Vec<Option<usize>> = vec![None; graph.tensors.len()];
+    let mut last: Vec<Option<usize>> = vec![None; graph.tensors.len()];
+    for (node_id, node) in graph.nodes.iter().enumerate() {
+        let pos = position[node_id];
+        let f = &mut first[node.output];
+        *f = Some(f.map_or(pos, |p: usize| p.min(pos)));
+        for &t in &node.inputs {
+            let l = &mut last[t];
+            *l = Some(l.map_or(pos, |p: usize| p.max(pos)));
+        }
+    }
+
+    let usages = graph
+        .tensors
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.class == TensorClass::Activation)
+        .map(|(id, t)| {
+            let f = first[id].unwrap_or_else(|| panic!("activation {} has no producer", t.name));
+            let l = last[id].map_or(f, |l| l.max(f));
+            TensorUsage::new(id as TensorId, f, l, t.bytes())
+        })
+        .collect();
+    (usages, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OpKind, TensorClass};
+
+    /// x --matmul--> a --gelu--> b --matmul--> y, with a also feeding a
+    /// residual at the end: a must stay alive until the residual.
+    fn chain_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.add_tensor("x", vec![8, 8], TensorClass::Input);
+        let w = g.add_tensor("w", vec![8, 8], TensorClass::Weight);
+        let a = g.add_tensor("a", vec![8, 8], TensorClass::Activation);
+        let b = g.add_tensor("b", vec![8, 8], TensorClass::Activation);
+        let c = g.add_tensor("c", vec![8, 8], TensorClass::Activation);
+        let y = g.add_tensor("y", vec![8, 8], TensorClass::Output);
+        g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![x, w], a); // op 0
+        g.add_node(OpKind::Gelu, vec![a], b); // op 1
+        g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![b, w], c); // op 2
+        g.add_node(OpKind::Residual, vec![c, a], y); // op 3 — a read again here
+        g
+    }
+
+    #[test]
+    fn lifetimes_span_producer_to_last_consumer() {
+        let g = chain_graph();
+        let (usages, _) = activation_lifetimes(&g);
+        let by_id = |id: usize| usages.iter().find(|u| u.id == id).unwrap();
+        assert_eq!((by_id(2).first_op, by_id(2).last_op), (0, 3), "a lives to the residual");
+        assert_eq!((by_id(3).first_op, by_id(3).last_op), (1, 2), "b dies at the 2nd matmul");
+        assert_eq!((by_id(4).first_op, by_id(4).last_op), (2, 3));
+        assert_eq!(usages.len(), 3, "inputs/weights/outputs excluded");
+    }
+
+    #[test]
+    fn sizes_are_bytes() {
+        let g = chain_graph();
+        let (usages, _) = activation_lifetimes(&g);
+        assert!(usages.iter().all(|u| u.size == 8 * 8 * 4));
+    }
+
+    #[test]
+    fn dead_store_gets_point_lifetime() {
+        let mut g = chain_graph();
+        let d = g.add_tensor("dead", vec![4], TensorClass::Activation);
+        let x = 0; // input tensor
+        g.add_node(OpKind::Gelu, vec![x], d);
+        let (usages, _) = activation_lifetimes(&g);
+        let dead = usages.iter().find(|u| u.id == d).unwrap();
+        assert_eq!(dead.first_op, dead.last_op);
+    }
+
+    #[test]
+    fn plan_from_lifetimes_is_valid() {
+        let g = chain_graph();
+        let (usages, _) = activation_lifetimes(&g);
+        let mut alloc = tt_alloc::TurboAllocator::default();
+        let plan = alloc.plan(&usages);
+        tt_alloc::validate_plan(&usages, &plan).unwrap();
+    }
+}

@@ -1,0 +1,133 @@
+//! Elementwise kernels: bias add, GELU, residual add, and their fused
+//! combinations.
+
+use rayon::prelude::*;
+
+use crate::PAR_THRESHOLD;
+
+/// BERT's GELU (tanh approximation):
+/// `0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`.
+#[inline]
+pub fn gelu_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    const COEFF: f32 = 0.044_715;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + COEFF * x * x * x)).tanh())
+}
+
+/// In-place GELU over a buffer.
+pub fn gelu(data: &mut [f32]) {
+    if data.len() >= PAR_THRESHOLD {
+        data.par_iter_mut().for_each(|v| *v = gelu_scalar(*v));
+    } else {
+        for v in data.iter_mut() {
+            *v = gelu_scalar(*v);
+        }
+    }
+}
+
+/// Add a `[cols]` bias to each row of `[rows, cols]`, in place.
+pub fn add_bias(rows: usize, cols: usize, data: &mut [f32], bias: &[f32]) {
+    assert_eq!(data.len(), rows * cols, "add_bias data size");
+    assert_eq!(bias.len(), cols, "add_bias bias size");
+    let body = |row: &mut [f32]| {
+        for (v, &b) in row.iter_mut().zip(bias.iter()) {
+            *v += b;
+        }
+    };
+    if data.len() >= PAR_THRESHOLD {
+        data.par_chunks_mut(cols).for_each(body);
+    } else {
+        data.chunks_mut(cols).for_each(body);
+    }
+}
+
+/// Fused bias + GELU (the FFN inner kernel), in place.
+pub fn add_bias_gelu(rows: usize, cols: usize, data: &mut [f32], bias: &[f32]) {
+    assert_eq!(data.len(), rows * cols, "add_bias_gelu data size");
+    assert_eq!(bias.len(), cols, "add_bias_gelu bias size");
+    let body = |row: &mut [f32]| {
+        for (v, &b) in row.iter_mut().zip(bias.iter()) {
+            *v = gelu_scalar(*v + b);
+        }
+    };
+    if data.len() >= PAR_THRESHOLD {
+        data.par_chunks_mut(cols).for_each(body);
+    } else {
+        data.chunks_mut(cols).for_each(body);
+    }
+}
+
+/// `dst += src` (residual connection), in place.
+pub fn residual_add(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "residual size mismatch");
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, &s)| *d += s);
+    } else {
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d += s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gelu_known_points() {
+        assert_eq!(gelu_scalar(0.0), 0.0);
+        assert!((gelu_scalar(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu_scalar(-1.0) + 0.1588).abs() < 1e-3);
+        // Asymptotics: large positive ≈ identity, large negative ≈ 0.
+        assert!((gelu_scalar(10.0) - 10.0).abs() < 1e-4);
+        assert!(gelu_scalar(-10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn add_bias_broadcasts_over_rows() {
+        let mut data = vec![0.0f32; 6];
+        add_bias(2, 3, &mut data, &[1.0, 2.0, 3.0]);
+        assert_eq!(data, vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn fused_bias_gelu_matches_sequence() {
+        let rows = 3;
+        let cols = 5;
+        let src: Vec<f32> = (0..15).map(|i| i as f32 * 0.3 - 2.0).collect();
+        let bias: Vec<f32> = (0..5).map(|i| i as f32 * 0.1).collect();
+        let mut fused = src.clone();
+        add_bias_gelu(rows, cols, &mut fused, &bias);
+        let mut seq = src.clone();
+        add_bias(rows, cols, &mut seq, &bias);
+        gelu(&mut seq);
+        for (f, s) in fused.iter().zip(seq.iter()) {
+            assert!((f - s).abs() < 1e-6, "fusion must not change numerics");
+        }
+    }
+
+    #[test]
+    fn residual_adds_elementwise() {
+        let mut d = vec![1.0f32, 2.0, 3.0];
+        residual_add(&mut d, &[10.0, 20.0, 30.0]);
+        assert_eq!(d, vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn parallel_paths_match_serial() {
+        let n = PAR_THRESHOLD + 100; // force the rayon branch
+        let src: Vec<f32> = (0..n).map(|i| ((i * 7) % 41) as f32 * 0.1 - 2.0).collect();
+        let mut par = src.clone();
+        gelu(&mut par);
+        for (i, (&p, &s)) in par.iter().zip(src.iter()).enumerate() {
+            assert!((p - gelu_scalar(s)).abs() < 1e-7, "mismatch at {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "residual size mismatch")]
+    fn residual_rejects_mismatched_lengths() {
+        let mut d = vec![0.0f32; 3];
+        residual_add(&mut d, &[0.0; 4]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Embedding lookup: token + position (+ optional segment) table gather.
+
+/// Gather embeddings for a `[batch, seq]` grid of token ids:
+/// `out[b][s] = word[idx[b][s]] + pos[s] (+ seg[seg_ids[b][s]])`.
+///
+/// Ids are `u32`; out-of-range ids panic (a tokenizer bug upstream, not a
+/// data condition).
+#[allow(clippy::too_many_arguments)]
+pub fn embed(
+    batch: usize,
+    seq: usize,
+    hidden: usize,
+    ids: &[u32],
+    word_table: &[f32],
+    pos_table: &[f32],
+    segment: Option<(&[u32], &[f32])>,
+    out: &mut [f32],
+) {
+    assert_eq!(ids.len(), batch * seq, "ids are [batch, seq]");
+    assert_eq!(out.len(), batch * seq * hidden, "embedding output size");
+    assert!(pos_table.len() >= seq * hidden, "position table too short for seq {seq}");
+    if let Some((seg_ids, _)) = segment {
+        assert_eq!(seg_ids.len(), batch * seq, "segment ids are [batch, seq]");
+    }
+
+    let vocab = word_table.len().checked_div(hidden).unwrap_or(0);
+    for b in 0..batch {
+        for s in 0..seq {
+            let tok = ids[b * seq + s] as usize;
+            assert!(tok < vocab, "token id {tok} out of range for vocabulary of {vocab}");
+            let w = &word_table[tok * hidden..(tok + 1) * hidden];
+            let p = &pos_table[s * hidden..(s + 1) * hidden];
+            let dst = &mut out[(b * seq + s) * hidden..(b * seq + s + 1) * hidden];
+            match segment {
+                Some((seg_ids, seg_table)) => {
+                    let g = seg_ids[b * seq + s] as usize;
+                    let sg = &seg_table[g * hidden..(g + 1) * hidden];
+                    for i in 0..hidden {
+                        dst[i] = w[i] + p[i] + sg[i];
+                    }
+                }
+                None => {
+                    for i in 0..hidden {
+                        dst[i] = w[i] + p[i];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: usize, hidden: usize, base: f32) -> Vec<f32> {
+        (0..rows * hidden).map(|i| base + i as f32).collect()
+    }
+
+    #[test]
+    fn gathers_word_plus_position() {
+        let hidden = 2;
+        let word = table(4, hidden, 0.0); // word[i] = [2i, 2i+1]
+        let pos = table(3, hidden, 100.0);
+        let ids = vec![2u32, 0, 3]; // batch 1, seq 3
+        let mut out = vec![0.0; 3 * hidden];
+        embed(1, 3, hidden, &ids, &word, &pos, None, &mut out);
+        assert_eq!(out, vec![
+            4.0 + 100.0, 5.0 + 101.0, // word 2 + pos 0
+            0.0 + 102.0, 1.0 + 103.0, // word 0 + pos 1
+            6.0 + 104.0, 7.0 + 105.0, // word 3 + pos 2
+        ]);
+    }
+
+    #[test]
+    fn segment_embeddings_are_added() {
+        let hidden = 1;
+        let word = vec![10.0];
+        let pos = vec![1.0];
+        let seg_table = vec![0.5, 7.0];
+        let ids = vec![0u32];
+        let seg_ids = vec![1u32];
+        let mut out = vec![0.0];
+        embed(1, 1, hidden, &ids, &word, &pos, Some((&seg_ids, &seg_table)), &mut out);
+        assert_eq!(out, vec![10.0 + 1.0 + 7.0]);
+    }
+
+    #[test]
+    fn batched_lookup_uses_per_batch_rows() {
+        let hidden = 1;
+        let word = vec![0.0, 1.0, 2.0, 3.0];
+        let pos = vec![100.0, 200.0];
+        let ids = vec![1u32, 2, 3, 0]; // batch 2, seq 2
+        let mut out = vec![0.0; 4];
+        embed(2, 2, hidden, &ids, &word, &pos, None, &mut out);
+        assert_eq!(out, vec![101.0, 202.0, 103.0, 200.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "position table too short")]
+    fn rejects_sequences_beyond_position_table() {
+        let mut out = vec![0.0; 4];
+        embed(1, 4, 1, &[0, 0, 0, 0], &[0.0], &[0.0; 2], None, &mut out);
+    }
+}

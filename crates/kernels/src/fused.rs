@@ -1,0 +1,140 @@
+//! The remaining fused kernels of paper Figure 3 that combine ops across
+//! layout changes: bias+head-split and bias+residual+LayerNorm.
+
+use rayon::prelude::*;
+
+use crate::layernorm::layer_norm;
+use crate::PAR_THRESHOLD;
+
+/// Fused `AddBias + SplitHeads`: `dst[b,h,s,d] = src[b,s,h·d] + bias[h·d]`.
+///
+/// The paper calls this out explicitly: "there is no such API to combine
+/// matrix addition and transpose operation in a single CUDA kernel", hence
+/// the custom kernel.
+pub fn add_bias_split_heads(
+    batch: usize,
+    seq: usize,
+    heads: usize,
+    dim: usize,
+    src: &[f32],
+    bias: &[f32],
+    dst: &mut [f32],
+) {
+    let n = batch * seq * heads * dim;
+    assert_eq!(src.len(), n, "add_bias_split_heads src size");
+    assert_eq!(dst.len(), n, "add_bias_split_heads dst size");
+    assert_eq!(bias.len(), heads * dim, "bias is [heads·dim]");
+    let body = |(out_row, dst_row): (usize, &mut [f32])| {
+        let b = out_row / (heads * seq);
+        let h = (out_row / seq) % heads;
+        let s = out_row % seq;
+        let src_off = ((b * seq + s) * heads + h) * dim;
+        let bias_off = h * dim;
+        for (i, d) in dst_row.iter_mut().enumerate() {
+            *d = src[src_off + i] + bias[bias_off + i];
+        }
+    };
+    if n >= PAR_THRESHOLD {
+        dst.par_chunks_mut(dim).enumerate().for_each(body);
+    } else {
+        dst.chunks_mut(dim).enumerate().for_each(body);
+    }
+}
+
+/// Fused `AddBias + Residual + LayerNorm` — the transformer block epilogue:
+/// `out = LayerNorm(x + bias + residual) · γ + β` over `[rows, hidden]`.
+#[allow(clippy::too_many_arguments)]
+pub fn add_bias_residual_layer_norm(
+    rows: usize,
+    hidden: usize,
+    x: &[f32],
+    bias: &[f32],
+    residual: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    out: &mut [f32],
+) {
+    assert_eq!(x.len(), rows * hidden, "input size");
+    assert_eq!(residual.len(), rows * hidden, "residual size");
+    assert_eq!(bias.len(), hidden, "bias size");
+    assert_eq!(out.len(), rows * hidden, "output size");
+    // Sum into the output buffer, then normalize it in place via the
+    // one-pass LayerNorm (same Var(x)=E(x²)−E²(x) math as the GPU kernel).
+    let sum_body = |((orow, xrow), rrow): ((&mut [f32], &[f32]), &[f32])| {
+        for ((o, &xv), (&rv, &bv)) in orow.iter_mut().zip(xrow).zip(rrow.iter().zip(bias)) {
+            *o = xv + rv + bv;
+        }
+    };
+    if x.len() >= PAR_THRESHOLD {
+        out.par_chunks_mut(hidden)
+            .zip(x.par_chunks(hidden))
+            .zip(residual.par_chunks(hidden))
+            .for_each(sum_body);
+    } else {
+        out.chunks_mut(hidden)
+            .zip(x.chunks(hidden))
+            .zip(residual.chunks(hidden))
+            .for_each(sum_body);
+    }
+    let summed = out.to_vec();
+    layer_norm(rows, hidden, &summed, gamma, beta, eps, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{add_bias, layer_norm as ln, residual_add, split_heads};
+
+    #[test]
+    fn fused_bias_split_matches_sequence() {
+        let (b, s, h, d) = (2, 3, 2, 4);
+        let src: Vec<f32> = (0..b * s * h * d).map(|i| i as f32 * 0.5).collect();
+        let bias: Vec<f32> = (0..h * d).map(|i| i as f32).collect();
+
+        let mut fused = vec![0.0; src.len()];
+        add_bias_split_heads(b, s, h, d, &src, &bias, &mut fused);
+
+        let mut biased = src.clone();
+        add_bias(b * s, h * d, &mut biased, &bias);
+        let mut seq = vec![0.0; src.len()];
+        split_heads(b, s, h, d, &biased, &mut seq);
+        assert_eq!(fused, seq);
+    }
+
+    #[test]
+    fn fused_epilogue_matches_sequence() {
+        let (rows, hidden) = (4, 8);
+        let x: Vec<f32> = (0..rows * hidden).map(|i| ((i * 7) % 13) as f32 * 0.3).collect();
+        let res: Vec<f32> = (0..rows * hidden).map(|i| ((i * 5) % 11) as f32 * -0.2).collect();
+        let bias: Vec<f32> = (0..hidden).map(|i| i as f32 * 0.1).collect();
+        let gamma = vec![1.5f32; hidden];
+        let beta = vec![0.25f32; hidden];
+
+        let mut fused = vec![0.0; rows * hidden];
+        add_bias_residual_layer_norm(rows, hidden, &x, &bias, &res, &gamma, &beta, 1e-6, &mut fused);
+
+        let mut summed = x.clone();
+        add_bias(rows, hidden, &mut summed, &bias);
+        residual_add(&mut summed, &res);
+        let mut want = vec![0.0; rows * hidden];
+        ln(rows, hidden, &summed, &gamma, &beta, 1e-6, &mut want);
+        for (f, w) in fused.iter().zip(want.iter()) {
+            assert!((f - w).abs() < 1e-5, "{f} vs {w}");
+        }
+    }
+
+    #[test]
+    fn large_parallel_path_is_consistent() {
+        let (b, s, h, d) = (4, 32, 8, 16); // > PAR_THRESHOLD
+        let src: Vec<f32> = (0..b * s * h * d).map(|i| ((i * 3) % 101) as f32).collect();
+        let bias = vec![1.0f32; h * d];
+        let mut out = vec![0.0; src.len()];
+        add_bias_split_heads(b, s, h, d, &src, &bias, &mut out);
+        // Spot-check against index arithmetic.
+        let (bi, hi, si, di) = (3, 5, 17, 9);
+        let got = out[(((bi * h) + hi) * s + si) * d + di];
+        let want = src[((bi * s + si) * h + hi) * d + di] + 1.0;
+        assert_eq!(got, want);
+    }
+}

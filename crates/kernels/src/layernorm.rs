@@ -1,0 +1,171 @@
+//! LayerNorm kernels, in both variance formulations of paper Equation 1.
+//!
+//! The production kernel [`layer_norm`] uses the paper's one-pass trick
+//! `Var(x) = E(x²) − E²(x)` — `Σx` and `Σx²` accumulate in the same sweep,
+//! which on the GPU halves reductions and synchronizations (and is what
+//! `tt-gpusim`'s `LayerNormAlgo::TurboOnePass` prices). The reference
+//! [`layer_norm_two_pass`] computes `E(x − E(x))²` like FasterTransformer;
+//! the tests pin the two to agree within f32 tolerance, which is the
+//! numerical-safety claim behind the optimization.
+
+use rayon::prelude::*;
+
+use crate::PAR_THRESHOLD;
+
+/// One-pass LayerNorm over the last dimension of `[rows, hidden]`:
+/// `out = (x − μ) / √(σ² + eps) · γ + β`.
+pub fn layer_norm(
+    rows: usize,
+    hidden: usize,
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    out: &mut [f32],
+) {
+    assert_eq!(x.len(), rows * hidden, "layernorm input size");
+    assert_eq!(out.len(), rows * hidden, "layernorm output size");
+    assert_eq!(gamma.len(), hidden, "gamma size");
+    assert_eq!(beta.len(), hidden, "beta size");
+    if hidden == 0 {
+        return;
+    }
+    let inv_n = 1.0 / hidden as f32;
+    let body = |(row, orow): (&[f32], &mut [f32])| {
+        let mut sum = 0.0f32;
+        let mut sum_sq = 0.0f32;
+        for &v in row {
+            sum += v;
+            sum_sq += v * v;
+        }
+        let mean = sum * inv_n;
+        // E(x²) − E²(x); clamp at zero — catastrophic cancellation can
+        // produce a tiny negative for near-constant rows.
+        let var = (sum_sq * inv_n - mean * mean).max(0.0);
+        let rstd = 1.0 / (var + eps).sqrt();
+        for ((o, &v), (&g, &b)) in orow.iter_mut().zip(row).zip(gamma.iter().zip(beta)) {
+            *o = (v - mean) * rstd * g + b;
+        }
+    };
+    if x.len() >= PAR_THRESHOLD {
+        x.par_chunks(hidden).zip(out.par_chunks_mut(hidden)).for_each(body);
+    } else {
+        x.chunks(hidden).zip(out.chunks_mut(hidden)).for_each(body);
+    }
+}
+
+/// Two-pass reference LayerNorm computing `E(x − E(x))²` — the
+/// FasterTransformer formulation the paper improves on. Serial; used as a
+/// numerical oracle and by the ablation bench.
+pub fn layer_norm_two_pass(
+    rows: usize,
+    hidden: usize,
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    out: &mut [f32],
+) {
+    assert_eq!(x.len(), rows * hidden);
+    assert_eq!(out.len(), rows * hidden);
+    if hidden == 0 {
+        return;
+    }
+    let inv_n = 1.0 / hidden as f32;
+    for (row, orow) in x.chunks(hidden).zip(out.chunks_mut(hidden)) {
+        let mean = row.iter().sum::<f32>() * inv_n;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() * inv_n;
+        let rstd = 1.0 / (var + eps).sqrt();
+        for ((o, &v), (&g, &b)) in orow.iter_mut().zip(row).zip(gamma.iter().zip(beta)) {
+            *o = (v - mean) * rstd * g + b;
+        }
+    }
+    let _ = rows;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gamma_beta(hidden: usize) -> (Vec<f32>, Vec<f32>) {
+        let gamma: Vec<f32> = (0..hidden).map(|i| 1.0 + 0.01 * i as f32).collect();
+        let beta: Vec<f32> = (0..hidden).map(|i| -0.5 + 0.02 * i as f32).collect();
+        (gamma, beta)
+    }
+
+    #[test]
+    fn normalized_rows_have_zero_mean_unit_var() {
+        let hidden = 64;
+        let x: Vec<f32> = (0..hidden).map(|i| (i as f32) * 0.3 - 7.0).collect();
+        let gamma = vec![1.0; hidden];
+        let beta = vec![0.0; hidden];
+        let mut out = vec![0.0; hidden];
+        layer_norm(1, hidden, &x, &gamma, &beta, 1e-6, &mut out);
+        let mean: f32 = out.iter().sum::<f32>() / hidden as f32;
+        let var: f32 = out.iter().map(|v| v * v).sum::<f32>() / hidden as f32;
+        assert!(mean.abs() < 1e-5, "mean {mean}");
+        assert!((var - 1.0).abs() < 1e-3, "var {var}");
+    }
+
+    #[test]
+    fn one_pass_matches_two_pass() {
+        let (rows, hidden) = (7, 96);
+        let x: Vec<f32> = (0..rows * hidden).map(|i| ((i * 37) % 23) as f32 * 0.7 - 8.0).collect();
+        let (gamma, beta) = gamma_beta(hidden);
+        let mut a = vec![0.0; rows * hidden];
+        let mut b = vec![0.0; rows * hidden];
+        layer_norm(rows, hidden, &x, &gamma, &beta, 1e-5, &mut a);
+        layer_norm_two_pass(rows, hidden, &x, &gamma, &beta, 1e-5, &mut b);
+        for (p, q) in a.iter().zip(b.iter()) {
+            assert!((p - q).abs() < 1e-4, "variance formulas must agree: {p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn constant_row_is_all_beta() {
+        let hidden = 8;
+        let x = vec![3.0f32; hidden];
+        let (gamma, beta) = gamma_beta(hidden);
+        let mut out = vec![0.0; hidden];
+        layer_norm(1, hidden, &x, &gamma, &beta, 1e-5, &mut out);
+        // var = 0 (clamped) → normalized value 0 → out = beta.
+        for (o, b) in out.iter().zip(beta.iter()) {
+            assert!((o - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_are_applied() {
+        let hidden = 4;
+        let x = vec![1.0f32, 2.0, 3.0, 4.0];
+        let gamma = vec![2.0f32; hidden];
+        let beta = vec![10.0f32; hidden];
+        let mut scaled = vec![0.0; hidden];
+        layer_norm(1, hidden, &x, &gamma, &beta, 1e-6, &mut scaled);
+        let mut plain = vec![0.0; hidden];
+        layer_norm(1, hidden, &x, &vec![1.0; hidden], &vec![0.0; hidden], 1e-6, &mut plain);
+        for (s, p) in scaled.iter().zip(plain.iter()) {
+            assert!((s - (p * 2.0 + 10.0)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        let (rows, hidden) = (300, 128); // exceeds PAR_THRESHOLD
+        let x: Vec<f32> = (0..rows * hidden).map(|i| ((i * 11) % 31) as f32 * 0.2).collect();
+        let (gamma, beta) = gamma_beta(hidden);
+        let mut par = vec![0.0; rows * hidden];
+        let mut ser = vec![0.0; rows * hidden];
+        layer_norm(rows, hidden, &x, &gamma, &beta, 1e-5, &mut par);
+        layer_norm_two_pass(rows, hidden, &x, &gamma, &beta, 1e-5, &mut ser);
+        for (p, q) in par.iter().zip(ser.iter()) {
+            assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_hidden_is_noop() {
+        let mut out: Vec<f32> = vec![];
+        layer_norm(3, 0, &[], &[], &[], 1e-5, &mut out);
+    }
+}

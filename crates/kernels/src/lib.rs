@@ -1,0 +1,32 @@
+//! # tt-kernels — CPU implementations of the transformer operators
+//!
+//! Every non-GEMM operator of the paper's runtime, in both *fused* form (the
+//! custom kernels of paper Figure 3) and *unfused* form (the fine-grained
+//! ops the PyTorch-like baseline launches one by one). These are the real
+//! numerics of the reproduction — the GPU timing of the same kernels is
+//! modelled separately by `tt-gpusim`, whose algorithmic structure
+//! (two-pass reductions, `Var(x) = E(x²) − E²(x)`) these implementations
+//! mirror so the functional and timing models describe the same code.
+//!
+//! Layout conventions (row-major throughout):
+//! - token-major activations: `[batch, seq, hidden]`
+//! - head-split activations: `[batch, heads, seq, head_dim]`
+//! - attention scores/probabilities: `[batch, heads, seq_q, seq_k]`
+
+pub mod activation;
+pub mod embedding;
+pub mod fused;
+pub mod layernorm;
+pub mod softmax;
+pub mod transpose;
+
+pub use activation::{add_bias, add_bias_gelu, gelu, gelu_scalar, residual_add};
+pub use embedding::embed;
+pub use fused::{add_bias_residual_layer_norm, add_bias_split_heads};
+pub use layernorm::{layer_norm, layer_norm_two_pass};
+pub use softmax::{scale_mask_softmax, softmax_rows};
+pub use transpose::{merge_heads, split_heads};
+
+/// Parallelism threshold: below this many total elements, rayon dispatch
+/// costs more than it saves and kernels run serially.
+pub(crate) const PAR_THRESHOLD: usize = 1 << 14;

@@ -1,0 +1,115 @@
+//! Head split/merge transposes.
+//!
+//! Multi-head attention reshapes `[batch, seq, heads·dim]` activations into
+//! `[batch, heads, seq, dim]` so that per-head GEMMs see contiguous
+//! matrices, and back afterwards. On the GPU these are the transpose
+//! kernels the paper fuses with the preceding bias add; here they are the
+//! layout primitives of the executor.
+
+use rayon::prelude::*;
+
+use crate::PAR_THRESHOLD;
+
+/// `[batch, seq, heads·dim] → [batch, heads, seq, dim]`.
+pub fn split_heads(
+    batch: usize,
+    seq: usize,
+    heads: usize,
+    dim: usize,
+    src: &[f32],
+    dst: &mut [f32],
+) {
+    let n = batch * seq * heads * dim;
+    assert_eq!(src.len(), n, "split_heads src size");
+    assert_eq!(dst.len(), n, "split_heads dst size");
+    let body = |(out_row, dst_row): (usize, &mut [f32])| {
+        // dst_row is one [dim] vector at [b][h][s].
+        let b = out_row / (heads * seq);
+        let h = (out_row / seq) % heads;
+        let s = out_row % seq;
+        let src_off = ((b * seq + s) * heads + h) * dim;
+        dst_row.copy_from_slice(&src[src_off..src_off + dim]);
+    };
+    if n >= PAR_THRESHOLD {
+        dst.par_chunks_mut(dim).enumerate().for_each(body);
+    } else {
+        dst.chunks_mut(dim).enumerate().for_each(body);
+    }
+}
+
+/// `[batch, heads, seq, dim] → [batch, seq, heads·dim]` — inverse of
+/// [`split_heads`].
+pub fn merge_heads(
+    batch: usize,
+    seq: usize,
+    heads: usize,
+    dim: usize,
+    src: &[f32],
+    dst: &mut [f32],
+) {
+    let n = batch * seq * heads * dim;
+    assert_eq!(src.len(), n, "merge_heads src size");
+    assert_eq!(dst.len(), n, "merge_heads dst size");
+    let body = |(out_row, dst_row): (usize, &mut [f32])| {
+        // dst_row is one [dim] vector at [b][s][h].
+        let b = out_row / (seq * heads);
+        let s = (out_row / heads) % seq;
+        let h = out_row % heads;
+        let src_off = ((b * heads + h) * seq + s) * dim;
+        dst_row.copy_from_slice(&src[src_off..src_off + dim]);
+    };
+    if n >= PAR_THRESHOLD {
+        dst.par_chunks_mut(dim).enumerate().for_each(body);
+    } else {
+        dst.chunks_mut(dim).enumerate().for_each(body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_places_head_slices() {
+        // batch 1, seq 2, heads 2, dim 2:
+        // src[s][h][d] = s*100 + h*10 + d.
+        let src = vec![
+            0.0, 1.0, 10.0, 11.0, // s=0: h0=[0,1], h1=[10,11]
+            100.0, 101.0, 110.0, 111.0, // s=1
+        ];
+        let mut dst = vec![0.0; 8];
+        split_heads(1, 2, 2, 2, &src, &mut dst);
+        // dst[h][s][d]
+        assert_eq!(dst, vec![0.0, 1.0, 100.0, 101.0, 10.0, 11.0, 110.0, 111.0]);
+    }
+
+    #[test]
+    fn merge_is_inverse_of_split() {
+        let (b, s, h, d) = (2, 3, 4, 5);
+        let src: Vec<f32> = (0..b * s * h * d).map(|i| i as f32).collect();
+        let mut mid = vec![0.0; src.len()];
+        let mut back = vec![0.0; src.len()];
+        split_heads(b, s, h, d, &src, &mut mid);
+        merge_heads(b, s, h, d, &mid, &mut back);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn split_merge_round_trip_large_parallel() {
+        let (b, s, h, d) = (4, 40, 12, 64); // > PAR_THRESHOLD elements
+        let src: Vec<f32> = (0..b * s * h * d).map(|i| ((i * 7) % 1001) as f32).collect();
+        let mut mid = vec![0.0; src.len()];
+        let mut back = vec![0.0; src.len()];
+        split_heads(b, s, h, d, &src, &mut mid);
+        merge_heads(b, s, h, d, &mid, &mut back);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn single_head_split_is_identity() {
+        let src: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        let mut dst = vec![0.0; 24];
+        split_heads(2, 3, 1, 4, &src, &mut dst);
+        assert_eq!(dst, src);
+    }
+}

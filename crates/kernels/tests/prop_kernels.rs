@@ -1,0 +1,159 @@
+//! Property-based tests of the CPU kernels: mathematical invariants that
+//! must hold for arbitrary inputs, not just the unit-test vectors.
+
+use proptest::prelude::*;
+use tt_kernels as k;
+
+fn finite_rows(rows: usize, cols: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-50.0f32..50.0, rows * cols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Softmax rows are probability distributions.
+    #[test]
+    fn softmax_rows_are_distributions(data in finite_rows(6, 17)) {
+        let mut buf = data.clone();
+        k::softmax_rows(6, 17, &mut buf);
+        for row in buf.chunks(17) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row sums to {sum}");
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    /// Softmax preserves the ordering of the inputs within a row.
+    #[test]
+    fn softmax_is_monotone(data in finite_rows(1, 24)) {
+        let mut buf = data.clone();
+        k::softmax_rows(1, 24, &mut buf);
+        for i in 0..24 {
+            for j in 0..24 {
+                if data[i] < data[j] {
+                    prop_assert!(buf[i] <= buf[j] + 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Softmax is invariant under per-row shifts.
+    #[test]
+    fn softmax_shift_invariance(data in finite_rows(1, 16), shift in -100.0f32..100.0) {
+        let mut a = data.clone();
+        let mut b: Vec<f32> = data.iter().map(|v| v + shift).collect();
+        k::softmax_rows(1, 16, &mut a);
+        k::softmax_rows(1, 16, &mut b);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// The one-pass Var(x)=E(x²)−E²(x) LayerNorm agrees with the two-pass
+    /// reference for arbitrary inputs in a sane range.
+    #[test]
+    fn layernorm_formulas_agree(data in finite_rows(4, 33)) {
+        let gamma = vec![1.3f32; 33];
+        let beta = vec![-0.2f32; 33];
+        let mut one = vec![0.0; data.len()];
+        let mut two = vec![0.0; data.len()];
+        k::layer_norm(4, 33, &data, &gamma, &beta, 1e-5, &mut one);
+        k::layer_norm_two_pass(4, 33, &data, &gamma, &beta, 1e-5, &mut two);
+        for (a, b) in one.iter().zip(two.iter()) {
+            prop_assert!((a - b).abs() < 2e-3, "{a} vs {b}");
+        }
+    }
+
+    /// LayerNorm output (γ=1, β=0) has zero mean and unit variance.
+    #[test]
+    fn layernorm_normalizes(data in finite_rows(3, 40)) {
+        // Skip degenerate near-constant rows where var ≈ eps dominates.
+        let gamma = vec![1.0f32; 40];
+        let beta = vec![0.0f32; 40];
+        let mut out = vec![0.0; data.len()];
+        k::layer_norm(3, 40, &data, &gamma, &beta, 1e-6, &mut out);
+        for (orow, irow) in out.chunks(40).zip(data.chunks(40)) {
+            let in_var: f32 = {
+                let m: f32 = irow.iter().sum::<f32>() / 40.0;
+                irow.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / 40.0
+            };
+            if in_var < 1e-3 {
+                continue;
+            }
+            let mean: f32 = orow.iter().sum::<f32>() / 40.0;
+            let var: f32 = orow.iter().map(|v| v * v).sum::<f32>() / 40.0;
+            prop_assert!(mean.abs() < 1e-3, "mean {mean}");
+            prop_assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    /// Head split followed by merge is the identity for any geometry.
+    #[test]
+    fn split_merge_roundtrip(
+        b in 1usize..4,
+        s in 1usize..9,
+        h in 1usize..5,
+        d in 1usize..7,
+    ) {
+        let n = b * s * h * d;
+        let src: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let mut mid = vec![0.0; n];
+        let mut back = vec![0.0; n];
+        k::split_heads(b, s, h, d, &src, &mut mid);
+        k::merge_heads(b, s, h, d, &mid, &mut back);
+        prop_assert_eq!(back, src);
+    }
+
+    /// Fused bias+split equals the unfused sequence for any geometry.
+    #[test]
+    fn fused_bias_split_equivalence(
+        b in 1usize..3,
+        s in 1usize..7,
+        h in 1usize..4,
+        d in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let n = b * s * h * d;
+        let src: Vec<f32> = (0..n).map(|i| ((i as u64 * 31 + seed) % 97) as f32 * 0.1).collect();
+        let bias: Vec<f32> = (0..h * d).map(|i| i as f32 * 0.01).collect();
+        let mut fused = vec![0.0; n];
+        k::add_bias_split_heads(b, s, h, d, &src, &bias, &mut fused);
+        let mut biased = src.clone();
+        k::add_bias(b * s, h * d, &mut biased, &bias);
+        let mut seq = vec![0.0; n];
+        k::split_heads(b, s, h, d, &biased, &mut seq);
+        prop_assert_eq!(fused, seq);
+    }
+
+    /// GELU shape: bounded between `min(x, 0)` and `max(x, 0)` everywhere,
+    /// and monotone on `x ≥ 0` (the true GELU is *not* globally monotone —
+    /// it dips to ≈ −0.17 near x ≈ −0.75 and returns to 0 from below).
+    #[test]
+    fn gelu_shape_properties(x in -20.0f32..20.0, y in 0.0f32..20.0, z in 0.0f32..20.0) {
+        prop_assert!(k::gelu_scalar(x) <= x.max(0.0) + 1e-5);
+        prop_assert!(k::gelu_scalar(x) >= x.min(0.0) - 1e-5);
+        let (lo, hi) = if y < z { (y, z) } else { (z, y) };
+        prop_assert!(k::gelu_scalar(lo) <= k::gelu_scalar(hi) + 1e-5);
+    }
+
+    /// scale_mask_softmax gives padded key positions exactly zero weight.
+    #[test]
+    fn masked_keys_get_zero_probability(
+        data in finite_rows(1, 12),
+        pad_from in 1usize..12,
+    ) {
+        let mut mask = vec![0.0f32; 12];
+        for m in mask.iter_mut().skip(pad_from) {
+            *m = f32::NEG_INFINITY;
+        }
+        let mut scores = data.clone();
+        k::scale_mask_softmax(1, 1, 1, 12, 0.5, Some(&mask), &mut scores);
+        for (i, &p) in scores.iter().enumerate() {
+            if i >= pad_from {
+                prop_assert_eq!(p, 0.0, "padded key {} leaked weight {}", i, p);
+            }
+        }
+        let valid_sum: f32 = scores[..pad_from].iter().sum();
+        prop_assert!((valid_sum - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,109 @@
+//! Binding between a computation graph and a model's weights/inputs.
+
+use tt_graph::{Graph, TensorId};
+
+/// Which request-supplied input a graph input tensor corresponds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputBinding {
+    /// `[batch, seq]` token ids (stored as f32).
+    TokenIds,
+    /// `[batch, seq]` additive attention mask (0 valid, −inf padding).
+    AttentionMask,
+    /// `[batch, seq]` segment ids (stored as f32).
+    SegmentIds,
+    /// `[batch, src_seq, hidden]` encoder memory (decoder cross-attention).
+    EncoderOutput,
+}
+
+/// A graph plus everything needed to execute it: which tensor ids are
+/// weights (and which store index they refer to), which are inputs, and
+/// which single tensor is the result.
+#[derive(Debug, Clone)]
+pub struct BoundGraph {
+    /// The fused computation graph.
+    pub graph: Graph,
+    /// `(graph tensor id, weight-store index)` pairs.
+    pub weights: Vec<(TensorId, usize)>,
+    /// `(graph tensor id, input role)` pairs.
+    pub inputs: Vec<(TensorId, InputBinding)>,
+    /// The output tensor (final hidden states `[batch, seq, hidden]`).
+    pub output: TensorId,
+}
+
+impl BoundGraph {
+    /// The weight-store index bound to a tensor, if any.
+    pub fn weight_index(&self, t: TensorId) -> Option<usize> {
+        self.weights.iter().find(|(id, _)| *id == t).map(|&(_, w)| w)
+    }
+
+    /// The input role bound to a tensor, if any.
+    pub fn input_role(&self, t: TensorId) -> Option<InputBinding> {
+        self.inputs.iter().find(|(id, _)| *id == t).map(|&(_, r)| r)
+    }
+
+    /// Re-derive the bindings after a graph rewrite that may have remapped
+    /// or dropped tensors. Matching is by tensor *name*, which rewrites
+    /// preserve for inputs/weights/outputs.
+    pub fn rebind(&self, rewritten: Graph) -> BoundGraph {
+        let find = |name: &str| -> Option<TensorId> {
+            rewritten.tensors.iter().position(|t| t.name == name)
+        };
+        let weights = self
+            .weights
+            .iter()
+            .filter_map(|&(t, w)| find(&self.graph.tensors[t].name).map(|nt| (nt, w)))
+            .collect();
+        let inputs = self
+            .inputs
+            .iter()
+            .filter_map(|&(t, r)| find(&self.graph.tensors[t].name).map(|nt| (nt, r)))
+            .collect();
+        let output = find(&self.graph.tensors[self.output].name)
+            .expect("rewrites must preserve the output tensor");
+        BoundGraph { graph: rewritten, weights, inputs, output }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_graph::{OpKind, TensorClass};
+
+    fn small_bound() -> BoundGraph {
+        let mut g = Graph::new();
+        let ids = g.add_tensor("ids", vec![1, 4], TensorClass::Input);
+        let w = g.add_tensor("w", vec![4, 4], TensorClass::Weight);
+        let y = g.add_tensor("y", vec![1, 4, 4], TensorClass::Output);
+        g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![ids, w], y);
+        BoundGraph {
+            graph: g,
+            weights: vec![(w, 7)],
+            inputs: vec![(ids, InputBinding::TokenIds)],
+            output: y,
+        }
+    }
+
+    #[test]
+    fn lookups_work() {
+        let b = small_bound();
+        assert_eq!(b.weight_index(1), Some(7));
+        assert_eq!(b.weight_index(0), None);
+        assert_eq!(b.input_role(0), Some(InputBinding::TokenIds));
+        assert_eq!(b.input_role(1), None);
+    }
+
+    #[test]
+    fn rebind_follows_names_through_a_rewrite() {
+        let b = small_bound();
+        // A rewrite that reorders tensors.
+        let mut g2 = Graph::new();
+        let y = g2.add_tensor("y", vec![1, 4, 4], TensorClass::Output);
+        let ids = g2.add_tensor("ids", vec![1, 4], TensorClass::Input);
+        let w = g2.add_tensor("w", vec![4, 4], TensorClass::Weight);
+        g2.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![ids, w], y);
+        let rb = b.rebind(g2);
+        assert_eq!(rb.weight_index(2), Some(7));
+        assert_eq!(rb.input_role(1), Some(InputBinding::TokenIds));
+        assert_eq!(rb.output, 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Model checkpointing: a compact binary format for weight stores, so the
+//! serving framework's model-version management has something to load.
+//!
+//! Format (`TTCP` magic, version 1, little-endian):
+//!
+//! ```text
+//! "TTCP" | u32 version | u32 config_json_len | config JSON bytes
+//! u32 tensor_count | per tensor: u32 rank, u32 dims…, f32 data…
+//! ```
+//!
+//! The config JSON is the model's serde-serialized configuration; on load
+//! it must equal the expected config, and every tensor's shape is
+//! validated — a truncated or mismatched file fails loudly, never loads
+//! garbage weights.
+
+use std::io::{self, Read, Write};
+
+use tt_tensor::Tensor;
+
+use crate::bert::{Bert, BertConfig};
+use crate::weights::WeightStore;
+
+const MAGIC: &[u8; 4] = b"TTCP";
+const VERSION: u32 = 1;
+
+/// Checkpoint errors.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a checkpoint file / wrong version.
+    BadHeader(String),
+    /// The stored config does not match the expected one.
+    ConfigMismatch {
+        /// JSON of the config found in the file.
+        found: String,
+    },
+    /// Tensor table shape/count mismatch.
+    BadTensor(String),
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::BadHeader(m) => write!(f, "bad checkpoint header: {m}"),
+            CheckpointError::ConfigMismatch { found } => {
+                write!(f, "checkpoint config mismatch: file holds {found}")
+            }
+            CheckpointError::BadTensor(m) => write!(f, "bad checkpoint tensor: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Serialize a weight store with a JSON-serializable config header.
+pub fn save<W: Write, C: serde::Serialize>(
+    mut w: W,
+    config: &C,
+    store: &WeightStore,
+) -> Result<(), CheckpointError> {
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    let cfg_json = serde_json::to_vec(config).expect("config serializes");
+    write_u32(&mut w, cfg_json.len() as u32)?;
+    w.write_all(&cfg_json)?;
+    write_u32(&mut w, store.len() as u32)?;
+    for i in 0..store.len() {
+        let t = store.get(i);
+        let dims = t.shape().dims();
+        write_u32(&mut w, dims.len() as u32)?;
+        for &d in dims {
+            write_u32(&mut w, d as u32)?;
+        }
+        for &v in t.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a weight store, checking the config header against
+/// `expected`.
+pub fn load<R: Read, C: serde::Serialize + serde::de::DeserializeOwned + PartialEq>(
+    mut r: R,
+    expected: &C,
+) -> Result<WeightStore, CheckpointError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadHeader(format!("magic {magic:?}")));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::BadHeader(format!("version {version}")));
+    }
+    let cfg_len = read_u32(&mut r)? as usize;
+    if cfg_len > 1 << 20 {
+        return Err(CheckpointError::BadHeader(format!("config length {cfg_len}")));
+    }
+    let mut cfg_bytes = vec![0u8; cfg_len];
+    r.read_exact(&mut cfg_bytes)?;
+    let found: C = serde_json::from_slice(&cfg_bytes)
+        .map_err(|e| CheckpointError::BadHeader(format!("config JSON: {e}")))?;
+    if &found != expected {
+        return Err(CheckpointError::ConfigMismatch {
+            found: String::from_utf8_lossy(&cfg_bytes).into_owned(),
+        });
+    }
+
+    let count = read_u32(&mut r)? as usize;
+    let mut store = WeightStore::new();
+    for ti in 0..count {
+        let rank = read_u32(&mut r)? as usize;
+        if rank > 8 {
+            return Err(CheckpointError::BadTensor(format!("tensor {ti} rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u32(&mut r)? as usize);
+        }
+        let n: usize = dims.iter().product();
+        if n > (1 << 28) {
+            return Err(CheckpointError::BadTensor(format!("tensor {ti} has {n} elements")));
+        }
+        let mut data = vec![0.0f32; n];
+        let mut buf = [0u8; 4];
+        for v in data.iter_mut() {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        let t = Tensor::from_vec(dims, data)
+            .map_err(|e| CheckpointError::BadTensor(format!("tensor {ti}: {e}")))?;
+        store.push(t);
+    }
+    Ok(store)
+}
+
+impl Bert {
+    /// Write this model to a checkpoint stream.
+    pub fn save_checkpoint<W: Write>(&self, w: W) -> Result<(), CheckpointError> {
+        save(w, &self.config, self.weights())
+    }
+
+    /// Load a model from a checkpoint stream; the stored config must equal
+    /// `config` and the weight layout is validated tensor by tensor.
+    pub fn load_checkpoint<R: Read>(config: &BertConfig, r: R) -> Result<Bert, CheckpointError> {
+        let store = load(r, config)?;
+        Bert::from_store(config, store).map_err(CheckpointError::BadTensor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids_batch;
+
+    #[test]
+    fn bert_round_trips_bit_exactly() {
+        let cfg = BertConfig::tiny();
+        let model = Bert::new_random(&cfg, 77);
+        let mut buf = Vec::new();
+        model.save_checkpoint(&mut buf).unwrap();
+        let loaded = Bert::load_checkpoint(&cfg, buf.as_slice()).unwrap();
+
+        let ids = ids_batch(&[&[1, 2, 3, 4]]);
+        assert_eq!(model.forward(&ids, None), loaded.forward(&ids, None));
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected() {
+        let cfg = BertConfig::tiny();
+        let model = Bert::new_random(&cfg, 1);
+        let mut buf = Vec::new();
+        model.save_checkpoint(&mut buf).unwrap();
+        let mut other = BertConfig::tiny();
+        other.num_layers += 1;
+        let err = Bert::load_checkpoint(&other, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::ConfigMismatch { .. }));
+    }
+
+    #[test]
+    fn truncated_files_fail_loudly() {
+        let cfg = BertConfig::tiny();
+        let model = Bert::new_random(&cfg, 2);
+        let mut buf = Vec::new();
+        model.save_checkpoint(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(Bert::load_checkpoint(&cfg, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let cfg = BertConfig::tiny();
+        let err = Bert::load_checkpoint(&cfg, &b"NOPE...."[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadHeader(_)));
+    }
+}

@@ -1,0 +1,618 @@
+//! Seq2Seq transformer decoder with incremental (KV-cached) decoding and
+//! beam search — the paper's third evaluation model (Table 3: 6 layers,
+//! 16 heads, head dim 64, beam 4, max target length 500; applied to
+//! Chinese→English translation in Figure 10c).
+//!
+//! Unlike the encoders, generation is inherently sequential: each target
+//! token triggers one decoder forward over *all beams batched together*,
+//! with per-layer key/value caches so self-attention over the generated
+//! prefix costs O(t) instead of O(t²). This is exactly the workload whose
+//! variable (and growing) intermediate shapes stress the paper's memory
+//! allocator.
+
+use tt_kernels as k;
+use tt_tensor::{sgemm, GemmSpec, Tensor};
+
+use crate::weights::{WeightInit, WeightStore};
+
+/// Decoder hyper-parameters.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Seq2SeqDecoderConfig {
+    /// Decoder layers.
+    pub num_layers: usize,
+    /// Attention heads.
+    pub num_heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// FFN inner dimension.
+    pub ffn_dim: usize,
+    /// Target vocabulary size.
+    pub vocab_size: usize,
+    /// Maximum generated length.
+    pub max_target_len: usize,
+    /// Beam width.
+    pub beam_size: usize,
+    /// LayerNorm epsilon.
+    pub layer_norm_eps: f32,
+}
+
+impl Seq2SeqDecoderConfig {
+    /// The paper's decoder: 6 layers, 16 heads, head dim 64 (model 1024),
+    /// beam 4, max target 500.
+    pub fn base() -> Self {
+        Seq2SeqDecoderConfig {
+            num_layers: 6,
+            num_heads: 16,
+            head_dim: 64,
+            ffn_dim: 4096,
+            vocab_size: 32000,
+            max_target_len: 500,
+            beam_size: 4,
+            layer_norm_eps: 1e-6,
+        }
+    }
+
+    /// Small test config.
+    pub fn tiny() -> Self {
+        Seq2SeqDecoderConfig {
+            num_layers: 2,
+            num_heads: 2,
+            head_dim: 4,
+            ffn_dim: 16,
+            vocab_size: 31,
+            max_target_len: 16,
+            beam_size: 3,
+            layer_norm_eps: 1e-6,
+        }
+    }
+
+    /// Model (hidden) dimension.
+    pub fn model_dim(&self) -> usize {
+        self.num_heads * self.head_dim
+    }
+}
+
+/// One decoder layer's weight-store indices.
+#[derive(Debug, Clone, Copy)]
+struct DecoderLayerWeights {
+    // Self-attention.
+    wq: usize,
+    bq: usize,
+    wk: usize,
+    bk: usize,
+    wv: usize,
+    bv: usize,
+    wo: usize,
+    bo: usize,
+    ln1_gamma: usize,
+    ln1_beta: usize,
+    // Cross-attention (queries from decoder, keys/values from encoder).
+    cq: usize,
+    cbq: usize,
+    ck: usize,
+    cbk: usize,
+    cv: usize,
+    cbv: usize,
+    co: usize,
+    cbo: usize,
+    ln2_gamma: usize,
+    ln2_beta: usize,
+    // FFN.
+    w1: usize,
+    b1: usize,
+    w2: usize,
+    b2: usize,
+    ln3_gamma: usize,
+    ln3_beta: usize,
+}
+
+impl DecoderLayerWeights {
+    fn create(store: &mut WeightStore, init: &mut WeightInit, h: usize, ffn: usize) -> Self {
+        DecoderLayerWeights {
+            wq: store.push(init.linear(h, h)),
+            bq: store.push(init.bias(h)),
+            wk: store.push(init.linear(h, h)),
+            bk: store.push(init.bias(h)),
+            wv: store.push(init.linear(h, h)),
+            bv: store.push(init.bias(h)),
+            wo: store.push(init.linear(h, h)),
+            bo: store.push(init.bias(h)),
+            ln1_gamma: store.push(init.gamma(h)),
+            ln1_beta: store.push(init.beta(h)),
+            cq: store.push(init.linear(h, h)),
+            cbq: store.push(init.bias(h)),
+            ck: store.push(init.linear(h, h)),
+            cbk: store.push(init.bias(h)),
+            cv: store.push(init.linear(h, h)),
+            cbv: store.push(init.bias(h)),
+            co: store.push(init.linear(h, h)),
+            cbo: store.push(init.bias(h)),
+            ln2_gamma: store.push(init.gamma(h)),
+            ln2_beta: store.push(init.beta(h)),
+            w1: store.push(init.linear(h, ffn)),
+            b1: store.push(init.bias(ffn)),
+            w2: store.push(init.linear(ffn, h)),
+            b2: store.push(init.bias(h)),
+            ln3_gamma: store.push(init.gamma(h)),
+            ln3_beta: store.push(init.beta(h)),
+        }
+    }
+}
+
+/// Per-layer self-attention KV cache for all beams:
+/// layout `[beam][head][t][dim]`, growing in `t`.
+#[derive(Debug, Clone, Default)]
+struct LayerCache {
+    k: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// Decoding state: caches plus the precomputed encoder K/V per layer
+/// (`[head][src][dim]`, shared across beams).
+#[derive(Debug, Clone)]
+pub struct DecoderState {
+    beams: usize,
+    steps: usize,
+    src_len: usize,
+    caches: Vec<LayerCache>,
+    enc_k: Vec<Vec<f32>>,
+    enc_v: Vec<Vec<f32>>,
+}
+
+impl DecoderState {
+    /// Generated length so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Reorder the caches after a beam-search shuffle: new beam `i` takes
+    /// the cache of old beam `parents[i]`.
+    fn reorder(&mut self, parents: &[usize], heads: usize, dim: usize) {
+        let stride = heads * self.steps * dim;
+        for cache in &mut self.caches {
+            let old_k = cache.k.clone();
+            let old_v = cache.v.clone();
+            for (new_b, &old_b) in parents.iter().enumerate() {
+                cache.k[new_b * stride..(new_b + 1) * stride]
+                    .copy_from_slice(&old_k[old_b * stride..(old_b + 1) * stride]);
+                cache.v[new_b * stride..(new_b + 1) * stride]
+                    .copy_from_slice(&old_v[old_b * stride..(old_b + 1) * stride]);
+            }
+        }
+    }
+}
+
+/// A beam-search hypothesis.
+#[derive(Debug, Clone)]
+pub struct Hypothesis {
+    /// Generated token ids (excluding BOS).
+    pub tokens: Vec<u32>,
+    /// Accumulated log-probability.
+    pub score: f32,
+}
+
+/// The Seq2Seq decoder model.
+#[derive(Debug)]
+pub struct Seq2SeqDecoder {
+    /// Hyper-parameters.
+    pub config: Seq2SeqDecoderConfig,
+    store: WeightStore,
+    tgt_emb: usize,
+    pos_emb: usize,
+    out_proj: usize,
+    layers: Vec<DecoderLayerWeights>,
+}
+
+impl Seq2SeqDecoder {
+    /// Build a decoder with seeded random weights.
+    pub fn new_random(config: &Seq2SeqDecoderConfig, seed: u64) -> Self {
+        let mut store = WeightStore::new();
+        let mut init = WeightInit::new(seed);
+        let h = config.model_dim();
+        let tgt_emb = store.push(init.embedding(config.vocab_size, h));
+        let pos_emb = store.push(init.embedding(config.max_target_len + 1, h));
+        let out_proj = store.push(init.linear(h, config.vocab_size));
+        let layers = (0..config.num_layers)
+            .map(|_| DecoderLayerWeights::create(&mut store, &mut init, h, config.ffn_dim))
+            .collect();
+        Seq2SeqDecoder { config: config.clone(), store, tgt_emb, pos_emb, out_proj, layers }
+    }
+
+    /// Total parameter bytes.
+    pub fn param_bytes(&self) -> usize {
+        self.store.bytes()
+    }
+
+    /// Initialize decoding state for `beams` hypotheses against an encoder
+    /// memory `[src_len, hidden]`: precomputes the cross-attention K/V.
+    pub fn init_state(&self, encoder_output: &Tensor, beams: usize) -> DecoderState {
+        let h = self.config.model_dim();
+        let (heads, d) = (self.config.num_heads, self.config.head_dim);
+        assert_eq!(encoder_output.shape().rank(), 2, "encoder memory is [src, hidden]");
+        assert_eq!(encoder_output.shape().dim(1), h, "encoder hidden must match decoder");
+        let src = encoder_output.shape().dim(0);
+
+        let project = |w: usize, b: usize| -> Vec<f32> {
+            let mut out = vec![0.0f32; src * h];
+            sgemm(GemmSpec::nn(src, h, h), encoder_output.as_slice(), self.store.get(w).as_slice(), &mut out);
+            k::add_bias(src, h, &mut out, self.store.get(b).as_slice());
+            let mut split = vec![0.0f32; src * h];
+            k::split_heads(1, src, heads, d, &out, &mut split);
+            split
+        };
+
+        let enc_k = self.layers.iter().map(|lw| project(lw.ck, lw.cbk)).collect();
+        let enc_v = self.layers.iter().map(|lw| project(lw.cv, lw.cbv)).collect();
+        DecoderState {
+            beams,
+            steps: 0,
+            src_len: src,
+            caches: vec![LayerCache::default(); self.layers.len()],
+            enc_k,
+            enc_v,
+        }
+    }
+
+    /// One decoding step: feed the last token of each beam, return the
+    /// `[beams, vocab]` logits and grow the caches.
+    pub fn step(&self, state: &mut DecoderState, last_tokens: &[u32]) -> Tensor {
+        let cfg = &self.config;
+        let beams = state.beams;
+        assert_eq!(last_tokens.len(), beams, "one last token per beam");
+        let h = cfg.model_dim();
+        let (heads, d) = (cfg.num_heads, cfg.head_dim);
+        let t = state.steps; // number of cached positions
+        assert!(t < cfg.max_target_len, "exceeded max_target_len");
+
+        // Embed the current tokens (+ position t).
+        let mut x = vec![0.0f32; beams * h];
+        let tgt = self.store.get(self.tgt_emb).as_slice();
+        let pos = self.store.get(self.pos_emb).as_slice();
+        for (b, &tok) in last_tokens.iter().enumerate() {
+            let w = &tgt[tok as usize * h..(tok as usize + 1) * h];
+            let p = &pos[t * h..(t + 1) * h];
+            for i in 0..h {
+                x[b * h + i] = w[i] + p[i];
+            }
+        }
+
+        let scale = 1.0 / (d as f32).sqrt();
+        for (li, lw) in self.layers.iter().enumerate() {
+            // ---- causal self-attention over the cache + current token ----
+            let proj = |w: usize, b: usize, x: &[f32]| -> Vec<f32> {
+                let mut out = vec![0.0f32; beams * h];
+                sgemm(GemmSpec::nn(beams, h, h), x, self.store.get(w).as_slice(), &mut out);
+                k::add_bias(beams, h, &mut out, self.store.get(b).as_slice());
+                out // [beam][head*d], per-token so head split is a view
+            };
+            let q = proj(lw.wq, lw.bq, &x);
+            let knew = proj(lw.wk, lw.bk, &x);
+            let vnew = proj(lw.wv, lw.bv, &x);
+
+            // Append to cache, converting to [beam][head][t][d].
+            let cache = &mut state.caches[li];
+            let new_len = t + 1;
+            let mut grown_k = vec![0.0f32; beams * heads * new_len * d];
+            let mut grown_v = vec![0.0f32; beams * heads * new_len * d];
+            for b in 0..beams {
+                for hd in 0..heads {
+                    let dst_base = ((b * heads + hd) * new_len) * d;
+                    let old_base = ((b * heads + hd) * t) * d;
+                    grown_k[dst_base..dst_base + t * d]
+                        .copy_from_slice(&cache.k[old_base..old_base + t * d]);
+                    grown_v[dst_base..dst_base + t * d]
+                        .copy_from_slice(&cache.v[old_base..old_base + t * d]);
+                    let src = &knew[b * h + hd * d..b * h + (hd + 1) * d];
+                    grown_k[dst_base + t * d..dst_base + new_len * d].copy_from_slice(src);
+                    let src = &vnew[b * h + hd * d..b * h + (hd + 1) * d];
+                    grown_v[dst_base + t * d..dst_base + new_len * d].copy_from_slice(src);
+                }
+            }
+            cache.k = grown_k;
+            cache.v = grown_v;
+
+            let attn = attend(&q, &cache.k, &cache.v, beams, heads, d, new_len, scale, 1);
+            let mut o = vec![0.0f32; beams * h];
+            sgemm(GemmSpec::nn(beams, h, h), &attn, self.store.get(lw.wo).as_slice(), &mut o);
+            k::add_bias(beams, h, &mut o, self.store.get(lw.bo).as_slice());
+            k::residual_add(&mut o, &x);
+            let mut x1 = vec![0.0f32; beams * h];
+            k::layer_norm(beams, h, &o, self.store.get(lw.ln1_gamma).as_slice(), self.store.get(lw.ln1_beta).as_slice(), cfg.layer_norm_eps, &mut x1);
+
+            // ---- cross-attention over the encoder memory ----
+            let qc = proj(lw.cq, lw.cbq, &x1);
+            let attn_c = attend_shared(&qc, &state.enc_k[li], &state.enc_v[li], beams, heads, d, state.src_len, scale);
+            let mut oc = vec![0.0f32; beams * h];
+            sgemm(GemmSpec::nn(beams, h, h), &attn_c, self.store.get(lw.co).as_slice(), &mut oc);
+            k::add_bias(beams, h, &mut oc, self.store.get(lw.cbo).as_slice());
+            k::residual_add(&mut oc, &x1);
+            let mut x2 = vec![0.0f32; beams * h];
+            k::layer_norm(beams, h, &oc, self.store.get(lw.ln2_gamma).as_slice(), self.store.get(lw.ln2_beta).as_slice(), cfg.layer_norm_eps, &mut x2);
+
+            // ---- FFN ----
+            let mut inner = vec![0.0f32; beams * cfg.ffn_dim];
+            sgemm(GemmSpec::nn(beams, h, cfg.ffn_dim), &x2, self.store.get(lw.w1).as_slice(), &mut inner);
+            k::add_bias_gelu(beams, cfg.ffn_dim, &mut inner, self.store.get(lw.b1).as_slice());
+            let mut out = vec![0.0f32; beams * h];
+            sgemm(GemmSpec::nn(beams, cfg.ffn_dim, h), &inner, self.store.get(lw.w2).as_slice(), &mut out);
+            k::add_bias(beams, h, &mut out, self.store.get(lw.b2).as_slice());
+            k::residual_add(&mut out, &x2);
+            let mut x3 = vec![0.0f32; beams * h];
+            k::layer_norm(beams, h, &out, self.store.get(lw.ln3_gamma).as_slice(), self.store.get(lw.ln3_beta).as_slice(), cfg.layer_norm_eps, &mut x3);
+            x = x3;
+        }
+        state.steps += 1;
+
+        let mut logits = vec![0.0f32; beams * cfg.vocab_size];
+        sgemm(GemmSpec::nn(beams, h, cfg.vocab_size), &x, self.store.get(self.out_proj).as_slice(), &mut logits);
+        Tensor::from_vec([beams, cfg.vocab_size], logits).expect("sized above")
+    }
+
+    /// Beam-search decode against an encoder memory `[src, hidden]`.
+    /// Generation stops at `eos` or `max_len` (clamped to the config's
+    /// `max_target_len`). Returns the best hypothesis.
+    pub fn beam_search(&self, encoder_output: &Tensor, bos: u32, eos: u32, max_len: usize) -> Hypothesis {
+        let beams = self.config.beam_size;
+        let vocab = self.config.vocab_size;
+        let max_len = max_len.min(self.config.max_target_len);
+        let mut state = self.init_state(encoder_output, beams);
+
+        let mut tokens: Vec<Vec<u32>> = vec![Vec::new(); beams];
+        let mut scores = vec![0.0f32; beams];
+        let mut alive = vec![true; beams];
+        let mut last = vec![bos; beams];
+        let mut finished: Vec<Hypothesis> = Vec::new();
+
+        for step in 0..max_len {
+            let logits = self.step(&mut state, &last);
+            // Log-softmax per beam.
+            let mut cands: Vec<(f32, usize, u32)> = Vec::new(); // (score, beam, token)
+            for b in 0..beams {
+                if !alive[b] {
+                    continue;
+                }
+                let row = logits.row(b);
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+                for (tok, &v) in row.iter().enumerate() {
+                    cands.push((scores[b] + v - lse, b, tok as u32));
+                }
+                // On the first step every beam is identical; keep only beam 0's
+                // candidates to avoid duplicate hypotheses.
+                if step == 0 {
+                    break;
+                }
+            }
+            cands.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            cands.truncate(beams);
+            if cands.is_empty() {
+                break;
+            }
+
+            let parents: Vec<usize> = cands.iter().map(|&(_, b, _)| b).collect();
+            state.reorder(&parents, self.config.num_heads, self.config.head_dim);
+
+            let mut new_tokens = Vec::with_capacity(beams);
+            let mut new_scores = Vec::with_capacity(beams);
+            let mut new_last = Vec::with_capacity(beams);
+            let mut new_alive = Vec::with_capacity(beams);
+            for &(score, parent, tok) in &cands {
+                let mut seq = tokens[parent].clone();
+                seq.push(tok);
+                if tok == eos {
+                    finished.push(Hypothesis { tokens: seq.clone(), score });
+                    new_alive.push(false);
+                } else {
+                    new_alive.push(true);
+                }
+                new_tokens.push(seq);
+                new_scores.push(score);
+                new_last.push(tok);
+            }
+            // Pad back to full width if fewer candidates than beams.
+            while new_tokens.len() < beams {
+                new_tokens.push(Vec::new());
+                new_scores.push(f32::NEG_INFINITY);
+                new_last.push(eos);
+                new_alive.push(false);
+            }
+            tokens = new_tokens;
+            scores = new_scores;
+            last = new_last;
+            alive = new_alive;
+            let _ = vocab;
+            if alive.iter().all(|a| !a) {
+                break;
+            }
+        }
+
+        for b in 0..beams {
+            if alive[b] {
+                finished.push(Hypothesis { tokens: tokens[b].clone(), score: scores[b] });
+            }
+        }
+        finished
+            .into_iter()
+            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("at least one hypothesis survives")
+    }
+}
+
+/// Single-query attention per beam/head against per-beam caches
+/// (`kv`: `[beam][head][len][d]`); `q`: `[beam][head*d]`. Returns
+/// `[beam][head*d]`.
+#[allow(clippy::too_many_arguments)]
+fn attend(
+    q: &[f32],
+    k_cache: &[f32],
+    v_cache: &[f32],
+    beams: usize,
+    heads: usize,
+    d: usize,
+    len: usize,
+    scale: f32,
+    _q_len: usize,
+) -> Vec<f32> {
+    let h = heads * d;
+    let mut out = vec![0.0f32; beams * h];
+    let mut probs = vec![0.0f32; len];
+    for b in 0..beams {
+        for hd in 0..heads {
+            let qv = &q[b * h + hd * d..b * h + (hd + 1) * d];
+            let base = ((b * heads + hd) * len) * d;
+            for (t, p) in probs.iter_mut().enumerate() {
+                let kv = &k_cache[base + t * d..base + (t + 1) * d];
+                *p = qv.iter().zip(kv).map(|(a, b)| a * b).sum::<f32>() * scale;
+            }
+            k::softmax_rows(1, len, &mut probs);
+            let dst = &mut out[b * h + hd * d..b * h + (hd + 1) * d];
+            for (t, &p) in probs.iter().enumerate() {
+                let vv = &v_cache[base + t * d..base + (t + 1) * d];
+                for (o, &x) in dst.iter_mut().zip(vv) {
+                    *o += p * x;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Like [`attend`] but the K/V (`[head][len][d]`) are shared by all beams —
+/// the cross-attention case.
+#[allow(clippy::too_many_arguments)]
+fn attend_shared(
+    q: &[f32],
+    k_shared: &[f32],
+    v_shared: &[f32],
+    beams: usize,
+    heads: usize,
+    d: usize,
+    len: usize,
+    scale: f32,
+) -> Vec<f32> {
+    let h = heads * d;
+    let mut out = vec![0.0f32; beams * h];
+    let mut probs = vec![0.0f32; len];
+    for b in 0..beams {
+        for hd in 0..heads {
+            let qv = &q[b * h + hd * d..b * h + (hd + 1) * d];
+            let base = (hd * len) * d;
+            for (t, p) in probs.iter_mut().enumerate() {
+                let kv = &k_shared[base + t * d..base + (t + 1) * d];
+                *p = qv.iter().zip(kv).map(|(a, b)| a * b).sum::<f32>() * scale;
+            }
+            k::softmax_rows(1, len, &mut probs);
+            let dst = &mut out[b * h + hd * d..b * h + (hd + 1) * d];
+            for (t, &p) in probs.iter().enumerate() {
+                let vv = &v_shared[base + t * d..base + (t + 1) * d];
+                for (o, &x) in dst.iter_mut().zip(vv) {
+                    *o += p * x;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoder_memory(src: usize, h: usize, seed: u64) -> Tensor {
+        let mut init = WeightInit::new(seed);
+        let t = init.embedding(src, h);
+        t.reshape([src, h]).unwrap()
+    }
+
+    #[test]
+    fn step_returns_vocab_logits_and_grows_cache() {
+        let cfg = Seq2SeqDecoderConfig::tiny();
+        let m = Seq2SeqDecoder::new_random(&cfg, 4);
+        let enc = encoder_memory(5, cfg.model_dim(), 1);
+        let mut state = m.init_state(&enc, cfg.beam_size);
+        let logits = m.step(&mut state, &[1, 2, 3]);
+        assert_eq!(logits.shape().dims(), &[cfg.beam_size, cfg.vocab_size]);
+        assert_eq!(state.steps(), 1);
+        let logits2 = m.step(&mut state, &[1, 2, 3]);
+        assert_eq!(state.steps(), 2);
+        assert!(logits2.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cached_decoding_is_deterministic() {
+        let cfg = Seq2SeqDecoderConfig::tiny();
+        let m = Seq2SeqDecoder::new_random(&cfg, 4);
+        let enc = encoder_memory(4, cfg.model_dim(), 2);
+        let run = || {
+            let mut st = m.init_state(&enc, 2);
+            let mut outs = Vec::new();
+            let mut state_tokens = vec![1u32, 1];
+            for _ in 0..3 {
+                let l = m.step(&mut st, &state_tokens);
+                state_tokens = vec![
+                    tt_tensor::ops::argmax(l.row(0)).unwrap() as u32,
+                    tt_tensor::ops::argmax(l.row(1)).unwrap() as u32,
+                ];
+                outs.push(l);
+            }
+            outs
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn beam_search_terminates_and_returns_tokens() {
+        let cfg = Seq2SeqDecoderConfig::tiny();
+        let m = Seq2SeqDecoder::new_random(&cfg, 8);
+        let enc = encoder_memory(6, cfg.model_dim(), 3);
+        let hyp = m.beam_search(&enc, 1, 2, 8);
+        assert!(!hyp.tokens.is_empty());
+        assert!(hyp.tokens.len() <= 8);
+        assert!(hyp.score.is_finite());
+        assert!(hyp.tokens.iter().all(|&t| (t as usize) < cfg.vocab_size));
+    }
+
+    #[test]
+    fn beam_search_is_deterministic() {
+        let cfg = Seq2SeqDecoderConfig::tiny();
+        let m = Seq2SeqDecoder::new_random(&cfg, 8);
+        let enc = encoder_memory(6, cfg.model_dim(), 3);
+        let a = m.beam_search(&enc, 1, 2, 6);
+        let b = m.beam_search(&enc, 1, 2, 6);
+        assert_eq!(a.tokens, b.tokens);
+        assert_eq!(a.score, b.score);
+    }
+
+    #[test]
+    fn wider_beams_never_find_worse_hypotheses() {
+        // Beam 1 (greedy) score ≤ beam 3 score for the same model/input.
+        let cfg = Seq2SeqDecoderConfig::tiny();
+        let m = Seq2SeqDecoder::new_random(&cfg, 13);
+        let enc = encoder_memory(5, cfg.model_dim(), 5);
+        let mut greedy_cfg = cfg.clone();
+        greedy_cfg.beam_size = 1;
+        let m_greedy = Seq2SeqDecoder::new_random(&greedy_cfg, 13);
+        let g = m_greedy.beam_search(&enc, 1, 2, 5);
+        let w = m.beam_search(&enc, 1, 2, 5);
+        assert!(
+            w.score >= g.score - 1e-4,
+            "beam {} must not lose to greedy: {} vs {}",
+            cfg.beam_size,
+            w.score,
+            g.score
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_target_len")]
+    fn stepping_past_max_len_panics() {
+        let mut cfg = Seq2SeqDecoderConfig::tiny();
+        cfg.max_target_len = 2;
+        let m = Seq2SeqDecoder::new_random(&cfg, 1);
+        let enc = encoder_memory(3, cfg.model_dim(), 1);
+        let mut st = m.init_state(&enc, 1);
+        for _ in 0..3 {
+            m.step(&mut st, &[1]);
+        }
+    }
+}

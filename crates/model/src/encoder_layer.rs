@@ -1,0 +1,431 @@
+//! One transformer encoder layer: eager forward + fused-graph emission.
+//!
+//! BERT and ALBERT share this module; ALBERT's cross-layer weight sharing
+//! falls out naturally by emitting the same declared weight tensors for
+//! every layer.
+
+use tt_graph::{Graph, OpKind, TensorClass, TensorId};
+use tt_kernels as k;
+use tt_tensor::{batched_sgemm, sgemm, GemmSpec};
+
+use crate::weights::{WeightInit, WeightStore};
+
+/// Dimensions of an encoder layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncoderDims {
+    /// Attention heads.
+    pub heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// FFN inner dimension.
+    pub ffn_dim: usize,
+    /// LayerNorm epsilon.
+    pub eps: f32,
+}
+
+impl EncoderDims {
+    /// Model (hidden) dimension = heads · head_dim.
+    pub fn hidden(&self) -> usize {
+        self.heads * self.head_dim
+    }
+
+    /// Attention score scale `1/√d`.
+    pub fn scale(&self) -> f32 {
+        1.0 / (self.head_dim as f32).sqrt()
+    }
+}
+
+/// Weight-store indices of one encoder layer's parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EncoderLayerWeights {
+    /// Q/K/V/output projection matrices `[hidden, hidden]`.
+    pub wq: usize,
+    /// Q bias.
+    pub bq: usize,
+    /// K projection.
+    pub wk: usize,
+    /// K bias.
+    pub bk: usize,
+    /// V projection.
+    pub wv: usize,
+    /// V bias.
+    pub bv: usize,
+    /// Attention output projection.
+    pub wo: usize,
+    /// Attention output bias.
+    pub bo: usize,
+    /// Post-attention LayerNorm gain.
+    pub ln1_gamma: usize,
+    /// Post-attention LayerNorm shift.
+    pub ln1_beta: usize,
+    /// FFN first matrix `[hidden, ffn]`.
+    pub w1: usize,
+    /// FFN first bias.
+    pub b1: usize,
+    /// FFN second matrix `[ffn, hidden]`.
+    pub w2: usize,
+    /// FFN second bias.
+    pub b2: usize,
+    /// Post-FFN LayerNorm gain.
+    pub ln2_gamma: usize,
+    /// Post-FFN LayerNorm shift.
+    pub ln2_beta: usize,
+}
+
+impl EncoderLayerWeights {
+    /// Fabricate index-only weights (no backing store) for graph skeletons
+    /// used purely for shape/cost analysis.
+    pub fn fabricate(next: &mut usize) -> Self {
+        let mut take = || {
+            let i = *next;
+            *next += 1;
+            i
+        };
+        EncoderLayerWeights {
+            wq: take(),
+            bq: take(),
+            wk: take(),
+            bk: take(),
+            wv: take(),
+            bv: take(),
+            wo: take(),
+            bo: take(),
+            ln1_gamma: take(),
+            ln1_beta: take(),
+            w1: take(),
+            b1: take(),
+            w2: take(),
+            b2: take(),
+            ln2_gamma: take(),
+            ln2_beta: take(),
+        }
+    }
+
+    /// Allocate and initialize one layer's weights in the store.
+    pub fn create(store: &mut WeightStore, init: &mut WeightInit, dims: &EncoderDims) -> Self {
+        let h = dims.hidden();
+        EncoderLayerWeights {
+            wq: store.push(init.linear(h, h)),
+            bq: store.push(init.bias(h)),
+            wk: store.push(init.linear(h, h)),
+            bk: store.push(init.bias(h)),
+            wv: store.push(init.linear(h, h)),
+            bv: store.push(init.bias(h)),
+            wo: store.push(init.linear(h, h)),
+            bo: store.push(init.bias(h)),
+            ln1_gamma: store.push(init.gamma(h)),
+            ln1_beta: store.push(init.beta(h)),
+            w1: store.push(init.linear(h, dims.ffn_dim)),
+            b1: store.push(init.bias(dims.ffn_dim)),
+            w2: store.push(init.linear(dims.ffn_dim, h)),
+            b2: store.push(init.bias(h)),
+            ln2_gamma: store.push(init.gamma(h)),
+            ln2_beta: store.push(init.beta(h)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Eager forward
+// ---------------------------------------------------------------------------
+
+/// Run one encoder layer eagerly: `x` is `[batch, seq, hidden]` flat and is
+/// replaced by the layer output. `mask` is the `[batch, seq]` additive
+/// attention mask, if any.
+pub fn layer_forward(
+    store: &WeightStore,
+    lw: &EncoderLayerWeights,
+    dims: &EncoderDims,
+    batch: usize,
+    seq: usize,
+    x: &mut Vec<f32>,
+    mask: Option<&[f32]>,
+) {
+    let hidden = dims.hidden();
+    let (heads, d) = (dims.heads, dims.head_dim);
+    let tokens = batch * seq;
+    assert_eq!(x.len(), tokens * hidden, "layer input size");
+
+    let proj = |w: usize, b: usize, x: &[f32]| -> Vec<f32> {
+        let mut out = vec![0.0f32; tokens * hidden];
+        sgemm(GemmSpec::nn(tokens, hidden, hidden), x, store.get(w).as_slice(), &mut out);
+        k::add_bias(tokens, hidden, &mut out, store.get(b).as_slice());
+        let mut split = vec![0.0f32; tokens * hidden];
+        k::split_heads(batch, seq, heads, d, &out, &mut split);
+        split
+    };
+    let q = proj(lw.wq, lw.bq, x);
+    let key = proj(lw.wk, lw.bk, x);
+    let v = proj(lw.wv, lw.bv, x);
+
+    // scores[b,h,s,s] = q · kᵀ
+    let mut scores = vec![0.0f32; batch * heads * seq * seq];
+    batched_sgemm(batch * heads, GemmSpec::nt(seq, d, seq), &q, &key, &mut scores);
+    k::scale_mask_softmax(batch, heads, seq, seq, dims.scale(), mask, &mut scores);
+
+    // ctx[b,h,s,d] = probs · v
+    let mut ctx = vec![0.0f32; tokens * hidden];
+    batched_sgemm(batch * heads, GemmSpec::nn(seq, seq, d), &scores, &v, &mut ctx);
+    let mut merged = vec![0.0f32; tokens * hidden];
+    k::merge_heads(batch, seq, heads, d, &ctx, &mut merged);
+
+    // Output projection + bias + residual + LayerNorm.
+    let mut attn = vec![0.0f32; tokens * hidden];
+    sgemm(GemmSpec::nn(tokens, hidden, hidden), &merged, store.get(lw.wo).as_slice(), &mut attn);
+    k::add_bias(tokens, hidden, &mut attn, store.get(lw.bo).as_slice());
+    k::residual_add(&mut attn, x);
+    let mut x1 = vec![0.0f32; tokens * hidden];
+    k::layer_norm(
+        tokens,
+        hidden,
+        &attn,
+        store.get(lw.ln1_gamma).as_slice(),
+        store.get(lw.ln1_beta).as_slice(),
+        dims.eps,
+        &mut x1,
+    );
+
+    // FFN.
+    let mut inner = vec![0.0f32; tokens * dims.ffn_dim];
+    sgemm(GemmSpec::nn(tokens, hidden, dims.ffn_dim), &x1, store.get(lw.w1).as_slice(), &mut inner);
+    k::add_bias_gelu(tokens, dims.ffn_dim, &mut inner, store.get(lw.b1).as_slice());
+    let mut out = vec![0.0f32; tokens * hidden];
+    sgemm(GemmSpec::nn(tokens, dims.ffn_dim, hidden), &inner, store.get(lw.w2).as_slice(), &mut out);
+    k::add_bias(tokens, hidden, &mut out, store.get(lw.b2).as_slice());
+    k::residual_add(&mut out, &x1);
+    let mut x2 = vec![0.0f32; tokens * hidden];
+    k::layer_norm(
+        tokens,
+        hidden,
+        &out,
+        store.get(lw.ln2_gamma).as_slice(),
+        store.get(lw.ln2_beta).as_slice(),
+        dims.eps,
+        &mut x2,
+    );
+    *x = x2;
+}
+
+// ---------------------------------------------------------------------------
+// Graph emission
+// ---------------------------------------------------------------------------
+
+/// Graph tensor ids of one layer's declared weights.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerGraphWeights {
+    wq: TensorId,
+    bq: TensorId,
+    wk: TensorId,
+    bk: TensorId,
+    wv: TensorId,
+    bv: TensorId,
+    wo: TensorId,
+    bo: TensorId,
+    ln1_gamma: TensorId,
+    ln1_beta: TensorId,
+    w1: TensorId,
+    b1: TensorId,
+    w2: TensorId,
+    b2: TensorId,
+    ln2_gamma: TensorId,
+    ln2_beta: TensorId,
+}
+
+/// Declare one layer's weight tensors in the graph and record their store
+/// bindings. ALBERT calls this once and reuses the result for every layer.
+pub fn declare_layer_weights(
+    g: &mut Graph,
+    bindings: &mut Vec<(TensorId, usize)>,
+    lw: &EncoderLayerWeights,
+    dims: &EncoderDims,
+    prefix: &str,
+) -> LayerGraphWeights {
+    let h = dims.hidden();
+    let mut decl = |name: &str, shape: Vec<usize>, store_idx: usize| {
+        let t = g.add_tensor(format!("{prefix}.{name}"), shape, TensorClass::Weight);
+        bindings.push((t, store_idx));
+        t
+    };
+    LayerGraphWeights {
+        wq: decl("wq", vec![h, h], lw.wq),
+        bq: decl("bq", vec![h], lw.bq),
+        wk: decl("wk", vec![h, h], lw.wk),
+        bk: decl("bk", vec![h], lw.bk),
+        wv: decl("wv", vec![h, h], lw.wv),
+        bv: decl("bv", vec![h], lw.bv),
+        wo: decl("wo", vec![h, h], lw.wo),
+        bo: decl("bo", vec![h], lw.bo),
+        ln1_gamma: decl("ln1_gamma", vec![h], lw.ln1_gamma),
+        ln1_beta: decl("ln1_beta", vec![h], lw.ln1_beta),
+        w1: decl("w1", vec![h, dims.ffn_dim], lw.w1),
+        b1: decl("b1", vec![dims.ffn_dim], lw.b1),
+        w2: decl("w2", vec![dims.ffn_dim, h], lw.w2),
+        b2: decl("b2", vec![h], lw.b2),
+        ln2_gamma: decl("ln2_gamma", vec![h], lw.ln2_gamma),
+        ln2_beta: decl("ln2_beta", vec![h], lw.ln2_beta),
+    }
+}
+
+/// Emit one fused encoder layer (paper Fig. 3) into the graph. Returns the
+/// layer output tensor `[batch, seq, hidden]`.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_layer(
+    g: &mut Graph,
+    w: &LayerGraphWeights,
+    dims: &EncoderDims,
+    batch: usize,
+    seq: usize,
+    x: TensorId,
+    mask: Option<TensorId>,
+    prefix: &str,
+) -> TensorId {
+    let h = dims.hidden();
+    let (heads, d) = (dims.heads, dims.head_dim);
+    let act = |g: &mut Graph, name: &str, shape: Vec<usize>| {
+        g.add_tensor(format!("{prefix}.{name}"), shape, TensorClass::Activation)
+    };
+    let tok_shape = vec![batch, seq, h];
+    let head_shape = vec![batch, heads, seq, d];
+
+    let mm = OpKind::MatMul { trans_b: false, alpha: 1.0 };
+
+    let q0 = act(g, "q0", tok_shape.clone());
+    g.add_node(mm.clone(), vec![x, w.wq], q0);
+    let q = act(g, "q", head_shape.clone());
+    g.add_node(OpKind::AddBiasSplitHeads { heads }, vec![q0, w.bq], q);
+
+    let k0 = act(g, "k0", tok_shape.clone());
+    g.add_node(mm.clone(), vec![x, w.wk], k0);
+    let key = act(g, "k", head_shape.clone());
+    g.add_node(OpKind::AddBiasSplitHeads { heads }, vec![k0, w.bk], key);
+
+    let v0 = act(g, "v0", tok_shape.clone());
+    g.add_node(mm.clone(), vec![x, w.wv], v0);
+    let v = act(g, "v", head_shape.clone());
+    g.add_node(OpKind::AddBiasSplitHeads { heads }, vec![v0, w.bv], v);
+
+    let scores = act(g, "scores", vec![batch, heads, seq, seq]);
+    g.add_node(OpKind::MatMul { trans_b: true, alpha: 1.0 }, vec![q, key], scores);
+    let probs = act(g, "probs", vec![batch, heads, seq, seq]);
+    let mut sm_inputs = vec![scores];
+    if let Some(m) = mask {
+        sm_inputs.push(m);
+    }
+    g.add_node(OpKind::ScaleMaskSoftmax { scale: dims.scale() }, sm_inputs, probs);
+
+    let ctx = act(g, "ctx", head_shape);
+    g.add_node(mm.clone(), vec![probs, v], ctx);
+    let merged = act(g, "merged", tok_shape.clone());
+    g.add_node(OpKind::MergeHeads, vec![ctx], merged);
+
+    let attn = act(g, "attn", tok_shape.clone());
+    g.add_node(mm.clone(), vec![merged, w.wo], attn);
+    let x1 = act(g, "x1", tok_shape.clone());
+    g.add_node(
+        OpKind::AddBiasResidualLayerNorm { eps: dims.eps },
+        vec![attn, w.bo, x, w.ln1_gamma, w.ln1_beta],
+        x1,
+    );
+
+    let inner = act(g, "ffn_inner", vec![batch, seq, dims.ffn_dim]);
+    g.add_node(mm.clone(), vec![x1, w.w1], inner);
+    let inner_act = act(g, "ffn_act", vec![batch, seq, dims.ffn_dim]);
+    g.add_node(OpKind::AddBiasGelu, vec![inner, w.b1], inner_act);
+    let ffn_out = act(g, "ffn_out", tok_shape.clone());
+    g.add_node(mm, vec![inner_act, w.w2], ffn_out);
+    let x2 = act(g, "x2", tok_shape);
+    g.add_node(
+        OpKind::AddBiasResidualLayerNorm { eps: dims.eps },
+        vec![ffn_out, w.b2, x1, w.ln2_gamma, w.ln2_beta],
+        x2,
+    );
+    x2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dims() -> EncoderDims {
+        EncoderDims { heads: 2, head_dim: 4, ffn_dim: 16, eps: 1e-6 }
+    }
+
+    fn setup() -> (WeightStore, EncoderLayerWeights, EncoderDims) {
+        let dims = tiny_dims();
+        let mut store = WeightStore::new();
+        let mut init = WeightInit::new(7);
+        let lw = EncoderLayerWeights::create(&mut store, &mut init, &dims);
+        (store, lw, dims)
+    }
+
+    #[test]
+    fn forward_produces_layernormed_output() {
+        let (store, lw, dims) = setup();
+        let (batch, seq) = (2, 3);
+        let mut x: Vec<f32> = (0..batch * seq * dims.hidden())
+            .map(|i| ((i * 13) % 17) as f32 * 0.1)
+            .collect();
+        layer_forward(&store, &lw, &dims, batch, seq, &mut x, None);
+        // Output rows are LayerNormed with γ=1, β=0 → zero mean, unit var.
+        for row in x.chunks(dims.hidden()) {
+            let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / row.len() as f32;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn masked_padding_does_not_change_valid_tokens() {
+        // A length-2 request alone vs. the same request zero-padded to 4
+        // with a mask: the valid token outputs must match.
+        let (store, lw, dims) = setup();
+        let h = dims.hidden();
+        let content: Vec<f32> = (0..2 * h).map(|i| ((i * 7) % 11) as f32 * 0.2 - 1.0).collect();
+
+        let mut alone = content.clone();
+        layer_forward(&store, &lw, &dims, 1, 2, &mut alone, None);
+
+        let mut padded = content.clone();
+        padded.extend(std::iter::repeat_n(0.0, 2 * h));
+        let mask = vec![0.0, 0.0, f32::NEG_INFINITY, f32::NEG_INFINITY];
+        layer_forward(&store, &lw, &dims, 1, 4, &mut padded, Some(&mask));
+
+        for (a, p) in alone.iter().zip(padded[..2 * h].iter()) {
+            assert!((a - p).abs() < 1e-4, "padding must be invisible: {a} vs {p}");
+        }
+    }
+
+    #[test]
+    fn graph_emission_matches_expected_op_count() {
+        let (_store, lw, dims) = setup();
+        let mut g = Graph::new();
+        let x = g.add_tensor("x", vec![1, 4, dims.hidden()], TensorClass::Activation);
+        // x needs a producer for topo-order validity in this test: treat as
+        // input instead.
+        g.tensors[x].class = TensorClass::Input;
+        let mut bindings = Vec::new();
+        let w = declare_layer_weights(&mut g, &mut bindings, &lw, &dims, "l0");
+        emit_layer(&mut g, &w, &dims, 1, 4, x, None, "l0");
+        let stats = g.stats();
+        assert_eq!(stats.gemm_nodes, 8, "QKV (3) + scores + ctx + output + FFN (2)");
+        assert_eq!(stats.nodes, 16, "8 GEMM + 3 bias-split + softmax + merge + gelu + 2 LN");
+        assert_eq!(bindings.len(), 16);
+        g.topo_order();
+    }
+
+    #[test]
+    fn shared_weights_emit_multiple_layers() {
+        // ALBERT-style: one weight declaration, two layer emissions.
+        let (_store, lw, dims) = setup();
+        let mut g = Graph::new();
+        let x = g.add_tensor("x", vec![1, 4, dims.hidden()], TensorClass::Input);
+        let mut bindings = Vec::new();
+        let w = declare_layer_weights(&mut g, &mut bindings, &lw, &dims, "shared");
+        let h1 = emit_layer(&mut g, &w, &dims, 1, 4, x, None, "l0");
+        let _h2 = emit_layer(&mut g, &w, &dims, 1, 4, h1, None, "l1");
+        assert_eq!(bindings.len(), 16, "weights declared once");
+        assert_eq!(g.stats().nodes, 32, "two emissions of 16 nodes");
+        g.topo_order();
+    }
+}

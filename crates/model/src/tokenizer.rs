@@ -1,0 +1,300 @@
+//! A WordPiece tokenizer — the missing front of the text-classification
+//! service: the paper's workload is *text* ("randomly sampled from a
+//! chitchatting dataset"); this module turns text into the token ids the
+//! models consume, with BERT's conventions (`[CLS]`/`[SEP]`/`[UNK]`,
+//! `##`-prefixed continuation pieces, greedy longest-match).
+//!
+//! No pretrained vocabulary ships with the reproduction (weights are random
+//! anyway), so [`Tokenizer::new_synthetic`] builds a deterministic vocab of
+//! characters, frequent English words and generated subword pieces — enough
+//! for realistic tokenization behaviour and exact round-trips on in-vocab
+//! text.
+
+use std::collections::HashMap;
+
+/// BERT special-token ids (the conventional first vocabulary slots).
+pub mod special {
+    /// Padding.
+    pub const PAD: u32 = 0;
+    /// Unknown word.
+    pub const UNK: u32 = 1;
+    /// Classification start token.
+    pub const CLS: u32 = 2;
+    /// Separator / end token.
+    pub const SEP: u32 = 3;
+}
+
+/// A WordPiece tokenizer with a fixed vocabulary.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    vocab: HashMap<String, u32>,
+    pieces: Vec<String>,
+    max_word_chars: usize,
+}
+
+impl Tokenizer {
+    /// Build from an explicit piece list; index = token id. The first four
+    /// entries must be the special tokens.
+    pub fn from_pieces(pieces: Vec<String>) -> Self {
+        assert!(pieces.len() > 4, "vocabulary too small");
+        assert_eq!(pieces[special::PAD as usize], "[PAD]");
+        assert_eq!(pieces[special::UNK as usize], "[UNK]");
+        assert_eq!(pieces[special::CLS as usize], "[CLS]");
+        assert_eq!(pieces[special::SEP as usize], "[SEP]");
+        let vocab = pieces
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i as u32))
+            .collect();
+        Tokenizer { vocab, pieces, max_word_chars: 64 }
+    }
+
+    /// A deterministic synthetic vocabulary: specials, single characters
+    /// (stand-alone and `##` continuation), frequent English words, and
+    /// two-letter continuation pieces until `target_size` is reached.
+    pub fn new_synthetic(target_size: usize) -> Self {
+        let mut pieces: Vec<String> =
+            ["[PAD]", "[UNK]", "[CLS]", "[SEP]"].iter().map(|s| s.to_string()).collect();
+        let chars: Vec<char> = ('a'..='z').chain('0'..='9').collect();
+        for &c in &chars {
+            pieces.push(c.to_string());
+        }
+        for &c in &chars {
+            pieces.push(format!("##{c}"));
+        }
+        for w in [
+            "the", "and", "ing", "ion", "that", "for", "you", "this", "with", "are", "have",
+            "not", "but", "what", "can", "was", "all", "will", "one", "about", "how", "out",
+            "time", "there", "year", "when", "them", "some", "me", "people", "take", "into",
+            "just", "your", "come", "could", "now", "than", "like", "other", "then", "its",
+            "over", "also", "back", "after", "use", "two", "our", "work", "first", "well",
+            "hello", "world", "trans", "form", "er", "serve", "batch", "model",
+        ] {
+            pieces.push(w.to_string());
+        }
+        'outer: for &a in &chars[..26] {
+            for &b in &chars[..26] {
+                if pieces.len() >= target_size {
+                    break 'outer;
+                }
+                pieces.push(format!("##{a}{b}"));
+            }
+        }
+        Self::from_pieces(pieces)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// Id of a piece, if present.
+    pub fn piece_id(&self, piece: &str) -> Option<u32> {
+        self.vocab.get(piece).copied()
+    }
+
+    /// Tokenize raw text (no specials): lowercase, split on whitespace and
+    /// punctuation, greedy longest-match WordPiece per word.
+    pub fn tokenize(&self, text: &str) -> Vec<u32> {
+        let mut out = Vec::new();
+        for word in split_words(text) {
+            self.wordpiece(&word, &mut out);
+        }
+        out
+    }
+
+    /// Encode for BERT: `[CLS] tokens… [SEP]`, truncated to `max_len`
+    /// (keeping the final `[SEP]`).
+    pub fn encode(&self, text: &str, max_len: usize) -> Vec<u32> {
+        assert!(max_len >= 2, "need room for [CLS] and [SEP]");
+        let mut ids = vec![special::CLS];
+        ids.extend(self.tokenize(text));
+        ids.truncate(max_len - 1);
+        ids.push(special::SEP);
+        ids
+    }
+
+    /// Decode ids back to a string (specials skipped, `##` pieces joined).
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            let piece = match self.pieces.get(id as usize) {
+                Some(p) => p.as_str(),
+                None => "[UNK]",
+            };
+            if piece.starts_with('[') {
+                continue; // special
+            }
+            if let Some(cont) = piece.strip_prefix("##") {
+                out.push_str(cont);
+            } else {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(piece);
+            }
+        }
+        out
+    }
+
+    /// Greedy longest-match WordPiece of one lowercase word.
+    fn wordpiece(&self, word: &str, out: &mut Vec<u32>) {
+        if word.chars().count() > self.max_word_chars {
+            out.push(special::UNK);
+            return;
+        }
+        let chars: Vec<char> = word.chars().collect();
+        let mut start = 0usize;
+        let mut first = true;
+        let mut produced: Vec<u32> = Vec::new();
+        while start < chars.len() {
+            let mut end = chars.len();
+            let mut matched = None;
+            while end > start {
+                let sub: String = chars[start..end].iter().collect();
+                let candidate = if first { sub } else { format!("##{sub}") };
+                if let Some(&id) = self.vocab.get(&candidate) {
+                    matched = Some(id);
+                    break;
+                }
+                end -= 1;
+            }
+            match matched {
+                Some(id) => {
+                    produced.push(id);
+                    start = end;
+                    first = false;
+                }
+                None => {
+                    // Whole word becomes [UNK] if any position is
+                    // untokenizable (BERT's behaviour).
+                    out.push(special::UNK);
+                    return;
+                }
+            }
+        }
+        out.extend(produced);
+    }
+}
+
+/// Lowercase and split into word/punctuation units.
+fn split_words(text: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars().flat_map(|c| c.to_lowercase()) {
+        if ch.is_alphanumeric() {
+            cur.push(ch);
+        } else {
+            if !cur.is_empty() {
+                words.push(std::mem::take(&mut cur));
+            }
+            if !ch.is_whitespace() {
+                words.push(ch.to_string());
+            }
+        }
+    }
+    if !cur.is_empty() {
+        words.push(cur);
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok() -> Tokenizer {
+        Tokenizer::new_synthetic(2000)
+    }
+
+    #[test]
+    fn known_words_are_single_tokens() {
+        let t = tok();
+        let ids = t.tokenize("hello world");
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0], t.piece_id("hello").unwrap());
+        assert_eq!(ids[1], t.piece_id("world").unwrap());
+    }
+
+    #[test]
+    fn unknown_words_split_into_pieces() {
+        let t = tok();
+        // "transformer" = "trans" + "##fo"/"##or"… greedy pieces; must not
+        // be UNK and must decode back to the original word.
+        let ids = t.tokenize("transformer");
+        assert!(ids.len() > 1);
+        assert!(ids.iter().all(|&i| i != special::UNK));
+        assert_eq!(t.decode(&ids), "transformer");
+    }
+
+    #[test]
+    fn greedy_longest_match_prefers_long_pieces() {
+        let t = Tokenizer::from_pieces(
+            ["[PAD]", "[UNK]", "[CLS]", "[SEP]", "ab", "a", "##b", "##ab", "##abab"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        // "ababab" → "ab" + "##abab" (longest continuation wins over ##ab).
+        let ids = t.tokenize("ababab");
+        assert_eq!(ids, vec![4, 8]);
+    }
+
+    #[test]
+    fn encode_adds_specials_and_truncates() {
+        let t = tok();
+        let ids = t.encode("hello world", 16);
+        assert_eq!(ids[0], special::CLS);
+        assert_eq!(*ids.last().unwrap(), special::SEP);
+        assert_eq!(ids.len(), 4);
+
+        let long: String = std::iter::repeat_n("hello ", 50).collect();
+        let ids = t.encode(&long, 10);
+        assert_eq!(ids.len(), 10);
+        assert_eq!(*ids.last().unwrap(), special::SEP);
+    }
+
+    #[test]
+    fn punctuation_splits_words() {
+        let t = tok();
+        let a = t.tokenize("hello,world");
+        let b = t.tokenize("hello , world");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn case_is_folded() {
+        let t = tok();
+        assert_eq!(t.tokenize("HELLO"), t.tokenize("hello"));
+    }
+
+    #[test]
+    fn non_latin_becomes_unk_not_panic() {
+        let t = tok();
+        let ids = t.tokenize("日本語");
+        assert!(ids.iter().all(|&i| i == special::UNK));
+    }
+
+    #[test]
+    fn decode_round_trips_in_vocab_text() {
+        let t = tok();
+        let text = "the model can serve people well";
+        let ids = t.tokenize(text);
+        assert_eq!(t.decode(&ids), text);
+    }
+
+    #[test]
+    fn ids_fit_vocab_for_bert() {
+        let t = tok();
+        let ids = t.encode("this is a somewhat longer chitchatting message for the service", 128);
+        assert!(ids.iter().all(|&i| (i as usize) < t.vocab_size()));
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = Tokenizer::new_synthetic(1500);
+        let b = Tokenizer::new_synthetic(1500);
+        assert_eq!(a.vocab_size(), b.vocab_size());
+        assert_eq!(a.tokenize("hello transformer"), b.tokenize("hello transformer"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Deterministic seeded weight initialization.
+//!
+//! Performance experiments never look at task accuracy, so weights are
+//! Xavier-uniform random values from a seeded PRNG — the same seed always
+//! yields bit-identical models, which keeps cross-runtime numerical
+//! comparisons meaningful.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tt_tensor::Tensor;
+
+/// Seeded weight factory.
+#[derive(Debug)]
+pub struct WeightInit {
+    rng: StdRng,
+}
+
+impl WeightInit {
+    /// Create a factory from a seed.
+    pub fn new(seed: u64) -> Self {
+        WeightInit { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Xavier-uniform matrix `[fan_in, fan_out]`.
+    pub fn linear(&mut self, fan_in: usize, fan_out: usize) -> Tensor {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Tensor::from_fn([fan_in, fan_out], |_| self.rng.random_range(-bound..bound))
+    }
+
+    /// Zero bias `[n]`.
+    pub fn bias(&mut self, n: usize) -> Tensor {
+        Tensor::zeros([n])
+    }
+
+    /// LayerNorm gain, ones `[n]`.
+    pub fn gamma(&mut self, n: usize) -> Tensor {
+        Tensor::full([n], 1.0)
+    }
+
+    /// LayerNorm shift, zeros `[n]`.
+    pub fn beta(&mut self, n: usize) -> Tensor {
+        Tensor::zeros([n])
+    }
+
+    /// Embedding table `[rows, hidden]`, small-variance normal-ish values
+    /// (uniform is fine for performance work).
+    pub fn embedding(&mut self, rows: usize, hidden: usize) -> Tensor {
+        Tensor::from_fn([rows, hidden], |_| self.rng.random_range(-0.05..0.05))
+    }
+}
+
+/// A flat, indexable store of model weights; graph weight tensors bind to
+/// indices in this store.
+#[derive(Debug, Default)]
+pub struct WeightStore {
+    tensors: Vec<Tensor>,
+}
+
+impl WeightStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a weight, returning its index.
+    pub fn push(&mut self, t: Tensor) -> usize {
+        self.tensors.push(t);
+        self.tensors.len() - 1
+    }
+
+    /// Get a weight by index.
+    pub fn get(&self, idx: usize) -> &Tensor {
+        &self.tensors[idx]
+    }
+
+    /// Number of stored weights.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total parameter bytes.
+    pub fn bytes(&self) -> usize {
+        self.tensors.iter().map(|t| t.len() * 4).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = WeightInit::new(42).linear(16, 16);
+        let b = WeightInit::new(42).linear(16, 16);
+        assert_eq!(a, b);
+        let c = WeightInit::new(43).linear(16, 16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_bound_is_respected() {
+        let t = WeightInit::new(1).linear(100, 100);
+        let bound = (6.0f32 / 200.0).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= bound));
+        // And values actually spread out (not all zero).
+        let spread = t.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(spread > bound * 0.5);
+    }
+
+    #[test]
+    fn store_round_trips() {
+        let mut s = WeightStore::new();
+        let i = s.push(Tensor::full([2, 2], 3.0));
+        assert_eq!(s.get(i).as_slice(), &[3.0; 4]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.bytes(), 16);
+    }
+}

@@ -1,0 +1,466 @@
+//! # tt-runtime — the TurboTransformers inference runtime
+//!
+//! Ties together everything below it, exactly as the paper's "inference
+//! runtime" box (Fig. 2) does:
+//!
+//! - builds/receives a fused computation graph (`tt-graph`, `tt-model`);
+//! - plans activation memory per request with the sequence-length-aware
+//!   allocator (`tt-alloc`) and executes the real numerics over the shared
+//!   chunk arena ([`executor`]);
+//! - prices the same execution on a simulated GPU (`tt-gpusim`) so
+//!   experiments can reason about device time without physical hardware
+//!   ([`cost`]);
+//! - and exposes every baseline runtime of the paper's evaluation as a
+//!   [`RuntimeKind`] variant of the same substrate ([`variants`]).
+//!
+//! ```
+//! use tt_model::bert::{Bert, BertConfig};
+//! use tt_model::ids_batch;
+//! use tt_runtime::{RuntimeConfig, TurboRuntime};
+//! use tt_gpusim::device::DeviceKind;
+//!
+//! let model = Bert::new_random(&BertConfig::tiny(), 7);
+//! let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+//! let out = rt.run_bert(&model, &ids_batch(&[&[1, 2, 3]])).unwrap();
+//! assert_eq!(out.encoder_output.shape().dims(), &[1, 3, 16]);
+//! assert!(out.sim_time > 0.0);
+//! ```
+
+pub mod cost;
+pub mod executor;
+pub mod variants;
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::Mutex;
+
+use tt_alloc::caching::CachingAllocator;
+use tt_alloc::sim::replay;
+use tt_alloc::TurboAllocator;
+use tt_gpusim::device::{DeviceConfig, DeviceKind};
+use tt_graph::lifetime::activation_lifetimes;
+use tt_model::albert::{Albert, AlbertConfig};
+use tt_model::bert::{Bert, BertConfig};
+use tt_model::bound::{BoundGraph, InputBinding};
+use tt_model::decoder::Seq2SeqDecoderConfig;
+use tt_tensor::storage::Arena;
+use tt_tensor::Tensor;
+
+pub use cost::CostBreakdown;
+pub use variants::{AllocPolicy, FusionLevel, Precision, RuntimeKind, VariantProfile};
+
+/// Simulated cost of one slow-path device allocation (`cudaMalloc`).
+pub const DEVICE_MALLOC_SECONDS: f64 = 60e-6;
+/// Simulated CPU cost of one offset-plan pass (paper: "lightweight").
+pub const PLAN_BASE_SECONDS: f64 = 10e-6;
+/// Simulated per-tensor cost of planning / pool lookups.
+pub const PER_TENSOR_SECONDS: f64 = 0.3e-6;
+
+/// Runtime construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Which runtime variant to emulate.
+    pub kind: RuntimeKind,
+    /// Which GPU to model.
+    pub device: DeviceKind,
+    /// Charge shape-pretuning time for fixed-shape runtimes when a new
+    /// shape arrives (paper Fig. 10 semantics). When `false` (default, the
+    /// paper's Fig. 11 semantics) shapes are assumed pre-tuned.
+    pub include_pretune: bool,
+    /// Numeric precision to model (FP32 in every paper experiment; FP16 is
+    /// the released TurboTransformers' half-precision mode).
+    pub precision: Precision,
+}
+
+impl RuntimeConfig {
+    /// A runtime of the given kind on the given device.
+    pub fn new(kind: RuntimeKind, device: DeviceKind) -> Self {
+        RuntimeConfig { kind, device, include_pretune: false, precision: Precision::Fp32 }
+    }
+
+    /// Model FP16 execution (tensor-core GEMM, halved traffic).
+    pub fn fp16(mut self) -> Self {
+        self.precision = Precision::Fp16;
+        self
+    }
+
+    /// The TurboTransformers runtime.
+    pub fn turbo(device: DeviceKind) -> Self {
+        Self::new(RuntimeKind::Turbo, device)
+    }
+}
+
+/// Errors surfaced to callers of the run APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The request's sequence length exceeds the model's position table.
+    SequenceTooLong {
+        /// Requested length.
+        got: usize,
+        /// Model maximum.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::SequenceTooLong { got, max } => {
+                write!(f, "sequence length {got} exceeds the model maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Result of one runtime inference: real numerics plus simulated timing.
+#[derive(Debug)]
+pub struct EncoderRun {
+    /// Final hidden states `[batch, seq, hidden]`.
+    pub encoder_output: Tensor,
+    /// Simulated device seconds for this inference under the variant.
+    pub sim_time: f64,
+    /// Component breakdown of `sim_time`.
+    pub breakdown: CostBreakdown,
+    /// Allocator statistics of this inference's plan.
+    pub plan_stats: tt_alloc::turbo::PlanStats,
+}
+
+#[derive(Debug)]
+struct State {
+    allocator: TurboAllocator,
+    arena: Arena,
+    /// Warm caching pool used to price `AllocPolicy::CachingPool` variants.
+    caching_for_cost: CachingAllocator,
+    /// Turbo allocator replica used to price `AllocPolicy::TurboChunks`.
+    turbo_for_cost: TurboAllocator,
+    tuned_shapes: HashSet<(usize, usize)>,
+    bert_cost_cache: HashMap<CostKey, CostBreakdown>,
+}
+
+#[derive(Debug, PartialEq, Eq, Hash, Clone, Copy)]
+struct CostKey {
+    layers: usize,
+    heads: usize,
+    head_dim: usize,
+    ffn: usize,
+    batch: usize,
+    seq: usize,
+    masked: bool,
+    albert: bool,
+}
+
+/// The runtime. Cheap to share behind a reference; interior state (chunk
+/// cache, cost caches, tuned-shape set) is mutex-protected.
+#[derive(Debug)]
+pub struct TurboRuntime {
+    config: RuntimeConfig,
+    profile: VariantProfile,
+    device: DeviceConfig,
+    state: Mutex<State>,
+}
+
+impl TurboRuntime {
+    /// Create a runtime.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let mut profile = config.kind.profile();
+        profile.precision = config.precision;
+        TurboRuntime {
+            profile,
+            device: config.device.config(),
+            config,
+            state: Mutex::new(State {
+                allocator: TurboAllocator::default(),
+                arena: Arena::new(),
+                caching_for_cost: CachingAllocator::new(),
+                turbo_for_cost: TurboAllocator::default(),
+                tuned_shapes: HashSet::new(),
+                bert_cost_cache: HashMap::new(),
+            }),
+        }
+    }
+
+    /// The variant this runtime emulates.
+    pub fn kind(&self) -> RuntimeKind {
+        self.config.kind
+    }
+
+    /// The variant profile.
+    pub fn profile(&self) -> &VariantProfile {
+        &self.profile
+    }
+
+    /// The modelled device.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// Apply the variant's graph form (fused models de-fuse for
+    /// fine-grained variants).
+    fn transform(&self, bound: &BoundGraph) -> BoundGraph {
+        match self.profile.fusion {
+            FusionLevel::Fused => bound.clone(),
+            FusionLevel::Decomposed => bound.rebind(tt_graph::fusion::decompose(&bound.graph)),
+        }
+    }
+
+    /// Allocator-overhead seconds for executing `bound` once, advancing the
+    /// warm allocator replicas.
+    fn alloc_overhead(&self, state: &mut State, bound: &BoundGraph) -> f64 {
+        let (usages, _) = activation_lifetimes(&bound.graph);
+        match self.profile.allocator {
+            AllocPolicy::TurboChunks => {
+                let _ = state.turbo_for_cost.plan(&usages);
+                let st = state.turbo_for_cost.last_stats();
+                PLAN_BASE_SECONDS
+                    + usages.len() as f64 * PER_TENSOR_SECONDS
+                    + st.new_chunks as f64 * DEVICE_MALLOC_SECONDS
+            }
+            AllocPolicy::CachingPool => {
+                let report = replay(&mut state.caching_for_cost, &usages);
+                report.device_allocs as f64 * DEVICE_MALLOC_SECONDS
+                    + usages.len() as f64 * PER_TENSOR_SECONDS
+            }
+            AllocPolicy::StaticExactFit => 0.0,
+        }
+    }
+
+    /// Pretuning seconds owed for this shape (and mark it tuned).
+    fn pretune_cost(&self, state: &mut State, batch: usize, seq: usize) -> f64 {
+        if self.config.include_pretune
+            && self.profile.fixed_shape_only
+            && state.tuned_shapes.insert((batch, seq))
+        {
+            self.profile.pretune_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Price one bound graph under this runtime (no numerics). Advances the
+    /// warm allocator/tuning state exactly as a real execution would.
+    pub fn cost_bound(&self, bound: &BoundGraph, batch: usize, seq: usize) -> CostBreakdown {
+        let transformed = self.transform(bound);
+        let mut cb = cost::graph_cost(&self.device, &self.profile, &transformed.graph);
+        let mut state = self.state.lock();
+        cb.alloc = self.alloc_overhead(&mut state, &transformed);
+        cb.overhead = self.profile.per_infer_overhead + self.pretune_cost(&mut state, batch, seq);
+        cb
+    }
+
+    /// Cached BERT inference cost for a `(batch, seq)` shape — the
+    /// building block of the serving framework's `cached_cost` table.
+    pub fn bert_cost(&self, cfg: &BertConfig, batch: usize, seq: usize, masked: bool) -> f64 {
+        let key = CostKey {
+            layers: cfg.num_layers,
+            heads: cfg.num_heads,
+            head_dim: cfg.head_dim,
+            ffn: cfg.ffn_dim,
+            batch,
+            seq,
+            masked,
+            albert: false,
+        };
+        if let Some(cb) = self.state.lock().bert_cost_cache.get(&key) {
+            return cb.total();
+        }
+        let bound = tt_model::bert::graph_skeleton(cfg, batch, seq, masked);
+        let cb = self.cost_bound(&bound, batch, seq);
+        self.state.lock().bert_cost_cache.insert(key, cb);
+        cb.total()
+    }
+
+    /// Cached ALBERT inference cost.
+    pub fn albert_cost(&self, cfg: &AlbertConfig, batch: usize, seq: usize, masked: bool) -> f64 {
+        let key = CostKey {
+            layers: cfg.num_layers,
+            heads: cfg.num_heads,
+            head_dim: cfg.head_dim,
+            ffn: cfg.ffn_dim,
+            batch,
+            seq,
+            masked,
+            albert: true,
+        };
+        if let Some(cb) = self.state.lock().bert_cost_cache.get(&key) {
+            return cb.total();
+        }
+        let bound = tt_model::albert::graph_skeleton(cfg, batch, seq, masked);
+        let cb = self.cost_bound(&bound, batch, seq);
+        self.state.lock().bert_cost_cache.insert(key, cb);
+        cb.total()
+    }
+
+    /// Beam-search decoding cost (paper Fig. 10c's workload).
+    pub fn decoder_cost(&self, cfg: &Seq2SeqDecoderConfig, src_len: usize, tgt_len: usize) -> f64 {
+        cost::decoder_cost(&self.device, &self.profile, cfg, src_len, tgt_len).total()
+    }
+
+    /// GPT-style decoder-only generation cost (prompt prefill + `gen_len`
+    /// sampled tokens) — the extension model beyond the paper's set.
+    pub fn gpt_cost(&self, cfg: &tt_model::gpt::GptConfig, prompt_len: usize, gen_len: usize) -> f64 {
+        cost::gpt_cost(&self.device, &self.profile, cfg, prompt_len, gen_len).total()
+    }
+
+    fn run_encoder(
+        &self,
+        bound: &BoundGraph,
+        store: &tt_model::weights::WeightStore,
+        inputs: &[(InputBinding, &Tensor)],
+        batch: usize,
+        seq: usize,
+    ) -> EncoderRun {
+        let transformed = self.transform(bound);
+        let mut cb = cost::graph_cost(&self.device, &self.profile, &transformed.graph);
+        let mut state = self.state.lock();
+        cb.alloc = self.alloc_overhead(&mut state, &transformed);
+        cb.overhead = self.profile.per_infer_overhead + self.pretune_cost(&mut state, batch, seq);
+        let State { allocator, arena, .. } = &mut *state;
+        let exec = executor::execute(&transformed, store, inputs, allocator, arena);
+        EncoderRun {
+            encoder_output: exec.output,
+            sim_time: cb.total(),
+            breakdown: cb,
+            plan_stats: exec.plan_stats,
+        }
+    }
+
+    /// Run BERT on unpadded `[batch, seq]` token ids.
+    pub fn run_bert(&self, model: &Bert, ids: &Tensor) -> Result<EncoderRun, RunError> {
+        let (batch, seq) = (ids.shape().dim(0), ids.shape().dim(1));
+        if seq > model.config.max_position {
+            return Err(RunError::SequenceTooLong { got: seq, max: model.config.max_position });
+        }
+        let bound = model.build_graph(batch, seq, false);
+        Ok(self.run_encoder(&bound, model.weights(), &[(InputBinding::TokenIds, ids)], batch, seq))
+    }
+
+    /// Run BERT on a zero-padded batch with an additive attention mask
+    /// (see [`tt_model::pad_batch`]).
+    pub fn run_bert_masked(&self, model: &Bert, ids: &Tensor, mask: &Tensor) -> Result<EncoderRun, RunError> {
+        let (batch, seq) = (ids.shape().dim(0), ids.shape().dim(1));
+        if seq > model.config.max_position {
+            return Err(RunError::SequenceTooLong { got: seq, max: model.config.max_position });
+        }
+        let bound = model.build_graph(batch, seq, true);
+        Ok(self.run_encoder(
+            &bound,
+            model.weights(),
+            &[(InputBinding::TokenIds, ids), (InputBinding::AttentionMask, mask)],
+            batch,
+            seq,
+        ))
+    }
+
+    /// Run ALBERT on unpadded `[batch, seq]` token ids.
+    pub fn run_albert(&self, model: &Albert, ids: &Tensor) -> Result<EncoderRun, RunError> {
+        let (batch, seq) = (ids.shape().dim(0), ids.shape().dim(1));
+        if seq > model.config.max_position {
+            return Err(RunError::SequenceTooLong { got: seq, max: model.config.max_position });
+        }
+        let bound = model.build_graph(batch, seq, false);
+        Ok(self.run_encoder(&bound, model.weights(), &[(InputBinding::TokenIds, ids)], batch, seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_model::ids_batch;
+
+    #[test]
+    fn run_bert_produces_output_and_time() {
+        let model = Bert::new_random(&BertConfig::tiny(), 1);
+        let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+        let out = rt.run_bert(&model, &ids_batch(&[&[1, 2, 3, 4]])).unwrap();
+        assert_eq!(out.encoder_output.shape().dims(), &[1, 4, 16]);
+        assert!(out.sim_time > 0.0);
+        assert!(out.breakdown.gemm > 0.0);
+    }
+
+    #[test]
+    fn sequence_too_long_is_an_error() {
+        let model = Bert::new_random(&BertConfig::tiny(), 1);
+        let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+        let long: Vec<u32> = (0..100).collect();
+        let err = rt.run_bert(&model, &ids_batch(&[&long])).unwrap_err();
+        assert!(matches!(err, RunError::SequenceTooLong { got: 100, max: 64 }));
+    }
+
+    #[test]
+    fn all_variants_compute_identical_numerics() {
+        let model = Bert::new_random(&BertConfig::tiny(), 2);
+        let ids = ids_batch(&[&[7, 8, 9]]);
+        let reference = model.forward(&ids, None);
+        for kind in RuntimeKind::all() {
+            let rt = TurboRuntime::new(RuntimeConfig::new(kind, DeviceKind::RTX2060));
+            let out = rt.run_bert(&model, &ids).unwrap();
+            assert!(
+                out.encoder_output.approx_eq(&reference, 1e-4),
+                "{kind:?} diverged numerically"
+            );
+        }
+    }
+
+    #[test]
+    fn turbo_is_fastest_variant_on_long_input() {
+        let cfg = BertConfig::base();
+        let turbo = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+        let turbo_cost = turbo.bert_cost(&cfg, 1, 400, false);
+        for kind in [RuntimeKind::PyTorchLike, RuntimeKind::OnnxRuntimeLike, RuntimeKind::XlaLike] {
+            let rt = TurboRuntime::new(RuntimeConfig::new(kind, DeviceKind::RTX2060));
+            let c = rt.bert_cost(&cfg, 1, 400, false);
+            assert!(
+                turbo_cost < c,
+                "turbo {turbo_cost} must beat {kind:?} {c} at length 400"
+            );
+        }
+    }
+
+    #[test]
+    fn bert_cost_is_cached() {
+        let cfg = BertConfig::base();
+        let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+        let a = rt.bert_cost(&cfg, 4, 64, true);
+        let b = rt.bert_cost(&cfg, 4, 64, true);
+        assert_eq!(a, b);
+        assert_eq!(rt.state.lock().bert_cost_cache.len(), 1);
+    }
+
+    #[test]
+    fn pretune_is_charged_once_per_shape_when_enabled() {
+        let cfg = BertConfig::base();
+        let mut rc = RuntimeConfig::new(RuntimeKind::TensorRTLike, DeviceKind::V100);
+        rc.include_pretune = true;
+        let rt = TurboRuntime::new(rc);
+        let bound = tt_model::bert::graph_skeleton(&cfg, 1, 64, false);
+        let first = rt.cost_bound(&bound, 1, 64);
+        let second = rt.cost_bound(&bound, 1, 64);
+        assert!(
+            first.total() > second.total() + 1.0,
+            "first sight of a shape pays tuning: {} vs {}",
+            first.total(),
+            second.total()
+        );
+    }
+
+    #[test]
+    fn caching_pool_warms_up() {
+        // A PyTorch-like runtime pays device mallocs on the first request
+        // of a given size, then serves from the pool.
+        let cfg = BertConfig::base();
+        let rt = TurboRuntime::new(RuntimeConfig::new(RuntimeKind::PyTorchLike, DeviceKind::RTX2060));
+        let bound = tt_model::bert::graph_skeleton(&cfg, 1, 128, false);
+        let cold = rt.cost_bound(&bound, 1, 128);
+        let warm = rt.cost_bound(&bound, 1, 128);
+        assert!(cold.alloc > warm.alloc, "pool must warm up: {} vs {}", cold.alloc, warm.alloc);
+    }
+
+    #[test]
+    fn albert_and_decoder_costs_are_positive() {
+        let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+        assert!(rt.albert_cost(&AlbertConfig::base(), 1, 64, false) > 0.0);
+        assert!(rt.decoder_cost(&Seq2SeqDecoderConfig::base(), 60, 30) > 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Random-graph fuzzing of the executor + fusion pipeline: build arbitrary
+//! valid op chains, execute them through the planned arena, and check that
+//! `fuse` and `decompose` never change the numerics — the property behind
+//! the paper's claim that its graph rewrite is free.
+
+use proptest::prelude::*;
+
+use tt_alloc::TurboAllocator;
+use tt_graph::fusion::{decompose, fuse};
+use tt_graph::{Graph, OpKind, TensorClass};
+use tt_model::bound::{BoundGraph, InputBinding};
+use tt_model::weights::{WeightInit, WeightStore};
+use tt_runtime::executor::execute;
+use tt_tensor::storage::Arena;
+use tt_tensor::Tensor;
+
+/// Ops the generator may append (all preserve the [rows, hidden] shape).
+#[derive(Debug, Clone, Copy)]
+enum GenOp {
+    AddBias,
+    Gelu,
+    AddBiasGelu,
+    Scale,
+    Softmax,
+    LayerNorm,
+    ResidualWithInput,
+}
+
+fn op_strategy() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        Just(GenOp::AddBias),
+        Just(GenOp::Gelu),
+        Just(GenOp::AddBiasGelu),
+        Just(GenOp::Scale),
+        Just(GenOp::Softmax),
+        Just(GenOp::LayerNorm),
+        Just(GenOp::ResidualWithInput),
+    ]
+}
+
+/// Build a random but valid bound graph over a `[rows, hidden]` input,
+/// plus the weight store backing it.
+fn build(ops: &[GenOp], rows: usize, hidden: usize, seed: u64) -> (BoundGraph, WeightStore) {
+    let mut g = Graph::new();
+    let mut store = WeightStore::new();
+    let mut init = WeightInit::new(seed);
+    let mut bindings = Vec::new();
+
+    let input = g.add_tensor("x", vec![rows, hidden], TensorClass::Input);
+    let mut cur = input;
+    let mut weight = |g: &mut Graph, store: &mut WeightStore, t: Tensor, name: String| {
+        let shape = t.shape().dims().to_vec();
+        let idx = store.push(t);
+        let tid = g.add_tensor(name, shape, TensorClass::Weight);
+        bindings.push((tid, idx));
+        tid
+    };
+
+    for (i, op) in ops.iter().enumerate() {
+        let out = g.add_tensor(format!("t{i}"), vec![rows, hidden], TensorClass::Activation);
+        match op {
+            GenOp::AddBias => {
+                let b = weight(&mut g, &mut store, init.linear(1, hidden).reshape([hidden]).unwrap(), format!("b{i}"));
+                g.add_node(OpKind::AddBias, vec![cur, b], out);
+            }
+            GenOp::Gelu => {
+                g.add_node(OpKind::Gelu, vec![cur], out);
+            }
+            GenOp::AddBiasGelu => {
+                let b = weight(&mut g, &mut store, init.linear(1, hidden).reshape([hidden]).unwrap(), format!("b{i}"));
+                g.add_node(OpKind::AddBiasGelu, vec![cur, b], out);
+            }
+            GenOp::Scale => {
+                g.add_node(OpKind::Scale { alpha: 0.5 + (i % 3) as f32 * 0.25 }, vec![cur], out);
+            }
+            GenOp::Softmax => {
+                g.add_node(OpKind::Softmax, vec![cur], out);
+            }
+            GenOp::LayerNorm => {
+                let gamma = weight(&mut g, &mut store, Tensor::full([hidden], 1.1), format!("g{i}"));
+                let beta = weight(&mut g, &mut store, Tensor::full([hidden], -0.05), format!("be{i}"));
+                g.add_node(OpKind::LayerNorm { eps: 1e-5 }, vec![cur, gamma, beta], out);
+            }
+            GenOp::ResidualWithInput => {
+                g.add_node(OpKind::Residual, vec![cur, input], out);
+            }
+        }
+        cur = out;
+    }
+    g.tensors[cur].class = TensorClass::Output;
+    (
+        BoundGraph {
+            graph: g,
+            weights: bindings,
+            inputs: vec![(input, InputBinding::TokenIds)],
+            output: cur,
+        },
+        store,
+    )
+}
+
+fn run(bound: &BoundGraph, store: &WeightStore, x: &Tensor) -> Tensor {
+    let mut alloc = TurboAllocator::default();
+    let mut arena = Arena::new();
+    execute(bound, store, &[(InputBinding::TokenIds, x)], &mut alloc, &mut arena).output
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Executing a random chain, its fused form and its decomposed form all
+    /// yield the same numbers.
+    #[test]
+    fn fusion_rewrites_preserve_numerics(
+        ops in prop::collection::vec(op_strategy(), 1..10),
+        rows in 1usize..5,
+        hidden in 2usize..24,
+        seed in 0u64..500,
+    ) {
+        let (bound, store) = build(&ops, rows, hidden, seed);
+        let x = Tensor::from_fn([rows, hidden], |i| ((i as u64 * 29 + seed) % 13) as f32 * 0.3 - 1.5);
+
+        let base = run(&bound, &store, &x);
+        prop_assert!(base.as_slice().iter().all(|v| v.is_finite()));
+
+        let fused = bound.rebind(fuse(&bound.graph));
+        let f = run(&fused, &store, &x);
+        prop_assert!(base.approx_eq(&f, 1e-4), "fuse changed numerics (diff {})",
+            base.max_abs_diff(&f).unwrap());
+
+        let decomposed = bound.rebind(decompose(&bound.graph));
+        let d = run(&decomposed, &store, &x);
+        prop_assert!(base.approx_eq(&d, 1e-4), "decompose changed numerics (diff {})",
+            base.max_abs_diff(&d).unwrap());
+
+        // And the round trip.
+        let round = bound.rebind(fuse(&decompose(&bound.graph)));
+        let rt = run(&round, &store, &x);
+        prop_assert!(base.approx_eq(&rt, 1e-4));
+    }
+
+    /// The allocator invariant holds on every random chain: plans validate
+    /// and repeated execution with a warm arena is deterministic.
+    #[test]
+    fn warm_arena_execution_is_deterministic(
+        ops in prop::collection::vec(op_strategy(), 1..8),
+        seed in 0u64..200,
+    ) {
+        let (bound, store) = build(&ops, 3, 8, seed);
+        let x = Tensor::from_fn([3, 8], |i| (i as f32 * 0.17).sin());
+        let mut alloc = TurboAllocator::default();
+        let mut arena = Arena::new();
+        let a = execute(&bound, &store, &[(InputBinding::TokenIds, &x)], &mut alloc, &mut arena).output;
+        let b = execute(&bound, &store, &[(InputBinding::TokenIds, &x)], &mut alloc, &mut arena).output;
+        prop_assert_eq!(a, b);
+    }
+}

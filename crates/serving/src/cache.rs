@@ -1,0 +1,112 @@
+//! The Clipper-style response cache (paper Fig. 2, "Resp Cache").
+//!
+//! "By caching the inference results in a database, the Resp Cache
+//! component responds to frequent requests without evaluating the model."
+//! The paper's serving measurements turn it off; it is implemented and
+//! tested here for completeness, with an LRU eviction bound.
+
+use std::collections::HashMap;
+
+/// A bounded LRU response cache keyed by request content fingerprint.
+#[derive(Debug)]
+pub struct ResponseCache {
+    capacity: usize,
+    /// key → (response token, recency stamp)
+    map: HashMap<u64, (u64, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` responses.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ResponseCache { capacity, map: HashMap::new(), clock: 0, hits: 0, misses: 0 }
+    }
+
+    /// Look up a response; updates recency and hit statistics.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        self.clock += 1;
+        match self.map.get_mut(&key) {
+            Some((resp, stamp)) => {
+                *stamp = self.clock;
+                self.hits += 1;
+                Some(*resp)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a response, evicting the least-recently-used entry when full.
+    pub fn put(&mut self, key: u64, response: u64) {
+        self.clock += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some((&lru, _)) = self.map.iter().min_by_key(|(_, (_, stamp))| *stamp) {
+                self.map.remove(&lru);
+            }
+        }
+        self.map.insert(key, (response, self.clock));
+    }
+
+    /// Hit ratio so far (0 when no lookups yet).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = ResponseCache::new(4);
+        assert_eq!(c.get(1), None);
+        c.put(1, 100);
+        assert_eq!(c.get(1), Some(100));
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let mut c = ResponseCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        let _ = c.get(1); // freshen 1
+        c.put(3, 30); // evicts 2
+        assert_eq!(c.get(1), Some(10));
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(3), Some(30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_updates_value_without_evicting() {
+        let mut c = ResponseCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.put(1, 11);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Some(11));
+        assert_eq!(c.get(2), Some(20));
+    }
+}

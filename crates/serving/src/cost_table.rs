@@ -1,0 +1,185 @@
+//! The `cached_cost[seq_len][batch_size]` table of paper Algorithm 3.
+//!
+//! "The values of cached_cost are collected by a warm-up phase after the
+//! service first starts on specific hardware, which utilizes the runtime to
+//! run inferences under all possible batch sizes and sequence lengths.
+//! They are stored on disk or database and reloaded when the serving module
+//! is restarted." Here the warm-up queries the runtime's cost model over a
+//! bucketed length grid (exact per-length profiling would add nothing but
+//! warm-up time), and the table serializes with `serde` for the
+//! disk-storage path.
+
+use serde::{Deserialize, Serialize};
+use tt_model::bert::BertConfig;
+use tt_runtime::TurboRuntime;
+
+/// Profiled batch-inference costs, indexed by (bucketed) max sequence
+/// length and batch size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CachedCost {
+    bucket: usize,
+    max_len: usize,
+    max_batch: usize,
+    /// `costs[bucket_index][batch - 1]` = seconds for one batch.
+    costs: Vec<Vec<f64>>,
+    /// Optional activation-memory table: `memory[bucket][batch - 1]` =
+    /// planned footprint bytes of one batch (from the sequence-length-aware
+    /// allocator). Feeds memory-aware scheduling — the paper notes the
+    /// footprint "affects … the maximum batch size of requests".
+    #[serde(default)]
+    memory: Option<Vec<Vec<usize>>>,
+}
+
+impl CachedCost {
+    /// Warm-up: profile a BERT service on the runtime's cost model over
+    /// `len ∈ {bucket, 2·bucket, …, max_len}` × `batch ∈ 1..=max_batch`.
+    /// Batched execution always pads, so costs are taken on the masked
+    /// graph.
+    pub fn warm_up(
+        runtime: &TurboRuntime,
+        cfg: &BertConfig,
+        max_len: usize,
+        max_batch: usize,
+        bucket: usize,
+    ) -> Self {
+        assert!(bucket >= 1 && max_len >= bucket && max_batch >= 1);
+        let buckets = max_len.div_ceil(bucket);
+        let mut costs = Vec::with_capacity(buckets);
+        for bi in 0..buckets {
+            let len = ((bi + 1) * bucket).min(max_len);
+            let mut row = Vec::with_capacity(max_batch);
+            for batch in 1..=max_batch {
+                row.push(runtime.bert_cost(cfg, batch, len, batch > 1));
+            }
+            costs.push(row);
+        }
+        CachedCost { bucket, max_len, max_batch, costs, memory: None }
+    }
+
+    /// Build directly from a cost closure — used by tests and ablations to
+    /// study the scheduler under synthetic cost surfaces.
+    pub fn from_fn(max_len: usize, max_batch: usize, bucket: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let buckets = max_len.div_ceil(bucket);
+        let costs = (0..buckets)
+            .map(|bi| {
+                let len = ((bi + 1) * bucket).min(max_len);
+                (1..=max_batch).map(|b| f(len, b)).collect()
+            })
+            .collect();
+        CachedCost { bucket, max_len, max_batch, costs, memory: None }
+    }
+
+    /// Profile the activation-memory footprint of every (length, batch)
+    /// cell with the sequence-length-aware allocator and attach it to the
+    /// table, enabling memory-aware scheduling. Each cell plans a fresh
+    /// padded BERT graph and records the resulting chunked footprint.
+    pub fn with_memory_profile(mut self, cfg: &BertConfig) -> Self {
+        use tt_alloc::{TurboAllocator, TurboConfig};
+        use tt_graph::lifetime::activation_lifetimes;
+        let buckets = self.max_len.div_ceil(self.bucket);
+        let mut memory = Vec::with_capacity(buckets);
+        for bi in 0..buckets {
+            let len = ((bi + 1) * self.bucket).min(self.max_len);
+            let mut row = Vec::with_capacity(self.max_batch);
+            for batch in 1..=self.max_batch {
+                let bound = tt_model::bert::graph_skeleton(cfg, batch, len, batch > 1);
+                let (usages, _) = activation_lifetimes(&bound.graph);
+                // A fresh allocator per cell: the worst-case (cold) plan.
+                let mut alloc = TurboAllocator::new(TurboConfig::default());
+                let plan = alloc.plan(&usages);
+                row.push(plan.footprint());
+            }
+            memory.push(row);
+        }
+        self.memory = Some(memory);
+        self
+    }
+
+    /// Planned activation footprint of a batch, bytes. Panics if the table
+    /// was built without [`CachedCost::with_memory_profile`].
+    pub fn batch_memory(&self, max_len_in_batch: usize, count: usize) -> usize {
+        let memory = self.memory.as_ref().expect("memory profile not attached");
+        assert!(count >= 1 && count <= self.max_batch);
+        let bi = max_len_in_batch.max(1).div_ceil(self.bucket) - 1;
+        memory[bi][count - 1]
+    }
+
+    /// Whether the table carries a memory profile.
+    pub fn has_memory_profile(&self) -> bool {
+        self.memory.is_some()
+    }
+
+    /// Largest batch the table covers.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Largest length the table covers.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Cost of executing one batch of `count` requests padded to
+    /// `max_len_in_batch`. Lengths round *up* to the profiling bucket.
+    pub fn batch_cost(&self, max_len_in_batch: usize, count: usize) -> f64 {
+        assert!(count >= 1 && count <= self.max_batch, "batch {count} out of profiled range");
+        assert!(
+            max_len_in_batch <= self.max_len,
+            "length {max_len_in_batch} beyond profiled {}",
+            self.max_len
+        );
+        let bi = max_len_in_batch.max(1).div_ceil(self.bucket) - 1;
+        self.costs[bi][count - 1]
+    }
+
+    /// Per-request cost view (`batch_cost / count`) — the normalization of
+    /// the paper's Bellman equation, which stores per-request cost and
+    /// multiplies by the batch size.
+    pub fn per_request_cost(&self, max_len_in_batch: usize, count: usize) -> f64 {
+        self.batch_cost(max_len_in_batch, count) / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_gpusim::device::DeviceKind;
+    use tt_runtime::RuntimeConfig;
+
+    #[test]
+    fn warm_up_produces_monotone_costs() {
+        let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+        let cfg = BertConfig::base();
+        let table = CachedCost::warm_up(&rt, &cfg, 128, 4, 32);
+        // Longer sequences cost more at fixed batch.
+        assert!(table.batch_cost(32, 1) < table.batch_cost(128, 1));
+        // Bigger batches cost more in total at fixed length…
+        assert!(table.batch_cost(64, 1) < table.batch_cost(64, 4));
+        // …but less per request (the batching gain of paper Fig. 8).
+        assert!(table.per_request_cost(64, 4) < table.per_request_cost(64, 1));
+    }
+
+    #[test]
+    fn lengths_round_up_to_buckets() {
+        let table = CachedCost::from_fn(100, 2, 10, |len, b| (len * b) as f64);
+        assert_eq!(table.batch_cost(1, 1), 10.0);
+        assert_eq!(table.batch_cost(10, 1), 10.0);
+        assert_eq!(table.batch_cost(11, 1), 20.0);
+        assert_eq!(table.batch_cost(100, 2), 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of profiled range")]
+    fn overlarge_batch_is_rejected() {
+        let table = CachedCost::from_fn(10, 2, 10, |_, _| 1.0);
+        table.batch_cost(10, 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let table = CachedCost::from_fn(50, 3, 10, |len, b| len as f64 + b as f64);
+        let json = serde_json::to_string(&table).unwrap();
+        let back: CachedCost = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.batch_cost(37, 2), table.batch_cost(37, 2));
+    }
+}

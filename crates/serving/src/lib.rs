@@ -1,0 +1,52 @@
+//! # tt-serving — the TurboTransformers serving framework
+//!
+//! Paper §5 and Figure 2: requests arrive at a message queue, pass a
+//! response cache, are grouped by a batch scheduler and executed by the
+//! runtime. The framework's contribution is the **sequence-length-aware
+//! batch scheduler** (paper Algorithm 3): a dynamic program over a profiled
+//! `cached_cost[seq_len][batch_size]` table that splits the queued
+//! variable-length requests into contiguous (in sorted length order)
+//! batches minimizing total execution time — trading zero-padding waste
+//! against batching gain.
+//!
+//! Modules:
+//!
+//! - [`request`] — requests and seeded workload generators (Poisson
+//!   arrivals; uniform / clamped-normal / translation length
+//!   distributions);
+//! - [`cost_table`] — the `cached_cost` table and its warm-up construction
+//!   from a `tt-runtime` cost model;
+//! - [`scheduler`] — DP (Algorithm 3), naive single-batch, no-batch and
+//!   pad-to-max (TF-serving-like) schedulers, plus a brute-force optimum
+//!   used by tests;
+//! - [`simulator`] — discrete-event simulation of the serving loop with
+//!   *hungry* and *lazy* trigger strategies, producing the throughput and
+//!   latency numbers of paper Figure 12 / Table 4;
+//! - [`live`] — a real threaded serving engine (crossbeam channels + real
+//!   numerics) proving the Fig. 2 architecture end to end;
+//! - [`cluster`] — a multi-GPU extension: N simulated servers behind a
+//!   load balancer (the "upper-level load balancer as the one in Nexus"
+//!   the paper defers to);
+//! - [`cache`] — the Clipper-style response cache (disabled in the paper's
+//!   measurements, implemented for completeness);
+//! - [`registry`] — model version management (the remaining §2.2 serving
+//!   functionality): versioned handles, blue/green default switching;
+//! - [`multi_model`] — several model classes sharing one GPU
+//!   (earliest-deadline-first, the Nexus scenario) with SLO load shedding;
+//! - [`stats`] — latency accumulation (avg / min / max / percentiles).
+
+pub mod cache;
+pub mod cluster;
+pub mod live;
+pub mod multi_model;
+pub mod cost_table;
+pub mod registry;
+pub mod request;
+pub mod scheduler;
+pub mod simulator;
+pub mod stats;
+
+pub use cost_table::CachedCost;
+pub use request::{LengthDist, Request, WorkloadSpec};
+pub use scheduler::{BatchScheduler, DpScheduler, LatencyDpScheduler, MemoryAwareDpScheduler, NaiveBatchScheduler, NoBatchScheduler, PadToMaxScheduler};
+pub use simulator::{simulate, ServingConfig, ServingReport, Trigger};

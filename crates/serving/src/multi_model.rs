@@ -1,0 +1,254 @@
+//! Multi-model serving on one GPU — the Nexus scenario the paper cites
+//! (§2.2: "Nexus further designed a batching scheduler to serve multiple
+//! different models on the same GPU"), combined with SLO-aware load
+//! shedding.
+//!
+//! Several model classes share a single simulated GPU; each class has its
+//! own cost table (different architectures cost differently) and queue, and
+//! the executor picks the next class to run by earliest-deadline-first over
+//! the queue fronts. Under overload, requests whose SLO has already
+//! expired while queued can be *shed* — answering a few requests late
+//! helps nobody once the deadline is blown, and shedding protects the
+//! goodput of the rest.
+
+use std::collections::VecDeque;
+
+use crate::cost_table::CachedCost;
+use crate::request::Request;
+use crate::scheduler::BatchScheduler;
+use crate::stats::LatencyStats;
+
+/// One model class hosted on the shared GPU.
+pub struct ModelClass<'a> {
+    /// Display name.
+    pub name: &'static str,
+    /// The class's profiled cost table.
+    pub costs: &'a CachedCost,
+    /// Batch scheduler used for this class's queue.
+    pub scheduler: &'a dyn BatchScheduler,
+    /// Latency objective for this class, seconds.
+    pub slo: f64,
+    /// This class's request trace (sorted by arrival).
+    pub requests: Vec<Request>,
+}
+
+/// Shedding policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shedding {
+    /// Serve everything, however late.
+    Never,
+    /// Drop queued requests whose SLO already expired before service.
+    ExpiredSlo,
+}
+
+/// Per-class outcome.
+#[derive(Debug)]
+pub struct ClassReport {
+    /// Class name.
+    pub name: &'static str,
+    /// Requests that arrived.
+    pub arrivals: usize,
+    /// Requests served (late or not).
+    pub completed: usize,
+    /// Requests served within their SLO — the goodput numerator.
+    pub within_slo: usize,
+    /// Requests shed.
+    pub shed: usize,
+    /// Latency over served requests.
+    pub latency: LatencyStats,
+}
+
+impl ClassReport {
+    /// Goodput fraction: served-within-SLO over arrivals.
+    pub fn goodput(&self) -> f64 {
+        if self.arrivals == 0 {
+            return 1.0;
+        }
+        self.within_slo as f64 / self.arrivals as f64
+    }
+}
+
+struct ClassState<'a> {
+    class: &'a ModelClass<'a>,
+    next_arrival: usize,
+    queue: VecDeque<Request>,
+    report: ClassReport,
+}
+
+/// Simulate the shared GPU until all traces are drained or `duration · 4`
+/// elapses.
+pub fn simulate_multi_model(classes: &[ModelClass<'_>], shedding: Shedding, duration: f64) -> Vec<ClassReport> {
+    let cutoff = duration * 4.0;
+    let mut states: Vec<ClassState<'_>> = classes
+        .iter()
+        .map(|c| ClassState {
+            class: c,
+            next_arrival: 0,
+            queue: VecDeque::new(),
+            report: ClassReport {
+                name: c.name,
+                arrivals: c.requests.len(),
+                completed: 0,
+                within_slo: 0,
+                shed: 0,
+                latency: LatencyStats::new(),
+            },
+        })
+        .collect();
+
+    let mut clock = 0.0f64;
+    loop {
+        // Pull arrivals into every queue.
+        for st in states.iter_mut() {
+            while st.next_arrival < st.class.requests.len()
+                && st.class.requests[st.next_arrival].arrival <= clock
+            {
+                st.queue.push_back(st.class.requests[st.next_arrival]);
+                st.next_arrival += 1;
+            }
+            // Shed queued requests whose deadline already passed.
+            if shedding == Shedding::ExpiredSlo {
+                let slo = st.class.slo;
+                let before = st.queue.len();
+                st.queue.retain(|r| clock - r.arrival <= slo);
+                st.report.shed += before - st.queue.len();
+            }
+        }
+
+        // Nothing queued: jump to the next arrival anywhere.
+        if states.iter().all(|s| s.queue.is_empty()) {
+            let next = states
+                .iter()
+                .filter_map(|s| s.class.requests.get(s.next_arrival).map(|r| r.arrival))
+                .min_by(|a, b| a.partial_cmp(b).expect("finite"));
+            match next {
+                Some(t) => {
+                    clock = t;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        if clock > cutoff {
+            break;
+        }
+
+        // Earliest-deadline-first across the queue fronts.
+        let ci = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.queue.is_empty())
+            .min_by(|(_, a), (_, b)| {
+                let da = a.queue.front().expect("non-empty").arrival + a.class.slo;
+                let db = b.queue.front().expect("non-empty").arrival + b.class.slo;
+                da.partial_cmp(&db).expect("finite deadlines")
+            })
+            .map(|(i, _)| i)
+            .expect("some queue is non-empty");
+
+        let st = &mut states[ci];
+        let snapshot: Vec<Request> = st.queue.drain(..).collect();
+        let batching = st.class.scheduler.schedule(&snapshot, st.class.costs);
+        for batch in &batching {
+            let max_len = batch.iter().map(|&i| snapshot[i].len).max().expect("non-empty");
+            clock += st.class.costs.batch_cost(max_len, batch.len());
+            for &i in batch {
+                let lat = clock - snapshot[i].arrival;
+                st.report.latency.record(lat);
+                st.report.completed += 1;
+                if lat <= st.class.slo {
+                    st.report.within_slo += 1;
+                }
+            }
+        }
+    }
+
+    states.into_iter().map(|s| s.report).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{LengthDist, WorkloadSpec};
+    use crate::scheduler::DpScheduler;
+
+    fn table(scale: f64) -> CachedCost {
+        CachedCost::from_fn(512, 20, 8, move |len, b| scale * (1.0e-3 + 8.0e-6 * (len * b) as f64))
+    }
+
+    fn trace(rate: f64, seed: u64) -> Vec<Request> {
+        WorkloadSpec {
+            rate_per_sec: rate,
+            duration: 10.0,
+            lengths: LengthDist::Uniform { lo: 5, hi: 300 },
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn two_classes_share_the_gpu() {
+        let fast = table(1.0);
+        let slow = table(3.0);
+        let classes = [
+            ModelClass { name: "bert", costs: &fast, scheduler: &DpScheduler, slo: 0.2, requests: trace(60.0, 1) },
+            ModelClass { name: "big-bert", costs: &slow, scheduler: &DpScheduler, slo: 0.5, requests: trace(20.0, 2) },
+        ];
+        let reports = simulate_multi_model(&classes, Shedding::Never, 10.0);
+        for r in &reports {
+            assert_eq!(r.completed, r.arrivals, "{} must drain", r.name);
+            assert_eq!(r.shed, 0);
+            assert!(r.goodput() > 0.9, "{} goodput {}", r.name, r.goodput());
+        }
+    }
+
+    #[test]
+    fn shedding_protects_goodput_under_overload() {
+        let costs = table(1.0);
+        let mk = |shed| {
+            let classes = [ModelClass {
+                name: "bert",
+                costs: &costs,
+                scheduler: &DpScheduler,
+                slo: 0.25,
+                requests: trace(900.0, 3), // far past capacity
+            }];
+            simulate_multi_model(&classes, shed, 10.0).remove(0)
+        };
+        let never = mk(Shedding::Never);
+        let shed = mk(Shedding::ExpiredSlo);
+        assert!(shed.shed > 0, "overload must trigger shedding");
+        assert!(
+            shed.within_slo > never.within_slo,
+            "shedding must raise goodput: {} vs {}",
+            shed.within_slo,
+            never.within_slo
+        );
+    }
+
+    #[test]
+    fn edf_prioritizes_tight_slos() {
+        // Same workload, one class with a tight SLO and one lax: the tight
+        // class must see lower latency.
+        let costs = table(1.0);
+        let classes = [
+            ModelClass { name: "tight", costs: &costs, scheduler: &DpScheduler, slo: 0.05, requests: trace(100.0, 4) },
+            ModelClass { name: "lax", costs: &costs, scheduler: &DpScheduler, slo: 5.0, requests: trace(100.0, 5) },
+        ];
+        let reports = simulate_multi_model(&classes, Shedding::Never, 10.0);
+        let tight = reports.iter().find(|r| r.name == "tight").expect("present");
+        let lax = reports.iter().find(|r| r.name == "lax").expect("present");
+        assert!(
+            tight.latency.mean() <= lax.latency.mean() * 1.1,
+            "EDF must not starve the tight class: {} vs {}",
+            tight.latency.mean(),
+            lax.latency.mean()
+        );
+    }
+
+    #[test]
+    fn empty_input_is_clean() {
+        let reports = simulate_multi_model(&[], Shedding::Never, 1.0);
+        assert!(reports.is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Model version management — one of the serving-framework
+//! responsibilities the paper enumerates in §2.2 ("batching, caching,
+//! model version management, and model ensembles").
+//!
+//! A [`ModelRegistry`] holds versioned entries of any model handle type,
+//! supports atomic default switching (blue/green rollouts), pinned-version
+//! routing, and retirement; readers never block writers beyond a brief
+//! lock.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A monotonically increasing model version.
+pub type Version = u64;
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The requested version does not exist (never registered or retired).
+    UnknownVersion(Version),
+    /// Retiring the active default is refused — switch the default first.
+    VersionIsDefault(Version),
+    /// The registry is empty.
+    Empty,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownVersion(v) => write!(f, "unknown model version {v}"),
+            RegistryError::VersionIsDefault(v) => {
+                write!(f, "version {v} is the active default; switch defaults before retiring")
+            }
+            RegistryError::Empty => write!(f, "no model versions registered"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+struct Inner<M> {
+    models: HashMap<Version, Arc<M>>,
+    default: Option<Version>,
+    next: Version,
+}
+
+/// A thread-safe versioned registry of model handles.
+pub struct ModelRegistry<M> {
+    inner: RwLock<Inner<M>>,
+}
+
+impl<M> Default for ModelRegistry<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> ModelRegistry<M> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry {
+            inner: RwLock::new(Inner { models: HashMap::new(), default: None, next: 1 }),
+        }
+    }
+
+    /// Register a new version; the first registration becomes the default.
+    /// Returns the assigned version number.
+    pub fn register(&self, model: M) -> Version {
+        let mut inner = self.inner.write();
+        let v = inner.next;
+        inner.next += 1;
+        inner.models.insert(v, Arc::new(model));
+        if inner.default.is_none() {
+            inner.default = Some(v);
+        }
+        v
+    }
+
+    /// The current default version.
+    pub fn default_version(&self) -> Result<Version, RegistryError> {
+        self.inner.read().default.ok_or(RegistryError::Empty)
+    }
+
+    /// Atomically switch the default (blue/green cutover).
+    pub fn set_default(&self, v: Version) -> Result<(), RegistryError> {
+        let mut inner = self.inner.write();
+        if !inner.models.contains_key(&v) {
+            return Err(RegistryError::UnknownVersion(v));
+        }
+        inner.default = Some(v);
+        Ok(())
+    }
+
+    /// Resolve a request: `None` routes to the default, `Some(v)` pins.
+    pub fn resolve(&self, pinned: Option<Version>) -> Result<Arc<M>, RegistryError> {
+        let inner = self.inner.read();
+        let v = match pinned {
+            Some(v) => v,
+            None => inner.default.ok_or(RegistryError::Empty)?,
+        };
+        inner.models.get(&v).cloned().ok_or(RegistryError::UnknownVersion(v))
+    }
+
+    /// Retire a non-default version; in-flight `Arc`s stay valid.
+    pub fn retire(&self, v: Version) -> Result<(), RegistryError> {
+        let mut inner = self.inner.write();
+        if inner.default == Some(v) {
+            return Err(RegistryError::VersionIsDefault(v));
+        }
+        inner.models.remove(&v).map(|_| ()).ok_or(RegistryError::UnknownVersion(v))
+    }
+
+    /// All live versions, ascending.
+    pub fn versions(&self) -> Vec<Version> {
+        let mut v: Vec<Version> = self.inner.read().models.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_registration_becomes_default() {
+        let reg = ModelRegistry::new();
+        assert_eq!(reg.default_version(), Err(RegistryError::Empty));
+        let v1 = reg.register("model-a");
+        assert_eq!(reg.default_version(), Ok(v1));
+        assert_eq!(*reg.resolve(None).unwrap(), "model-a");
+    }
+
+    #[test]
+    fn blue_green_cutover() {
+        let reg = ModelRegistry::new();
+        let v1 = reg.register("old");
+        let v2 = reg.register("new");
+        assert_eq!(*reg.resolve(None).unwrap(), "old");
+        reg.set_default(v2).unwrap();
+        assert_eq!(*reg.resolve(None).unwrap(), "new");
+        // Pinned clients still reach the old version until it's retired.
+        assert_eq!(*reg.resolve(Some(v1)).unwrap(), "old");
+        reg.retire(v1).unwrap();
+        assert_eq!(reg.resolve(Some(v1)), Err(RegistryError::UnknownVersion(v1)));
+    }
+
+    #[test]
+    fn default_cannot_be_retired() {
+        let reg = ModelRegistry::new();
+        let v1 = reg.register(1);
+        assert_eq!(reg.retire(v1), Err(RegistryError::VersionIsDefault(v1)));
+    }
+
+    #[test]
+    fn in_flight_handles_survive_retirement() {
+        let reg = ModelRegistry::new();
+        let _v1 = reg.register(vec![1, 2, 3]);
+        let v2 = reg.register(vec![4, 5, 6]);
+        let handle = reg.resolve(Some(v2)).unwrap();
+        reg.set_default(v2).unwrap();
+        // Retire the first version while still holding v2.
+        let v1 = reg.versions()[0];
+        reg.retire(v1).unwrap();
+        assert_eq!(*handle, vec![4, 5, 6]);
+        assert_eq!(reg.versions(), vec![v2]);
+    }
+
+    #[test]
+    fn unknown_versions_error() {
+        let reg: ModelRegistry<&str> = ModelRegistry::new();
+        assert_eq!(reg.set_default(9), Err(RegistryError::UnknownVersion(9)));
+        assert_eq!(reg.retire(9), Err(RegistryError::UnknownVersion(9)));
+        reg.register("x");
+        assert!(reg.resolve(Some(42)).is_err());
+    }
+
+    #[test]
+    fn concurrent_readers_and_a_writer() {
+        let reg = Arc::new(ModelRegistry::new());
+        let v1 = reg.register(0usize);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let r = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    let m = r.resolve(None).expect("always a default");
+                    assert!(*m == 0 || *m == 1);
+                }
+            }));
+        }
+        let v2 = reg.register(1usize);
+        reg.set_default(v2).unwrap();
+        let _ = v1;
+        for h in handles {
+            h.join().expect("reader thread");
+        }
+        assert_eq!(*reg.resolve(None).unwrap(), 1);
+    }
+}

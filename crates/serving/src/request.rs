@@ -1,0 +1,162 @@
+//! Requests and seeded workload generation.
+//!
+//! The paper's serving workload: single-inference requests (batch 1) whose
+//! text lengths follow a distribution, arriving with Poisson inter-arrival
+//! times. Content never matters to any experiment, so a request carries
+//! only its length, arrival time and a content key for the response cache.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Unique id (assignment order).
+    pub id: usize,
+    /// Sequence length in tokens.
+    pub len: usize,
+    /// Arrival time at the message queue, seconds.
+    pub arrival: f64,
+    /// Content fingerprint, for the response cache (equal key ⇒ equal
+    /// response).
+    pub content_key: u64,
+}
+
+impl Request {
+    /// A request with the given id/length/arrival and a unique content key.
+    pub fn new(id: usize, len: usize, arrival: f64) -> Self {
+        Request { id, len, arrival, content_key: id as u64 }
+    }
+}
+
+/// Sequence-length distributions used across the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthDist {
+    /// Uniform in `[lo, hi]` — the Fig. 10 BERT/ALBERT sampling (5..500).
+    Uniform {
+        /// Minimum length.
+        lo: usize,
+        /// Maximum length.
+        hi: usize,
+    },
+    /// Normal clamped to `[lo, hi]` — the Fig. 12 serving workload
+    /// ("sequence length … satisfies a normal distribution from 5 to 500").
+    ClampedNormal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std: f64,
+        /// Clamp minimum.
+        lo: usize,
+        /// Clamp maximum.
+        hi: usize,
+    },
+    /// Every request has the same length.
+    Fixed(usize),
+}
+
+impl LengthDist {
+    /// Sample one length.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        match *self {
+            LengthDist::Uniform { lo, hi } => rng.random_range(lo..=hi),
+            LengthDist::ClampedNormal { mean, std, lo, hi } => {
+                // Box–Muller; `rand` alone is on the approved crate list,
+                // so the normal transform is inlined here.
+                let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.random_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let v = mean + std * z;
+                (v.round() as i64).clamp(lo as i64, hi as i64) as usize
+            }
+            LengthDist::Fixed(n) => n,
+        }
+    }
+}
+
+/// A complete workload description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Mean request arrival rate (Poisson), requests/second.
+    pub rate_per_sec: f64,
+    /// Workload duration, seconds.
+    pub duration: f64,
+    /// Length distribution.
+    pub lengths: LengthDist,
+    /// PRNG seed — same seed, same trace.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Generate the request trace: Poisson arrivals (exponential
+    /// inter-arrival times) with lengths drawn from the distribution.
+    pub fn generate(&self) -> Vec<Request> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        let mut id = 0usize;
+        loop {
+            let u: f64 = rng.random_range(f64::EPSILON..1.0);
+            t += -u.ln() / self.rate_per_sec;
+            if t >= self.duration {
+                break;
+            }
+            let len = self.lengths.sample(&mut rng);
+            out.push(Request::new(id, len, t));
+            id += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(rate: f64, dist: LengthDist) -> WorkloadSpec {
+        WorkloadSpec { rate_per_sec: rate, duration: 100.0, lengths: dist, seed: 42 }
+    }
+
+    #[test]
+    fn poisson_rate_is_approximately_met() {
+        let reqs = spec(50.0, LengthDist::Fixed(10)).generate();
+        let rate = reqs.len() as f64 / 100.0;
+        assert!((rate - 50.0).abs() < 5.0, "empirical rate {rate} ≈ 50");
+        // Arrivals strictly increasing.
+        assert!(reqs.windows(2).all(|w| w[0].arrival < w[1].arrival));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = spec(20.0, LengthDist::Uniform { lo: 5, hi: 500 }).generate();
+        let b = spec(20.0, LengthDist::Uniform { lo: 5, hi: 500 }).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_lengths_stay_in_range() {
+        let reqs = spec(100.0, LengthDist::Uniform { lo: 5, hi: 500 }).generate();
+        assert!(reqs.iter().all(|r| (5..=500).contains(&r.len)));
+        // Spread sanity: both halves of the range are hit.
+        assert!(reqs.iter().any(|r| r.len < 250));
+        assert!(reqs.iter().any(|r| r.len > 250));
+    }
+
+    #[test]
+    fn clamped_normal_centers_on_mean() {
+        let dist = LengthDist::ClampedNormal { mean: 128.0, std: 60.0, lo: 5, hi: 500 };
+        let reqs = spec(200.0, dist).generate();
+        let mean: f64 = reqs.iter().map(|r| r.len as f64).sum::<f64>() / reqs.len() as f64;
+        assert!((mean - 128.0).abs() < 10.0, "empirical mean {mean}");
+        assert!(reqs.iter().all(|r| (5..=500).contains(&r.len)));
+    }
+
+    #[test]
+    fn ids_and_content_keys_are_unique() {
+        let reqs = spec(100.0, LengthDist::Fixed(7)).generate();
+        let mut keys: Vec<u64> = reqs.iter().map(|r| r.content_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), reqs.len());
+    }
+}

@@ -1,0 +1,588 @@
+//! Batch schedulers — paper Algorithm 3 and every baseline it is measured
+//! against.
+//!
+//! A scheduler partitions the requests currently in the message queue into
+//! batches. Zero-padding means a batch costs
+//! `cached_cost[max len in batch][count]`, so batching short requests with
+//! long ones wastes compute; running everything alone wastes batching
+//! gain. The DP scheduler sorts by length and finds the optimal contiguous
+//! partition in O(n²) — optimal over *all* partitions, because batch cost
+//! is monotone in the maximum length (an exchange argument turns any
+//! optimal partition into a sorted-contiguous one; the tests check this
+//! against a brute-force search over set partitions).
+
+use crate::cost_table::CachedCost;
+use crate::request::Request;
+
+/// A scheduler's output: batches of indices into the queue slice it was
+/// given. Every index appears in exactly one batch.
+pub type Batching = Vec<Vec<usize>>;
+
+/// A batch scheduler.
+pub trait BatchScheduler: Send + Sync {
+    /// Partition the queued requests into batches.
+    fn schedule(&self, queue: &[Request], costs: &CachedCost) -> Batching;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Total execution time of a batching under the cost table.
+pub fn batching_cost(queue: &[Request], batching: &Batching, costs: &CachedCost) -> f64 {
+    batching
+        .iter()
+        .map(|batch| {
+            let max_len = batch.iter().map(|&i| queue[i].len).max().expect("non-empty batch");
+            costs.batch_cost(max_len, batch.len())
+        })
+        .sum()
+}
+
+// ---------------------------------------------------------------------------
+// Paper Algorithm 3
+// ---------------------------------------------------------------------------
+
+/// The sequence-length-aware DP scheduler (paper Algorithm 3).
+#[derive(Debug, Clone, Copy)]
+pub struct DpScheduler;
+
+impl BatchScheduler for DpScheduler {
+    fn schedule(&self, queue: &[Request], costs: &CachedCost) -> Batching {
+        let n = queue.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // L1: sort (indices) in increasing order of length.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| queue[i].len);
+        let max_batch = costs.max_batch();
+
+        // states[i]: minimal cost of serving the first i sorted requests;
+        // start_idx[i]: start (in sorted order) of the batch that ends at
+        // i-1. Bellman: states[i] = min_j states[j] + cost(len[i-1], i-j)
+        // for i - j ≤ max_batch (the batch is [j, i) — requests are sorted,
+        // so its max length is len[i-1]).
+        let mut states = vec![f64::INFINITY; n + 1];
+        let mut start_idx = vec![0usize; n + 1];
+        states[0] = 0.0;
+        for i in 1..=n {
+            let cur_len = queue[order[i - 1]].len;
+            let lo = i.saturating_sub(max_batch);
+            for j in lo..i {
+                let cost = states[j] + costs.batch_cost(cur_len, i - j);
+                if cost < states[i] {
+                    states[i] = cost;
+                    start_idx[i] = j;
+                }
+            }
+        }
+
+        // L21–L26: backtrack into batches.
+        let mut batches = Vec::new();
+        let mut i = n;
+        while i > 0 {
+            let j = start_idx[i];
+            batches.push(order[j..i].to_vec());
+            i = j;
+        }
+        batches.reverse(); // shortest-length batch first
+        batches
+    }
+
+    fn name(&self) -> &'static str {
+        "Turbo-DP-Batch"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baselines
+// ---------------------------------------------------------------------------
+
+/// Packs everything in the queue into single batches of up to `max_batch`
+/// (queue order) — the paper's Turbo-Naive-Batch.
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveBatchScheduler;
+
+impl BatchScheduler for NaiveBatchScheduler {
+    fn schedule(&self, queue: &[Request], costs: &CachedCost) -> Batching {
+        (0..queue.len())
+            .collect::<Vec<_>>()
+            .chunks(costs.max_batch())
+            .map(|c| c.to_vec())
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Turbo-Naive-Batch"
+    }
+}
+
+/// No batching: one request per batch (Turbo-NoBatch / PyTorch-NoBatch).
+#[derive(Debug, Clone, Copy)]
+pub struct NoBatchScheduler;
+
+impl BatchScheduler for NoBatchScheduler {
+    fn schedule(&self, queue: &[Request], _costs: &CachedCost) -> Batching {
+        (0..queue.len()).map(|i| vec![i]).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "NoBatch"
+    }
+}
+
+/// TF-serving-like static batching: batches of up to `max_batch`, every
+/// request padded to the model's maximum length (the scheduler itself just
+/// chunks; the padding shows up in the cost, which the simulator charges
+/// at `costs.max_len()`).
+#[derive(Debug, Clone, Copy)]
+pub struct PadToMaxScheduler;
+
+impl BatchScheduler for PadToMaxScheduler {
+    fn schedule(&self, queue: &[Request], costs: &CachedCost) -> Batching {
+        NaiveBatchScheduler.schedule(queue, costs)
+    }
+
+    fn name(&self) -> &'static str {
+        "TF-serving-pad"
+    }
+}
+
+/// Mean completion time (from schedule start) of a batching executed in
+/// the given batch order, back to back — the latency objective of
+/// [`LatencyDpScheduler`].
+pub fn batching_mean_completion(queue: &[Request], batching: &Batching, costs: &CachedCost) -> f64 {
+    if queue.is_empty() {
+        return 0.0;
+    }
+    let mut elapsed = 0.0;
+    let mut total = 0.0;
+    for batch in batching {
+        let max_len = batch.iter().map(|&i| queue[i].len).max().expect("non-empty batch");
+        elapsed += costs.batch_cost(max_len, batch.len());
+        total += elapsed * batch.len() as f64;
+    }
+    total / queue.len() as f64
+}
+
+/// A latency-objective variant of paper Algorithm 3 (extension): instead of
+/// minimizing total execution time (throughput-optimal), minimize the *sum
+/// of completion times* of the queued requests — batches still partition
+/// the sorted queue contiguously and execute shortest-group-first, but the
+/// DP keeps a Pareto frontier over (total completion, elapsed) because a
+/// slightly slower prefix can still win by finishing many requests early.
+///
+/// Exact for its objective over contiguous sorted partitions; typically
+/// produces more, smaller front batches than the throughput DP, trading a
+/// little utilization for mean latency.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyDpScheduler;
+
+impl BatchScheduler for LatencyDpScheduler {
+    fn schedule(&self, queue: &[Request], costs: &CachedCost) -> Batching {
+        let n = queue.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| queue[i].len);
+        let max_batch = costs.max_batch();
+
+        // Pareto state per prefix: (total_completion, elapsed, from_j,
+        // parent_state_index). A state is kept iff no other state of the
+        // same prefix has both lower completion and lower elapsed.
+        #[derive(Clone, Copy)]
+        struct St {
+            wc: f64,
+            elapsed: f64,
+            from: usize,
+            parent: usize,
+        }
+        let mut states: Vec<Vec<St>> = vec![Vec::new(); n + 1];
+        states[0].push(St { wc: 0.0, elapsed: 0.0, from: 0, parent: 0 });
+
+        for i in 1..=n {
+            let cur_len = queue[order[i - 1]].len;
+            let mut cands: Vec<St> = Vec::new();
+            #[allow(clippy::needless_range_loop)] // j indexes both states and the batch width
+            for j in i.saturating_sub(max_batch)..i {
+                let c = costs.batch_cost(cur_len, i - j);
+                for (pi, p) in states[j].iter().enumerate() {
+                    let elapsed = p.elapsed + c;
+                    let wc = p.wc + elapsed * (i - j) as f64;
+                    cands.push(St { wc, elapsed, from: j, parent: pi });
+                }
+            }
+            // Pareto-prune: sort by completion, keep strictly decreasing
+            // elapsed.
+            cands.sort_by(|a, b| {
+                a.wc.partial_cmp(&b.wc)
+                    .expect("finite")
+                    .then(a.elapsed.partial_cmp(&b.elapsed).expect("finite"))
+            });
+            let mut best_elapsed = f64::INFINITY;
+            let mut kept = Vec::new();
+            for s in cands {
+                if s.elapsed < best_elapsed - 1e-15 {
+                    best_elapsed = s.elapsed;
+                    kept.push(s);
+                }
+            }
+            states[i] = kept;
+        }
+
+        // Backtrack from the minimum-completion state of the full prefix.
+        let mut i = n;
+        let mut si = states[n]
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.wc.partial_cmp(&b.wc).expect("finite"))
+            .map(|(idx, _)| idx)
+            .expect("prefix n is reachable");
+        let mut batches = Vec::new();
+        while i > 0 {
+            let st = states[i][si];
+            batches.push(order[st.from..i].to_vec());
+            si = st.parent;
+            i = st.from;
+        }
+        batches.reverse();
+        batches
+    }
+
+    fn name(&self) -> &'static str {
+        "Turbo-LatencyDP-Batch"
+    }
+}
+
+/// Paper Algorithm 3 under a device-memory budget (extension): the paper
+/// notes the memory footprint "affects the possible size of the model as
+/// well as the maximum batch size of requests" — this scheduler closes that
+/// loop, consulting the allocator-profiled `batch_memory` table (see
+/// [`crate::cost_table::CachedCost::with_memory_profile`]) and excluding
+/// any batch whose planned activation footprint exceeds the budget.
+/// Single-request batches are always admitted (a request that cannot run
+/// alone cannot run at all; admission control above this layer must reject
+/// it).
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryAwareDpScheduler {
+    /// Activation-memory budget per batch, bytes.
+    pub budget_bytes: usize,
+}
+
+impl BatchScheduler for MemoryAwareDpScheduler {
+    fn schedule(&self, queue: &[Request], costs: &CachedCost) -> Batching {
+        let n = queue.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| queue[i].len);
+        let max_batch = costs.max_batch();
+
+        let mut states = vec![f64::INFINITY; n + 1];
+        let mut start_idx = vec![0usize; n + 1];
+        states[0] = 0.0;
+        for i in 1..=n {
+            let cur_len = queue[order[i - 1]].len;
+            for j in i.saturating_sub(max_batch)..i {
+                let count = i - j;
+                if count > 1 && costs.batch_memory(cur_len, count) > self.budget_bytes {
+                    continue;
+                }
+                let cost = states[j] + costs.batch_cost(cur_len, count);
+                if cost < states[i] {
+                    states[i] = cost;
+                    start_idx[i] = j;
+                }
+            }
+        }
+
+        let mut batches = Vec::new();
+        let mut i = n;
+        while i > 0 {
+            let j = start_idx[i];
+            batches.push(order[j..i].to_vec());
+            i = j;
+        }
+        batches.reverse();
+        batches
+    }
+
+    fn name(&self) -> &'static str {
+        "Turbo-MemDP-Batch"
+    }
+}
+
+/// Exhaustive optimal batching over *contiguous sorted* partitions —
+/// exponential, test-only reference.
+pub fn brute_force_contiguous(queue: &[Request], costs: &CachedCost) -> (f64, Batching) {
+    let n = queue.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| queue[i].len);
+    let mut best = (f64::INFINITY, Vec::new());
+    let cuts = n.saturating_sub(1);
+    for mask in 0..(1u32 << cuts) {
+        let mut batching: Batching = Vec::new();
+        let mut cur = vec![order[0]];
+        for (k, &idx) in order.iter().enumerate().skip(1) {
+            if mask & (1 << (k - 1)) != 0 {
+                batching.push(std::mem::take(&mut cur));
+            }
+            cur.push(idx);
+        }
+        batching.push(cur);
+        if batching.iter().any(|b| b.len() > costs.max_batch()) {
+            continue;
+        }
+        let c = batching_cost(queue, &batching, costs);
+        if c < best.0 {
+            best = (c, batching);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reqs(lens: &[usize]) -> Vec<Request> {
+        lens.iter().enumerate().map(|(i, &l)| Request::new(i, l, 0.0)).collect()
+    }
+
+    /// A cost surface with realistic structure: fixed launch overhead per
+    /// batch plus work proportional to padded tokens, sublinear in batch.
+    fn table(max_batch: usize) -> CachedCost {
+        CachedCost::from_fn(600, max_batch, 1, |len, b| 1.0 + 0.01 * (len * b) as f64)
+    }
+
+    #[test]
+    fn paper_example_splits_into_three_batches() {
+        // Paper Fig. 9: lengths {17, 18, 52, 63, 77} — a single batch of 5
+        // is worse than the optimal multi-batch scheme.
+        let queue = reqs(&[17, 18, 52, 63, 77]);
+        let costs = table(20);
+        let dp = DpScheduler.schedule(&queue, &costs);
+        let dp_cost = batching_cost(&queue, &dp, &costs);
+        let naive_cost = batching_cost(&queue, &NaiveBatchScheduler.schedule(&queue, &costs), &costs);
+        let nobatch_cost = batching_cost(&queue, &NoBatchScheduler.schedule(&queue, &costs), &costs);
+        assert!(dp_cost <= naive_cost && dp_cost <= nobatch_cost);
+        assert!(dp.len() > 1, "optimal scheme batches in groups, got {dp:?}");
+        assert!(dp.len() < 5, "optimal scheme is not no-batching");
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_random_queues() {
+        let costs = table(4);
+        let lens_sets: [&[usize]; 5] = [
+            &[5, 500, 6, 490],
+            &[100, 100, 100, 100, 100],
+            &[1, 2, 3, 4, 5, 6, 7],
+            &[300],
+            &[50, 60, 70, 400, 410, 420],
+        ];
+        for lens in lens_sets {
+            let queue = reqs(lens);
+            let dp = DpScheduler.schedule(&queue, &costs);
+            let dp_cost = batching_cost(&queue, &dp, &costs);
+            let (best, _) = brute_force_contiguous(&queue, &costs);
+            assert!(
+                (dp_cost - best).abs() < 1e-9,
+                "DP {dp_cost} vs brute force {best} on {lens:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_respects_max_batch() {
+        let costs = table(2);
+        let queue = reqs(&[10, 10, 10, 10, 10]);
+        let dp = DpScheduler.schedule(&queue, &costs);
+        assert!(dp.iter().all(|b| b.len() <= 2));
+        let covered: usize = dp.iter().map(|b| b.len()).sum();
+        assert_eq!(covered, 5);
+    }
+
+    #[test]
+    fn every_request_is_scheduled_exactly_once() {
+        let costs = table(8);
+        let queue = reqs(&[9, 1, 400, 27, 27, 3, 500, 88]);
+        for sched in [&DpScheduler as &dyn BatchScheduler, &NaiveBatchScheduler, &NoBatchScheduler] {
+            let batching = sched.schedule(&queue, &costs);
+            let mut seen: Vec<usize> = batching.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..queue.len()).collect::<Vec<_>>(), "{}", sched.name());
+        }
+    }
+
+    #[test]
+    fn uniform_lengths_batch_together() {
+        // With no padding waste, batching as much as possible wins.
+        let costs = table(20);
+        let queue = reqs(&[64; 12]);
+        let dp = DpScheduler.schedule(&queue, &costs);
+        assert_eq!(dp.len(), 1, "identical lengths should form one batch: {dp:?}");
+    }
+
+    #[test]
+    fn bimodal_lengths_split() {
+        // Short cluster + long cluster with launch overhead favoring two
+        // batches over one padded batch.
+        let costs = CachedCost::from_fn(600, 20, 1, |len, b| 0.2 + 0.01 * (len * b) as f64);
+        let queue = reqs(&[10, 12, 14, 500, 505, 510]);
+        let dp = DpScheduler.schedule(&queue, &costs);
+        assert_eq!(dp.len(), 2, "bimodal queue must split: {dp:?}");
+        // The short batch is the three short requests.
+        let short_batch = dp
+            .iter()
+            .find(|b| b.iter().all(|&i| queue[i].len < 100))
+            .expect("a batch of the short requests");
+        assert_eq!(short_batch.len(), 3);
+    }
+
+    #[test]
+    fn empty_queue_schedules_nothing() {
+        let costs = table(4);
+        assert!(DpScheduler.schedule(&[], &costs).is_empty());
+        assert!(NaiveBatchScheduler.schedule(&[], &costs).is_empty());
+        assert!(LatencyDpScheduler.schedule(&[], &costs).is_empty());
+    }
+
+    #[test]
+    fn memory_budget_caps_batch_sizes() {
+        // Real BERT-base memory profile over a coarse grid.
+        let rt = tt_runtime::TurboRuntime::new(tt_runtime::RuntimeConfig::turbo(
+            tt_gpusim::device::DeviceKind::RTX2060,
+        ));
+        let bert = crate::cost_table::CachedCost::warm_up(
+            &rt,
+            &tt_model::bert::BertConfig::base(),
+            256,
+            8,
+            64,
+        )
+        .with_memory_profile(&tt_model::bert::BertConfig::base());
+        assert!(bert.has_memory_profile());
+        // Footprint grows with batch and length.
+        assert!(bert.batch_memory(256, 8) > bert.batch_memory(256, 1));
+        assert!(bert.batch_memory(256, 4) > bert.batch_memory(64, 4));
+
+        let queue = reqs(&[200, 210, 220, 230, 240, 250]);
+        // Unlimited: one batch of 6. Tight: smaller batches.
+        let unlimited = MemoryAwareDpScheduler { budget_bytes: usize::MAX }.schedule(&queue, &bert);
+        let tight_budget = bert.batch_memory(256, 2); // fits pairs, not more
+        let tight = MemoryAwareDpScheduler { budget_bytes: tight_budget }.schedule(&queue, &bert);
+        assert!(unlimited.iter().any(|b| b.len() >= 4));
+        assert!(
+            tight.iter().all(|b| b.len() <= 2),
+            "budget must cap batches: {tight:?}"
+        );
+        // Everything is still served exactly once.
+        let mut seen: Vec<usize> = tight.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..queue.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn memory_aware_equals_plain_dp_when_budget_is_loose() {
+        let rt = tt_runtime::TurboRuntime::new(tt_runtime::RuntimeConfig::turbo(
+            tt_gpusim::device::DeviceKind::RTX2060,
+        ));
+        let costs = crate::cost_table::CachedCost::warm_up(
+            &rt,
+            &tt_model::bert::BertConfig::base(),
+            128,
+            4,
+            32,
+        )
+        .with_memory_profile(&tt_model::bert::BertConfig::base());
+        let queue = reqs(&[30, 60, 90, 120]);
+        let plain = DpScheduler.schedule(&queue, &costs);
+        let mem = MemoryAwareDpScheduler { budget_bytes: usize::MAX }.schedule(&queue, &costs);
+        assert_eq!(
+            batching_cost(&queue, &plain, &costs),
+            batching_cost(&queue, &mem, &costs)
+        );
+    }
+
+    #[test]
+    fn latency_dp_matches_brute_force_completion() {
+        // Exactness check: enumerate every contiguous sorted partition and
+        // compare total completion times.
+        let costs = CachedCost::from_fn(600, 4, 1, |len, b| 2.0 + 0.01 * (len * b) as f64);
+        for lens in [&[5usize, 80, 300, 310][..], &[40, 45, 50, 55, 400], &[500], &[9, 9, 9, 9, 9, 9]] {
+            let queue = reqs(lens);
+            let got = batching_mean_completion(
+                &queue,
+                &LatencyDpScheduler.schedule(&queue, &costs),
+                &costs,
+            );
+            // Brute force over cut masks.
+            let n = queue.len();
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&i| queue[i].len);
+            let mut best = f64::INFINITY;
+            for mask in 0u32..(1 << (n - 1)) {
+                let mut batching: Batching = Vec::new();
+                let mut cur = vec![order[0]];
+                for (k, &idx) in order.iter().enumerate().skip(1) {
+                    if mask & (1 << (k - 1)) != 0 {
+                        batching.push(std::mem::take(&mut cur));
+                    }
+                    cur.push(idx);
+                }
+                batching.push(cur);
+                if batching.iter().any(|b| b.len() > costs.max_batch()) {
+                    continue;
+                }
+                best = best.min(batching_mean_completion(&queue, &batching, &costs));
+            }
+            assert!((got - best).abs() < 1e-9, "latency DP {got} vs brute {best} on {lens:?}");
+        }
+    }
+
+    #[test]
+    fn latency_dp_trades_throughput_for_mean_latency() {
+        let costs = table(20);
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(12)
+        };
+        use rand::Rng;
+        let lens: Vec<usize> = (0..20).map(|_| rng.random_range(5..=500)).collect();
+        let queue = reqs(&lens);
+        let tp = DpScheduler.schedule(&queue, &costs);
+        let lat = LatencyDpScheduler.schedule(&queue, &costs);
+        assert!(
+            batching_mean_completion(&queue, &lat, &costs)
+                <= batching_mean_completion(&queue, &tp, &costs) + 1e-12,
+            "latency DP must win its own objective"
+        );
+        assert!(
+            batching_cost(&queue, &tp, &costs) <= batching_cost(&queue, &lat, &costs) + 1e-12,
+            "throughput DP must win its objective"
+        );
+    }
+
+    #[test]
+    fn dp_never_loses_to_baselines_on_random_workloads() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let costs = table(20);
+        for _ in 0..50 {
+            let n = rng.random_range(1..25);
+            let lens: Vec<usize> = (0..n).map(|_| rng.random_range(5..=500)).collect();
+            let queue = reqs(&lens);
+            let dp_cost = batching_cost(&queue, &DpScheduler.schedule(&queue, &costs), &costs);
+            for sched in [&NaiveBatchScheduler as &dyn BatchScheduler, &NoBatchScheduler] {
+                let c = batching_cost(&queue, &sched.schedule(&queue, &costs), &costs);
+                assert!(
+                    dp_cost <= c + 1e-9,
+                    "DP {dp_cost} lost to {} {c} on {lens:?}",
+                    sched.name()
+                );
+            }
+        }
+    }
+}

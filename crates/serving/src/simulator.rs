@@ -1,0 +1,392 @@
+//! Discrete-event simulation of the serving loop (paper Fig. 2, §5).
+//!
+//! A single GPU serves a message queue: when the trigger strategy fires,
+//! the batch scheduler partitions the queued requests and the batches
+//! execute back to back, each costing `cached_cost[max padded length][batch
+//! size]` of simulated device time. Request latency = completion − arrival.
+//!
+//! The two trigger strategies of paper §5:
+//!
+//! - **hungry** — "when the runtime is idle, we immediately start the batch
+//!   scheduler"; right for high request pressure (all Fig. 12 measurements).
+//! - **lazy** — delayed batching: fire when the queue reaches the maximum
+//!   batch size, when a timeout expires, or when the front request's age
+//!   plus the estimated execution time of the queued batch would exceed
+//!   half the latency SLO.
+
+use std::collections::VecDeque;
+
+use crate::cache::ResponseCache;
+use crate::cost_table::CachedCost;
+use crate::request::Request;
+use crate::scheduler::BatchScheduler;
+use crate::stats::LatencyStats;
+
+/// When the batch scheduler is invoked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Schedule whenever the GPU is idle and the queue is non-empty.
+    Hungry,
+    /// Delayed batching with a timeout and an SLO guard.
+    Lazy {
+        /// Maximum time the first queued request may wait before
+        /// scheduling fires regardless of queue depth.
+        timeout: f64,
+        /// Latency objective; scheduling fires when waiting longer would
+        /// push the front request past `slo / 2` including its estimated
+        /// execution time.
+        slo: f64,
+    },
+}
+
+/// Simulation parameters.
+pub struct ServingConfig<'a> {
+    /// The batch scheduler under test.
+    pub scheduler: &'a dyn BatchScheduler,
+    /// Trigger strategy.
+    pub trigger: Trigger,
+    /// Charge every batch at the model's maximum padded length
+    /// (TF-serving-style static shapes).
+    pub pad_to_max: bool,
+    /// Response-cache capacity; `None` disables caching (as in the paper's
+    /// measurements).
+    pub cache_capacity: Option<usize>,
+}
+
+/// Outcome of one simulated serving run.
+#[derive(Debug)]
+pub struct ServingReport {
+    /// Scheduler name.
+    pub scheduler: &'static str,
+    /// Requests that arrived.
+    pub arrivals: usize,
+    /// Requests served before the simulation cutoff.
+    pub completed: usize,
+    /// Responses per second, measured over max(workload duration, drain
+    /// time) — beyond saturation this plateaus at service capacity, which
+    /// is exactly the plateau of paper Fig. 12.
+    pub response_throughput: f64,
+    /// Latency statistics over completed requests.
+    pub latency: LatencyStats,
+    /// Whether the server could not keep up (backlog at cutoff, or drain
+    /// ran far past the workload window — the paper's "+∞ latency" rows).
+    pub saturated: bool,
+    /// Largest queue depth observed.
+    pub peak_queue: usize,
+    /// Requests still queued at cutoff.
+    pub final_queue: usize,
+    /// Response-cache hit ratio (0 when disabled).
+    pub cache_hit_ratio: f64,
+}
+
+/// How long past the workload window the simulator keeps draining the
+/// backlog before declaring the run saturated and cutting off.
+const DRAIN_FACTOR: f64 = 4.0;
+
+/// Run the serving simulation over a request trace (sorted by arrival, as
+/// produced by [`crate::request::WorkloadSpec::generate`]). `duration` is
+/// the workload window the trace was generated for.
+pub fn simulate(
+    requests: &[Request],
+    costs: &CachedCost,
+    config: &ServingConfig<'_>,
+    duration: f64,
+) -> ServingReport {
+    debug_assert!(requests.windows(2).all(|w| w[0].arrival <= w[1].arrival), "trace must be sorted");
+    let cutoff = duration * DRAIN_FACTOR;
+    let mut cache = config.cache_capacity.map(ResponseCache::new);
+
+    let mut clock = 0.0f64;
+    let mut next_arrival = 0usize;
+    let mut queue: VecDeque<Request> = VecDeque::new();
+    let mut latency = LatencyStats::new();
+    let mut completed = 0usize;
+    let mut peak_queue = 0usize;
+    let mut last_completion = 0.0f64;
+
+    // Pull every arrival with time ≤ clock into the queue (through the
+    // cache, which answers repeats instantly).
+    let pull = |clock: f64,
+                next_arrival: &mut usize,
+                queue: &mut VecDeque<Request>,
+                cache: &mut Option<ResponseCache>,
+                latency: &mut LatencyStats,
+                completed: &mut usize| {
+        while *next_arrival < requests.len() && requests[*next_arrival].arrival <= clock {
+            let r = requests[*next_arrival];
+            *next_arrival += 1;
+            if let Some(c) = cache.as_mut() {
+                if c.get(r.content_key).is_some() {
+                    latency.record(0.0);
+                    *completed += 1;
+                    continue;
+                }
+            }
+            queue.push_back(r);
+        }
+    };
+
+    loop {
+        pull(clock, &mut next_arrival, &mut queue, &mut cache, &mut latency, &mut completed);
+        if queue.is_empty() {
+            match requests.get(next_arrival) {
+                Some(r) => {
+                    clock = r.arrival;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        if clock > cutoff {
+            break;
+        }
+
+        // Trigger strategy: possibly wait for more requests.
+        if let Trigger::Lazy { timeout, slo } = config.trigger {
+            let front = queue.front().expect("non-empty queue");
+            let est = costs.batch_cost(
+                queue.iter().map(|r| r.len).max().expect("non-empty"),
+                queue.len().min(costs.max_batch()),
+            );
+            let full = queue.len() >= costs.max_batch();
+            let deadline = (front.arrival + timeout).min(front.arrival + (slo / 2.0 - est).max(0.0));
+            if !full && clock < deadline {
+                // Wait until the deadline or the next arrival, whichever
+                // comes first, then re-evaluate.
+                let next_t = requests.get(next_arrival).map(|r| r.arrival).unwrap_or(f64::INFINITY);
+                clock = deadline.min(next_t);
+                continue;
+            }
+        }
+
+        // Schedule the current queue contents and execute every batch.
+        let snapshot: Vec<Request> = queue.iter().copied().collect();
+        let batching = config.scheduler.schedule(&snapshot, costs);
+        debug_assert_eq!(
+            batching.iter().map(|b| b.len()).sum::<usize>(),
+            snapshot.len(),
+            "scheduler must cover the queue"
+        );
+        queue.clear();
+        peak_queue = peak_queue.max(snapshot.len());
+
+        for batch in &batching {
+            let count = batch.len();
+            let max_len = if config.pad_to_max {
+                costs.max_len()
+            } else {
+                batch.iter().map(|&i| snapshot[i].len).max().expect("non-empty batch")
+            };
+            let service = costs.batch_cost(max_len, count);
+            clock += service;
+            for &i in batch {
+                let r = &snapshot[i];
+                latency.record(clock - r.arrival);
+                completed += 1;
+                last_completion = clock;
+                if let Some(c) = cache.as_mut() {
+                    c.put(r.content_key, r.id as u64);
+                }
+            }
+            if clock > cutoff {
+                break;
+            }
+        }
+    }
+
+    let final_queue = queue.len() + (requests.len() - next_arrival);
+    let window = duration.max(last_completion);
+    ServingReport {
+        scheduler: config.scheduler.name(),
+        arrivals: requests.len(),
+        completed,
+        response_throughput: completed as f64 / window,
+        saturated: final_queue > 0 || last_completion > duration * 1.25,
+        latency,
+        peak_queue,
+        final_queue,
+        cache_hit_ratio: cache.map(|c| c.hit_ratio()).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{LengthDist, WorkloadSpec};
+    use crate::scheduler::{DpScheduler, NaiveBatchScheduler, NoBatchScheduler, PadToMaxScheduler};
+
+    /// Launch overhead + padded-token cost, batch-sublinear enough that
+    /// batching equal lengths pays off.
+    fn table() -> CachedCost {
+        CachedCost::from_fn(512, 20, 8, |len, b| 1.0e-3 + 8.0e-6 * (len * b) as f64)
+    }
+
+    fn workload(rate: f64, seed: u64) -> Vec<Request> {
+        WorkloadSpec {
+            rate_per_sec: rate,
+            duration: 20.0,
+            lengths: LengthDist::Uniform { lo: 5, hi: 500 },
+            seed,
+        }
+        .generate()
+    }
+
+    fn run(rate: f64, sched: &dyn BatchScheduler, pad: bool) -> ServingReport {
+        let reqs = workload(rate, 11);
+        let cfg = ServingConfig { scheduler: sched, trigger: Trigger::Hungry, pad_to_max: pad, cache_capacity: None };
+        simulate(&reqs, &table(), &cfg, 20.0)
+    }
+
+    #[test]
+    fn low_rate_everything_completes_quickly() {
+        let r = run(10.0, &NoBatchScheduler, false);
+        assert_eq!(r.completed, r.arrivals);
+        assert!(!r.saturated);
+        assert!(r.latency.max() < 0.5, "max latency {}", r.latency.max());
+    }
+
+    #[test]
+    fn overload_saturates_and_throughput_plateaus() {
+        let a = run(600.0, &NoBatchScheduler, false);
+        let b = run(1200.0, &NoBatchScheduler, false);
+        assert!(a.saturated && b.saturated);
+        // Plateau: doubling the offered load barely moves the response rate.
+        let ratio = b.response_throughput / a.response_throughput;
+        assert!((0.8..1.2).contains(&ratio), "plateau ratio {ratio}");
+    }
+
+    #[test]
+    fn dp_scheduler_sustains_higher_rates_than_naive_and_nobatch() {
+        // Paper Fig. 12 ordering: DP > NoBatch > Naive under high length
+        // variance (naive pays padding for mixing 5s with 500s).
+        let rate = 400.0;
+        let dp = run(rate, &DpScheduler, false);
+        let naive = run(rate, &NaiveBatchScheduler, false);
+        let nobatch = run(rate, &NoBatchScheduler, false);
+        assert!(
+            dp.response_throughput > nobatch.response_throughput,
+            "DP {} must beat NoBatch {}",
+            dp.response_throughput,
+            nobatch.response_throughput
+        );
+        assert!(
+            nobatch.response_throughput > naive.response_throughput,
+            "NoBatch {} must beat Naive {} under high variance",
+            nobatch.response_throughput,
+            naive.response_throughput
+        );
+    }
+
+    #[test]
+    fn padding_to_max_is_worst() {
+        let rate = 200.0;
+        let pad = run(rate, &PadToMaxScheduler, true);
+        let naive = run(rate, &NaiveBatchScheduler, false);
+        assert!(pad.response_throughput <= naive.response_throughput + 1e-9);
+    }
+
+    #[test]
+    fn dp_lowers_latency_below_saturation() {
+        let rate = 150.0;
+        let dp = run(rate, &DpScheduler, false);
+        let nobatch = run(rate, &NoBatchScheduler, false);
+        assert!(!dp.saturated);
+        assert!(
+            dp.latency.mean() <= nobatch.latency.mean() * 1.5,
+            "DP mean {} vs NoBatch mean {}",
+            dp.latency.mean(),
+            nobatch.latency.mean()
+        );
+    }
+
+    #[test]
+    fn lazy_trigger_waits_to_fill_batches() {
+        // Sparse arrivals: hungry serves each alone; lazy waits out its
+        // timeout and batches more requests together.
+        let reqs: Vec<Request> = (0..10).map(|i| Request::new(i, 100, i as f64 * 0.002)).collect();
+        let costs = table();
+        let hungry = simulate(
+            &reqs,
+            &costs,
+            &ServingConfig { scheduler: &DpScheduler, trigger: Trigger::Hungry, pad_to_max: false, cache_capacity: None },
+            1.0,
+        );
+        let lazy = simulate(
+            &reqs,
+            &costs,
+            &ServingConfig {
+                scheduler: &DpScheduler,
+                trigger: Trigger::Lazy { timeout: 0.05, slo: 1.0 },
+                pad_to_max: false,
+                cache_capacity: None,
+            },
+            1.0,
+        );
+        assert_eq!(hungry.completed, 10);
+        assert_eq!(lazy.completed, 10);
+        assert!(
+            lazy.peak_queue > hungry.peak_queue,
+            "lazy must accumulate a deeper queue: {} vs {}",
+            lazy.peak_queue,
+            hungry.peak_queue
+        );
+    }
+
+    #[test]
+    fn response_cache_short_circuits_repeats() {
+        let mut reqs: Vec<Request> = (0..20).map(|i| Request::new(i, 200, i as f64 * 0.01)).collect();
+        // Every other request repeats content 0.
+        let repeated = reqs[0].content_key;
+        for r in reqs.iter_mut().skip(1).step_by(2) {
+            r.content_key = repeated;
+        }
+        let cfg = ServingConfig {
+            scheduler: &NoBatchScheduler,
+            trigger: Trigger::Hungry,
+            pad_to_max: false,
+            cache_capacity: Some(64),
+        };
+        let rep = simulate(&reqs, &table(), &cfg, 1.0);
+        assert_eq!(rep.completed, 20);
+        assert!(rep.cache_hit_ratio > 0.3, "hit ratio {}", rep.cache_hit_ratio);
+        assert_eq!(rep.latency.min(), 0.0, "cache hits answer instantly");
+    }
+
+    #[test]
+    fn latency_objective_wins_light_load_loses_heavy_load() {
+        // The closed-loop insight the per-round objective hides: the
+        // latency DP's smaller front batches cost total throughput, so it
+        // helps when queues are short and *hurts* near saturation, where
+        // backlog dominates. Both regimes are pinned.
+        use crate::scheduler::LatencyDpScheduler;
+        let light = 120.0;
+        let dp_l = run(light, &DpScheduler, false);
+        let lat_l = run(light, &LatencyDpScheduler, false);
+        assert_eq!(dp_l.completed, lat_l.completed);
+        assert!(
+            lat_l.latency.mean() <= dp_l.latency.mean() * 1.05,
+            "light load: latency DP must be competitive: {} vs {}",
+            lat_l.latency.mean(),
+            dp_l.latency.mean()
+        );
+
+        let heavy = 320.0;
+        let dp_h = run(heavy, &DpScheduler, false);
+        let lat_h = run(heavy, &LatencyDpScheduler, false);
+        assert!(
+            dp_h.latency.mean() <= lat_h.latency.mean() * 1.05,
+            "near saturation the throughput objective wins: {} vs {}",
+            dp_h.latency.mean(),
+            lat_h.latency.mean()
+        );
+    }
+
+    #[test]
+    fn empty_workload_is_a_clean_zero() {
+        let cfg = ServingConfig { scheduler: &DpScheduler, trigger: Trigger::Hungry, pad_to_max: false, cache_capacity: None };
+        let rep = simulate(&[], &table(), &cfg, 10.0);
+        assert_eq!(rep.arrivals, 0);
+        assert_eq!(rep.completed, 0);
+        assert!(!rep.saturated);
+    }
+}

@@ -1,0 +1,64 @@
+//! # tt-tensor — dense f32 tensor substrate
+//!
+//! A small, fast tensor library purpose-built for transformer inference.
+//! It stands in for the GPU device math library (cuBLAS and friends) of the
+//! original TurboTransformers: all numerics in this reproduction run on the
+//! CPU through this crate, while timing of the GPU is modelled separately by
+//! `tt-gpusim`.
+//!
+//! Design points:
+//!
+//! - Row-major, contiguous `f32` storage only. Transformer inference never
+//!   needs strided views that survive an op boundary; explicit `transpose`
+//!   kernels (as on the GPU) keep the memory model simple and fast.
+//! - [`gemm::sgemm`] is a cache-blocked, rayon-parallel matrix multiply with
+//!   optional transposes and `alpha`/`beta` scaling — the cuBLAS `sgemm`
+//!   surface the paper's runtime calls.
+//! - Tensors can either own their storage or borrow it from an externally
+//!   managed arena (see [`storage`]); the latter is how the
+//!   sequence-length-aware allocator of `tt-alloc` hands out chunk space.
+
+pub mod gemm;
+pub mod ops;
+pub mod shape;
+pub mod storage;
+pub mod tensor;
+
+pub use gemm::{batched_sgemm, sgemm, GemmSpec, Trans};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that must agree do not.
+    ShapeMismatch {
+        /// Which operation detected the mismatch.
+        context: &'static str,
+        /// The offending shapes, formatted.
+        detail: String,
+    },
+    /// An index was out of bounds for the tensor.
+    OutOfBounds {
+        /// Which operation detected the bad index.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { context, detail } => {
+                write!(f, "shape mismatch in {context}: {detail}")
+            }
+            TensorError::OutOfBounds { context } => {
+                write!(f, "index out of bounds in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,100 @@
+//! Small element-wise and layout utilities shared by the kernel crate.
+//!
+//! Anything with transformer-specific semantics (softmax, layernorm, GELU,
+//! fused add-bias-transpose, …) lives in `tt-kernels`; this module keeps only
+//! the generic building blocks.
+
+/// `dst[i] += src[i]`.
+pub fn add_inplace(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "add_inplace length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d += s;
+    }
+}
+
+/// `dst[i] *= s`.
+pub fn scale_inplace(dst: &mut [f32], s: f32) {
+    for d in dst.iter_mut() {
+        *d *= s;
+    }
+}
+
+/// Out-of-place 2-D transpose: `dst` (cols×rows) = `src` (rows×cols)ᵀ.
+pub fn transpose_2d(rows: usize, cols: usize, src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), rows * cols, "transpose src length");
+    assert_eq!(dst.len(), rows * cols, "transpose dst length");
+    for r in 0..rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+}
+
+/// Index of the maximum element; ties resolve to the first occurrence.
+/// Returns `None` for an empty slice.
+pub fn argmax(xs: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        match best {
+            Some((_, b)) if x <= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Numerically-stable sum via Kahan compensation. Used by test oracles so
+/// reference results do not drift on long rows.
+pub fn kahan_sum(xs: &[f32]) -> f32 {
+    let mut sum = 0.0f32;
+    let mut c = 0.0f32;
+    for &x in xs {
+        let y = x - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_scale() {
+        let mut d = vec![1.0, 2.0, 3.0];
+        add_inplace(&mut d, &[0.5, 0.5, 0.5]);
+        assert_eq!(d, vec![1.5, 2.5, 3.5]);
+        scale_inplace(&mut d, 2.0);
+        assert_eq!(d, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let src: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let mut t = vec![0.0; 12];
+        let mut back = vec![0.0; 12];
+        transpose_2d(3, 4, &src, &mut t);
+        assert_eq!(t[0], 0.0);
+        assert_eq!(t[1], 4.0); // column-major walk of src
+        transpose_2d(4, 3, &t, &mut back);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn argmax_first_tie_and_empty() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f32::NEG_INFINITY, -1.0]), Some(1));
+    }
+
+    #[test]
+    fn kahan_beats_naive_on_adversarial_input() {
+        // 1 followed by many tiny values that naive f32 summation drops.
+        let mut xs = vec![1.0f32];
+        xs.extend(std::iter::repeat_n(1e-8f32, 100_000));
+        let kahan = kahan_sum(&xs);
+        assert!((kahan - (1.0 + 1e-3)).abs() < 1e-6, "kahan={kahan}");
+    }
+}

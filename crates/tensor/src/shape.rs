@@ -1,0 +1,183 @@
+//! Tensor shapes: dimension lists with row-major stride computation.
+
+/// A tensor shape — an ordered list of dimension extents.
+///
+/// Shapes are small (transformer graphs never exceed 4-D), so a plain
+/// `Vec<usize>` is used; the shape is immutable once constructed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Create a shape from a dimension list.
+    ///
+    /// Zero-sized dimensions are allowed (an empty batch is a legal
+    /// intermediate in the serving path when a scheduler flushes early).
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape { dims: dims.into() }
+    }
+
+    /// A 0-d (scalar) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimension extents.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extent of dimension `i`.
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    #[inline]
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    ///
+    /// The last dimension is contiguous. A zero-rank shape yields an empty
+    /// stride list.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0usize; self.dims.len()];
+        let mut acc = 1usize;
+        for (s, &d) in strides.iter_mut().zip(self.dims.iter()).rev() {
+            *s = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Linear row-major offset of a multi-dimensional index.
+    ///
+    /// Panics in debug builds if `index` has wrong rank or is out of range;
+    /// this is a hot path so release builds elide the checks.
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
+        let mut off = 0usize;
+        let mut acc = 1usize;
+        for (i, (&ix, &d)) in index.iter().zip(self.dims.iter()).enumerate().rev() {
+            debug_assert!(ix < d, "index {ix} out of bounds for dim {i} of extent {d}");
+            let _ = i;
+            off += ix * acc;
+            acc *= d;
+        }
+        off
+    }
+
+    /// Interpret this shape as a batch of rows: all leading dimensions are
+    /// folded into the batch, the final dimension is the row length.
+    ///
+    /// This is the canonical view for batch-reduction kernels (Softmax and
+    /// LayerNorm reduce over the last dimension). A scalar folds to
+    /// `(1, 1)`.
+    pub fn as_batch_rows(&self) -> (usize, usize) {
+        match self.dims.split_last() {
+            Some((&last, lead)) => (lead.iter().product::<usize>().max(1), last.max(1)),
+            None => (1, 1),
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_elements_and_rank() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.num_elements(), 24);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+        assert_eq!(s.as_batch_rows(), (1, 1));
+    }
+
+    #[test]
+    fn row_major_strides() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new([2, 3, 4]);
+        let strides = s.strides();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let expect = i * strides[0] + j * strides[1] + k * strides[2];
+                    assert_eq!(s.offset(&[i, j, k]), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rows_folding() {
+        assert_eq!(Shape::new([2, 3, 4]).as_batch_rows(), (6, 4));
+        assert_eq!(Shape::new([5]).as_batch_rows(), (1, 5));
+        assert_eq!(Shape::new([0, 7]).as_batch_rows(), (1, 7));
+    }
+
+    #[test]
+    fn zero_dim_num_elements() {
+        assert_eq!(Shape::new([0, 7]).num_elements(), 0);
+    }
+
+    #[test]
+    fn display_formats_like_a_list() {
+        assert_eq!(Shape::new([1, 40, 768]).to_string(), "[1, 40, 768]");
+    }
+}

@@ -1,0 +1,206 @@
+//! Arena storage for planned (offset-assigned) tensor execution.
+//!
+//! The TurboTransformers runtime does not allocate one buffer per
+//! intermediate tensor. Instead the sequence-length-aware allocator
+//! (`tt-alloc`) plans, for every activation, a `(chunk, offset, len)` region
+//! inside a small list of large chunks; tensors whose lifetimes do not
+//! overlap share bytes. [`Arena`] is the owning side of that scheme: it holds
+//! the chunks and hands out slices for the regions the planner produced.
+//!
+//! Safety model: the planner guarantees that the *output* region of an
+//! operator never overlaps any of its *input* regions (a tensor is alive from
+//! its producing op through its last consuming op, and the allocator never
+//! overlaps two simultaneously-live tensors). [`Arena::io`] re-checks that
+//! disjointness at runtime and panics if the plan is corrupt, so the unsafe
+//! aliasing inside is sound for any plan that passes the check.
+
+/// A planned region inside an [`Arena`]: which chunk, where, how long.
+///
+/// All quantities are in `f32` elements, not bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Index of the chunk within the arena.
+    pub chunk: usize,
+    /// Element offset of the region within the chunk.
+    pub offset: usize,
+    /// Region length in elements.
+    pub len: usize,
+}
+
+impl Region {
+    /// Create a region.
+    pub fn new(chunk: usize, offset: usize, len: usize) -> Self {
+        Region { chunk, offset, len }
+    }
+
+    /// Whether two regions share at least one element.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.chunk == other.chunk
+            && self.offset < other.offset + other.len
+            && other.offset < self.offset + self.len
+    }
+}
+
+/// Owner of the chunked activation memory used by planned execution.
+#[derive(Debug, Default)]
+pub struct Arena {
+    chunks: Vec<Box<[f32]>>,
+}
+
+impl Arena {
+    /// Create an empty arena.
+    pub fn new() -> Self {
+        Arena { chunks: Vec::new() }
+    }
+
+    /// Make sure chunk `id` exists and holds at least `len` elements.
+    ///
+    /// Growing an existing chunk reallocates it (contents are zeroed — the
+    /// planner never carries live data across a re-plan). Chunk ids must be
+    /// dense; asking for id `n` creates empty chunks `0..n` as needed.
+    pub fn ensure_chunk(&mut self, id: usize, len: usize) {
+        while self.chunks.len() <= id {
+            self.chunks.push(Vec::new().into_boxed_slice());
+        }
+        if self.chunks[id].len() < len {
+            self.chunks[id] = vec![0.0f32; len].into_boxed_slice();
+        }
+    }
+
+    /// Drop chunks with index `>= keep`, returning memory to the OS.
+    pub fn truncate_chunks(&mut self, keep: usize) {
+        self.chunks.truncate(keep);
+    }
+
+    /// Number of chunks currently held.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total arena capacity in elements.
+    pub fn total_elements(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum()
+    }
+
+    /// Immutable view of a region.
+    ///
+    /// Panics if the region is out of bounds — that means the execution plan
+    /// and the arena disagree, which is a logic error, not a recoverable
+    /// condition.
+    pub fn slice(&self, r: Region) -> &[f32] {
+        &self.chunks[r.chunk][r.offset..r.offset + r.len]
+    }
+
+    /// Mutable view of a region. Same panic contract as [`Arena::slice`].
+    pub fn slice_mut(&mut self, r: Region) -> &mut [f32] {
+        &mut self.chunks[r.chunk][r.offset..r.offset + r.len]
+    }
+
+    /// Borrow several input regions immutably and one output region mutably,
+    /// all at once — the access pattern of a single operator.
+    ///
+    /// Panics if the output overlaps any input (a corrupt plan) or if any
+    /// region is out of bounds. Inputs may overlap each other (two consumers
+    /// of the same tensor).
+    pub fn io<'a>(&'a mut self, inputs: &[Region], output: Region) -> (Vec<&'a [f32]>, &'a mut [f32]) {
+        for (i, r) in inputs.iter().enumerate() {
+            assert!(
+                !r.overlaps(&output),
+                "corrupt execution plan: input {i} ({r:?}) overlaps output ({output:?})"
+            );
+        }
+        // Bounds-check everything through the safe API first.
+        for r in inputs {
+            let _ = &self.chunks[r.chunk][r.offset..r.offset + r.len];
+        }
+        let _ = &self.chunks[output.chunk][output.offset..output.offset + output.len];
+
+        // SAFETY: all regions are in bounds (checked above); the output
+        // region is disjoint from every input region (checked above), so one
+        // `&mut` plus many `&` never alias. The lifetimes are tied to
+        // `&'a mut self`, so no other access to the arena can happen while
+        // the borrows live.
+        unsafe {
+            let base: *mut Box<[f32]> = self.chunks.as_mut_ptr();
+            let ins: Vec<&'a [f32]> = inputs
+                .iter()
+                .map(|r| {
+                    let chunk: &[f32] = &*base.add(r.chunk);
+                    std::slice::from_raw_parts(chunk.as_ptr().add(r.offset), r.len)
+                })
+                .collect();
+            let out_chunk: &mut Box<[f32]> = &mut *base.add(output.chunk);
+            let out = std::slice::from_raw_parts_mut(
+                out_chunk.as_mut_ptr().add(output.offset),
+                output.len,
+            );
+            (ins, out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_overlap_rules() {
+        let a = Region::new(0, 0, 10);
+        let b = Region::new(0, 10, 5);
+        let c = Region::new(0, 9, 2);
+        let d = Region::new(1, 0, 100);
+        assert!(!a.overlaps(&b), "touching regions do not overlap");
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&a), "overlap is symmetric");
+        assert!(!a.overlaps(&d), "different chunks never overlap");
+    }
+
+    #[test]
+    fn ensure_chunk_grows_and_creates_dense_ids() {
+        let mut arena = Arena::new();
+        arena.ensure_chunk(2, 16);
+        assert_eq!(arena.num_chunks(), 3);
+        assert_eq!(arena.total_elements(), 16);
+        arena.ensure_chunk(2, 8); // no shrink
+        assert_eq!(arena.total_elements(), 16);
+        arena.ensure_chunk(0, 4);
+        assert_eq!(arena.total_elements(), 20);
+    }
+
+    #[test]
+    fn io_hands_out_disjoint_views() {
+        let mut arena = Arena::new();
+        arena.ensure_chunk(0, 32);
+        arena.slice_mut(Region::new(0, 0, 4)).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let (ins, out) = arena.io(&[Region::new(0, 0, 4)], Region::new(0, 16, 4));
+        out.copy_from_slice(ins[0]);
+        assert_eq!(arena.slice(Region::new(0, 16, 4)), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn io_allows_overlapping_inputs() {
+        let mut arena = Arena::new();
+        arena.ensure_chunk(0, 32);
+        let (ins, _out) = arena.io(
+            &[Region::new(0, 0, 8), Region::new(0, 4, 8)],
+            Region::new(0, 16, 4),
+        );
+        assert_eq!(ins.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt execution plan")]
+    fn io_rejects_aliasing_output() {
+        let mut arena = Arena::new();
+        arena.ensure_chunk(0, 32);
+        let _ = arena.io(&[Region::new(0, 0, 8)], Region::new(0, 4, 8));
+    }
+
+    #[test]
+    fn truncate_releases_chunks() {
+        let mut arena = Arena::new();
+        arena.ensure_chunk(3, 8);
+        arena.truncate_chunks(1);
+        assert_eq!(arena.num_chunks(), 1);
+    }
+}

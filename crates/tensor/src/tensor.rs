@@ -1,0 +1,201 @@
+//! The owned dense tensor type.
+
+use crate::shape::Shape;
+use crate::{Result, TensorError};
+
+/// A dense, row-major, owned `f32` tensor.
+///
+/// This is the type that crosses public API boundaries: model weights,
+/// request inputs and inference outputs. Inside the planned runtime,
+/// intermediate activations live in an [`crate::storage::Arena`] instead and
+/// never materialize as `Tensor`s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// Build a tensor from existing data; the data length must match the
+    /// shape's element count.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.num_elements() != data.len() {
+            return Err(TensorError::ShapeMismatch {
+                context: "Tensor::from_vec",
+                detail: format!("shape {shape} needs {} elements, got {}", shape.num_elements(), data.len()),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Build a tensor by evaluating `f` at every linear index.
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(usize) -> f32) -> Self {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        let data = (0..n).map(&mut f).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Flat element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat immutable view of the elements, row-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view of the elements, row-major.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its data buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    #[inline]
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Set the element at a multi-dimensional index.
+    #[inline]
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Reinterpret the tensor with a new shape of identical element count.
+    pub fn reshape(self, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.num_elements() != self.data.len() {
+            return Err(TensorError::ShapeMismatch {
+                context: "Tensor::reshape",
+                detail: format!(
+                    "cannot view {} elements as {shape} ({} elements)",
+                    self.data.len(),
+                    shape.num_elements()
+                ),
+            });
+        }
+        Ok(Tensor { shape, data: self.data })
+    }
+
+    /// The contiguous row `r` of a 2-D view `(rows, cols)` of this tensor.
+    ///
+    /// Uses [`Shape::as_batch_rows`]: all leading dims fold into `rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let (rows, cols) = self.shape.as_batch_rows();
+        assert!(r < rows, "row {r} out of bounds for {rows} rows");
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Largest absolute difference to another tensor of identical shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                context: "Tensor::max_abs_diff",
+                detail: format!("{} vs {}", self.shape, other.shape),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max))
+    }
+
+    /// Whether all pairwise differences to `other` are within `tol`.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        matches!(self.max_abs_diff(other), Ok(d) if d <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let f = Tensor::full([2, 2], 3.5);
+        assert!(f.as_slice().iter().all(|&x| x == 3.5));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec([2, 2], vec![1.0; 4]).is_ok());
+        assert!(Tensor::from_vec([2, 2], vec![1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor::zeros([2, 3, 4]);
+        t.set(&[1, 2, 3], 7.0);
+        assert_eq!(t.get(&[1, 2, 3]), 7.0);
+        assert_eq!(t.as_slice()[12 + 2 * 4 + 3], 7.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_fn([2, 6], |i| i as f32);
+        let r = t.clone().reshape([3, 4]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape([5, 5]).is_err());
+    }
+
+    #[test]
+    fn row_views_are_contiguous() {
+        let t = Tensor::from_fn([2, 3, 4], |i| i as f32);
+        // rows fold leading dims: row 3 is elements 12..16.
+        assert_eq!(t.row(3), &[12.0, 13.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn approx_eq_and_diff() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec([3], vec![1.0, 2.5, 3.0]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+        assert!(a.approx_eq(&b, 0.5));
+        assert!(!a.approx_eq(&b, 0.4));
+        let c = Tensor::zeros([4]);
+        assert!(a.max_abs_diff(&c).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the tensor substrate: GEMM against a naive
+//! oracle for arbitrary shapes/transposes, and shape algebra.
+
+use proptest::prelude::*;
+use tt_tensor::{batched_sgemm, sgemm, GemmSpec, Shape, Trans};
+
+fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = vec![0.0; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            for l in 0..k {
+                c[i * n + j] += a[i * k + l] * b[l * n + j];
+            }
+        }
+    }
+    c
+}
+
+fn mat(r: usize, c: usize, seed: u64) -> Vec<f32> {
+    (0..r * c).map(|i| ((i as u64 * 2654435761 + seed) % 17) as f32 - 8.0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Parallel blocked GEMM equals the naive triple loop for any shape
+    /// and transpose combination.
+    #[test]
+    fn sgemm_matches_naive(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        ta in prop::bool::ANY,
+        tb in prop::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let a_logical = mat(m, k, seed);
+        let b_logical = mat(k, n, seed + 1);
+        // Store operands transposed when the flag says so.
+        let a_stored = if ta {
+            let mut t = vec![0.0; m * k];
+            for r in 0..m { for c in 0..k { t[c * m + r] = a_logical[r * k + c]; } }
+            t
+        } else { a_logical.clone() };
+        let b_stored = if tb {
+            let mut t = vec![0.0; k * n];
+            for r in 0..k { for c in 0..n { t[c * k + r] = b_logical[r * n + c]; } }
+            t
+        } else { b_logical.clone() };
+
+        let spec = GemmSpec {
+            m, k, n,
+            ta: if ta { Trans::Yes } else { Trans::No },
+            tb: if tb { Trans::Yes } else { Trans::No },
+            alpha: 1.0,
+            beta: 0.0,
+        };
+        let mut c = vec![0.0; m * n];
+        sgemm(spec, &a_stored, &b_stored, &mut c);
+        let want = naive(m, k, n, &a_logical, &b_logical);
+        for (x, y) in c.iter().zip(want.iter()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    /// alpha/beta compose linearly.
+    #[test]
+    fn sgemm_alpha_beta(
+        m in 1usize..8, k in 1usize..8, n in 1usize..8,
+        alpha in -2.0f32..2.0, beta in -2.0f32..2.0,
+        seed in 0u64..100,
+    ) {
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed + 7);
+        let c0 = mat(m, n, seed + 13);
+        let mut c = c0.clone();
+        sgemm(GemmSpec::nn(m, k, n).with_alpha(alpha).with_beta(beta), &a, &b, &mut c);
+        let base = naive(m, k, n, &a, &b);
+        for ((got, want), prev) in c.iter().zip(base.iter()).zip(c0.iter()) {
+            prop_assert!((got - (alpha * want + beta * prev)).abs() < 1e-2);
+        }
+    }
+
+    /// Batched GEMM equals per-slice GEMMs.
+    #[test]
+    fn batched_matches_slices(
+        batch in 1usize..5, m in 1usize..6, k in 1usize..6, n in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let a = mat(batch * m, k, seed);
+        let b = mat(batch * k, n, seed + 3);
+        let mut c = vec![0.0; batch * m * n];
+        batched_sgemm(batch, GemmSpec::nn(m, k, n), &a, &b, &mut c);
+        for i in 0..batch {
+            let want = naive(m, k, n, &a[i * m * k..(i + 1) * m * k], &b[i * k * n..(i + 1) * k * n]);
+            for (x, y) in c[i * m * n..(i + 1) * m * n].iter().zip(want.iter()) {
+                prop_assert!((x - y).abs() < 1e-2);
+            }
+        }
+    }
+
+    /// Shape offsets are a bijection onto 0..num_elements.
+    #[test]
+    fn shape_offsets_are_bijective(dims in prop::collection::vec(1usize..5, 1..4)) {
+        let shape = Shape::new(dims.clone());
+        let n = shape.num_elements();
+        let mut seen = vec![false; n];
+        let mut index = vec![0usize; dims.len()];
+        loop {
+            let off = shape.offset(&index);
+            prop_assert!(off < n);
+            prop_assert!(!seen[off], "offset {off} visited twice");
+            seen[off] = true;
+            // Odometer increment.
+            let mut d = dims.len();
+            loop {
+                if d == 0 { break; }
+                d -= 1;
+                index[d] += 1;
+                if index[d] < dims[d] { break; }
+                index[d] = 0;
+                if d == 0 { break; }
+            }
+            if index.iter().all(|&i| i == 0) { break; }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}

@@ -1,0 +1,47 @@
+//! GPT-style autoregressive generation — the decoder-only model family the
+//! paper's introduction motivates, as an extension beyond its evaluation
+//! set: greedy and top-k sampling with KV caches, plus generation-cost
+//! pricing on the simulated GPU.
+//!
+//! Run with: `cargo run --release --example gpt_generation`
+
+use turbotransformers::gpusim::device::DeviceKind;
+use turbotransformers::prelude::{Gpt, GptConfig};
+use turbotransformers::runtime::{RuntimeConfig, RuntimeKind, TurboRuntime};
+
+fn main() {
+    // --- Part 1: real generation on a small model ---
+    let config = GptConfig {
+        num_layers: 3,
+        num_heads: 4,
+        head_dim: 8,
+        ffn_dim: 64,
+        vocab_size: 100,
+        max_position: 64,
+        layer_norm_eps: 1e-5,
+    };
+    let model = Gpt::new_random(&config, 2021);
+    let prompt = vec![10u32, 20, 30];
+
+    let greedy = model.generate_greedy(&prompt, 12);
+    println!("prompt {prompt:?}");
+    println!("greedy continuation:   {greedy:?}");
+    for seed in [1u64, 2] {
+        let sampled = model.generate_top_k(&prompt, 12, 5, seed);
+        println!("top-5 sample (seed {seed}): {sampled:?}");
+    }
+
+    // --- Part 2: GPT-2-small generation cost on the simulated GPU ---
+    let paper_cfg = GptConfig::small();
+    let turbo = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+    let pytorch = TurboRuntime::new(RuntimeConfig::new(RuntimeKind::PyTorchLike, DeviceKind::RTX2060));
+    println!("\nGPT-2 small (12 layers, hidden 768) on a simulated RTX 2060:");
+    println!("{:>9} {:>6} {:>12} {:>12} {:>9}", "prompt", "gen", "Turbo", "PyTorch", "speedup");
+    for (p, g) in [(16usize, 32usize), (64, 64), (128, 128)] {
+        let t = turbo.gpt_cost(&paper_cfg, p, g);
+        let py = pytorch.gpt_cost(&paper_cfg, p, g);
+        println!("{p:>9} {g:>6} {:>9.1} ms {:>9.1} ms {:>8.2}x", t * 1e3, py * 1e3, py / t);
+    }
+    println!("\nAutoregressive decoding is launch/overhead-bound at batch 1 — fused");
+    println!("kernels and a native generation loop pay off even more than for encoders.");
+}

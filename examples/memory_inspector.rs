@@ -1,0 +1,59 @@
+//! Inspecting the sequence-length-aware memory allocator — watch the
+//! chunked planner (paper Algorithms 1 and 2) serve a stream of
+//! variable-length BERT requests, and compare its footprint/traffic against
+//! the GSOC planner and a PyTorch-style caching pool.
+//!
+//! Run with: `cargo run --release --example memory_inspector`
+
+use turbotransformers::alloc::caching::CachingAllocator;
+use turbotransformers::alloc::gsoc::GsocAllocator;
+use turbotransformers::alloc::sim::replay;
+use turbotransformers::alloc::{validate_plan, TurboAllocator};
+use turbotransformers::graph::lifetime::activation_lifetimes;
+use turbotransformers::model::bert::{graph_skeleton, BertConfig};
+
+const MB: f64 = 1048576.0;
+
+fn main() {
+    let cfg = BertConfig::base();
+    let mut turbo = TurboAllocator::default();
+    let mut gsoc = GsocAllocator::new();
+    let mut caching = CachingAllocator::new();
+
+    println!("serving BERT-base requests of varying length; all sizes in MB\n");
+    println!(
+        "{:>5} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>9}",
+        "len", "tensors", "turbo fp", "turbo new", "gsoc fp", "gsoc new", "pool fp"
+    );
+
+    for len in [64usize, 128, 384, 64, 500, 32, 256, 500, 16] {
+        let bound = graph_skeleton(&cfg, 1, len, false);
+        let (usages, _) = activation_lifetimes(&bound.graph);
+
+        let plan = turbo.plan(&usages);
+        validate_plan(&usages, &plan).expect("turbo plan is safe");
+        let ts = turbo.last_stats();
+
+        let _ = gsoc.plan(&usages);
+        let gs = gsoc.last_stats();
+
+        let rep = replay(&mut caching, &usages);
+
+        println!(
+            "{len:>5} {:>9} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:>9.2}",
+            usages.len(),
+            ts.footprint as f64 / MB,
+            ts.new_bytes as f64 / MB,
+            gs.footprint as f64 / MB,
+            gs.new_bytes as f64 / MB,
+            rep.final_reserved as f64 / MB,
+        );
+    }
+
+    println!("\nReading the columns:");
+    println!("- turbo: footprint tracks the recent peak; repeats and shorter requests");
+    println!("  allocate nothing (the chunk cache + graph-aware offset reuse);");
+    println!("- GSOC: per-request-optimal footprint, but the exact-fit buffer is");
+    println!("  reallocated whenever demand grows — steady allocation traffic;");
+    println!("- caching pool: no graph knowledge, so the pool only ratchets upward.");
+}

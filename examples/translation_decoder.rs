@@ -1,0 +1,62 @@
+//! Machine-translation decoding — the paper's third workload (Table 3:
+//! a 6-layer, 16-head Seq2Seq decoder, beam size 4, Chinese→English).
+//!
+//! Runs real beam-search decoding with KV caches on a small decoder, then
+//! prices the paper-sized decoder on the simulated GPU, comparing the Turbo
+//! runtime against the PyTorch-like baseline (paper Fig. 10c).
+//!
+//! Run with: `cargo run --release --example translation_decoder`
+
+use turbotransformers::gpusim::device::DeviceKind;
+use turbotransformers::model::decoder::{Seq2SeqDecoder, Seq2SeqDecoderConfig};
+use turbotransformers::model::weights::WeightInit;
+use turbotransformers::runtime::{RuntimeConfig, RuntimeKind, TurboRuntime};
+
+fn main() {
+    // --- Part 1: real beam-search decoding on a small decoder ---
+    let config = Seq2SeqDecoderConfig {
+        num_layers: 2,
+        num_heads: 4,
+        head_dim: 8,
+        ffn_dim: 64,
+        vocab_size: 64,
+        max_target_len: 24,
+        beam_size: 4,
+        layer_norm_eps: 1e-6,
+    };
+    let decoder = Seq2SeqDecoder::new_random(&config, 99);
+
+    // A stand-in encoder memory for a 12-token source sentence (in a full
+    // pipeline this comes from a transformer encoder).
+    let src_len = 12;
+    let encoder_output = WeightInit::new(5)
+        .embedding(src_len, config.model_dim())
+        .reshape([src_len, config.model_dim()])
+        .expect("matching element count");
+
+    const BOS: u32 = 1;
+    const EOS: u32 = 2;
+    let hyp = decoder.beam_search(&encoder_output, BOS, EOS, 16);
+    println!("beam search (beam {}) over a {src_len}-token source:", config.beam_size);
+    println!("  tokens: {:?}", hyp.tokens);
+    println!("  log-probability: {:.3}\n", hyp.score);
+
+    // --- Part 2: paper-sized decoding latency on the simulated GPU ---
+    let paper_cfg = Seq2SeqDecoderConfig::base();
+    let turbo = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+    let pytorch = TurboRuntime::new(RuntimeConfig::new(RuntimeKind::PyTorchLike, DeviceKind::RTX2060));
+
+    println!("paper-sized decoder (6 layers, model dim 1024, beam 4) on RTX 2060:");
+    println!("{:>8} {:>8} {:>12} {:>12} {:>9}", "src", "tgt", "Turbo", "PyTorch", "speedup");
+    for (src, tgt) in [(28usize, 34usize), (80, 96), (137, 164)] {
+        let t = turbo.decoder_cost(&paper_cfg, src, tgt);
+        let p = pytorch.decoder_cost(&paper_cfg, src, tgt);
+        println!(
+            "{src:>8} {tgt:>8} {:>9.1} ms {:>9.1} ms {:>8.2}x",
+            t * 1e3,
+            p * 1e3,
+            p / t
+        );
+    }
+    println!("\n(paper Fig. 10c reports 1.85–2.51x over PyTorch on this workload)");
+}

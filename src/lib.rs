@@ -1,0 +1,58 @@
+//! # TurboTransformers (Rust reproduction)
+//!
+//! A from-scratch Rust reproduction of *TurboTransformers: An Efficient GPU
+//! Serving System For Transformer Models* (Fang, Yu, Zhao, Zhou — PPoPP 2021).
+//!
+//! The crate is a facade over the workspace's subsystem crates:
+//!
+//! - [`tensor`] — dense f32 tensor substrate with blocked, rayon-parallel SGEMM.
+//! - [`gpusim`] — a functional + timing simulator of the CUDA execution model
+//!   (warps, shuffles, shared-memory barriers, an issue-pipeline scoreboard),
+//!   used to study the paper's batch-reduction kernels without a physical GPU.
+//! - [`alloc`] — the sequence-length-aware chunked allocator (paper Alg. 1+2)
+//!   and its baselines (GSOC, caching, naive).
+//! - [`graph`] — computation graph, non-GEMM kernel fusion, tensor lifetimes.
+//! - [`kernels`] — real CPU implementations of all transformer ops.
+//! - [`model`] — BERT, ALBERT and a Seq2Seq decoder with beam search.
+//! - [`runtime`] — the inference runtime tying the above together, plus
+//!   baseline runtime variants (PyTorch-like, onnxruntime-like, …).
+//! - [`serving`] — message queue, response cache, the DP batch scheduler
+//!   (paper Alg. 3) and a discrete-event serving simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use turbotransformers::prelude::*;
+//!
+//! // Build a BERT-base encoder and run a variable-length inference.
+//! let cfg = BertConfig::base();
+//! let model = Bert::new_random(&cfg, 0xC0FFEE);
+//! let runtime = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+//! let input = ids_batch(&[&[101, 7592, 2088, 102]]); // [CLS] hello world [SEP]
+//! let out = runtime.run_bert(&model, &input).unwrap();
+//! assert_eq!(out.encoder_output.shape().dims(), &[1, 4, cfg.model_dim()]);
+//! ```
+
+pub use tt_alloc as alloc;
+pub use tt_gpusim as gpusim;
+pub use tt_graph as graph;
+pub use tt_kernels as kernels;
+pub use tt_model as model;
+pub use tt_runtime as runtime;
+pub use tt_serving as serving;
+pub use tt_tensor as tensor;
+
+/// The most commonly used types, for `use turbotransformers::prelude::*`.
+pub mod prelude {
+    pub use tt_gpusim::device::DeviceKind;
+    pub use tt_model::albert::{Albert, AlbertConfig};
+    pub use tt_model::bert::{Bert, BertConfig};
+    pub use tt_model::decoder::{Seq2SeqDecoder, Seq2SeqDecoderConfig};
+    pub use tt_model::gpt::{Gpt, GptConfig};
+    pub use tt_model::seq2seq::{Seq2SeqConfig, TranslationModel};
+    pub use tt_model::{ids_batch, pad_batch};
+    pub use tt_runtime::{RuntimeConfig, RuntimeKind, TurboRuntime};
+    pub use tt_serving::request::Request;
+    pub use tt_serving::scheduler::{BatchScheduler, DpScheduler};
+    pub use tt_tensor::{Shape, Tensor};
+}

@@ -1,0 +1,125 @@
+//! Integration tests spanning the whole stack: models → graphs → fusion →
+//! allocator → executor → runtime variants → cost model → serving.
+
+use turbotransformers::gpusim::device::DeviceKind;
+use turbotransformers::model::bert::{Bert, BertConfig};
+use turbotransformers::model::{ids_batch, pad_batch};
+use turbotransformers::runtime::{RuntimeConfig, RuntimeKind, TurboRuntime};
+use turbotransformers::serving::request::{LengthDist, WorkloadSpec};
+use turbotransformers::serving::scheduler::{BatchScheduler, DpScheduler, NaiveBatchScheduler, NoBatchScheduler};
+use turbotransformers::serving::simulator::{simulate, ServingConfig, Trigger};
+use turbotransformers::serving::CachedCost;
+
+/// Numerics: the planned-arena graph executor, under every runtime variant
+/// (fused and decomposed graphs alike), agrees with the eager oracle on a
+/// padded, masked batch.
+#[test]
+fn every_variant_matches_eager_on_padded_batch() {
+    let cfg = BertConfig::tiny();
+    let model = Bert::new_random(&cfg, 404);
+    let (ids, mask, _) = pad_batch(&[&[1, 2, 3], &[4, 5, 6, 7, 8, 9], &[10]]);
+    let eager = model.forward(&ids, Some(&mask));
+
+    for kind in RuntimeKind::all() {
+        let rt = TurboRuntime::new(RuntimeConfig::new(kind, DeviceKind::RTX2060));
+        let run = rt.run_bert_masked(&model, &ids, &mask).expect("lengths within limits");
+        assert!(
+            run.encoder_output.approx_eq(&eager, 1e-4),
+            "{kind:?} diverged from eager (diff {})",
+            run.encoder_output.max_abs_diff(&eager).unwrap()
+        );
+        assert!(run.sim_time > 0.0);
+    }
+}
+
+/// Memory: a runtime serving a stream of variable-length requests reuses
+/// its chunk cache — after the longest request, shorter ones allocate
+/// nothing, and all outputs remain correct.
+#[test]
+fn chunk_cache_survives_a_variable_length_stream() {
+    let cfg = BertConfig::tiny();
+    let model = Bert::new_random(&cfg, 405);
+    let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+
+    let mut seen_longest = 0usize;
+    for &len in &[12usize, 40, 8, 25, 40, 3, 39] {
+        let row: Vec<u32> = (0..len as u32).map(|t| t % 90).collect();
+        let ids = ids_batch(&[&row]);
+        let eager = model.forward(&ids, None);
+        let run = rt.run_bert(&model, &ids).expect("within limits");
+        assert!(run.encoder_output.approx_eq(&eager, 1e-4), "len {len} wrong");
+        if len <= seen_longest {
+            assert_eq!(run.plan_stats.new_bytes, 0, "len {len} after {seen_longest} must reuse");
+        }
+        seen_longest = seen_longest.max(len);
+    }
+}
+
+/// Cost-model coherence: the runtime ordering the paper reports holds on
+/// the real BERT-base graph — Turbo < onnxruntime < PyTorch at a
+/// representative length, and the gap over PyTorch grows with length.
+#[test]
+fn runtime_ordering_matches_paper() {
+    let cfg = BertConfig::base();
+    let cost = |kind: RuntimeKind, seq: usize| {
+        TurboRuntime::new(RuntimeConfig::new(kind, DeviceKind::RTX2060)).bert_cost(&cfg, 1, seq, false)
+    };
+    let t = cost(RuntimeKind::Turbo, 200);
+    let o = cost(RuntimeKind::OnnxRuntimeLike, 200);
+    let p = cost(RuntimeKind::PyTorchLike, 200);
+    assert!(t < o && o < p, "expected Turbo {t} < ORT {o} < PyTorch {p}");
+
+    let sp_50 = cost(RuntimeKind::PyTorchLike, 50) / cost(RuntimeKind::Turbo, 50);
+    let sp_500 = cost(RuntimeKind::PyTorchLike, 500) / cost(RuntimeKind::Turbo, 500);
+    assert!(sp_500 > sp_50, "speedup must grow with length: {sp_50:.2} vs {sp_500:.2}");
+}
+
+/// Serving: with a real warmed cost table, the paper's Fig. 12 ordering
+/// holds — DP sustains more than no batching, which sustains more than
+/// naive batching, under a high-variance workload.
+#[test]
+fn serving_ordering_with_real_cost_table() {
+    let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+    // A modest table (len ≤ 256, batch ≤ 8) keeps the test fast.
+    let costs = CachedCost::warm_up(&rt, &BertConfig::base(), 256, 8, 32);
+    let workload = WorkloadSpec {
+        rate_per_sec: 300.0,
+        duration: 10.0,
+        lengths: LengthDist::Uniform { lo: 5, hi: 256 },
+        seed: 3,
+    }
+    .generate();
+
+    let throughput = |sched: &dyn BatchScheduler| {
+        simulate(
+            &workload,
+            &costs,
+            &ServingConfig { scheduler: sched, trigger: Trigger::Hungry, pad_to_max: false, cache_capacity: None },
+            10.0,
+        )
+        .response_throughput
+    };
+    let dp = throughput(&DpScheduler);
+    let none = throughput(&NoBatchScheduler);
+    let naive = throughput(&NaiveBatchScheduler);
+    assert!(dp >= none, "DP {dp} must not lose to NoBatch {none}");
+    assert!(none > naive, "NoBatch {none} must beat Naive {naive} under high variance");
+}
+
+/// The whole pipeline is deterministic end to end: same seeds, same
+/// outputs, same simulated times, same serving reports.
+#[test]
+fn end_to_end_determinism() {
+    let run_once = || {
+        let cfg = BertConfig::tiny();
+        let model = Bert::new_random(&cfg, 7);
+        let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::V100));
+        let ids = ids_batch(&[&[5, 6, 7, 8, 9]]);
+        let run = rt.run_bert(&model, &ids).unwrap();
+        (run.encoder_output, run.sim_time)
+    };
+    let (out1, t1) = run_once();
+    let (out2, t2) = run_once();
+    assert_eq!(out1, out2);
+    assert_eq!(t1, t2);
+}

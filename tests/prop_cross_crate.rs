@@ -1,0 +1,76 @@
+//! Cross-crate property tests: invariants that tie the subsystems together
+//! under randomized inputs.
+
+use proptest::prelude::*;
+
+use turbotransformers::alloc::{validate_plan, TurboAllocator};
+use turbotransformers::graph::lifetime::activation_lifetimes;
+use turbotransformers::model::bert::{graph_skeleton, BertConfig};
+use turbotransformers::serving::request::Request;
+use turbotransformers::serving::scheduler::{
+    batching_cost, brute_force_contiguous, BatchScheduler, DpScheduler, NaiveBatchScheduler,
+    NoBatchScheduler,
+};
+use turbotransformers::serving::CachedCost;
+
+/// A structured batch-cost surface: positive launch overhead + padded-token
+/// work with a sublinear batch discount.
+fn cost_table(overhead_us: u64, per_token_ns: u64) -> CachedCost {
+    CachedCost::from_fn(512, 8, 8, move |len, b| {
+        overhead_us as f64 * 1e-6 + per_token_ns as f64 * 1e-9 * (len * b) as f64
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The DP scheduler is optimal over contiguous sorted partitions for
+    /// ANY queue and any monotone cost surface.
+    #[test]
+    fn dp_is_optimal_for_random_queues(
+        lens in prop::collection::vec(1usize..=512, 1..10),
+        overhead_us in 1u64..5000,
+        per_token_ns in 1u64..20_000,
+    ) {
+        let queue: Vec<Request> =
+            lens.iter().enumerate().map(|(i, &l)| Request::new(i, l, 0.0)).collect();
+        let costs = cost_table(overhead_us, per_token_ns);
+        let dp = batching_cost(&queue, &DpScheduler.schedule(&queue, &costs), &costs);
+        let (best, _) = brute_force_contiguous(&queue, &costs);
+        prop_assert!((dp - best).abs() < 1e-12, "DP {dp} vs brute force {best}");
+    }
+
+    /// …and therefore never loses to either baseline.
+    #[test]
+    fn dp_dominates_baselines(
+        lens in prop::collection::vec(1usize..=512, 1..24),
+        overhead_us in 1u64..5000,
+        per_token_ns in 1u64..20_000,
+    ) {
+        let queue: Vec<Request> =
+            lens.iter().enumerate().map(|(i, &l)| Request::new(i, l, 0.0)).collect();
+        let costs = cost_table(overhead_us, per_token_ns);
+        let dp = batching_cost(&queue, &DpScheduler.schedule(&queue, &costs), &costs);
+        for sched in [&NaiveBatchScheduler as &dyn BatchScheduler, &NoBatchScheduler] {
+            let c = batching_cost(&queue, &sched.schedule(&queue, &costs), &costs);
+            prop_assert!(dp <= c + 1e-12, "DP {dp} lost to {} {c}", sched.name());
+        }
+    }
+
+    /// Replanning real BERT graphs of random lengths over a persistent
+    /// chunk cache always yields safe plans (simultaneously-live tensors
+    /// never share bytes), across the whole request stream.
+    #[test]
+    fn bert_plans_stay_safe_across_random_streams(
+        lens in prop::collection::vec(1usize..=64, 1..6),
+    ) {
+        let cfg = BertConfig::tiny();
+        let mut alloc = TurboAllocator::default();
+        for len in lens {
+            let bound = graph_skeleton(&cfg, 1, len, false);
+            let (usages, _) = activation_lifetimes(&bound.graph);
+            let plan = alloc.plan(&usages);
+            prop_assert!(validate_plan(&usages, &plan).is_ok(), "unsafe plan at len {len}");
+        }
+    }
+}
