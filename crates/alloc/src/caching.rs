@@ -155,10 +155,7 @@ mod tests {
         // Two tensors with disjoint lifetimes but different rounded sizes:
         // a graph-aware planner overlaps them; the cache cannot, so it holds
         // both. (Sizes differ by more than 2× to defeat the reuse bound.)
-        let usages = vec![
-            TensorUsage::new(0, 0, 1, 10_000),
-            TensorUsage::new(1, 2, 3, 1_000),
-        ];
+        let usages = vec![TensorUsage::new(0, 0, 1, 10_000), TensorUsage::new(1, 2, 3, 1_000)];
         let mut a = CachingAllocator::new();
         let r = replay(&mut a, &usages);
         assert!(r.final_reserved >= 10_240 + 1_024);

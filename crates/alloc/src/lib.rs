@@ -32,7 +32,7 @@ pub mod naive;
 pub mod sim;
 pub mod turbo;
 
-pub use turbo::{TurboAllocator, TurboConfig};
+pub use turbo::{AllocMetrics, TurboAllocator, TurboConfig};
 
 /// Identifier of an activation tensor within one inference plan.
 pub type TensorId = usize;
@@ -143,9 +143,8 @@ pub fn validate_plan(usages: &[TensorUsage], plan: &Plan) -> Result<(), PlanErro
                 continue;
             }
             let (a, b) = (by_id(u.id).unwrap(), by_id(v.id).unwrap());
-            let mem_overlap = a.chunk == b.chunk
-                && a.offset < b.offset + b.size
-                && b.offset < a.offset + a.size;
+            let mem_overlap =
+                a.chunk == b.chunk && a.offset < b.offset + b.size && b.offset < a.offset + a.size;
             if mem_overlap {
                 return Err(PlanError::Overlap(u.id, v.id));
             }

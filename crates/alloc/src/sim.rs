@@ -77,10 +77,7 @@ mod tests {
 
     #[test]
     fn replay_allocs_then_frees_in_op_order() {
-        let usages = vec![
-            TensorUsage::new(0, 0, 1, 100),
-            TensorUsage::new(1, 1, 2, 50),
-        ];
+        let usages = vec![TensorUsage::new(0, 0, 1, 100), TensorUsage::new(1, 1, 2, 50)];
         let mut a = NaiveAllocator::new();
         let r = replay(&mut a, &usages);
         // At op 1 both are alive: peak 150; everything freed by the end.

@@ -22,7 +22,69 @@
 //! Figure 6 only comes out under `≥`), and keep a unit test documenting the
 //! discrepancy.
 
+use std::sync::Arc;
+
+use tt_telemetry::{Counter, Gauge, Registry};
+
 use crate::{Assignment, Plan, TensorUsage};
+
+/// Telemetry handles for one allocator, resolved once from a
+/// [`Registry`] and recorded into on every [`TurboAllocator::plan`] call.
+/// All handles are atomics — attaching metrics adds a few relaxed stores
+/// per plan, nothing on the per-tensor path.
+#[derive(Debug, Clone)]
+pub struct AllocMetrics {
+    plans: Arc<Counter>,
+    reuse_hits: Arc<Counter>,
+    requested_bytes: Arc<Counter>,
+    new_chunk_bytes: Arc<Counter>,
+    new_chunks: Arc<Counter>,
+    resident_bytes: Arc<Gauge>,
+    chunks: Arc<Gauge>,
+}
+
+impl AllocMetrics {
+    /// Register (or look up) the allocator metric family in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        AllocMetrics {
+            plans: registry.counter("alloc_plans_total", "Planning passes run", &[]),
+            reuse_hits: registry.counter(
+                "alloc_reuse_hits_total",
+                "Plans served entirely from cached chunks (no new device allocation)",
+                &[],
+            ),
+            requested_bytes: registry.counter(
+                "alloc_requested_bytes_total",
+                "Activation bytes requested across all plans (before lifetime sharing)",
+                &[],
+            ),
+            new_chunk_bytes: registry.counter(
+                "alloc_new_chunk_bytes_total",
+                "Bytes of chunk space newly allocated (slow-path device mallocs)",
+                &[],
+            ),
+            new_chunks: registry.counter("alloc_new_chunks_total", "New chunk allocations", &[]),
+            resident_bytes: registry.gauge(
+                "alloc_resident_bytes",
+                "Current footprint: sum of cached chunk sizes",
+                &[],
+            ),
+            chunks: registry.gauge("alloc_chunks", "Number of cached chunks", &[]),
+        }
+    }
+
+    fn observe(&self, requested: usize, stats: &PlanStats, chunk_count: usize) {
+        self.plans.inc();
+        if stats.new_bytes == 0 {
+            self.reuse_hits.inc();
+        }
+        self.requested_bytes.add(requested as u64);
+        self.new_chunk_bytes.add(stats.new_bytes as u64);
+        self.new_chunks.add(stats.new_chunks as u64);
+        self.resident_bytes.set(stats.footprint as f64);
+        self.chunks.set(chunk_count as f64);
+    }
+}
 
 /// Tuning knobs of the allocator, with the paper's published values.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,6 +162,8 @@ pub struct TurboAllocator {
     /// Per-chunk count of consecutive plans with no tensor assigned.
     unused_streaks: Vec<usize>,
     last_stats: PlanStats,
+    /// Optional telemetry sink; clones share the same handles.
+    metrics: Option<AllocMetrics>,
 }
 
 impl Default for TurboAllocator {
@@ -119,7 +183,14 @@ impl TurboAllocator {
             chunk_sizes: Vec::new(),
             unused_streaks: Vec::new(),
             last_stats: PlanStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Attach a telemetry sink; every subsequent [`plan`](Self::plan)
+    /// reports chunk count, bytes requested vs resident, and reuse hits.
+    pub fn attach_metrics(&mut self, metrics: AllocMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Statistics of the most recent planning pass.
@@ -135,11 +206,8 @@ impl TurboAllocator {
     /// Paper Algorithm 1: plan offsets for one inference's usage records.
     pub fn plan(&mut self, usages: &[TensorUsage]) -> Plan {
         // Work over the persistent chunks; records are per-plan.
-        let mut chunks: Vec<Chunk> = self
-            .chunk_sizes
-            .iter()
-            .map(|&size| Chunk { size, records: Vec::new() })
-            .collect();
+        let mut chunks: Vec<Chunk> =
+            self.chunk_sizes.iter().map(|&size| Chunk { size, records: Vec::new() }).collect();
         let existing = chunks.len();
         let mut new_bytes = 0usize;
         let mut new_chunks = 0usize;
@@ -202,19 +270,17 @@ impl TurboAllocator {
                 }
             }
         }
-        let assignments: Vec<Assignment> = assignments
-            .into_iter()
-            .map(|a| Assignment { chunk: remap[a.chunk], ..a })
-            .collect();
+        let assignments: Vec<Assignment> =
+            assignments.into_iter().map(|a| Assignment { chunk: remap[a.chunk], ..a }).collect();
 
         self.chunk_sizes = kept_sizes.clone();
         self.unused_streaks = kept_streaks;
-        self.last_stats = PlanStats {
-            new_bytes,
-            released_bytes,
-            new_chunks,
-            footprint: self.footprint(),
-        };
+        self.last_stats =
+            PlanStats { new_bytes, released_bytes, new_chunks, footprint: self.footprint() };
+        if let Some(m) = &self.metrics {
+            let requested: usize = usages.iter().map(|u| u.size).sum();
+            m.observe(requested, &self.last_stats, self.chunk_sizes.len());
+        }
         Plan { assignments, chunk_sizes: kept_sizes }
     }
 }
@@ -223,7 +289,11 @@ impl TurboAllocator {
 /// inside a chunk, considering only records whose lifetimes overlap `t`.
 /// Records must be sorted by ascending offset. Returns the chosen offset or
 /// `None` if the tensor does not fit.
-pub fn find_gap_from_chunk(t: &TensorUsage, chunk_size: usize, records: &[GapRecord]) -> Option<usize> {
+pub fn find_gap_from_chunk(
+    t: &TensorUsage,
+    chunk_size: usize,
+    records: &[GapRecord],
+) -> Option<usize> {
     let mut smallest_gap = usize::MAX;
     let mut best_offset: Option<usize> = None;
     let mut prev_offset = 0usize;
@@ -382,6 +452,23 @@ mod tests {
         // Determinism: same set of records, same placement, any input order.
         assert_eq!(p1.assignment_of(0), p2.assignment_of(0));
         assert_eq!(p1.assignment_of(1), p2.assignment_of(1));
+    }
+
+    #[test]
+    fn metrics_track_plans_and_reuse() {
+        let registry = tt_telemetry::Registry::new();
+        let mut a = TurboAllocator::new(cfg(1024));
+        a.attach_metrics(AllocMetrics::register(&registry));
+        let usages = vec![usage(0, 0, 1, 512)];
+        a.plan(&usages); // cold: allocates one chunk
+        a.plan(&usages); // warm: pure reuse
+        let snap = registry.snapshot();
+        assert_eq!(snap.find("alloc_plans_total", &[]).unwrap().counter, Some(2));
+        assert_eq!(snap.find("alloc_reuse_hits_total", &[]).unwrap().counter, Some(1));
+        assert_eq!(snap.find("alloc_new_chunks_total", &[]).unwrap().counter, Some(1));
+        assert_eq!(snap.find("alloc_requested_bytes_total", &[]).unwrap().counter, Some(1024));
+        assert_eq!(snap.find("alloc_resident_bytes", &[]).unwrap().gauge, Some(1024.0));
+        assert_eq!(snap.find("alloc_chunks", &[]).unwrap().gauge, Some(1.0));
     }
 
     #[test]

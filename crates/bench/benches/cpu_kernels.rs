@@ -63,7 +63,9 @@ fn bench_fused_vs_unfused(c: &mut Criterion) {
     g.bench_function("fused", |b| {
         b.iter(|| {
             let mut out = vec![0.0f32; x.len()];
-            k::add_bias_residual_layer_norm(rows, hidden, &x, &bias, &res, &gamma, &beta, 1e-5, &mut out);
+            k::add_bias_residual_layer_norm(
+                rows, hidden, &x, &bias, &res, &gamma, &beta, 1e-5, &mut out,
+            );
             black_box(out)
         })
     });

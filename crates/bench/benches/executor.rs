@@ -32,9 +32,7 @@ fn bench_executor_vs_eager(c: &mut Criterion) {
             let mut arena = Arena::new();
             let inputs = [(InputBinding::TokenIds, ids)];
             let _ = execute(&bound, model.weights(), &inputs, &mut alloc, &mut arena);
-            b.iter(|| {
-                black_box(execute(&bound, model.weights(), &inputs, &mut alloc, &mut arena))
-            })
+            b.iter(|| black_box(execute(&bound, model.weights(), &inputs, &mut alloc, &mut arena)))
         });
     }
     g.finish();

@@ -14,18 +14,20 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tt_bench::{fmt_time, print_table};
+use tt_alloc::{TurboAllocator, TurboConfig};
 use tt_bench::serving_setup::{self, System};
+use tt_bench::{fmt_time, print_table};
 use tt_gpusim::device::DeviceKind;
 use tt_gpusim::kernels::{layernorm_time, turbo_softmax_launches, BatchShape, LayerNormAlgo};
 use tt_gpusim::launch::sequence_time;
 use tt_graph::lifetime::activation_lifetimes;
 use tt_model::bert::{graph_skeleton, BertConfig};
 use tt_serving::request::{LengthDist, Request, WorkloadSpec};
-use tt_serving::scheduler::{batching_cost, BatchScheduler, DpScheduler, NaiveBatchScheduler, NoBatchScheduler};
+use tt_serving::scheduler::{
+    batching_cost, BatchScheduler, DpScheduler, NaiveBatchScheduler, NoBatchScheduler,
+};
 use tt_serving::simulator::{simulate, ServingConfig, Trigger};
 use tt_serving::CachedCost;
-use tt_alloc::{TurboAllocator, TurboConfig};
 
 fn ablate_xelem() {
     let dev = DeviceKind::V100.config();
@@ -111,7 +113,11 @@ fn ablate_chunk_size() {
 fn ablate_scheduler_variance() {
     let costs = CachedCost::from_fn(512, 20, 8, |len, b| 1.0e-3 + 8.0e-6 * (len * b) as f64);
     let mut rows = Vec::new();
-    for &(label, lo, hi) in &[("low (230..270)", 230usize, 270usize), ("medium (100..400)", 100, 400), ("high (5..500)", 5, 500)] {
+    for &(label, lo, hi) in &[
+        ("low (230..270)", 230usize, 270usize),
+        ("medium (100..400)", 100, 400),
+        ("high (5..500)", 5, 500),
+    ] {
         let mut rng = StdRng::seed_from_u64(5);
         let queue: Vec<Request> =
             (0..20).map(|i| Request::new(i, rng.random_range(lo..=hi), 0.0)).collect();
@@ -159,7 +165,12 @@ fn ablate_latency_objective() {
     }
     print_table(
         "Ablation 7 — DP objective: throughput (paper Alg. 3) vs mean latency (extension)",
-        &["queue", "throughput-DP (total / mean compl.)", "latency-DP (total / mean compl.)", "batches"],
+        &[
+            "queue",
+            "throughput-DP (total / mean compl.)",
+            "latency-DP (total / mean compl.)",
+            "batches",
+        ],
         &rows,
     );
 }
@@ -226,7 +237,12 @@ fn ablate_trigger() {
         let hungry = simulate(
             &reqs,
             &dp.costs,
-            &ServingConfig { scheduler: dp.scheduler.as_ref(), trigger: Trigger::Hungry, pad_to_max: false, cache_capacity: None },
+            &ServingConfig {
+                scheduler: dp.scheduler.as_ref(),
+                trigger: Trigger::Hungry,
+                pad_to_max: false,
+                cache_capacity: None,
+            },
             20.0,
         );
         let lazy = simulate(
@@ -242,7 +258,11 @@ fn ablate_trigger() {
         );
         rows.push(vec![
             format!("{rate:.0} req/s"),
-            format!("{:.1} resp/s / {:.1} ms", hungry.response_throughput, hungry.latency.mean() * 1e3),
+            format!(
+                "{:.1} resp/s / {:.1} ms",
+                hungry.response_throughput,
+                hungry.latency.mean() * 1e3
+            ),
             format!("{:.1} resp/s / {:.1} ms", lazy.response_throughput, lazy.latency.mean() * 1e3),
         ]);
     }

@@ -21,7 +21,11 @@ fn main() {
         let rep = simulate_cluster(
             &reqs,
             dp_costs,
-            &ClusterConfig { servers, scheduler: &DpScheduler, policy: BalancerPolicy::LeastLoaded },
+            &ClusterConfig {
+                servers,
+                scheduler: &DpScheduler,
+                policy: BalancerPolicy::LeastLoaded,
+            },
             duration,
         );
         let util: f64 =

@@ -94,7 +94,13 @@ fn main() {
         let t = turbo.decoder_cost(&dcfg, src, tgt);
         let p = pytorch.decoder_cost(&dcfg, src, tgt);
         sp.push(p / t);
-        rows.push(vec![src.to_string(), tgt.to_string(), fmt_time(t), fmt_time(p), fmt_speedup(p / t)]);
+        rows.push(vec![
+            src.to_string(),
+            tgt.to_string(),
+            fmt_time(t),
+            fmt_time(p),
+            fmt_speedup(p / t),
+        ]);
     }
     print_table(
         "Figure 10c — Seq2Seq decoder latency, beam 4 (RTX 2060)",

@@ -20,10 +20,8 @@ fn main() {
 
     for device in [DeviceKind::RTX2060, DeviceKind::V100] {
         let turbo = TurboRuntime::new(RuntimeConfig::new(RuntimeKind::Turbo, device));
-        let rts: Vec<TurboRuntime> = baselines
-            .iter()
-            .map(|&k| TurboRuntime::new(RuntimeConfig::new(k, device)))
-            .collect();
+        let rts: Vec<TurboRuntime> =
+            baselines.iter().map(|&k| TurboRuntime::new(RuntimeConfig::new(k, device))).collect();
 
         let mut turbo_wins = 0usize;
         let mut trt_cells = 0usize;

@@ -38,7 +38,15 @@ fn main() {
         }
         print_table(
             &format!("{rows} rows of length {row_len} per block (128 threads)"),
-            &["algorithm", "instrs", "syncs", "divergent tails", "issue cycles", "latency cycles", "latency speedup"],
+            &[
+                "algorithm",
+                "instrs",
+                "syncs",
+                "divergent tails",
+                "issue cycles",
+                "latency cycles",
+                "latency speedup",
+            ],
             &rows_out,
         );
     }

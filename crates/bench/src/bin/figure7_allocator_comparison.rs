@@ -66,7 +66,15 @@ fn main() {
 
     print_table(
         "Figure 7 — allocators over 50 variable-length BERT requests (MB)",
-        &["req", "len", "turbo footprint", "turbo new", "GSOC footprint", "GSOC new", "caching reserved"],
+        &[
+            "req",
+            "len",
+            "turbo footprint",
+            "turbo new",
+            "GSOC footprint",
+            "GSOC new",
+            "caching reserved",
+        ],
         &rows,
     );
 

@@ -20,7 +20,8 @@ fn main() {
     let costs = CachedCost::warm_up(&rt, &cfg, 96, 5, 4);
 
     let lens = [17usize, 18, 52, 63, 77];
-    let queue: Vec<Request> = lens.iter().enumerate().map(|(i, &l)| Request::new(i, l, 0.0)).collect();
+    let queue: Vec<Request> =
+        lens.iter().enumerate().map(|(i, &l)| Request::new(i, l, 0.0)).collect();
 
     let mut rows = Vec::new();
     let mut dp_time = 0.0;

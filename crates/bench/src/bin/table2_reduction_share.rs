@@ -20,30 +20,33 @@ fn main() {
         .collect();
 
     let mut rows: Vec<Vec<String>> = Vec::new();
-    for (label, before) in [
-        ("Softmax/Attention before", true),
-        ("Softmax/Attention after", false),
-    ] {
+    for (label, before) in [("Softmax/Attention before", true), ("Softmax/Attention after", false)]
+    {
         let mut row = vec![label.to_string()];
         for &(batch, seq) in &cases {
             let softmax = if before { SoftmaxAlgo::Naive } else { SoftmaxAlgo::TurboXElem };
             let bd = attention_layer_time(
-                &dev, batch, seq, 12, 64, softmax, LayerNormAlgo::TurboOnePass, true,
+                &dev,
+                batch,
+                seq,
+                12,
+                64,
+                softmax,
+                LayerNormAlgo::TurboOnePass,
+                true,
             );
             row.push(fmt_pct(bd.softmax_share()));
         }
         rows.push(row);
     }
-    for (label, before) in [
-        ("LayerNorm/Attention before", true),
-        ("LayerNorm/Attention after", false),
-    ] {
+    for (label, before) in
+        [("LayerNorm/Attention before", true), ("LayerNorm/Attention after", false)]
+    {
         let mut row = vec![label.to_string()];
         for &(batch, seq) in &cases {
             let ln = if before { LayerNormAlgo::Naive } else { LayerNormAlgo::TurboOnePass };
-            let bd = attention_layer_time(
-                &dev, batch, seq, 12, 64, SoftmaxAlgo::TurboXElem, ln, true,
-            );
+            let bd =
+                attention_layer_time(&dev, batch, seq, 12, 64, SoftmaxAlgo::TurboXElem, ln, true);
             row.push(fmt_pct(bd.layernorm_share()));
         }
         rows.push(row);

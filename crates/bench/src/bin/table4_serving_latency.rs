@@ -29,7 +29,12 @@ fn main() {
     anchors.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("rates are finite"));
 
     let headers: Vec<String> = std::iter::once("req/s (≈ saturation of)".to_string())
-        .chain(systems.iter().filter(|s| s.name != "TF-serving (pad to max)").map(|s| s.name.to_string()))
+        .chain(
+            systems
+                .iter()
+                .filter(|s| s.name != "TF-serving (pad to max)")
+                .map(|s| s.name.to_string()),
+        )
         .collect();
 
     let mut rows = Vec::new();

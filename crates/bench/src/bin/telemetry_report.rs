@@ -1,0 +1,346 @@
+//! End-to-end telemetry demonstration: run a live serving session with
+//! every subsystem instrumented, then emit the Prometheus text exposition
+//! (stdout) and a human-readable digest (`results/telemetry_report.md`).
+//!
+//! This is the observability counterpart of the paper's evaluation: the
+//! same quantities Table 2 (per-op time shares), §4.2 (zero-padding
+//! waste), Algorithm 3 (scheduler runtime) and Figure 7 (allocator
+//! traffic) report as one-off experiments come out of the continuously
+//! collected metric registry here. The binary also measures the cost of
+//! the metrics themselves and checks it stays under 2% of batch execution
+//! time.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tt_bench::fmt_pct;
+use tt_gpusim::device::DeviceKind;
+use tt_model::bert::{Bert, BertConfig};
+use tt_runtime::executor::OP_NAMES;
+use tt_runtime::{RuntimeConfig, TurboRuntime};
+use tt_serving::cluster::{simulate_cluster, BalancerPolicy, ClusterConfig};
+use tt_serving::live::LiveEngine;
+use tt_serving::request::{LengthDist, WorkloadSpec};
+use tt_serving::scheduler::InstrumentedScheduler;
+use tt_serving::{CachedCost, DpScheduler};
+use tt_telemetry::{Counter, Histogram, Registry, RegistrySnapshot};
+
+const CLIENTS: usize = 12;
+const REQUESTS_PER_CLIENT: usize = 8;
+
+fn main() {
+    let registry = Registry::new();
+
+    // --- Live serving session, fully instrumented -----------------------
+    let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+    let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+    runtime.instrument(&registry);
+    // Strong per-batch fixed cost → the DP scheduler prefers batching, so
+    // mixed-length batches (and therefore padding waste) actually occur.
+    let costs =
+        Arc::new(CachedCost::from_fn(64, 16, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+    let scheduler = Arc::new(InstrumentedScheduler::new(Arc::new(DpScheduler), &registry));
+    let engine =
+        LiveEngine::start_instrumented(model, runtime.clone(), scheduler, costs.clone(), &registry);
+
+    let mut handles = Vec::new();
+    for t in 0..CLIENTS {
+        let client = engine.client();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(7_000 + t as u64);
+            for _ in 0..REQUESTS_PER_CLIENT {
+                let len = rng.random_range(4..=48usize);
+                let tokens: Vec<u32> = (0..len as u32).map(|i| i % 90).collect();
+                let _ = client.infer(tokens);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let served = engine.shutdown();
+    assert_eq!(served, CLIENTS * REQUESTS_PER_CLIENT, "every request must be answered");
+
+    // --- Cluster view: per-server utilisation + skew ---------------------
+    let trace = WorkloadSpec {
+        rate_per_sec: 400.0,
+        duration: 10.0,
+        lengths: LengthDist::Uniform { lo: 5, hi: 60 },
+        seed: 42,
+    }
+    .generate();
+    for policy in [BalancerPolicy::RoundRobin, BalancerPolicy::LeastLoaded] {
+        let name = match policy {
+            BalancerPolicy::RoundRobin => "round_robin",
+            BalancerPolicy::LeastLoaded => "least_loaded",
+            BalancerPolicy::LengthBands => "length_bands",
+        };
+        let report = simulate_cluster(
+            &trace,
+            &costs,
+            &ClusterConfig { servers: 4, scheduler: &DpScheduler, policy },
+            10.0,
+        );
+        report.record_to(&registry, name);
+    }
+
+    // --- Telemetry overhead: the cost of the metrics themselves ----------
+    let overhead = measure_overhead(&registry);
+
+    // --- Emit -------------------------------------------------------------
+    let prometheus = registry.render_prometheus();
+    println!("{prometheus}");
+
+    let snap = registry.snapshot();
+    let md = render_markdown(&snap, &overhead, &prometheus);
+    std::fs::write("results/telemetry_report.md", &md)
+        .expect("writing results/telemetry_report.md");
+    eprintln!("wrote results/telemetry_report.md ({} metrics)", snap.metrics.len());
+
+    // Acceptance checks: live histograms must be populated and the
+    // instrumentation must be effectively free.
+    let queue_wait = hist(&snap, "live_queue_wait_nanoseconds");
+    assert!(queue_wait.count() > 0 && queue_wait.sum > 0, "queue-wait histogram is empty");
+    let padded = counter(&snap, "live_padded_tokens_total");
+    assert!(padded > 0, "no padding waste observed — batches never mixed lengths");
+    assert!(
+        overhead.pct_of_execute < 2.0,
+        "telemetry overhead {}% exceeds the 2% budget",
+        overhead.pct_of_execute
+    );
+}
+
+struct Overhead {
+    per_record_ns: f64,
+    ops_per_batch: f64,
+    mean_execute_ns: f64,
+    pct_of_execute: f64,
+}
+
+/// Time the primitive record operations in a tight loop, then scale by how
+/// many observations the serving session actually made per batch.
+fn measure_overhead(registry: &Registry) -> Overhead {
+    const ITERS: u64 = 2_000_000;
+    let h = Histogram::new();
+    let c = Counter::new();
+    let start = Instant::now();
+    for i in 0..ITERS {
+        h.record(black_box(i));
+        c.inc();
+    }
+    // One "op" = one histogram record + one counter increment (a strict
+    // upper bound on any single instrumentation point in the hot path).
+    let per_record_ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+    black_box(h.snapshot().count() + c.get());
+
+    let snap = registry.snapshot();
+    let batches = counter(&snap, "live_batches_total").max(1);
+    // Total observations recorded during serving: every histogram sample
+    // plus every counter, across live + scheduler + executor + allocator.
+    let observations: u64 =
+        snap.metrics.iter().map(|m| m.histogram.as_ref().map(|h| h.count()).unwrap_or(1)).sum();
+    let ops_per_batch = observations as f64 / batches as f64;
+    let mean_execute_ns = hist(&snap, "live_execute_nanoseconds").mean();
+    let pct_of_execute = if mean_execute_ns > 0.0 {
+        100.0 * (ops_per_batch * per_record_ns) / mean_execute_ns
+    } else {
+        f64::INFINITY
+    };
+    Overhead { per_record_ns, ops_per_batch, mean_execute_ns, pct_of_execute }
+}
+
+fn hist<'s>(snap: &'s RegistrySnapshot, name: &str) -> &'s tt_telemetry::HistogramSnapshot {
+    snap.find(name, &[])
+        .and_then(|m| m.histogram.as_ref())
+        .unwrap_or_else(|| panic!("missing histogram {name}"))
+}
+
+fn counter(snap: &RegistrySnapshot, name: &str) -> u64 {
+    snap.find(name, &[]).and_then(|m| m.counter).unwrap_or_else(|| panic!("missing counter {name}"))
+}
+
+fn us(ns: u64) -> String {
+    format!("{:.1} µs", ns as f64 / 1e3)
+}
+
+fn render_markdown(snap: &RegistrySnapshot, overhead: &Overhead, prometheus: &str) -> String {
+    let mut md = String::new();
+    let w = &mut md;
+    writeln!(w, "# Telemetry report — live serving session\n").unwrap();
+    writeln!(
+        w,
+        "A `LiveEngine` served {} requests from {} concurrent clients \
+         (lengths 4–48, BERT-tiny on the simulated RTX 2060 runtime), with \
+         `tt-telemetry` instrumentation on the serving loop, the DP batch \
+         scheduler, the graph executor, and the chunk allocator.\n",
+        counter(snap, "live_requests_total"),
+        CLIENTS,
+    )
+    .unwrap();
+
+    // Serving loop.
+    let wait = hist(snap, "live_queue_wait_nanoseconds");
+    let sched = hist(snap, "live_schedule_nanoseconds");
+    let exec = hist(snap, "live_execute_nanoseconds");
+    let bsize = hist(snap, "live_batch_size");
+    writeln!(w, "## Serving loop\n").unwrap();
+    writeln!(w, "| metric | count | mean | p50 | p95 | p99 |").unwrap();
+    writeln!(w, "|---|---|---|---|---|---|").unwrap();
+    for (name, h) in [("queue wait", wait), ("schedule time", sched), ("execute time", exec)] {
+        writeln!(
+            w,
+            "| {} | {} | {} | {} | {} | {} |",
+            name,
+            h.count(),
+            us(h.mean() as u64),
+            us(h.p50()),
+            us(h.p95()),
+            us(h.p99()),
+        )
+        .unwrap();
+    }
+    writeln!(
+        w,
+        "| batch size | {} | {:.2} | {} | {} | {} |",
+        bsize.count(),
+        bsize.mean(),
+        bsize.p50(),
+        bsize.p95(),
+        bsize.p99(),
+    )
+    .unwrap();
+    let real = counter(snap, "live_real_tokens_total");
+    let padded = counter(snap, "live_padded_tokens_total");
+    writeln!(
+        w,
+        "\nZero-padding waste: **{}** of executed tokens ({} real, {} padding) — \
+         the quantity the paper's DP scheduler (Alg. 3) trades against batching gain.\n",
+        fmt_pct(padded as f64 / (real + padded) as f64),
+        real,
+        padded,
+    )
+    .unwrap();
+
+    // Executor per-op shares (paper Table 2 analogue).
+    writeln!(w, "## Executor time by operator (paper Table 2 analogue)\n").unwrap();
+    let mut ops: Vec<(&str, u64, u64)> = OP_NAMES
+        .iter()
+        .filter_map(|&op| {
+            snap.find("executor_op_nanoseconds", &[("op", op)])
+                .and_then(|m| m.histogram.as_ref())
+                .filter(|h| h.count() > 0)
+                .map(|h| (op, h.count(), h.sum))
+        })
+        .collect();
+    ops.sort_by_key(|&(_, _, sum)| std::cmp::Reverse(sum));
+    let total_ns: u64 = ops.iter().map(|(_, _, sum)| sum).sum();
+    writeln!(w, "| op | calls | total | share |").unwrap();
+    writeln!(w, "|---|---|---|---|").unwrap();
+    for (op, calls, sum) in &ops {
+        writeln!(
+            w,
+            "| {} | {} | {} | {} |",
+            op,
+            calls,
+            us(*sum),
+            fmt_pct(*sum as f64 / total_ns as f64),
+        )
+        .unwrap();
+    }
+
+    // Allocator.
+    writeln!(w, "\n## Allocator\n").unwrap();
+    let plans = counter(snap, "alloc_plans_total");
+    let hits = counter(snap, "alloc_reuse_hits_total");
+    writeln!(w, "| metric | value |").unwrap();
+    writeln!(w, "|---|---|").unwrap();
+    writeln!(w, "| planning passes | {plans} |").unwrap();
+    writeln!(
+        w,
+        "| reuse hits (no new chunk bytes) | {hits} ({}) |",
+        fmt_pct(hits as f64 / plans.max(1) as f64)
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "| bytes requested (cumulative) | {} |",
+        counter(snap, "alloc_requested_bytes_total")
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "| new chunk bytes (cumulative) | {} |",
+        counter(snap, "alloc_new_chunk_bytes_total")
+    )
+    .unwrap();
+    let resident = snap.find("alloc_resident_bytes", &[]).and_then(|m| m.gauge).unwrap_or(0.0);
+    let chunks = snap.find("alloc_chunks", &[]).and_then(|m| m.gauge).unwrap_or(0.0);
+    writeln!(w, "| resident bytes (final) | {resident} |").unwrap();
+    writeln!(w, "| cached chunks (final) | {chunks} |").unwrap();
+
+    // Cluster.
+    writeln!(w, "\n## Cluster (4 simulated servers, 400 req/s)\n").unwrap();
+    writeln!(w, "| policy | server utilisations | skew (max − min) |").unwrap();
+    writeln!(w, "|---|---|---|").unwrap();
+    for policy in ["round_robin", "least_loaded"] {
+        let utils: Vec<String> = (0..4)
+            .filter_map(|i| {
+                snap.find(
+                    "cluster_server_utilization",
+                    &[("policy", policy), ("server", &i.to_string())],
+                )
+                .and_then(|m| m.gauge)
+                .map(fmt_pct)
+            })
+            .collect();
+        let skew = snap
+            .find("cluster_utilization_skew", &[("policy", policy)])
+            .and_then(|m| m.gauge)
+            .unwrap_or(0.0);
+        writeln!(w, "| {} | {} | {:.4} |", policy, utils.join(", "), skew).unwrap();
+    }
+
+    // Overhead.
+    writeln!(w, "\n## Telemetry overhead\n").unwrap();
+    writeln!(
+        w,
+        "One instrumentation point (histogram record + counter increment) costs \
+         **{:.1} ns**. The session recorded {:.0} observations per executed batch \
+         against a mean batch execution time of {}, putting total telemetry \
+         overhead at **{:.3}%** of execution time (budget: 2%).\n",
+        overhead.per_record_ns,
+        overhead.ops_per_batch,
+        us(overhead.mean_execute_ns as u64),
+        overhead.pct_of_execute,
+    )
+    .unwrap();
+
+    // Exposition sample.
+    writeln!(w, "## Prometheus exposition (excerpt)\n").unwrap();
+    writeln!(w, "```").unwrap();
+    for line in prometheus
+        .lines()
+        .filter(|l| {
+            l.contains("live_queue_wait")
+                || l.contains("live_padding")
+                || l.contains("scheduler_nanoseconds_")
+        })
+        .take(24)
+    {
+        writeln!(w, "{line}").unwrap();
+    }
+    writeln!(w, "```").unwrap();
+    writeln!(
+        w,
+        "\nThe full exposition (printed to stdout by `cargo run --release --bin \
+         telemetry_report`) is valid Prometheus text format: one `# HELP`/`# TYPE` \
+         pair per family, cumulative `_bucket{{le=...}}` series ending in `+Inf`, \
+         and `_sum`/`_count` per histogram.",
+    )
+    .unwrap();
+    md
+}

@@ -18,7 +18,9 @@ use tt_gpusim::device::DeviceKind;
 use tt_model::bert::BertConfig;
 use tt_runtime::{RuntimeConfig, RuntimeKind, TurboRuntime};
 use tt_serving::request::{LengthDist, Request, WorkloadSpec};
-use tt_serving::scheduler::{BatchScheduler, DpScheduler, NaiveBatchScheduler, NoBatchScheduler, PadToMaxScheduler};
+use tt_serving::scheduler::{
+    BatchScheduler, DpScheduler, NaiveBatchScheduler, NoBatchScheduler, PadToMaxScheduler,
+};
 use tt_serving::simulator::{simulate, ServingConfig, ServingReport, Trigger};
 use tt_serving::CachedCost;
 
@@ -31,7 +33,8 @@ pub const BUCKET: usize = 10;
 /// The paper's length distribution, "a normal distribution from 5 to 500";
 /// the exact parameters are not given — this choice centres the workload
 /// where the paper's absolute latencies (Table 4 min ≈ 2.8 ms) put it.
-pub const LENGTHS: LengthDist = LengthDist::ClampedNormal { mean: 150.0, std: 120.0, lo: 5, hi: MAX_LEN };
+pub const LENGTHS: LengthDist =
+    LengthDist::ClampedNormal { mean: 150.0, std: 120.0, lo: 5, hi: MAX_LEN };
 
 /// One serving system under test.
 pub struct System {

@@ -24,9 +24,17 @@ pub fn gemm_time(dev: &DeviceConfig, batch: usize, m: usize, k: usize, n: usize)
 /// [`gemm_time`] with an explicit efficiency fraction — runtime variants
 /// with autotuned GEMM backends (TensorRT) or weaker codegen (XLA) differ
 /// here.
-pub fn gemm_time_eff(dev: &DeviceConfig, batch: usize, m: usize, k: usize, n: usize, eff: f64) -> f64 {
+pub fn gemm_time_eff(
+    dev: &DeviceConfig,
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    eff: f64,
+) -> f64 {
     let flops = 2.0 * batch as f64 * m as f64 * n as f64 * k as f64;
-    let bytes = 4.0 * batch as f64 * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64);
+    let bytes =
+        4.0 * batch as f64 * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64);
     let compute = flops / (dev.peak_tflops * 1e12 * eff);
     let mem = bytes / (dev.mem_bandwidth_gbps * 1e9);
     dev.launch_overhead() + compute.max(mem)
@@ -157,12 +165,24 @@ mod tests {
         // softmax eats the vast majority of attention time; Turbo's doesn't.
         let d = DeviceKind::V100.config();
         let before = attention_layer_time(
-            &d, 20, 500, 12, 64,
-            SoftmaxAlgo::Naive, LayerNormAlgo::TurboOnePass, true,
+            &d,
+            20,
+            500,
+            12,
+            64,
+            SoftmaxAlgo::Naive,
+            LayerNormAlgo::TurboOnePass,
+            true,
         );
         let after = attention_layer_time(
-            &d, 20, 500, 12, 64,
-            SoftmaxAlgo::TurboXElem, LayerNormAlgo::TurboOnePass, true,
+            &d,
+            20,
+            500,
+            12,
+            64,
+            SoftmaxAlgo::TurboXElem,
+            LayerNormAlgo::TurboOnePass,
+            true,
         );
         assert!(
             before.softmax_share() > 0.45,
@@ -182,12 +202,24 @@ mod tests {
     fn layernorm_share_shrinks_after_optimization() {
         let d = DeviceKind::V100.config();
         let before = attention_layer_time(
-            &d, 20, 100, 12, 64,
-            SoftmaxAlgo::TurboXElem, LayerNormAlgo::Naive, true,
+            &d,
+            20,
+            100,
+            12,
+            64,
+            SoftmaxAlgo::TurboXElem,
+            LayerNormAlgo::Naive,
+            true,
         );
         let after = attention_layer_time(
-            &d, 20, 100, 12, 64,
-            SoftmaxAlgo::TurboXElem, LayerNormAlgo::TurboOnePass, true,
+            &d,
+            20,
+            100,
+            12,
+            64,
+            SoftmaxAlgo::TurboXElem,
+            LayerNormAlgo::TurboOnePass,
+            true,
         );
         assert!(before.layernorm_share() > after.layernorm_share());
     }
@@ -196,12 +228,24 @@ mod tests {
     fn fusion_saves_launches() {
         let d = DeviceKind::RTX2060.config();
         let fused = attention_layer_time(
-            &d, 1, 40, 12, 64,
-            SoftmaxAlgo::TurboXElem, LayerNormAlgo::TurboOnePass, true,
+            &d,
+            1,
+            40,
+            12,
+            64,
+            SoftmaxAlgo::TurboXElem,
+            LayerNormAlgo::TurboOnePass,
+            true,
         );
         let unfused = attention_layer_time(
-            &d, 1, 40, 12, 64,
-            SoftmaxAlgo::TurboXElem, LayerNormAlgo::TurboOnePass, false,
+            &d,
+            1,
+            40,
+            12,
+            64,
+            SoftmaxAlgo::TurboXElem,
+            LayerNormAlgo::TurboOnePass,
+            false,
         );
         assert!(unfused.other > fused.other, "unfused glue must cost more launches");
         assert!(unfused.total() > fused.total());

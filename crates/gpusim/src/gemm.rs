@@ -101,7 +101,8 @@ pub fn gemm_kernel_time(dev: &DeviceConfig, batch: usize, m: usize, k: usize, n:
     };
     // GEMM tiles stage fat shared-memory panels: residency is occupancy-
     // bound, not the device default.
-    let kres = crate::occupancy::KernelResources::gemm_tile(tile.bm, tile.bn, tile.bk, tile.threads);
+    let kres =
+        crate::occupancy::KernelResources::gemm_tile(tile.bm, tile.bn, tile.bk, tile.threads);
     let dev = crate::occupancy::with_kernel_occupancy(dev, &kres);
     kernel_time(&dev, &launch)
 }
@@ -147,10 +148,7 @@ mod tests {
         let dev = DeviceKind::RTX2060.config();
         let small = effective_efficiency(&dev, 1, 16, 768, 768);
         let large = effective_efficiency(&dev, 1, 2048, 768, 768);
-        assert!(
-            small < large / 3.0,
-            "tiny GEMMs must be far below peak: {small:.4} vs {large:.4}"
-        );
+        assert!(small < large / 3.0, "tiny GEMMs must be far below peak: {small:.4} vs {large:.4}");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::device::DeviceConfig;
 use crate::launch::{sequence_time, KernelLaunch};
 use crate::pipeline::{simulate, Instr, Op};
-use crate::reduction::{warp_reduce_trace, RegAlloc, ReductionShape};
+use crate::reduction::{warp_reduce_trace, ReductionShape, RegAlloc};
 
 /// Softmax kernel implementations under comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,10 +72,7 @@ pub fn geometry(dev: &DeviceConfig, shape: BatchShape) -> (ReductionShape, usize
     let target_blocks = dev.num_sms * dev.max_concurrent_blocks_per_sm;
     let rows_per_block = shape.rows.div_ceil(target_blocks).clamp(1, 32);
     let blocks = shape.rows.div_ceil(rows_per_block);
-    (
-        ReductionShape { row_len: shape.row_len, rows_per_block, block_threads },
-        blocks,
-    )
+    (ReductionShape { row_len: shape.row_len, rows_per_block, block_threads }, blocks)
 }
 
 // ---------------------------------------------------------------------------
@@ -287,12 +284,20 @@ fn elementwise_row(shape: &ReductionShape, ops: &[Op]) -> Vec<Instr> {
 // Kernel assembly
 // ---------------------------------------------------------------------------
 
-fn repeat_rows(dev: &DeviceConfig, shape: &ReductionShape, row_trace: &[Instr]) -> crate::pipeline::TraceStats {
+fn repeat_rows(
+    dev: &DeviceConfig,
+    shape: &ReductionShape,
+    row_trace: &[Instr],
+) -> crate::pipeline::TraceStats {
     crate::pipeline::repeat(simulate(dev, row_trace), shape.rows_per_block as u64)
 }
 
 /// The kernel launches a softmax of the given algorithm performs.
-pub fn softmax_launches(dev: &DeviceConfig, algo: SoftmaxAlgo, shape: BatchShape) -> Vec<KernelLaunch> {
+pub fn softmax_launches(
+    dev: &DeviceConfig,
+    algo: SoftmaxAlgo,
+    shape: BatchShape,
+) -> Vec<KernelLaunch> {
     let (rs, blocks) = geometry(dev, shape);
     let elem_bytes = (shape.rows * shape.row_len * 4) as u64;
     match algo {
@@ -304,9 +309,19 @@ pub fn softmax_launches(dev: &DeviceConfig, algo: SoftmaxAlgo, shape: BatchShape
                 // contiguous-layout copy the framework inserts before reducing
                 KernelLaunch { blocks, stats: ew1, bytes: UNCOALESCED * 2 * elem_bytes, flops: 0 },
                 KernelLaunch { blocks, stats: reduce, bytes: elem_bytes, flops: elem_bytes / 4 }, // max
-                KernelLaunch { blocks, stats: ew2, bytes: UNCOALESCED * 2 * elem_bytes, flops: elem_bytes / 2 }, // sub+exp
+                KernelLaunch {
+                    blocks,
+                    stats: ew2,
+                    bytes: UNCOALESCED * 2 * elem_bytes,
+                    flops: elem_bytes / 2,
+                }, // sub+exp
                 KernelLaunch { blocks, stats: reduce, bytes: elem_bytes, flops: elem_bytes / 4 }, // sum
-                KernelLaunch { blocks, stats: ew1, bytes: UNCOALESCED * 2 * elem_bytes, flops: elem_bytes / 4 }, // div
+                KernelLaunch {
+                    blocks,
+                    stats: ew1,
+                    bytes: UNCOALESCED * 2 * elem_bytes,
+                    flops: elem_bytes / 4,
+                }, // div
             ]
         }
         SoftmaxAlgo::CudnnLike => {
@@ -323,7 +338,11 @@ pub fn softmax_launches(dev: &DeviceConfig, algo: SoftmaxAlgo, shape: BatchShape
 
 /// The Turbo fused softmax with an explicit `X` — the ablation surface for
 /// the `warpAllReduceSum_XElem` batching factor.
-pub fn turbo_softmax_launches(dev: &DeviceConfig, shape: BatchShape, x: usize) -> Vec<KernelLaunch> {
+pub fn turbo_softmax_launches(
+    dev: &DeviceConfig,
+    shape: BatchShape,
+    x: usize,
+) -> Vec<KernelLaunch> {
     assert!(x >= 1, "X must be at least 1");
     let (rs, blocks) = geometry(dev, shape);
     let elem_bytes = (shape.rows * shape.row_len * 4) as u64;
@@ -346,19 +365,37 @@ pub fn softmax_time(dev: &DeviceConfig, algo: SoftmaxAlgo, shape: BatchShape) ->
 }
 
 /// The kernel launches a LayerNorm of the given algorithm performs.
-pub fn layernorm_launches(dev: &DeviceConfig, algo: LayerNormAlgo, shape: BatchShape) -> Vec<KernelLaunch> {
+pub fn layernorm_launches(
+    dev: &DeviceConfig,
+    algo: LayerNormAlgo,
+    shape: BatchShape,
+) -> Vec<KernelLaunch> {
     let (rs, blocks) = geometry(dev, shape);
     let elem_bytes = (shape.rows * shape.row_len * 4) as u64;
     match algo {
         LayerNormAlgo::Naive => {
             let reduce = repeat_rows(dev, &rs, &tree_reduce_row(&rs));
             let ew2 = repeat_rows(dev, &rs, &elementwise_row(&rs, &[Op::Arith, Op::Arith]));
-            let ew4 = repeat_rows(dev, &rs, &elementwise_row(&rs, &[Op::Arith, Op::Arith, Op::Arith, Op::Arith]));
+            let ew4 = repeat_rows(
+                dev,
+                &rs,
+                &elementwise_row(&rs, &[Op::Arith, Op::Arith, Op::Arith, Op::Arith]),
+            );
             vec![
                 KernelLaunch { blocks, stats: reduce, bytes: elem_bytes, flops: elem_bytes / 4 }, // mean
-                KernelLaunch { blocks, stats: ew2, bytes: UNCOALESCED * 2 * elem_bytes, flops: elem_bytes / 2 }, // (x-μ)²
+                KernelLaunch {
+                    blocks,
+                    stats: ew2,
+                    bytes: UNCOALESCED * 2 * elem_bytes,
+                    flops: elem_bytes / 2,
+                }, // (x-μ)²
                 KernelLaunch { blocks, stats: reduce, bytes: elem_bytes, flops: elem_bytes / 4 }, // var
-                KernelLaunch { blocks, stats: ew4, bytes: UNCOALESCED * 2 * elem_bytes, flops: elem_bytes }, // normalize
+                KernelLaunch {
+                    blocks,
+                    stats: ew4,
+                    bytes: UNCOALESCED * 2 * elem_bytes,
+                    flops: elem_bytes,
+                }, // normalize
             ]
         }
         LayerNormAlgo::ClassicTwoPass => {
@@ -436,8 +473,10 @@ mod tests {
             classic[0].stats.syncs,
             "one-pass LN has half the barriers"
         );
-        assert!(layernorm_time(&d, LayerNormAlgo::TurboOnePass, shape)
-            < layernorm_time(&d, LayerNormAlgo::ClassicTwoPass, shape));
+        assert!(
+            layernorm_time(&d, LayerNormAlgo::TurboOnePass, shape)
+                < layernorm_time(&d, LayerNormAlgo::ClassicTwoPass, shape)
+        );
     }
 
     #[test]
@@ -469,8 +508,10 @@ mod tests {
     #[test]
     fn unaligned_rows_cost_more_than_aligned() {
         let d = dev();
-        let aligned = softmax_time(&d, SoftmaxAlgo::ClassicFused, BatchShape { rows: 1000, row_len: 128 });
-        let unaligned = softmax_time(&d, SoftmaxAlgo::ClassicFused, BatchShape { rows: 1000, row_len: 127 });
+        let aligned =
+            softmax_time(&d, SoftmaxAlgo::ClassicFused, BatchShape { rows: 1000, row_len: 128 });
+        let unaligned =
+            softmax_time(&d, SoftmaxAlgo::ClassicFused, BatchShape { rows: 1000, row_len: 127 });
         assert!(unaligned > aligned, "divergent tails must show up: {unaligned} vs {aligned}");
     }
 }

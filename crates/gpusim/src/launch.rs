@@ -38,8 +38,8 @@ impl KernelLaunch {
         if self.stats.issue_cycles == 0 {
             return 0.0;
         }
-        let stall = self.stats.syncs * dev.sync_cost
-            + self.stats.divergences * dev.divergence_penalty;
+        let stall =
+            self.stats.syncs * dev.sync_cost + self.stats.divergences * dev.divergence_penalty;
         (stall as f64 / self.stats.issue_cycles as f64).min(0.9)
     }
 }
@@ -110,7 +110,13 @@ mod tests {
     use crate::device::DeviceKind;
 
     fn stats(issue: u64, latency: u64, syncs: u64) -> TraceStats {
-        TraceStats { latency_cycles: latency, issue_cycles: issue, syncs, divergences: 0, instr_count: issue }
+        TraceStats {
+            latency_cycles: latency,
+            issue_cycles: issue,
+            syncs,
+            divergences: 0,
+            instr_count: issue,
+        }
     }
 
     #[test]
@@ -132,8 +138,10 @@ mod tests {
     #[test]
     fn more_blocks_cost_more_once_saturated() {
         let dev = DeviceKind::V100.config();
-        let small = KernelLaunch { blocks: 1_000, stats: stats(2_000, 8_000, 0), bytes: 0, flops: 0 };
-        let large = KernelLaunch { blocks: 10_000, stats: stats(2_000, 8_000, 0), bytes: 0, flops: 0 };
+        let small =
+            KernelLaunch { blocks: 1_000, stats: stats(2_000, 8_000, 0), bytes: 0, flops: 0 };
+        let large =
+            KernelLaunch { blocks: 10_000, stats: stats(2_000, 8_000, 0), bytes: 0, flops: 0 };
         assert!(kernel_time(&dev, &large) > 5.0 * kernel_time(&dev, &small) / 2.0);
     }
 
@@ -154,7 +162,13 @@ mod tests {
         let sync_issue = 100 + 9 * dev.sync_cost;
         let stalled = KernelLaunch {
             blocks: 10_000,
-            stats: TraceStats { latency_cycles: 400, issue_cycles: sync_issue, syncs: 9, divergences: 0, instr_count: 100 },
+            stats: TraceStats {
+                latency_cycles: 400,
+                issue_cycles: sync_issue,
+                syncs: 9,
+                divergences: 0,
+                instr_count: 100,
+            },
             bytes,
             flops: 0,
         };
@@ -168,7 +182,13 @@ mod tests {
         let dev = DeviceKind::V100.config();
         let l = KernelLaunch {
             blocks: 1,
-            stats: TraceStats { latency_cycles: 1, issue_cycles: 100, syncs: 1_000, divergences: 0, instr_count: 0 },
+            stats: TraceStats {
+                latency_cycles: 1,
+                issue_cycles: 100,
+                syncs: 1_000,
+                divergences: 0,
+                instr_count: 0,
+            },
             bytes: 0,
             flops: 0,
         };
@@ -189,7 +209,8 @@ mod tests {
         // Two small grids (each fills a fraction of the SMs): sharing
         // overlaps them almost perfectly.
         let dev = DeviceKind::V100.config();
-        let small = vec![KernelLaunch { blocks: 40, stats: stats(5_000, 20_000, 0), bytes: 0, flops: 0 }];
+        let small =
+            vec![KernelLaunch { blocks: 40, stats: stats(5_000, 20_000, 0), bytes: 0, flops: 0 }];
         let serial = sequence_time(&dev, &small) * 2.0;
         let shared = spatial_sharing_time(&dev, &[small.clone(), small]);
         assert!(
@@ -201,7 +222,12 @@ mod tests {
     #[test]
     fn spatial_sharing_never_beats_critical_path_or_loses_to_serial() {
         let dev = DeviceKind::V100.config();
-        let big = vec![KernelLaunch { blocks: 100_000, stats: stats(2_000, 8_000, 0), bytes: 0, flops: 0 }];
+        let big = vec![KernelLaunch {
+            blocks: 100_000,
+            stats: stats(2_000, 8_000, 0),
+            bytes: 0,
+            flops: 0,
+        }];
         let tiny = vec![KernelLaunch { blocks: 10, stats: stats(100, 400, 0), bytes: 0, flops: 0 }];
         let shared = spatial_sharing_time(&dev, &[big.clone(), tiny.clone()]);
         let serial = sequence_time(&dev, &big) + sequence_time(&dev, &tiny);
@@ -215,7 +241,10 @@ mod tests {
         let dev = DeviceKind::V100.config();
         assert_eq!(spatial_sharing_time(&dev, &[]), 0.0);
         let one = vec![KernelLaunch { blocks: 10, stats: stats(100, 400, 0), bytes: 0, flops: 0 }];
-        assert_eq!(spatial_sharing_time(&dev, &[one.clone()]), sequence_time(&dev, &one));
+        assert_eq!(
+            spatial_sharing_time(&dev, std::slice::from_ref(&one)),
+            sequence_time(&dev, &one)
+        );
     }
 
     #[test]

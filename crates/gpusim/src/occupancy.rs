@@ -28,7 +28,12 @@ pub struct SmResources {
 impl SmResources {
     /// The limits of the modelled Volta/Turing-class parts.
     pub fn standard() -> Self {
-        SmResources { max_threads: 2048, registers: 65_536, shared_bytes: 96 * 1024, max_blocks: 32 }
+        SmResources {
+            max_threads: 2048,
+            registers: 65_536,
+            shared_bytes: 96 * 1024,
+            max_blocks: 32,
+        }
     }
 }
 

@@ -245,10 +245,8 @@ mod tests {
     #[test]
     fn sync_waits_for_outstanding_results() {
         let d = dev();
-        let trace = vec![
-            Instr::new(Op::SharedStore, None, vec![0]),
-            Instr::new(Op::Sync, None, vec![]),
-        ];
+        let trace =
+            vec![Instr::new(Op::SharedStore, None, vec![0]), Instr::new(Op::Sync, None, vec![])];
         let s = simulate(&d, &trace);
         assert!(s.latency_cycles >= d.shared_latency + d.sync_cost);
         assert_eq!(s.syncs, 1);
@@ -260,15 +258,9 @@ mod tests {
         let base = simulate(&d, &[Instr::new(Op::Arith, Some(0), vec![])]);
         let with_div = simulate(
             &d,
-            &[
-                Instr::new(Op::Diverge, None, vec![]),
-                Instr::new(Op::Arith, Some(0), vec![]),
-            ],
+            &[Instr::new(Op::Diverge, None, vec![]), Instr::new(Op::Arith, Some(0), vec![])],
         );
-        assert_eq!(
-            with_div.latency_cycles,
-            base.latency_cycles + d.divergence_penalty
-        );
+        assert_eq!(with_div.latency_cycles, base.latency_cycles + d.divergence_penalty);
         assert_eq!(with_div.divergences, 1);
     }
 

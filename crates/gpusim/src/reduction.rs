@@ -64,7 +64,10 @@ impl ReductionShape {
 /// per-warp partials. Used to verify that the simulated kernels compute the
 /// same value as a serial oracle (up to FP reassociation).
 pub fn block_reduce_row(row: &[f32], block_threads: usize, op: ReduceOp) -> f32 {
-    assert!(block_threads.is_multiple_of(WARP_SIZE) && block_threads > 0, "block must be whole warps");
+    assert!(
+        block_threads.is_multiple_of(WARP_SIZE) && block_threads > 0,
+        "block must be whole warps"
+    );
     let identity = match op {
         ReduceOp::Sum => 0.0f32,
         ReduceOp::Max => f32::NEG_INFINITY,
@@ -105,7 +108,12 @@ pub fn batch_reduce_classic(rows: &[Vec<f32>], block_threads: usize, op: ReduceO
 /// Reduce a batch with the XElem algorithm, `x` rows at a time. The
 /// interleaving is a scheduling device only — each row's value must equal
 /// the classic result bit-for-bit, which the tests assert.
-pub fn batch_reduce_xelem(rows: &[Vec<f32>], block_threads: usize, x: usize, op: ReduceOp) -> Vec<f32> {
+pub fn batch_reduce_xelem(
+    rows: &[Vec<f32>],
+    block_threads: usize,
+    x: usize,
+    op: ReduceOp,
+) -> Vec<f32> {
     assert!(x >= 1);
     let mut out = Vec::with_capacity(rows.len());
     for group in rows.chunks(x) {
@@ -143,7 +151,12 @@ impl RegAlloc {
 /// `x` chains interleave.
 ///
 /// Returns the accumulator registers.
-pub fn accum_trace(regs: &mut RegAlloc, trace: &mut Vec<Instr>, elems: usize, x: usize) -> Vec<u32> {
+pub fn accum_trace(
+    regs: &mut RegAlloc,
+    trace: &mut Vec<Instr>,
+    elems: usize,
+    x: usize,
+) -> Vec<u32> {
     let accs: Vec<u32> = (0..x).map(|_| regs.fresh()).collect();
     for _ in 0..elems {
         for &acc in &accs {
@@ -185,7 +198,11 @@ pub fn warp_reduce_trace(regs: &mut RegAlloc, trace: &mut Vec<Instr>, accs: &[u3
 /// 4. per-warp partials to shared memory, barrier,
 /// 5. first warp reduces partials, writes the result back, barrier,
 /// 6. all warps read the broadcast result.
-pub fn block_reduce_group_trace(shape: &ReductionShape, x: usize, merged_boundary: bool) -> Vec<Instr> {
+pub fn block_reduce_group_trace(
+    shape: &ReductionShape,
+    x: usize,
+    merged_boundary: bool,
+) -> Vec<Instr> {
     let mut regs = RegAlloc::default();
     let mut trace = Vec::new();
 
@@ -260,9 +277,7 @@ mod tests {
     use crate::pipeline::simulate;
 
     fn rows(n: usize, len: usize) -> Vec<Vec<f32>> {
-        (0..n)
-            .map(|r| (0..len).map(|i| ((r * 31 + i * 7) % 13) as f32 - 6.0).collect())
-            .collect()
+        (0..n).map(|r| (0..len).map(|i| ((r * 31 + i * 7) % 13) as f32 - 6.0).collect()).collect()
     }
 
     #[test]
@@ -271,10 +286,7 @@ mod tests {
             let row: Vec<f32> = (0..len).map(|i| (i % 9) as f32 - 4.0).collect();
             let got = block_reduce_row(&row, 128, ReduceOp::Sum);
             let want: f32 = row.iter().sum();
-            assert!(
-                (got - want).abs() < 1e-3,
-                "len={len}: got {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-3, "len={len}: got {got}, want {want}");
         }
     }
 

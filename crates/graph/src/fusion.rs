@@ -28,27 +28,51 @@ pub fn decompose(graph: &Graph) -> Graph {
             OpKind::AddBiasSplitHeads { heads } => {
                 let x = node.inputs[0];
                 let tmp = mid(&mut g, x, "bias");
-                nodes.push(Node { kind: OpKind::AddBias, inputs: vec![x, node.inputs[1]], output: tmp });
-                nodes.push(Node { kind: OpKind::SplitHeads { heads }, inputs: vec![tmp], output: node.output });
+                nodes.push(Node {
+                    kind: OpKind::AddBias,
+                    inputs: vec![x, node.inputs[1]],
+                    output: tmp,
+                });
+                nodes.push(Node {
+                    kind: OpKind::SplitHeads { heads },
+                    inputs: vec![tmp],
+                    output: node.output,
+                });
             }
             OpKind::AddBiasGelu => {
                 let x = node.inputs[0];
                 let tmp = mid(&mut g, x, "bias");
-                nodes.push(Node { kind: OpKind::AddBias, inputs: vec![x, node.inputs[1]], output: tmp });
+                nodes.push(Node {
+                    kind: OpKind::AddBias,
+                    inputs: vec![x, node.inputs[1]],
+                    output: tmp,
+                });
                 nodes.push(Node { kind: OpKind::Gelu, inputs: vec![tmp], output: node.output });
             }
             OpKind::ScaleMaskSoftmax { scale } => {
                 let x = node.inputs[0];
                 let scaled = mid(&mut g, x, "scaled");
-                nodes.push(Node { kind: OpKind::Scale { alpha: scale }, inputs: vec![x], output: scaled });
+                nodes.push(Node {
+                    kind: OpKind::Scale { alpha: scale },
+                    inputs: vec![x],
+                    output: scaled,
+                });
                 let pre_softmax = if let Some(&mask) = node.inputs.get(1) {
                     let masked = mid(&mut g, x, "masked");
-                    nodes.push(Node { kind: OpKind::Mask, inputs: vec![scaled, mask], output: masked });
+                    nodes.push(Node {
+                        kind: OpKind::Mask,
+                        inputs: vec![scaled, mask],
+                        output: masked,
+                    });
                     masked
                 } else {
                     scaled
                 };
-                nodes.push(Node { kind: OpKind::Softmax, inputs: vec![pre_softmax], output: node.output });
+                nodes.push(Node {
+                    kind: OpKind::Softmax,
+                    inputs: vec![pre_softmax],
+                    output: node.output,
+                });
             }
             OpKind::AddBiasResidualLayerNorm { eps } => {
                 let (x, bias, residual, gamma, beta) = (
@@ -62,7 +86,11 @@ pub fn decompose(graph: &Graph) -> Graph {
                 let t2 = mid(&mut g, x, "residual");
                 nodes.push(Node { kind: OpKind::AddBias, inputs: vec![x, bias], output: t1 });
                 nodes.push(Node { kind: OpKind::Residual, inputs: vec![t1, residual], output: t2 });
-                nodes.push(Node { kind: OpKind::LayerNorm { eps }, inputs: vec![t2, gamma, beta], output: node.output });
+                nodes.push(Node {
+                    kind: OpKind::LayerNorm { eps },
+                    inputs: vec![t2, gamma, beta],
+                    output: node.output,
+                });
             }
             _ => nodes.push(node),
         }
@@ -238,7 +266,11 @@ mod tests {
         g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![merged, w2], proj);
         g.add_node(OpKind::AddBiasGelu, vec![proj, b2], ffn);
         g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![ffn, w2], act);
-        g.add_node(OpKind::AddBiasResidualLayerNorm { eps: 1e-5 }, vec![act, b2, x, gamma, beta], y);
+        g.add_node(
+            OpKind::AddBiasResidualLayerNorm { eps: 1e-5 },
+            vec![act, b2, x, gamma, beta],
+            y,
+        );
         g
     }
 

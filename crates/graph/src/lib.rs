@@ -229,9 +229,8 @@ impl Graph {
     /// dependencies). Panics if the graph has a cycle or an activation is
     /// consumed but never produced — both are builder bugs.
     pub fn topo_order(&self) -> Vec<NodeId> {
-        let producer: Vec<Option<NodeId>> = (0..self.tensors.len())
-            .map(|t| self.producer(t))
-            .collect();
+        let producer: Vec<Option<NodeId>> =
+            (0..self.tensors.len()).map(|t| self.producer(t)).collect();
         let mut indegree = vec![0usize; self.nodes.len()];
         let mut dependents: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
         for (i, n) in self.nodes.iter().enumerate() {
@@ -248,9 +247,8 @@ impl Graph {
                 }
             }
         }
-        let mut queue: std::collections::VecDeque<NodeId> = (0..self.nodes.len())
-            .filter(|&i| indegree[i] == 0)
-            .collect();
+        let mut queue: std::collections::VecDeque<NodeId> =
+            (0..self.nodes.len()).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(self.nodes.len());
         while let Some(i) = queue.pop_front() {
             order.push(i);
@@ -268,11 +266,8 @@ impl Graph {
     /// Summary statistics.
     pub fn stats(&self) -> GraphStats {
         let gemm_nodes = self.nodes.iter().filter(|n| n.kind.is_gemm()).count();
-        let acts: Vec<&TensorInfo> = self
-            .tensors
-            .iter()
-            .filter(|t| t.class == TensorClass::Activation)
-            .collect();
+        let acts: Vec<&TensorInfo> =
+            self.tensors.iter().filter(|t| t.class == TensorClass::Activation).collect();
         GraphStats {
             nodes: self.nodes.len(),
             gemm_nodes,

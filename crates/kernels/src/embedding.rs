@@ -65,11 +65,17 @@ mod tests {
         let ids = vec![2u32, 0, 3]; // batch 1, seq 3
         let mut out = vec![0.0; 3 * hidden];
         embed(1, 3, hidden, &ids, &word, &pos, None, &mut out);
-        assert_eq!(out, vec![
-            4.0 + 100.0, 5.0 + 101.0, // word 2 + pos 0
-            0.0 + 102.0, 1.0 + 103.0, // word 0 + pos 1
-            6.0 + 104.0, 7.0 + 105.0, // word 3 + pos 2
-        ]);
+        assert_eq!(
+            out,
+            vec![
+                4.0 + 100.0,
+                5.0 + 101.0, // word 2 + pos 0
+                0.0 + 102.0,
+                1.0 + 103.0, // word 0 + pos 1
+                6.0 + 104.0,
+                7.0 + 105.0, // word 3 + pos 2
+            ]
+        );
     }
 
     #[test]

@@ -112,7 +112,9 @@ mod tests {
         let beta = vec![0.25f32; hidden];
 
         let mut fused = vec![0.0; rows * hidden];
-        add_bias_residual_layer_norm(rows, hidden, &x, &bias, &res, &gamma, &beta, 1e-6, &mut fused);
+        add_bias_residual_layer_norm(
+            rows, hidden, &x, &bias, &res, &gamma, &beta, 1e-6, &mut fused,
+        );
 
         let mut summed = x.clone();
         add_bias(rows, hidden, &mut summed, &bias);

@@ -110,7 +110,16 @@ impl Albert {
         let emb_ln_gamma = store.push(init.gamma(h));
         let emb_ln_beta = store.push(init.beta(h));
         let shared_layer = EncoderLayerWeights::create(&mut store, &mut init, &config.dims());
-        Albert { config: config.clone(), store, word_emb, pos_emb, emb_proj, emb_ln_gamma, emb_ln_beta, shared_layer }
+        Albert {
+            config: config.clone(),
+            store,
+            word_emb,
+            pos_emb,
+            emb_proj,
+            emb_ln_gamma,
+            emb_ln_beta,
+            shared_layer,
+        }
     }
 
     /// The weight store.

@@ -234,7 +234,12 @@ impl Seq2SeqDecoder {
 
         let project = |w: usize, b: usize| -> Vec<f32> {
             let mut out = vec![0.0f32; src * h];
-            sgemm(GemmSpec::nn(src, h, h), encoder_output.as_slice(), self.store.get(w).as_slice(), &mut out);
+            sgemm(
+                GemmSpec::nn(src, h, h),
+                encoder_output.as_slice(),
+                self.store.get(w).as_slice(),
+                &mut out,
+            );
             k::add_bias(src, h, &mut out, self.store.get(b).as_slice());
             let mut split = vec![0.0f32; src * h];
             k::split_heads(1, src, heads, d, &out, &mut split);
@@ -317,41 +322,95 @@ impl Seq2SeqDecoder {
             k::add_bias(beams, h, &mut o, self.store.get(lw.bo).as_slice());
             k::residual_add(&mut o, &x);
             let mut x1 = vec![0.0f32; beams * h];
-            k::layer_norm(beams, h, &o, self.store.get(lw.ln1_gamma).as_slice(), self.store.get(lw.ln1_beta).as_slice(), cfg.layer_norm_eps, &mut x1);
+            k::layer_norm(
+                beams,
+                h,
+                &o,
+                self.store.get(lw.ln1_gamma).as_slice(),
+                self.store.get(lw.ln1_beta).as_slice(),
+                cfg.layer_norm_eps,
+                &mut x1,
+            );
 
             // ---- cross-attention over the encoder memory ----
             let qc = proj(lw.cq, lw.cbq, &x1);
-            let attn_c = attend_shared(&qc, &state.enc_k[li], &state.enc_v[li], beams, heads, d, state.src_len, scale);
+            let attn_c = attend_shared(
+                &qc,
+                &state.enc_k[li],
+                &state.enc_v[li],
+                beams,
+                heads,
+                d,
+                state.src_len,
+                scale,
+            );
             let mut oc = vec![0.0f32; beams * h];
             sgemm(GemmSpec::nn(beams, h, h), &attn_c, self.store.get(lw.co).as_slice(), &mut oc);
             k::add_bias(beams, h, &mut oc, self.store.get(lw.cbo).as_slice());
             k::residual_add(&mut oc, &x1);
             let mut x2 = vec![0.0f32; beams * h];
-            k::layer_norm(beams, h, &oc, self.store.get(lw.ln2_gamma).as_slice(), self.store.get(lw.ln2_beta).as_slice(), cfg.layer_norm_eps, &mut x2);
+            k::layer_norm(
+                beams,
+                h,
+                &oc,
+                self.store.get(lw.ln2_gamma).as_slice(),
+                self.store.get(lw.ln2_beta).as_slice(),
+                cfg.layer_norm_eps,
+                &mut x2,
+            );
 
             // ---- FFN ----
             let mut inner = vec![0.0f32; beams * cfg.ffn_dim];
-            sgemm(GemmSpec::nn(beams, h, cfg.ffn_dim), &x2, self.store.get(lw.w1).as_slice(), &mut inner);
+            sgemm(
+                GemmSpec::nn(beams, h, cfg.ffn_dim),
+                &x2,
+                self.store.get(lw.w1).as_slice(),
+                &mut inner,
+            );
             k::add_bias_gelu(beams, cfg.ffn_dim, &mut inner, self.store.get(lw.b1).as_slice());
             let mut out = vec![0.0f32; beams * h];
-            sgemm(GemmSpec::nn(beams, cfg.ffn_dim, h), &inner, self.store.get(lw.w2).as_slice(), &mut out);
+            sgemm(
+                GemmSpec::nn(beams, cfg.ffn_dim, h),
+                &inner,
+                self.store.get(lw.w2).as_slice(),
+                &mut out,
+            );
             k::add_bias(beams, h, &mut out, self.store.get(lw.b2).as_slice());
             k::residual_add(&mut out, &x2);
             let mut x3 = vec![0.0f32; beams * h];
-            k::layer_norm(beams, h, &out, self.store.get(lw.ln3_gamma).as_slice(), self.store.get(lw.ln3_beta).as_slice(), cfg.layer_norm_eps, &mut x3);
+            k::layer_norm(
+                beams,
+                h,
+                &out,
+                self.store.get(lw.ln3_gamma).as_slice(),
+                self.store.get(lw.ln3_beta).as_slice(),
+                cfg.layer_norm_eps,
+                &mut x3,
+            );
             x = x3;
         }
         state.steps += 1;
 
         let mut logits = vec![0.0f32; beams * cfg.vocab_size];
-        sgemm(GemmSpec::nn(beams, h, cfg.vocab_size), &x, self.store.get(self.out_proj).as_slice(), &mut logits);
+        sgemm(
+            GemmSpec::nn(beams, h, cfg.vocab_size),
+            &x,
+            self.store.get(self.out_proj).as_slice(),
+            &mut logits,
+        );
         Tensor::from_vec([beams, cfg.vocab_size], logits).expect("sized above")
     }
 
     /// Beam-search decode against an encoder memory `[src, hidden]`.
     /// Generation stops at `eos` or `max_len` (clamped to the config's
     /// `max_target_len`). Returns the best hypothesis.
-    pub fn beam_search(&self, encoder_output: &Tensor, bos: u32, eos: u32, max_len: usize) -> Hypothesis {
+    pub fn beam_search(
+        &self,
+        encoder_output: &Tensor,
+        bos: u32,
+        eos: u32,
+        max_len: usize,
+    ) -> Hypothesis {
         let beams = self.config.beam_size;
         let vocab = self.config.vocab_size;
         let max_len = max_len.min(self.config.max_target_len);

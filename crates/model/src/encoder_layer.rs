@@ -190,7 +190,12 @@ pub fn layer_forward(
     sgemm(GemmSpec::nn(tokens, hidden, dims.ffn_dim), &x1, store.get(lw.w1).as_slice(), &mut inner);
     k::add_bias_gelu(tokens, dims.ffn_dim, &mut inner, store.get(lw.b1).as_slice());
     let mut out = vec![0.0f32; tokens * hidden];
-    sgemm(GemmSpec::nn(tokens, dims.ffn_dim, hidden), &inner, store.get(lw.w2).as_slice(), &mut out);
+    sgemm(
+        GemmSpec::nn(tokens, dims.ffn_dim, hidden),
+        &inner,
+        store.get(lw.w2).as_slice(),
+        &mut out,
+    );
     k::add_bias(tokens, hidden, &mut out, store.get(lw.b2).as_slice());
     k::residual_add(&mut out, &x1);
     let mut x2 = vec![0.0f32; tokens * hidden];
@@ -362,14 +367,14 @@ mod tests {
     fn forward_produces_layernormed_output() {
         let (store, lw, dims) = setup();
         let (batch, seq) = (2, 3);
-        let mut x: Vec<f32> = (0..batch * seq * dims.hidden())
-            .map(|i| ((i * 13) % 17) as f32 * 0.1)
-            .collect();
+        let mut x: Vec<f32> =
+            (0..batch * seq * dims.hidden()).map(|i| ((i * 13) % 17) as f32 * 0.1).collect();
         layer_forward(&store, &lw, &dims, batch, seq, &mut x, None);
         // Output rows are LayerNormed with γ=1, β=0 → zero mean, unit var.
         for row in x.chunks(dims.hidden()) {
             let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
-            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / row.len() as f32;
+            let var: f32 =
+                row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / row.len() as f32;
             assert!(mean.abs() < 1e-4);
             assert!((var - 1.0).abs() < 1e-2);
         }

@@ -186,9 +186,8 @@ impl Gpt {
         // Embedding.
         let tok = self.store.get(self.tok_emb).as_slice();
         let pos = self.store.get(self.pos_emb).as_slice();
-        let mut x: Vec<f32> = (0..h)
-            .map(|i| tok[token as usize * h + i] + pos[t * h + i])
-            .collect();
+        let mut x: Vec<f32> =
+            (0..h).map(|i| tok[token as usize * h + i] + pos[t * h + i]).collect();
 
         let scale = 1.0 / (d as f32).sqrt();
         for (li, bw) in self.blocks.iter().enumerate() {
@@ -267,10 +266,20 @@ impl Gpt {
                 &mut normed,
             );
             let mut inner = vec![0.0f32; cfg.ffn_dim];
-            sgemm(GemmSpec::nn(1, h, cfg.ffn_dim), &normed, self.store.get(bw.w1).as_slice(), &mut inner);
+            sgemm(
+                GemmSpec::nn(1, h, cfg.ffn_dim),
+                &normed,
+                self.store.get(bw.w1).as_slice(),
+                &mut inner,
+            );
             k::add_bias_gelu(1, cfg.ffn_dim, &mut inner, self.store.get(bw.b1).as_slice());
             let mut out = vec![0.0f32; h];
-            sgemm(GemmSpec::nn(1, cfg.ffn_dim, h), &inner, self.store.get(bw.w2).as_slice(), &mut out);
+            sgemm(
+                GemmSpec::nn(1, cfg.ffn_dim, h),
+                &inner,
+                self.store.get(bw.w2).as_slice(),
+                &mut out,
+            );
             k::add_bias(1, h, &mut out, self.store.get(bw.b2).as_slice());
             for (xi, oi) in x.iter_mut().zip(out.iter()) {
                 *xi += oi;

@@ -28,14 +28,14 @@
 //! checkpoints are required (see DESIGN.md substitution table).
 
 pub mod albert;
-pub mod gpt;
 pub mod bert;
 pub mod bound;
 pub mod checkpoint;
 pub mod decoder;
+pub mod encoder_layer;
+pub mod gpt;
 pub mod seq2seq;
 pub mod tokenizer;
-pub mod encoder_layer;
 pub mod weights;
 
 pub use bound::{BoundGraph, InputBinding};

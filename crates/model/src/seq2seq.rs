@@ -82,7 +82,14 @@ impl TranslationModel {
             .map(|_| EncoderLayerWeights::create(&mut enc_store, &mut init, &dims))
             .collect();
         let decoder = Seq2SeqDecoder::new_random(&config.decoder, seed ^ 0x5EED);
-        TranslationModel { config: config.clone(), enc_store, src_emb, src_pos, enc_layers, decoder }
+        TranslationModel {
+            config: config.clone(),
+            enc_store,
+            src_emb,
+            src_pos,
+            enc_layers,
+            decoder,
+        }
     }
 
     /// Total parameter bytes across both halves.

@@ -41,11 +41,7 @@ impl Tokenizer {
         assert_eq!(pieces[special::UNK as usize], "[UNK]");
         assert_eq!(pieces[special::CLS as usize], "[CLS]");
         assert_eq!(pieces[special::SEP as usize], "[SEP]");
-        let vocab = pieces
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.clone(), i as u32))
-            .collect();
+        let vocab = pieces.iter().enumerate().map(|(i, p)| (p.clone(), i as u32)).collect();
         Tokenizer { vocab, pieces, max_word_chars: 64 }
     }
 
@@ -63,12 +59,12 @@ impl Tokenizer {
             pieces.push(format!("##{c}"));
         }
         for w in [
-            "the", "and", "ing", "ion", "that", "for", "you", "this", "with", "are", "have",
-            "not", "but", "what", "can", "was", "all", "will", "one", "about", "how", "out",
-            "time", "there", "year", "when", "them", "some", "me", "people", "take", "into",
-            "just", "your", "come", "could", "now", "than", "like", "other", "then", "its",
-            "over", "also", "back", "after", "use", "two", "our", "work", "first", "well",
-            "hello", "world", "trans", "form", "er", "serve", "batch", "model",
+            "the", "and", "ing", "ion", "that", "for", "you", "this", "with", "are", "have", "not",
+            "but", "what", "can", "was", "all", "will", "one", "about", "how", "out", "time",
+            "there", "year", "when", "them", "some", "me", "people", "take", "into", "just",
+            "your", "come", "could", "now", "than", "like", "other", "then", "its", "over", "also",
+            "back", "after", "use", "two", "our", "work", "first", "well", "hello", "world",
+            "trans", "form", "er", "serve", "batch", "model",
         ] {
             pieces.push(w.to_string());
         }

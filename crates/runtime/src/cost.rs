@@ -54,7 +54,12 @@ pub fn scaled_device(device: &DeviceConfig, profile: &VariantProfile) -> DeviceC
 /// Price one node. Returns `(seconds, component, launches)` where component
 /// indexes into the breakdown: 0 = gemm, 1 = softmax, 2 = layernorm,
 /// 3 = other.
-fn node_cost(dev: &DeviceConfig, profile: &VariantProfile, graph: &Graph, node: &Node) -> (f64, usize, usize) {
+fn node_cost(
+    dev: &DeviceConfig,
+    profile: &VariantProfile,
+    graph: &Graph,
+    node: &Node,
+) -> (f64, usize, usize) {
     let shape_of = |t: usize| -> &[usize] { &graph.tensors[t].shape };
     let elems_of = |t: usize| -> usize { graph.tensors[t].elements() };
     let out_shape = shape_of(node.output);
@@ -136,7 +141,11 @@ pub struct OpProfileLine {
 /// descending cost — the profiler view behind the paper's §4.1.1
 /// motivation numbers (61.8 % GEMM at batch 20 / seq 128; 80.6 % idle at
 /// batch 1 / seq 40).
-pub fn profile_graph(device: &DeviceConfig, profile: &VariantProfile, graph: &Graph) -> Vec<OpProfileLine> {
+pub fn profile_graph(
+    device: &DeviceConfig,
+    profile: &VariantProfile,
+    graph: &Graph,
+) -> Vec<OpProfileLine> {
     let dev = scaled_device(device, profile);
     let mut lines: Vec<OpProfileLine> = Vec::new();
     for node in &graph.nodes {
@@ -201,7 +210,11 @@ pub fn decoder_cost(
             cb.gemm += gemm_time_eff(&dev, beams * heads, 1, d, t, eff);
             cb.gemm += gemm_time_eff(&dev, beams * heads, 1, t, d, eff);
             cb.launches += 6;
-            let sm = softmax_launches(&dev, profile.softmax, BatchShape { rows: beams * heads, row_len: t });
+            let sm = softmax_launches(
+                &dev,
+                profile.softmax,
+                BatchShape { rows: beams * heads, row_len: t },
+            );
             cb.softmax += sequence_time(&dev, &sm);
             cb.launches += sm.len();
 
@@ -210,7 +223,11 @@ pub fn decoder_cost(
             cb.gemm += gemm_time_eff(&dev, beams * heads, 1, d, src_len, eff);
             cb.gemm += gemm_time_eff(&dev, beams * heads, 1, src_len, d, eff);
             cb.launches += 4;
-            let smc = softmax_launches(&dev, profile.softmax, BatchShape { rows: beams * heads, row_len: src_len });
+            let smc = softmax_launches(
+                &dev,
+                profile.softmax,
+                BatchShape { rows: beams * heads, row_len: src_len },
+            );
             cb.softmax += sequence_time(&dev, &smc);
             cb.launches += smc.len();
 
@@ -220,7 +237,8 @@ pub fn decoder_cost(
             cb.launches += 2;
 
             // Three LayerNorms.
-            let ln = layernorm_launches(&dev, profile.layernorm, BatchShape { rows: beams, row_len: h });
+            let ln =
+                layernorm_launches(&dev, profile.layernorm, BatchShape { rows: beams, row_len: h });
             cb.layernorm += 3.0 * sequence_time(&dev, &ln);
             cb.launches += 3 * ln.len();
         }
@@ -267,11 +285,13 @@ pub fn gpt_cost(
             cb.gemm += gemm_time_eff(&dev, heads, 1, d, t, eff);
             cb.gemm += gemm_time_eff(&dev, heads, 1, t, d, eff);
             cb.launches += 6;
-            let sm = softmax_launches(&dev, profile.softmax, BatchShape { rows: heads, row_len: t });
+            let sm =
+                softmax_launches(&dev, profile.softmax, BatchShape { rows: heads, row_len: t });
             cb.softmax += sequence_time(&dev, &sm);
             cb.launches += sm.len();
             // Two pre-LN LayerNorms + FFN.
-            let ln = layernorm_launches(&dev, profile.layernorm, BatchShape { rows: 1, row_len: h });
+            let ln =
+                layernorm_launches(&dev, profile.layernorm, BatchShape { rows: 1, row_len: h });
             cb.layernorm += 2.0 * sequence_time(&dev, &ln);
             cb.launches += 2 * ln.len();
             cb.gemm += gemm_time_eff(&dev, 1, 1, h, cfg.ffn_dim, eff);
@@ -286,7 +306,9 @@ pub fn gpt_cost(
         }
     }
     cb.overhead = match profile.fusion {
-        crate::variants::FusionLevel::Decomposed => profile.per_infer_overhead * total.max(1) as f64,
+        crate::variants::FusionLevel::Decomposed => {
+            profile.per_infer_overhead * total.max(1) as f64
+        }
         crate::variants::FusionLevel::Fused => profile.per_infer_overhead,
     };
     cb
@@ -352,10 +374,7 @@ mod tests {
         let bg = graph_skeleton(&cfg, 20, 128, false);
         let cb = graph_cost(&d, &RuntimeKind::Turbo.profile(), &bg.graph);
         let share = cb.gemm / cb.total();
-        assert!(
-            share > 0.5,
-            "GEMM share should dominate the fused runtime: {share:.3}"
-        );
+        assert!(share > 0.5, "GEMM share should dominate the fused runtime: {share:.3}");
     }
 
     #[test]

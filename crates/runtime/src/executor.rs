@@ -11,6 +11,7 @@
 //! becomes a panic, not a silent corruption.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use tt_alloc::turbo::PlanStats;
 use tt_alloc::TurboAllocator;
@@ -18,8 +19,83 @@ use tt_graph::{lifetime::activation_lifetimes, Graph, Node, OpKind, TensorClass,
 use tt_kernels as k;
 use tt_model::bound::{BoundGraph, InputBinding};
 use tt_model::weights::WeightStore;
+use tt_telemetry::{Histogram, Registry, Stopwatch};
 use tt_tensor::storage::{Arena, Region};
 use tt_tensor::{batched_sgemm, sgemm, GemmSpec, Tensor, Trans};
+
+/// Every operator class the executor dispatches, in a fixed order. The
+/// per-op time-share metrics (paper Table 2's GEMM / non-GEMM split) key
+/// off these names.
+pub const OP_NAMES: [&str; 15] = [
+    "matmul",
+    "add_bias",
+    "gelu",
+    "add_bias_gelu",
+    "split_heads",
+    "add_bias_split_heads",
+    "merge_heads",
+    "scale",
+    "mask",
+    "softmax",
+    "scale_mask_softmax",
+    "residual",
+    "layer_norm",
+    "add_bias_residual_layer_norm",
+    "embedding",
+];
+
+/// Index of an op kind into [`OP_NAMES`].
+pub fn op_index(kind: &OpKind) -> usize {
+    match kind {
+        OpKind::MatMul { .. } => 0,
+        OpKind::AddBias => 1,
+        OpKind::Gelu => 2,
+        OpKind::AddBiasGelu => 3,
+        OpKind::SplitHeads { .. } => 4,
+        OpKind::AddBiasSplitHeads { .. } => 5,
+        OpKind::MergeHeads => 6,
+        OpKind::Scale { .. } => 7,
+        OpKind::Mask => 8,
+        OpKind::Softmax => 9,
+        OpKind::ScaleMaskSoftmax { .. } => 10,
+        OpKind::Residual => 11,
+        OpKind::LayerNorm { .. } => 12,
+        OpKind::AddBiasResidualLayerNorm { .. } => 13,
+        OpKind::Embedding => 14,
+    }
+}
+
+/// Per-op-kind wall-clock histograms, mirroring the paper's Table 2
+/// breakdown of where inference time goes. Handles are resolved once at
+/// registration; the hot path pays one `Instant` read plus two relaxed
+/// atomic adds per node.
+#[derive(Debug, Clone)]
+pub struct ExecutorMetrics {
+    op_ns: Vec<Arc<Histogram>>,
+}
+
+impl ExecutorMetrics {
+    /// Register one `executor_op_nanoseconds{op=...}` histogram per
+    /// operator class in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        let op_ns = OP_NAMES
+            .iter()
+            .map(|name| {
+                registry.histogram(
+                    "executor_op_nanoseconds",
+                    "Wall-clock nanoseconds per executed operator, by kind",
+                    &[("op", name)],
+                )
+            })
+            .collect();
+        ExecutorMetrics { op_ns }
+    }
+
+    #[inline]
+    fn observe(&self, kind: &OpKind, nanos: u64) {
+        self.op_ns[op_index(kind)].record(nanos);
+    }
+}
 
 /// Result of one executed inference.
 #[derive(Debug)]
@@ -41,6 +117,18 @@ pub fn execute(
     inputs: &[(InputBinding, &Tensor)],
     allocator: &mut TurboAllocator,
     arena: &mut Arena,
+) -> Execution {
+    execute_with(bound, store, inputs, allocator, arena, None)
+}
+
+/// [`execute`], optionally timing every operator into per-kind histograms.
+pub fn execute_with(
+    bound: &BoundGraph,
+    store: &WeightStore,
+    inputs: &[(InputBinding, &Tensor)],
+    allocator: &mut TurboAllocator,
+    arena: &mut Arena,
+    metrics: Option<&ExecutorMetrics>,
 ) -> Execution {
     let graph = &bound.graph;
     let (usages, order) = activation_lifetimes(graph);
@@ -107,6 +195,7 @@ pub fn execute(
             })
             .collect();
 
+        let watch = metrics.map(|_| Stopwatch::start());
         if node.output == bound.output {
             // Output goes to the dedicated buffer; arena is read-only here.
             let ins: Vec<&[f32]> = srcs
@@ -136,6 +225,9 @@ pub fn execute(
                 })
                 .collect();
             dispatch(graph, node, &ins, out);
+        }
+        if let (Some(m), Some(w)) = (metrics, watch) {
+            m.observe(&node.kind, w.elapsed_nanos());
         }
     }
 
@@ -205,7 +297,9 @@ fn dispatch(graph: &Graph, node: &Node, ins: &[&[f32]], out: &mut [f32]) {
             // scores [b, h, sq, sk] + mask [b, sk].
             let s = shape_of(0);
             let (b, h, sq, sk) = (s[0], s[1], s[2], s[3]);
-            for ((row, o_row), i_row) in (0..b * h * sq).zip(out.chunks_mut(sk)).zip(ins[0].chunks(sk)) {
+            for ((row, o_row), i_row) in
+                (0..b * h * sq).zip(out.chunks_mut(sk)).zip(ins[0].chunks(sk))
+            {
                 let bi = row / (h * sq);
                 let mrow = &ins[1][bi * sk..(bi + 1) * sk];
                 for ((o, &x), &m) in o_row.iter_mut().zip(i_row).zip(mrow) {
@@ -273,7 +367,11 @@ mod tests {
     use tt_model::bert::{Bert, BertConfig};
     use tt_model::{ids_batch, pad_batch};
 
-    fn run(bound: &BoundGraph, store: &WeightStore, inputs: &[(InputBinding, &Tensor)]) -> Execution {
+    fn run(
+        bound: &BoundGraph,
+        store: &WeightStore,
+        inputs: &[(InputBinding, &Tensor)],
+    ) -> Execution {
         let mut alloc = TurboAllocator::default();
         let mut arena = Arena::new();
         execute(bound, store, inputs, &mut alloc, &mut arena)
@@ -351,7 +449,13 @@ mod tests {
             let row: Vec<u32> = (0..len as u32).collect();
             let ids = ids_batch(&[&row]);
             let bound = model.build_graph(1, len, false);
-            let exec = execute(&bound, model.weights(), &[(InputBinding::TokenIds, &ids)], &mut alloc, &mut arena);
+            let exec = execute(
+                &bound,
+                model.weights(),
+                &[(InputBinding::TokenIds, &ids)],
+                &mut alloc,
+                &mut arena,
+            );
             assert_eq!(exec.output.shape().dims(), &[1, len, cfg.model_dim()]);
             if len < 20 {
                 assert_eq!(
@@ -374,7 +478,13 @@ mod tests {
             ..Default::default()
         });
         let mut arena = Arena::new();
-        let exec = execute(&bound, model.weights(), &[(InputBinding::TokenIds, &ids)], &mut alloc, &mut arena);
+        let exec = execute(
+            &bound,
+            model.weights(),
+            &[(InputBinding::TokenIds, &ids)],
+            &mut alloc,
+            &mut arena,
+        );
         assert!(
             exec.plan_stats.footprint * 2 < exec.activation_bytes,
             "lifetime reuse should at least halve the footprint: {} vs {}",

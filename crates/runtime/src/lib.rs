@@ -137,6 +137,8 @@ struct State {
     turbo_for_cost: TurboAllocator,
     tuned_shapes: HashSet<(usize, usize)>,
     bert_cost_cache: HashMap<CostKey, CostBreakdown>,
+    /// Per-op-kind timing sink, set by [`TurboRuntime::instrument`].
+    exec_metrics: Option<executor::ExecutorMetrics>,
 }
 
 #[derive(Debug, PartialEq, Eq, Hash, Clone, Copy)]
@@ -177,8 +179,19 @@ impl TurboRuntime {
                 turbo_for_cost: TurboAllocator::default(),
                 tuned_shapes: HashSet::new(),
                 bert_cost_cache: HashMap::new(),
+                exec_metrics: None,
             }),
         }
+    }
+
+    /// Attach telemetry: per-op-kind execution timing (paper Table 2) and
+    /// allocator chunk/byte metrics report into `registry` from every
+    /// subsequent inference. Idempotent per registry — handles are
+    /// get-or-create by name.
+    pub fn instrument(&self, registry: &tt_telemetry::Registry) {
+        let mut state = self.state.lock();
+        state.exec_metrics = Some(executor::ExecutorMetrics::register(registry));
+        state.allocator.attach_metrics(tt_alloc::AllocMetrics::register(registry));
     }
 
     /// The variant this runtime emulates.
@@ -299,7 +312,12 @@ impl TurboRuntime {
 
     /// GPT-style decoder-only generation cost (prompt prefill + `gen_len`
     /// sampled tokens) — the extension model beyond the paper's set.
-    pub fn gpt_cost(&self, cfg: &tt_model::gpt::GptConfig, prompt_len: usize, gen_len: usize) -> f64 {
+    pub fn gpt_cost(
+        &self,
+        cfg: &tt_model::gpt::GptConfig,
+        prompt_len: usize,
+        gen_len: usize,
+    ) -> f64 {
         cost::gpt_cost(&self.device, &self.profile, cfg, prompt_len, gen_len).total()
     }
 
@@ -316,8 +334,15 @@ impl TurboRuntime {
         let mut state = self.state.lock();
         cb.alloc = self.alloc_overhead(&mut state, &transformed);
         cb.overhead = self.profile.per_infer_overhead + self.pretune_cost(&mut state, batch, seq);
-        let State { allocator, arena, .. } = &mut *state;
-        let exec = executor::execute(&transformed, store, inputs, allocator, arena);
+        let State { allocator, arena, exec_metrics, .. } = &mut *state;
+        let exec = executor::execute_with(
+            &transformed,
+            store,
+            inputs,
+            allocator,
+            arena,
+            exec_metrics.as_ref(),
+        );
         EncoderRun {
             encoder_output: exec.output,
             sim_time: cb.total(),
@@ -338,7 +363,12 @@ impl TurboRuntime {
 
     /// Run BERT on a zero-padded batch with an additive attention mask
     /// (see [`tt_model::pad_batch`]).
-    pub fn run_bert_masked(&self, model: &Bert, ids: &Tensor, mask: &Tensor) -> Result<EncoderRun, RunError> {
+    pub fn run_bert_masked(
+        &self,
+        model: &Bert,
+        ids: &Tensor,
+        mask: &Tensor,
+    ) -> Result<EncoderRun, RunError> {
         let (batch, seq) = (ids.shape().dim(0), ids.shape().dim(1));
         if seq > model.config.max_position {
             return Err(RunError::SequenceTooLong { got: seq, max: model.config.max_position });
@@ -380,6 +410,22 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_runtime_reports_op_and_alloc_metrics() {
+        let model = Bert::new_random(&BertConfig::tiny(), 3);
+        let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+        let registry = tt_telemetry::Registry::new();
+        rt.instrument(&registry);
+        rt.run_bert(&model, &ids_batch(&[&[1, 2, 3, 4]])).unwrap();
+        let snap = registry.snapshot();
+        let matmul = snap.find("executor_op_nanoseconds", &[("op", "matmul")]).unwrap();
+        let h = matmul.histogram.as_ref().unwrap();
+        assert!(h.count() > 0, "a BERT layer must dispatch GEMMs");
+        assert!(h.sum > 0, "GEMM time must be nonzero");
+        assert_eq!(snap.find("alloc_plans_total", &[]).unwrap().counter, Some(1));
+        assert!(snap.find("alloc_resident_bytes", &[]).unwrap().gauge.unwrap() > 0.0);
+    }
+
+    #[test]
     fn sequence_too_long_is_an_error() {
         let model = Bert::new_random(&BertConfig::tiny(), 1);
         let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
@@ -411,10 +457,7 @@ mod tests {
         for kind in [RuntimeKind::PyTorchLike, RuntimeKind::OnnxRuntimeLike, RuntimeKind::XlaLike] {
             let rt = TurboRuntime::new(RuntimeConfig::new(kind, DeviceKind::RTX2060));
             let c = rt.bert_cost(&cfg, 1, 400, false);
-            assert!(
-                turbo_cost < c,
-                "turbo {turbo_cost} must beat {kind:?} {c} at length 400"
-            );
+            assert!(turbo_cost < c, "turbo {turbo_cost} must beat {kind:?} {c} at length 400");
         }
     }
 
@@ -450,7 +493,8 @@ mod tests {
         // A PyTorch-like runtime pays device mallocs on the first request
         // of a given size, then serves from the pool.
         let cfg = BertConfig::base();
-        let rt = TurboRuntime::new(RuntimeConfig::new(RuntimeKind::PyTorchLike, DeviceKind::RTX2060));
+        let rt =
+            TurboRuntime::new(RuntimeConfig::new(RuntimeKind::PyTorchLike, DeviceKind::RTX2060));
         let bound = tt_model::bert::graph_skeleton(&cfg, 1, 128, false);
         let cold = rt.cost_bound(&bound, 1, 128);
         let warm = rt.cost_bound(&bound, 1, 128);

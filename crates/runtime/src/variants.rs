@@ -269,11 +269,7 @@ mod tests {
     fn only_turbo_uses_the_chunked_allocator() {
         for kind in RuntimeKind::all() {
             let expect = kind == RuntimeKind::Turbo;
-            assert_eq!(
-                kind.profile().allocator == AllocPolicy::TurboChunks,
-                expect,
-                "{kind:?}"
-            );
+            assert_eq!(kind.profile().allocator == AllocPolicy::TurboChunks, expect, "{kind:?}");
         }
     }
 }

@@ -60,14 +60,24 @@ fn build(ops: &[GenOp], rows: usize, hidden: usize, seed: u64) -> (BoundGraph, W
         let out = g.add_tensor(format!("t{i}"), vec![rows, hidden], TensorClass::Activation);
         match op {
             GenOp::AddBias => {
-                let b = weight(&mut g, &mut store, init.linear(1, hidden).reshape([hidden]).unwrap(), format!("b{i}"));
+                let b = weight(
+                    &mut g,
+                    &mut store,
+                    init.linear(1, hidden).reshape([hidden]).unwrap(),
+                    format!("b{i}"),
+                );
                 g.add_node(OpKind::AddBias, vec![cur, b], out);
             }
             GenOp::Gelu => {
                 g.add_node(OpKind::Gelu, vec![cur], out);
             }
             GenOp::AddBiasGelu => {
-                let b = weight(&mut g, &mut store, init.linear(1, hidden).reshape([hidden]).unwrap(), format!("b{i}"));
+                let b = weight(
+                    &mut g,
+                    &mut store,
+                    init.linear(1, hidden).reshape([hidden]).unwrap(),
+                    format!("b{i}"),
+                );
                 g.add_node(OpKind::AddBiasGelu, vec![cur, b], out);
             }
             GenOp::Scale => {
@@ -77,8 +87,10 @@ fn build(ops: &[GenOp], rows: usize, hidden: usize, seed: u64) -> (BoundGraph, W
                 g.add_node(OpKind::Softmax, vec![cur], out);
             }
             GenOp::LayerNorm => {
-                let gamma = weight(&mut g, &mut store, Tensor::full([hidden], 1.1), format!("g{i}"));
-                let beta = weight(&mut g, &mut store, Tensor::full([hidden], -0.05), format!("be{i}"));
+                let gamma =
+                    weight(&mut g, &mut store, Tensor::full([hidden], 1.1), format!("g{i}"));
+                let beta =
+                    weight(&mut g, &mut store, Tensor::full([hidden], -0.05), format!("be{i}"));
                 g.add_node(OpKind::LayerNorm { eps: 1e-5 }, vec![cur, gamma, beta], out);
             }
             GenOp::ResidualWithInput => {

@@ -100,6 +100,33 @@ mod tests {
     }
 
     #[test]
+    fn hit_promotes_to_mru_across_successive_evictions() {
+        // Regression for the promotion contract: a hit must move the entry
+        // to most-recently-used, so the eviction *order* follows recency,
+        // not insertion. Insert 1,2,3; hit 1 (oldest by insertion); then
+        // evictions must claim 2, then 3, and only then 1.
+        let mut c = ResponseCache::new(3);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.put(3, 30);
+        assert_eq!(c.get(1), Some(10)); // promote the insertion-oldest entry
+
+        c.put(4, 40); // must evict 2 (now the LRU), not 1
+        assert_eq!(c.get(2), None, "2 is evicted first despite 1 being inserted earlier");
+        assert_eq!(c.get(1), Some(10), "the promoted entry survives");
+
+        // That get(1) promoted 1 again, so the next eviction claims 3.
+        c.put(5, 50);
+        assert_eq!(c.get(3), None, "3 goes next");
+        assert_eq!(c.get(1), Some(10), "1 keeps surviving while it keeps getting hit");
+
+        // Without an intervening hit, 4 is now oldest (5 and 1 are newer).
+        c.put(6, 60);
+        assert_eq!(c.get(4), None);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
     fn reinserting_updates_value_without_evicting() {
         let mut c = ResponseCache::new(2);
         c.put(1, 10);

@@ -50,6 +50,66 @@ pub struct ClusterReport {
     pub saturated: bool,
 }
 
+impl ClusterReport {
+    /// Per-server utilization (`busy / window`), one entry per server.
+    pub fn utilizations(&self) -> Vec<f64> {
+        if self.window <= 0.0 {
+            return vec![0.0; self.busy_time.len()];
+        }
+        self.busy_time.iter().map(|&b| b / self.window).collect()
+    }
+
+    /// Load-balance skew: max minus min per-server utilization. Zero is a
+    /// perfectly even spread; large values mean the balancer is starving
+    /// some replicas while others saturate.
+    pub fn utilization_skew(&self) -> f64 {
+        let us = self.utilizations();
+        match (
+            us.iter().cloned().fold(f64::INFINITY, f64::min),
+            us.iter().cloned().fold(0.0f64, f64::max),
+        ) {
+            (min, max) if min.is_finite() => max - min,
+            _ => 0.0,
+        }
+    }
+
+    /// Publish this report into `registry`: one
+    /// `cluster_server_utilization{policy=...,server=...}` gauge per
+    /// server plus aggregate skew, throughput, and completion metrics.
+    pub fn record_to(&self, registry: &tt_telemetry::Registry, policy: &str) {
+        for (i, u) in self.utilizations().iter().enumerate() {
+            registry
+                .gauge(
+                    "cluster_server_utilization",
+                    "Per-server busy fraction over the measurement window",
+                    &[("policy", policy), ("server", &i.to_string())],
+                )
+                .set(*u);
+        }
+        registry
+            .gauge(
+                "cluster_utilization_skew",
+                "Max minus min per-server utilization (0 = perfectly balanced)",
+                &[("policy", policy)],
+            )
+            .set(self.utilization_skew());
+        registry
+            .gauge(
+                "cluster_response_throughput",
+                "Responses per second over the measurement window",
+                &[("policy", policy)],
+            )
+            .set(self.response_throughput);
+        registry
+            .counter(
+                "cluster_completed_total",
+                "Requests completed before the cutoff",
+                &[("policy", policy)],
+            )
+            .add(self.completed as u64);
+    }
+}
+
 struct Server {
     free_at: f64,
     queue: Vec<Request>,
@@ -59,8 +119,7 @@ struct Server {
 /// Estimated pending work on a server: remaining busy time plus a
 /// no-batching estimate of its queue.
 fn pending_work(s: &Server, now: f64, costs: &CachedCost) -> f64 {
-    (s.free_at - now).max(0.0)
-        + s.queue.iter().map(|r| costs.batch_cost(r.len, 1)).sum::<f64>()
+    (s.free_at - now).max(0.0) + s.queue.iter().map(|r| costs.batch_cost(r.len, 1)).sum::<f64>()
 }
 
 /// Simulate a cluster over a request trace (sorted by arrival).
@@ -87,11 +146,7 @@ pub fn simulate_cluster(
         // A server can begin service no earlier than both its free time
         // and its earliest queued arrival.
         let ready_time = |s: &Server| {
-            let earliest = s
-                .queue
-                .iter()
-                .map(|r| r.arrival)
-                .fold(f64::INFINITY, f64::min);
+            let earliest = s.queue.iter().map(|r| r.arrival).fold(f64::INFINITY, f64::min);
             s.free_at.max(earliest)
         };
         let server_t = servers
@@ -205,6 +260,27 @@ mod tests {
     }
 
     #[test]
+    fn report_records_utilization_and_skew_metrics() {
+        let r = run(4, 400.0, BalancerPolicy::LeastLoaded);
+        assert_eq!(r.utilizations().len(), 4);
+        assert!(r.utilizations().iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(r.utilization_skew() >= 0.0);
+
+        let registry = tt_telemetry::Registry::new();
+        r.record_to(&registry, "least_loaded");
+        let snap = registry.snapshot();
+        let u0 = snap
+            .find("cluster_server_utilization", &[("policy", "least_loaded"), ("server", "0")])
+            .expect("server 0 gauge");
+        assert!(u0.gauge.unwrap() > 0.0, "a loaded server must show utilization");
+        assert!(snap.find("cluster_utilization_skew", &[("policy", "least_loaded")]).is_some());
+        assert_eq!(
+            snap.find("cluster_completed_total", &[("policy", "least_loaded")]).unwrap().counter,
+            Some(r.completed as u64)
+        );
+    }
+
+    #[test]
     fn one_server_matches_modest_load() {
         let r = run(1, 100.0, BalancerPolicy::LeastLoaded);
         assert!(!r.saturated);
@@ -281,7 +357,11 @@ mod tests {
         let r = simulate_cluster(
             &[],
             &costs,
-            &ClusterConfig { servers: 2, scheduler: &DpScheduler, policy: BalancerPolicy::RoundRobin },
+            &ClusterConfig {
+                servers: 2,
+                scheduler: &DpScheduler,
+                policy: BalancerPolicy::RoundRobin,
+            },
             1.0,
         );
         assert_eq!(r.completed, 0);

@@ -58,7 +58,12 @@ impl CachedCost {
 
     /// Build directly from a cost closure — used by tests and ablations to
     /// study the scheduler under synthetic cost surfaces.
-    pub fn from_fn(max_len: usize, max_batch: usize, bucket: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(
+        max_len: usize,
+        max_batch: usize,
+        bucket: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Self {
         let buckets = max_len.div_ceil(bucket);
         let costs = (0..buckets)
             .map(|bi| {

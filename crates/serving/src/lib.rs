@@ -37,9 +37,9 @@
 
 pub mod cache;
 pub mod cluster;
+pub mod cost_table;
 pub mod live;
 pub mod multi_model;
-pub mod cost_table;
 pub mod registry;
 pub mod request;
 pub mod scheduler;
@@ -48,5 +48,8 @@ pub mod stats;
 
 pub use cost_table::CachedCost;
 pub use request::{LengthDist, Request, WorkloadSpec};
-pub use scheduler::{BatchScheduler, DpScheduler, LatencyDpScheduler, MemoryAwareDpScheduler, NaiveBatchScheduler, NoBatchScheduler, PadToMaxScheduler};
+pub use scheduler::{
+    BatchScheduler, DpScheduler, InstrumentedScheduler, LatencyDpScheduler, MemoryAwareDpScheduler,
+    NaiveBatchScheduler, NoBatchScheduler, PadToMaxScheduler,
+};
 pub use simulator::{simulate, ServingConfig, ServingReport, Trigger};

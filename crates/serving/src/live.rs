@@ -24,11 +24,90 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use tt_model::bert::Bert;
 use tt_model::pad_batch;
 use tt_runtime::TurboRuntime;
+use tt_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch};
 use tt_tensor::Tensor;
 
 use crate::cost_table::CachedCost;
 use crate::request::Request;
 use crate::scheduler::BatchScheduler;
+
+/// Telemetry handles for the live engine, resolved once at startup. The
+/// quantities mirror what the paper optimizes: queue wait (batching
+/// delay), batch shape, zero-padding waste (§4.2), and the split between
+/// scheduling and execution time per batch.
+#[derive(Debug, Clone)]
+pub struct LiveMetrics {
+    /// Submission → batch-execution-start, per request, nanoseconds.
+    queue_wait_ns: Arc<Histogram>,
+    /// Requests per executed batch.
+    batch_size: Arc<Histogram>,
+    /// Scheduler invocation wall time, nanoseconds.
+    schedule_ns: Arc<Histogram>,
+    /// Batch execution wall time (pad + run), nanoseconds.
+    execute_ns: Arc<Histogram>,
+    /// Real tokens executed.
+    real_tokens: Arc<Counter>,
+    /// Zero-padding tokens executed (wasted work).
+    padded_tokens: Arc<Counter>,
+    /// Cumulative padding-waste ratio: padded / (real + padded).
+    padding_waste: Arc<Gauge>,
+    /// Requests served.
+    requests: Arc<Counter>,
+    /// Batches executed.
+    batches: Arc<Counter>,
+}
+
+impl LiveMetrics {
+    /// Register the live-engine metric family in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        LiveMetrics {
+            queue_wait_ns: registry.histogram(
+                "live_queue_wait_nanoseconds",
+                "Time a request waits from submission until its batch starts executing",
+                &[],
+            ),
+            batch_size: registry.histogram("live_batch_size", "Requests per executed batch", &[]),
+            schedule_ns: registry.histogram(
+                "live_schedule_nanoseconds",
+                "Batch-scheduler wall time per serving-loop iteration",
+                &[],
+            ),
+            execute_ns: registry.histogram(
+                "live_execute_nanoseconds",
+                "Wall time to pad and execute one batch",
+                &[],
+            ),
+            real_tokens: registry.counter(
+                "live_real_tokens_total",
+                "Real (non-padding) tokens executed",
+                &[],
+            ),
+            padded_tokens: registry.counter(
+                "live_padded_tokens_total",
+                "Zero-padding tokens executed — wasted work (paper section 4.2)",
+                &[],
+            ),
+            padding_waste: registry.gauge(
+                "live_padding_waste_ratio",
+                "Cumulative padded / (real + padded) token ratio",
+                &[],
+            ),
+            requests: registry.counter("live_requests_total", "Requests served", &[]),
+            batches: registry.counter("live_batches_total", "Batches executed", &[]),
+        }
+    }
+
+    fn observe_padding(&self, real: u64, padded: u64) {
+        self.real_tokens.add(real);
+        self.padded_tokens.add(padded);
+        let total_real = self.real_tokens.get();
+        let total_padded = self.padded_tokens.get();
+        let denom = total_real + total_padded;
+        if denom > 0 {
+            self.padding_waste.set(total_padded as f64 / denom as f64);
+        }
+    }
+}
 
 /// A submitted inference job.
 struct Job {
@@ -84,10 +163,33 @@ impl LiveEngine {
         scheduler: Arc<dyn BatchScheduler>,
         costs: Arc<CachedCost>,
     ) -> Self {
+        Self::start_inner(model, runtime, scheduler, costs, None)
+    }
+
+    /// [`start`](Self::start), reporting queue-wait, batch-shape, padding
+    /// and schedule/execute timing metrics into `registry`.
+    pub fn start_instrumented(
+        model: Arc<Bert>,
+        runtime: Arc<TurboRuntime>,
+        scheduler: Arc<dyn BatchScheduler>,
+        costs: Arc<CachedCost>,
+        registry: &Registry,
+    ) -> Self {
+        let metrics = LiveMetrics::register(registry);
+        Self::start_inner(model, runtime, scheduler, costs, Some(metrics))
+    }
+
+    fn start_inner(
+        model: Arc<Bert>,
+        runtime: Arc<TurboRuntime>,
+        scheduler: Arc<dyn BatchScheduler>,
+        costs: Arc<CachedCost>,
+        metrics: Option<LiveMetrics>,
+    ) -> Self {
         let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
         let handle = std::thread::Builder::new()
             .name("tt-serving-engine".into())
-            .spawn(move || engine_loop(rx, model, runtime, scheduler, costs))
+            .spawn(move || engine_loop(rx, model, runtime, scheduler, costs, metrics))
             .expect("spawning the engine thread");
         LiveEngine { client: Some(LiveClient { tx }), handle: Some(handle) }
     }
@@ -125,6 +227,7 @@ fn engine_loop(
     runtime: Arc<TurboRuntime>,
     scheduler: Arc<dyn BatchScheduler>,
     costs: Arc<CachedCost>,
+    metrics: Option<LiveMetrics>,
 ) -> usize {
     let mut served = 0usize;
     while let Ok(first) = rx.recv() {
@@ -139,14 +242,23 @@ fn engine_loop(
         }
 
         // Scheduler speaks `Request`; lengths are what it batches on.
-        let queue: Vec<Request> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| Request::new(i, j.tokens.len(), 0.0))
-            .collect();
+        let queue: Vec<Request> =
+            jobs.iter().enumerate().map(|(i, j)| Request::new(i, j.tokens.len(), 0.0)).collect();
+        let schedule_watch = metrics.as_ref().map(|_| Stopwatch::start());
         let batching = scheduler.schedule(&queue, &costs);
+        if let (Some(m), Some(w)) = (&metrics, schedule_watch) {
+            m.schedule_ns.record(w.elapsed_nanos());
+        }
 
         for batch in batching {
+            if let Some(m) = &metrics {
+                // Queue wait ends when the batch starts executing.
+                for &i in &batch {
+                    m.queue_wait_ns.record_duration(jobs[i].submitted.elapsed());
+                }
+                m.batch_size.record(batch.len() as u64);
+            }
+            let execute_watch = metrics.as_ref().map(|_| Stopwatch::start());
             let rows: Vec<&[u32]> = batch.iter().map(|&i| jobs[i].tokens.as_slice()).collect();
             let (ids, mask, padded_len) = pad_batch(&rows);
             let run = if batch.len() == 1 {
@@ -155,6 +267,14 @@ fn engine_loop(
                 runtime.run_bert_masked(&model, &ids, &mask)
             }
             .expect("scheduled lengths are within model limits");
+            if let (Some(m), Some(w)) = (&metrics, execute_watch) {
+                m.execute_ns.record(w.elapsed_nanos());
+                m.batches.inc();
+                m.requests.add(batch.len() as u64);
+                let real: u64 = rows.iter().map(|r| r.len() as u64).sum();
+                let padded = (padded_len * batch.len()) as u64 - real;
+                m.observe_padding(real, padded);
+            }
 
             for (row, &job_idx) in batch.iter().enumerate() {
                 let job = &jobs[job_idx];
@@ -192,9 +312,8 @@ mod tests {
     fn engine() -> (LiveEngine, Arc<Bert>) {
         let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
         let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
-        let costs = Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| {
-            1.0e-3 + 1.0e-5 * (len * b) as f64
-        }));
+        let costs =
+            Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
         let eng = LiveEngine::start(model.clone(), runtime, Arc::new(DpScheduler), costs);
         (eng, model)
     }
@@ -248,5 +367,50 @@ mod tests {
     fn shutdown_with_no_traffic_is_clean() {
         let (eng, _model) = engine();
         assert_eq!(eng.shutdown(), 0);
+    }
+
+    #[test]
+    fn instrumented_engine_reports_serving_metrics() {
+        let registry = Registry::new();
+        let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+        let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+        runtime.instrument(&registry);
+        let costs =
+            Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+        let scheduler = Arc::new(crate::scheduler::InstrumentedScheduler::new(
+            Arc::new(DpScheduler),
+            &registry,
+        ));
+        let eng = LiveEngine::start_instrumented(model, runtime, scheduler, costs, &registry);
+
+        let mut handles = Vec::new();
+        for t in 0..6u32 {
+            let client = eng.client();
+            handles.push(std::thread::spawn(move || {
+                let len = 4 + (t as usize % 3) * 9;
+                client.infer((0..len as u32).collect())
+            }));
+        }
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        assert_eq!(eng.shutdown(), 6);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.find("live_requests_total", &[]).unwrap().counter, Some(6));
+        let wait = snap.find("live_queue_wait_nanoseconds", &[]).unwrap();
+        let wait_h = wait.histogram.as_ref().unwrap();
+        assert_eq!(wait_h.count(), 6, "every request records one queue wait");
+        assert!(wait_h.sum > 0, "queue wait must be nonzero wall time");
+        let exec = snap.find("live_execute_nanoseconds", &[]).unwrap().histogram.clone().unwrap();
+        let sched = snap.find("live_schedule_nanoseconds", &[]).unwrap().histogram.clone().unwrap();
+        assert!(exec.count() > 0 && sched.count() > 0);
+        assert!(snap.find("live_real_tokens_total", &[]).unwrap().counter.unwrap() > 0);
+        // The wrapped scheduler and instrumented runtime report too.
+        assert!(snap.find("scheduler_nanoseconds", &[("scheduler", DpScheduler.name())]).is_some());
+        assert!(snap.find("executor_op_nanoseconds", &[("op", "matmul")]).is_some());
+        // Waste ratio is a valid fraction (zero if every batch was uniform).
+        let waste = snap.find("live_padding_waste_ratio", &[]).unwrap().gauge.unwrap();
+        assert!((0.0..1.0).contains(&waste));
     }
 }

@@ -77,7 +77,11 @@ struct ClassState<'a> {
 
 /// Simulate the shared GPU until all traces are drained or `duration · 4`
 /// elapses.
-pub fn simulate_multi_model(classes: &[ModelClass<'_>], shedding: Shedding, duration: f64) -> Vec<ClassReport> {
+pub fn simulate_multi_model(
+    classes: &[ModelClass<'_>],
+    shedding: Shedding,
+    duration: f64,
+) -> Vec<ClassReport> {
     let cutoff = duration * 4.0;
     let mut states: Vec<ClassState<'_>> = classes
         .iter()
@@ -191,8 +195,20 @@ mod tests {
         let fast = table(1.0);
         let slow = table(3.0);
         let classes = [
-            ModelClass { name: "bert", costs: &fast, scheduler: &DpScheduler, slo: 0.2, requests: trace(60.0, 1) },
-            ModelClass { name: "big-bert", costs: &slow, scheduler: &DpScheduler, slo: 0.5, requests: trace(20.0, 2) },
+            ModelClass {
+                name: "bert",
+                costs: &fast,
+                scheduler: &DpScheduler,
+                slo: 0.2,
+                requests: trace(60.0, 1),
+            },
+            ModelClass {
+                name: "big-bert",
+                costs: &slow,
+                scheduler: &DpScheduler,
+                slo: 0.5,
+                requests: trace(20.0, 2),
+            },
         ];
         let reports = simulate_multi_model(&classes, Shedding::Never, 10.0);
         for r in &reports {
@@ -232,8 +248,20 @@ mod tests {
         // class must see lower latency.
         let costs = table(1.0);
         let classes = [
-            ModelClass { name: "tight", costs: &costs, scheduler: &DpScheduler, slo: 0.05, requests: trace(100.0, 4) },
-            ModelClass { name: "lax", costs: &costs, scheduler: &DpScheduler, slo: 5.0, requests: trace(100.0, 5) },
+            ModelClass {
+                name: "tight",
+                costs: &costs,
+                scheduler: &DpScheduler,
+                slo: 0.05,
+                requests: trace(100.0, 4),
+            },
+            ModelClass {
+                name: "lax",
+                costs: &costs,
+                scheduler: &DpScheduler,
+                slo: 5.0,
+                requests: trace(100.0, 5),
+            },
         ];
         let reports = simulate_multi_model(&classes, Shedding::Never, 10.0);
         let tight = reports.iter().find(|r| r.name == "tight").expect("present");

@@ -11,6 +11,10 @@
 //! optimal partition into a sorted-contiguous one; the tests check this
 //! against a brute-force search over set partitions).
 
+use std::sync::Arc;
+
+use tt_telemetry::{Histogram, Registry, Stopwatch};
+
 use crate::cost_table::CachedCost;
 use crate::request::Request;
 
@@ -25,6 +29,57 @@ pub trait BatchScheduler: Send + Sync {
 
     /// Display name for reports.
     fn name(&self) -> &'static str;
+}
+
+/// Decorates any [`BatchScheduler`] with telemetry: per-call wall time
+/// (the DP runtime the paper bounds at O(n²)), queue length, and the
+/// number of batches (splits) each call produces. All series carry a
+/// `scheduler=<name>` label so variants can be compared side by side.
+pub struct InstrumentedScheduler {
+    inner: Arc<dyn BatchScheduler>,
+    schedule_ns: Arc<Histogram>,
+    queue_len: Arc<Histogram>,
+    splits: Arc<Histogram>,
+}
+
+impl InstrumentedScheduler {
+    /// Wrap `inner`, registering its metric family in `registry`.
+    pub fn new(inner: Arc<dyn BatchScheduler>, registry: &Registry) -> Self {
+        let labels = [("scheduler", inner.name())];
+        InstrumentedScheduler {
+            schedule_ns: registry.histogram(
+                "scheduler_nanoseconds",
+                "Wall time of one scheduler invocation (the paper's O(n^2) DP)",
+                &labels,
+            ),
+            queue_len: registry.histogram(
+                "scheduler_queue_length",
+                "Requests in the queue at each scheduler invocation",
+                &labels,
+            ),
+            splits: registry.histogram(
+                "scheduler_splits",
+                "Batches produced per scheduler invocation",
+                &labels,
+            ),
+            inner,
+        }
+    }
+}
+
+impl BatchScheduler for InstrumentedScheduler {
+    fn schedule(&self, queue: &[Request], costs: &CachedCost) -> Batching {
+        let watch = Stopwatch::start();
+        let batching = self.inner.schedule(queue, costs);
+        self.schedule_ns.record(watch.elapsed_nanos());
+        self.queue_len.record(queue.len() as u64);
+        self.splits.record(batching.len() as u64);
+        batching
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
 }
 
 /// Total execution time of a batching under the cost table.
@@ -105,11 +160,7 @@ pub struct NaiveBatchScheduler;
 
 impl BatchScheduler for NaiveBatchScheduler {
     fn schedule(&self, queue: &[Request], costs: &CachedCost) -> Batching {
-        (0..queue.len())
-            .collect::<Vec<_>>()
-            .chunks(costs.max_batch())
-            .map(|c| c.to_vec())
-            .collect()
+        (0..queue.len()).collect::<Vec<_>>().chunks(costs.max_batch()).map(|c| c.to_vec()).collect()
     }
 
     fn name(&self) -> &'static str {
@@ -358,6 +409,25 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_scheduler_is_transparent_and_records() {
+        let registry = Registry::new();
+        let costs = table(20);
+        let queue = reqs(&[17, 18, 52, 63, 77]);
+        let plain = DpScheduler.schedule(&queue, &costs);
+        let wrapped = InstrumentedScheduler::new(Arc::new(DpScheduler), &registry);
+        assert_eq!(wrapped.schedule(&queue, &costs), plain, "wrapper must not change decisions");
+        assert_eq!(wrapped.name(), DpScheduler.name());
+        let snap = registry.snapshot();
+        let labels = [("scheduler", DpScheduler.name())];
+        let ns = snap.find("scheduler_nanoseconds", &labels).unwrap();
+        assert_eq!(ns.histogram.as_ref().unwrap().count(), 1);
+        let splits = snap.find("scheduler_splits", &labels).unwrap();
+        assert_eq!(splits.histogram.as_ref().unwrap().sum, plain.len() as u64);
+        let qlen = snap.find("scheduler_queue_length", &labels).unwrap();
+        assert_eq!(qlen.histogram.as_ref().unwrap().sum, 5);
+    }
+
+    #[test]
     fn paper_example_splits_into_three_batches() {
         // Paper Fig. 9: lengths {17, 18, 52, 63, 77} — a single batch of 5
         // is worse than the optimal multi-batch scheme.
@@ -365,8 +435,10 @@ mod tests {
         let costs = table(20);
         let dp = DpScheduler.schedule(&queue, &costs);
         let dp_cost = batching_cost(&queue, &dp, &costs);
-        let naive_cost = batching_cost(&queue, &NaiveBatchScheduler.schedule(&queue, &costs), &costs);
-        let nobatch_cost = batching_cost(&queue, &NoBatchScheduler.schedule(&queue, &costs), &costs);
+        let naive_cost =
+            batching_cost(&queue, &NaiveBatchScheduler.schedule(&queue, &costs), &costs);
+        let nobatch_cost =
+            batching_cost(&queue, &NoBatchScheduler.schedule(&queue, &costs), &costs);
         assert!(dp_cost <= naive_cost && dp_cost <= nobatch_cost);
         assert!(dp.len() > 1, "optimal scheme batches in groups, got {dp:?}");
         assert!(dp.len() < 5, "optimal scheme is not no-batching");
@@ -408,7 +480,8 @@ mod tests {
     fn every_request_is_scheduled_exactly_once() {
         let costs = table(8);
         let queue = reqs(&[9, 1, 400, 27, 27, 3, 500, 88]);
-        for sched in [&DpScheduler as &dyn BatchScheduler, &NaiveBatchScheduler, &NoBatchScheduler] {
+        for sched in [&DpScheduler as &dyn BatchScheduler, &NaiveBatchScheduler, &NoBatchScheduler]
+        {
             let batching = sched.schedule(&queue, &costs);
             let mut seen: Vec<usize> = batching.iter().flatten().copied().collect();
             seen.sort_unstable();
@@ -474,10 +547,7 @@ mod tests {
         let tight_budget = bert.batch_memory(256, 2); // fits pairs, not more
         let tight = MemoryAwareDpScheduler { budget_bytes: tight_budget }.schedule(&queue, &bert);
         assert!(unlimited.iter().any(|b| b.len() >= 4));
-        assert!(
-            tight.iter().all(|b| b.len() <= 2),
-            "budget must cap batches: {tight:?}"
-        );
+        assert!(tight.iter().all(|b| b.len() <= 2), "budget must cap batches: {tight:?}");
         // Everything is still served exactly once.
         let mut seen: Vec<usize> = tight.iter().flatten().copied().collect();
         seen.sort_unstable();
@@ -500,10 +570,7 @@ mod tests {
         let queue = reqs(&[30, 60, 90, 120]);
         let plain = DpScheduler.schedule(&queue, &costs);
         let mem = MemoryAwareDpScheduler { budget_bytes: usize::MAX }.schedule(&queue, &costs);
-        assert_eq!(
-            batching_cost(&queue, &plain, &costs),
-            batching_cost(&queue, &mem, &costs)
-        );
+        assert_eq!(batching_cost(&queue, &plain, &costs), batching_cost(&queue, &mem, &costs));
     }
 
     #[test]
@@ -511,7 +578,9 @@ mod tests {
         // Exactness check: enumerate every contiguous sorted partition and
         // compare total completion times.
         let costs = CachedCost::from_fn(600, 4, 1, |len, b| 2.0 + 0.01 * (len * b) as f64);
-        for lens in [&[5usize, 80, 300, 310][..], &[40, 45, 50, 55, 400], &[500], &[9, 9, 9, 9, 9, 9]] {
+        for lens in
+            [&[5usize, 80, 300, 310][..], &[40, 45, 50, 55, 400], &[500], &[9, 9, 9, 9, 9, 9]]
+        {
             let queue = reqs(lens);
             let got = batching_mean_completion(
                 &queue,

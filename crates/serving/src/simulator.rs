@@ -92,7 +92,10 @@ pub fn simulate(
     config: &ServingConfig<'_>,
     duration: f64,
 ) -> ServingReport {
-    debug_assert!(requests.windows(2).all(|w| w[0].arrival <= w[1].arrival), "trace must be sorted");
+    debug_assert!(
+        requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+        "trace must be sorted"
+    );
     let cutoff = duration * DRAIN_FACTOR;
     let mut cache = config.cache_capacity.map(ResponseCache::new);
 
@@ -149,7 +152,8 @@ pub fn simulate(
                 queue.len().min(costs.max_batch()),
             );
             let full = queue.len() >= costs.max_batch();
-            let deadline = (front.arrival + timeout).min(front.arrival + (slo / 2.0 - est).max(0.0));
+            let deadline =
+                (front.arrival + timeout).min(front.arrival + (slo / 2.0 - est).max(0.0));
             if !full && clock < deadline {
                 // Wait until the deadline or the next arrival, whichever
                 // comes first, then re-evaluate.
@@ -233,7 +237,12 @@ mod tests {
 
     fn run(rate: f64, sched: &dyn BatchScheduler, pad: bool) -> ServingReport {
         let reqs = workload(rate, 11);
-        let cfg = ServingConfig { scheduler: sched, trigger: Trigger::Hungry, pad_to_max: pad, cache_capacity: None };
+        let cfg = ServingConfig {
+            scheduler: sched,
+            trigger: Trigger::Hungry,
+            pad_to_max: pad,
+            cache_capacity: None,
+        };
         simulate(&reqs, &table(), &cfg, 20.0)
     }
 
@@ -308,7 +317,12 @@ mod tests {
         let hungry = simulate(
             &reqs,
             &costs,
-            &ServingConfig { scheduler: &DpScheduler, trigger: Trigger::Hungry, pad_to_max: false, cache_capacity: None },
+            &ServingConfig {
+                scheduler: &DpScheduler,
+                trigger: Trigger::Hungry,
+                pad_to_max: false,
+                cache_capacity: None,
+            },
             1.0,
         );
         let lazy = simulate(
@@ -334,7 +348,8 @@ mod tests {
 
     #[test]
     fn response_cache_short_circuits_repeats() {
-        let mut reqs: Vec<Request> = (0..20).map(|i| Request::new(i, 200, i as f64 * 0.01)).collect();
+        let mut reqs: Vec<Request> =
+            (0..20).map(|i| Request::new(i, 200, i as f64 * 0.01)).collect();
         // Every other request repeats content 0.
         let repeated = reqs[0].content_key;
         for r in reqs.iter_mut().skip(1).step_by(2) {
@@ -383,7 +398,12 @@ mod tests {
 
     #[test]
     fn empty_workload_is_a_clean_zero() {
-        let cfg = ServingConfig { scheduler: &DpScheduler, trigger: Trigger::Hungry, pad_to_max: false, cache_capacity: None };
+        let cfg = ServingConfig {
+            scheduler: &DpScheduler,
+            trigger: Trigger::Hungry,
+            pad_to_max: false,
+            cache_capacity: None,
+        };
         let rep = simulate(&[], &table(), &cfg, 10.0);
         assert_eq!(rep.arrivals, 0);
         assert_eq!(rep.completed, 0);

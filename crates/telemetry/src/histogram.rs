@@ -1,0 +1,277 @@
+//! Fixed-bucket log₂ latency histogram with mergeable snapshots.
+//!
+//! Values are non-negative integers (nanoseconds, tokens, batch rows —
+//! whatever the metric counts). Bucket `b` holds values whose bit length is
+//! `b`: bucket 0 holds exactly 0, bucket 1 holds 1, bucket 2 holds 2–3,
+//! bucket `b` holds `[2^(b-1), 2^b)`, and the last bucket absorbs
+//! everything above `2^62`. Sixty-four buckets cover the full `u64` range,
+//! so there is nothing to configure and nothing to clip; relative error of
+//! any quantile estimate is bounded by one octave, which is the right
+//! resolution for latency work where the interesting differences are 2×,
+//! not 2%.
+//!
+//! Recording is one `leading_zeros` plus two relaxed atomic adds; no locks,
+//! no allocation. [`HistogramSnapshot`]s add pointwise, so per-thread or
+//! per-server histograms fold into cluster aggregates losslessly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets (bit lengths 0..=63; the top bucket is open-ended).
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in: its bit length, clamped to the top bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()).min(BUCKETS as u32 - 1) as usize
+}
+
+/// Smallest value in bucket `b`.
+pub fn bucket_lower(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        _ => 1u64 << (b - 1),
+    }
+}
+
+/// Largest value in bucket `b` (the top bucket runs to `u64::MAX`).
+pub fn bucket_upper(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        _ if b >= BUCKETS - 1 => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+/// Lock-free log₂ histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram { counts: [const { AtomicU64::new(0) }; BUCKETS], sum: AtomicU64::new(0) }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as nanoseconds (saturating far beyond any real
+    /// latency — `u64` nanoseconds is ~584 years).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Time `f` and record its wall-clock nanoseconds.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.record_duration(start.elapsed());
+        out
+    }
+
+    /// A point-in-time copy of the bucket counts. Individual bucket loads
+    /// are relaxed, so a snapshot taken mid-record may be off by in-flight
+    /// observations — fine for monitoring, and exact once writers quiesce.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable, serializable copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`BUCKETS` entries).
+    pub counts: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { counts: vec![0; BUCKETS], sum: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean of recorded values, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Fold `other` into `self` pointwise. Merging snapshots from two
+    /// sources yields exactly the snapshot of their combined observations.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by nearest rank, linearly
+    /// interpolated inside the owning bucket. The estimate always lies in
+    /// the same bucket as the true nearest-rank sample quantile, so the
+    /// error is bounded by one octave (the property tests pin this down).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let lo = bucket_lower(b) as f64;
+                let hi = bucket_upper(b).min(1u64 << 62) as f64; // finite top
+                let frac = (rank - cum) as f64 / c as f64;
+                return (lo + (hi - lo) * frac) as u64;
+            }
+            cum += c;
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_consistent() {
+        for b in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_lower(b)), b, "lower bound of bucket {b}");
+            assert_eq!(bucket_index(bucket_upper(b)), b, "upper bound of bucket {b}");
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_count() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.sum, 1_000_106);
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[2], 2); // 2 and 3
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // True p50 is 500 (bucket 9: 256..511), p99 is 990 (bucket 10).
+        assert_eq!(bucket_index(s.p50()), bucket_index(500));
+        assert_eq!(bucket_index(s.p99()), bucket_index(990));
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_is_pointwise_addition() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        a.record(10);
+        a.record(20);
+        b.record(1_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum, 1_030);
+
+        let all = Histogram::new();
+        for v in [10, 20, 1_000] {
+            all.record(v);
+        }
+        assert_eq!(m, all.snapshot());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let h = Histogram::new();
+        h.record(7);
+        h.record(70_000);
+        let s = h.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn concurrent_records_are_not_lost() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000 {
+                        h.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+}

@@ -1,0 +1,52 @@
+//! # tt-telemetry — lock-free observability for the serving stack
+//!
+//! The paper evaluates TurboTransformers with exactly the quantities a
+//! production deployment would watch on a dashboard: per-op time shares
+//! (Table 2), zero-padding waste (§4.2), scheduler runtime (Alg. 3), and
+//! allocator footprint (Fig. 7). This crate makes those first-class,
+//! continuously-collected metrics instead of one-off experiment printouts.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost must be a handful of nanoseconds.** Every metric
+//!    primitive is a plain [`AtomicU64`](std::sync::atomic::AtomicU64) with
+//!    relaxed ordering — no locks, no allocation, no syscalls on record.
+//!    The serving loop batches in the hundreds of microseconds; telemetry
+//!    must stay under 2% of that (the report binary measures this).
+//! 2. **No global state.** A [`Registry`] is an explicit value; tests and
+//!    servers create as many independent ones as they like. Hot code caches
+//!    `Arc` handles to its metrics at construction and never touches the
+//!    registry map again.
+//! 3. **Mergeable snapshots.** [`HistogramSnapshot`]s from different
+//!    threads, servers, or time windows add pointwise, so cluster-level
+//!    views are a fold — exactly how Prometheus-style systems aggregate.
+//!
+//! ```
+//! use tt_telemetry::{Registry, Timer};
+//!
+//! let registry = Registry::new();
+//! let lat = registry.histogram(
+//!     "request_nanoseconds",
+//!     "End-to-end request latency",
+//!     &[("stage", "demo")],
+//! );
+//! {
+//!     let _span = Timer::start(&lat); // records on drop
+//! }
+//! lat.record(1_500);
+//! let snap = lat.snapshot();
+//! assert_eq!(snap.count(), 2);
+//! assert!(registry.render_prometheus().contains("request_nanoseconds_bucket"));
+//! ```
+
+pub mod histogram;
+pub mod metrics;
+pub mod registry;
+pub mod timer;
+
+pub use histogram::{
+    bucket_index, bucket_lower, bucket_upper, Histogram, HistogramSnapshot, BUCKETS,
+};
+pub use metrics::{Counter, Gauge};
+pub use registry::{MetricSnapshot, Registry, RegistrySnapshot};
+pub use timer::{Stopwatch, Timer};

@@ -1,0 +1,128 @@
+//! Scalar metrics: monotone [`Counter`] and last-write-wins [`Gauge`].
+//!
+//! Both are single `AtomicU64`s with relaxed ordering. Relaxed is correct
+//! here: metrics are statistical observations, not synchronization — readers
+//! only need *some* recent value, and the final value is made visible by the
+//! thread join / channel receive that ends the measured workload anyway.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count (requests served, bytes
+/// requested, cache hits). Cheap enough for the innermost serving loop.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time measurement that can move both ways (resident bytes,
+/// chunk count, utilisation). Stores an `f64` bit-cast into the atomic.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at `0.0` (the bit pattern of `0.0f64` is all-zero).
+    pub const fn new() -> Self {
+        Gauge { bits: AtomicU64::new(0) }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (compare-and-swap loop; gauges are low-frequency).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn counter_is_shared_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn gauge_set_add_get() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_concurrent_adds_do_not_lose_updates() {
+        let g = Gauge::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        g.add(0.5);
+                    }
+                });
+            }
+        });
+        assert!((g.get() - 2_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,387 @@
+//! The metric registry: named, labelled metrics with JSON snapshots and
+//! Prometheus text exposition.
+//!
+//! A [`Registry`] is an explicit value — no global, no `lazy_static`. Hot
+//! code calls [`Registry::counter`] / [`gauge`](Registry::gauge) /
+//! [`histogram`](Registry::histogram) once at construction, keeps the
+//! returned `Arc`, and records through it lock-free; the registry's
+//! `RwLock`-guarded map is only touched at registration and scrape time.
+//!
+//! Exposition follows the Prometheus text format: each metric family gets
+//! `# HELP` / `# TYPE` headers, histograms expand to cumulative
+//! `_bucket{le="..."}` series plus `_sum` and `_count`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::{bucket_upper, Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge};
+
+/// Sorted label pairs; part of the metric identity.
+type Labels = Vec<(String, String)>;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: String,
+    labels: Labels,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// A collection of labelled metrics. Cloning shares the underlying map —
+/// hand clones to every subsystem that should report into the same scrape.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<RwLock<BTreeMap<Key, Entry>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+        let mut labels: Labels =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        Key { name: name.to_string(), labels }
+    }
+
+    /// Get or create the counter `name{labels}`.
+    ///
+    /// # Panics
+    /// If the same name+labels is already registered as a different type.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = Self::key(name, labels);
+        let mut map = self.inner.write();
+        let entry = map.entry(key).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Counter(Arc::new(Counter::new())),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("{name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    ///
+    /// # Panics
+    /// If the same name+labels is already registered as a different type.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = Self::key(name, labels);
+        let mut map = self.inner.write();
+        let entry = map.entry(key).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Gauge(Arc::new(Gauge::new())),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("{name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Get or create the histogram `name{labels}`.
+    ///
+    /// # Panics
+    /// If the same name+labels is already registered as a different type.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = Self::key(name, labels);
+        let mut map = self.inner.write();
+        let entry = map.entry(key).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Histogram(Arc::new(Histogram::new())),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("{name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// A point-in-time copy of every metric, serializable to JSON.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.inner.read();
+        let metrics = map
+            .iter()
+            .map(|(key, entry)| {
+                let mut snap = MetricSnapshot {
+                    name: key.name.clone(),
+                    labels: key.labels.clone(),
+                    help: entry.help.clone(),
+                    kind: entry.metric.type_name().to_string(),
+                    counter: None,
+                    gauge: None,
+                    histogram: None,
+                };
+                match &entry.metric {
+                    Metric::Counter(c) => snap.counter = Some(c.get()),
+                    Metric::Gauge(g) => snap.gauge = Some(g.get()),
+                    Metric::Histogram(h) => snap.histogram = Some(h.snapshot()),
+                }
+                snap
+            })
+            .collect();
+        RegistrySnapshot { metrics }
+    }
+
+    /// Render the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let map = self.inner.read();
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for (key, entry) in map.iter() {
+            // HELP/TYPE once per family; BTreeMap ordering groups names.
+            if last_name != Some(key.name.as_str()) {
+                out.push_str(&format!("# HELP {} {}\n", key.name, entry.help));
+                out.push_str(&format!("# TYPE {} {}\n", key.name, entry.metric.type_name()));
+                last_name = Some(key.name.as_str());
+            }
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        key.name,
+                        render_labels(&key.labels, None),
+                        c.get()
+                    ));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        key.name,
+                        render_labels(&key.labels, None),
+                        format_float(g.get())
+                    ));
+                }
+                Metric::Histogram(h) => {
+                    render_histogram(&mut out, &key.name, &key.labels, &h.snapshot());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Cumulative `_bucket` series plus `_sum` / `_count`, per the exposition
+/// format. Buckets above the highest populated one collapse into `+Inf`.
+fn render_histogram(out: &mut String, name: &str, labels: &Labels, snap: &HistogramSnapshot) {
+    let highest = snap.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+    let mut cum = 0u64;
+    for (b, &c) in snap.counts.iter().enumerate().take(highest + 1) {
+        cum += c;
+        out.push_str(&format!(
+            "{}_bucket{} {}\n",
+            name,
+            render_labels(labels, Some(&bucket_upper(b).to_string())),
+            cum
+        ));
+    }
+    out.push_str(&format!(
+        "{}_bucket{} {}\n",
+        name,
+        render_labels(labels, Some("+Inf")),
+        snap.count()
+    ));
+    out.push_str(&format!("{}_sum{} {}\n", name, render_labels(labels, None), snap.sum));
+    out.push_str(&format!("{}_count{} {}\n", name, render_labels(labels, None), snap.count()));
+}
+
+/// `{k="v",...,le="..."}`, empty string when there is nothing to print.
+fn render_labels(labels: &Labels, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Prometheus floats: plain decimal, no exponent needed for our ranges.
+fn format_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}") // "3" renders as "3.0" — still a valid float
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Serializable copy of a whole registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// One entry per registered metric, sorted by name then labels.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// JSON text of the snapshot.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Find a metric by name and exact label set.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSnapshot> {
+        let mut want: Labels = labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        want.sort();
+        self.metrics.iter().find(|m| m.name == name && m.labels == want)
+    }
+}
+
+/// One metric's state. Exactly one of `counter` / `gauge` / `histogram` is
+/// set, matching `kind` (a flat encoding — keeps the JSON trivially
+/// consumable without tagged-union conventions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSnapshot {
+    /// Metric family name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Help text.
+    pub help: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: String,
+    /// Counter value, when `kind == "counter"`.
+    #[serde(default)]
+    pub counter: Option<u64>,
+    /// Gauge value, when `kind == "gauge"`.
+    #[serde(default)]
+    pub gauge: Option<f64>,
+    /// Histogram state, when `kind == "histogram"`.
+    #[serde(default)]
+    pub histogram: Option<HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("requests_total", "Requests", &[("model", "bert")]);
+        let b = r.counter("requests_total", "Requests", &[("model", "bert")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "both handles alias one counter");
+        // Different labels → different counter.
+        let c = r.counter("requests_total", "Requests", &[("model", "albert")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        let a = r.gauge("g", "", &[("a", "1"), ("b", "2")]);
+        let b = r.gauge("g", "", &[("b", "2"), ("a", "1")]);
+        a.set(5.0);
+        assert_eq!(b.get(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("m", "", &[]);
+        r.gauge("m", "", &[]);
+    }
+
+    #[test]
+    fn snapshot_captures_all_kinds() {
+        let r = Registry::new();
+        r.counter("c", "count", &[]).add(7);
+        r.gauge("g", "gauge", &[("x", "y")]).set(1.5);
+        r.histogram("h", "hist", &[]).record(100);
+        let snap = r.snapshot();
+        assert_eq!(snap.metrics.len(), 3);
+        assert_eq!(snap.find("c", &[]).unwrap().counter, Some(7));
+        assert_eq!(snap.find("g", &[("x", "y")]).unwrap().gauge, Some(1.5));
+        assert_eq!(snap.find("h", &[]).unwrap().histogram.as_ref().unwrap().count(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let r = Registry::new();
+        r.counter("c", "a \"quoted\" help", &[("k", "v")]).inc();
+        r.histogram("h", "", &[]).record(42);
+        let snap = r.snapshot();
+        let back: RegistrySnapshot = serde_json::from_str(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = Registry::new();
+        r.counter("requests_total", "Total requests", &[("model", "bert")]).add(3);
+        r.gauge("queue_depth", "Jobs waiting", &[]).set(2.0);
+        let h = r.histogram("latency_nanoseconds", "Latency", &[]);
+        h.record(3); // bucket 2, upper bound 3
+        h.record(900); // bucket 10, upper bound 1023
+        let text = r.render_prometheus();
+
+        assert!(text.contains("# HELP requests_total Total requests\n"));
+        assert!(text.contains("# TYPE requests_total counter\n"));
+        assert!(text.contains("requests_total{model=\"bert\"} 3\n"));
+        assert!(text.contains("queue_depth 2.0\n"));
+        assert!(text.contains("# TYPE latency_nanoseconds histogram\n"));
+        assert!(text.contains("latency_nanoseconds_bucket{le=\"3\"} 1\n"));
+        assert!(text.contains("latency_nanoseconds_bucket{le=\"1023\"} 2\n"));
+        assert!(text.contains("latency_nanoseconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("latency_nanoseconds_sum 903\n"));
+        assert!(text.contains("latency_nanoseconds_count 2\n"));
+    }
+
+    #[test]
+    fn bucket_series_is_cumulative_and_monotone() {
+        let r = Registry::new();
+        let h = r.histogram("h", "", &[]);
+        for v in [1u64, 1, 5, 5, 5, 200] {
+            h.record(v);
+        }
+        let text = r.render_prometheus();
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("h_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts must be cumulative: {line}");
+            last = v;
+        }
+        assert_eq!(last, 6);
+    }
+
+    #[test]
+    fn clones_share_the_map() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.counter("c", "", &[]).inc();
+        assert_eq!(r2.snapshot().find("c", &[]).unwrap().counter, Some(1));
+    }
+}

@@ -1,0 +1,128 @@
+//! Span timing: record wall-clock durations into a [`Histogram`] with a
+//! drop guard, or measure manually with a [`Stopwatch`].
+
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+
+/// A span guard: started against a histogram, records elapsed nanoseconds
+/// when dropped (or explicitly via [`Timer::stop`]).
+///
+/// ```
+/// use tt_telemetry::{Histogram, Timer};
+/// let h = Histogram::new();
+/// {
+///     let _span = Timer::start(&h);
+///     // ... measured work ...
+/// }
+/// assert_eq!(h.snapshot().count(), 1);
+/// ```
+#[must_use = "a dropped timer records immediately; bind it to a variable"]
+pub struct Timer<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl<'a> Timer<'a> {
+    /// Start timing against `hist`.
+    pub fn start(hist: &'a Histogram) -> Self {
+        Timer { hist, start: Instant::now(), armed: true }
+    }
+
+    /// Stop now, record, and return the elapsed nanoseconds.
+    pub fn stop(mut self) -> u64 {
+        self.armed = false;
+        let ns = elapsed_nanos(self.start);
+        self.hist.record(ns);
+        ns
+    }
+
+    /// Abandon the span without recording (e.g. the measured operation
+    /// failed and would pollute the latency distribution).
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(elapsed_nanos(self.start));
+        }
+    }
+}
+
+/// A free-standing wall-clock stopwatch for call sites that route the
+/// measurement themselves (e.g. one timed region feeding two histograms).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start now.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Nanoseconds since start.
+    pub fn elapsed_nanos(&self) -> u64 {
+        elapsed_nanos(self.start)
+    }
+
+    /// Nanoseconds since start, and restart (for back-to-back phases).
+    pub fn lap_nanos(&mut self) -> u64 {
+        let ns = elapsed_nanos(self.start);
+        self.start = Instant::now();
+        ns
+    }
+}
+
+fn elapsed_nanos(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_records_on_drop() {
+        let h = Histogram::new();
+        {
+            let _t = Timer::start(&h);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert!(s.sum >= 1_000_000, "slept >= 1ms, recorded {}", s.sum);
+    }
+
+    #[test]
+    fn stop_records_once_and_returns_elapsed() {
+        let h = Histogram::new();
+        let t = Timer::start(&h);
+        let ns = t.stop();
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.sum, ns);
+    }
+
+    #[test]
+    fn discard_records_nothing() {
+        let h = Histogram::new();
+        Timer::start(&h).discard();
+        assert_eq!(h.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn stopwatch_laps() {
+        let mut w = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let first = w.lap_nanos();
+        assert!(first >= 1_000_000);
+        let second = w.elapsed_nanos();
+        assert!(second < first, "lap restarts the clock");
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests of the telemetry primitives.
+//!
+//! Two contracts matter enough to pin down over arbitrary inputs:
+//!
+//! 1. **Quantile bracketing.** A log₂ histogram throws away everything but
+//!    the bucket index, so its quantile estimate cannot be exact — but it
+//!    must always land in the *same bucket* as the true nearest-rank
+//!    sample quantile (error bounded by one octave).
+//! 2. **Lossless concurrent counting.** Counters and histograms are
+//!    relaxed atomics; relaxed must still mean no lost updates under
+//!    arbitrary thread/increment mixes.
+
+use proptest::prelude::*;
+use tt_telemetry::{bucket_index, Counter, Histogram};
+
+/// The true nearest-rank `q`-quantile, with the same rank convention the
+/// histogram uses: the ⌈q·n⌉-th smallest sample (1-based), clamped.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn histogram_quantile_brackets_true_quantile(
+        values in prop::collection::vec(0u64..=10_000_000, 1..300),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let truth = true_quantile(&sorted, q);
+        let estimate = snap.quantile(q);
+        prop_assert_eq!(
+            bucket_index(estimate),
+            bucket_index(truth),
+            "estimate {} and true quantile {} must share a bucket (q={})",
+            estimate,
+            truth,
+            q
+        );
+    }
+
+    #[test]
+    fn standard_percentiles_bracket_for_skewed_data(
+        // Latency-shaped data: a fast mode plus a heavy tail.
+        fast in prop::collection::vec(1_000u64..=50_000, 10..200),
+        slow in prop::collection::vec(1_000_000u64..=80_000_000, 0..20),
+    ) {
+        let h = Histogram::new();
+        let mut all = Vec::with_capacity(fast.len() + slow.len());
+        for &v in fast.iter().chain(&slow) {
+            h.record(v);
+            all.push(v);
+        }
+        all.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.50, 0.95, 0.99] {
+            prop_assert_eq!(
+                bucket_index(snap.quantile(q)),
+                bucket_index(true_quantile(&all, q)),
+                "p{} must land in the true bucket",
+                (q * 100.0) as u32
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_never_lost(
+        threads in 2usize..=8,
+        per_thread in 1u64..=2_000,
+    ) {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(c.get(), threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn concurrent_histogram_records_preserve_count_and_sum(
+        threads in 2usize..=6,
+        per_thread in prop::collection::vec(0u64..=1_000_000, 1..200),
+    ) {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let (h, values) = (&h, &per_thread);
+                s.spawn(move || {
+                    for &v in values {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        let expect_count = threads as u64 * per_thread.len() as u64;
+        let expect_sum = threads as u64 * per_thread.iter().sum::<u64>();
+        prop_assert_eq!(snap.count(), expect_count);
+        prop_assert_eq!(snap.sum, expect_sum);
+    }
+
+    #[test]
+    fn merged_snapshots_equal_combined_recording(
+        a in prop::collection::vec(0u64..=1_000_000, 0..100),
+        b in prop::collection::vec(0u64..=1_000_000, 0..100),
+    ) {
+        let (ha, hb, hall) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        prop_assert_eq!(merged, hall.snapshot());
+    }
+}

@@ -106,54 +106,52 @@ pub fn sgemm(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32]) {
     };
     debug_assert_eq!(ta, Trans::No);
 
-    c.par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, c_blk)| {
-            let row0 = blk * ROW_BLOCK;
-            let rows = c_blk.len() / n;
-            match tb {
-                Trans::No => {
-                    // C[i][j] = Σ_l A[i][l] · B[l][j]; axpy over rows of B.
-                    for (ri, c_row) in c_blk.chunks_exact_mut(n).enumerate() {
-                        let i = row0 + ri;
-                        if beta == 0.0 {
-                            c_row.fill(0.0);
-                        } else {
-                            for v in c_row.iter_mut() {
-                                *v *= beta;
-                            }
-                        }
-                        let a_row = &a[i * k..(i + 1) * k];
-                        for (l, &aval) in a_row.iter().enumerate() {
-                            let s = alpha * aval;
-                            if s == 0.0 {
-                                continue;
-                            }
-                            let b_row = &b[l * n..(l + 1) * n];
-                            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                                *cv += s * bv;
-                            }
+    c.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(|(blk, c_blk)| {
+        let row0 = blk * ROW_BLOCK;
+        let rows = c_blk.len() / n;
+        match tb {
+            Trans::No => {
+                // C[i][j] = Σ_l A[i][l] · B[l][j]; axpy over rows of B.
+                for (ri, c_row) in c_blk.chunks_exact_mut(n).enumerate() {
+                    let i = row0 + ri;
+                    if beta == 0.0 {
+                        c_row.fill(0.0);
+                    } else {
+                        for v in c_row.iter_mut() {
+                            *v *= beta;
                         }
                     }
-                }
-                Trans::Yes => {
-                    // C[i][j] = Σ_l A[i][l] · B[j][l]; dot products of rows.
-                    for (ri, c_row) in c_blk.chunks_exact_mut(n).enumerate() {
-                        let i = row0 + ri;
-                        let _ = rows;
-                        let a_row = &a[i * k..(i + 1) * k];
-                        for (j, cv) in c_row.iter_mut().enumerate() {
-                            let b_row = &b[j * k..(j + 1) * k];
-                            let mut acc = 0.0f32;
-                            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                                acc += av * bv;
-                            }
-                            *cv = alpha * acc + if beta == 0.0 { 0.0 } else { beta * *cv };
+                    let a_row = &a[i * k..(i + 1) * k];
+                    for (l, &aval) in a_row.iter().enumerate() {
+                        let s = alpha * aval;
+                        if s == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[l * n..(l + 1) * n];
+                        for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                            *cv += s * bv;
                         }
                     }
                 }
             }
-        });
+            Trans::Yes => {
+                // C[i][j] = Σ_l A[i][l] · B[j][l]; dot products of rows.
+                for (ri, c_row) in c_blk.chunks_exact_mut(n).enumerate() {
+                    let i = row0 + ri;
+                    let _ = rows;
+                    let a_row = &a[i * k..(i + 1) * k];
+                    for (j, cv) in c_row.iter_mut().enumerate() {
+                        let b_row = &b[j * k..(j + 1) * k];
+                        let mut acc = 0.0f32;
+                        for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                            acc += av * bv;
+                        }
+                        *cv = alpha * acc + if beta == 0.0 { 0.0 } else { beta * *cv };
+                    }
+                }
+            }
+        }
+    });
 }
 
 /// Batched GEMM: `batch` independent multiplies with identical specs, the

@@ -102,7 +102,11 @@ impl Arena {
     /// Panics if the output overlaps any input (a corrupt plan) or if any
     /// region is out of bounds. Inputs may overlap each other (two consumers
     /// of the same tensor).
-    pub fn io<'a>(&'a mut self, inputs: &[Region], output: Region) -> (Vec<&'a [f32]>, &'a mut [f32]) {
+    pub fn io<'a>(
+        &'a mut self,
+        inputs: &[Region],
+        output: Region,
+    ) -> (Vec<&'a [f32]>, &'a mut [f32]) {
         for (i, r) in inputs.iter().enumerate() {
             assert!(
                 !r.overlaps(&output),
@@ -181,10 +185,8 @@ mod tests {
     fn io_allows_overlapping_inputs() {
         let mut arena = Arena::new();
         arena.ensure_chunk(0, 32);
-        let (ins, _out) = arena.io(
-            &[Region::new(0, 0, 8), Region::new(0, 4, 8)],
-            Region::new(0, 16, 4),
-        );
+        let (ins, _out) =
+            arena.io(&[Region::new(0, 0, 8), Region::new(0, 4, 8)], Region::new(0, 16, 4));
         assert_eq!(ins.len(), 2);
     }
 

@@ -37,7 +37,11 @@ impl Tensor {
         if shape.num_elements() != data.len() {
             return Err(TensorError::ShapeMismatch {
                 context: "Tensor::from_vec",
-                detail: format!("shape {shape} needs {} elements, got {}", shape.num_elements(), data.len()),
+                detail: format!(
+                    "shape {shape} needs {} elements, got {}",
+                    shape.num_elements(),
+                    data.len()
+                ),
             });
         }
         Ok(Tensor { shape, data })

@@ -34,7 +34,8 @@ fn main() {
     // --- Part 2: GPT-2-small generation cost on the simulated GPU ---
     let paper_cfg = GptConfig::small();
     let turbo = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
-    let pytorch = TurboRuntime::new(RuntimeConfig::new(RuntimeKind::PyTorchLike, DeviceKind::RTX2060));
+    let pytorch =
+        TurboRuntime::new(RuntimeConfig::new(RuntimeKind::PyTorchLike, DeviceKind::RTX2060));
     println!("\nGPT-2 small (12 layers, hidden 768) on a simulated RTX 2060:");
     println!("{:>9} {:>6} {:>12} {:>12} {:>9}", "prompt", "gen", "Turbo", "PyTorch", "speedup");
     for (p, g) in [(16usize, 32usize), (64, 64), (128, 128)] {

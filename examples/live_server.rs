@@ -19,9 +19,8 @@ fn main() {
     let config = BertConfig::tiny();
     let model = Arc::new(Bert::new_random(&config, 7));
     let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
-    let costs = Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| {
-        1.0e-3 + 1.0e-5 * (len * b) as f64
-    }));
+    let costs =
+        Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
 
     let engine = LiveEngine::start(model, runtime, Arc::new(DpScheduler), costs);
     println!("engine up; spawning 12 client threads with variable-length requests\n");
@@ -37,7 +36,10 @@ fn main() {
         }));
     }
 
-    println!("{:>7} {:>7} {:>12} {:>12} {:>12}", "client", "len", "latency", "batch size", "padded len");
+    println!(
+        "{:>7} {:>7} {:>12} {:>12} {:>12}",
+        "client", "len", "latency", "batch size", "padded len"
+    );
     let mut results: Vec<_> = clients.into_iter().map(|h| h.join().expect("client")).collect();
     results.sort_by_key(|(c, _, _)| *c);
     for (c, len, resp) in results {

@@ -24,8 +24,8 @@ fn main() {
     // paper's runtime is designed for. No shape pretuning ever happens.
     // (Token ids are within the tiny config's 97-word vocabulary.)
     for tokens in [
-        vec![90u32, 45, 23, 91],                            // short greeting
-        vec![90, 12, 7, 33, 64, 58, 91],                    // a longer sentence
+        vec![90u32, 45, 23, 91],                             // short greeting
+        vec![90, 12, 7, 33, 64, 58, 91],                     // a longer sentence
         (0..40).map(|i| (i * 2) % 96).collect::<Vec<u32>>(), // a paragraph
     ] {
         let ids = ids_batch(&[&tokens]);

@@ -5,16 +5,18 @@
 //!
 //! Run with: `cargo run --release --example text_classification_service`
 
-use turbotransformers::model::bert::BertConfig;
-use turbotransformers::runtime::{RuntimeConfig, TurboRuntime};
-use turbotransformers::serving::request::{LengthDist, WorkloadSpec};
-use turbotransformers::serving::scheduler::{BatchScheduler, DpScheduler, NaiveBatchScheduler, NoBatchScheduler};
-use turbotransformers::serving::simulator::{simulate, ServingConfig, Trigger};
-use turbotransformers::serving::CachedCost;
 use turbotransformers::gpusim::device::DeviceKind;
 use turbotransformers::model::bert::Bert;
+use turbotransformers::model::bert::BertConfig;
 use turbotransformers::model::ids_batch;
 use turbotransformers::model::tokenizer::Tokenizer;
+use turbotransformers::runtime::{RuntimeConfig, TurboRuntime};
+use turbotransformers::serving::request::{LengthDist, WorkloadSpec};
+use turbotransformers::serving::scheduler::{
+    BatchScheduler, DpScheduler, NaiveBatchScheduler, NoBatchScheduler,
+};
+use turbotransformers::serving::simulator::{simulate, ServingConfig, Trigger};
+use turbotransformers::serving::CachedCost;
 
 fn main() {
     // 0. The text front of the service: a WordPiece tokenizer turns chat
@@ -54,11 +56,8 @@ fn main() {
         "{:<20} {:>12} {:>12} {:>12} {:>12}  saturated",
         "scheduler", "resp/s", "avg ms", "p99 ms", "max ms"
     );
-    for scheduler in [
-        &DpScheduler as &dyn BatchScheduler,
-        &NaiveBatchScheduler,
-        &NoBatchScheduler,
-    ] {
+    for scheduler in [&DpScheduler as &dyn BatchScheduler, &NaiveBatchScheduler, &NoBatchScheduler]
+    {
         let report = simulate(
             &workload,
             &costs,

@@ -44,19 +44,15 @@ fn main() {
     // --- Part 2: paper-sized decoding latency on the simulated GPU ---
     let paper_cfg = Seq2SeqDecoderConfig::base();
     let turbo = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
-    let pytorch = TurboRuntime::new(RuntimeConfig::new(RuntimeKind::PyTorchLike, DeviceKind::RTX2060));
+    let pytorch =
+        TurboRuntime::new(RuntimeConfig::new(RuntimeKind::PyTorchLike, DeviceKind::RTX2060));
 
     println!("paper-sized decoder (6 layers, model dim 1024, beam 4) on RTX 2060:");
     println!("{:>8} {:>8} {:>12} {:>12} {:>9}", "src", "tgt", "Turbo", "PyTorch", "speedup");
     for (src, tgt) in [(28usize, 34usize), (80, 96), (137, 164)] {
         let t = turbo.decoder_cost(&paper_cfg, src, tgt);
         let p = pytorch.decoder_cost(&paper_cfg, src, tgt);
-        println!(
-            "{src:>8} {tgt:>8} {:>9.1} ms {:>9.1} ms {:>8.2}x",
-            t * 1e3,
-            p * 1e3,
-            p / t
-        );
+        println!("{src:>8} {tgt:>8} {:>9.1} ms {:>9.1} ms {:>8.2}x", t * 1e3, p * 1e3, p / t);
     }
     println!("\n(paper Fig. 10c reports 1.85–2.51x over PyTorch on this workload)");
 }

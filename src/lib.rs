@@ -40,6 +40,7 @@ pub use tt_kernels as kernels;
 pub use tt_model as model;
 pub use tt_runtime as runtime;
 pub use tt_serving as serving;
+pub use tt_telemetry as telemetry;
 pub use tt_tensor as tensor;
 
 /// The most commonly used types, for `use turbotransformers::prelude::*`.
@@ -54,5 +55,6 @@ pub mod prelude {
     pub use tt_runtime::{RuntimeConfig, RuntimeKind, TurboRuntime};
     pub use tt_serving::request::Request;
     pub use tt_serving::scheduler::{BatchScheduler, DpScheduler};
+    pub use tt_telemetry::Registry;
     pub use tt_tensor::{Shape, Tensor};
 }

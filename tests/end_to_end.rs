@@ -6,7 +6,9 @@ use turbotransformers::model::bert::{Bert, BertConfig};
 use turbotransformers::model::{ids_batch, pad_batch};
 use turbotransformers::runtime::{RuntimeConfig, RuntimeKind, TurboRuntime};
 use turbotransformers::serving::request::{LengthDist, WorkloadSpec};
-use turbotransformers::serving::scheduler::{BatchScheduler, DpScheduler, NaiveBatchScheduler, NoBatchScheduler};
+use turbotransformers::serving::scheduler::{
+    BatchScheduler, DpScheduler, NaiveBatchScheduler, NoBatchScheduler,
+};
 use turbotransformers::serving::simulator::{simulate, ServingConfig, Trigger};
 use turbotransformers::serving::CachedCost;
 
@@ -62,7 +64,8 @@ fn chunk_cache_survives_a_variable_length_stream() {
 fn runtime_ordering_matches_paper() {
     let cfg = BertConfig::base();
     let cost = |kind: RuntimeKind, seq: usize| {
-        TurboRuntime::new(RuntimeConfig::new(kind, DeviceKind::RTX2060)).bert_cost(&cfg, 1, seq, false)
+        TurboRuntime::new(RuntimeConfig::new(kind, DeviceKind::RTX2060))
+            .bert_cost(&cfg, 1, seq, false)
     };
     let t = cost(RuntimeKind::Turbo, 200);
     let o = cost(RuntimeKind::OnnxRuntimeLike, 200);
@@ -94,7 +97,12 @@ fn serving_ordering_with_real_cost_table() {
         simulate(
             &workload,
             &costs,
-            &ServingConfig { scheduler: sched, trigger: Trigger::Hungry, pad_to_max: false, cache_capacity: None },
+            &ServingConfig {
+                scheduler: sched,
+                trigger: Trigger::Hungry,
+                pad_to_max: false,
+                cache_capacity: None,
+            },
             10.0,
         )
         .response_throughput

@@ -1,0 +1,224 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A small wall-clock harness exposing the API surface the workspace's
+//! benches use: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. No statistics machinery —
+//! each benchmark warms up briefly, then reports the median of a handful of
+//! timed batches as ns/iter.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for benches importing `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark case.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// `group/name/param` style id.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId { repr: format!("{name}/{param}") }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId { repr: param.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    samples: Vec<f64>,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measure: Duration) -> Self {
+        Bencher { samples: Vec::new(), warm_up, measure }
+    }
+
+    /// Time the closure: warm up, pick a batch size targeting ~1ms per
+    /// batch, then record batch means until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((1e-3 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.samples.push(dt / batch as f64);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        let med = s[s.len() / 2];
+        let lo = s[0];
+        let hi = s[s.len() - 1];
+        println!("{label:<48} time: [{} {} {}]", fmt_time(lo), fmt_time(med), fmt_time(hi));
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up: Duration::from_millis(60), measure: Duration::from_millis(240) }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI args are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.warm_up, self.measure);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into() }
+    }
+}
+
+/// A named collection of parameterised benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sampling is time-budgeted
+    /// rather than count-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark one case with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.parent.warm_up, self.parent.measure);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Benchmark one named case.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.parent.warm_up, self.parent.measure);
+        f(&mut b);
+        b.report(&format!("{}/{name}", self.name));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c =
+            Criterion { warm_up: Duration::from_millis(2), measure: Duration::from_millis(5) };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c =
+            Criterion { warm_up: Duration::from_millis(1), measure: Duration::from_millis(3) };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}

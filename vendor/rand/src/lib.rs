@@ -1,0 +1,193 @@
+//! Offline shim for the `rand` crate (0.9-style API).
+//!
+//! Provides exactly the surface the workspace uses — `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::random_range` over integer and
+//! float ranges — backed by xoshiro256** seeded through SplitMix64. The
+//! stream differs from upstream `rand`, which is fine: every caller in this
+//! repo relies on *determinism for a given seed*, never on upstream's exact
+//! stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64 key expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods (blanket-implemented for every `RngCore`).
+pub trait Rng: RngCore {
+    /// Sample uniformly from a range (`lo..hi` or `lo..=hi`).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Sample a bool that is `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (0.0f64..1.0).sample_from(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Ranges that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let width = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % width;
+                (self.start as u128).wrapping_add(draw) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let width = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if width == 0 {
+                    // Full u128 wrap can't happen for <=64-bit types + 1 unless
+                    // the range spans the whole domain of a 128-bit type; for
+                    // our 64-bit-max types width==0 means the full domain.
+                    return rng.next_u64() as $t;
+                }
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % width;
+                (lo as u128).wrapping_add(draw) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty, $bits:expr);*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                // Uniform in [0, 1) with $bits mantissa bits, then affine map.
+                let unit = (rng.next_u64() >> (64 - $bits)) as $t / (1u64 << $bits) as $t;
+                let v = self.start + unit * (self.end - self.start);
+                // Affine rounding can land exactly on `end`; fold back inside.
+                if v >= self.end { self.start } else { v.max(self.start) }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let unit = (rng.next_u64() >> (64 - $bits)) as $t / ((1u64 << $bits) - 1) as $t;
+                (lo + unit * (hi - lo)).clamp(lo, hi)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, 24; f64, 53);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** with SplitMix64
+    /// seed expansion. Deterministic per seed; not upstream's stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** by Blackman & Vigna (public domain reference).
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(5usize..=500);
+            assert!((5..=500).contains(&v));
+            let f: f64 = rng.random_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+            let g: f32 = rng.random_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn integer_sampling_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} far from 10k");
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Implements the slice-parallelism surface the kernels use —
+//! `par_iter[_mut]`, `par_chunks[_mut]`, plus the `zip`/`enumerate`/
+//! `for_each` adapters — with *real* parallelism: work is split into
+//! contiguous shards and driven on `std::thread::scope` threads, one per
+//! available core. There is no work stealing; transformer kernels split
+//! into near-equal rows, so static sharding loses little to rayon proper.
+//!
+//! Design: a parallel iterator here is a splittable, indexed producer
+//! (`len` + `split_at` + sequential drain). `for_each` recursively splits
+//! to a per-thread shard and drains each shard on its own scoped thread.
+
+use std::num::NonZeroUsize;
+
+/// A splittable indexed producer of items.
+///
+/// `Item` values must be `Send` so shards can be driven on other threads.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Exact number of remaining items.
+    fn len(&self) -> usize;
+
+    /// Whether no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into `[0, index)` and `[index, len)` halves.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Pop the next item (sequential drain within one shard).
+    fn next_item(&mut self) -> Option<Self::Item>;
+
+    /// Pair this iterator with another, yielding item pairs
+    /// (truncates to the shorter side, like rayon).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Attach the item index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self, offset: 0 }
+    }
+
+    /// Apply `f` to every item, in parallel across available cores.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let threads = available_threads().min(self.len().max(1));
+        if threads <= 1 {
+            drain(self, &f);
+            return;
+        }
+        // Split into `threads` near-equal contiguous shards.
+        let total = self.len();
+        let mut shards = Vec::with_capacity(threads);
+        let mut rest = self;
+        for t in (1..threads).rev() {
+            let remaining = rest.len();
+            let keep = remaining - remaining / (t + 1);
+            let (head, tail) = rest.split_at(keep);
+            shards.push(tail);
+            rest = head;
+        }
+        shards.push(rest);
+        debug_assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), total);
+        std::thread::scope(|scope| {
+            let f = &f;
+            for shard in shards {
+                scope.spawn(move || drain(shard, f));
+            }
+        });
+    }
+}
+
+fn drain<P: ParallelIterator, F: Fn(P::Item)>(mut p: P, f: &F) {
+    while let Some(item) = p.next_item() {
+        f(item);
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Immutable chunk producer (`par_chunks`).
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(mid);
+        (Chunks { slice: l, size: self.size }, Chunks { slice: r, size: self.size })
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        if self.slice.is_empty() {
+            return None;
+        }
+        let cut = self.size.min(self.slice.len());
+        let (head, tail) = self.slice.split_at(cut);
+        self.slice = tail;
+        Some(head)
+    }
+}
+
+/// Mutable chunk producer (`par_chunks_mut`).
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(mid);
+        (ChunksMut { slice: l, size: self.size }, ChunksMut { slice: r, size: self.size })
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        if self.slice.is_empty() {
+            return None;
+        }
+        let cut = self.size.min(self.slice.len());
+        let slice = std::mem::take(&mut self.slice);
+        let (head, tail) = slice.split_at_mut(cut);
+        self.slice = tail;
+        Some(head)
+    }
+}
+
+/// Immutable element producer (`par_iter`).
+pub struct Iter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index.min(self.slice.len()));
+        (Iter { slice: l }, Iter { slice: r })
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        let (head, tail) = self.slice.split_first()?;
+        self.slice = tail;
+        Some(head)
+    }
+}
+
+/// Mutable element producer (`par_iter_mut`).
+pub struct IterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = index.min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(mid);
+        (IterMut { slice: l }, IterMut { slice: r })
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        let slice = std::mem::take(&mut self.slice);
+        let (head, tail) = slice.split_first_mut()?;
+        self.slice = tail;
+        Some(head)
+    }
+}
+
+/// Pairwise combination of two producers.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        // Check both sides before popping either, so an uneven zip never
+        // consumes an item it can't pair.
+        if self.a.is_empty() || self.b.is_empty() {
+            return None;
+        }
+        Some((self.a.next_item()?, self.b.next_item()?))
+    }
+}
+
+/// Index-attaching adapter.
+pub struct Enumerate<P> {
+    inner: P,
+    offset: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let split = index.min(self.inner.len());
+        let (l, r) = self.inner.split_at(index);
+        (
+            Enumerate { inner: l, offset: self.offset },
+            Enumerate { inner: r, offset: self.offset + split },
+        )
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next_item()?;
+        let i = self.offset;
+        self.offset += 1;
+        Some((i, item))
+    }
+}
+
+/// `par_chunks`/`par_iter` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T>;
+    /// Parallel iterator over elements.
+    fn par_iter(&self) -> Iter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        Chunks { slice: self, size }
+    }
+
+    fn par_iter(&self) -> Iter<'_, T> {
+        Iter { slice: self }
+    }
+}
+
+/// `par_chunks_mut`/`par_iter_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+    /// Parallel iterator over mutable elements.
+    fn par_iter_mut(&mut self) -> IterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ChunksMut { slice: self, size }
+    }
+
+    fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+        IterMut { slice: self }
+    }
+}
+
+/// Everything call sites need in scope.
+pub mod prelude {
+    pub use crate::{ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_mut_covers_all_rows() {
+        let mut data = vec![0u64; 1024 * 7];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, row)| {
+            for v in row {
+                *v = i as u64;
+            }
+        });
+        for (i, chunk) in data.chunks(7).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as u64));
+        }
+    }
+
+    #[test]
+    fn zip_pairs_matching_chunks() {
+        let src = (0..100).collect::<Vec<i64>>();
+        let mut dst = vec![0i64; 100];
+        dst.par_chunks_mut(9).zip(src.par_chunks(9)).for_each(|(d, s)| {
+            d.copy_from_slice(s);
+        });
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn iter_mut_zip_iter() {
+        let src = vec![1.0f32; 333];
+        let mut dst = vec![1.0f32; 333];
+        dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, &s)| *d += s);
+        assert!(dst.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn ragged_tail_chunk_is_processed() {
+        let mut data = [0i32; 10];
+        data.par_chunks_mut(4).for_each(|c| {
+            let n = c.len() as i32;
+            c.iter_mut().for_each(|v| *v = n);
+        });
+        assert_eq!(&data[8..], &[2, 2]);
+    }
+}

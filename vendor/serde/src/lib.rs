@@ -1,0 +1,273 @@
+//! Offline shim for `serde`.
+//!
+//! The real serde abstracts over data formats; this workspace only ever
+//! serializes to and from JSON (via `serde_json`), so the shim collapses the
+//! abstraction: [`Serialize`] writes JSON text directly and [`Deserialize`]
+//! reads from a parsed [`json::Value`]. The `#[derive(Serialize,
+//! Deserialize)]` macros (re-exported from the sibling `serde_derive`
+//! proc-macro crate) generate impls against these traits, honouring
+//! `#[serde(default)]` on struct fields.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Value};
+
+/// Serialize `self` as JSON text appended to `out`.
+pub trait Serialize {
+    /// Append the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Construct `Self` from a parsed JSON value.
+pub trait Deserialize: Sized {
+    /// Decode from a JSON value.
+    fn deserialize_json(value: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization module mirroring `serde::de`.
+pub mod de {
+    /// In real serde, owned deserialization; here every `Deserialize` is
+    /// already owned, so this is a blanket alias.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Append a JSON object key (quoted + colon) — used by derived impls.
+pub fn write_key(out: &mut String, key: &str) {
+    json::write_json_string(out, key);
+    out.push(':');
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(value: &Value) -> Result<Self, Error> {
+                let n = value.as_f64().ok_or_else(|| Error::new(concat!("expected number for ", stringify!($t))))?;
+                if n.fract() != 0.0 {
+                    return Err(Error::new(concat!("expected integer for ", stringify!($t))));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(Error::new(concat!("number out of range for ", stringify!($t))));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // `{:?}` prints the shortest string that round-trips.
+                    out.push_str(&format!("{self:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| Error::new(concat!("expected number for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_json_string(out, self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::new("expected string")),
+        }
+    }
+}
+
+/// `&'static str` deserializes by leaking — acceptable for the config
+/// structs (e.g. device names) that hold static marketing strings.
+impl Deserialize for &'static str {
+    fn deserialize_json(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(Error::new("expected string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Arr(items) => items.iter().map(T::deserialize_json).collect(),
+            _ => Err(Error::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_json(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Arr(items) if items.len() == 2 => {
+                Ok((A::deserialize_json(&items[0])?, B::deserialize_json(&items[1])?))
+            }
+            _ => Err(Error::new("expected 2-element array")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_key(out, k);
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize_json(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Obj(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::deserialize_json(v)?))).collect()
+            }
+            _ => Err(Error::new("expected object")),
+        }
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn serialize_json(&self, out: &mut String) {
+        // Deterministic output: sort keys.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        out.push('{');
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_key(out, k);
+            self[k.as_str()].serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn deserialize_json(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Obj(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::deserialize_json(v)?))).collect()
+            }
+            _ => Err(Error::new("expected object")),
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the offline `serde`
+//! shim — no `syn`/`quote`, just direct token-stream walking.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields, honouring `#[serde(default)]` per field;
+//! - enums whose variants are all unit (serialized as the variant name).
+//!
+//! Anything else panics at expansion time with a clear message, which is a
+//! compile error at the deriving site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Shape {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derive the shim's `Serialize` (JSON-direct).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "::serde::write_key(out, \"{0}\");\n\
+                     ::serde::Serialize::serialize_json(&self.{0}, out);\n",
+                    f.name
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String =
+                variants.iter().map(|v| format!("{name}::{v} => \"{v}\",\n")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                         let tag = match self {{\n{arms}}};\n\
+                         ::serde::json::write_json_string(out, tag);\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive the shim's `Deserialize` (from a parsed JSON `Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let missing = if f.has_default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(::serde::json::Error::new(\
+                             \"missing field '{}' in {}\"))",
+                            f.name, name
+                        )
+                    };
+                    format!(
+                        "{0}: match ::serde::json::find(obj, \"{0}\") {{\n\
+                             ::std::option::Option::Some(x) => ::serde::Deserialize::deserialize_json(x)?,\n\
+                             ::std::option::Option::None => {missing},\n\
+                         }},\n",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_json(v: &::serde::json::Value)\n\
+                         -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                         let obj = v.as_object().ok_or_else(||\n\
+                             ::serde::json::Error::new(\"expected object for {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_json(v: &::serde::json::Value)\n\
+                         -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                         match v.as_str() {{\n\
+                             ::std::option::Option::Some(tag) => match tag {{\n{arms}\
+                                 other => ::std::result::Result::Err(::serde::json::Error::new(\n\
+                                     ::std::format!(\"unknown {name} variant '{{other}}'\"))),\n\
+                             }},\n\
+                             ::std::option::Option::None => ::std::result::Result::Err(\n\
+                                 ::serde::json::Error::new(\"expected string for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected 'struct' or 'enum', found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type {name})");
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no braced body on {name} (tuple/unit not supported)"),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Shape::Struct { name, fields: parse_named_fields(body) },
+        "enum" => Shape::Enum { name, variants: parse_unit_variants(body) },
+        other => panic!("serde_derive: unsupported item kind '{other}'"),
+    }
+}
+
+/// Advance past leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`); record whether any was `#[serde(default)]`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if attr_is_serde_default(&g.stream()) {
+                        has_default = true;
+                    }
+                    *i += 2;
+                } else {
+                    panic!("serde_derive: stray '#'");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+/// Does this attribute body (`serde(default)` etc.) mark a defaultable field?
+fn attr_is_serde_default(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.get(1) {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let has_default = skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde_derive: tuple structs are not supported (field {name})"),
+        }
+        // Skip the type: consume until a ',' at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, has_default });
+    }
+    fields
+}
+
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                panic!("serde_derive shim: only unit enum variants are supported ({name})")
+            }
+            Some(other) => panic!("serde_derive: unexpected token after variant {name}: {other}"),
+        }
+        variants.push(name);
+    }
+    variants
+}

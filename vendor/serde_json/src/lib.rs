@@ -1,0 +1,82 @@
+//! Offline facade for `serde_json`, delegating to the JSON core inside the
+//! vendored `serde` shim (`serde::json`).
+
+pub use serde::json::{parse, Error, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serialize to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize to JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::deserialize_json(&parse(s)?)
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|_| Error::new("input is not utf-8"))?;
+    from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Sample {
+        id: usize,
+        scale: f64,
+        label: String,
+        #[serde(default)]
+        extra: Option<Vec<u32>>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mode {
+        Fast,
+        Careful,
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        let s = Sample { id: 7, scale: 0.125, label: "a\"b".into(), extra: Some(vec![1, 2]) };
+        let json = to_string(&s).unwrap();
+        let back: Sample = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn default_field_tolerates_missing_key() {
+        let back: Sample = from_str(r#"{"id": 1, "scale": 2.0, "label": "x"}"#).unwrap();
+        assert_eq!(back.extra, None);
+    }
+
+    #[test]
+    fn missing_required_field_errors() {
+        assert!(from_str::<Sample>(r#"{"id": 1}"#).is_err());
+    }
+
+    #[test]
+    fn unit_enum_roundtrip() {
+        let json = to_string(&Mode::Careful).unwrap();
+        assert_eq!(json, "\"Careful\"");
+        assert_eq!(from_str::<Mode>(&json).unwrap(), Mode::Careful);
+        assert!(from_str::<Mode>("\"Nope\"").is_err());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let v = to_vec(&Mode::Fast).unwrap();
+        assert_eq!(from_slice::<Mode>(&v).unwrap(), Mode::Fast);
+    }
+}
