@@ -1,0 +1,417 @@
+//! GEMM microbenchmark: the packed-panel engine vs the pre-PR
+//! implementations, across the shapes BERT serving actually issues.
+//!
+//! Per the paper's Table 2, GEMM is 61–87% of BERT inference time, so the
+//! throughput this file measures is the floor under every figure and
+//! serving bench in the repo. The sweep covers the BERT-base projection and
+//! FFN shapes (hidden 768, FFN 3072) over the paper's sequence grid
+//! (10–500) and batch sizes 1–20, plus the per-head attention products that
+//! `batched_sgemm` serves (12 heads × 64-dim).
+//!
+//! The pre-PR implementations are kept verbatim in [`reference`] as the
+//! baseline: `sgemm_axpy` (the old memory-bound row-sweep `sgemm`) for
+//! single GEMMs, and `batched_naive` (the old per-head `i/j/l` triple loop
+//! with per-element closure indexing) for batched ones. Every timed shape
+//! is also a correctness check — the two engines must agree to 1e-3
+//! relative tolerance.
+//!
+//! Outputs `results/gemm_microbench.md` (human-readable) and
+//! `BENCH_gemm.json` (machine-readable perf trajectory for later PRs to
+//! regress against). `--smoke` runs a tiny correctness-only shape set and
+//! writes nothing — that is what CI executes.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use serde::Serialize;
+use tt_bench::print_table;
+use tt_tensor::{batched_sgemm, sgemm, GemmSpec, Trans};
+
+/// The pre-PR GEMM implementations, kept as the in-bench baseline so the
+/// speedup column stays measurable after the old code left the library.
+mod reference {
+    use tt_tensor::{GemmSpec, Trans};
+
+    /// The old `sgemm` inner loops (axpy row-sweep / row-dot), minus the
+    /// rayon row-block dispatch, which on the row-partitioned workload only
+    /// changed which core ran each row, not the per-row instruction stream.
+    pub fn sgemm_axpy(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32]) {
+        let GemmSpec { m, k, n, ta, tb, alpha, beta } = spec;
+        let a_owned: Vec<f32>;
+        let a = match ta {
+            Trans::No => a,
+            Trans::Yes => {
+                let mut t = vec![0.0f32; m * k];
+                for r in 0..k {
+                    for cix in 0..m {
+                        t[cix * k + r] = a[r * m + cix];
+                    }
+                }
+                a_owned = t;
+                &a_owned[..]
+            }
+        };
+        match tb {
+            Trans::No => {
+                for i in 0..m {
+                    let c_row = &mut c[i * n..(i + 1) * n];
+                    if beta == 0.0 {
+                        c_row.fill(0.0);
+                    } else {
+                        for v in c_row.iter_mut() {
+                            *v *= beta;
+                        }
+                    }
+                    let a_row = &a[i * k..(i + 1) * k];
+                    for (l, &aval) in a_row.iter().enumerate() {
+                        let s = alpha * aval;
+                        if s == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[l * n..(l + 1) * n];
+                        for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                            *cv += s * bv;
+                        }
+                    }
+                }
+            }
+            Trans::Yes => {
+                for i in 0..m {
+                    let c_row = &mut c[i * n..(i + 1) * n];
+                    let a_row = &a[i * k..(i + 1) * k];
+                    for (j, cv) in c_row.iter_mut().enumerate() {
+                        let b_row = &b[j * k..(j + 1) * k];
+                        let mut acc = 0.0f32;
+                        for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                            acc += av * bv;
+                        }
+                        *cv = alpha * acc + if beta == 0.0 { 0.0 } else { beta * *cv };
+                    }
+                }
+            }
+        }
+    }
+
+    /// The old `sgemm_serial`: naive `i/j/l` triple loop, per-element
+    /// closure indexing. This ran once per attention head pre-PR.
+    pub fn sgemm_naive(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32]) {
+        let GemmSpec { m, k, n, ta, tb, alpha, beta } = spec;
+        let at = |i: usize, l: usize| -> f32 {
+            match ta {
+                Trans::No => a[i * k + l],
+                Trans::Yes => a[l * m + i],
+            }
+        };
+        let bt = |l: usize, j: usize| -> f32 {
+            match tb {
+                Trans::No => b[l * n + j],
+                Trans::Yes => b[j * k + l],
+            }
+        };
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for l in 0..k {
+                    acc += at(i, l) * bt(l, j);
+                }
+                let prev = c[i * n + j];
+                c[i * n + j] = alpha * acc + if beta == 0.0 { 0.0 } else { beta * prev };
+            }
+        }
+    }
+
+    /// The old `batched_sgemm`: the naive triple loop for every head.
+    pub fn batched_naive(batch: usize, spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32]) {
+        let (sa, sb, sc) = (spec.m * spec.k, spec.k * spec.n, spec.m * spec.n);
+        for i in 0..batch {
+            sgemm_naive(
+                spec,
+                &a[i * sa..(i + 1) * sa],
+                &b[i * sb..(i + 1) * sb],
+                &mut c[i * sc..(i + 1) * sc],
+            );
+        }
+    }
+}
+
+/// One benchmarked problem: a single GEMM (`batch == 1`) or a
+/// strided-batched one (the attention regime).
+struct Case {
+    label: &'static str,
+    family: &'static str,
+    batch: usize,
+    spec: GemmSpec,
+}
+
+impl Case {
+    fn nn(label: &'static str, m: usize, k: usize, n: usize) -> Self {
+        Case { label, family: "nn", batch: 1, spec: GemmSpec::nn(m, k, n) }
+    }
+
+    fn batched(label: &'static str, batch: usize, spec: GemmSpec) -> Self {
+        Case { label, family: "batched", batch, spec }
+    }
+
+    fn total_flops(&self) -> u64 {
+        self.batch as u64 * self.spec.flops()
+    }
+}
+
+/// BERT-base constants of the sweep.
+const HIDDEN: usize = 768;
+const FFN: usize = 3072;
+const HEADS: usize = 12;
+const HEAD_DIM: usize = 64;
+
+fn sweep_cases() -> Vec<Case> {
+    vec![
+        // Projections (tokens × hidden × hidden), tokens = batch·seq.
+        Case::nn("qkv proj, b1 s10", 10, HIDDEN, HIDDEN),
+        Case::nn("qkv proj, b1 s40", 40, HIDDEN, HIDDEN),
+        Case::nn("qkv proj, b1 s100", 100, HIDDEN, HIDDEN),
+        Case::nn("qkv proj, b1 s500", 500, HIDDEN, HIDDEN),
+        Case::nn("qkv proj, b20 s100", 2000, HIDDEN, HIDDEN),
+        // FFN up/down projections.
+        Case::nn("ffn1, b1 s10", 10, HIDDEN, FFN),
+        Case::nn("ffn1, b1 s100", 100, HIDDEN, FFN),
+        Case::nn("ffn1, b1 s500", 500, HIDDEN, FFN),
+        Case::nn("ffn1, b20 s100", 2000, HIDDEN, FFN),
+        Case::nn("ffn2, b1 s100", 100, FFN, HIDDEN),
+        Case::nn("ffn2, b1 s500", 500, FFN, HIDDEN),
+        Case::nn("ffn2, b20 s100", 2000, FFN, HIDDEN),
+        // Decoder-style thin rows.
+        Case::nn("decoder token step", 1, 1024, 1024),
+        // Attention score product q·kᵀ: batch·heads × (seq, 64, seq).
+        Case::batched("scores, b1 s10", HEADS, GemmSpec::nt(10, HEAD_DIM, 10)),
+        Case::batched("scores, b1 s100", HEADS, GemmSpec::nt(100, HEAD_DIM, 100)),
+        Case::batched("scores, b1 s500", HEADS, GemmSpec::nt(500, HEAD_DIM, 500)),
+        Case::batched("scores, b20 s100", 20 * HEADS, GemmSpec::nt(100, HEAD_DIM, 100)),
+        // Attention context product probs·v: batch·heads × (seq, seq, 64).
+        Case::batched("context, b1 s10", HEADS, GemmSpec::nn(10, 10, HEAD_DIM)),
+        Case::batched("context, b1 s100", HEADS, GemmSpec::nn(100, 100, HEAD_DIM)),
+        Case::batched("context, b1 s500", HEADS, GemmSpec::nn(500, 500, HEAD_DIM)),
+        Case::batched("context, b20 s100", 20 * HEADS, GemmSpec::nn(100, 100, HEAD_DIM)),
+    ]
+}
+
+fn smoke_cases() -> Vec<Case> {
+    let mut v = vec![
+        Case::nn("smoke nn", 13, 27, 9),
+        Case::nn("smoke thin m=1", 1, 64, 48),
+        Case::batched("smoke batched nt", 3, GemmSpec::nt(7, 16, 11)),
+        Case::batched("smoke batched nn", 4, GemmSpec::nn(9, 9, 16)),
+    ];
+    // All four transpose layouts with alpha/beta in play.
+    for (ta, tb, label) in [
+        (Trans::No, Trans::No, "smoke NN αβ"),
+        (Trans::No, Trans::Yes, "smoke NT αβ"),
+        (Trans::Yes, Trans::No, "smoke TN αβ"),
+        (Trans::Yes, Trans::Yes, "smoke TT αβ"),
+    ] {
+        let spec = GemmSpec { m: 11, k: 19, n: 13, ta, tb, alpha: 0.75, beta: 0.0 };
+        v.push(Case { label, family: "nn", batch: 1, spec });
+    }
+    v
+}
+
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    // Small integer-ish values keep float error far below the tolerance.
+    (0..len)
+        .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(seed)) % 17) as f32 - 8.0)
+        .collect()
+}
+
+/// Min-of-reps wall time of `f`, with the rep count adapted so cheap
+/// shapes get many reps and the multi-second naive references get one.
+fn time_min(mut f: impl FnMut(), budget_secs: f64) -> f64 {
+    let t0 = Instant::now();
+    f();
+    let first = t0.elapsed().as_secs_f64().max(1e-9);
+    let reps = ((budget_secs / first) as usize).clamp(1, 200);
+    let mut best = first;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64().max(1e-9));
+    }
+    best
+}
+
+fn max_rel_err(got: &[f32], want: &[f32]) -> f64 {
+    got.iter()
+        .zip(want.iter())
+        .map(|(g, w)| ((g - w).abs() / w.abs().max(1.0)) as f64)
+        .fold(0.0, f64::max)
+}
+
+#[derive(Serialize)]
+struct Entry {
+    label: String,
+    family: String,
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    flops: u64,
+    new_gflops: f64,
+    ref_gflops: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    threads: usize,
+    cases: usize,
+    geomean_speedup: f64,
+    geomean_nn: f64,
+    geomean_batched: f64,
+    entries: Vec<Entry>,
+}
+
+fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn run_case(case: &Case, timed: bool) -> Entry {
+    let spec = case.spec;
+    let a = fill(1, case.batch * spec.m * spec.k);
+    let b = fill(2, case.batch * spec.k * spec.n);
+    let mut c_new = vec![f32::NAN; case.batch * spec.m * spec.n];
+    let mut c_ref = vec![f32::NAN; case.batch * spec.m * spec.n];
+
+    let run_new = |c: &mut [f32]| {
+        if case.batch == 1 {
+            sgemm(spec, &a, &b, c);
+        } else {
+            batched_sgemm(case.batch, spec, &a, &b, c);
+        }
+    };
+    let run_ref = |c: &mut [f32]| {
+        if case.batch == 1 {
+            reference::sgemm_axpy(spec, &a, &b, c);
+        } else {
+            reference::batched_naive(case.batch, spec, &a, &b, c);
+        }
+    };
+
+    run_new(&mut c_new);
+    run_ref(&mut c_ref);
+    let err = max_rel_err(&c_new, &c_ref);
+    assert!(err <= 1e-3, "{}: packed engine diverges from reference ({err:.2e})", case.label);
+
+    let flops = case.total_flops();
+    let (new_gflops, ref_gflops) = if timed {
+        let t_new = time_min(|| run_new(&mut c_new), 0.15);
+        let t_ref = time_min(|| run_ref(&mut c_ref), 0.15);
+        (flops as f64 / t_new / 1e9, flops as f64 / t_ref / 1e9)
+    } else {
+        (0.0, 0.0)
+    };
+    Entry {
+        label: case.label.to_string(),
+        family: case.family.to_string(),
+        batch: case.batch,
+        m: spec.m,
+        k: spec.k,
+        n: spec.n,
+        flops,
+        new_gflops,
+        ref_gflops,
+        speedup: if timed { new_gflops / ref_gflops } else { 1.0 },
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        for case in smoke_cases() {
+            let e = run_case(&case, false);
+            println!("smoke ok: {} ({}x{}x{}, batch {})", e.label, e.m, e.k, e.n, e.batch);
+        }
+        println!("gemm_microbench --smoke: all correctness checks passed");
+        return;
+    }
+
+    let cases = sweep_cases();
+    let entries: Vec<Entry> = cases
+        .iter()
+        .map(|case| {
+            let e = run_case(case, true);
+            println!(
+                "{:24} {:9.2} GFLOP/s vs {:7.2} reference  ({:5.2}x)",
+                e.label, e.new_gflops, e.ref_gflops, e.speedup
+            );
+            e
+        })
+        .collect();
+
+    let all: Vec<f64> = entries.iter().map(|e| e.speedup).collect();
+    let nn: Vec<f64> = entries.iter().filter(|e| e.family == "nn").map(|e| e.speedup).collect();
+    let batched: Vec<f64> =
+        entries.iter().filter(|e| e.family == "batched").map(|e| e.speedup).collect();
+    let report = Report {
+        bench: "gemm_microbench".to_string(),
+        threads: std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1),
+        cases: entries.len(),
+        geomean_speedup: geomean(&all),
+        geomean_nn: geomean(&nn),
+        geomean_batched: geomean(&batched),
+        entries,
+    };
+
+    let rows: Vec<Vec<String>> = report
+        .entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.label.to_string(),
+                format!("{}×({}, {}, {})", e.batch, e.m, e.k, e.n),
+                format!("{:.2}", e.ref_gflops),
+                format!("{:.2}", e.new_gflops),
+                format!("{:.2}x", e.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        "GEMM microbench: packed engine vs pre-PR reference",
+        &["shape", "batch×(m, k, n)", "ref GFLOP/s", "new GFLOP/s", "speedup"],
+        &rows,
+    );
+    println!(
+        "\ngeomean speedup: {:.2}x (nn {:.2}x, batched {:.2}x) on {} thread(s)",
+        report.geomean_speedup, report.geomean_nn, report.geomean_batched, report.threads
+    );
+
+    let mut md = String::new();
+    let _ = writeln!(md, "# GEMM microbench — packed-panel engine vs pre-PR reference\n");
+    let _ = writeln!(
+        md,
+        "BERT-base shape sweep (hidden {HIDDEN}, FFN {FFN}, {HEADS} heads × {HEAD_DIM});"
+    );
+    let _ = writeln!(md, "reference = the pre-PR `sgemm` axpy row-sweep (single GEMMs) and the");
+    let _ = writeln!(
+        md,
+        "per-head naive triple loop (batched GEMMs). min-of-reps timing, {} thread(s).\n",
+        report.threads
+    );
+    let _ = writeln!(md, "| shape | batch×(m, k, n) | ref GFLOP/s | new GFLOP/s | speedup |");
+    let _ = writeln!(md, "|---|---|---|---|---|");
+    for r in &rows {
+        let _ = writeln!(md, "| {} |", r.join(" | "));
+    }
+    let _ = writeln!(
+        md,
+        "\n**Geomean speedup: {:.2}x** — nn family {:.2}x, batched (attention) family {:.2}x.",
+        report.geomean_speedup, report.geomean_nn, report.geomean_batched
+    );
+    let _ = writeln!(md, "\nMachine-readable trajectory: `BENCH_gemm.json` at the repo root.");
+    std::fs::write("results/gemm_microbench.md", md).expect("write results/gemm_microbench.md");
+
+    let json = serde_json::to_string(&report).expect("serialize BENCH_gemm.json");
+    std::fs::write("BENCH_gemm.json", json).expect("write BENCH_gemm.json");
+    println!("\nwrote results/gemm_microbench.md and BENCH_gemm.json");
+}

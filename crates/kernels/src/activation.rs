@@ -3,7 +3,7 @@
 
 use rayon::prelude::*;
 
-use crate::PAR_THRESHOLD;
+use crate::par_threshold;
 
 /// BERT's GELU (tanh approximation):
 /// `0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`.
@@ -16,7 +16,7 @@ pub fn gelu_scalar(x: f32) -> f32 {
 
 /// In-place GELU over a buffer.
 pub fn gelu(data: &mut [f32]) {
-    if data.len() >= PAR_THRESHOLD {
+    if data.len() >= par_threshold() {
         data.par_iter_mut().for_each(|v| *v = gelu_scalar(*v));
     } else {
         for v in data.iter_mut() {
@@ -34,7 +34,7 @@ pub fn add_bias(rows: usize, cols: usize, data: &mut [f32], bias: &[f32]) {
             *v += b;
         }
     };
-    if data.len() >= PAR_THRESHOLD {
+    if data.len() >= par_threshold() {
         data.par_chunks_mut(cols).for_each(body);
     } else {
         data.chunks_mut(cols).for_each(body);
@@ -50,7 +50,7 @@ pub fn add_bias_gelu(rows: usize, cols: usize, data: &mut [f32], bias: &[f32]) {
             *v = gelu_scalar(*v + b);
         }
     };
-    if data.len() >= PAR_THRESHOLD {
+    if data.len() >= par_threshold() {
         data.par_chunks_mut(cols).for_each(body);
     } else {
         data.chunks_mut(cols).for_each(body);
@@ -60,7 +60,7 @@ pub fn add_bias_gelu(rows: usize, cols: usize, data: &mut [f32], bias: &[f32]) {
 /// `dst += src` (residual connection), in place.
 pub fn residual_add(dst: &mut [f32], src: &[f32]) {
     assert_eq!(dst.len(), src.len(), "residual size mismatch");
-    if dst.len() >= PAR_THRESHOLD {
+    if dst.len() >= par_threshold() {
         dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, &s)| *d += s);
     } else {
         for (d, &s) in dst.iter_mut().zip(src.iter()) {
@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn parallel_paths_match_serial() {
-        let n = PAR_THRESHOLD + 100; // force the rayon branch
+        let n = crate::par_threshold() + 100; // force the rayon branch
         let src: Vec<f32> = (0..n).map(|i| ((i * 7) % 41) as f32 * 0.1 - 2.0).collect();
         let mut par = src.clone();
         gelu(&mut par);

@@ -4,7 +4,7 @@
 use rayon::prelude::*;
 
 use crate::layernorm::layer_norm;
-use crate::PAR_THRESHOLD;
+use crate::par_threshold;
 
 /// Fused `AddBias + SplitHeads`: `dst[b,h,s,d] = src[b,s,h·d] + bias[h·d]`.
 ///
@@ -34,7 +34,7 @@ pub fn add_bias_split_heads(
             *d = src[src_off + i] + bias[bias_off + i];
         }
     };
-    if n >= PAR_THRESHOLD {
+    if n >= par_threshold() {
         dst.par_chunks_mut(dim).enumerate().for_each(body);
     } else {
         dst.chunks_mut(dim).enumerate().for_each(body);
@@ -66,7 +66,7 @@ pub fn add_bias_residual_layer_norm(
             *o = xv + rv + bv;
         }
     };
-    if x.len() >= PAR_THRESHOLD {
+    if x.len() >= par_threshold() {
         out.par_chunks_mut(hidden)
             .zip(x.par_chunks(hidden))
             .zip(residual.par_chunks(hidden))
@@ -128,7 +128,7 @@ mod tests {
 
     #[test]
     fn large_parallel_path_is_consistent() {
-        let (b, s, h, d) = (4, 32, 8, 16); // > PAR_THRESHOLD
+        let (b, s, h, d) = (4, 32, 8, 16); // > default par_threshold()
         let src: Vec<f32> = (0..b * s * h * d).map(|i| ((i * 3) % 101) as f32).collect();
         let bias = vec![1.0f32; h * d];
         let mut out = vec![0.0; src.len()];

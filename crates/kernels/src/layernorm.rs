@@ -10,7 +10,7 @@
 
 use rayon::prelude::*;
 
-use crate::PAR_THRESHOLD;
+use crate::par_threshold;
 
 /// One-pass LayerNorm over the last dimension of `[rows, hidden]`:
 /// `out = (x − μ) / √(σ² + eps) · γ + β`.
@@ -47,7 +47,7 @@ pub fn layer_norm(
             *o = (v - mean) * rstd * g + b;
         }
     };
-    if x.len() >= PAR_THRESHOLD {
+    if x.len() >= par_threshold() {
         x.par_chunks(hidden).zip(out.par_chunks_mut(hidden)).for_each(body);
     } else {
         x.chunks(hidden).zip(out.chunks_mut(hidden)).for_each(body);
@@ -151,7 +151,7 @@ mod tests {
 
     #[test]
     fn parallel_path_matches_serial() {
-        let (rows, hidden) = (300, 128); // exceeds PAR_THRESHOLD
+        let (rows, hidden) = (300, 128); // exceeds the default par_threshold()
         let x: Vec<f32> = (0..rows * hidden).map(|i| ((i * 11) % 31) as f32 * 0.2).collect();
         let (gamma, beta) = gamma_beta(hidden);
         let mut par = vec![0.0; rows * hidden];

@@ -27,6 +27,37 @@ pub use layernorm::{layer_norm, layer_norm_two_pass};
 pub use softmax::{scale_mask_softmax, softmax_rows};
 pub use transpose::{merge_heads, split_heads};
 
-/// Parallelism threshold: below this many total elements, rayon dispatch
-/// costs more than it saves and kernels run serially.
-pub(crate) const PAR_THRESHOLD: usize = 1 << 14;
+/// Default parallelism threshold: below this many total elements, rayon
+/// dispatch costs more than it saves and kernels run serially.
+pub const DEFAULT_PAR_THRESHOLD: usize = 1 << 14;
+
+static PAR_THRESHOLD_CELL: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
+/// The serial/parallel crossover in total elements, read once per process.
+///
+/// Defaults to [`DEFAULT_PAR_THRESHOLD`]; override with the
+/// `TT_PAR_THRESHOLD` environment variable to tune the crossover for a
+/// machine's core count and dispatch cost (higher = more work stays
+/// serial). Invalid or empty values fall back to the default.
+pub fn par_threshold() -> usize {
+    *PAR_THRESHOLD_CELL.get_or_init(|| {
+        std::env::var("TT_PAR_THRESHOLD")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_PAR_THRESHOLD)
+    })
+}
+
+#[cfg(test)]
+mod par_threshold_tests {
+    use super::*;
+
+    #[test]
+    fn threshold_resolves_to_a_sane_value() {
+        // The env var is process-global, so only assert consistency: the
+        // cell latches one value and returns it forever after.
+        let first = par_threshold();
+        assert!(first > 0);
+        assert_eq!(first, par_threshold());
+    }
+}

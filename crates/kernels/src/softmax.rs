@@ -3,7 +3,7 @@
 
 use rayon::prelude::*;
 
-use crate::PAR_THRESHOLD;
+use crate::par_threshold;
 
 /// Numerically-stable softmax over each row of a `[rows, row_len]` matrix,
 /// in place.
@@ -33,7 +33,7 @@ pub fn softmax_rows(rows: usize, row_len: usize, data: &mut [f32]) {
             }
         }
     };
-    if data.len() >= PAR_THRESHOLD {
+    if data.len() >= par_threshold() {
         data.par_chunks_mut(row_len).for_each(body);
     } else {
         data.chunks_mut(row_len).for_each(body);
@@ -93,7 +93,7 @@ pub fn scale_mask_softmax(
             }
         }
     };
-    if scores.len() >= PAR_THRESHOLD {
+    if scores.len() >= par_threshold() {
         scores.par_chunks_mut(row_len).enumerate().for_each(body);
     } else {
         scores.chunks_mut(row_len).enumerate().for_each(body);
@@ -183,7 +183,7 @@ mod tests {
 
     #[test]
     fn large_input_takes_parallel_path() {
-        // Exceeds PAR_THRESHOLD; verify parallel path agrees with serial.
+        // Exceeds the default par_threshold(); verify parallel path agrees with serial.
         let rows = 512;
         let len = 64;
         let data: Vec<f32> = (0..rows * len).map(|i| ((i * 31) % 17) as f32 * 0.1).collect();

@@ -8,7 +8,7 @@
 
 use rayon::prelude::*;
 
-use crate::PAR_THRESHOLD;
+use crate::par_threshold;
 
 /// `[batch, seq, heads·dim] → [batch, heads, seq, dim]`.
 pub fn split_heads(
@@ -30,7 +30,7 @@ pub fn split_heads(
         let src_off = ((b * seq + s) * heads + h) * dim;
         dst_row.copy_from_slice(&src[src_off..src_off + dim]);
     };
-    if n >= PAR_THRESHOLD {
+    if n >= par_threshold() {
         dst.par_chunks_mut(dim).enumerate().for_each(body);
     } else {
         dst.chunks_mut(dim).enumerate().for_each(body);
@@ -58,7 +58,7 @@ pub fn merge_heads(
         let src_off = ((b * heads + h) * seq + s) * dim;
         dst_row.copy_from_slice(&src[src_off..src_off + dim]);
     };
-    if n >= PAR_THRESHOLD {
+    if n >= par_threshold() {
         dst.par_chunks_mut(dim).enumerate().for_each(body);
     } else {
         dst.chunks_mut(dim).enumerate().for_each(body);
@@ -96,7 +96,7 @@ mod tests {
 
     #[test]
     fn split_merge_round_trip_large_parallel() {
-        let (b, s, h, d) = (4, 40, 12, 64); // > PAR_THRESHOLD elements
+        let (b, s, h, d) = (4, 40, 12, 64); // > default par_threshold() elements
         let src: Vec<f32> = (0..b * s * h * d).map(|i| ((i * 7) % 1001) as f32).collect();
         let mut mid = vec![0.0; src.len()];
         let mut back = vec![0.0; src.len()];

@@ -158,7 +158,9 @@ pub fn layer_forward(
     let key = proj(lw.wk, lw.bk, x);
     let v = proj(lw.wv, lw.bv, x);
 
-    // scores[b,h,s,s] = q · kᵀ
+    // scores[b,h,s,s] = q · kᵀ. Batched over batch·heads small matrices;
+    // batched_sgemm picks per-head vs intra-GEMM parallelism from this
+    // shape, so keep the batch dimension maximal (all heads in one call).
     let mut scores = vec![0.0f32; batch * heads * seq * seq];
     batched_sgemm(batch * heads, GemmSpec::nt(seq, d, seq), &q, &key, &mut scores);
     k::scale_mask_softmax(batch, heads, seq, seq, dims.scale(), mask, &mut scores);

@@ -204,6 +204,8 @@ impl Gpt {
             );
             let proj = |w: usize, b: usize, src: &[f32]| -> Vec<f32> {
                 let mut out = vec![0.0f32; h];
+                // m = 1: sgemm routes this to its unpacked gemv-style thin
+                // path, streaming the weight matrix exactly once.
                 sgemm(GemmSpec::nn(1, h, h), src, self.store.get(w).as_slice(), &mut out);
                 k::add_bias(1, h, &mut out, self.store.get(b).as_slice());
                 out

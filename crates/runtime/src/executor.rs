@@ -19,7 +19,7 @@ use tt_graph::{lifetime::activation_lifetimes, Graph, Node, OpKind, TensorClass,
 use tt_kernels as k;
 use tt_model::bound::{BoundGraph, InputBinding};
 use tt_model::weights::WeightStore;
-use tt_telemetry::{Histogram, Registry, Stopwatch};
+use tt_telemetry::{Counter, Histogram, Registry, Stopwatch};
 use tt_tensor::storage::{Arena, Region};
 use tt_tensor::{batched_sgemm, sgemm, GemmSpec, Tensor, Trans};
 
@@ -72,11 +72,16 @@ pub fn op_index(kind: &OpKind) -> usize {
 #[derive(Debug, Clone)]
 pub struct ExecutorMetrics {
     op_ns: Vec<Arc<Histogram>>,
+    gemm_mflops: Arc<Histogram>,
+    gemm_flops_total: Arc<Counter>,
 }
 
 impl ExecutorMetrics {
     /// Register one `executor_op_nanoseconds{op=...}` histogram per
-    /// operator class in `registry`.
+    /// operator class in `registry`, plus the GEMM throughput pair:
+    /// `executor_gemm_mflops` (achieved MFLOP/s per MatMul node — the
+    /// utilization the paper's Table 2 GEMM-dominance argument rests on)
+    /// and `executor_gemm_flops_total`.
     pub fn register(registry: &Registry) -> Self {
         let op_ns = OP_NAMES
             .iter()
@@ -88,13 +93,47 @@ impl ExecutorMetrics {
                 )
             })
             .collect();
-        ExecutorMetrics { op_ns }
+        let gemm_mflops = registry.histogram(
+            "executor_gemm_mflops",
+            "Achieved MFLOP/s per executed MatMul node (2mnk / wall time)",
+            &[],
+        );
+        let gemm_flops_total = registry.counter(
+            "executor_gemm_flops_total",
+            "Total floating point operations issued through MatMul nodes",
+            &[],
+        );
+        ExecutorMetrics { op_ns, gemm_mflops, gemm_flops_total }
     }
 
     #[inline]
     fn observe(&self, kind: &OpKind, nanos: u64) {
         self.op_ns[op_index(kind)].record(nanos);
     }
+
+    #[inline]
+    fn observe_gemm(&self, flops: u64, nanos: u64) {
+        self.gemm_flops_total.add(flops);
+        // flops/ns = GFLOP/s; ×1000 for MFLOP/s resolution in the log₂
+        // histogram buckets.
+        self.gemm_mflops.record(flops.saturating_mul(1000) / nanos.max(1));
+    }
+}
+
+/// Flops of one graph node if it is a MatMul (2·batch·m·n·k), mirroring the
+/// shape derivation in [`dispatch`]; `None` for every other op.
+pub fn matmul_flops(graph: &Graph, node: &Node) -> Option<u64> {
+    let OpKind::MatMul { trans_b, .. } = &node.kind else {
+        return None;
+    };
+    let a = &graph.tensors[node.inputs[0]].shape;
+    let b = &graph.tensors[node.inputs[1]].shape;
+    let (batch, m, k, n) = if b.len() == 2 {
+        (1, a[..a.len() - 1].iter().product::<usize>(), a[a.len() - 1], b[1])
+    } else {
+        (a[0] * a[1], a[2], a[3], if *trans_b { b[2] } else { b[3] })
+    };
+    Some(2 * batch as u64 * m as u64 * k as u64 * n as u64)
 }
 
 /// Result of one executed inference.
@@ -227,7 +266,11 @@ pub fn execute_with(
             dispatch(graph, node, &ins, out);
         }
         if let (Some(m), Some(w)) = (metrics, watch) {
-            m.observe(&node.kind, w.elapsed_nanos());
+            let nanos = w.elapsed_nanos();
+            m.observe(&node.kind, nanos);
+            if let Some(flops) = matmul_flops(graph, node) {
+                m.observe_gemm(flops, nanos);
+            }
         }
     }
 

@@ -1,11 +1,33 @@
-//! Cache-blocked, rayon-parallel single-precision matrix multiply.
+//! Packed-panel, register-blocked single-precision matrix multiply.
 //!
 //! This is the cuBLAS `sgemm` stand-in of the reproduction: every GEMM in the
 //! transformer graph (QKV projections, attention score/context products, FFN
 //! layers, output projections) funnels through [`sgemm`] or
-//! [`batched_sgemm`]. The implementation favours the two layouts transformer
-//! inference actually hits — `NN` (activations × weights) and `NT`
-//! (query × keyᵀ) — with specialized inner loops that auto-vectorize.
+//! [`batched_sgemm`]. Per the paper's Table 2, GEMM is 61–87% of BERT
+//! inference time, so this file sets the throughput ceiling for every figure
+//! and serving bench layered above it.
+//!
+//! The engine is a BLIS-style blocked loop nest:
+//!
+//! ```text
+//! for jc in N by NC:                 // B macro-panel column block
+//!   for pc in K by KC:               // depth panel
+//!     pack B[pc..pc+KC, jc..jc+NC]   // → KC×NC panel, NR-wide strips
+//!     for ic in M by MC:             // parallel over row blocks of C
+//!       pack A[ic..ic+MC, pc..pc+KC] // → MC×KC panel, MR-tall strips
+//!       for jr in NC by NR:          // macro-kernel over the panel grid
+//!         for ir in MC by MR:
+//!           micro-kernel: MR×NR register tile over the shared KC depth
+//! ```
+//!
+//! Packing is the single place that understands the four `Trans` layouts:
+//! the micro-kernel always reads two contiguous, zero-padded panels, so
+//! partial tiles need no edge variants and the inner loop auto-vectorizes.
+//! Each packed A element is reused NR times and each packed B element MR
+//! times straight from registers; the KC×NR B strip stays L1-resident while
+//! the MC×KC A panel streams from L2. Parallelism (rayon) splits the row
+//! dimension of C across macro-blocks; [`batched_sgemm`] additionally picks
+//! between per-head parallelism and intra-GEMM parallelism by problem size.
 
 use rayon::prelude::*;
 
@@ -67,141 +89,372 @@ impl GemmSpec {
     }
 }
 
-/// Number of `C` rows each rayon task owns. Large enough to amortize task
-/// dispatch, small enough to load-balance BERT-sized shapes (m up to a few
-/// thousand).
-const ROW_BLOCK: usize = 32;
+/// Rows of the register micro-tile. Sized with [`NR`] for the baseline
+/// x86-64 target (SSE2, 16 xmm registers): the 4×8 accumulator block is 8
+/// vector registers, leaving room for the A broadcasts and the B row. On an
+/// AVX2 `target-cpu=native` build 8×8 or 6×16 would be the natural choice.
+pub const MR: usize = 4;
 
-/// `C = alpha * op(A) * op(B) + beta * C`, row-major, parallel over row
-/// blocks of `C`.
+/// Columns of the register micro-tile (two 4-wide vectors per C row).
+pub const NR: usize = 8;
+
+/// Rows of A packed per macro-panel: MC×KC·4B = 128 KiB, sized to stay
+/// L2-resident while the macro-kernel sweeps it once per B strip.
+const MC: usize = 128;
+
+/// Depth of one packed panel: the KC×NR B strip is 8 KiB (L1-resident),
+/// and KC bounds how much of the beta-handling runs per C tile (the first
+/// depth panel applies the caller's beta, later panels accumulate).
+const KC: usize = 256;
+
+/// Columns of B packed per macro-panel: KC×NC·4B = 512 KiB, the working
+/// set shared by every row-block task of one depth panel.
+const NC: usize = 512;
+
+/// Below this many flops a GEMM runs single-threaded: one MC row block
+/// cannot amortize thread dispatch on shapes this small.
+const PAR_MIN_FLOPS: u64 = 1 << 20;
+
+/// At or below this many `op(A)` rows the packed engine loses: packing B
+/// copies k·n elements to feed only 2·m·k·n flops, so thin "gemv-shaped"
+/// multiplies (decoder single-token steps) use an unpacked row kernel.
+const SMALL_M: usize = 4;
+
+/// `C = alpha * op(A) * op(B) + beta * C`, row-major, parallel across row
+/// macro-blocks of `C` when the problem is large enough to amortize it.
 ///
 /// Panics if the slice lengths do not match the spec — shape errors here are
 /// always runtime-construction bugs, not data-dependent conditions.
 pub fn sgemm(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32]) {
-    let GemmSpec { m, k, n, ta, tb, alpha, beta } = spec;
-    assert_eq!(a.len(), m * k, "A has wrong length for {spec:?}");
-    assert_eq!(b.len(), k * n, "B has wrong length for {spec:?}");
-    assert_eq!(c.len(), m * n, "C has wrong length for {spec:?}");
-    if m == 0 || n == 0 {
-        return;
-    }
+    check_shapes(spec, a, b, c);
+    run(spec, a, b, c, true);
+}
 
-    // TT and TN reduce to NT / NN on a transposed copy of A. A is m×k at
-    // most (hidden × 4·hidden for FFN), so the copy is cheap relative to the
-    // O(mnk) multiply, and it keeps the hot inner loops contiguous.
-    let a_owned: Vec<f32>;
-    let (a, ta) = match ta {
-        Trans::No => (a, Trans::No),
-        Trans::Yes => {
-            // stored A is k-rows × m-cols; produce m×k.
-            let mut t = vec![0.0f32; m * k];
-            for r in 0..k {
-                for cix in 0..m {
-                    t[cix * k + r] = a[r * m + cix];
-                }
-            }
-            a_owned = t;
-            (&a_owned[..], Trans::No)
-        }
-    };
-    debug_assert_eq!(ta, Trans::No);
-
-    c.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(|(blk, c_blk)| {
-        let row0 = blk * ROW_BLOCK;
-        let rows = c_blk.len() / n;
-        match tb {
-            Trans::No => {
-                // C[i][j] = Σ_l A[i][l] · B[l][j]; axpy over rows of B.
-                for (ri, c_row) in c_blk.chunks_exact_mut(n).enumerate() {
-                    let i = row0 + ri;
-                    if beta == 0.0 {
-                        c_row.fill(0.0);
-                    } else {
-                        for v in c_row.iter_mut() {
-                            *v *= beta;
-                        }
-                    }
-                    let a_row = &a[i * k..(i + 1) * k];
-                    for (l, &aval) in a_row.iter().enumerate() {
-                        let s = alpha * aval;
-                        if s == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b[l * n..(l + 1) * n];
-                        for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                            *cv += s * bv;
-                        }
-                    }
-                }
-            }
-            Trans::Yes => {
-                // C[i][j] = Σ_l A[i][l] · B[j][l]; dot products of rows.
-                for (ri, c_row) in c_blk.chunks_exact_mut(n).enumerate() {
-                    let i = row0 + ri;
-                    let _ = rows;
-                    let a_row = &a[i * k..(i + 1) * k];
-                    for (j, cv) in c_row.iter_mut().enumerate() {
-                        let b_row = &b[j * k..(j + 1) * k];
-                        let mut acc = 0.0f32;
-                        for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                            acc += av * bv;
-                        }
-                        *cv = alpha * acc + if beta == 0.0 { 0.0 } else { beta * *cv };
-                    }
-                }
-            }
-        }
-    });
+/// Single-threaded [`sgemm`]: same packed engine, no rayon dispatch. Used
+/// inside [`batched_sgemm`] tasks (avoids nested parallelism) and exported
+/// for deterministic microbenches.
+pub fn sgemm_serial(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32]) {
+    check_shapes(spec, a, b, c);
+    run(spec, a, b, c, false);
 }
 
 /// Batched GEMM: `batch` independent multiplies with identical specs, the
 /// operands laid out back to back. This is the cuBLAS strided-batched GEMM
 /// used for per-head attention products.
+///
+/// Strategy: many small matrices (the attention regime — dozens to hundreds
+/// of `seq×64`-ish heads) parallelize across the batch, one packed serial
+/// GEMM per head; few large matrices parallelize inside each GEMM instead,
+/// so a batch of 2 big FFN-shaped multiplies still uses every core.
 pub fn batched_sgemm(batch: usize, spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32]) {
     let (sa, sb, sc) = (spec.m * spec.k, spec.k * spec.n, spec.m * spec.n);
     assert_eq!(a.len(), batch * sa, "batched A has wrong length");
     assert_eq!(b.len(), batch * sb, "batched B has wrong length");
     assert_eq!(c.len(), batch * sc, "batched C has wrong length");
-    if batch == 0 {
+    if batch == 0 || sc == 0 {
         return;
     }
-    // Parallelism lives inside each sgemm already; for the small per-head
-    // matrices attention produces, parallelizing across the batch instead is
-    // the better split.
-    c.par_chunks_mut(sc).enumerate().for_each(|(i, c_i)| {
-        sgemm_serial(spec, &a[i * sa..(i + 1) * sa], &b[i * sb..(i + 1) * sb], c_i);
-    });
-}
-
-/// Serial GEMM used inside [`batched_sgemm`] tasks (avoids nested
-/// parallelism) and exported for deterministic microbenches.
-pub fn sgemm_serial(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32]) {
-    let GemmSpec { m, k, n, ta, tb, alpha, beta } = spec;
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), k * n);
-    assert_eq!(c.len(), m * n);
-    let at = |i: usize, l: usize| -> f32 {
-        match ta {
-            Trans::No => a[i * k + l],
-            Trans::Yes => a[l * m + i],
-        }
-    };
-    let bt = |l: usize, j: usize| -> f32 {
-        match tb {
-            Trans::No => b[l * n + j],
-            Trans::Yes => b[j * k + l],
-        }
-    };
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0f32;
-            for l in 0..k {
-                acc += at(i, l) * bt(l, j);
-            }
-            let prev = c[i * n + j];
-            c[i * n + j] = alpha * acc + if beta == 0.0 { 0.0 } else { beta * prev };
+    let threads = available_threads();
+    let per_head = threads > 1 && (batch >= threads || spec.flops() < PAR_MIN_FLOPS);
+    if per_head {
+        c.par_chunks_mut(sc).enumerate().for_each(|(i, c_i)| {
+            run(spec, &a[i * sa..(i + 1) * sa], &b[i * sb..(i + 1) * sb], c_i, false);
+        });
+    } else {
+        for (i, c_i) in c.chunks_mut(sc).enumerate() {
+            run(spec, &a[i * sa..(i + 1) * sa], &b[i * sb..(i + 1) * sb], c_i, true);
         }
     }
+}
+
+fn check_shapes(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), spec.m * spec.k, "A has wrong length for {spec:?}");
+    assert_eq!(b.len(), spec.k * spec.n, "B has wrong length for {spec:?}");
+    assert_eq!(c.len(), spec.m * spec.n, "C has wrong length for {spec:?}");
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Shape-checked entry: route to the degenerate, thin, or blocked kernel.
+fn run(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32], allow_par: bool) {
+    if spec.m == 0 || spec.n == 0 {
+        return;
+    }
+    if spec.k == 0 || spec.alpha == 0.0 {
+        scale_c(c, spec.beta);
+        return;
+    }
+    if spec.m <= SMALL_M {
+        small_m_kernel(spec, a, b, c);
+        return;
+    }
+    let par = allow_par && spec.flops() >= PAR_MIN_FLOPS && available_threads() > 1;
+    blocked(spec, a, b, c, par);
+}
+
+/// `C = beta * C` with the BLAS convention that beta = 0 overwrites even
+/// NaN/uninitialized contents.
+fn scale_c(c: &mut [f32], beta: f32) {
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for v in c.iter_mut() {
+            *v *= beta;
+        }
+    }
+}
+
+/// Thin-matrix kernel for `m ≤ SMALL_M`: B is streamed exactly once with no
+/// packing copy (a packed panel would double the memory traffic of what is
+/// essentially a row of gemv calls). Handles all four layouts; A access is
+/// strided for `ta = Yes` but A is only m×k elements here.
+fn small_m_kernel(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let GemmSpec { m, k, n, ta, tb, alpha, beta } = spec;
+    for i in 0..m {
+        let c_row = &mut c[i * n..(i + 1) * n];
+        scale_c(c_row, beta);
+        match tb {
+            Trans::No => {
+                // c_row += alpha * Σ_l A[i][l] · B[l][:] — axpy over B rows.
+                for l in 0..k {
+                    let aval = match ta {
+                        Trans::No => a[i * k + l],
+                        Trans::Yes => a[l * m + i],
+                    };
+                    let s = alpha * aval;
+                    if s == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[l * n..(l + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += s * bv;
+                    }
+                }
+            }
+            Trans::Yes => {
+                // c_row[j] += alpha * dot(A[i][:], B[j][:]).
+                for (j, cv) in c_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    match ta {
+                        Trans::No => {
+                            let a_row = &a[i * k..(i + 1) * k];
+                            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                                acc += av * bv;
+                            }
+                        }
+                        Trans::Yes => {
+                            for (l, &bv) in b_row.iter().enumerate() {
+                                acc += a[l * m + i] * bv;
+                            }
+                        }
+                    }
+                    *cv += alpha * acc;
+                }
+            }
+        }
+    }
+}
+
+/// The blocked engine: pack panels, sweep the macro-tile grid.
+fn blocked(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32], par: bool) {
+    let GemmSpec { m, k, n, ta, tb, alpha, beta } = spec;
+    let bp_len = KC.min(k) * NC.min(n).next_multiple_of(NR);
+    let mut bp = vec![0.0f32; bp_len];
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            // The first depth panel applies the caller's beta; subsequent
+            // panels accumulate on top of it.
+            let beta_eff = if pc == 0 { beta } else { 1.0 };
+            pack_b(&mut bp, b, k, n, tb, pc, kc, jc, nc);
+            let bp = &bp[..];
+
+            let row_block = |blk: usize, c_blk: &mut [f32]| {
+                let row0 = blk * MC;
+                let mc = c_blk.len() / n;
+                let mut ap = vec![0.0f32; mc.next_multiple_of(MR) * kc];
+                pack_a(&mut ap, a, m, k, ta, row0, mc, pc, kc);
+                macro_kernel(&ap, bp, c_blk, n, mc, nc, kc, jc, alpha, beta_eff);
+            };
+            if par {
+                c.par_chunks_mut(MC * n).enumerate().for_each(|(blk, c_blk)| {
+                    row_block(blk, c_blk);
+                });
+            } else {
+                for (blk, c_blk) in c.chunks_mut(MC * n).enumerate() {
+                    row_block(blk, c_blk);
+                }
+            }
+            pc += kc;
+        }
+        jc += nc;
+    }
+}
+
+/// Pack `A[row0..row0+mc, pc..pc+kc]` into MR-tall strips: strip `s` holds
+/// rows `row0 + s·MR ..`, laid out depth-major so the micro-kernel reads MR
+/// consecutive values per depth step. Rows past `mc` stay at the zero the
+/// fresh buffer was initialized with (tile padding).
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    ap: &mut [f32],
+    a: &[f32],
+    m: usize,
+    k: usize,
+    ta: Trans,
+    row0: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+) {
+    let strips = mc.div_ceil(MR);
+    for strip in 0..strips {
+        let dst = &mut ap[strip * MR * kc..(strip + 1) * MR * kc];
+        let i0 = row0 + strip * MR;
+        let rows = MR.min(row0 + mc - i0);
+        match ta {
+            Trans::No => {
+                // A is m×k row-major: contiguous reads per row, MR-strided
+                // writes into the strip.
+                for r in 0..rows {
+                    let src = &a[(i0 + r) * k + pc..(i0 + r) * k + pc + kc];
+                    for (l, &v) in src.iter().enumerate() {
+                        dst[l * MR + r] = v;
+                    }
+                }
+            }
+            Trans::Yes => {
+                // A is stored k×m: each depth step reads MR consecutive
+                // elements — both sides contiguous.
+                for l in 0..kc {
+                    let src = &a[(pc + l) * m + i0..(pc + l) * m + i0 + rows];
+                    dst[l * MR..l * MR + rows].copy_from_slice(src);
+                }
+            }
+        }
+    }
+}
+
+/// Pack `B[pc..pc+kc, jc..jc+nc]` into NR-wide strips: strip `s` holds
+/// columns `jc + s·NR ..`, depth-major. Every slot is written (the buffer is
+/// reused across panels), with columns past `nc` zero-padded.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    bp: &mut [f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    tb: Trans,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+) {
+    let strips = nc.div_ceil(NR);
+    for strip in 0..strips {
+        let dst = &mut bp[strip * NR * kc..(strip + 1) * NR * kc];
+        let j0 = jc + strip * NR;
+        let cols = NR.min(jc + nc - j0);
+        match tb {
+            Trans::No => {
+                // B is k×n row-major: NR consecutive elements per depth step.
+                for l in 0..kc {
+                    let d = &mut dst[l * NR..(l + 1) * NR];
+                    d[..cols].copy_from_slice(&b[(pc + l) * n + j0..(pc + l) * n + j0 + cols]);
+                    d[cols..].fill(0.0);
+                }
+            }
+            Trans::Yes => {
+                // B is stored n×k: contiguous reads per B row, NR-strided
+                // writes into the strip.
+                for jj in 0..NR {
+                    if jj < cols {
+                        let src = &b[(j0 + jj) * k + pc..(j0 + jj) * k + pc + kc];
+                        for (l, &v) in src.iter().enumerate() {
+                            dst[l * NR + jj] = v;
+                        }
+                    } else {
+                        for l in 0..kc {
+                            dst[l * NR + jj] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sweep the packed panels over one row macro-block of C: for every
+/// (NR-strip, MR-strip) pair run the register micro-kernel, then blend the
+/// tile into C with alpha/beta, clipping the zero-padded edge rows/columns.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    ap: &[f32],
+    bp: &[f32],
+    c_blk: &mut [f32],
+    n: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    jc: usize,
+    alpha: f32,
+    beta_eff: f32,
+) {
+    let m_strips = mc.div_ceil(MR);
+    let n_strips = nc.div_ceil(NR);
+    for sj in 0..n_strips {
+        let b_strip = &bp[sj * NR * kc..(sj + 1) * NR * kc];
+        let j0 = jc + sj * NR;
+        let cols = NR.min(jc + nc - j0);
+        for si in 0..m_strips {
+            let a_strip = &ap[si * MR * kc..(si + 1) * MR * kc];
+            let i0 = si * MR;
+            let rows = MR.min(mc - i0);
+            let acc = micro_kernel(kc, a_strip, b_strip);
+            for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                let c_row = &mut c_blk[(i0 + r) * n + j0..(i0 + r) * n + j0 + cols];
+                if beta_eff == 0.0 {
+                    for (cv, &av) in c_row.iter_mut().zip(acc_row.iter()) {
+                        *cv = alpha * av;
+                    }
+                } else if beta_eff == 1.0 {
+                    for (cv, &av) in c_row.iter_mut().zip(acc_row.iter()) {
+                        *cv += alpha * av;
+                    }
+                } else {
+                    for (cv, &av) in c_row.iter_mut().zip(acc_row.iter()) {
+                        *cv = alpha * av + beta_eff * *cv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The register tile: an MR×NR accumulator block updated with an outer
+/// product per depth step. Both panels are contiguous and zero-padded, so
+/// there are no edge branches and the fixed-size array arithmetic
+/// auto-vectorizes (two 4-wide vectors per C row on the SSE2 baseline).
+#[inline]
+fn micro_kernel(kc: usize, a_strip: &[f32], b_strip: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (av, bv) in a_strip.chunks_exact(MR).zip(b_strip.chunks_exact(NR)).take(kc) {
+        let av: &[f32; MR] = av.try_into().expect("MR-sized chunk");
+        let bv: &[f32; NR] = bv.try_into().expect("NR-sized chunk");
+        for (acc_row, &a_val) in acc.iter_mut().zip(av.iter()) {
+            for (acc_v, &b_val) in acc_row.iter_mut().zip(bv.iter()) {
+                *acc_v += a_val * b_val;
+            }
+        }
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -222,6 +475,14 @@ mod tests {
 
     fn seq(n: usize) -> Vec<f32> {
         (0..n).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect()
+    }
+
+    fn assert_close(got: &[f32], want: &[f32]) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            let tol = 1e-4 * w.abs().max(1.0);
+            assert!((g - w).abs() <= tol, "mismatch at {i}: {g} vs {w}");
+        }
     }
 
     #[test]
@@ -268,6 +529,51 @@ mod tests {
     }
 
     #[test]
+    fn tt_matches_naive() {
+        let (m, k, n) = (9, 6, 11);
+        let a_t = seq(k * m); // stored k×m
+        let b_t = seq(n * k); // stored n×k
+        let mut a = vec![0.0; m * k];
+        for i in 0..m {
+            for l in 0..k {
+                a[i * k + l] = a_t[l * m + i];
+            }
+        }
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for l in 0..k {
+                b[l * n + j] = b_t[j * k + l];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        let spec = GemmSpec { ta: Trans::Yes, tb: Trans::Yes, ..GemmSpec::nn(m, k, n) };
+        sgemm(spec, &a_t, &b_t, &mut c);
+        assert_eq!(c, naive(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn tile_boundary_shapes_match_naive() {
+        // Exercise every edge class: below one tile, exact multiples, one
+        // past a multiple, and depths straddling the KC panel boundary.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (MR, 3, NR),
+            (MR + 1, KC, NR + 1),
+            (MC, 5, NR * 2),
+            (MC + 3, KC + 7, NC.min(70) + 1),
+            (33, 2 * KC + 5, 17),
+            (SMALL_M, 40, 40),     // thin path
+            (SMALL_M + 1, 40, 40), // first blocked size
+        ] {
+            let a = seq(m * k);
+            let b = seq(k * n);
+            let mut c = vec![0.0; m * n];
+            sgemm(GemmSpec::nn(m, k, n), &a, &b, &mut c);
+            assert_close(&c, &naive(m, k, n, &a, &b));
+        }
+    }
+
+    #[test]
     fn alpha_beta_combine() {
         let (m, k, n) = (4, 3, 4);
         let a = seq(m * k);
@@ -281,13 +587,41 @@ mod tests {
     }
 
     #[test]
-    fn beta_zero_overwrites_garbage() {
-        let (m, k, n) = (3, 2, 3);
+    fn alpha_beta_combine_across_depth_panels() {
+        // k > KC: only the first depth panel may apply beta.
+        let (m, k, n) = (MR * 3, KC + 9, NR * 2);
         let a = seq(m * k);
         let b = seq(k * n);
-        let mut c = vec![f32::NAN; m * n];
-        sgemm(GemmSpec::nn(m, k, n), &a, &b, &mut c);
-        assert!(c.iter().all(|v| v.is_finite()), "beta=0 must ignore prior C, even NaN");
+        let mut c: Vec<f32> = (0..m * n).map(|i| (i % 5) as f32).collect();
+        let before = c.clone();
+        sgemm(GemmSpec::nn(m, k, n).with_alpha(0.5).with_beta(2.0), &a, &b, &mut c);
+        let base = naive(m, k, n, &a, &b);
+        for ((got, want), old) in c.iter().zip(base.iter()).zip(before.iter()) {
+            let expect = 0.5 * want + 2.0 * old;
+            let tol = 1e-4 * expect.abs().max(1.0);
+            assert!((got - expect).abs() <= tol, "{got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_garbage() {
+        for &(m, k, n) in &[(3, 2, 3), (MR + 2, KC + 1, NR + 3)] {
+            let a = seq(m * k);
+            let b = seq(k * n);
+            let mut c = vec![f32::NAN; m * n];
+            sgemm(GemmSpec::nn(m, k, n), &a, &b, &mut c);
+            assert!(c.iter().all(|v| v.is_finite()), "beta=0 must ignore prior C, even NaN");
+        }
+    }
+
+    #[test]
+    fn alpha_zero_only_scales_c() {
+        let (m, k, n) = (6, 8, 7);
+        let a = seq(m * k);
+        let b = seq(k * n);
+        let mut c = vec![3.0; m * n];
+        sgemm(GemmSpec::nn(m, k, n).with_alpha(0.0).with_beta(0.5), &a, &b, &mut c);
+        assert!(c.iter().all(|&v| (v - 1.5).abs() < 1e-6));
     }
 
     #[test]
@@ -325,10 +659,39 @@ mod tests {
     }
 
     #[test]
+    fn batched_large_per_gemm_path_matches() {
+        // Large per-head flops with a small batch takes the intra-GEMM
+        // parallelism branch; both branches must agree with serial.
+        let batch = 2;
+        let spec = GemmSpec::nn(96, 80, 96);
+        let a = seq(batch * spec.m * spec.k);
+        let b = seq(batch * spec.k * spec.n);
+        let mut c = vec![0.0; batch * spec.m * spec.n];
+        batched_sgemm(batch, spec, &a, &b, &mut c);
+        for i in 0..batch {
+            let mut want = vec![0.0; spec.m * spec.n];
+            sgemm_serial(
+                spec,
+                &a[i * spec.m * spec.k..(i + 1) * spec.m * spec.k],
+                &b[i * spec.k * spec.n..(i + 1) * spec.k * spec.n],
+                &mut want,
+            );
+            assert_close(&c[i * spec.m * spec.n..(i + 1) * spec.m * spec.n], &want);
+        }
+    }
+
+    #[test]
     fn empty_dims_are_noops() {
         let mut c: Vec<f32> = vec![];
         sgemm(GemmSpec::nn(0, 4, 0), &[], &[], &mut c);
         batched_sgemm(0, GemmSpec::nn(2, 2, 2), &[], &[], &mut c);
+    }
+
+    #[test]
+    fn k_zero_scales_c_only() {
+        let mut c = vec![2.0; 6];
+        sgemm(GemmSpec::nn(2, 0, 3).with_beta(0.5), &[], &[], &mut c);
+        assert!(c.iter().all(|&v| (v - 1.0).abs() < 1e-6));
     }
 
     #[test]

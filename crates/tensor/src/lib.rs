@@ -24,7 +24,7 @@ pub mod shape;
 pub mod storage;
 pub mod tensor;
 
-pub use gemm::{batched_sgemm, sgemm, GemmSpec, Trans};
+pub use gemm::{batched_sgemm, sgemm, sgemm_serial, GemmSpec, Trans};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

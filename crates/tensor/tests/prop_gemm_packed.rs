@@ -1,0 +1,150 @@
+//! Property tests for the packed-panel GEMM engine: every transpose
+//! layout, random alpha/beta (including beta = 0 over NaN-poisoned C), and
+//! shapes straddling the MR/NR/MC/KC/NC tile boundaries, checked against
+//! the naive triple-loop reference within 1e-3 relative tolerance.
+
+use proptest::prelude::*;
+use tt_tensor::{batched_sgemm, sgemm, sgemm_serial, GemmSpec, Trans};
+
+/// Naive `C = alpha·op(A)·op(B) + beta·C` oracle over logical (untransposed)
+/// operands.
+fn naive(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let GemmSpec { m, k, n, alpha, beta, .. } = spec;
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a[i * k + l] * b[l * n + j];
+            }
+            let prev = c[i * n + j];
+            c[i * n + j] = alpha * acc + if beta == 0.0 { 0.0 } else { beta * prev };
+        }
+    }
+}
+
+fn mat(r: usize, c: usize, seed: u64) -> Vec<f32> {
+    (0..r * c).map(|i| (((i as u64).wrapping_mul(2654435761) + seed) % 17) as f32 - 8.0).collect()
+}
+
+/// Store `src` (r×c row-major) transposed (c×r).
+fn transpose(r: usize, c: usize, src: &[f32]) -> Vec<f32> {
+    let mut t = vec![0.0; r * c];
+    for i in 0..r {
+        for j in 0..c {
+            t[j * r + i] = src[i * c + j];
+        }
+    }
+    t
+}
+
+fn assert_close(got: &[f32], want: &[f32]) {
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        let tol = 1e-3 * w.abs().max(1.0);
+        assert!((g - w).abs() <= tol, "mismatch at {i}: got {g} want {w} (tol {tol})");
+    }
+}
+
+/// Dimension strategy biased toward tile edges: tiny values, the register
+/// tile sizes (MR = 4, NR = 8) ± 1, the MC = 128 macro-block edge, and the
+/// decoder's m = 1 / k = 1 degenerate rows.
+fn dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1usize..20,
+        Just(1),
+        Just(3),
+        Just(4),
+        Just(5),
+        Just(7),
+        Just(8),
+        Just(9),
+        Just(31),
+        Just(127),
+        Just(129),
+    ]
+}
+
+/// alpha/beta strategy: the BLAS fast-path constants plus arbitrary scales.
+fn scale() -> impl Strategy<Value = f32> {
+    prop_oneof![Just(0.0f32), Just(1.0), Just(-1.0), Just(0.5), -2.0f32..2.0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The packed engine equals the naive oracle for every layout, any
+    /// alpha/beta, and edge shapes — with beta = 0 required to overwrite a
+    /// NaN-poisoned C.
+    #[test]
+    fn packed_gemm_matches_naive(
+        m in dim(),
+        k in dim(),
+        n in dim(),
+        ta in prop::bool::ANY,
+        tb in prop::bool::ANY,
+        alpha in scale(),
+        beta in scale(),
+        seed in 0u64..1000,
+    ) {
+        let a_logical = mat(m, k, seed);
+        let b_logical = mat(k, n, seed + 1);
+        let a_stored = if ta { transpose(m, k, &a_logical) } else { a_logical.clone() };
+        let b_stored = if tb { transpose(k, n, &b_logical) } else { b_logical.clone() };
+
+        let spec = GemmSpec {
+            m, k, n,
+            ta: if ta { Trans::Yes } else { Trans::No },
+            tb: if tb { Trans::Yes } else { Trans::No },
+            alpha, beta,
+        };
+
+        // beta = 0 must ignore prior C entirely — poison it with NaN.
+        let init: Vec<f32> = if beta == 0.0 {
+            vec![f32::NAN; m * n]
+        } else {
+            mat(m, n, seed + 2)
+        };
+
+        let mut want = init.clone();
+        naive(spec, &a_logical, &b_logical, &mut want);
+
+        let mut got = init.clone();
+        sgemm(spec, &a_stored, &b_stored, &mut got);
+        assert_close(&got, &want);
+
+        let mut got_serial = init;
+        sgemm_serial(spec, &a_stored, &b_stored, &mut got_serial);
+        assert_close(&got_serial, &want);
+    }
+
+    /// Batched GEMM equals per-slice single GEMMs regardless of which
+    /// parallelism strategy the batch/shape heuristic picks.
+    #[test]
+    fn batched_matches_per_slice(
+        batch in 1usize..6,
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        tb in prop::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let spec = GemmSpec {
+            m, k, n,
+            ta: Trans::No,
+            tb: if tb { Trans::Yes } else { Trans::No },
+            alpha: 1.0,
+            beta: 0.0,
+        };
+        let (sa, sb, sc) = (m * k, k * n, m * n);
+        let a = mat(batch, sa, seed);
+        let b = mat(batch, sb, seed + 1);
+
+        let mut got = vec![f32::NAN; batch * sc];
+        batched_sgemm(batch, spec, &a, &b, &mut got);
+
+        for i in 0..batch {
+            let mut want = vec![f32::NAN; sc];
+            sgemm_serial(spec, &a[i * sa..(i + 1) * sa], &b[i * sb..(i + 1) * sb], &mut want);
+            assert_close(&got[i * sc..(i + 1) * sc], &want);
+        }
+    }
+}
