@@ -1,5 +1,5 @@
 //! *Greedy-by-Size for Offset Calculation* (GSOC) — the fixed-length
-//! planner of Pisarchyk & Lee (paper reference [15]) that TurboTransformers
+//! planner of Pisarchyk & Lee (paper reference \[15\]) that TurboTransformers
 //! compares against in Figure 7.
 //!
 //! GSOC packs all tensors into **one** contiguous region: tensors are taken

@@ -8,7 +8,7 @@
 //! (10–500) and batch sizes 1–20, plus the per-head attention products that
 //! `batched_sgemm` serves (12 heads × 64-dim).
 //!
-//! The pre-PR implementations are kept verbatim in [`reference`] as the
+//! The pre-PR implementations are kept verbatim in [`mod@reference`] as the
 //! baseline: `sgemm_axpy` (the old memory-bound row-sweep `sgemm`) for
 //! single GEMMs, and `batched_naive` (the old per-head `i/j/l` triple loop
 //! with per-element closure indexing) for batched ones. Every timed shape

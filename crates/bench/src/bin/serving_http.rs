@@ -1,0 +1,276 @@
+//! HTTP serving load test: N concurrent TCP clients against the real
+//! front-end (`tt_serving::http`) wrapped around a live engine.
+//!
+//! This measures what the paper's Figure 12 measures for the in-process
+//! serving loop, but at the *network boundary*: end-to-end wall latency
+//! (connect → JSON response) including HTTP parsing, admission control and
+//! the engine's DP batching, at several client concurrency levels. The
+//! queue-depth cap is deliberately finite, so the top concurrency level
+//! also exercises the `429` shed path — shed rate is a first-class column,
+//! not an error.
+//!
+//! Outputs `results/serving_http.md` (human-readable) and
+//! `BENCH_http.json` at the repo root (machine-readable trajectory for
+//! later PRs — e.g. the ROADMAP's async front-end — to regress against).
+//! `--smoke` runs one tiny level and writes nothing; that is what CI runs.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use tt_bench::{fmt_pct, print_table};
+use tt_gpusim::device::DeviceKind;
+use tt_model::bert::{Bert, BertConfig};
+use tt_runtime::{RuntimeConfig, TurboRuntime};
+use tt_serving::http::{HttpConfig, HttpServer};
+use tt_serving::live::LiveEngine;
+use tt_serving::scheduler::InstrumentedScheduler;
+use tt_serving::stats::LatencyStats;
+use tt_serving::{CachedCost, DpScheduler};
+use tt_telemetry::Registry;
+
+/// Requests each client issues per concurrency level.
+const REQUESTS_PER_CLIENT: usize = 30;
+/// In-flight cap: finite so the top levels measure shedding, large enough
+/// that low levels shed nothing. Must be *below* the worker-pool width —
+/// the pool bounds concurrent admissions, so a depth at or above it can
+/// never be reached and the shed path would sit unexercised.
+const QUEUE_DEPTH: usize = 12;
+/// Token-length range of the synthetic workload (the paper's variable-
+/// length serving regime, scaled to the tiny model).
+const LEN_RANGE: std::ops::RangeInclusive<usize> = 4..=48;
+
+#[derive(Clone, Serialize)]
+struct LevelReport {
+    concurrency: usize,
+    requests: usize,
+    ok: usize,
+    shed: usize,
+    errors: usize,
+    shed_rate: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+}
+
+#[derive(Serialize)]
+struct HttpBenchReport {
+    bench: &'static str,
+    model: &'static str,
+    queue_depth: usize,
+    requests_per_client: usize,
+    levels: Vec<LevelReport>,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let registry = Registry::new();
+    let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+    let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+    runtime.instrument(&registry);
+    let costs =
+        Arc::new(CachedCost::from_fn(64, 16, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+    let scheduler = Arc::new(InstrumentedScheduler::new(Arc::new(DpScheduler), &registry));
+    let engine = LiveEngine::start_instrumented(model, runtime, scheduler, costs, &registry);
+
+    let config = HttpConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 16,
+        max_queue_depth: QUEUE_DEPTH,
+        ..HttpConfig::default()
+    };
+    let server =
+        HttpServer::start(config, Arc::new(engine.client()), &registry).expect("server starts");
+    let addr = server.addr();
+    println!("serving_http: engine + HTTP front-end on {addr}");
+
+    let levels: &[usize] = if smoke { &[2] } else { &[2, 8, 16, 32] };
+    let per_client = if smoke { 3 } else { REQUESTS_PER_CLIENT };
+
+    let mut reports = Vec::new();
+    for &concurrency in levels {
+        reports.push(run_level(addr, concurrency, per_client));
+    }
+
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.concurrency.to_string(),
+                r.requests.to_string(),
+                r.ok.to_string(),
+                r.shed.to_string(),
+                fmt_pct(r.shed_rate),
+                format!("{:.1}", r.throughput_rps),
+                format!("{:.2}", r.p50_ms),
+                format!("{:.2}", r.p95_ms),
+                format!("{:.2}", r.p99_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "HTTP serving load test (tiny BERT, DP scheduler)",
+        &["clients", "requests", "ok", "shed", "shed rate", "req/s", "p50 ms", "p95 ms", "p99 ms"],
+        &rows,
+    );
+
+    // Graceful shutdown flushes the final exposition; keep the http_*
+    // families as the observability record of the run.
+    let final_metrics = server.shutdown();
+    let served = engine.shutdown();
+    let http_lines: Vec<&str> = final_metrics
+        .lines()
+        .filter(|l| l.starts_with("http_") && !l.contains("_bucket"))
+        .collect();
+    println!("\nfinal scrape ({} http_* series):", http_lines.len());
+    for line in &http_lines {
+        println!("  {line}");
+    }
+    println!("engine served {served} requests");
+
+    if smoke {
+        let shed_total: usize = reports.iter().map(|r| r.shed).sum();
+        let ok_total: usize = reports.iter().map(|r| r.ok).sum();
+        assert!(ok_total > 0, "smoke run must complete requests");
+        assert_eq!(served, ok_total, "engine served exactly the admitted requests");
+        let _ = shed_total;
+        println!("smoke OK");
+        return;
+    }
+
+    write_outputs(&reports, &http_lines);
+}
+
+fn run_level(addr: SocketAddr, concurrency: usize, per_client: usize) -> LevelReport {
+    let wall = Instant::now();
+    let mut clients = Vec::new();
+    for c in 0..concurrency {
+        clients.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0x5EED_0000 + c as u64);
+            let mut latencies = Vec::new();
+            let mut ok = 0usize;
+            let mut shed = 0usize;
+            let mut errors = 0usize;
+            for _ in 0..per_client {
+                let len = rng.random_range(LEN_RANGE);
+                let tokens: Vec<String> =
+                    (0..len).map(|i| ((i * 7 + c) % 90).to_string()).collect();
+                let body = format!("{{\"tokens\": [{}]}}", tokens.join(", "));
+                let start = Instant::now();
+                match request(addr, &body) {
+                    Some(200) => {
+                        ok += 1;
+                        latencies.push(start.elapsed().as_secs_f64());
+                    }
+                    Some(429) => shed += 1,
+                    _ => errors += 1,
+                }
+            }
+            (latencies, ok, shed, errors)
+        }));
+    }
+
+    let mut stats = LatencyStats::new();
+    let (mut ok, mut shed, mut errors) = (0, 0, 0);
+    for client in clients {
+        let (latencies, k, s, e) = client.join().expect("client thread");
+        for l in latencies {
+            stats.record(l);
+        }
+        ok += k;
+        shed += s;
+        errors += e;
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+    let requests = concurrency * per_client;
+    LevelReport {
+        concurrency,
+        requests,
+        ok,
+        shed,
+        errors,
+        shed_rate: shed as f64 / requests as f64,
+        throughput_rps: ok as f64 / elapsed,
+        p50_ms: stats.percentile(50.0) * 1e3,
+        p95_ms: stats.percentile(95.0) * 1e3,
+        p99_ms: stats.percentile(99.0) * 1e3,
+        mean_ms: stats.mean() * 1e3,
+    }
+}
+
+/// One request on a fresh connection; returns the status code.
+fn request(addr: SocketAddr, body: &str) -> Option<u16> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let raw = format!(
+        "POST /v1/infer HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    response.split(' ').nth(1)?.parse().ok()
+}
+
+fn write_outputs(reports: &[LevelReport], http_lines: &[&str]) {
+    let mut md = String::new();
+    let _ = writeln!(md, "# HTTP serving load test (`serving_http`)\n");
+    let _ = writeln!(
+        md,
+        "N concurrent TCP clients, each issuing {REQUESTS_PER_CLIENT} `POST /v1/infer` \
+         requests (tiny BERT, token lengths {}–{}, DP scheduler, engine queue depth \
+         capped at {QUEUE_DEPTH}). Latency is end-to-end wall time: TCP connect → HTTP \
+         parse → admission → LiveEngine batch → JSON response. `429` sheds are the \
+         admission-control path working as designed, not failures.\n",
+        LEN_RANGE.start(),
+        LEN_RANGE.end(),
+    );
+    let _ = writeln!(
+        md,
+        "| clients | requests | ok | shed | shed rate | req/s | p50 ms | p95 ms | p99 ms | mean ms |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|---|---|");
+    for r in reports {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {} | {:.1} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            r.concurrency,
+            r.requests,
+            r.ok,
+            r.shed,
+            fmt_pct(r.shed_rate),
+            r.throughput_rps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.mean_ms,
+        );
+    }
+    let _ =
+        writeln!(md, "\nFinal flushed `http_*` series from the graceful-shutdown snapshot:\n\n```");
+    for line in http_lines {
+        let _ = writeln!(md, "{line}");
+    }
+    let _ = writeln!(md, "```");
+    let _ = writeln!(md, "\nMachine-readable trajectory: `BENCH_http.json` at the repo root.");
+    std::fs::write("results/serving_http.md", md).expect("write results/serving_http.md");
+
+    let report = HttpBenchReport {
+        bench: "serving_http",
+        model: "bert-tiny",
+        queue_depth: QUEUE_DEPTH,
+        requests_per_client: REQUESTS_PER_CLIENT,
+        levels: reports.to_vec(),
+    };
+    let json = serde_json::to_string(&report).expect("serialize BENCH_http.json");
+    std::fs::write("BENCH_http.json", json).expect("write BENCH_http.json");
+    println!("\nwrote results/serving_http.md and BENCH_http.json");
+}

@@ -40,7 +40,7 @@ pub fn shfl_xor(v: &Lanes, mask: usize) -> Lanes {
 
 /// Tree warp reduction with `shfl_down`: after 5 steps lane 0 holds the sum
 /// of all 32 lanes. Mirrors the classic `warpReduceSum` from the NVIDIA
-/// warp-primitives blog post the paper cites as [16].
+/// warp-primitives blog post the paper cites as \[16\].
 pub fn warp_reduce_sum(v: &Lanes) -> f32 {
     let mut cur = *v;
     let mut delta = WARP_SIZE / 2;

@@ -121,7 +121,7 @@ impl ExecutorMetrics {
 }
 
 /// Flops of one graph node if it is a MatMul (2·batch·m·n·k), mirroring the
-/// shape derivation in [`dispatch`]; `None` for every other op.
+/// shape derivation in the executor's dispatch step; `None` for every other op.
 pub fn matmul_flops(graph: &Graph, node: &Node) -> Option<u64> {
     let OpKind::MatMul { trans_b, .. } = &node.kind else {
         return None;

@@ -1,0 +1,719 @@
+//! HTTP/1.1 serving front-end: the network boundary of the Fig. 2 stack.
+//!
+//! The paper's serving framework sits behind a network front-end that
+//! feeds the sequence-length-aware batch scheduler; this module is that
+//! boundary, built directly on [`std::net::TcpListener`] with a small
+//! worker pool — no external dependencies, matching the offline build
+//! environment.
+//!
+//! Routes:
+//!
+//! - `POST /v1/infer` — JSON body `{"tokens": [101, 2023, 102]}`; the
+//!   token ids go through an [`InferHandler`] (in production the
+//!   [`LiveClient`] handle of a running
+//!   [`LiveEngine`](crate::live::LiveEngine)) and the response carries the
+//!   classification vector, end-to-end latency, and the batch shape the
+//!   scheduler chose;
+//! - `GET /metrics` — the live [`Registry`] rendered in the Prometheus
+//!   text exposition format, scrapeable while the engine serves;
+//! - `GET /healthz` — liveness probe.
+//!
+//! Robustness is part of the design, not an afterthought:
+//!
+//! - **Backpressure.** Accepted connections queue in a *bounded* hand-off
+//!   queue (`pending_connections`); when it fills, the acceptor blocks and
+//!   further clients wait in the kernel backlog. Independently, in-flight
+//!   inference is capped at `max_queue_depth` — beyond it the server
+//!   sheds with `429 Too Many Requests` + `Retry-After` instead of letting
+//!   queue wait (and therefore tail latency) grow without bound. This is
+//!   the static precursor of the ROADMAP's SLO-aware admission control.
+//! - **Limits.** Request bodies above `max_body_bytes` are refused with
+//!   `413` at header time; malformed requests/JSON get `400`; per
+//!   connection read/write timeouts bound a slow peer's hold on a worker.
+//! - **Graceful shutdown.** [`HttpServer::shutdown`] stops accepting,
+//!   lets the workers drain every accepted connection and in-flight
+//!   request, joins all threads, and returns a final metrics snapshot —
+//!   no request that got a `2xx` admission is dropped.
+//!
+//! The server reports its own traffic through `tt-telemetry` the same way
+//! the engine does: `http_requests_total{route,status}`, a per-route
+//! latency histogram, an active-connections gauge and a shed counter all
+//! land in the same registry `/metrics` renders, so the front-end is
+//! visible in its own exposition.
+
+pub mod parser;
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use tt_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch};
+
+use crate::live::LiveClient;
+use parser::{parse_request, HttpRequest, ParseOutcome};
+
+/// Configuration of the HTTP front-end. Every field has a `TT_HTTP_*`
+/// environment override (see [`HttpConfig::from_env`] and the README
+/// config-surface table).
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Bind address (`TT_HTTP_ADDR`, default `127.0.0.1:7070`; use port 0
+    /// for an ephemeral port, e.g. in tests).
+    pub addr: String,
+    /// Worker threads handling connections (`TT_HTTP_WORKERS`, default 4).
+    pub workers: usize,
+    /// Bounded accepted-connection hand-off queue between the acceptor
+    /// and the workers (`TT_HTTP_PENDING`, default 64). When full, the
+    /// acceptor blocks — the bounded-accept half of backpressure.
+    pub pending_connections: usize,
+    /// In-flight inference cap; beyond it `/v1/infer` sheds with `429`
+    /// (`TT_HTTP_QUEUE_DEPTH`, default 32).
+    pub max_queue_depth: usize,
+    /// Request body size limit in bytes, enforced at header time with
+    /// `413` (`TT_HTTP_MAX_BODY`, default 1 MiB).
+    pub max_body_bytes: usize,
+    /// Per-connection socket read timeout (`TT_HTTP_READ_TIMEOUT_MS`,
+    /// default 5000 ms).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout (`TT_HTTP_WRITE_TIMEOUT_MS`,
+    /// default 5000 ms).
+    pub write_timeout: Duration,
+    /// `Retry-After` seconds advertised on a `429` shed
+    /// (`TT_HTTP_RETRY_AFTER_S`, default 1).
+    pub retry_after_s: u64,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            addr: "127.0.0.1:7070".to_string(),
+            workers: 4,
+            pending_connections: 64,
+            max_queue_depth: 32,
+            max_body_bytes: 1 << 20,
+            read_timeout: Duration::from_millis(5000),
+            write_timeout: Duration::from_millis(5000),
+            retry_after_s: 1,
+        }
+    }
+}
+
+impl HttpConfig {
+    /// Defaults overridden by any `TT_HTTP_*` environment variables that
+    /// are set (unparseable values fall back to the default — a serving
+    /// binary should come up even with a typo'd environment).
+    pub fn from_env() -> Self {
+        let d = HttpConfig::default();
+        fn env<T: std::str::FromStr>(name: &str, default: T) -> T {
+            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        }
+        HttpConfig {
+            addr: std::env::var("TT_HTTP_ADDR").unwrap_or(d.addr),
+            workers: env("TT_HTTP_WORKERS", d.workers).max(1),
+            pending_connections: env("TT_HTTP_PENDING", d.pending_connections).max(1),
+            max_queue_depth: env("TT_HTTP_QUEUE_DEPTH", d.max_queue_depth).max(1),
+            max_body_bytes: env("TT_HTTP_MAX_BODY", d.max_body_bytes),
+            read_timeout: Duration::from_millis(env(
+                "TT_HTTP_READ_TIMEOUT_MS",
+                d.read_timeout.as_millis() as u64,
+            )),
+            write_timeout: Duration::from_millis(env(
+                "TT_HTTP_WRITE_TIMEOUT_MS",
+                d.write_timeout.as_millis() as u64,
+            )),
+            retry_after_s: env("TT_HTTP_RETRY_AFTER_S", d.retry_after_s),
+        }
+    }
+}
+
+/// The inference backend behind `POST /v1/infer`.
+///
+/// Production wires the [`LiveClient`] of a running
+/// [`LiveEngine`](crate::live::LiveEngine); tests substitute stubs to
+/// exercise shedding and shutdown without a model.
+pub trait InferHandler: Send + Sync + 'static {
+    /// Run one token sequence to completion; blocks until the engine
+    /// answers. Errors map to HTTP statuses (see [`InferError`]); a panic
+    /// is additionally caught and mapped to `503 Service Unavailable`, so
+    /// a misbehaving backend cannot take a worker thread down.
+    fn infer(&self, tokens: Vec<u32>) -> Result<InferReply, InferError>;
+}
+
+/// Why an [`InferHandler`] refused or failed a request.
+#[derive(Debug, Clone)]
+pub enum InferError {
+    /// The request can never succeed against this model (e.g. token ids
+    /// outside the vocabulary) — HTTP `400`.
+    BadRequest(String),
+    /// The engine cannot answer right now (shut down, or it dropped the
+    /// job's batch after an execution failure) — HTTP `503`.
+    Unavailable(String),
+}
+
+/// Admission-time vocabulary check: wraps any handler and refuses token
+/// ids the model cannot embed with [`InferError::BadRequest`], so a bad
+/// request costs a `400` at the boundary instead of reaching the engine.
+pub struct VocabGuard<H> {
+    inner: H,
+    vocab_size: u32,
+}
+
+impl<H: InferHandler> VocabGuard<H> {
+    /// Guard `inner` with the model's vocabulary size.
+    pub fn new(inner: H, vocab_size: usize) -> Self {
+        VocabGuard { inner, vocab_size: vocab_size as u32 }
+    }
+}
+
+impl<H: InferHandler> InferHandler for VocabGuard<H> {
+    fn infer(&self, tokens: Vec<u32>) -> Result<InferReply, InferError> {
+        if let Some(&bad) = tokens.iter().find(|&&t| t >= self.vocab_size) {
+            return Err(InferError::BadRequest(format!(
+                "token id {bad} out of range for vocabulary of {}",
+                self.vocab_size
+            )));
+        }
+        self.inner.infer(tokens)
+    }
+}
+
+/// What the backend hands back for one request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferReply {
+    /// The `[CLS]`-position hidden vector — the classification logits'
+    /// feature input.
+    pub cls_vector: Vec<f32>,
+    /// Engine-side latency in milliseconds (submission → completion).
+    pub latency_ms: f64,
+    /// How many requests shared the executed batch.
+    pub batch_size: usize,
+    /// Zero-padded sequence length of that batch.
+    pub padded_len: usize,
+}
+
+impl InferHandler for LiveClient {
+    fn infer(&self, tokens: Vec<u32>) -> Result<InferReply, InferError> {
+        match self.try_infer(tokens) {
+            Some(resp) => Ok(InferReply {
+                cls_vector: resp.cls_vector,
+                latency_ms: resp.latency.as_secs_f64() * 1e3,
+                batch_size: resp.batch_size,
+                padded_len: resp.padded_len,
+            }),
+            None => Err(InferError::Unavailable(
+                "engine dropped the job (shut down, or its batch failed to execute)".into(),
+            )),
+        }
+    }
+}
+
+/// JSON body of `POST /v1/infer`.
+#[derive(Debug, Deserialize)]
+struct InferRequestBody {
+    tokens: Vec<u32>,
+}
+
+/// Server-side telemetry, reported into the same registry `/metrics`
+/// renders.
+#[derive(Clone)]
+struct HttpMetrics {
+    registry: Registry,
+    latency: [(&'static str, Arc<Histogram>); 4],
+    active_connections: Arc<Gauge>,
+    infer_inflight: Arc<Gauge>,
+    sheds: Arc<Counter>,
+}
+
+/// Route label for metrics: known routes verbatim, everything else pooled
+/// so arbitrary client paths cannot grow label cardinality.
+fn route_label(path: &str, method: &str) -> &'static str {
+    match (method, path) {
+        ("POST", "/v1/infer") => "/v1/infer",
+        ("GET", "/metrics") => "/metrics",
+        ("GET", "/healthz") => "/healthz",
+        _ => "other",
+    }
+}
+
+impl HttpMetrics {
+    fn register(registry: &Registry) -> Self {
+        let hist = |route: &'static str| {
+            (
+                route,
+                registry.histogram(
+                    "http_request_nanoseconds",
+                    "Wall time from parsed request to written response",
+                    &[("route", route)],
+                ),
+            )
+        };
+        HttpMetrics {
+            registry: registry.clone(),
+            latency: [hist("/v1/infer"), hist("/metrics"), hist("/healthz"), hist("other")],
+            active_connections: registry.gauge(
+                "http_active_connections",
+                "Currently open client connections",
+                &[],
+            ),
+            infer_inflight: registry.gauge(
+                "http_infer_inflight",
+                "Inference requests admitted and not yet answered",
+                &[],
+            ),
+            sheds: registry.counter(
+                "http_sheds_total",
+                "Requests shed with 429 because the engine queue was full",
+                &[],
+            ),
+        }
+    }
+
+    fn observe(&self, route: &'static str, status: u16, nanos: u64) {
+        // requests_total is registered lazily per (route, status) pair;
+        // both label sets are bounded (4 routes × ~9 statuses).
+        self.registry
+            .counter(
+                "http_requests_total",
+                "HTTP requests served, by route and status",
+                &[("route", route), ("status", status_label(status))],
+            )
+            .inc();
+        if let Some((_, h)) = self.latency.iter().find(|(r, _)| *r == route) {
+            h.record(nanos);
+        }
+    }
+}
+
+/// Static status-code strings so metric labels never allocate surprises.
+fn status_label(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        408 => "408",
+        413 => "413",
+        429 => "429",
+        503 => "503",
+        _ => "500",
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// A bounded blocking hand-off queue between the acceptor and the worker
+/// pool (std `Mutex` + `Condvar`; the vendored crossbeam shim's receiver
+/// is single-consumer, and the pool needs many consumers).
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    readable: Condvar,
+    writable: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    items: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl WorkQueue {
+    fn new(capacity: usize) -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Blocking bounded push; drops the stream if the queue is closed.
+    fn push(&self, stream: TcpStream) {
+        let mut state = self.state.lock().expect("queue lock");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.writable.wait(state).expect("queue lock");
+        }
+        if state.closed {
+            return; // shutting down: hang up on the un-handed-off peer
+        }
+        state.items.push_back(stream);
+        self.readable.notify_one();
+    }
+
+    /// Blocking pop; `None` once the queue is closed *and* drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(stream) = state.items.pop_front() {
+                self.writable.notify_one();
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.readable.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Stop accepting pushes; wake every waiter. Queued items still drain.
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+}
+
+/// Shared server state handed to every worker.
+struct ServerShared {
+    config: HttpConfig,
+    handler: Arc<dyn InferHandler>,
+    metrics: HttpMetrics,
+    registry: Registry,
+    queue: WorkQueue,
+    shutting_down: AtomicBool,
+    infer_inflight: AtomicUsize,
+}
+
+/// A running HTTP front-end: one acceptor thread plus a worker pool.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use tt_serving::http::{HttpConfig, HttpServer};
+/// # use tt_serving::http::{InferError, InferHandler, InferReply};
+/// # struct Stub;
+/// # impl InferHandler for Stub {
+/// #     fn infer(&self, _t: Vec<u32>) -> Result<InferReply, InferError> {
+/// #         Ok(InferReply { cls_vector: vec![], latency_ms: 0.0, batch_size: 1, padded_len: 1 })
+/// #     }
+/// # }
+/// let registry = tt_telemetry::Registry::new();
+/// let server = HttpServer::start(HttpConfig::default(), Arc::new(Stub), &registry).unwrap();
+/// println!("serving on http://{}", server.addr());
+/// let final_metrics = server.shutdown();
+/// ```
+pub struct HttpServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `config.addr`, register the `http_*` metric family in
+    /// `registry`, and start the acceptor and worker threads. The returned
+    /// server is live: [`addr`](Self::addr) tells the (possibly ephemeral)
+    /// bound address.
+    pub fn start(
+        config: HttpConfig,
+        handler: Arc<dyn InferHandler>,
+        registry: &Registry,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = HttpMetrics::register(registry);
+        let shared = Arc::new(ServerShared {
+            queue: WorkQueue::new(config.pending_connections),
+            config,
+            handler,
+            metrics,
+            registry: registry.clone(),
+            shutting_down: AtomicBool::new(false),
+            infer_inflight: AtomicUsize::new(0),
+        });
+
+        let mut workers = Vec::new();
+        for i in 0..shared.config.workers {
+            let shared = shared.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tt-http-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning http worker"),
+            );
+        }
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("tt-http-acceptor".into())
+                .spawn(move || acceptor_loop(listener, &shared))
+                .expect("spawning http acceptor")
+        };
+
+        Ok(HttpServer { addr, shared, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound listen address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain every accepted connection
+    /// and in-flight request, join all threads, and return a final
+    /// snapshot of the registry in Prometheus text form — the last scrape
+    /// a monitoring system would otherwise have missed.
+    pub fn shutdown(mut self) -> String {
+        self.begin_shutdown();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.registry.render_prometheus()
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept() with a throwaway
+        // connection; it re-checks the flag before handing the stream off.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &ServerShared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => continue, // transient accept error; keep serving
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break; // the wake-up connection (or a late client) is dropped
+        }
+        let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+        let _ = stream.set_nodelay(true);
+        shared.queue.push(stream);
+    }
+    shared.queue.close();
+}
+
+fn worker_loop(shared: &ServerShared) {
+    while let Some(stream) = shared.queue.pop() {
+        shared.metrics.active_connections.add(1.0);
+        handle_connection(stream, shared);
+        shared.metrics.active_connections.add(-1.0);
+    }
+}
+
+/// Serve one connection: keep-alive loop of read → parse → route → write.
+/// Pipelined requests already in the buffer are answered without another
+/// read. Returns when the peer closes, asks to close, errors, times out,
+/// or the server is draining for shutdown.
+fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Answer everything parseable before reading again.
+        loop {
+            match parse_request(&buf, shared.config.max_body_bytes) {
+                ParseOutcome::Complete { request, consumed } => {
+                    buf.drain(..consumed);
+                    let draining = shared.shutting_down.load(Ordering::SeqCst);
+                    let close = request.wants_close() || draining;
+                    let served = respond(&mut stream, &request, close, shared);
+                    if !served || close {
+                        return;
+                    }
+                }
+                ParseOutcome::Incomplete => break,
+                ParseOutcome::Invalid(reason) => {
+                    let _ = write_error(&mut stream, 400, reason, &[]);
+                    shared.metrics.observe("other", 400, 0);
+                    return;
+                }
+                ParseOutcome::BodyTooLarge { declared } => {
+                    let reason = format!(
+                        "body of {declared} bytes exceeds the {}-byte limit",
+                        shared.config.max_body_bytes
+                    );
+                    let _ = write_error(&mut stream, 413, &reason, &[]);
+                    shared.metrics.observe("other", 413, 0);
+                    return;
+                }
+            }
+        }
+
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if !buf.is_empty() {
+                    // Mid-request stall: tell the peer before hanging up.
+                    let _ = write_error(&mut stream, 408, "timed out mid-request", &[]);
+                    shared.metrics.observe("other", 408, 0);
+                }
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Route one request and write the response. Returns `false` if the write
+/// failed (connection is dead).
+fn respond(
+    stream: &mut TcpStream,
+    request: &HttpRequest,
+    close: bool,
+    shared: &ServerShared,
+) -> bool {
+    let route = route_label(request.path(), &request.method);
+    let watch = Stopwatch::start();
+    let (status, content_type, body, extra) = dispatch(request, shared);
+    let ok = write_response(stream, status, &content_type, &body, &extra, close).is_ok();
+    shared.metrics.observe(route, status, watch.elapsed_nanos());
+    ok
+}
+
+type Response = (u16, String, Vec<u8>, Vec<(String, String)>);
+
+fn dispatch(request: &HttpRequest, shared: &ServerShared) -> Response {
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => json_response(200, "{\"status\":\"ok\"}".into()),
+        ("GET", "/metrics") => (
+            200,
+            "text/plain; version=0.0.4".to_string(),
+            shared.registry.render_prometheus().into_bytes(),
+            Vec::new(),
+        ),
+        ("POST", "/v1/infer") => infer_route(request, shared),
+        (_, "/healthz" | "/metrics" | "/v1/infer") => {
+            error_body(405, &format!("{} not allowed on {}", request.method, request.path()))
+        }
+        _ => error_body(404, &format!("no route for {}", request.path())),
+    }
+}
+
+fn infer_route(request: &HttpRequest, shared: &ServerShared) -> Response {
+    let body: InferRequestBody = match serde_json::from_slice(&request.body) {
+        Ok(body) => body,
+        Err(e) => return error_body(400, &format!("malformed JSON body: {e:?}")),
+    };
+    if body.tokens.is_empty() {
+        return error_body(400, "tokens must be non-empty");
+    }
+
+    // Admission control: the engine queue depth (admitted, unanswered
+    // inferences) is capped; beyond it, shed instead of queuing.
+    let depth = shared.infer_inflight.fetch_add(1, Ordering::SeqCst);
+    if depth >= shared.config.max_queue_depth {
+        shared.infer_inflight.fetch_sub(1, Ordering::SeqCst);
+        shared.metrics.sheds.inc();
+        let (status, ct, body, mut extra) = error_body(429, "engine queue is full; retry later");
+        extra.push(("Retry-After".to_string(), shared.config.retry_after_s.to_string()));
+        return (status, ct, body, extra);
+    }
+    shared.metrics.infer_inflight.add(1.0);
+
+    let handler = shared.handler.clone();
+    let tokens = body.tokens;
+    let result = catch_unwind(AssertUnwindSafe(move || handler.infer(tokens)));
+
+    shared.infer_inflight.fetch_sub(1, Ordering::SeqCst);
+    shared.metrics.infer_inflight.add(-1.0);
+
+    match result {
+        Ok(Ok(reply)) => {
+            let json = serde_json::to_string(&reply).expect("reply serializes");
+            json_response(200, json)
+        }
+        Ok(Err(InferError::BadRequest(message))) => error_body(400, &message),
+        Ok(Err(InferError::Unavailable(message))) => error_body(503, &message),
+        Err(_panic) => error_body(503, "inference engine is unavailable"),
+    }
+}
+
+fn json_response(status: u16, json: String) -> Response {
+    (status, "application/json".to_string(), json.into_bytes(), Vec::new())
+}
+
+fn error_body(status: u16, message: &str) -> Response {
+    let json = format!("{{\"error\":{}}}", json_escape(message));
+    json_response(status, json)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(String, String)],
+    close: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        status,
+        status_reason(status),
+        content_type,
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(if close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn write_error(
+    stream: &mut TcpStream,
+    status: u16,
+    message: &str,
+    extra_headers: &[(String, String)],
+) -> std::io::Result<()> {
+    let (status, ct, body, _) = error_body(status, message);
+    write_response(stream, status, &ct, &body, extra_headers, true)
+}

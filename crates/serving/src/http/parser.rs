@@ -1,0 +1,279 @@
+//! A minimal, incremental HTTP/1.1 request parser.
+//!
+//! The server reads from a `TcpStream` into a growing byte buffer and asks
+//! this module, after every read, whether a complete request is available.
+//! The parser therefore has to be *restartable*: given a prefix of a
+//! request it answers [`ParseOutcome::Incomplete`] and is called again with
+//! more bytes, and given more than one pipelined request it consumes
+//! exactly the first one (the `consumed` count lets the connection loop
+//! keep the tail for the next iteration).
+//!
+//! Scope is deliberately small — request line, headers, and a
+//! `Content-Length`-delimited body. No chunked transfer encoding, no
+//! multiline header folding, no trailers: nothing the serving front-end
+//! needs to speak with `curl`, Prometheus scrapers and load generators.
+//! Anything outside that subset is rejected explicitly (`Invalid`), never
+//! silently mis-framed.
+
+/// Upper bound on the request line + headers, before the body starts.
+///
+/// A peer that sends more head bytes than this without a blank line is
+/// either broken or hostile; the connection loop answers `400` and hangs
+/// up instead of buffering without bound.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target exactly as sent (path plus optional query string).
+    pub target: String,
+    /// Protocol version token, e.g. `HTTP/1.1`.
+    pub version: String,
+    /// Header `(name, value)` pairs; names are lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The first value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The request path with any `?query` suffix removed.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Whether the peer asked to close the connection after this exchange
+    /// (explicit `Connection: close`, or HTTP/1.0 without keep-alive).
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => self.version == "HTTP/1.0",
+        }
+    }
+}
+
+/// Result of attempting to parse one request from the front of `buf`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// The buffer holds a prefix of a valid request — read more bytes and
+    /// try again.
+    Incomplete,
+    /// One full request parsed; `consumed` bytes of the buffer belong to
+    /// it (the remainder is the start of the next pipelined request).
+    Complete {
+        /// The parsed request.
+        request: HttpRequest,
+        /// How many buffer bytes the request occupied.
+        consumed: usize,
+    },
+    /// The bytes can never become a valid request — answer `400`, close.
+    Invalid(&'static str),
+    /// The declared `Content-Length` exceeds the server's body limit —
+    /// answer `413` without reading the body.
+    BodyTooLarge {
+        /// The offending declared length.
+        declared: usize,
+    },
+}
+
+/// Try to parse one request from the front of `buf`.
+///
+/// `max_body` is the server's request-size limit; a `Content-Length`
+/// above it short-circuits to [`ParseOutcome::BodyTooLarge`] *before* the
+/// body arrives, so oversized uploads are refused at header time.
+pub fn parse_request(buf: &[u8], max_body: usize) -> ParseOutcome {
+    let head_end = match find_head_end(buf) {
+        Some(end) => end,
+        None if buf.len() > MAX_HEAD_BYTES => {
+            return ParseOutcome::Invalid("request head exceeds 16 KiB")
+        }
+        None => return ParseOutcome::Incomplete,
+    };
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return ParseOutcome::Invalid("request head is not UTF-8"),
+    };
+
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => return ParseOutcome::Invalid("malformed request line"),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return ParseOutcome::Invalid("unsupported HTTP version");
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ParseOutcome::Invalid("malformed header line");
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => match v.parse::<usize>() {
+            Ok(len) => len,
+            Err(_) => return ParseOutcome::Invalid("unparseable Content-Length"),
+        },
+        None => 0,
+    };
+    if headers.iter().any(|(n, v)| n == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return ParseOutcome::Invalid("chunked transfer encoding is not supported");
+    }
+    if content_length > max_body {
+        return ParseOutcome::BodyTooLarge { declared: content_length };
+    }
+
+    let body_start = head_end + 4; // past "\r\n\r\n"
+    let consumed = body_start + content_length;
+    if buf.len() < consumed {
+        return ParseOutcome::Incomplete;
+    }
+    ParseOutcome::Complete {
+        request: HttpRequest {
+            method: method.to_string(),
+            target: target.to_string(),
+            version: version.to_string(),
+            headers,
+            body: buf[body_start..consumed].to_vec(),
+        },
+        consumed,
+    }
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(buf: &[u8]) -> (HttpRequest, usize) {
+        match parse_request(buf, 1024) {
+            ParseOutcome::Complete { request, consumed } => (request, consumed),
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let (req, consumed) = complete(raw);
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_a_post_with_content_length_body() {
+        let raw = b"POST /v1/infer HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 15\r\n\r\n{\"tokens\":[1,2]}"; // 16 bytes available, 15 declared
+        let (req, consumed) = complete(raw);
+        assert_eq!(req.body, b"{\"tokens\":[1,2]".to_vec());
+        assert_eq!(consumed, raw.len() - 1, "one pipelined byte remains");
+    }
+
+    #[test]
+    fn truncated_head_is_incomplete_at_every_prefix() {
+        let raw = b"POST /v1/infer HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        for cut in 0..raw.len() {
+            let outcome = parse_request(&raw[..cut], 1024);
+            assert_eq!(
+                outcome,
+                ParseOutcome::Incomplete,
+                "prefix of {cut} bytes must be Incomplete, got {outcome:?}"
+            );
+        }
+        assert!(matches!(parse_request(raw, 1024), ParseOutcome::Complete { .. }));
+    }
+
+    #[test]
+    fn body_split_across_reads_completes_once_length_arrives() {
+        let head = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\n";
+        let mut buf = head.to_vec();
+        buf.extend_from_slice(b"ab");
+        assert_eq!(parse_request(&buf, 1024), ParseOutcome::Incomplete);
+        buf.extend_from_slice(b"cd");
+        let (req, consumed) = complete(&buf);
+        assert_eq!(req.body, b"abcd".to_vec());
+        assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one_at_a_time() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GET /metrics HTTP/1.1\r\n\r\n");
+        buf.extend_from_slice(b"POST /v1/infer HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi");
+        buf.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+
+        let (first, used) = complete(&buf);
+        assert_eq!(first.path(), "/metrics");
+        let rest = &buf[used..];
+        let (second, used2) = complete(rest);
+        assert_eq!(second.path(), "/v1/infer");
+        assert_eq!(second.body, b"hi".to_vec());
+        let (third, used3) = complete(&rest[used2..]);
+        assert_eq!(third.path(), "/healthz");
+        assert_eq!(used + used2 + used3, buf.len());
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_at_header_time() {
+        let raw = b"POST /v1/infer HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
+        assert_eq!(parse_request(raw, 1024), ParseOutcome::BodyTooLarge { declared: 9999 });
+    }
+
+    #[test]
+    fn malformed_inputs_are_invalid_not_incomplete() {
+        let cases: &[&[u8]] = &[
+            b"NOT A REQUEST\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET relative-path HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ];
+        for case in cases {
+            assert!(
+                matches!(parse_request(case, 1024), ParseOutcome::Invalid(_)),
+                "expected Invalid for {:?}",
+                String::from_utf8_lossy(case)
+            );
+        }
+    }
+
+    #[test]
+    fn unterminated_giant_head_is_invalid() {
+        let buf = vec![b'A'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(parse_request(&buf, 1024), ParseOutcome::Invalid(_)));
+    }
+
+    #[test]
+    fn connection_close_semantics() {
+        let (req, _) = complete(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(req.wants_close());
+        let (req, _) = complete(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(req.wants_close(), "HTTP/1.0 defaults to close");
+        let (req, _) = complete(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(!req.wants_close());
+    }
+}

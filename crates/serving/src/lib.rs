@@ -24,6 +24,11 @@
 //!   latency numbers of paper Figure 12 / Table 4;
 //! - [`live`] — a real threaded serving engine (crossbeam channels + real
 //!   numerics) proving the Fig. 2 architecture end to end;
+//! - [`http`] — the network front-end: a dependency-free HTTP/1.1 server
+//!   (worker pool over `TcpListener`) routing `POST /v1/infer` into the
+//!   live engine, with `GET /metrics` Prometheus scraping, bounded-queue
+//!   backpressure (`429` shedding), request-size limits and graceful
+//!   drain-then-join shutdown;
 //! - [`cluster`] — a multi-GPU extension: N simulated servers behind a
 //!   load balancer (the "upper-level load balancer as the one in Nexus"
 //!   the paper defers to);
@@ -35,9 +40,12 @@
 //!   (earliest-deadline-first, the Nexus scenario) with SLO load shedding;
 //! - [`stats`] — latency accumulation (avg / min / max / percentiles).
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod cluster;
 pub mod cost_table;
+pub mod http;
 pub mod live;
 pub mod multi_model;
 pub mod registry;
@@ -47,6 +55,7 @@ pub mod simulator;
 pub mod stats;
 
 pub use cost_table::CachedCost;
+pub use http::{HttpConfig, HttpServer, InferError, InferHandler, InferReply, VocabGuard};
 pub use request::{LengthDist, Request, WorkloadSpec};
 pub use scheduler::{
     BatchScheduler, DpScheduler, InstrumentedScheduler, LatencyDpScheduler, MemoryAwareDpScheduler,

@@ -138,12 +138,24 @@ pub struct LiveClient {
 
 impl LiveClient {
     /// Submit a token sequence; blocks until the engine responds.
+    ///
+    /// # Panics
+    /// If the engine has shut down, or it dropped this job because its
+    /// batch failed to execute (e.g. a token id outside the model's
+    /// vocabulary). Use [`try_infer`](Self::try_infer) to handle those
+    /// cases as values.
     pub fn infer(&self, tokens: Vec<u32>) -> LiveResponse {
+        self.try_infer(tokens).expect("engine answers every accepted job")
+    }
+
+    /// Submit a token sequence; blocks until the engine responds. Returns
+    /// `None` if the engine is gone or dropped the job's batch instead of
+    /// answering (the engine survives poisoned batches by dropping their
+    /// reply channels).
+    pub fn try_infer(&self, tokens: Vec<u32>) -> Option<LiveResponse> {
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send(Job { tokens, submitted: Instant::now(), reply: reply_tx })
-            .expect("engine is running");
-        reply_rx.recv().expect("engine answers every accepted job")
+        self.tx.send(Job { tokens, submitted: Instant::now(), reply: reply_tx }).ok()?;
+        reply_rx.recv().ok()
     }
 }
 
@@ -261,12 +273,29 @@ fn engine_loop(
             let execute_watch = metrics.as_ref().map(|_| Stopwatch::start());
             let rows: Vec<&[u32]> = batch.iter().map(|&i| jobs[i].tokens.as_slice()).collect();
             let (ids, mask, padded_len) = pad_batch(&rows);
-            let run = if batch.len() == 1 {
-                runtime.run_bert(&model, &ids)
-            } else {
-                runtime.run_bert_masked(&model, &ids, &mask)
-            }
-            .expect("scheduled lengths are within model limits");
+            // A poisoned batch (length beyond the model limit, token id
+            // outside the vocabulary, …) must not take the engine down: the
+            // affected jobs' reply channels are dropped — their clients see
+            // a closed channel, the HTTP layer maps that to 503 — and the
+            // loop keeps serving everyone else.
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if batch.len() == 1 {
+                    runtime.run_bert(&model, &ids)
+                } else {
+                    runtime.run_bert_masked(&model, &ids, &mask)
+                }
+            }));
+            let run = match run {
+                Ok(Ok(run)) => run,
+                Ok(Err(err)) => {
+                    eprintln!("tt-serving: dropping batch of {}: {err:?}", batch.len());
+                    continue;
+                }
+                Err(_panic) => {
+                    eprintln!("tt-serving: dropping batch of {}: executor panicked", batch.len());
+                    continue;
+                }
+            };
             if let (Some(m), Some(w)) = (&metrics, execute_watch) {
                 m.execute_ns.record(w.elapsed_nanos());
                 m.batches.inc();
@@ -361,6 +390,18 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn engine_survives_a_poisoned_batch() {
+        let (eng, _model) = engine();
+        // Token 500 is outside the tiny config's 97-word vocabulary: the
+        // embed kernel panics, the engine drops the batch — and must keep
+        // serving afterwards instead of dying with the batch.
+        assert!(eng.client().try_infer(vec![500, 1, 2]).is_none(), "poisoned job is dropped");
+        let resp = eng.client().try_infer(vec![5, 6, 7]).expect("engine still serves");
+        assert_eq!(resp.batch_size, 1);
+        assert_eq!(eng.shutdown(), 1, "only the healthy request was served");
     }
 
     #[test]

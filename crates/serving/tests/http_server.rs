@@ -1,0 +1,420 @@
+//! Integration tests for the HTTP serving front-end: a real server on an
+//! ephemeral port, spoken to over raw `TcpStream`s — the same wire a
+//! `curl` / Prometheus scraper / load generator would use.
+//!
+//! Covers the full robustness surface the front-end promises: the three
+//! routes, malformed-JSON `400`, oversized-body `413`, queue-full `429`
+//! with `Retry-After`, keep-alive pipelining, and graceful shutdown that
+//! drains in-flight requests instead of dropping them.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use tt_serving::http::{HttpConfig, HttpServer, InferError, InferHandler, InferReply, VocabGuard};
+use tt_serving::live::LiveEngine;
+use tt_serving::scheduler::InstrumentedScheduler;
+use tt_serving::{CachedCost, DpScheduler};
+use tt_telemetry::Registry;
+
+/// A parsed wire response.
+#[derive(Debug)]
+struct WireResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl WireResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Send one request with `Connection: close` and read the full response.
+fn roundtrip(addr: std::net::SocketAddr, raw: &str) -> WireResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read response");
+    parse_response(&buf)
+}
+
+fn parse_response(raw: &str) -> WireResponse {
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has a blank line");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 =
+        status_line.split(' ').nth(1).expect("status code").parse().expect("numeric status");
+    let headers = lines
+        .map(|l| {
+            let (n, v) = l.split_once(':').expect("header line");
+            (n.trim().to_string(), v.trim().to_string())
+        })
+        .collect();
+    WireResponse { status, headers, body: body.to_string() }
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> WireResponse {
+    roundtrip(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"))
+}
+
+fn post_infer(addr: std::net::SocketAddr, body: &str) -> WireResponse {
+    roundtrip(
+        addr,
+        &format!(
+            "POST /v1/infer HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// A fast deterministic stand-in for the live engine.
+struct EchoHandler;
+
+impl InferHandler for EchoHandler {
+    fn infer(&self, tokens: Vec<u32>) -> Result<InferReply, InferError> {
+        Ok(InferReply {
+            cls_vector: tokens.iter().map(|&t| t as f32).collect(),
+            latency_ms: 0.25,
+            batch_size: 1,
+            padded_len: tokens.len(),
+        })
+    }
+}
+
+/// A handler that parks every request until released, and reports how many
+/// inferences have started — lets tests hold the queue at a known depth.
+/// `started` lives outside the mutex so tests can poll it while a request
+/// is parked inside `recv_timeout`.
+struct GatedShared {
+    started: AtomicUsize,
+    release: std::sync::Mutex<mpsc::Receiver<()>>,
+}
+
+impl GatedShared {
+    fn new(release: mpsc::Receiver<()>) -> Self {
+        GatedShared { started: AtomicUsize::new(0), release: std::sync::Mutex::new(release) }
+    }
+
+    fn started(&self) -> usize {
+        self.started.load(Ordering::SeqCst)
+    }
+}
+
+impl InferHandler for GatedShared {
+    fn infer(&self, tokens: Vec<u32>) -> Result<InferReply, InferError> {
+        self.started.fetch_add(1, Ordering::SeqCst);
+        let rx = self.release.lock().unwrap();
+        let _ = rx.recv_timeout(Duration::from_secs(10));
+        Ok(InferReply {
+            cls_vector: vec![0.0],
+            latency_ms: 1.0,
+            batch_size: 1,
+            padded_len: tokens.len(),
+        })
+    }
+}
+
+fn server_with(
+    handler: Arc<dyn InferHandler>,
+    tweak: impl FnOnce(&mut HttpConfig),
+) -> (HttpServer, Registry) {
+    let registry = Registry::new();
+    let mut config = HttpConfig { addr: "127.0.0.1:0".into(), ..HttpConfig::default() };
+    tweak(&mut config);
+    let server = HttpServer::start(config, handler, &registry).expect("server starts");
+    (server, registry)
+}
+
+#[test]
+fn healthz_answers_ok() {
+    let (server, _registry) = server_with(Arc::new(EchoHandler), |_| {});
+    let resp = get(server.addr(), "/healthz");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, "{\"status\":\"ok\"}");
+    assert_eq!(resp.header("content-type"), Some("application/json"));
+    server.shutdown();
+}
+
+#[test]
+fn infer_roundtrips_json() {
+    let (server, _registry) = server_with(Arc::new(EchoHandler), |_| {});
+    let resp = post_infer(server.addr(), "{\"tokens\": [7, 8, 9]}");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"cls_vector\":[7.0,8.0,9.0]"), "body: {}", resp.body);
+    assert!(resp.body.contains("\"padded_len\":3"), "body: {}", resp.body);
+    server.shutdown();
+}
+
+#[test]
+fn metrics_exposition_includes_server_families() {
+    let (server, registry) = server_with(Arc::new(EchoHandler), |_| {});
+    // Generate traffic on every route, then scrape.
+    assert_eq!(post_infer(server.addr(), "{\"tokens\": [1]}").status, 200);
+    assert_eq!(get(server.addr(), "/healthz").status, 200);
+    let scrape = get(server.addr(), "/metrics");
+    assert_eq!(scrape.status, 200);
+    assert!(scrape.header("content-type").unwrap().starts_with("text/plain"));
+
+    for family in [
+        "# TYPE http_requests_total counter",
+        "# TYPE http_request_nanoseconds histogram",
+        "# TYPE http_active_connections gauge",
+        "# TYPE http_infer_inflight gauge",
+        "# TYPE http_sheds_total counter",
+        "http_requests_total{route=\"/v1/infer\",status=\"200\"} 1",
+        "http_requests_total{route=\"/healthz\",status=\"200\"} 1",
+    ] {
+        assert!(scrape.body.contains(family), "scrape missing {family:?}\n{}", scrape.body);
+    }
+
+    // The scrape is the same exposition the in-process registry renders:
+    // every family name in render_prometheus() appears over the wire too
+    // (modulo counts that moved because /metrics itself is instrumented).
+    let in_process = registry.render_prometheus();
+    for line in in_process.lines().filter(|l| l.starts_with("# TYPE")) {
+        assert!(scrape.body.contains(line) || line.contains("http_"), "missing family: {line}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_json_is_400() {
+    let (server, _registry) = server_with(Arc::new(EchoHandler), |_| {});
+    let resp = post_infer(server.addr(), "{\"tokens\": [1, 2");
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("error"), "body: {}", resp.body);
+    let resp = post_infer(server.addr(), "{\"tokens\": []}");
+    assert_eq!(resp.status, 400, "empty token list is rejected");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_request_line_is_400() {
+    let (server, _registry) = server_with(Arc::new(EchoHandler), |_| {});
+    let resp = roundtrip(server.addr(), "THIS IS NOT HTTP\r\n\r\n");
+    assert_eq!(resp.status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_body_is_413_at_header_time() {
+    let (server, _registry) = server_with(Arc::new(EchoHandler), |c| c.max_body_bytes = 64);
+    // Declare a huge body but never send it — the refusal must not wait.
+    let resp = roundtrip(
+        server.addr(),
+        "POST /v1/infer HTTP/1.1\r\nHost: t\r\nContent-Length: 1000000\r\n\
+         Connection: close\r\n\r\n",
+    );
+    assert_eq!(resp.status, 413);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_route_is_404_and_wrong_method_is_405() {
+    let (server, _registry) = server_with(Arc::new(EchoHandler), |_| {});
+    assert_eq!(get(server.addr(), "/nope").status, 404);
+    assert_eq!(get(server.addr(), "/v1/infer").status, 405, "GET on a POST route");
+    let resp = roundtrip(
+        server.addr(),
+        "DELETE /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(resp.status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_pipelined_requests_on_one_connection() {
+    let (server, _registry) = server_with(Arc::new(EchoHandler), |_| {});
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    // Two pipelined requests, then a third asking to close.
+    let batch = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+                 GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+                 GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    stream.write_all(batch.as_bytes()).expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let ok_count = raw.matches("HTTP/1.1 200 OK").count();
+    assert_eq!(ok_count, 3, "all three pipelined requests answered:\n{raw}");
+    server.shutdown();
+}
+
+#[test]
+fn vocab_guard_rejects_out_of_range_tokens_with_400() {
+    let (server, _registry) = server_with(Arc::new(VocabGuard::new(EchoHandler, 100)), |_| {});
+    let ok = post_infer(server.addr(), "{\"tokens\": [99]}");
+    assert_eq!(ok.status, 200);
+    let bad = post_infer(server.addr(), "{\"tokens\": [1, 100, 2]}");
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("out of range"), "body: {}", bad.body);
+    server.shutdown();
+}
+
+/// A panicking backend costs the request a 503, not the worker thread —
+/// the server keeps answering afterwards.
+#[test]
+fn panicking_handler_maps_to_503_and_server_survives() {
+    struct PanicHandler;
+    impl InferHandler for PanicHandler {
+        fn infer(&self, _tokens: Vec<u32>) -> Result<InferReply, InferError> {
+            panic!("backend blew up");
+        }
+    }
+    let (server, _registry) = server_with(Arc::new(PanicHandler), |_| {});
+    let resp = post_infer(server.addr(), "{\"tokens\": [1]}");
+    assert_eq!(resp.status, 503);
+    // The worker that caught the panic still serves.
+    assert_eq!(get(server.addr(), "/healthz").status, 200);
+    server.shutdown();
+}
+
+/// End to end with the real stack: TCP accept → parse → LiveEngine
+/// (DP scheduler, real BERT numerics) → JSON response, and a `/metrics`
+/// scrape that carries the engine's, scheduler's, executor's *and* the
+/// server's metric families — the same exposition the in-process
+/// `telemetry_report` harness renders.
+#[test]
+fn live_engine_behind_http_serves_and_is_scrapeable() {
+    use std::sync::Arc;
+    use tt_gpusim::device::DeviceKind;
+    use tt_model::bert::{Bert, BertConfig};
+    use tt_runtime::{RuntimeConfig, TurboRuntime};
+
+    let registry = Registry::new();
+    let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+    let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+    runtime.instrument(&registry);
+    let costs =
+        Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+    let scheduler = Arc::new(InstrumentedScheduler::new(Arc::new(DpScheduler), &registry));
+    let engine = LiveEngine::start_instrumented(model, runtime, scheduler, costs, &registry);
+
+    let config = HttpConfig { addr: "127.0.0.1:0".into(), ..HttpConfig::default() };
+    let server =
+        HttpServer::start(config, Arc::new(engine.client()), &registry).expect("server starts");
+    let addr = server.addr();
+
+    // A few concurrent clients through the full stack.
+    let mut clients = Vec::new();
+    for t in 0..4u32 {
+        clients.push(std::thread::spawn(move || {
+            let tokens: Vec<u32> = (0..(4 + t * 3)).collect();
+            let body = format!(
+                "{{\"tokens\": [{}]}}",
+                tokens.iter().map(u32::to_string).collect::<Vec<_>>().join(", ")
+            );
+            post_infer(addr, &body)
+        }));
+    }
+    for client in clients {
+        let resp = client.join().expect("client thread");
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"cls_vector\":["), "body: {}", resp.body);
+        assert!(resp.body.contains("\"batch_size\":"), "body: {}", resp.body);
+    }
+
+    let scrape = get(addr, "/metrics");
+    assert_eq!(scrape.status, 200);
+    for family in [
+        "live_requests_total 4",
+        "# TYPE live_queue_wait_nanoseconds histogram",
+        "# TYPE live_padding_waste_ratio gauge",
+        "# TYPE scheduler_nanoseconds histogram",
+        "# TYPE executor_op_nanoseconds histogram",
+        "# TYPE http_requests_total counter",
+        "http_requests_total{route=\"/v1/infer\",status=\"200\"} 4",
+    ] {
+        assert!(scrape.body.contains(family), "scrape missing {family:?}");
+    }
+
+    let final_metrics = server.shutdown();
+    assert_eq!(engine.shutdown(), 4, "engine served exactly the HTTP-admitted requests");
+    assert!(final_metrics.contains("live_requests_total 4"));
+}
+
+#[test]
+fn queue_full_sheds_429_with_retry_after() {
+    let (release_tx, release_rx) = mpsc::channel();
+    let handler = Arc::new(GatedShared::new(release_rx));
+
+    let (server, registry) = server_with(handler.clone(), |c| {
+        c.max_queue_depth = 1;
+        c.workers = 4;
+        c.read_timeout = Duration::from_secs(20);
+    });
+    let addr = server.addr();
+
+    // Occupy the single queue slot with a parked inference.
+    let first = std::thread::spawn(move || post_infer(addr, "{\"tokens\": [1]}"));
+    while handler.started() < 1 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The next request must be shed, not queued.
+    let shed = post_infer(addr, "{\"tokens\": [2]}");
+    assert_eq!(shed.status, 429);
+    assert_eq!(shed.header("retry-after"), Some("1"));
+
+    // Release the parked request; it completes normally.
+    release_tx.send(()).unwrap();
+    let first = first.join().expect("first client");
+    assert_eq!(first.status, 200, "occupying request still completes");
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.find("http_sheds_total", &[]).unwrap().counter, Some(1));
+    assert_eq!(
+        snap.find("http_requests_total", &[("route", "/v1/infer"), ("status", "429")])
+            .unwrap()
+            .counter,
+        Some(1)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_requests() {
+    let (release_tx, release_rx) = mpsc::channel();
+    let handler = Arc::new(GatedShared::new(release_rx));
+
+    let (server, _registry) = server_with(handler.clone(), |c| {
+        c.read_timeout = Duration::from_secs(20);
+    });
+    let addr = server.addr();
+
+    let inflight = std::thread::spawn(move || post_infer(addr, "{\"tokens\": [5]}"));
+    while handler.started() < 1 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Shut down while the request is mid-inference; release it shortly
+    // after shutdown starts waiting on the drain.
+    let releaser = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        release_tx.send(()).unwrap();
+    });
+    let final_metrics = server.shutdown();
+    releaser.join().unwrap();
+
+    // The in-flight request was answered, not dropped.
+    let resp = inflight.join().expect("in-flight client");
+    assert_eq!(resp.status, 200, "graceful shutdown must drain in-flight requests");
+
+    // The final snapshot is the flushed exposition, including the drain.
+    assert!(final_metrics.contains("http_requests_total{route=\"/v1/infer\",status=\"200\"} 1"));
+
+    // And the port is actually closed afterwards: a new connection is
+    // either refused outright or never answered.
+    let closed = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut s) => {
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap_or(0) == 0
+        }
+    };
+    assert!(closed, "listener must stop accepting after shutdown");
+}

@@ -39,6 +39,8 @@
 //! assert!(registry.render_prometheus().contains("request_nanoseconds_bucket"));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod histogram;
 pub mod metrics;
 pub mod registry;
