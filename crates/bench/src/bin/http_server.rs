@@ -26,10 +26,14 @@ use tt_serving::http::{HttpConfig, HttpServer, VocabGuard};
 use tt_serving::live::LiveEngine;
 use tt_serving::scheduler::InstrumentedScheduler;
 use tt_serving::{CachedCost, DpScheduler};
-use tt_telemetry::Registry;
+use tt_telemetry::{Registry, Tracer};
 
 fn main() {
     let registry = Registry::new();
+    // Head-sampled request tracing: 1-in-TT_TRACE_SAMPLE requests (default
+    // 64) record a span tree, queryable at GET /v1/traces/<id>; any single
+    // request can opt in with `?trace=1`.
+    let tracer = Tracer::from_env();
 
     let model_kind = std::env::var("TT_HTTP_MODEL").unwrap_or_else(|_| "tiny".into());
     let bert_config = match model_kind.as_str() {
@@ -40,21 +44,27 @@ fn main() {
     let model = Arc::new(Bert::new_random(&bert_config, 2024));
     let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
     runtime.instrument(&registry);
-    let costs =
-        Arc::new(CachedCost::from_fn(64, 16, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+    // The static profile seeds the table; completed batches feed measured
+    // times back through an EWMA so costs track the live machine.
+    let costs = Arc::new(
+        CachedCost::from_fn(64, 16, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64)
+            .with_online_updates(0.2),
+    );
     let scheduler = Arc::new(InstrumentedScheduler::new(Arc::new(DpScheduler), &registry));
-    let engine = LiveEngine::start_instrumented(model, runtime, scheduler, costs, &registry);
+    let engine =
+        LiveEngine::start_traced(model, runtime, scheduler, costs, &registry, tracer.clone());
 
     let config = HttpConfig::from_env();
     // Vocabulary admission check at the boundary: an out-of-range token id
     // is a client error (400), not an engine incident.
     let handler = Arc::new(VocabGuard::new(engine.client(), bert_config.vocab_size));
-    let server =
-        HttpServer::start(config.clone(), handler, &registry).expect("binding the HTTP listener");
+    let server = HttpServer::start_traced(config.clone(), handler, &registry, tracer)
+        .expect("binding the HTTP listener");
     println!("serving on http://{}", server.addr());
     // Keep the sample ids inside the smallest (tiny, 97-word) vocabulary so
     // pasting the hint verbatim succeeds under every TT_HTTP_MODEL.
-    println!("  POST /v1/infer   {{\"tokens\": [5, 17, 42, 8]}}");
+    println!("  POST /v1/infer   {{\"tokens\": [5, 17, 42, 8]}}  (append ?trace=1 to sample)");
+    println!("  GET  /v1/traces/<id>  span tree of a sampled request (id from x-tt-trace-id)");
     println!("  GET  /metrics    Prometheus text exposition");
     println!("  GET  /healthz    liveness");
     println!(

@@ -9,10 +9,15 @@
 //! also exercises the `429` shed path — shed rate is a first-class column,
 //! not an error.
 //!
-//! Outputs `results/serving_http.md` (human-readable) and
-//! `BENCH_http.json` at the repo root (machine-readable trajectory for
-//! later PRs — e.g. the ROADMAP's async front-end — to regress against).
-//! `--smoke` runs one tiny level and writes nothing; that is what CI runs.
+//! Outputs `results/serving_http.md` (human-readable), `BENCH_http.json`
+//! at the repo root (machine-readable trajectory for later PRs — e.g. the
+//! ROADMAP's async front-end — to regress against), and
+//! `results/trace.json` — every span the run's [`Tracer`] collected, in
+//! Chrome trace-event form, loadable in Perfetto / `chrome://tracing`.
+//! The first request of every client forces sampling (`?trace=1`), so the
+//! trace file is never empty; `TT_TRACE_SAMPLE` widens coverage.
+//! `--smoke` runs one tiny level and writes only the trace file (which CI
+//! then validates with the `trace_check` bin).
 
 use std::fmt::Write as _;
 use std::io::{Read, Write as _};
@@ -32,7 +37,7 @@ use tt_serving::live::LiveEngine;
 use tt_serving::scheduler::InstrumentedScheduler;
 use tt_serving::stats::LatencyStats;
 use tt_serving::{CachedCost, DpScheduler};
-use tt_telemetry::Registry;
+use tt_telemetry::{chrome_trace_json, Registry, Tracer};
 
 /// Requests each client issues per concurrency level.
 const REQUESTS_PER_CLIENT: usize = 30;
@@ -73,13 +78,19 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
 
     let registry = Registry::new();
+    let tracer = Tracer::from_env();
     let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
     let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
     runtime.instrument(&registry);
-    let costs =
-        Arc::new(CachedCost::from_fn(64, 16, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+    // Online EWMA feedback: completed batches refine the profiled costs,
+    // so the DP scheduler tracks the machine it is actually running on.
+    let costs = Arc::new(
+        CachedCost::from_fn(64, 16, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64)
+            .with_online_updates(0.2),
+    );
     let scheduler = Arc::new(InstrumentedScheduler::new(Arc::new(DpScheduler), &registry));
-    let engine = LiveEngine::start_instrumented(model, runtime, scheduler, costs, &registry);
+    let engine =
+        LiveEngine::start_traced(model, runtime, scheduler, costs, &registry, tracer.clone());
 
     let config = HttpConfig {
         addr: "127.0.0.1:0".into(),
@@ -88,7 +99,8 @@ fn main() {
         ..HttpConfig::default()
     };
     let server =
-        HttpServer::start(config, Arc::new(engine.client()), &registry).expect("server starts");
+        HttpServer::start_traced(config, Arc::new(engine.client()), &registry, tracer.clone())
+            .expect("server starts");
     let addr = server.addr();
     println!("serving_http: engine + HTTP front-end on {addr}");
 
@@ -136,11 +148,21 @@ fn main() {
     }
     println!("engine served {served} requests");
 
+    // Export everything the tracer collected as a Chrome trace-event file
+    // — drop it into Perfetto (ui.perfetto.dev) or chrome://tracing. One
+    // timeline lane per sampled request.
+    let spans = tracer.all_spans();
+    let _ = std::fs::create_dir_all("results");
+    std::fs::write("results/trace.json", chrome_trace_json(&spans))
+        .expect("write results/trace.json");
+    println!("wrote results/trace.json ({} spans)", spans.len());
+
     if smoke {
         let shed_total: usize = reports.iter().map(|r| r.shed).sum();
         let ok_total: usize = reports.iter().map(|r| r.ok).sum();
         assert!(ok_total > 0, "smoke run must complete requests");
         assert_eq!(served, ok_total, "engine served exactly the admitted requests");
+        assert!(!spans.is_empty(), "forced-trace requests must leave spans");
         let _ = shed_total;
         println!("smoke OK");
         return;
@@ -159,13 +181,15 @@ fn run_level(addr: SocketAddr, concurrency: usize, per_client: usize) -> LevelRe
             let mut ok = 0usize;
             let mut shed = 0usize;
             let mut errors = 0usize;
-            for _ in 0..per_client {
+            for i in 0..per_client {
                 let len = rng.random_range(LEN_RANGE);
                 let tokens: Vec<String> =
                     (0..len).map(|i| ((i * 7 + c) % 90).to_string()).collect();
                 let body = format!("{{\"tokens\": [{}]}}", tokens.join(", "));
                 let start = Instant::now();
-                match request(addr, &body) {
+                // Each client forces tracing on its first request, so the
+                // exported trace file has spans even at wide sample rates.
+                match request(addr, &body, i == 0) {
                     Some(200) => {
                         ok += 1;
                         latencies.push(start.elapsed().as_secs_f64());
@@ -207,10 +231,11 @@ fn run_level(addr: SocketAddr, concurrency: usize, per_client: usize) -> LevelRe
 }
 
 /// One request on a fresh connection; returns the status code.
-fn request(addr: SocketAddr, body: &str) -> Option<u16> {
+fn request(addr: SocketAddr, body: &str, force_trace: bool) -> Option<u16> {
     let mut stream = TcpStream::connect(addr).ok()?;
+    let target = if force_trace { "/v1/infer?trace=1" } else { "/v1/infer" };
     let raw = format!(
-        "POST /v1/infer HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\n\
+        "POST {target} HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
@@ -260,7 +285,12 @@ fn write_outputs(reports: &[LevelReport], http_lines: &[&str]) {
         let _ = writeln!(md, "{line}");
     }
     let _ = writeln!(md, "```");
-    let _ = writeln!(md, "\nMachine-readable trajectory: `BENCH_http.json` at the repo root.");
+    let _ = writeln!(
+        md,
+        "\nMachine-readable trajectory: `BENCH_http.json` at the repo root. \
+         Request timelines: `results/trace.json` (Chrome trace-event format — \
+         load it in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`)."
+    );
     std::fs::write("results/serving_http.md", md).expect("write results/serving_http.md");
 
     let report = HttpBenchReport {

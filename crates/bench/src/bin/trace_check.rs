@@ -1,0 +1,148 @@
+//! CI validator for `results/trace.json`, the Chrome trace-event file the
+//! `serving_http` bench exports.
+//!
+//! Checks, in order:
+//!
+//! 1. the file parses as JSON and has the Chrome trace-event envelope
+//!    (`displayTimeUnit`, non-empty `traceEvents` of complete `ph:"X"`
+//!    events);
+//! 2. the serving pipeline's span vocabulary is present — `http`,
+//!    `queue_wait`, `schedule`, `execute`, `alloc_plan` and at least one
+//!    per-op span (`matmul`) — i.e. the trace actually covers accept →
+//!    admission → scheduling → allocation → execution;
+//! 3. every span tree is well-formed: each non-root span's parent exists
+//!    in the same trace and child intervals nest inside their parent's
+//!    (checked on the exact `start_ns`/`dur_ns` the exporter carries in
+//!    `args`, not the µs-rounded `ts`/`dur`).
+//!
+//! Exits non-zero with a reason on any violation; prints a one-line
+//! summary on success. Run it right after
+//! `TT_TRACE_SAMPLE=1 serving_http --smoke`.
+
+use serde::json::{parse, Value};
+
+/// Span names that must appear for the trace to count as end-to-end.
+const REQUIRED_SPANS: &[&str] =
+    &["http", "queue_wait", "schedule", "execute", "alloc_plan", "matmul"];
+
+fn fail(reason: &str) -> ! {
+    eprintln!("trace_check FAILED: {reason}");
+    std::process::exit(1)
+}
+
+fn str_field<'v>(event: &'v Value, key: &str) -> &'v str {
+    event
+        .get(key)
+        .and_then(|v| v.as_str())
+        .unwrap_or_else(|| fail(&format!("event missing string field {key:?}")))
+}
+
+fn num_field(event: &Value, key: &str) -> f64 {
+    event
+        .get(key)
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| fail(&format!("event missing numeric field {key:?}")))
+}
+
+/// One event, reduced to what the tree checks need.
+struct Span {
+    trace: String,
+    span: String,
+    parent: Option<String>,
+    name: String,
+    start_ns: f64,
+    end_ns: f64,
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "results/trace.json".to_string());
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = parse(&raw).unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e:?}")));
+
+    // 1. Envelope.
+    if doc.get("displayTimeUnit").and_then(|v| v.as_str()) != Some("ms") {
+        fail("missing displayTimeUnit: \"ms\"");
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .unwrap_or_else(|| fail("missing traceEvents array"));
+    if events.is_empty() {
+        fail("traceEvents is empty — the smoke run recorded no spans");
+    }
+
+    let mut spans = Vec::with_capacity(events.len());
+    for event in events {
+        if str_field(event, "ph") != "X" {
+            fail("every exported event must be a complete ('X') event");
+        }
+        num_field(event, "pid");
+        num_field(event, "tid");
+        let ts = num_field(event, "ts");
+        let dur = num_field(event, "dur");
+        if ts < 0.0 || dur < 0.0 {
+            fail("ts/dur must be non-negative");
+        }
+        let args = event.get("args").unwrap_or_else(|| fail("event missing args"));
+        let parent = match args.get("parent_id") {
+            None => fail("args missing parent_id"),
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(
+                v.as_str()
+                    .unwrap_or_else(|| fail("parent_id must be null or a string"))
+                    .to_string(),
+            ),
+        };
+        let start_ns = num_field(args, "start_ns");
+        spans.push(Span {
+            trace: str_field(args, "trace_id").to_string(),
+            span: str_field(args, "span_id").to_string(),
+            parent,
+            name: str_field(event, "name").to_string(),
+            start_ns,
+            end_ns: start_ns + num_field(args, "dur_ns"),
+        });
+    }
+
+    // 2. Pipeline coverage.
+    for required in REQUIRED_SPANS {
+        if !spans.iter().any(|s| s.name == *required) {
+            fail(&format!("required span {required:?} is missing from the trace"));
+        }
+    }
+
+    // 3. Tree well-formedness, per trace.
+    for span in &spans {
+        let Some(parent_id) = &span.parent else { continue };
+        let parent = spans
+            .iter()
+            .find(|p| p.trace == span.trace && &p.span == parent_id)
+            .unwrap_or_else(|| {
+                fail(&format!(
+                    "span {} ({}) in trace {} has a dangling parent {}",
+                    span.span, span.name, span.trace, parent_id
+                ))
+            });
+        if span.start_ns < parent.start_ns || span.end_ns > parent.end_ns {
+            fail(&format!(
+                "span {} ({}) [{}, {}] does not nest in parent {} ({}) [{}, {}]",
+                span.span,
+                span.name,
+                span.start_ns,
+                span.end_ns,
+                parent.span,
+                parent.name,
+                parent.start_ns,
+                parent.end_ns
+            ));
+        }
+    }
+
+    let traces: std::collections::BTreeSet<&str> = spans.iter().map(|s| s.trace.as_str()).collect();
+    println!(
+        "trace_check OK: {} events across {} traces, all required spans present, all trees nest",
+        spans.len(),
+        traces.len()
+    );
+}

@@ -19,7 +19,7 @@ use tt_graph::{lifetime::activation_lifetimes, Graph, Node, OpKind, TensorClass,
 use tt_kernels as k;
 use tt_model::bound::{BoundGraph, InputBinding};
 use tt_model::weights::WeightStore;
-use tt_telemetry::{Counter, Histogram, Registry, Stopwatch};
+use tt_telemetry::{AttrValue, Counter, Histogram, Registry, SpanContext, Stopwatch, Tracer};
 use tt_tensor::storage::{Arena, Region};
 use tt_tensor::{batched_sgemm, sgemm, GemmSpec, Tensor, Trans};
 
@@ -136,6 +136,12 @@ pub fn matmul_flops(graph: &Graph, node: &Node) -> Option<u64> {
     Some(2 * batch as u64 * m as u64 * k as u64 * n as u64)
 }
 
+/// Tracing hook for one execution: the collector plus the parent span
+/// contexts to record under. A batch can carry several sampled requests,
+/// so the allocator-plan and per-op spans are recorded once per parent —
+/// each request's trace tells its own complete story.
+pub type TraceHook<'a> = (&'a Tracer, &'a [SpanContext]);
+
 /// Result of one executed inference.
 #[derive(Debug)]
 pub struct Execution {
@@ -169,10 +175,50 @@ pub fn execute_with(
     arena: &mut Arena,
     metrics: Option<&ExecutorMetrics>,
 ) -> Execution {
+    execute_traced(bound, store, inputs, allocator, arena, metrics, None)
+}
+
+/// [`execute_with`], additionally recording request-scoped spans: one
+/// `alloc_plan` span (chunks touched, bytes reused) and one span per
+/// executed operator (shape; achieved GFLOP/s for MatMuls) under every
+/// parent context in the hook.
+pub fn execute_traced(
+    bound: &BoundGraph,
+    store: &WeightStore,
+    inputs: &[(InputBinding, &Tensor)],
+    allocator: &mut TurboAllocator,
+    arena: &mut Arena,
+    metrics: Option<&ExecutorMetrics>,
+    trace: Option<TraceHook<'_>>,
+) -> Execution {
     let graph = &bound.graph;
     let (usages, order) = activation_lifetimes(graph);
     let activation_bytes: usize = usages.iter().map(|u| u.size).sum();
+    let plan_start = trace.map(|(t, _)| (t.now_ns(), Stopwatch::start()));
     let plan = allocator.plan(&usages);
+    if let (Some((tracer, parents)), Some((start_ns, watch))) = (trace, plan_start) {
+        let dur_ns = watch.elapsed_nanos();
+        let stats = allocator.last_stats();
+        for ctx in parents {
+            tracer.record_span(
+                ctx.trace,
+                Some(ctx.span),
+                "alloc_plan",
+                start_ns,
+                dur_ns,
+                vec![
+                    ("chunks", AttrValue::Int(plan.chunk_sizes.len() as i64)),
+                    ("new_chunks", AttrValue::Int(stats.new_chunks as i64)),
+                    ("new_bytes", AttrValue::Int(stats.new_bytes as i64)),
+                    (
+                        "reused_bytes",
+                        AttrValue::Int(stats.footprint.saturating_sub(stats.new_bytes) as i64),
+                    ),
+                    ("footprint_bytes", AttrValue::Int(stats.footprint as i64)),
+                ],
+            );
+        }
+    }
     tt_alloc::validate_plan(&usages, &plan).expect("allocator produced an unsafe plan");
 
     // Materialize chunks (bytes → f32 elements; all sizes are 4-aligned).
@@ -234,7 +280,8 @@ pub fn execute_with(
             })
             .collect();
 
-        let watch = metrics.map(|_| Stopwatch::start());
+        let op_start_ns = trace.map(|(t, _)| t.now_ns());
+        let watch = (metrics.is_some() || trace.is_some()).then(Stopwatch::start);
         if node.output == bound.output {
             // Output goes to the dedicated buffer; arena is read-only here.
             let ins: Vec<&[f32]> = srcs
@@ -265,11 +312,38 @@ pub fn execute_with(
                 .collect();
             dispatch(graph, node, &ins, out);
         }
-        if let (Some(m), Some(w)) = (metrics, watch) {
+        if let Some(w) = watch {
             let nanos = w.elapsed_nanos();
-            m.observe(&node.kind, nanos);
-            if let Some(flops) = matmul_flops(graph, node) {
-                m.observe_gemm(flops, nanos);
+            let flops = matmul_flops(graph, node);
+            if let Some(m) = metrics {
+                m.observe(&node.kind, nanos);
+                if let Some(flops) = flops {
+                    m.observe_gemm(flops, nanos);
+                }
+            }
+            if let (Some((tracer, parents)), Some(start_ns)) = (trace, op_start_ns) {
+                let shape = graph.tensors[node.output]
+                    .shape
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x");
+                for ctx in parents {
+                    let mut attrs = vec![("shape", AttrValue::Str(shape.clone()))];
+                    if let Some(flops) = flops {
+                        // flops per nanosecond is numerically GFLOP/s.
+                        attrs
+                            .push(("gflops", AttrValue::Float(flops as f64 / nanos.max(1) as f64)));
+                    }
+                    tracer.record_span(
+                        ctx.trace,
+                        Some(ctx.span),
+                        OP_NAMES[op_index(&node.kind)],
+                        start_ns,
+                        nanos,
+                        attrs,
+                    );
+                }
             }
         }
     }

@@ -328,6 +328,7 @@ impl TurboRuntime {
         inputs: &[(InputBinding, &Tensor)],
         batch: usize,
         seq: usize,
+        trace: Option<executor::TraceHook<'_>>,
     ) -> EncoderRun {
         let transformed = self.transform(bound);
         let mut cb = cost::graph_cost(&self.device, &self.profile, &transformed.graph);
@@ -335,13 +336,14 @@ impl TurboRuntime {
         cb.alloc = self.alloc_overhead(&mut state, &transformed);
         cb.overhead = self.profile.per_infer_overhead + self.pretune_cost(&mut state, batch, seq);
         let State { allocator, arena, exec_metrics, .. } = &mut *state;
-        let exec = executor::execute_with(
+        let exec = executor::execute_traced(
             &transformed,
             store,
             inputs,
             allocator,
             arena,
             exec_metrics.as_ref(),
+            trace,
         );
         EncoderRun {
             encoder_output: exec.output,
@@ -353,12 +355,30 @@ impl TurboRuntime {
 
     /// Run BERT on unpadded `[batch, seq]` token ids.
     pub fn run_bert(&self, model: &Bert, ids: &Tensor) -> Result<EncoderRun, RunError> {
+        self.run_bert_traced(model, ids, None)
+    }
+
+    /// [`run_bert`](Self::run_bert), recording allocator-plan and per-op
+    /// spans under every parent context in `trace`.
+    pub fn run_bert_traced(
+        &self,
+        model: &Bert,
+        ids: &Tensor,
+        trace: Option<executor::TraceHook<'_>>,
+    ) -> Result<EncoderRun, RunError> {
         let (batch, seq) = (ids.shape().dim(0), ids.shape().dim(1));
         if seq > model.config.max_position {
             return Err(RunError::SequenceTooLong { got: seq, max: model.config.max_position });
         }
         let bound = model.build_graph(batch, seq, false);
-        Ok(self.run_encoder(&bound, model.weights(), &[(InputBinding::TokenIds, ids)], batch, seq))
+        Ok(self.run_encoder(
+            &bound,
+            model.weights(),
+            &[(InputBinding::TokenIds, ids)],
+            batch,
+            seq,
+            trace,
+        ))
     }
 
     /// Run BERT on a zero-padded batch with an additive attention mask
@@ -368,6 +388,18 @@ impl TurboRuntime {
         model: &Bert,
         ids: &Tensor,
         mask: &Tensor,
+    ) -> Result<EncoderRun, RunError> {
+        self.run_bert_masked_traced(model, ids, mask, None)
+    }
+
+    /// [`run_bert_masked`](Self::run_bert_masked), recording allocator-plan
+    /// and per-op spans under every parent context in `trace`.
+    pub fn run_bert_masked_traced(
+        &self,
+        model: &Bert,
+        ids: &Tensor,
+        mask: &Tensor,
+        trace: Option<executor::TraceHook<'_>>,
     ) -> Result<EncoderRun, RunError> {
         let (batch, seq) = (ids.shape().dim(0), ids.shape().dim(1));
         if seq > model.config.max_position {
@@ -380,6 +412,7 @@ impl TurboRuntime {
             &[(InputBinding::TokenIds, ids), (InputBinding::AttentionMask, mask)],
             batch,
             seq,
+            trace,
         ))
     }
 
@@ -390,7 +423,14 @@ impl TurboRuntime {
             return Err(RunError::SequenceTooLong { got: seq, max: model.config.max_position });
         }
         let bound = model.build_graph(batch, seq, false);
-        Ok(self.run_encoder(&bound, model.weights(), &[(InputBinding::TokenIds, ids)], batch, seq))
+        Ok(self.run_encoder(
+            &bound,
+            model.weights(),
+            &[(InputBinding::TokenIds, ids)],
+            batch,
+            seq,
+            None,
+        ))
     }
 }
 
@@ -423,6 +463,40 @@ mod tests {
         assert!(h.sum > 0, "GEMM time must be nonzero");
         assert_eq!(snap.find("alloc_plans_total", &[]).unwrap().counter, Some(1));
         assert!(snap.find("alloc_resident_bytes", &[]).unwrap().gauge.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn traced_run_records_alloc_plan_and_per_op_spans() {
+        use tt_telemetry::{Tracer, TracerConfig};
+        let model = Bert::new_random(&BertConfig::tiny(), 3);
+        let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+        let tracer = Tracer::new(TracerConfig { sample_every: 1, ..TracerConfig::default() });
+        let root = tracer.start_root("execute", false).unwrap();
+        let ctx = root.context();
+        rt.run_bert_traced(&model, &ids_batch(&[&[1, 2, 3, 4]]), Some((&tracer, &[ctx]))).unwrap();
+        drop(root);
+
+        let spans = tracer.spans_of(ctx.trace);
+        let plan = spans.iter().find(|s| s.name == "alloc_plan").expect("alloc_plan span");
+        assert_eq!(plan.parent, Some(ctx.span));
+        assert!(plan.attrs.iter().any(|(k, _)| *k == "chunks"));
+        assert!(plan.attrs.iter().any(|(k, _)| *k == "reused_bytes"));
+        let matmul = spans.iter().find(|s| s.name == "matmul").expect("matmul op span");
+        assert_eq!(matmul.parent, Some(ctx.span));
+        let shape = matmul.attrs.iter().find(|(k, _)| *k == "shape").expect("shape attr");
+        assert!(matches!(&shape.1, tt_telemetry::AttrValue::Str(s) if s.contains('x')));
+        let gflops = matmul.attrs.iter().find(|(k, _)| *k == "gflops").expect("gflops attr");
+        assert!(matches!(&gflops.1, tt_telemetry::AttrValue::Float(v) if *v > 0.0));
+        // Every recorded span nests inside the root's interval.
+        let root_span = spans.iter().find(|s| s.name == "execute").unwrap();
+        for s in &spans {
+            assert!(s.start_ns >= root_span.start_ns);
+            assert!(
+                s.start_ns + s.dur_ns <= root_span.start_ns + root_span.dur_ns,
+                "span {} must end within its root",
+                s.name
+            );
+        }
     }
 
     #[test]

@@ -9,9 +9,115 @@
 //! warm-up time), and the table serializes with `serde` for the
 //! disk-storage path.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::json::Value;
 use serde::{Deserialize, Serialize};
 use tt_model::bert::BertConfig;
 use tt_runtime::TurboRuntime;
+
+/// Online EWMA refinement of the static cost table. One atomic cell per
+/// `(bucket, batch)` pair holds the f64 bit pattern of the smoothed
+/// observed batch cost (all-zero bits = no observation yet — a real batch
+/// never takes exactly 0.0 seconds). The serving loop feeds completed
+/// batch timings in; Algorithm 3 then prices splits with what this
+/// machine actually does instead of what the warm-up phase once measured.
+#[derive(Debug)]
+pub struct OnlineCosts {
+    /// Smoothing factor in `(0, 1]`: weight of the newest observation.
+    alpha: f64,
+    /// `cells[bucket_index][batch - 1]` = EWMA seconds, as f64 bits.
+    cells: Vec<Vec<AtomicU64>>,
+}
+
+impl OnlineCosts {
+    fn new(alpha: f64, buckets: usize, max_batch: usize) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+        let cells =
+            (0..buckets).map(|_| (0..max_batch).map(|_| AtomicU64::new(0)).collect()).collect();
+        OnlineCosts { alpha, cells }
+    }
+
+    /// Fold one observed batch cost into the cell's EWMA (CAS loop; the
+    /// serving loop observes once per executed batch, so contention is nil).
+    fn observe(&self, bucket: usize, batch_minus_1: usize, seconds: f64) {
+        if !(seconds.is_finite() && seconds > 0.0) {
+            return;
+        }
+        let cell = &self.cells[bucket][batch_minus_1];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = if cur == 0 {
+                seconds
+            } else {
+                self.alpha * seconds + (1.0 - self.alpha) * f64::from_bits(cur)
+            };
+            match cell.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The cell's EWMA seconds, `None` before the first observation.
+    fn get(&self, bucket: usize, batch_minus_1: usize) -> Option<f64> {
+        match self.cells[bucket][batch_minus_1].load(Ordering::Relaxed) {
+            0 => None,
+            bits => Some(f64::from_bits(bits)),
+        }
+    }
+}
+
+impl Clone for OnlineCosts {
+    fn clone(&self) -> Self {
+        OnlineCosts {
+            alpha: self.alpha,
+            cells: self
+                .cells
+                .iter()
+                .map(|row| row.iter().map(|c| AtomicU64::new(c.load(Ordering::Relaxed))).collect())
+                .collect(),
+        }
+    }
+}
+
+impl Serialize for OnlineCosts {
+    fn serialize_json(&self, out: &mut String) {
+        // Cells serialize as seconds (0.0 = empty); f64 Display is
+        // shortest-round-trip, so the EWMA state survives disk storage.
+        let rows: Vec<Vec<f64>> = self
+            .cells
+            .iter()
+            .map(|row| row.iter().map(|c| f64::from_bits(c.load(Ordering::Relaxed))).collect())
+            .collect();
+        out.push_str("{\"alpha\":");
+        self.alpha.serialize_json(out);
+        out.push_str(",\"cells\":");
+        rows.serialize_json(out);
+        out.push('}');
+    }
+}
+
+impl Deserialize for OnlineCosts {
+    fn deserialize_json(value: &Value) -> Result<Self, serde::json::Error> {
+        let alpha = f64::deserialize_json(
+            value.get("alpha").ok_or_else(|| serde::json::Error::new("missing field alpha"))?,
+        )?;
+        let rows = Vec::<Vec<f64>>::deserialize_json(
+            value.get("cells").ok_or_else(|| serde::json::Error::new("missing field cells"))?,
+        )?;
+        let cells = rows
+            .into_iter()
+            .map(|row| row.into_iter().map(|v| AtomicU64::new(v.to_bits())).collect())
+            .collect();
+        Ok(OnlineCosts { alpha, cells })
+    }
+}
 
 /// Profiled batch-inference costs, indexed by (bucketed) max sequence
 /// length and batch size.
@@ -28,6 +134,9 @@ pub struct CachedCost {
     /// footprint "affects … the maximum batch size of requests".
     #[serde(default)]
     memory: Option<Vec<Vec<usize>>>,
+    /// Optional live refinement; see [`CachedCost::with_online_updates`].
+    #[serde(default)]
+    online: Option<OnlineCosts>,
 }
 
 impl CachedCost {
@@ -53,7 +162,7 @@ impl CachedCost {
             }
             costs.push(row);
         }
-        CachedCost { bucket, max_len, max_batch, costs, memory: None }
+        CachedCost { bucket, max_len, max_batch, costs, memory: None, online: None }
     }
 
     /// Build directly from a cost closure — used by tests and ablations to
@@ -71,7 +180,57 @@ impl CachedCost {
                 (1..=max_batch).map(|b| f(len, b)).collect()
             })
             .collect();
-        CachedCost { bucket, max_len, max_batch, costs, memory: None }
+        CachedCost { bucket, max_len, max_batch, costs, memory: None, online: None }
+    }
+
+    /// Enable online cost refinement: completed batches observed through
+    /// [`CachedCost::observe`] fold into per-cell EWMAs (weight `alpha` on
+    /// the newest sample), and [`CachedCost::batch_cost`] answers from the
+    /// EWMA once a cell has been observed. The static table remains the
+    /// prior for never-observed cells, so Algorithm 3 always has a price.
+    pub fn with_online_updates(mut self, alpha: f64) -> Self {
+        let buckets = self.max_len.div_ceil(self.bucket);
+        self.online = Some(OnlineCosts::new(alpha, buckets, self.max_batch));
+        self
+    }
+
+    /// Whether the table refines itself from observed batches.
+    pub fn online_enabled(&self) -> bool {
+        self.online.is_some()
+    }
+
+    /// Feed one completed batch execution (`count` requests padded to
+    /// `max_len_in_batch`, `seconds` of wall time) into the online EWMA.
+    /// No-op unless [`CachedCost::with_online_updates`] was applied, and
+    /// for out-of-range shapes (a misconfigured engine must not panic the
+    /// feedback path).
+    pub fn observe(&self, max_len_in_batch: usize, count: usize, seconds: f64) {
+        let Some(online) = &self.online else { return };
+        if count < 1 || count > self.max_batch || max_len_in_batch > self.max_len {
+            return;
+        }
+        online.observe(self.bucket_index(max_len_in_batch), count - 1, seconds);
+    }
+
+    /// The live EWMA cost of a cell, if one has been observed.
+    pub fn observed_cost(&self, max_len_in_batch: usize, count: usize) -> Option<f64> {
+        assert!(count >= 1 && count <= self.max_batch);
+        self.online.as_ref()?.get(self.bucket_index(max_len_in_batch), count - 1)
+    }
+
+    /// The warm-up (static) cost of a cell, ignoring online refinement.
+    pub fn static_cost(&self, max_len_in_batch: usize, count: usize) -> f64 {
+        assert!(count >= 1 && count <= self.max_batch, "batch {count} out of profiled range");
+        assert!(
+            max_len_in_batch <= self.max_len,
+            "length {max_len_in_batch} beyond profiled {}",
+            self.max_len
+        );
+        self.costs[self.bucket_index(max_len_in_batch)][count - 1]
+    }
+
+    fn bucket_index(&self, max_len_in_batch: usize) -> usize {
+        max_len_in_batch.max(1).div_ceil(self.bucket) - 1
     }
 
     /// Profile the activation-memory footprint of every (length, batch)
@@ -126,6 +285,9 @@ impl CachedCost {
 
     /// Cost of executing one batch of `count` requests padded to
     /// `max_len_in_batch`. Lengths round *up* to the profiling bucket.
+    /// With online updates enabled, cells that have been observed on the
+    /// live machine answer from their EWMA; everything else falls back to
+    /// the warm-up value.
     pub fn batch_cost(&self, max_len_in_batch: usize, count: usize) -> f64 {
         assert!(count >= 1 && count <= self.max_batch, "batch {count} out of profiled range");
         assert!(
@@ -133,7 +295,12 @@ impl CachedCost {
             "length {max_len_in_batch} beyond profiled {}",
             self.max_len
         );
-        let bi = max_len_in_batch.max(1).div_ceil(self.bucket) - 1;
+        let bi = self.bucket_index(max_len_in_batch);
+        if let Some(online) = &self.online {
+            if let Some(live) = online.get(bi, count - 1) {
+                return live;
+            }
+        }
         self.costs[bi][count - 1]
     }
 
@@ -178,6 +345,54 @@ mod tests {
     fn overlarge_batch_is_rejected() {
         let table = CachedCost::from_fn(10, 2, 10, |_, _| 1.0);
         table.batch_cost(10, 3);
+    }
+
+    #[test]
+    fn online_observations_override_static_cells() {
+        let table =
+            CachedCost::from_fn(100, 4, 10, |len, b| (len * b) as f64).with_online_updates(0.5);
+        assert!(table.online_enabled());
+        // Unobserved cells answer from the static table.
+        assert_eq!(table.batch_cost(10, 1), 10.0);
+        assert_eq!(table.observed_cost(10, 1), None);
+        // First observation seeds the EWMA outright.
+        table.observe(10, 1, 4.0);
+        assert_eq!(table.batch_cost(10, 1), 4.0);
+        // Subsequent observations blend: 0.5·8 + 0.5·4 = 6.
+        table.observe(10, 1, 8.0);
+        assert!((table.batch_cost(10, 1) - 6.0).abs() < 1e-12);
+        // Other cells are untouched, and the static view is preserved.
+        assert_eq!(table.batch_cost(10, 2), 20.0);
+        assert_eq!(table.static_cost(10, 1), 10.0);
+    }
+
+    #[test]
+    fn online_observe_ignores_garbage_and_out_of_range() {
+        let table =
+            CachedCost::from_fn(20, 2, 10, |len, b| (len * b) as f64).with_online_updates(0.2);
+        table.observe(10, 1, f64::NAN);
+        table.observe(10, 1, -3.0);
+        table.observe(10, 1, 0.0);
+        table.observe(999, 1, 1.0); // length beyond the table
+        table.observe(10, 99, 1.0); // batch beyond the table
+        assert_eq!(table.batch_cost(10, 1), 10.0, "no garbage observation sticks");
+        // A table without online updates accepts observe as a no-op.
+        let plain = CachedCost::from_fn(20, 2, 10, |len, b| (len * b) as f64);
+        plain.observe(10, 1, 123.0);
+        assert_eq!(plain.batch_cost(10, 1), 10.0);
+    }
+
+    #[test]
+    fn online_state_round_trips_through_serde() {
+        let table =
+            CachedCost::from_fn(50, 3, 10, |len, b| (len + b) as f64).with_online_updates(0.25);
+        table.observe(37, 2, 0.125);
+        let json = serde_json::to_string(&table).unwrap();
+        let back: CachedCost = serde_json::from_str(&json).unwrap();
+        assert!(back.online_enabled());
+        assert_eq!(back.observed_cost(37, 2), Some(0.125));
+        assert_eq!(back.batch_cost(37, 2), 0.125);
+        assert_eq!(back.batch_cost(37, 1), table.batch_cost(37, 1));
     }
 
     #[test]

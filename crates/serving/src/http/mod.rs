@@ -16,7 +16,15 @@
 //!   scheduler chose;
 //! - `GET /metrics` — the live [`Registry`] rendered in the Prometheus
 //!   text exposition format, scrapeable while the engine serves;
+//! - `GET /v1/traces/<id>` — the recorded span tree of a sampled request
+//!   as JSON (see `docs/OBSERVABILITY.md`);
 //! - `GET /healthz` — liveness probe.
+//!
+//! When the server is started with a [`Tracer`]
+//! ([`HttpServer::start_traced`]), sampled `POST /v1/infer` requests get a
+//! root `http` span whose context rides the job through the engine; the
+//! response carries the id in an `x-tt-trace-id` header, and appending
+//! `?trace=1` to the target forces sampling for that one request.
 //!
 //! Robustness is part of the design, not an afterthought:
 //!
@@ -53,7 +61,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
-use tt_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch};
+use tt_telemetry::{
+    trace_tree_json, Counter, Gauge, Histogram, Registry, SpanContext, Stopwatch, TraceId, Tracer,
+};
 
 use crate::live::LiveClient;
 use parser::{parse_request, HttpRequest, ParseOutcome};
@@ -143,6 +153,20 @@ pub trait InferHandler: Send + Sync + 'static {
     /// is additionally caught and mapped to `503 Service Unavailable`, so
     /// a misbehaving backend cannot take a worker thread down.
     fn infer(&self, tokens: Vec<u32>) -> Result<InferReply, InferError>;
+
+    /// Like [`infer`](Self::infer), but carrying the trace context of a
+    /// sampled request so the backend can hang its own spans (queue wait,
+    /// scheduling, execution) under the server's root `http` span. The
+    /// default implementation drops the context — a handler that does not
+    /// trace still serves.
+    fn infer_traced(
+        &self,
+        tokens: Vec<u32>,
+        trace: Option<SpanContext>,
+    ) -> Result<InferReply, InferError> {
+        let _ = trace;
+        self.infer(tokens)
+    }
 }
 
 /// Why an [`InferHandler`] refused or failed a request.
@@ -173,13 +197,21 @@ impl<H: InferHandler> VocabGuard<H> {
 
 impl<H: InferHandler> InferHandler for VocabGuard<H> {
     fn infer(&self, tokens: Vec<u32>) -> Result<InferReply, InferError> {
+        self.infer_traced(tokens, None)
+    }
+
+    fn infer_traced(
+        &self,
+        tokens: Vec<u32>,
+        trace: Option<SpanContext>,
+    ) -> Result<InferReply, InferError> {
         if let Some(&bad) = tokens.iter().find(|&&t| t >= self.vocab_size) {
             return Err(InferError::BadRequest(format!(
                 "token id {bad} out of range for vocabulary of {}",
                 self.vocab_size
             )));
         }
-        self.inner.infer(tokens)
+        self.inner.infer_traced(tokens, trace)
     }
 }
 
@@ -199,7 +231,15 @@ pub struct InferReply {
 
 impl InferHandler for LiveClient {
     fn infer(&self, tokens: Vec<u32>) -> Result<InferReply, InferError> {
-        match self.try_infer(tokens) {
+        self.infer_traced(tokens, None)
+    }
+
+    fn infer_traced(
+        &self,
+        tokens: Vec<u32>,
+        trace: Option<SpanContext>,
+    ) -> Result<InferReply, InferError> {
+        match self.try_infer_traced(tokens, trace) {
             Some(resp) => Ok(InferReply {
                 cls_vector: resp.cls_vector,
                 latency_ms: resp.latency.as_secs_f64() * 1e3,
@@ -224,7 +264,7 @@ struct InferRequestBody {
 #[derive(Clone)]
 struct HttpMetrics {
     registry: Registry,
-    latency: [(&'static str, Arc<Histogram>); 4],
+    latency: [(&'static str, Arc<Histogram>); 5],
     active_connections: Arc<Gauge>,
     infer_inflight: Arc<Gauge>,
     sheds: Arc<Counter>,
@@ -237,6 +277,7 @@ fn route_label(path: &str, method: &str) -> &'static str {
         ("POST", "/v1/infer") => "/v1/infer",
         ("GET", "/metrics") => "/metrics",
         ("GET", "/healthz") => "/healthz",
+        ("GET", p) if p.starts_with("/v1/traces/") => "/v1/traces",
         _ => "other",
     }
 }
@@ -255,7 +296,13 @@ impl HttpMetrics {
         };
         HttpMetrics {
             registry: registry.clone(),
-            latency: [hist("/v1/infer"), hist("/metrics"), hist("/healthz"), hist("other")],
+            latency: [
+                hist("/v1/infer"),
+                hist("/metrics"),
+                hist("/healthz"),
+                hist("/v1/traces"),
+                hist("other"),
+            ],
             active_connections: registry.gauge(
                 "http_active_connections",
                 "Currently open client connections",
@@ -386,6 +433,7 @@ struct ServerShared {
     handler: Arc<dyn InferHandler>,
     metrics: HttpMetrics,
     registry: Registry,
+    tracer: Tracer,
     queue: WorkQueue,
     shutting_down: AtomicBool,
     infer_inflight: AtomicUsize,
@@ -425,6 +473,21 @@ impl HttpServer {
         handler: Arc<dyn InferHandler>,
         registry: &Registry,
     ) -> std::io::Result<HttpServer> {
+        HttpServer::start_traced(config, handler, registry, Tracer::disabled())
+    }
+
+    /// [`start`](Self::start), plus request tracing: sampled `/v1/infer`
+    /// requests get a root `http` span (forceable per request with
+    /// `?trace=1`), answer with an `x-tt-trace-id` header, and their span
+    /// trees become queryable at `GET /v1/traces/<id>`. Share the same
+    /// `tracer` with [`LiveEngine::start_traced`](crate::live::LiveEngine::start_traced)
+    /// so engine-side spans land in the same trace.
+    pub fn start_traced(
+        config: HttpConfig,
+        handler: Arc<dyn InferHandler>,
+        registry: &Registry,
+        tracer: Tracer,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let metrics = HttpMetrics::register(registry);
@@ -434,6 +497,7 @@ impl HttpServer {
             handler,
             metrics,
             registry: registry.clone(),
+            tracer,
             shutting_down: AtomicBool::new(false),
             infer_inflight: AtomicUsize::new(0),
         });
@@ -609,7 +673,11 @@ fn dispatch(request: &HttpRequest, shared: &ServerShared) -> Response {
             Vec::new(),
         ),
         ("POST", "/v1/infer") => infer_route(request, shared),
+        ("GET", p) if p.starts_with("/v1/traces/") => traces_route(p, shared),
         (_, "/healthz" | "/metrics" | "/v1/infer") => {
+            error_body(405, &format!("{} not allowed on {}", request.method, request.path()))
+        }
+        (_, p) if p.starts_with("/v1/traces/") => {
             error_body(405, &format!("{} not allowed on {}", request.method, request.path()))
         }
         _ => error_body(404, &format!("no route for {}", request.path())),
@@ -637,22 +705,70 @@ fn infer_route(request: &HttpRequest, shared: &ServerShared) -> Response {
     }
     shared.metrics.infer_inflight.add(1.0);
 
+    // Head sampling decides here, at the edge; `?trace=1` forces this one
+    // request in regardless of the sampling rate.
+    let force = request.query_param("trace").is_some_and(|v| v != "0");
+    let mut root = shared.tracer.start_root("http", force);
+    if let Some(span) = root.as_mut() {
+        span.attr_str("route", "/v1/infer");
+        span.attr_int("tokens", body.tokens.len() as i64);
+    }
+    let ctx = root.as_ref().map(|span| span.context());
+
     let handler = shared.handler.clone();
     let tokens = body.tokens;
-    let result = catch_unwind(AssertUnwindSafe(move || handler.infer(tokens)));
+    let result = catch_unwind(AssertUnwindSafe(move || handler.infer_traced(tokens, ctx)));
 
     shared.infer_inflight.fetch_sub(1, Ordering::SeqCst);
     shared.metrics.infer_inflight.add(-1.0);
 
-    match result {
+    let mut trace_headers = Vec::new();
+    if let Some(ctx) = ctx {
+        trace_headers.push(("x-tt-trace-id".to_string(), ctx.trace.to_string()));
+    }
+
+    let response = match result {
         Ok(Ok(reply)) => {
+            if let Some(span) = root.as_mut() {
+                span.attr_int("status", 200);
+                span.attr_int("batch_size", reply.batch_size as i64);
+                span.attr_int("padded_len", reply.padded_len as i64);
+            }
             let json = serde_json::to_string(&reply).expect("reply serializes");
             json_response(200, json)
         }
         Ok(Err(InferError::BadRequest(message))) => error_body(400, &message),
         Ok(Err(InferError::Unavailable(message))) => error_body(503, &message),
         Err(_panic) => error_body(503, "inference engine is unavailable"),
+    };
+    if let Some(span) = root.as_mut() {
+        if response.0 != 200 {
+            span.attr_int("status", response.0 as i64);
+        }
     }
+    // Record the root span now so `GET /v1/traces/<id>` sees the full tree
+    // as soon as the client receives this response.
+    drop(root);
+
+    let (status, ct, body, mut extra) = response;
+    extra.extend(trace_headers);
+    (status, ct, body, extra)
+}
+
+/// `GET /v1/traces/<id>`: the span tree of one sampled request as JSON.
+fn traces_route(path: &str, shared: &ServerShared) -> Response {
+    let id = path.trim_start_matches("/v1/traces/");
+    let Some(trace) = TraceId::parse(id) else {
+        return error_body(400, &format!("'{id}' is not a trace id (up to 16 hex digits)"));
+    };
+    let spans = shared.tracer.spans_of(trace);
+    if spans.is_empty() {
+        return error_body(
+            404,
+            &format!("no spans recorded for trace {trace} (unsampled, expired, or never seen)"),
+        );
+    }
+    json_response(200, trace_tree_json(trace, &spans))
 }
 
 fn json_response(status: u16, json: String) -> Response {

@@ -48,6 +48,20 @@ impl HttpRequest {
         self.target.split('?').next().unwrap_or(&self.target)
     }
 
+    /// The raw query string (everything after the first `?`), if any.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// The value of query parameter `name` — `Some("")` for a bare
+    /// `?flag` with no `=value`, `None` when the parameter is absent.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
+
     /// Whether the peer asked to close the connection after this exchange
     /// (explicit `Connection: close`, or HTTP/1.0 without keep-alive).
     pub fn wants_close(&self) -> bool {
@@ -265,6 +279,22 @@ mod tests {
     fn unterminated_giant_head_is_invalid() {
         let buf = vec![b'A'; MAX_HEAD_BYTES + 1];
         assert!(matches!(parse_request(&buf, 1024), ParseOutcome::Invalid(_)));
+    }
+
+    #[test]
+    fn query_parameters_are_split_off_the_path() {
+        let (req, _) =
+            complete(b"POST /v1/infer?trace=1&x=y HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        assert_eq!(req.path(), "/v1/infer");
+        assert_eq!(req.query(), Some("trace=1&x=y"));
+        assert_eq!(req.query_param("trace"), Some("1"));
+        assert_eq!(req.query_param("x"), Some("y"));
+        assert_eq!(req.query_param("missing"), None);
+
+        let (req, _) = complete(b"GET /healthz?probe HTTP/1.1\r\n\r\n");
+        assert_eq!(req.query_param("probe"), Some(""), "bare flag parses to empty value");
+        let (req, _) = complete(b"GET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(req.query(), None);
     }
 
     #[test]

@@ -24,7 +24,9 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use tt_model::bert::Bert;
 use tt_model::pad_batch;
 use tt_runtime::TurboRuntime;
-use tt_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch};
+use tt_telemetry::{
+    AttrValue, Counter, Gauge, Histogram, Registry, SpanContext, Stopwatch, Tracer,
+};
 use tt_tensor::Tensor;
 
 use crate::cost_table::CachedCost;
@@ -55,6 +57,8 @@ pub struct LiveMetrics {
     requests: Arc<Counter>,
     /// Batches executed.
     batches: Arc<Counter>,
+    /// Jobs sitting in the engine channel right now (enqueue/dequeue).
+    queue_depth: Arc<Gauge>,
 }
 
 impl LiveMetrics {
@@ -94,6 +98,11 @@ impl LiveMetrics {
             ),
             requests: registry.counter("live_requests_total", "Requests served", &[]),
             batches: registry.counter("live_batches_total", "Batches executed", &[]),
+            queue_depth: registry.gauge(
+                "live_queue_depth",
+                "Jobs currently queued for the engine (incremented on submit, decremented when drained for batching)",
+                &[],
+            ),
         }
     }
 
@@ -114,6 +123,9 @@ struct Job {
     tokens: Vec<u32>,
     submitted: Instant,
     reply: Sender<LiveResponse>,
+    /// Root span context of a sampled request; the engine hangs its
+    /// queue-wait / schedule / execute spans under it.
+    trace: Option<SpanContext>,
 }
 
 /// The engine's answer to one request.
@@ -134,6 +146,8 @@ pub struct LiveResponse {
 #[derive(Clone)]
 pub struct LiveClient {
     tx: Sender<Job>,
+    /// Enqueue side of the `live_queue_depth` gauge (engine decrements).
+    queue_depth: Option<Arc<Gauge>>,
 }
 
 impl LiveClient {
@@ -153,8 +167,22 @@ impl LiveClient {
     /// answering (the engine survives poisoned batches by dropping their
     /// reply channels).
     pub fn try_infer(&self, tokens: Vec<u32>) -> Option<LiveResponse> {
+        self.try_infer_traced(tokens, None)
+    }
+
+    /// [`try_infer`](Self::try_infer), carrying a sampled request's span
+    /// context so the engine can record queue-wait, schedule and execute
+    /// spans under it.
+    pub fn try_infer_traced(
+        &self,
+        tokens: Vec<u32>,
+        trace: Option<SpanContext>,
+    ) -> Option<LiveResponse> {
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx.send(Job { tokens, submitted: Instant::now(), reply: reply_tx }).ok()?;
+        self.tx.send(Job { tokens, submitted: Instant::now(), reply: reply_tx, trace }).ok()?;
+        if let Some(depth) = &self.queue_depth {
+            depth.add(1.0);
+        }
         reply_rx.recv().ok()
     }
 }
@@ -175,7 +203,7 @@ impl LiveEngine {
         scheduler: Arc<dyn BatchScheduler>,
         costs: Arc<CachedCost>,
     ) -> Self {
-        Self::start_inner(model, runtime, scheduler, costs, None)
+        Self::start_inner(model, runtime, scheduler, costs, None, Tracer::disabled())
     }
 
     /// [`start`](Self::start), reporting queue-wait, batch-shape, padding
@@ -188,7 +216,23 @@ impl LiveEngine {
         registry: &Registry,
     ) -> Self {
         let metrics = LiveMetrics::register(registry);
-        Self::start_inner(model, runtime, scheduler, costs, Some(metrics))
+        Self::start_inner(model, runtime, scheduler, costs, Some(metrics), Tracer::disabled())
+    }
+
+    /// [`start_instrumented`](Self::start_instrumented), additionally
+    /// recording request-scoped spans into `tracer` for every job that
+    /// arrives with a span context (see
+    /// [`LiveClient::try_infer_traced`]).
+    pub fn start_traced(
+        model: Arc<Bert>,
+        runtime: Arc<TurboRuntime>,
+        scheduler: Arc<dyn BatchScheduler>,
+        costs: Arc<CachedCost>,
+        registry: &Registry,
+        tracer: Tracer,
+    ) -> Self {
+        let metrics = LiveMetrics::register(registry);
+        Self::start_inner(model, runtime, scheduler, costs, Some(metrics), tracer)
     }
 
     fn start_inner(
@@ -197,13 +241,15 @@ impl LiveEngine {
         scheduler: Arc<dyn BatchScheduler>,
         costs: Arc<CachedCost>,
         metrics: Option<LiveMetrics>,
+        tracer: Tracer,
     ) -> Self {
         let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let queue_depth = metrics.as_ref().map(|m| m.queue_depth.clone());
         let handle = std::thread::Builder::new()
             .name("tt-serving-engine".into())
-            .spawn(move || engine_loop(rx, model, runtime, scheduler, costs, metrics))
+            .spawn(move || engine_loop(rx, model, runtime, scheduler, costs, metrics, tracer))
             .expect("spawning the engine thread");
-        LiveEngine { client: Some(LiveClient { tx }), handle: Some(handle) }
+        LiveEngine { client: Some(LiveClient { tx, queue_depth }), handle: Some(handle) }
     }
 
     /// A client handle (cheaply cloneable, usable from many threads).
@@ -240,6 +286,7 @@ fn engine_loop(
     scheduler: Arc<dyn BatchScheduler>,
     costs: Arc<CachedCost>,
     metrics: Option<LiveMetrics>,
+    tracer: Tracer,
 ) -> usize {
     let mut served = 0usize;
     while let Ok(first) = rx.recv() {
@@ -252,17 +299,31 @@ fn engine_loop(
                 Err(_) => break,
             }
         }
+        if let Some(m) = &metrics {
+            // Dequeue side of the depth gauge: these jobs now belong to
+            // the batching stage, not the queue.
+            m.queue_depth.add(-(jobs.len() as f64));
+        }
+        let any_traced = jobs.iter().any(|j| j.trace.is_some());
 
         // Scheduler speaks `Request`; lengths are what it batches on.
         let queue: Vec<Request> =
             jobs.iter().enumerate().map(|(i, j)| Request::new(i, j.tokens.len(), 0.0)).collect();
-        let schedule_watch = metrics.as_ref().map(|_| Stopwatch::start());
+        let sched_start_ns = any_traced.then(|| tracer.now_ns());
+        let schedule_watch = (metrics.is_some() || any_traced).then(Stopwatch::start);
         let batching = scheduler.schedule(&queue, &costs);
-        if let (Some(m), Some(w)) = (&metrics, schedule_watch) {
-            m.schedule_ns.record(w.elapsed_nanos());
+        let sched_nanos = schedule_watch.map(|w| w.elapsed_nanos()).unwrap_or(0);
+        if let Some(m) = &metrics {
+            m.schedule_ns.record(sched_nanos);
         }
+        let splits = batching.len();
 
         for batch in batching {
+            let rows: Vec<&[u32]> = batch.iter().map(|&i| jobs[i].tokens.as_slice()).collect();
+            let (ids, mask, padded_len) = pad_batch(&rows);
+            let real: u64 = rows.iter().map(|r| r.len() as u64).sum();
+            let padded = (padded_len * batch.len()) as u64 - real;
+            let waste = padded as f64 / (real + padded).max(1) as f64;
             if let Some(m) = &metrics {
                 // Queue wait ends when the batch starts executing.
                 for &i in &batch {
@@ -270,9 +331,44 @@ fn engine_loop(
                 }
                 m.batch_size.record(batch.len() as u64);
             }
-            let execute_watch = metrics.as_ref().map(|_| Stopwatch::start());
-            let rows: Vec<&[u32]> = batch.iter().map(|&i| jobs[i].tokens.as_slice()).collect();
-            let (ids, mask, padded_len) = pad_batch(&rows);
+
+            // Sampled jobs get their span-tree stages recorded now that
+            // the batch decision is known: the retroactive queue-wait and
+            // schedule spans, plus a live execute span whose context the
+            // executor hangs alloc-plan and per-op spans under.
+            let mut exec_spans = Vec::new();
+            for &i in &batch {
+                let Some(ctx) = jobs[i].trace else { continue };
+                let wait_start = tracer.ns_of(jobs[i].submitted);
+                tracer.record_span(
+                    ctx.trace,
+                    Some(ctx.span),
+                    "queue_wait",
+                    wait_start,
+                    tracer.now_ns().saturating_sub(wait_start),
+                    vec![("queue_len", AttrValue::Int(jobs.len() as i64))],
+                );
+                tracer.record_span(
+                    ctx.trace,
+                    Some(ctx.span),
+                    "schedule",
+                    sched_start_ns.unwrap_or(0),
+                    sched_nanos,
+                    vec![
+                        ("splits", AttrValue::Int(splits as i64)),
+                        ("batch_size", AttrValue::Int(batch.len() as i64)),
+                        ("padding_waste", AttrValue::Float(waste)),
+                    ],
+                );
+                let mut span = tracer.span(ctx, "execute");
+                span.attr_int("batch_size", batch.len() as i64);
+                span.attr_int("padded_len", padded_len as i64);
+                exec_spans.push(span);
+            }
+            let exec_ctxs: Vec<SpanContext> = exec_spans.iter().map(|s| s.context()).collect();
+            let hook = (!exec_ctxs.is_empty()).then_some((&tracer, exec_ctxs.as_slice()));
+
+            let execute_watch = Stopwatch::start();
             // A poisoned batch (length beyond the model limit, token id
             // outside the vocabulary, …) must not take the engine down: the
             // affected jobs' reply channels are dropped — their clients see
@@ -280,11 +376,12 @@ fn engine_loop(
             // loop keeps serving everyone else.
             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if batch.len() == 1 {
-                    runtime.run_bert(&model, &ids)
+                    runtime.run_bert_traced(&model, &ids, hook)
                 } else {
-                    runtime.run_bert_masked(&model, &ids, &mask)
+                    runtime.run_bert_masked_traced(&model, &ids, &mask, hook)
                 }
             }));
+            drop(exec_spans); // record the execute spans' wall time
             let run = match run {
                 Ok(Ok(run)) => run,
                 Ok(Err(err)) => {
@@ -296,12 +393,15 @@ fn engine_loop(
                     continue;
                 }
             };
-            if let (Some(m), Some(w)) = (&metrics, execute_watch) {
-                m.execute_ns.record(w.elapsed_nanos());
+            let exec_nanos = execute_watch.elapsed_nanos();
+            // Feedback path: the completed batch's wall time refreshes the
+            // scheduler's cost table (no-op unless the table was built
+            // `with_online_updates`).
+            costs.observe(padded_len, batch.len(), exec_nanos as f64 / 1e9);
+            if let Some(m) = &metrics {
+                m.execute_ns.record(exec_nanos);
                 m.batches.inc();
                 m.requests.add(batch.len() as u64);
-                let real: u64 = rows.iter().map(|r| r.len() as u64).sum();
-                let padded = (padded_len * batch.len()) as u64 - real;
                 m.observe_padding(real, padded);
             }
 
@@ -408,6 +508,88 @@ mod tests {
     fn shutdown_with_no_traffic_is_clean() {
         let (eng, _model) = engine();
         assert_eq!(eng.shutdown(), 0);
+    }
+
+    #[test]
+    fn traced_engine_records_span_tree_queue_depth_and_cost_feedback() {
+        use tt_telemetry::{Tracer, TracerConfig};
+        let registry = Registry::new();
+        let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+        let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+        let costs = Arc::new(
+            CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64)
+                .with_online_updates(0.3),
+        );
+        let tracer = Tracer::new(TracerConfig { sample_every: 1, ..TracerConfig::default() });
+        let eng = LiveEngine::start_traced(
+            model,
+            runtime,
+            Arc::new(DpScheduler),
+            costs.clone(),
+            &registry,
+            tracer.clone(),
+        );
+
+        let root = tracer.start_root("http", false).expect("1-in-1 sampling");
+        let ctx = root.context();
+        let tokens = vec![5u32, 6, 7, 8];
+        let resp =
+            eng.client().try_infer_traced(tokens, Some(ctx)).expect("traced request is served");
+        drop(root);
+        assert_eq!(eng.shutdown(), 1);
+
+        // The engine recorded the pipeline stages under the root context.
+        let spans = tracer.spans_of(ctx.trace);
+        for stage in ["http", "queue_wait", "schedule", "execute", "alloc_plan", "matmul"] {
+            assert!(spans.iter().any(|s| s.name == stage), "missing {stage} span");
+        }
+        let schedule = spans.iter().find(|s| s.name == "schedule").unwrap();
+        assert!(
+            schedule.attrs.iter().any(|(k, _)| *k == "padding_waste"),
+            "schedule span must carry the padding-waste attribute"
+        );
+        let execute = spans.iter().find(|s| s.name == "execute").unwrap();
+        let plan = spans.iter().find(|s| s.name == "alloc_plan").unwrap();
+        assert_eq!(plan.parent, Some(execute.span), "alloc_plan nests inside execute");
+
+        // The completed batch refreshed the online cost table.
+        assert!(
+            costs.observed_cost(resp.padded_len, resp.batch_size).is_some(),
+            "EWMA cell for the executed shape must be populated"
+        );
+
+        // The queue-depth gauge exists and returns to zero once drained.
+        let depth = registry.snapshot().find("live_queue_depth", &[]).unwrap().gauge.unwrap();
+        assert_eq!(depth, 0.0, "all submitted jobs were dequeued");
+    }
+
+    #[test]
+    fn queue_depth_gauge_rises_while_jobs_wait() {
+        // Stall the engine with a first slow request, pile more behind it,
+        // and watch the gauge: enqueues outpace dequeues.
+        let registry = Registry::new();
+        let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+        let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+        let costs =
+            Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+        let eng =
+            LiveEngine::start_instrumented(model, runtime, Arc::new(DpScheduler), costs, &registry);
+        let gauge = registry.snapshot().find("live_queue_depth", &[]).is_some();
+        assert!(gauge, "gauge is registered at startup");
+
+        let mut handles = Vec::new();
+        for t in 0..6u32 {
+            let client = eng.client();
+            handles.push(std::thread::spawn(move || {
+                client.infer((0..40u32).map(|i| (i + t) % 90).collect())
+            }));
+        }
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        assert_eq!(eng.shutdown(), 6);
+        let depth = registry.snapshot().find("live_queue_depth", &[]).unwrap().gauge.unwrap();
+        assert_eq!(depth, 0.0, "gauge balances to zero after the queue drains");
     }
 
     #[test]

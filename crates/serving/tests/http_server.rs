@@ -17,7 +17,7 @@ use tt_serving::http::{HttpConfig, HttpServer, InferError, InferHandler, InferRe
 use tt_serving::live::LiveEngine;
 use tt_serving::scheduler::InstrumentedScheduler;
 use tt_serving::{CachedCost, DpScheduler};
-use tt_telemetry::Registry;
+use tt_telemetry::{Registry, Tracer, TracerConfig};
 
 /// A parsed wire response.
 #[derive(Debug)]
@@ -334,6 +334,102 @@ fn live_engine_behind_http_serves_and_is_scrapeable() {
     let final_metrics = server.shutdown();
     assert_eq!(engine.shutdown(), 4, "engine served exactly the HTTP-admitted requests");
     assert!(final_metrics.contains("live_requests_total 4"));
+}
+
+/// The tracing loop closed over the wire: a forced-sample `POST
+/// /v1/infer?trace=1` answers with an `x-tt-trace-id` header, and `GET
+/// /v1/traces/<id>` returns the request's span tree — root `http` span,
+/// engine-side `queue_wait` / `schedule` (with the padding-waste attr),
+/// the allocator's `alloc_plan`, and per-op spans carrying shape and
+/// GFLOP/s — all parented into one well-formed tree.
+#[test]
+fn trace_id_round_trips_through_the_traces_route() {
+    use std::sync::Arc;
+    use tt_gpusim::device::DeviceKind;
+    use tt_model::bert::{Bert, BertConfig};
+    use tt_runtime::{RuntimeConfig, TurboRuntime};
+
+    let registry = Registry::new();
+    // Sampling effectively off: only `?trace=1` requests are traced, so
+    // the same test also proves unforced requests carry no trace header.
+    let tracer =
+        Tracer::new(TracerConfig { enabled: true, sample_every: 1_000_000, buffer_spans: 4096 });
+
+    let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+    let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+    let costs =
+        Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+    let scheduler = Arc::new(InstrumentedScheduler::new(Arc::new(DpScheduler), &registry));
+    let engine =
+        LiveEngine::start_traced(model, runtime, scheduler, costs, &registry, tracer.clone());
+
+    let config = HttpConfig { addr: "127.0.0.1:0".into(), ..HttpConfig::default() };
+    let server =
+        HttpServer::start_traced(config, Arc::new(engine.client()), &registry, tracer.clone())
+            .expect("server starts");
+    let addr = server.addr();
+
+    // Force sampling for one request via the query flag. (This is also
+    // the head-sampler's request #0, which it would keep anyway.)
+    let body = "{\"tokens\": [1,2,3,4,5]}";
+    let resp = roundtrip(
+        addr,
+        &format!(
+            "POST /v1/infer?trace=1 HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(resp.status, 200);
+    let trace_id = resp.header("x-tt-trace-id").expect("forced request carries a trace id");
+    assert_eq!(trace_id.len(), 16, "trace id is 16 hex chars, got {trace_id:?}");
+
+    // A later unforced request loses the 1-in-1e6 dice roll: no header.
+    let untraced = post_infer(addr, "{\"tokens\": [1, 2, 3]}");
+    assert_eq!(untraced.status, 200);
+    assert!(untraced.header("x-tt-trace-id").is_none(), "unsampled request must not carry an id");
+
+    // Fetch the span tree back over the same wire.
+    let tree = get(addr, &format!("/v1/traces/{trace_id}"));
+    assert_eq!(tree.status, 200, "body: {}", tree.body);
+    let value = serde::json::parse(&tree.body).expect("trace tree parses as JSON");
+    assert_eq!(value.get("trace_id").and_then(|v| v.as_str()), Some(trace_id));
+    let spans = value.get("spans").and_then(|v| v.as_array()).expect("spans array").to_vec();
+
+    let name_of =
+        |v: &serde::json::Value| v.get("name").and_then(|n| n.as_str()).unwrap().to_string();
+    let names: Vec<String> = spans.iter().map(&name_of).collect();
+    for required in ["http", "queue_wait", "schedule", "execute", "alloc_plan", "matmul"] {
+        assert!(names.iter().any(|n| n == required), "missing span {required:?} in {names:?}");
+    }
+
+    // Every non-root span's parent exists in the tree.
+    let ids: Vec<&str> =
+        spans.iter().map(|s| s.get("span_id").and_then(|v| v.as_str()).unwrap()).collect();
+    for span in &spans {
+        if let Some(parent) = span.get("parent_id").filter(|p| !p.is_null()) {
+            let parent = parent.as_str().unwrap();
+            assert!(ids.contains(&parent), "dangling parent {parent} in {}", tree.body);
+        }
+    }
+
+    // The scheduler span reports its padding-waste decision…
+    let schedule = spans.iter().find(|s| name_of(s) == "schedule").unwrap();
+    let sched_attrs = schedule.get("attrs").expect("schedule attrs");
+    assert!(sched_attrs.get("padding_waste").and_then(|v| v.as_f64()).is_some());
+    assert!(sched_attrs.get("batch_size").and_then(|v| v.as_f64()).is_some());
+    // …and the op spans report shape and achieved GFLOP/s.
+    let matmul = spans.iter().find(|s| name_of(s) == "matmul").unwrap();
+    let op_attrs = matmul.get("attrs").expect("matmul attrs");
+    assert!(op_attrs.get("shape").and_then(|v| v.as_str()).is_some_and(|s| s.contains('x')));
+    assert!(op_attrs.get("gflops").and_then(|v| v.as_f64()).is_some_and(|g| g > 0.0));
+
+    // Unknown and malformed ids answer 404/400, not 500.
+    assert_eq!(get(addr, "/v1/traces/00000000deadbeef").status, 404);
+    assert_eq!(get(addr, "/v1/traces/not-hex").status, 400);
+
+    server.shutdown();
+    engine.shutdown();
 }
 
 #[test]

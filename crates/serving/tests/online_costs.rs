@@ -1,0 +1,157 @@
+//! Regression guard for the online cost-table feedback loop.
+//!
+//! The live engine feeds measured batch times back into [`CachedCost`]
+//! through an EWMA (`with_online_updates`). That loop must only ever help:
+//! once the workload has been profiled, Algorithm 3 steered by the updated
+//! table must never pick a batching that is *worse under the true machine*
+//! than the batching the stale static table would have picked.
+//!
+//! Two regimes, mirroring how online profiling actually behaves:
+//!
+//! - **Cost-increasing drift** (overhead regression, wide-batch
+//!   degradation): unvisited cells keep their stale — now *under*estimated
+//!   — costs, so the DP is optimistic about unexplored splits, wanders
+//!   into them, and the engine's own execution observes them. The closed
+//!   schedule → execute → observe loop alone converges to the true
+//!   optimum; the test runs exactly that loop.
+//! - **Cost-decreasing drift** (the machine got faster): unvisited cells
+//!   are *over*estimated, so the closed loop never explores them — the
+//!   classic pessimistic-initialization trap. The guarantee is therefore
+//!   scoped to the *profiled* workload: once every cell the DP can address
+//!   has one observation, the trained table must tie or beat the static
+//!   one. The test profiles all addressable cells, then asserts.
+
+use tt_serving::scheduler::{batching_cost, BatchScheduler};
+use tt_serving::{CachedCost, DpScheduler, Request};
+
+const MAX_LEN: usize = 64;
+const MAX_BATCH: usize = 8;
+const BUCKET: usize = 8;
+
+/// The stale profile both tables start from.
+fn stale(len: usize, batch: usize) -> f64 {
+    1.0e-3 + 1.0e-5 * (len * batch) as f64
+}
+
+fn requests(lens: &[usize]) -> Vec<Request> {
+    lens.iter().enumerate().map(|(id, &len)| Request::new(id, len, 0.0)).collect()
+}
+
+fn workload() -> Vec<Vec<Request>> {
+    vec![
+        requests(&[4, 6, 8, 12, 16, 24, 32, 40]),
+        requests(&[8, 8, 8, 8, 48, 56, 64]),
+        requests(&[3, 5, 7, 9, 11, 13, 15, 17, 19, 21]),
+        requests(&[64, 64, 64, 2, 2, 2]),
+        requests(&[16; 12]),
+    ]
+}
+
+/// Run the production loop: schedule with the current table, "execute"
+/// each chosen batch at its true cost, observe that cost back, repeat.
+/// Every cell of every *chosen* schedule gets observed each round, so the
+/// loop converges once the schedule stops moving; 80 rounds far exceeds
+/// the number of addressable cells.
+fn train_closed_loop(table: &CachedCost, truth: &CachedCost, workload: &[Vec<Request>]) {
+    for _ in 0..80 {
+        for queue in workload {
+            for batch in DpScheduler.schedule(queue, table) {
+                let padded = batch.iter().map(|&i| queue[i].len).max().unwrap();
+                table.observe(padded, batch.len(), truth.batch_cost(padded, batch.len()));
+            }
+        }
+    }
+}
+
+/// Observe every cell Algorithm 3 can address on this workload: each
+/// contiguous window of the sorted queue is a candidate batch, and its
+/// cell is `(padded-to-max length, window size)`.
+fn profile_workload(table: &CachedCost, truth: &CachedCost, workload: &[Vec<Request>]) {
+    for queue in workload {
+        let mut lens: Vec<usize> = queue.iter().map(|r| r.len).collect();
+        lens.sort_unstable();
+        for (hi, &padded) in lens.iter().enumerate() {
+            for lo in hi.saturating_sub(MAX_BATCH - 1)..=hi {
+                let count = hi - lo + 1;
+                table.observe(padded, count, truth.batch_cost(padded, count));
+            }
+        }
+    }
+}
+
+/// Core property: on every queue, the trained online table's schedule
+/// costs no more *under the true machine* than the stale static table's.
+fn assert_online_never_worse(
+    truth_fn: impl FnMut(usize, usize) -> f64,
+    full_profile: bool,
+    drift: &str,
+) {
+    let truth = CachedCost::from_fn(MAX_LEN, MAX_BATCH, BUCKET, truth_fn);
+    let static_table = CachedCost::from_fn(MAX_LEN, MAX_BATCH, BUCKET, stale);
+    let online = CachedCost::from_fn(MAX_LEN, MAX_BATCH, BUCKET, stale).with_online_updates(0.25);
+    let workload = workload();
+
+    train_closed_loop(&online, &truth, &workload);
+    if full_profile {
+        profile_workload(&online, &truth, &workload);
+    }
+
+    for (i, queue) in workload.iter().enumerate() {
+        let with_online = DpScheduler.schedule(queue, &online);
+        let with_static = DpScheduler.schedule(queue, &static_table);
+        let online_true_cost = batching_cost(queue, &with_online, &truth);
+        let static_true_cost = batching_cost(queue, &with_static, &truth);
+        assert!(
+            online_true_cost <= static_true_cost * (1.0 + 1e-9),
+            "drift {drift:?}, queue {i}: online-trained table picked a worse batching \
+             ({online_true_cost:.6}s true) than the stale static table ({static_true_cost:.6}s)"
+        );
+    }
+}
+
+/// Per-batch overhead grew 10x (e.g. a kernel-launch latency regression):
+/// batching more aggressively is now much better than the stale table
+/// believes. The closed loop alone must find the cheaper splits.
+#[test]
+fn closed_loop_wins_when_fixed_overhead_grows() {
+    assert_online_never_worse(|len, b| 1.0e-2 + 1.0e-5 * (len * b) as f64, false, "overhead x10");
+}
+
+/// Per-token cost grew superlinearly in batch size (cache thrash at wide
+/// batches): splitting finer is now better; the closed loop must not stay
+/// over-batched.
+#[test]
+fn closed_loop_wins_when_wide_batches_degrade() {
+    assert_online_never_worse(
+        |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64 * (1.0 + 0.3 * b as f64),
+        false,
+        "superlinear batch penalty",
+    );
+}
+
+/// The machine matches the static profile exactly (no drift): feedback
+/// converges to the same cells and must not destabilize the schedule.
+#[test]
+fn closed_loop_is_a_no_op_without_drift() {
+    assert_online_never_worse(stale, false, "none");
+}
+
+/// The machine got uniformly faster. The closed loop alone cannot be
+/// trusted here (over-estimated unexplored cells are never visited), but
+/// once the workload is profiled the trained table must tie the static
+/// one — schedules are scale-invariant under a uniform factor.
+#[test]
+fn profiled_table_ties_under_uniform_speedup() {
+    assert_online_never_worse(|len, b| 0.5 * stale(len, b), true, "uniform 2x speedup");
+}
+
+/// Faster machine *and* shifted shape (overhead shrank, per-token cost
+/// grew): the fully profiled table must track the new optimum.
+#[test]
+fn profiled_table_wins_under_mixed_drift() {
+    assert_online_never_worse(
+        |len, b| 2.0e-4 + 2.5e-5 * (len * b) as f64,
+        true,
+        "cheap launch, dear tokens",
+    );
+}

@@ -1,0 +1,142 @@
+//! Chrome trace-event exporter: turn collected [`SpanRecord`]s into the
+//! JSON object format that `chrome://tracing` and [Perfetto] load.
+//!
+//! The format is the classic trace-event JSON: a top-level object with a
+//! `traceEvents` array of complete (`"ph":"X"`) events, timestamps and
+//! durations in **microseconds** (fractional values carry the nanosecond
+//! precision through). Each trace is mapped to its own `tid` so Perfetto
+//! renders one lane per request, which is exactly the per-request timeline
+//! view the scheduler work needs (compare the paper's Fig. 4 per-op
+//! breakdowns).
+//!
+//! [Perfetto]: https://ui.perfetto.dev
+//!
+//! ```
+//! use tt_telemetry::chrome::chrome_trace_json;
+//! use tt_telemetry::trace::{Tracer, TracerConfig};
+//!
+//! let t = Tracer::new(TracerConfig { sample_every: 1, ..TracerConfig::default() });
+//! { let _root = t.start_root("http", false); }
+//! let json = chrome_trace_json(&t.all_spans());
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+use crate::trace::SpanRecord;
+
+/// Render spans as a Chrome trace-event JSON document.
+///
+/// Every span becomes one complete event; `pid` is fixed at 1 and `tid`
+/// is a small per-trace lane index so concurrent requests stack instead
+/// of overlapping. Span/parent/trace ids and all attributes ride along in
+/// `args`, so nothing the collector knew is lost in export.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    // Assign each distinct trace a compact lane number in first-seen order.
+    let mut lanes: Vec<u64> = Vec::new();
+    let mut lane_of = |trace: u64| -> usize {
+        match lanes.iter().position(|&t| t == trace) {
+            Some(i) => i,
+            None => {
+                lanes.push(trace);
+                lanes.len() - 1
+            }
+        }
+    };
+
+    let mut out = String::with_capacity(128 + spans.len() * 200);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let tid = lane_of(s.trace.0) + 1;
+        out.push_str("{\"name\":\"");
+        out.push_str(s.name);
+        out.push_str("\",\"cat\":\"tt\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.push_str(&tid.to_string());
+        // Microseconds with fractional part: keeps full ns precision, so
+        // child intervals still nest exactly inside parents after export.
+        out.push_str(&format!(",\"ts\":{:.3},\"dur\":{:.3}", us(s.start_ns), us(s.dur_ns)));
+        out.push_str(",\"args\":{\"trace_id\":\"");
+        out.push_str(&s.trace.to_string());
+        out.push_str("\",\"span_id\":\"");
+        out.push_str(&s.span.to_string());
+        out.push_str("\",\"parent_id\":");
+        match s.parent {
+            Some(p) => {
+                out.push('"');
+                out.push_str(&p.to_string());
+                out.push('"');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"start_ns\":");
+        out.push_str(&s.start_ns.to_string());
+        out.push_str(",\"dur_ns\":");
+        out.push_str(&s.dur_ns.to_string());
+        for (k, v) in &s.attrs {
+            out.push_str(",\"");
+            out.push_str(k);
+            out.push_str("\":");
+            v.push_json(&mut out);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{AttrValue, SpanId, SpanRecord, TraceId};
+
+    fn record(trace: u64, span: u64, parent: Option<u64>, name: &'static str) -> SpanRecord {
+        SpanRecord {
+            trace: TraceId(trace),
+            span: SpanId(span),
+            parent: parent.map(SpanId),
+            name,
+            start_ns: 1_500,
+            dur_ns: 2_250,
+            attrs: vec![("batch", AttrValue::Int(4))],
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_fields() {
+        let spans = vec![record(7, 1, None, "http"), record(7, 2, Some(1), "schedule")];
+        let json = chrome_trace_json(&spans);
+        let value = serde::json::parse(&json).expect("valid JSON");
+        let events = value.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(events.len(), 2);
+        let first = &events[0];
+        assert_eq!(first.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(first.get("ts").and_then(|v| v.as_f64()), Some(1.5));
+        assert_eq!(first.get("dur").and_then(|v| v.as_f64()), Some(2.25));
+        let args = first.get("args").unwrap();
+        assert_eq!(args.get("batch").and_then(|v| v.as_f64()), Some(4.0));
+        assert_eq!(args.get("parent_id").map(|v| v.is_null()), Some(true));
+    }
+
+    #[test]
+    fn traces_get_distinct_lanes() {
+        let spans = vec![record(7, 1, None, "a"), record(9, 2, None, "b")];
+        let json = chrome_trace_json(&spans);
+        let value = serde::json::parse(&json).unwrap();
+        let events = value.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        let tid0 = events[0].get("tid").and_then(|v| v.as_f64()).unwrap();
+        let tid1 = events[1].get("tid").and_then(|v| v.as_f64()).unwrap();
+        assert_ne!(tid0, tid1);
+    }
+
+    #[test]
+    fn empty_export_is_still_a_document() {
+        let json = chrome_trace_json(&[]);
+        let value = serde::json::parse(&json).unwrap();
+        assert_eq!(value.get("traceEvents").and_then(|v| v.as_array()).map(|a| a.len()), Some(0));
+    }
+}

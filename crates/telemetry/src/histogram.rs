@@ -176,6 +176,13 @@ impl HistogramSnapshot {
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
+
+    /// 99.9th-percentile estimate — the tail that separates "a slow
+    /// request now and then" from "tracing is costing everyone"; the
+    /// exposition publishes it so overhead claims can be audited.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
 }
 
 #[cfg(test)]
@@ -216,9 +223,12 @@ mod tests {
             h.record(v);
         }
         let s = h.snapshot();
-        // True p50 is 500 (bucket 9: 256..511), p99 is 990 (bucket 10).
+        // True p50 is 500 (bucket 9: 256..511), p99 is 990 (bucket 10),
+        // p999 is 1000 (also bucket 10).
         assert_eq!(bucket_index(s.p50()), bucket_index(500));
         assert_eq!(bucket_index(s.p99()), bucket_index(990));
+        assert_eq!(bucket_index(s.p999()), bucket_index(1000));
+        assert!(s.p999() >= s.p99());
         assert!((s.mean() - 500.5).abs() < 1e-9);
     }
 

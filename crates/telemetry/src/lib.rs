@@ -41,14 +41,21 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod histogram;
 pub mod metrics;
 pub mod registry;
 pub mod timer;
+pub mod trace;
 
+pub use chrome::chrome_trace_json;
 pub use histogram::{
     bucket_index, bucket_lower, bucket_upper, Histogram, HistogramSnapshot, BUCKETS,
 };
 pub use metrics::{Counter, Gauge};
 pub use registry::{MetricSnapshot, Registry, RegistrySnapshot};
 pub use timer::{Stopwatch, Timer};
+pub use trace::{
+    trace_tree_json, AttrValue, Span, SpanContext, SpanId, SpanRecord, TraceId, Tracer,
+    TracerConfig,
+};

@@ -183,6 +183,29 @@ impl Registry {
                 }
             }
         }
+        // Tail-quantile companions: one `<name>_p999` gauge family per
+        // histogram family, appended after the main families so each
+        // family stays contiguous (the exposition format requires it).
+        // log₂ buckets bound the estimate's error to one octave — good
+        // enough to audit "tracing overhead < 2%" claims against the tail.
+        let mut last_name: Option<&str> = None;
+        for (key, entry) in map.iter() {
+            let Metric::Histogram(h) = &entry.metric else { continue };
+            if last_name != Some(key.name.as_str()) {
+                out.push_str(&format!(
+                    "# HELP {}_p999 99.9th-percentile estimate of {}\n",
+                    key.name, key.name
+                ));
+                out.push_str(&format!("# TYPE {}_p999 gauge\n", key.name));
+                last_name = Some(key.name.as_str());
+            }
+            out.push_str(&format!(
+                "{}_p999{} {}\n",
+                key.name,
+                render_labels(&key.labels, None),
+                h.snapshot().p999()
+            ));
+        }
         out
     }
 }
@@ -358,6 +381,30 @@ mod tests {
         assert!(text.contains("latency_nanoseconds_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("latency_nanoseconds_sum 903\n"));
         assert!(text.contains("latency_nanoseconds_count 2\n"));
+    }
+
+    #[test]
+    fn histogram_families_get_a_p999_gauge() {
+        let r = Registry::new();
+        let h = r.histogram("latency_nanoseconds", "Latency", &[("route", "infer")]);
+        for _ in 0..990 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        r.counter("c", "", &[]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE latency_nanoseconds_p999 gauge\n"));
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("latency_nanoseconds_p999{route=\"infer\"}"))
+            .expect("p999 series present");
+        let v: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        // The single outlier sits at the 99.9th rank: estimate must leave
+        // the 100 ns bucket and land in the outlier's octave.
+        assert!(v > 1_000.0, "p999 should reflect the tail, got {line}");
+        assert!(!text.contains("c_p999"), "counters get no quantile family");
     }
 
     #[test]

@@ -1,0 +1,655 @@
+//! Request-scoped tracing: span guards, head sampling, and a bounded
+//! in-memory collector.
+//!
+//! Aggregate counters answer "how is the fleet doing"; they cannot answer
+//! "where did *this* request's 4.6 ms go". This module adds Dapper-style
+//! request tracing to close that gap: every sampled request gets a
+//! [`TraceId`], every stage it passes through (HTTP parse, queue wait,
+//! batch decision, allocator plan, each executor op) records a
+//! [`SpanRecord`] carrying `{name, start, dur, parent, attrs}`, and the
+//! whole tree can be fetched back over `GET /v1/traces/<id>` or exported
+//! as a Perfetto-loadable Chrome trace (see [`crate::chrome`]).
+//!
+//! Design constraints mirror the metrics side:
+//!
+//! - **The disabled path must cost nothing measurable.** A disabled or
+//!   unsampled request takes one relaxed atomic increment and returns
+//!   `None`; every downstream `Option<SpanContext>` check is a branch on
+//!   a register. The telemetry_report harness pins this under 2%.
+//! - **Bounded memory.** Finished spans land in a fixed pool of ring
+//!   buffers (one per recording thread, assigned round-robin), each
+//!   capped at `TT_TRACE_BUFFER` spans; the oldest spans are overwritten,
+//!   never reallocated. A shard is owned by one thread at a time, so the
+//!   per-shard mutex is uncontended on the hot path — recording is a
+//!   push onto a pre-sized deque behind a free lock.
+//! - **Head sampling.** `TT_TRACE_SAMPLE=N` keeps one request in `N`
+//!   (default 64). A client can force its own request with `?trace=1`
+//!   regardless of the dice roll, which is how you debug one slow call
+//!   without drowning in the other 63.
+//!
+//! ```
+//! use tt_telemetry::trace::{Tracer, TracerConfig};
+//!
+//! let tracer = Tracer::new(TracerConfig { sample_every: 1, ..TracerConfig::default() });
+//! let trace_id = {
+//!     let mut root = tracer.start_root("http", false).expect("1-in-1 sampling");
+//!     root.attr_str("route", "/v1/infer");
+//!     let _child = root.child("queue_wait");
+//!     root.context().trace
+//! };
+//! let spans = tracer.spans_of(trace_id);
+//! assert_eq!(spans.len(), 2);
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Number of ring-buffer shards in a collector. Threads are assigned to
+/// shards round-robin at first record; with a pool this size the serving
+/// stack's handful of worker threads each get a shard to themselves.
+const SHARDS: usize = 16;
+
+/// Default head-sampling rate: keep one request in this many.
+pub const DEFAULT_SAMPLE_EVERY: u64 = 64;
+
+/// Default per-shard span capacity (total memory is bounded by
+/// `SHARDS * capacity * sizeof(SpanRecord)` — a few MiB at most).
+pub const DEFAULT_BUFFER_SPANS: usize = 4096;
+
+/// Identifier shared by every span of one request, carried end-to-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+/// Identifier of a single span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl TraceId {
+    /// Parse the 16-hex-digit form produced by `Display` (the shape that
+    /// travels in the `x-tt-trace-id` header and `/v1/traces/<id>` URLs).
+    pub fn parse(s: &str) -> Option<TraceId> {
+        let s = s.trim();
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().filter(|&v| v != 0).map(TraceId)
+    }
+}
+
+/// The pair a request carries between stages: which trace it belongs to
+/// and which span is the current parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// The request's trace.
+    pub trace: TraceId,
+    /// The span that children started from this context should hang under.
+    pub span: SpanId,
+}
+
+/// A span attribute value. Kept as a small closed enum so records stay
+/// allocation-light and export (JSON, Chrome trace) needs no reflection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A string attribute (e.g. a shape like `"8x128x256"`).
+    Str(String),
+    /// An integer attribute (e.g. a batch size).
+    Int(i64),
+    /// A floating-point attribute (e.g. achieved GFLOP/s).
+    Float(f64),
+}
+
+impl AttrValue {
+    /// Render as a JSON value fragment onto `out`.
+    pub fn push_json(&self, out: &mut String) {
+        match self {
+            AttrValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            AttrValue::Int(i) => out.push_str(&i.to_string()),
+            AttrValue::Float(f) if f.is_finite() => out.push_str(&format!("{f:.6}")),
+            AttrValue::Float(_) => out.push_str("null"),
+        }
+    }
+}
+
+/// One finished span, as stored in the collector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub span: SpanId,
+    /// The enclosing span, `None` for the root.
+    pub parent: Option<SpanId>,
+    /// Stage name (`"http"`, `"queue_wait"`, `"schedule"`, op names, …).
+    pub name: &'static str,
+    /// Start time in nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Attribute key/value pairs.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// Tracer construction knobs; see [`Tracer::from_env`] for the env mapping.
+#[derive(Debug, Clone)]
+pub struct TracerConfig {
+    /// Master switch. When false every `start_root` returns `None`.
+    pub enabled: bool,
+    /// Head sampling: keep one root in this many. `0` disables dice-roll
+    /// sampling entirely (only `force`d requests are traced).
+    pub sample_every: u64,
+    /// Per-shard ring capacity in spans.
+    pub buffer_spans: usize,
+}
+
+impl Default for TracerConfig {
+    fn default() -> Self {
+        TracerConfig {
+            enabled: true,
+            sample_every: DEFAULT_SAMPLE_EVERY,
+            buffer_spans: DEFAULT_BUFFER_SPANS,
+        }
+    }
+}
+
+struct Shard {
+    spans: Mutex<VecDeque<SpanRecord>>,
+}
+
+struct TracerInner {
+    enabled: bool,
+    sample_every: u64,
+    buffer_spans: usize,
+    epoch: Instant,
+    /// Dice-roll state for head sampling.
+    admitted: AtomicU64,
+    /// Id generator; ids are sequential-nonzero, which is all uniqueness
+    /// requires inside one process (no cross-host correlation here).
+    next_id: AtomicU64,
+    /// Round-robin shard assignment for newly-seen recording threads.
+    next_shard: AtomicU64,
+    shards: Vec<Shard>,
+}
+
+thread_local! {
+    /// Which shard this thread records into (lazily assigned).
+    static MY_SHARD: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// The tracing collector: hands out sampled root spans, stores finished
+/// [`SpanRecord`]s in bounded ring buffers, and answers trace queries.
+///
+/// Cheap to clone (`Arc` inside); every stage of the pipeline holds its
+/// own handle.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.inner.enabled)
+            .field("sample_every", &self.inner.sample_every)
+            .field("buffer_spans", &self.inner.buffer_spans)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// Build a tracer from an explicit config.
+    pub fn new(config: TracerConfig) -> Tracer {
+        let shards = (0..SHARDS).map(|_| Shard { spans: Mutex::new(VecDeque::new()) }).collect();
+        Tracer {
+            inner: Arc::new(TracerInner {
+                enabled: config.enabled,
+                sample_every: config.sample_every,
+                buffer_spans: config.buffer_spans.max(1),
+                epoch: Instant::now(),
+                admitted: AtomicU64::new(0),
+                next_id: AtomicU64::new(1),
+                next_shard: AtomicU64::new(0),
+                shards,
+            }),
+        }
+    }
+
+    /// Build from the environment:
+    ///
+    /// | variable          | meaning                              | default |
+    /// |-------------------|--------------------------------------|---------|
+    /// | `TT_TRACE_SAMPLE` | keep 1 root in N (`0` = forced only) | 64      |
+    /// | `TT_TRACE_BUFFER` | per-shard ring capacity in spans     | 4096    |
+    pub fn from_env() -> Tracer {
+        let mut config = TracerConfig::default();
+        if let Ok(v) = std::env::var("TT_TRACE_SAMPLE") {
+            if let Ok(n) = v.trim().parse::<u64>() {
+                config.sample_every = n;
+            }
+        }
+        if let Ok(v) = std::env::var("TT_TRACE_BUFFER") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                config.buffer_spans = n.max(1);
+            }
+        }
+        Tracer::new(config)
+    }
+
+    /// A tracer that samples nothing and stores nothing — the default for
+    /// code paths constructed without tracing (`LiveEngine::start`,
+    /// `HttpServer::start`). `start_root` always returns `None`.
+    pub fn disabled() -> Tracer {
+        Tracer::new(TracerConfig { enabled: false, sample_every: 0, buffer_spans: 1 })
+    }
+
+    /// Whether this tracer can ever record (used to skip building attr
+    /// strings when no one is listening).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Nanoseconds since this tracer's epoch — the time base all spans use.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Convert an instant captured earlier (e.g. a request's submit time)
+    /// into this tracer's time base.
+    pub fn ns_of(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.inner.epoch).as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Roll the sampling dice and, if this request is kept (or `force` is
+    /// set), open a root span. Returns `None` for unsampled requests —
+    /// the entire per-request tracing cost in that case is one relaxed
+    /// `fetch_add`.
+    pub fn start_root(&self, name: &'static str, force: bool) -> Option<Span> {
+        if !self.inner.enabled {
+            return None;
+        }
+        let sampled = match self.inner.sample_every {
+            0 => false,
+            n => self.inner.admitted.fetch_add(1, Ordering::Relaxed).is_multiple_of(n),
+        };
+        if !(sampled || force) {
+            return None;
+        }
+        let trace = TraceId(self.next_nonzero_id());
+        Some(self.open(trace, None, name))
+    }
+
+    /// Open a span under an existing context (for stages that receive the
+    /// context by value rather than holding the parent guard).
+    pub fn span(&self, ctx: SpanContext, name: &'static str) -> Span {
+        self.open(ctx.trace, Some(ctx.span), name)
+    }
+
+    /// Record a span retroactively from explicit timestamps (used for
+    /// queue-wait, whose start predates the span's construction). Returns
+    /// the new span's id so children can be hung under it.
+    pub fn record_span(
+        &self,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        name: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+        attrs: Vec<(&'static str, AttrValue)>,
+    ) -> SpanId {
+        let span = SpanId(self.next_nonzero_id());
+        self.store(SpanRecord { trace, span, parent, name, start_ns, dur_ns, attrs });
+        span
+    }
+
+    fn next_nonzero_id(&self) -> u64 {
+        loop {
+            let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    fn open(&self, trace: TraceId, parent: Option<SpanId>, name: &'static str) -> Span {
+        Span {
+            tracer: self.clone(),
+            trace,
+            span: SpanId(self.next_nonzero_id()),
+            parent,
+            name,
+            start: Instant::now(),
+            attrs: Vec::new(),
+        }
+    }
+
+    fn store(&self, record: SpanRecord) {
+        let shard_idx = MY_SHARD.with(|cell| match cell.get() {
+            Some(i) => i,
+            None => {
+                let i = (self.inner.next_shard.fetch_add(1, Ordering::Relaxed) % SHARDS as u64)
+                    as usize;
+                cell.set(Some(i));
+                i
+            }
+        });
+        let mut shard = self.inner.shards[shard_idx].spans.lock();
+        if shard.len() >= self.inner.buffer_spans {
+            shard.pop_front();
+        }
+        shard.push_back(record);
+    }
+
+    /// All retained spans of `trace`, ordered by start time. Empty when the
+    /// trace was never sampled or has been overwritten by newer spans.
+    pub fn spans_of(&self, trace: TraceId) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = Vec::new();
+        for shard in &self.inner.shards {
+            let guard = shard.spans.lock();
+            out.extend(guard.iter().filter(|r| r.trace == trace).cloned());
+        }
+        out.sort_by_key(|r| (r.start_ns, r.span.0));
+        out
+    }
+
+    /// Every retained span across all traces, ordered by start time —
+    /// the input to the Chrome trace exporter.
+    pub fn all_spans(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = Vec::new();
+        for shard in &self.inner.shards {
+            let guard = shard.spans.lock();
+            out.extend(guard.iter().cloned());
+        }
+        out.sort_by_key(|r| (r.trace.0, r.start_ns, r.span.0));
+        out
+    }
+}
+
+/// A live span: created open, records itself into the collector on drop.
+///
+/// Attributes are attached with the `attr_*` methods; children with
+/// [`Span::child`]. The guard is deliberately not `Clone` — exactly one
+/// record per span.
+#[derive(Debug)]
+pub struct Span {
+    tracer: Tracer,
+    trace: TraceId,
+    span: SpanId,
+    parent: Option<SpanId>,
+    name: &'static str,
+    start: Instant,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl Span {
+    /// The context downstream stages should carry (this span as parent).
+    pub fn context(&self) -> SpanContext {
+        SpanContext { trace: self.trace, span: self.span }
+    }
+
+    /// Open a child span of this one.
+    pub fn child(&self, name: &'static str) -> Span {
+        self.tracer.span(self.context(), name)
+    }
+
+    /// Attach a string attribute.
+    pub fn attr_str(&mut self, key: &'static str, value: impl Into<String>) {
+        self.attrs.push((key, AttrValue::Str(value.into())));
+    }
+
+    /// Attach an integer attribute.
+    pub fn attr_int(&mut self, key: &'static str, value: i64) {
+        self.attrs.push((key, AttrValue::Int(value)));
+    }
+
+    /// Attach a floating-point attribute.
+    pub fn attr_float(&mut self, key: &'static str, value: f64) {
+        self.attrs.push((key, AttrValue::Float(value)));
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let start_ns = self.tracer.ns_of(self.start);
+        let dur_ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.tracer.store(SpanRecord {
+            trace: self.trace,
+            span: self.span,
+            parent: self.parent,
+            name: self.name,
+            start_ns,
+            dur_ns,
+            attrs: std::mem::take(&mut self.attrs),
+        });
+    }
+}
+
+/// Render the span tree of one trace as a JSON object — the body of
+/// `GET /v1/traces/<id>`. Spans carry their ids so clients can rebuild
+/// the tree; they are already sorted by start time.
+pub fn trace_tree_json(trace: TraceId, spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(256 + spans.len() * 160);
+    out.push_str("{\"trace_id\":\"");
+    out.push_str(&trace.to_string());
+    out.push_str("\",\"span_count\":");
+    out.push_str(&spans.len().to_string());
+    out.push_str(",\"spans\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"span_id\":\"");
+        out.push_str(&s.span.to_string());
+        out.push_str("\",\"parent_id\":");
+        match s.parent {
+            Some(p) => {
+                out.push('"');
+                out.push_str(&p.to_string());
+                out.push('"');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"name\":\"");
+        out.push_str(s.name);
+        out.push_str("\",\"start_ns\":");
+        out.push_str(&s.start_ns.to_string());
+        out.push_str(",\"dur_ns\":");
+        out.push_str(&s.dur_ns.to_string());
+        out.push_str(",\"attrs\":{");
+        for (j, (k, v)) in s.attrs.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(k);
+            out.push_str("\":");
+            v.push_json(&mut out);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn always(buffer: usize) -> Tracer {
+        Tracer::new(TracerConfig { enabled: true, sample_every: 1, buffer_spans: buffer })
+    }
+
+    #[test]
+    fn trace_id_display_parse_roundtrip() {
+        let id = TraceId(0x00ab_cdef_0123_4567);
+        assert_eq!(TraceId::parse(&id.to_string()), Some(id));
+        assert_eq!(TraceId::parse("zz"), None);
+        assert_eq!(TraceId::parse(""), None);
+        assert_eq!(TraceId::parse("0"), None, "zero is reserved");
+        assert_eq!(TraceId::parse("00000000000000010"), None, "too long");
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_n() {
+        let t = Tracer::new(TracerConfig { enabled: true, sample_every: 4, buffer_spans: 1024 });
+        let sampled = (0..100).filter(|_| t.start_root("r", false).is_some()).count();
+        assert_eq!(sampled, 25);
+    }
+
+    #[test]
+    fn force_overrides_the_dice() {
+        let t = Tracer::new(TracerConfig { enabled: true, sample_every: 0, buffer_spans: 1024 });
+        assert!(t.start_root("r", false).is_none());
+        assert!(t.start_root("r", true).is_some());
+    }
+
+    #[test]
+    fn disabled_tracer_never_samples() {
+        let t = Tracer::disabled();
+        assert!(t.start_root("r", true).is_none());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn spans_record_on_drop_with_parentage() {
+        let t = always(1024);
+        let trace = {
+            let mut root = t.start_root("http", false).unwrap();
+            root.attr_int("status", 200);
+            {
+                let mut child = root.child("queue_wait");
+                child.attr_float("depth", 3.0);
+            }
+            root.context().trace
+        };
+        let spans = t.spans_of(trace);
+        assert_eq!(spans.len(), 2);
+        let root = spans.iter().find(|s| s.name == "http").unwrap();
+        let child = spans.iter().find(|s| s.name == "queue_wait").unwrap();
+        assert_eq!(root.parent, None);
+        assert_eq!(child.parent, Some(root.span));
+        assert!(child.start_ns >= root.start_ns);
+        assert_eq!(root.attrs, vec![("status", AttrValue::Int(200))]);
+    }
+
+    #[test]
+    fn retroactive_record_span() {
+        let t = always(1024);
+        let root = t.start_root("r", false).unwrap();
+        let ctx = root.context();
+        drop(root);
+        let id = t.record_span(
+            ctx.trace,
+            Some(ctx.span),
+            "queue_wait",
+            5,
+            10,
+            vec![("n", AttrValue::Int(1))],
+        );
+        let spans = t.spans_of(ctx.trace);
+        let q = spans.iter().find(|s| s.span == id).unwrap();
+        assert_eq!(q.parent, Some(ctx.span));
+        assert_eq!(q.start_ns, 5);
+        assert_eq!(q.dur_ns, 10);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded() {
+        let t = always(8);
+        let mut last_trace = None;
+        for _ in 0..100 {
+            let root = t.start_root("r", false).unwrap();
+            last_trace = Some(root.context().trace);
+        }
+        // This thread maps to one shard, so retained spans ≤ capacity.
+        assert!(t.all_spans().len() <= 8);
+        // The newest span survives.
+        assert_eq!(t.spans_of(last_trace.unwrap()).len(), 1);
+    }
+
+    #[test]
+    fn trace_tree_json_is_wellformed_enough_to_reparse() {
+        let t = always(64);
+        let trace = {
+            let mut root = t.start_root("http", false).unwrap();
+            root.attr_str("route", "/v1/infer\"quoted\"");
+            root.attr_float("gflops", 12.5);
+            let _c = root.child("schedule");
+            root.context().trace
+        };
+        let json = trace_tree_json(trace, &t.spans_of(trace));
+        let value = serde::json::parse(&json).expect("valid JSON");
+        let spans = value.get("spans").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(
+            value.get("trace_id").and_then(|v| v.as_str()),
+            Some(trace.to_string().as_str())
+        );
+    }
+
+    #[test]
+    fn attr_value_escapes_json_strings() {
+        let mut out = String::new();
+        AttrValue::Str("a\"b\\c\nd".into()).push_json(&mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+        let mut out = String::new();
+        AttrValue::Float(f64::NAN).push_json(&mut out);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_every_span_reachable() {
+        let t = always(65536);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for _ in 0..200 {
+                        let root = t.start_root("r", false).unwrap();
+                        let _c1 = root.child("a");
+                        let _c2 = root.child("b");
+                        ids.push(root.context().trace);
+                    }
+                    ids
+                })
+            })
+            .collect();
+        for h in handles {
+            for trace in h.join().unwrap() {
+                assert_eq!(t.spans_of(trace).len(), 3);
+            }
+        }
+    }
+}

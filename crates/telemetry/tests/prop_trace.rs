@@ -1,0 +1,142 @@
+//! Property tests of the tracing subsystem.
+//!
+//! The contract worth pinning over arbitrary inputs: whatever shape of
+//! span tree is recorded, from however many threads at once, the
+//! collector hands back *well-formed* trees — every non-root span's
+//! parent exists in the same trace, child intervals nest inside their
+//! parent's interval, and both exporters (span-tree JSON and Chrome
+//! trace-event JSON) emit parseable JSON covering every span.
+
+use proptest::prelude::*;
+use tt_telemetry::{chrome_trace_json, trace_tree_json, SpanRecord, Tracer, TracerConfig};
+
+/// Build one root span whose subtree shape is driven by `plan`: each
+/// entry spawns a child, odd entries give that child a grandchild.
+/// Returns the trace id.
+fn build_tree(tracer: &Tracer, plan: &[u8]) -> tt_telemetry::TraceId {
+    let mut root = tracer.start_root("root", true).expect("forced root samples");
+    root.attr_int("fanout", plan.len() as i64);
+    let trace = root.context().trace;
+    for &v in plan {
+        let mut child = root.child("child");
+        child.attr_int("v", v as i64);
+        if v % 2 == 1 {
+            let mut grand = child.child("grandchild");
+            grand.attr_str("kind", "leaf");
+        }
+    }
+    trace
+}
+
+/// Assert the well-formedness invariants on one trace's spans.
+fn assert_well_formed(spans: &[SpanRecord]) {
+    assert!(!spans.is_empty());
+    let roots = spans.iter().filter(|s| s.parent.is_none()).count();
+    assert_eq!(roots, 1, "exactly one root per trace");
+    for span in spans {
+        let Some(parent_id) = span.parent else { continue };
+        let parent = spans
+            .iter()
+            .find(|p| p.span == parent_id)
+            .unwrap_or_else(|| panic!("span {} has a dangling parent", span.span));
+        assert!(
+            parent.start_ns <= span.start_ns
+                && span.start_ns + span.dur_ns <= parent.start_ns + parent.dur_ns,
+            "child [{}, +{}] must nest in parent [{}, +{}]",
+            span.start_ns,
+            span.dur_ns,
+            parent.start_ns,
+            parent.dur_ns
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Concurrent recording from arbitrary thread/tree mixes yields a
+    /// well-formed tree for every trace, and both exporters parse.
+    #[test]
+    fn concurrent_span_trees_are_well_formed(
+        plans in prop::collection::vec(prop::collection::vec(0u8..=5, 0..6), 1..8),
+    ) {
+        // Big enough that nothing is evicted mid-test.
+        let tracer = Tracer::new(TracerConfig {
+            enabled: true,
+            sample_every: 1,
+            buffer_spans: 4096,
+        });
+
+        let traces: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = plans
+                .iter()
+                .map(|plan| {
+                    let tracer = tracer.clone();
+                    s.spawn(move || build_tree(&tracer, plan))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("tree builder")).collect()
+        });
+
+        for (trace, plan) in traces.iter().zip(&plans) {
+            let spans = tracer.spans_of(*trace);
+            let expected = 1 + plan.len() + plan.iter().filter(|&&v| v % 2 == 1).count();
+            prop_assert_eq!(spans.len(), expected, "no span lost or leaked across traces");
+            assert_well_formed(&spans);
+
+            // Both exporters emit valid JSON that covers every span.
+            let tree = serde::json::parse(&trace_tree_json(*trace, &spans))
+                .expect("trace tree JSON parses");
+            prop_assert_eq!(
+                tree.get("span_count").and_then(|v| v.as_f64()),
+                Some(spans.len() as f64)
+            );
+            let chrome = serde::json::parse(&chrome_trace_json(&spans))
+                .expect("chrome trace JSON parses");
+            let events = chrome
+                .get("traceEvents")
+                .and_then(|v| v.as_array())
+                .expect("traceEvents array");
+            prop_assert_eq!(events.len(), spans.len());
+        }
+    }
+
+    /// The collector's memory stays bounded no matter how many spans are
+    /// recorded: old spans are evicted, never accumulated.
+    #[test]
+    fn buffer_eviction_bounds_memory(
+        buffer in 4usize..=32,
+        extra in 1usize..=512,
+    ) {
+        let tracer = Tracer::new(TracerConfig {
+            enabled: true,
+            sample_every: 1,
+            buffer_spans: buffer,
+        });
+        // One shard is picked per thread, so this single-threaded flood
+        // lands in one shard: capacity `buffer` exactly.
+        for _ in 0..(buffer + extra) {
+            drop(tracer.start_root("flood", true));
+        }
+        let kept = tracer.all_spans().len();
+        prop_assert!(kept <= buffer, "kept {kept} spans, capacity {buffer}");
+        prop_assert_eq!(kept, buffer, "eviction keeps the buffer full, dropping oldest");
+    }
+
+    /// Sampling keeps exactly ⌈n/k⌉ of n sequential unforced roots —
+    /// head sampling is deterministic, not probabilistic.
+    #[test]
+    fn head_sampling_keeps_one_in_k(
+        k in 1u64..=16,
+        n in 0usize..=200,
+    ) {
+        let tracer = Tracer::new(TracerConfig {
+            enabled: true,
+            sample_every: k,
+            buffer_spans: 4096,
+        });
+        let sampled =
+            (0..n).filter(|_| tracer.start_root("req", false).is_some()).count();
+        prop_assert_eq!(sampled, n.div_ceil(k as usize));
+    }
+}

@@ -41,6 +41,19 @@ impl Value {
         }
     }
 
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
     /// Object view.
     pub fn as_object(&self) -> Option<&[(String, Value)]> {
         match self {
