@@ -1,0 +1,397 @@
+//! Fault-injection (chaos) suite: boot the full serving stack — live
+//! engine, DP scheduler, HTTP front-end with SLO-aware admission — and
+//! attack it with every `tt-chaos` fault class in turn, asserting the
+//! robustness contract holds under each:
+//!
+//! - **The engine thread never dies.** After every chaos phase a probe
+//!   request on the same stack must come back `200`.
+//! - **Shed responses are well-formed.** Every `429`/`503`/`504` shed is a
+//!   complete HTTP response with a parseable JSON error body and a
+//!   `Retry-After` header in `[1, retry_after_max]`.
+//! - **Admitted requests meet the SLO.** Under ~2× overload with a finite
+//!   queue, the p99 latency of `200` responses stays at or below the
+//!   configured SLO — admission sheds the excess instead of queueing it
+//!   into deadline misses.
+//! - **The final scrape accounts for every request.** Per phase, the
+//!   flushed `http_requests_total` series sum to exactly the requests
+//!   sent (clients + probe); client-side `ok + shed + failed == sent`.
+//!
+//! Fault classes (see `tt-chaos`): executor op panic, executor op
+//! slowdown, allocator plan failure, HTTP worker stall, connection drop
+//! mid-response — each alone, then all five at once, then a chaos-free
+//! overload phase for the SLO assertion.
+//!
+//! `--smoke` runs a scaled-down deterministic pass (seeded via
+//! `TT_CHAOS_SEED`, default below) for CI; the full run also writes
+//! `results/chaos_suite.md`.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tt_bench::print_table;
+use tt_chaos::ChaosConfig;
+use tt_gpusim::device::DeviceKind;
+use tt_model::bert::{Bert, BertConfig};
+use tt_runtime::{RuntimeConfig, TurboRuntime};
+use tt_serving::http::{HttpConfig, HttpServer};
+use tt_serving::live::LiveEngine;
+use tt_serving::scheduler::InstrumentedScheduler;
+use tt_serving::stats::LatencyStats;
+use tt_serving::{CachedCost, DpScheduler};
+use tt_telemetry::{Registry, Tracer};
+
+/// Default deterministic seed; `TT_CHAOS_SEED` overrides.
+const DEFAULT_SEED: u64 = 0xC0FFEE;
+/// Worker pool width for every phase's server.
+const WORKERS: usize = 8;
+/// In-flight cap — below `WORKERS` so the capacity (`429`) path is
+/// reachable under overload.
+const QUEUE_DEPTH: usize = 6;
+/// Upper clamp on advertised `Retry-After` values.
+const RETRY_AFTER_MAX: u64 = 30;
+
+/// What one HTTP exchange looked like from the client's side.
+enum Outcome {
+    /// Complete `200` with a full body; wall latency attached.
+    Ok(Duration),
+    /// A well-formed shed (`429`/`503`/`504` *with* `Retry-After`).
+    Shed(u16),
+    /// Anything else: truncated response, transport error, or an
+    /// engine-failure `5xx` without the shed contract.
+    Failed,
+}
+
+struct PhaseReport {
+    name: &'static str,
+    sent: usize,
+    ok: usize,
+    shed_429: usize,
+    shed_503: usize,
+    shed_504: usize,
+    failed: usize,
+    fired: u64,
+    p99_ms: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed =
+        std::env::var("TT_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let (clients, per_client) = if smoke { (4, 6) } else { (8, 20) };
+    let slo = Duration::from_millis(500);
+
+    println!(
+        "chaos_suite: seed={seed:#x} clients={clients} per_client={per_client} \
+         slo={}ms{}",
+        slo.as_millis(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let base = ChaosConfig { seed, ..ChaosConfig::default() };
+    let slow_ms = if smoke { 2 } else { 5 };
+    let phases: Vec<(&'static str, ChaosConfig)> = vec![
+        ("baseline (no faults)", base),
+        ("executor op panic", ChaosConfig { executor_op_panic: 0.02, ..base }),
+        ("executor op slowdown", ChaosConfig { op_slowdown: 0.3, op_slowdown_ms: slow_ms, ..base }),
+        ("allocator plan failure", ChaosConfig { alloc_plan_fail: 0.10, ..base }),
+        ("http worker stall", ChaosConfig { worker_stall: 0.3, worker_stall_ms: 10, ..base }),
+        ("connection drop", ChaosConfig { conn_drop: 0.25, ..base }),
+        (
+            "all five at once",
+            ChaosConfig {
+                executor_op_panic: 0.005,
+                op_slowdown: 0.1,
+                op_slowdown_ms: slow_ms,
+                alloc_plan_fail: 0.03,
+                worker_stall: 0.1,
+                worker_stall_ms: 5,
+                conn_drop: 0.1,
+                ..base
+            },
+        ),
+    ];
+
+    let mut reports = Vec::new();
+    for (name, config) in &phases {
+        println!("phase: {name}");
+        reports.push(run_phase(name, *config, clients, per_client, slo));
+    }
+
+    // Chaos-free 2× overload: concurrency at twice the worker pool, finite
+    // queue — admission sheds the excess, and whatever it admits it must
+    // finish within the SLO.
+    println!("phase: overload 2x (chaos off)");
+    let overload = run_phase("overload 2x (chaos off)", base, WORKERS * 2, per_client, slo);
+    assert!(overload.ok > 0, "overload phase must admit and serve requests, not shed everything");
+    assert!(
+        overload.p99_ms <= slo.as_millis() as f64,
+        "p99 of admitted requests ({:.2} ms) exceeds the {} ms SLO under 2x overload",
+        overload.p99_ms,
+        slo.as_millis()
+    );
+    reports.push(overload);
+
+    // Every chaos phase (not the baseline) must actually have injected
+    // faults — a suite that never fires its faults asserts nothing.
+    for r in reports.iter().filter(|r| !r.name.contains("baseline") && !r.name.contains("overload"))
+    {
+        assert!(r.fired > 0, "phase '{}' injected no faults — probabilities too low?", r.name);
+    }
+
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.sent.to_string(),
+                r.ok.to_string(),
+                r.shed_429.to_string(),
+                r.shed_503.to_string(),
+                r.shed_504.to_string(),
+                r.failed.to_string(),
+                r.fired.to_string(),
+                format!("{:.2}", r.p99_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Chaos suite (tiny BERT, DP scheduler, SLO-aware admission)",
+        &["phase", "sent", "ok", "429", "503", "504", "failed", "faults", "p99 ms"],
+        &rows,
+    );
+
+    if smoke {
+        println!("smoke OK");
+        return;
+    }
+    write_markdown(&reports, seed, slo);
+}
+
+/// One chaos phase on a fresh stack: boot engine + server, arm the fault
+/// config, drive the load, then disarm and verify the robustness contract.
+fn run_phase(
+    name: &'static str,
+    config: ChaosConfig,
+    clients: usize,
+    per_client: usize,
+    slo: Duration,
+) -> PhaseReport {
+    let registry = Registry::new();
+    let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+    let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+    runtime.instrument(&registry);
+    let costs =
+        Arc::new(CachedCost::from_fn(64, 16, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+    let scheduler = Arc::new(InstrumentedScheduler::new(Arc::new(DpScheduler), &registry));
+    let engine =
+        LiveEngine::start_instrumented(model, runtime, scheduler, costs.clone(), &registry);
+    let http_config = HttpConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: WORKERS,
+        max_queue_depth: QUEUE_DEPTH,
+        retry_after_max: RETRY_AFTER_MAX,
+        slo,
+        ..HttpConfig::default()
+    };
+    let server = HttpServer::start_with_costs(
+        http_config,
+        Arc::new(engine.client()),
+        &registry,
+        Tracer::disabled(),
+        Some(costs),
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    tt_chaos::install(config);
+
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        handles.push(std::thread::spawn(move || {
+            let mut outcomes = Vec::new();
+            for i in 0..per_client {
+                let len = 4 + (c * 7 + i * 3) % 40;
+                let tokens: Vec<String> =
+                    (0..len).map(|t| ((t * 5 + c) % 90).to_string()).collect();
+                let body = format!("{{\"tokens\": [{}]}}", tokens.join(", "));
+                outcomes.push(exchange(addr, &body));
+            }
+            outcomes
+        }));
+    }
+    let mut outcomes = Vec::new();
+    for h in handles {
+        outcomes.extend(h.join().expect("client thread"));
+    }
+
+    // Counters must be read before disarm: disarm() reinstalls the default
+    // config, which resets them.
+    let fired = tt_chaos::total_fired();
+    tt_chaos::disarm();
+
+    // The engine must have survived whatever was injected: a probe on the
+    // same stack, chaos off, must serve.
+    let probe = exchange(addr, "{\"tokens\": [5, 17, 42, 8]}");
+    assert!(
+        matches!(probe, Outcome::Ok(_)),
+        "phase '{name}': probe after disarm did not serve — the engine died"
+    );
+
+    let final_metrics = server.shutdown();
+    engine.shutdown();
+
+    let sent = clients * per_client;
+    let mut stats = LatencyStats::new();
+    let (mut ok, mut shed_429, mut shed_503, mut shed_504, mut failed) = (0, 0, 0, 0, 0);
+    for outcome in &outcomes {
+        match outcome {
+            Outcome::Ok(latency) => {
+                ok += 1;
+                stats.record(latency.as_secs_f64());
+            }
+            Outcome::Shed(429) => shed_429 += 1,
+            Outcome::Shed(503) => shed_503 += 1,
+            Outcome::Shed(_) => shed_504 += 1,
+            Outcome::Failed => failed += 1,
+        }
+    }
+    // Client-side accounting is total by construction; the server-side
+    // check is the real one: the final scrape's http_requests_total series
+    // must sum to every request sent (load + probe), no silent drops.
+    assert_eq!(ok + shed_429 + shed_503 + shed_504 + failed, sent);
+    let scraped = requests_total_sum(&final_metrics);
+    assert_eq!(
+        scraped,
+        (sent + 1) as u64,
+        "phase '{name}': final scrape accounts for {scraped} requests, sent {}",
+        sent + 1
+    );
+
+    PhaseReport {
+        name,
+        sent,
+        ok,
+        shed_429,
+        shed_503,
+        shed_504,
+        failed,
+        fired,
+        p99_ms: stats.percentile(99.0) * 1e3,
+    }
+}
+
+/// One strict HTTP exchange on a fresh connection. Anything short of a
+/// complete, well-formed response is [`Outcome::Failed`]; sheds must carry
+/// the `Retry-After` contract or the suite panics.
+fn exchange(addr: SocketAddr, body: &str) -> Outcome {
+    let start = Instant::now();
+    let Ok(mut stream) = TcpStream::connect(addr) else { return Outcome::Failed };
+    let raw = format!(
+        "POST /v1/infer HTTP/1.1\r\nHost: chaos\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    if stream.write_all(raw.as_bytes()).is_err() {
+        return Outcome::Failed;
+    }
+    let mut response = Vec::new();
+    if stream.read_to_end(&mut response).is_err() {
+        return Outcome::Failed;
+    }
+    let Ok(text) = std::str::from_utf8(&response) else { return Outcome::Failed };
+
+    // A complete response has a blank line and a body matching its
+    // Content-Length — a chaos-truncated one does not.
+    let Some((head, rest)) = text.split_once("\r\n\r\n") else { return Outcome::Failed };
+    let Some(status) = head.split(' ').nth(1).and_then(|s| s.parse::<u16>().ok()) else {
+        return Outcome::Failed;
+    };
+    let content_length = header_value(head, "content-length").and_then(|v| v.parse::<usize>().ok());
+    if content_length != Some(rest.len()) {
+        return Outcome::Failed;
+    }
+
+    match status {
+        200 => Outcome::Ok(start.elapsed()),
+        429 | 503 | 504 => {
+            match header_value(head, "retry-after").and_then(|v| v.parse::<u64>().ok()) {
+                Some(retry) => {
+                    // The shed contract: an honest, clamped Retry-After and
+                    // a JSON error body.
+                    assert!(
+                        (1..=RETRY_AFTER_MAX).contains(&retry),
+                        "shed {status} advertised Retry-After {retry}, outside [1, {RETRY_AFTER_MAX}]"
+                    );
+                    assert!(
+                        rest.starts_with("{\"error\":"),
+                        "shed {status} body is not the JSON error shape: {rest}"
+                    );
+                    Outcome::Shed(status)
+                }
+                // A 503 without Retry-After is the engine-failure path
+                // (batch lost to an injected panic), not a shed.
+                None => Outcome::Failed,
+            }
+        }
+        _ => Outcome::Failed,
+    }
+}
+
+/// Case-insensitive header lookup in a raw response head.
+fn header_value<'h>(head: &'h str, name: &str) -> Option<&'h str> {
+    head.lines().skip(1).find_map(|line| {
+        let (key, value) = line.split_once(':')?;
+        key.trim().eq_ignore_ascii_case(name).then(|| value.trim())
+    })
+}
+
+/// Sum every `http_requests_total{...}` sample in a Prometheus exposition.
+fn requests_total_sum(exposition: &str) -> u64 {
+    exposition
+        .lines()
+        .filter(|l| l.starts_with("http_requests_total{"))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<f64>().ok())
+        .map(|v| v as u64)
+        .sum()
+}
+
+fn write_markdown(reports: &[PhaseReport], seed: u64, slo: Duration) {
+    let mut md = String::new();
+    let _ = writeln!(md, "# Chaos suite (`chaos_suite`)\n");
+    let _ = writeln!(
+        md,
+        "Each phase boots a fresh serving stack (tiny BERT, DP scheduler, \
+         {WORKERS} HTTP workers, in-flight cap {QUEUE_DEPTH}, SLO {} ms), arms one \
+         `tt-chaos` fault class (seed `{seed:#x}`), drives concurrent load, then \
+         disarms and asserts the robustness contract: the engine survives (a \
+         post-chaos probe serves `200`), every shed is a complete response with \
+         `Retry-After` in `[1, {RETRY_AFTER_MAX}]`, and the final `/metrics` scrape \
+         accounts for every request sent. The last phase runs chaos-free at 2x the \
+         worker pool and asserts p99 of admitted requests stays within the SLO.\n",
+        slo.as_millis(),
+    );
+    let _ =
+        writeln!(md, "| phase | sent | ok | 429 | 503 | 504 | failed | faults fired | p99 ms |");
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|---|");
+    for r in reports {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.2} |",
+            r.name, r.sent, r.ok, r.shed_429, r.shed_503, r.shed_504, r.failed, r.fired, r.p99_ms,
+        );
+    }
+    let _ = writeln!(
+        md,
+        "\n`failed` counts client-visible incidents: responses truncated by the \
+         connection-drop fault, and engine-failure `503`s (a batch lost to an \
+         injected panic — answered, never silently dropped). Shed taxonomy and \
+         injection points: `docs/ROBUSTNESS.md`."
+    );
+    let _ = std::fs::create_dir_all("results");
+    std::fs::write("results/chaos_suite.md", md).expect("write results/chaos_suite.md");
+    println!("\nwrote results/chaos_suite.md");
+}

@@ -30,6 +30,13 @@ use tt_telemetry::{Registry, Tracer};
 
 fn main() {
     let registry = Registry::new();
+    // Fault injection (off unless TT_CHAOS_* probabilities are set):
+    // arms the tt-chaos hooks in the executor, engine and HTTP layers so a
+    // deployment can be soak-tested with the exact binary it ships.
+    let chaos = tt_chaos::install_from_env();
+    if tt_chaos::armed() {
+        println!("tt-chaos armed: {chaos:?}");
+    }
     // Head-sampled request tracing: 1-in-TT_TRACE_SAMPLE requests (default
     // 64) record a span tree, queryable at GET /v1/traces/<id>; any single
     // request can opt in with `?trace=1`.
@@ -51,15 +58,25 @@ fn main() {
             .with_online_updates(0.2),
     );
     let scheduler = Arc::new(InstrumentedScheduler::new(Arc::new(DpScheduler), &registry));
-    let engine =
-        LiveEngine::start_traced(model, runtime, scheduler, costs, &registry, tracer.clone());
+    let engine = LiveEngine::start_traced(
+        model,
+        runtime,
+        scheduler,
+        costs.clone(),
+        &registry,
+        tracer.clone(),
+    );
 
     let config = HttpConfig::from_env();
     // Vocabulary admission check at the boundary: an out-of-range token id
     // is a client error (400), not an engine incident.
     let handler = Arc::new(VocabGuard::new(engine.client(), bert_config.vocab_size));
-    let server = HttpServer::start_traced(config.clone(), handler, &registry, tracer)
-        .expect("binding the HTTP listener");
+    // Hand the admission controller the engine's cost table: SLO-aware
+    // admission prices each request (queue-wait p99 + execution estimate)
+    // against its deadline and sheds predictable violations up front.
+    let server =
+        HttpServer::start_with_costs(config.clone(), handler, &registry, tracer, Some(costs))
+            .expect("binding the HTTP listener");
     println!("serving on http://{}", server.addr());
     // Keep the sample ids inside the smallest (tiny, 97-word) vocabulary so
     // pasting the hint verbatim succeeds under every TT_HTTP_MODEL.
@@ -68,8 +85,13 @@ fn main() {
     println!("  GET  /metrics    Prometheus text exposition");
     println!("  GET  /healthz    liveness");
     println!(
-        "workers={} queue_depth={} max_body={}B (override via TT_HTTP_*)",
-        config.workers, config.max_queue_depth, config.max_body_bytes
+        "workers={} queue_depth={} max_body={}B slo={}ms retry_after_max={}s \
+         (override via TT_HTTP_* / TT_SLO_MS / TT_RETRY_AFTER_MAX)",
+        config.workers,
+        config.max_queue_depth,
+        config.max_body_bytes,
+        config.slo.as_millis(),
+        config.retry_after_max
     );
 
     // Serve until killed. The engine and server drain on process exit in a

@@ -56,6 +56,9 @@ struct LevelReport {
     requests: usize,
     ok: usize,
     shed: usize,
+    shed_429: usize,
+    shed_503: usize,
+    shed_504: usize,
     errors: usize,
     shed_rate: f64,
     throughput_rps: f64,
@@ -89,8 +92,14 @@ fn main() {
             .with_online_updates(0.2),
     );
     let scheduler = Arc::new(InstrumentedScheduler::new(Arc::new(DpScheduler), &registry));
-    let engine =
-        LiveEngine::start_traced(model, runtime, scheduler, costs, &registry, tracer.clone());
+    let engine = LiveEngine::start_traced(
+        model,
+        runtime,
+        scheduler,
+        costs.clone(),
+        &registry,
+        tracer.clone(),
+    );
 
     let config = HttpConfig {
         addr: "127.0.0.1:0".into(),
@@ -98,9 +107,17 @@ fn main() {
         max_queue_depth: QUEUE_DEPTH,
         ..HttpConfig::default()
     };
-    let server =
-        HttpServer::start_traced(config, Arc::new(engine.client()), &registry, tracer.clone())
-            .expect("server starts");
+    // `start_with_costs` hands the admission controller the engine's cost
+    // table, activating SLO-aware shedding (503/504) alongside the
+    // capacity cap (429).
+    let server = HttpServer::start_with_costs(
+        config,
+        Arc::new(engine.client()),
+        &registry,
+        tracer.clone(),
+        Some(costs.clone()),
+    )
+    .expect("server starts");
     let addr = server.addr();
     println!("serving_http: engine + HTTP front-end on {addr}");
 
@@ -119,7 +136,9 @@ fn main() {
                 r.concurrency.to_string(),
                 r.requests.to_string(),
                 r.ok.to_string(),
-                r.shed.to_string(),
+                r.shed_429.to_string(),
+                r.shed_503.to_string(),
+                r.shed_504.to_string(),
                 fmt_pct(r.shed_rate),
                 format!("{:.1}", r.throughput_rps),
                 format!("{:.2}", r.p50_ms),
@@ -130,7 +149,19 @@ fn main() {
         .collect();
     print_table(
         "HTTP serving load test (tiny BERT, DP scheduler)",
-        &["clients", "requests", "ok", "shed", "shed rate", "req/s", "p50 ms", "p95 ms", "p99 ms"],
+        &[
+            "clients",
+            "requests",
+            "ok",
+            "429",
+            "503",
+            "504",
+            "shed rate",
+            "req/s",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+        ],
         &rows,
     );
 
@@ -179,7 +210,9 @@ fn run_level(addr: SocketAddr, concurrency: usize, per_client: usize) -> LevelRe
             let mut rng = StdRng::seed_from_u64(0x5EED_0000 + c as u64);
             let mut latencies = Vec::new();
             let mut ok = 0usize;
-            let mut shed = 0usize;
+            // Shed taxonomy (docs/ROBUSTNESS.md): 429 capacity, 503
+            // predicted SLO violation, 504 deadline exceeded.
+            let (mut s429, mut s503, mut s504) = (0usize, 0usize, 0usize);
             let mut errors = 0usize;
             for i in 0..per_client {
                 let len = rng.random_range(LEN_RANGE);
@@ -194,25 +227,30 @@ fn run_level(addr: SocketAddr, concurrency: usize, per_client: usize) -> LevelRe
                         ok += 1;
                         latencies.push(start.elapsed().as_secs_f64());
                     }
-                    Some(429) => shed += 1,
+                    Some(429) => s429 += 1,
+                    Some(503) => s503 += 1,
+                    Some(504) => s504 += 1,
                     _ => errors += 1,
                 }
             }
-            (latencies, ok, shed, errors)
+            (latencies, ok, s429, s503, s504, errors)
         }));
     }
 
     let mut stats = LatencyStats::new();
-    let (mut ok, mut shed, mut errors) = (0, 0, 0);
+    let (mut ok, mut shed_429, mut shed_503, mut shed_504, mut errors) = (0, 0, 0, 0, 0);
     for client in clients {
-        let (latencies, k, s, e) = client.join().expect("client thread");
+        let (latencies, k, a, b, d, e) = client.join().expect("client thread");
         for l in latencies {
             stats.record(l);
         }
         ok += k;
-        shed += s;
+        shed_429 += a;
+        shed_503 += b;
+        shed_504 += d;
         errors += e;
     }
+    let shed = shed_429 + shed_503 + shed_504;
     let elapsed = wall.elapsed().as_secs_f64();
     let requests = concurrency * per_client;
     LevelReport {
@@ -220,6 +258,9 @@ fn run_level(addr: SocketAddr, concurrency: usize, per_client: usize) -> LevelRe
         requests,
         ok,
         shed,
+        shed_429,
+        shed_503,
+        shed_504,
         errors,
         shed_rate: shed as f64 / requests as f64,
         throughput_rps: ok as f64 / elapsed,
@@ -253,24 +294,28 @@ fn write_outputs(reports: &[LevelReport], http_lines: &[&str]) {
         "N concurrent TCP clients, each issuing {REQUESTS_PER_CLIENT} `POST /v1/infer` \
          requests (tiny BERT, token lengths {}–{}, DP scheduler, engine queue depth \
          capped at {QUEUE_DEPTH}). Latency is end-to-end wall time: TCP connect → HTTP \
-         parse → admission → LiveEngine batch → JSON response. `429` sheds are the \
-         admission-control path working as designed, not failures.\n",
+         parse → admission → LiveEngine batch → JSON response. Sheds are the \
+         admission-control path working as designed, not failures, broken out by \
+         taxonomy reason (docs/ROBUSTNESS.md): `429` capacity, `503` predicted SLO \
+         violation, `504` deadline exceeded.\n",
         LEN_RANGE.start(),
         LEN_RANGE.end(),
     );
     let _ = writeln!(
         md,
-        "| clients | requests | ok | shed | shed rate | req/s | p50 ms | p95 ms | p99 ms | mean ms |"
+        "| clients | requests | ok | 429 | 503 | 504 | shed rate | req/s | p50 ms | p95 ms | p99 ms | mean ms |"
     );
-    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|---|---|---|---|");
     for r in reports {
         let _ = writeln!(
             md,
-            "| {} | {} | {} | {} | {} | {:.1} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {:.1} | {:.2} | {:.2} | {:.2} | {:.2} |",
             r.concurrency,
             r.requests,
             r.ok,
-            r.shed,
+            r.shed_429,
+            r.shed_503,
+            r.shed_504,
             fmt_pct(r.shed_rate),
             r.throughput_rps,
             r.p50_ms,

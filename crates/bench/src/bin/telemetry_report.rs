@@ -12,6 +12,8 @@
 
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -23,6 +25,7 @@ use tt_model::bert::{Bert, BertConfig};
 use tt_runtime::executor::OP_NAMES;
 use tt_runtime::{RuntimeConfig, TurboRuntime};
 use tt_serving::cluster::{simulate_cluster, BalancerPolicy, ClusterConfig};
+use tt_serving::http::{HttpConfig, HttpServer};
 use tt_serving::live::LiveEngine;
 use tt_serving::request::{LengthDist, WorkloadSpec};
 use tt_serving::scheduler::InstrumentedScheduler;
@@ -62,8 +65,15 @@ fn main() {
     for h in handles {
         h.join().expect("client thread");
     }
+
+    // --- HTTP front-end: shed taxonomy + deadline counters ---------------
+    // Exercise the robustness families so the gate below can assert on
+    // them: one served request, one request whose deadline budget is below
+    // the cost-table estimate (shed 503/504 at admission).
+    let http_ok = drive_http_front_end(&engine, costs.clone(), &registry);
+
     let served = engine.shutdown();
-    assert_eq!(served, CLIENTS * REQUESTS_PER_CLIENT, "every request must be answered");
+    assert_eq!(served, CLIENTS * REQUESTS_PER_CLIENT + http_ok, "every request must be answered");
 
     // --- Cluster view: per-server utilisation + skew ---------------------
     let trace = WorkloadSpec {
@@ -119,6 +129,74 @@ fn main() {
         "tracing-disabled overhead {}% exceeds the 2% budget",
         trace_overhead.pct_of_execute
     );
+
+    // Robustness families (docs/ROBUSTNESS.md): the shed taxonomy and
+    // deadline counters must be present in the exposition, and the
+    // deliberately-impossible deadline above must have registered a shed.
+    let shed_total: u64 = ["capacity", "predicted_slo", "deadline"]
+        .iter()
+        .map(|reason| {
+            snap.find("http_sheds_total", &[("reason", reason)])
+                .and_then(|m| m.counter)
+                .unwrap_or_else(|| panic!("missing http_sheds_total{{reason=\"{reason}\"}}"))
+        })
+        .sum();
+    assert!(shed_total >= 1, "the impossible-deadline request must be shed");
+    for stage in ["pre_schedule", "pre_execute"] {
+        snap.find("deadline_exceeded_total", &[("stage", stage)])
+            .and_then(|m| m.counter)
+            .unwrap_or_else(|| panic!("missing deadline_exceeded_total{{stage=\"{stage}\"}}"));
+    }
+    snap.find("slo_violation_total", &[])
+        .and_then(|m| m.counter)
+        .expect("missing slo_violation_total");
+}
+
+/// Put the HTTP front-end (with SLO-aware admission) in front of the live
+/// engine and exercise the robustness metric families: one served request
+/// and one whose 1 ms deadline budget is below the cost-table execution
+/// estimate, which admission must shed (`503` predicted violation, or
+/// `504` if the budget has already expired by the admission check).
+/// Returns how many requests the engine served for the caller's
+/// accounting.
+fn drive_http_front_end(engine: &LiveEngine, costs: Arc<CachedCost>, registry: &Registry) -> usize {
+    let config = HttpConfig { addr: "127.0.0.1:0".into(), workers: 2, ..HttpConfig::default() };
+    let server = HttpServer::start_with_costs(
+        config,
+        Arc::new(engine.client()),
+        registry,
+        Tracer::disabled(),
+        Some(costs),
+    )
+    .expect("http server starts");
+    let addr = server.addr();
+
+    let ok = http_post(addr, "{\"tokens\": [5, 17, 42, 8]}", None);
+    assert_eq!(ok, Some(200), "the roomy-deadline request must serve");
+    let shed = http_post(addr, "{\"tokens\": [5, 17, 42, 8]}", Some(1));
+    assert!(
+        shed == Some(503) || shed == Some(504),
+        "the 1 ms-deadline request must be shed at admission, got {shed:?}"
+    );
+    server.shutdown();
+    1
+}
+
+/// One `POST /v1/infer` on a fresh connection, optionally with an
+/// `x-tt-deadline-ms` header; returns the response status.
+fn http_post(addr: SocketAddr, body: &str, deadline_ms: Option<u64>) -> Option<u16> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let deadline_header =
+        deadline_ms.map(|ms| format!("x-tt-deadline-ms: {ms}\r\n")).unwrap_or_default();
+    let raw = format!(
+        "POST /v1/infer HTTP/1.1\r\nHost: report\r\nContent-Type: application/json\r\n\
+         {deadline_header}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    response.split(' ').nth(1)?.parse().ok()
 }
 
 struct Overhead {

@@ -1,0 +1,449 @@
+//! # tt-chaos — fault injection for the serving stack
+//!
+//! A production serving system is defined less by its fast path than by
+//! what happens when something on that path misbehaves. This crate plants
+//! named *injection points* at the stage boundaries of the stack —
+//! executor, live engine, HTTP front-end — and fires faults at them with
+//! configured probabilities, so the robustness claims of the serving layer
+//! (engine thread never dies, sheds stay well-formed, accounting balances)
+//! can be *tested* instead of asserted. See `docs/ROBUSTNESS.md` for the
+//! full taxonomy and the `chaos_suite` bench bin for the harness that
+//! drives a real HTTP server through every fault class.
+//!
+//! ## Injection points
+//!
+//! | point | hook site | observable blast radius |
+//! |---|---|---|
+//! | [`FaultPoint::ExecutorOpPanic`] | before each operator dispatch | batch dropped, clients get `503` |
+//! | [`FaultPoint::OpSlowdown`] | before each operator dispatch | latency inflation → deadline sheds |
+//! | [`FaultPoint::AllocPlanFail`] | before the allocator plans a batch | batch dropped, clients get `503` |
+//! | [`FaultPoint::WorkerStall`] | before an HTTP worker serves a connection | queueing delay, admission pressure |
+//! | [`FaultPoint::ConnDrop`] | mid-response write | client sees a truncated response |
+//!
+//! ## Zero cost when disabled
+//!
+//! All state is a process-global set of atomics. Every hook starts with a
+//! single relaxed load of one `AtomicBool`; when chaos is not installed
+//! (the production default) that branch is the *entire* cost, and the
+//! compiler keeps it out of any loop-carried dependency. Probabilities,
+//! delays, a deterministic seed and per-point fire counters live behind
+//! that gate.
+//!
+//! ## Determinism
+//!
+//! Fire decisions hash `(seed, draw counter, point)` through SplitMix64,
+//! so a fixed `TT_CHAOS_SEED` yields the same decision *sequence*. Across
+//! threads the interleaving of draws still varies — chaos tests therefore
+//! assert invariants (engine alive, accounting balanced), not exact fault
+//! placements, and the seed makes observed fault *rates* reproducible.
+//!
+//! ## Configuration
+//!
+//! Programmatic via [`install`] (what tests and the `chaos_suite` bench
+//! do), or from the environment via [`install_from_env`] (what the
+//! `http_server` bin does at boot):
+//!
+//! | variable | meaning |
+//! |---|---|
+//! | `TT_CHAOS_EXECUTOR_PANIC` | probability an operator dispatch panics |
+//! | `TT_CHAOS_OP_SLOWDOWN` | probability an operator dispatch is delayed |
+//! | `TT_CHAOS_OP_SLOWDOWN_MS` | delay per fired slowdown, milliseconds |
+//! | `TT_CHAOS_ALLOC_FAIL` | probability an allocator plan fails |
+//! | `TT_CHAOS_WORKER_STALL` | probability an HTTP worker stalls |
+//! | `TT_CHAOS_WORKER_STALL_MS` | stall length, milliseconds |
+//! | `TT_CHAOS_CONN_DROP` | probability a response write is cut mid-stream |
+//! | `TT_CHAOS_SEED` | SplitMix64 seed for the fire decisions |
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The five fault classes the stack can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// An operator dispatch in the executor panics.
+    ExecutorOpPanic,
+    /// An operator dispatch is artificially delayed.
+    OpSlowdown,
+    /// The allocator fails to produce a plan for a batch.
+    AllocPlanFail,
+    /// An HTTP worker stalls before serving a connection.
+    WorkerStall,
+    /// A connection is dropped mid-response.
+    ConnDrop,
+}
+
+/// Every fault point, in declaration order (indexable by `as usize`).
+pub const FAULT_POINTS: [FaultPoint; 5] = [
+    FaultPoint::ExecutorOpPanic,
+    FaultPoint::OpSlowdown,
+    FaultPoint::AllocPlanFail,
+    FaultPoint::WorkerStall,
+    FaultPoint::ConnDrop,
+];
+
+impl FaultPoint {
+    /// Stable snake_case name (used in reports and panic messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::ExecutorOpPanic => "executor_op_panic",
+            FaultPoint::OpSlowdown => "op_slowdown",
+            FaultPoint::AllocPlanFail => "alloc_plan_fail",
+            FaultPoint::WorkerStall => "worker_stall",
+            FaultPoint::ConnDrop => "conn_drop",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Chaos configuration: a fire probability per point plus the two delay
+/// knobs. All probabilities default to 0.0 — chaos fully disarmed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Probability an executor operator dispatch panics.
+    pub executor_op_panic: f64,
+    /// Probability an executor operator dispatch is delayed.
+    pub op_slowdown: f64,
+    /// Delay applied when an op slowdown fires.
+    pub op_slowdown_ms: u64,
+    /// Probability the allocator plan step fails (panics).
+    pub alloc_plan_fail: f64,
+    /// Probability an HTTP worker stalls before serving a connection.
+    pub worker_stall: f64,
+    /// Stall length when a worker stall fires.
+    pub worker_stall_ms: u64,
+    /// Probability a response write is cut mid-stream.
+    pub conn_drop: f64,
+    /// Seed for the deterministic fire decisions.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            executor_op_panic: 0.0,
+            op_slowdown: 0.0,
+            op_slowdown_ms: 5,
+            alloc_plan_fail: 0.0,
+            worker_stall: 0.0,
+            worker_stall_ms: 20,
+            conn_drop: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Defaults overridden by any `TT_CHAOS_*` environment variables that
+    /// are set (unparseable values fall back to the default, matching the
+    /// `TT_HTTP_*` convention — a serving binary must come up even with a
+    /// typo'd environment).
+    pub fn from_env() -> Self {
+        fn env<T: std::str::FromStr>(name: &str, default: T) -> T {
+            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        }
+        let d = ChaosConfig::default();
+        ChaosConfig {
+            executor_op_panic: env("TT_CHAOS_EXECUTOR_PANIC", d.executor_op_panic),
+            op_slowdown: env("TT_CHAOS_OP_SLOWDOWN", d.op_slowdown),
+            op_slowdown_ms: env("TT_CHAOS_OP_SLOWDOWN_MS", d.op_slowdown_ms),
+            alloc_plan_fail: env("TT_CHAOS_ALLOC_FAIL", d.alloc_plan_fail),
+            worker_stall: env("TT_CHAOS_WORKER_STALL", d.worker_stall),
+            worker_stall_ms: env("TT_CHAOS_WORKER_STALL_MS", d.worker_stall_ms),
+            conn_drop: env("TT_CHAOS_CONN_DROP", d.conn_drop),
+            seed: env("TT_CHAOS_SEED", d.seed),
+        }
+    }
+
+    /// Whether any point has a nonzero fire probability.
+    pub fn any_armed(&self) -> bool {
+        [
+            self.executor_op_panic,
+            self.op_slowdown,
+            self.alloc_plan_fail,
+            self.worker_stall,
+            self.conn_drop,
+        ]
+        .iter()
+        .any(|&p| p > 0.0)
+    }
+
+    fn probability(&self, point: FaultPoint) -> f64 {
+        match point {
+            FaultPoint::ExecutorOpPanic => self.executor_op_panic,
+            FaultPoint::OpSlowdown => self.op_slowdown,
+            FaultPoint::AllocPlanFail => self.alloc_plan_fail,
+            FaultPoint::WorkerStall => self.worker_stall,
+            FaultPoint::ConnDrop => self.conn_drop,
+        }
+    }
+}
+
+/// Process-global chaos state. `armed` is the single-load fast gate every
+/// hook checks first; everything else is only touched once chaos is on.
+struct ChaosState {
+    armed: AtomicBool,
+    /// Fire threshold per point: `floor(p · 2⁶⁴)` so a uniform u64 draw
+    /// `< threshold` fires with probability `p` (saturated for `p ≥ 1`).
+    thresholds: [AtomicU64; 5],
+    fired: [AtomicU64; 5],
+    op_slowdown_ms: AtomicU64,
+    worker_stall_ms: AtomicU64,
+    seed: AtomicU64,
+    draws: AtomicU64,
+}
+
+static STATE: ChaosState = ChaosState {
+    armed: AtomicBool::new(false),
+    thresholds: [const { AtomicU64::new(0) }; 5],
+    fired: [const { AtomicU64::new(0) }; 5],
+    op_slowdown_ms: AtomicU64::new(0),
+    worker_stall_ms: AtomicU64::new(0),
+    seed: AtomicU64::new(0),
+    draws: AtomicU64::new(0),
+};
+
+fn threshold(p: f64) -> u64 {
+    if p <= 0.0 {
+        0
+    } else if p >= 1.0 {
+        u64::MAX
+    } else {
+        (p * (u64::MAX as f64)) as u64
+    }
+}
+
+/// Install a chaos configuration process-wide. Arms the hooks if any
+/// probability is nonzero; resets the per-point fire counters and the
+/// draw counter, so consecutive harness phases start from a clean,
+/// seed-reproducible state.
+pub fn install(config: ChaosConfig) {
+    // Disarm first so hooks racing with the install see either the old or
+    // the new complete configuration, never a half-written one.
+    STATE.armed.store(false, Ordering::SeqCst);
+    for point in FAULT_POINTS {
+        STATE.thresholds[point.index()]
+            .store(threshold(config.probability(point)), Ordering::SeqCst);
+        STATE.fired[point.index()].store(0, Ordering::SeqCst);
+    }
+    STATE.op_slowdown_ms.store(config.op_slowdown_ms, Ordering::SeqCst);
+    STATE.worker_stall_ms.store(config.worker_stall_ms, Ordering::SeqCst);
+    STATE.seed.store(config.seed, Ordering::SeqCst);
+    STATE.draws.store(0, Ordering::SeqCst);
+    STATE.armed.store(config.any_armed(), Ordering::SeqCst);
+}
+
+/// [`install`] from `TT_CHAOS_*` environment variables. Returns the parsed
+/// config so a serving binary can log what it armed.
+pub fn install_from_env() -> ChaosConfig {
+    let config = ChaosConfig::from_env();
+    install(config);
+    config
+}
+
+/// Fully disarm chaos: no point fires until the next [`install`].
+pub fn disarm() {
+    install(ChaosConfig::default());
+}
+
+/// Whether any injection point is currently armed.
+#[inline]
+pub fn armed() -> bool {
+    STATE.armed.load(Ordering::Relaxed)
+}
+
+/// SplitMix64 — tiny, statistically solid, and dependency-free.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Decide whether `point` fires now. The fast path — chaos disarmed — is a
+/// single relaxed atomic load and a branch.
+#[inline]
+pub fn fires(point: FaultPoint) -> bool {
+    if !STATE.armed.load(Ordering::Relaxed) {
+        return false;
+    }
+    fires_slow(point)
+}
+
+#[cold]
+fn fires_slow(point: FaultPoint) -> bool {
+    let threshold = STATE.thresholds[point.index()].load(Ordering::Relaxed);
+    if threshold == 0 {
+        return false;
+    }
+    let draw = STATE.draws.fetch_add(1, Ordering::Relaxed);
+    let seed = STATE.seed.load(Ordering::Relaxed);
+    let roll = splitmix64(seed ^ draw.wrapping_mul(0xA076_1D64_78BD_642F) ^ (point.index() as u64));
+    let fire = roll < threshold;
+    if fire {
+        STATE.fired[point.index()].fetch_add(1, Ordering::Relaxed);
+    }
+    fire
+}
+
+/// Executor hook: panic if [`FaultPoint::ExecutorOpPanic`] fires. The
+/// serving loop's `catch_unwind` turns this into a dropped batch, never a
+/// dead engine thread.
+#[inline]
+pub fn executor_op_panic() {
+    if fires(FaultPoint::ExecutorOpPanic) {
+        panic!("tt-chaos: injected executor op panic");
+    }
+}
+
+/// Executor hook: the delay to apply if [`FaultPoint::OpSlowdown`] fires.
+#[inline]
+pub fn op_slowdown() -> Option<Duration> {
+    fires(FaultPoint::OpSlowdown)
+        .then(|| Duration::from_millis(STATE.op_slowdown_ms.load(Ordering::Relaxed)))
+}
+
+/// Allocator hook: panic if [`FaultPoint::AllocPlanFail`] fires, standing
+/// in for a plan that cannot be satisfied (fragmentation, exhausted
+/// device memory).
+#[inline]
+pub fn alloc_plan_fail() {
+    if fires(FaultPoint::AllocPlanFail) {
+        panic!("tt-chaos: injected allocator plan failure");
+    }
+}
+
+/// HTTP worker hook: the stall to apply if [`FaultPoint::WorkerStall`]
+/// fires.
+#[inline]
+pub fn worker_stall() -> Option<Duration> {
+    fires(FaultPoint::WorkerStall)
+        .then(|| Duration::from_millis(STATE.worker_stall_ms.load(Ordering::Relaxed)))
+}
+
+/// HTTP write hook: whether to cut this response mid-stream.
+#[inline]
+pub fn conn_drop() -> bool {
+    fires(FaultPoint::ConnDrop)
+}
+
+/// How many times each point has fired since the last [`install`].
+pub fn fired_counts() -> [(FaultPoint, u64); 5] {
+    FAULT_POINTS.map(|p| (p, STATE.fired[p.index()].load(Ordering::Relaxed)))
+}
+
+/// Total fires across all points since the last [`install`].
+pub fn total_fired() -> u64 {
+    fired_counts().iter().map(|(_, n)| n).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Chaos state is process-global; serialize the tests that touch it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disarmed_chaos_never_fires() {
+        let _guard = locked();
+        disarm();
+        assert!(!armed());
+        for _ in 0..10_000 {
+            assert!(!fires(FaultPoint::ExecutorOpPanic));
+            assert!(op_slowdown().is_none());
+            assert!(!conn_drop());
+        }
+        assert_eq!(total_fired(), 0);
+    }
+
+    #[test]
+    fn probability_one_always_fires_and_is_counted() {
+        let _guard = locked();
+        install(ChaosConfig { conn_drop: 1.0, seed: 7, ..ChaosConfig::default() });
+        for _ in 0..100 {
+            assert!(conn_drop());
+        }
+        // Other points stay quiet even while the state is armed.
+        assert!(!fires(FaultPoint::ExecutorOpPanic));
+        assert!(op_slowdown().is_none());
+        let counts = fired_counts();
+        assert_eq!(counts[FaultPoint::ConnDrop as usize].1, 100);
+        assert_eq!(counts[FaultPoint::ExecutorOpPanic as usize].1, 0);
+        disarm();
+    }
+
+    #[test]
+    fn seeded_fire_sequence_is_deterministic_and_near_rate() {
+        let _guard = locked();
+        let run = |seed| {
+            install(ChaosConfig {
+                op_slowdown: 0.3,
+                op_slowdown_ms: 1,
+                seed,
+                ..Default::default()
+            });
+            let seq: Vec<bool> = (0..4_000).map(|_| fires(FaultPoint::OpSlowdown)).collect();
+            disarm();
+            seq
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed, same decision sequence");
+        let rate = a.iter().filter(|&&f| f).count() as f64 / a.len() as f64;
+        assert!((rate - 0.3).abs() < 0.05, "empirical rate {rate} ≈ 0.3");
+        let c = run(43);
+        assert_ne!(a, c, "different seed, different sequence");
+    }
+
+    #[test]
+    fn injected_panics_carry_the_point_name() {
+        let _guard = locked();
+        install(ChaosConfig { executor_op_panic: 1.0, ..Default::default() });
+        let err = std::panic::catch_unwind(executor_op_panic).unwrap_err();
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("executor op panic"), "panic message: {msg}");
+        disarm();
+    }
+
+    #[test]
+    fn delays_come_from_the_configured_knobs() {
+        let _guard = locked();
+        install(ChaosConfig {
+            op_slowdown: 1.0,
+            op_slowdown_ms: 3,
+            worker_stall: 1.0,
+            worker_stall_ms: 17,
+            ..Default::default()
+        });
+        assert_eq!(op_slowdown(), Some(Duration::from_millis(3)));
+        assert_eq!(worker_stall(), Some(Duration::from_millis(17)));
+        disarm();
+    }
+
+    #[test]
+    fn install_resets_counters_between_phases() {
+        let _guard = locked();
+        install(ChaosConfig { conn_drop: 1.0, ..Default::default() });
+        assert!(conn_drop());
+        assert_eq!(total_fired(), 1);
+        install(ChaosConfig { conn_drop: 1.0, ..Default::default() });
+        assert_eq!(total_fired(), 0, "fresh phase starts from zero");
+        disarm();
+    }
+}

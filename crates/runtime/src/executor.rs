@@ -195,6 +195,11 @@ pub fn execute_traced(
     let (usages, order) = activation_lifetimes(graph);
     let activation_bytes: usize = usages.iter().map(|u| u.size).sum();
     let plan_start = trace.map(|(t, _)| (t.now_ns(), Stopwatch::start()));
+    // Chaos injection point: an unsatisfiable allocation plan (device
+    // memory exhausted, pathological fragmentation). Panics here unwind to
+    // the serving loop's catch_unwind — one dropped batch, never a dead
+    // engine.
+    tt_chaos::alloc_plan_fail();
     let plan = allocator.plan(&usages);
     if let (Some((tracer, parents)), Some((start_ns, watch))) = (trace, plan_start) {
         let dur_ns = watch.elapsed_nanos();
@@ -279,6 +284,13 @@ pub fn execute_traced(
                 }
             })
             .collect();
+
+        // Chaos injection points: a kernel panic (bad launch, device-side
+        // assert) or an op running far slower than its cost-table estimate.
+        tt_chaos::executor_op_panic();
+        if let Some(delay) = tt_chaos::op_slowdown() {
+            std::thread::sleep(delay);
+        }
 
         let op_start_ns = trace.map(|(t, _)| t.now_ns());
         let watch = (metrics.is_some() || trace.is_some()).then(Stopwatch::start);

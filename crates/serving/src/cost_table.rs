@@ -310,6 +310,16 @@ impl CachedCost {
     pub fn per_request_cost(&self, max_len_in_batch: usize, count: usize) -> f64 {
         self.batch_cost(max_len_in_batch, count) / count as f64
     }
+
+    /// Admission-time estimate: the cost of serving a request of `len`
+    /// tokens alone. Unlike [`CachedCost::batch_cost`] this never panics —
+    /// lengths beyond the profiled range clamp to the last bucket (the
+    /// admission controller must produce *an* estimate for any request the
+    /// parser accepts; an oversized one prices at least as high as the
+    /// largest profiled shape).
+    pub fn single_request_estimate(&self, len: usize) -> f64 {
+        self.batch_cost(len.clamp(1, self.max_len), 1)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,141 @@
+//! One definition of "expired" — deadline semantics shared by the
+//! simulators and the live path.
+//!
+//! The multi-model simulator ([`crate::multi_model`]) and the serving
+//! simulator's Lazy trigger ([`crate::simulator`]) each grew their own
+//! inline deadline arithmetic; the live HTTP path adds a third consumer
+//! with real wall-clock deadlines. This module is the single home for
+//! both flavors:
+//!
+//! - [`Deadline`] wraps a wall-clock [`Instant`] for the live path
+//!   (`x-tt-deadline-ms` → admission → engine queue → pre-execute check);
+//! - the `sim_*` helpers operate on the simulators' `f64` seconds clock,
+//!   keeping the expiry rule (`now − arrival > slo`, strictly) identical
+//!   to what the shedding experiments validated.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use crate::request::Request;
+
+/// A wall-clock deadline carried by a live request from HTTP admission
+/// through the engine queue to batch execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// Deadline `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Deadline { at: Instant::now() + budget }
+    }
+
+    /// Deadline at an absolute instant.
+    pub fn at(at: Instant) -> Self {
+        Deadline { at }
+    }
+
+    /// The absolute expiry instant.
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry, `None` if already expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.checked_duration_since(Instant::now())
+    }
+
+    /// How far past the deadline we are, `None` if not yet expired.
+    pub fn overrun(&self) -> Option<Duration> {
+        Instant::now().checked_duration_since(self.at)
+    }
+}
+
+/// Absolute deadline of a simulated request: arrival plus its class SLO.
+/// This is the EDF key the multi-model executor orders queue fronts by.
+pub fn sim_deadline(arrival: f64, slo: f64) -> f64 {
+    arrival + slo
+}
+
+/// Whether a simulated request is expired at `now`. Strictly past —
+/// a request exactly at its deadline is still servable, matching the
+/// shedding rule the multi-model goodput experiments validated.
+pub fn sim_expired(now: f64, arrival: f64, slo: f64) -> bool {
+    now - arrival > slo
+}
+
+/// Drop every queued request whose SLO expired before service; returns
+/// how many were shed.
+pub fn shed_expired(queue: &mut VecDeque<Request>, now: f64, slo: f64) -> usize {
+    let before = queue.len();
+    queue.retain(|r| !sim_expired(now, r.arrival, slo));
+    before - queue.len()
+}
+
+/// When the Lazy trigger must fire for a queue whose front arrived at
+/// `front_arrival`: the batching timeout, tightened so that waiting plus
+/// the estimated execution time `est` never pushes the front request past
+/// half its SLO (paper §5's delayed-batching guard).
+pub fn lazy_fire_deadline(front_arrival: f64, timeout: f64, slo: f64, est: f64) -> f64 {
+    (front_arrival + timeout).min(front_arrival + (slo / 2.0 - est).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_deadline_expires() {
+        let d = Deadline::within(Duration::from_millis(20));
+        assert!(!d.expired());
+        assert!(d.remaining().is_some());
+        assert!(d.overrun().is_none());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(d.expired());
+        assert!(d.remaining().is_none());
+        assert!(d.overrun().is_some());
+    }
+
+    #[test]
+    fn past_instant_is_expired_immediately() {
+        let d = Deadline::at(Instant::now());
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn sim_expiry_is_strictly_past_the_slo() {
+        assert!(!sim_expired(1.0, 0.5, 0.5), "exactly at the deadline is still servable");
+        assert!(sim_expired(1.0 + 1e-9, 0.5, 0.5));
+        assert_eq!(sim_deadline(0.5, 0.5), 1.0);
+    }
+
+    #[test]
+    fn shed_expired_drops_only_the_dead() {
+        let mut q: VecDeque<Request> =
+            (0..4).map(|i| Request::new(i, 10, i as f64 * 0.1)).collect();
+        // At now=0.35 with slo=0.2: arrivals 0.0 and 0.1 are expired
+        // (ages 0.35, 0.25), arrival 0.2 is exactly at the deadline
+        // (age 0.15 ≤ 0.2 — kept), arrival 0.3 is live.
+        let shed = shed_expired(&mut q, 0.35, 0.2);
+        assert_eq!(shed, 2);
+        assert_eq!(q.len(), 2);
+        assert!(q.iter().all(|r| r.arrival >= 0.2));
+    }
+
+    #[test]
+    fn lazy_deadline_is_clamped_by_the_slo_guard() {
+        // Generous timeout, tight SLO: the guard dominates.
+        let d = lazy_fire_deadline(1.0, 10.0, 0.4, 0.15);
+        assert!((d - 1.05).abs() < 1e-12, "1.0 + (0.2 - 0.15) = 1.05, got {d}");
+        // Estimate already blows half the SLO: fire immediately.
+        assert_eq!(lazy_fire_deadline(1.0, 10.0, 0.4, 0.5), 1.0);
+        // Loose SLO: the plain timeout wins.
+        assert_eq!(lazy_fire_deadline(1.0, 0.05, 100.0, 0.01), 1.05);
+    }
+}

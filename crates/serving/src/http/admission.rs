@@ -1,0 +1,246 @@
+//! SLO-aware admission control for the HTTP front-end.
+//!
+//! The static in-flight cap (`max_queue_depth` → `429`) bounds queue
+//! *depth*, but depth is a proxy: what the client cares about is whether
+//! its answer arrives before its deadline. This controller predicts that
+//! directly, per request, at admission time:
+//!
+//! ```text
+//! p99(live queue wait)  +  cached_cost[len][1]   >   deadline remaining?
+//!        │                        │
+//!        └ the engine's own       └ the paper's cost table, priced for
+//!          queue-wait histogram,    this request's length (clamped into
+//!          shared through the       the profiled range)
+//!          telemetry registry
+//! ```
+//!
+//! If the sum exceeds the request's remaining budget, admitting it would
+//! *predictably* burn GEMM time on an answer nobody can use — shed now
+//! with `503` and an honest `Retry-After` instead. The `Retry-After`
+//! value itself comes from the observed drain rate (an EWMA over
+//! inter-completion gaps): `ceil(queue depth / drain rate)`, clamped to
+//! `[1, TT_RETRY_AFTER_MAX]`, so a backed-up server tells clients to come
+//! back when the backlog will plausibly have cleared, not after a
+//! hard-coded second.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tt_telemetry::{Histogram, Registry};
+
+use crate::cost_table::CachedCost;
+use crate::deadline::Deadline;
+
+/// EWMA weight of the newest inter-completion gap. Small enough to smooth
+/// over batch completions landing together, large enough to track a load
+/// shift within a few tens of requests.
+const DRAIN_ALPHA: f64 = 0.2;
+
+/// The admission-time SLO controller. One per server; shared by every
+/// worker thread (all state is atomic).
+pub struct AdmissionController {
+    /// The engine's own queue-wait histogram — the registry's get-or-create
+    /// semantics hand both sides the same `Arc`, so admission reads exactly
+    /// what the engine records.
+    queue_wait: Arc<Histogram>,
+    /// Cost table for per-length execution estimates; without one the
+    /// prediction degrades to the queue-wait term alone.
+    costs: Option<Arc<CachedCost>>,
+    /// EWMA of seconds between consecutive completions, as f64 bits
+    /// (all-zero = no completion pair observed yet).
+    drain_gap: AtomicU64,
+    /// Nanoseconds since `epoch` of the last completion (0 = none yet).
+    last_completion: AtomicU64,
+    epoch: Instant,
+}
+
+impl AdmissionController {
+    /// Build a controller reading the live `live_queue_wait_nanoseconds`
+    /// histogram out of `registry` (shared with the engine) and pricing
+    /// requests with `costs` when available.
+    pub fn new(registry: &Registry, costs: Option<Arc<CachedCost>>) -> Self {
+        AdmissionController {
+            queue_wait: registry.histogram(
+                "live_queue_wait_nanoseconds",
+                "Time a request waits from submission until its batch starts executing",
+                &[],
+            ),
+            costs,
+            drain_gap: AtomicU64::new(0),
+            last_completion: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The controller's completion-time prediction for a request of `len`
+    /// tokens admitted now: observed queue-wait p99 plus the cost-table
+    /// estimate for executing it. Zero terms drop out — an empty histogram
+    /// (cold server) contributes nothing, leaving the execution estimate.
+    pub fn predicted_wait(&self, len: usize) -> Duration {
+        let wait = Duration::from_nanos(self.queue_wait.snapshot().p99());
+        let exec = self
+            .costs
+            .as_ref()
+            .map(|c| Duration::from_secs_f64(c.single_request_estimate(len)))
+            .unwrap_or(Duration::ZERO);
+        wait + exec
+    }
+
+    /// Whether admitting a request of `len` tokens now would predictably
+    /// violate its deadline.
+    pub fn predicts_violation(&self, len: usize, deadline: &Deadline) -> bool {
+        match deadline.remaining() {
+            None => true, // already expired — always a violation
+            Some(remaining) => self.predicted_wait(len) > remaining,
+        }
+    }
+
+    /// Note one completed (answered) inference — the drain signal the
+    /// `Retry-After` estimate is built from.
+    pub fn note_completion(&self) {
+        // `max(1)`: 0 is the "no completion yet" sentinel.
+        let now_ns = (self.epoch.elapsed().as_nanos() as u64).max(1);
+        let prev = self.last_completion.swap(now_ns, Ordering::Relaxed);
+        if prev == 0 {
+            return; // first completion: no gap to learn from yet
+        }
+        let gap_s = now_ns.saturating_sub(prev) as f64 / 1e9;
+        if gap_s <= 0.0 {
+            return; // same-tick completions (one batch) carry no rate info
+        }
+        let cell = &self.drain_gap;
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = if cur == 0 {
+                gap_s
+            } else {
+                DRAIN_ALPHA * gap_s + (1.0 - DRAIN_ALPHA) * f64::from_bits(cur)
+            };
+            match cell.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Observed drain rate in completions per second, `None` until two
+    /// completions have been seen.
+    pub fn drain_per_sec(&self) -> Option<f64> {
+        match self.drain_gap.load(Ordering::Relaxed) {
+            0 => None,
+            bits => {
+                let gap = f64::from_bits(bits);
+                (gap > 0.0).then(|| 1.0 / gap)
+            }
+        }
+    }
+
+    /// The `Retry-After` seconds to advertise on a shed, given the current
+    /// queue depth: drain-rate-derived when the rate is known, else the
+    /// static `fallback_s`; always clamped to `[1, max_s]`.
+    pub fn retry_after(&self, queue_depth: usize, fallback_s: u64, max_s: u64) -> u64 {
+        match self.drain_per_sec() {
+            Some(rate) => retry_after_secs(queue_depth, rate, max_s),
+            None => fallback_s.clamp(1, max_s.max(1)),
+        }
+    }
+}
+
+/// `ceil(queue_depth / drain_per_sec)` clamped to `[1, max_s]` — how long
+/// until the backlog ahead of a retrying client has plausibly drained.
+/// A vanished or nonsensical rate falls back to the 1-second floor.
+pub fn retry_after_secs(queue_depth: usize, drain_per_sec: f64, max_s: u64) -> u64 {
+    let max_s = max_s.max(1);
+    if drain_per_sec <= 0.0 || !drain_per_sec.is_finite() {
+        return 1;
+    }
+    let secs = (queue_depth.max(1) as f64 / drain_per_sec).ceil();
+    if !secs.is_finite() {
+        return max_s;
+    }
+    (secs as u64).clamp(1, max_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_tracks_depth_over_rate_and_clamps() {
+        // 10 queued at 2/s → 5 s.
+        assert_eq!(retry_after_secs(10, 2.0, 30), 5);
+        // Fractional waits round up: 3 queued at 2/s → 2 s.
+        assert_eq!(retry_after_secs(3, 2.0, 30), 2);
+        // Fast drain clamps to the 1-second floor.
+        assert_eq!(retry_after_secs(1, 1000.0, 30), 1);
+        // Slow drain clamps to the ceiling.
+        assert_eq!(retry_after_secs(500, 0.1, 30), 30);
+        // An empty queue still advertises at least a second.
+        assert_eq!(retry_after_secs(0, 2.0, 30), 1);
+        // Garbage rates degrade to the floor, not a panic or a zero.
+        assert_eq!(retry_after_secs(10, 0.0, 30), 1);
+        assert_eq!(retry_after_secs(10, -3.0, 30), 1);
+        assert_eq!(retry_after_secs(10, f64::NAN, 30), 1);
+        // A zero ceiling is treated as 1, keeping the header well-formed.
+        assert_eq!(retry_after_secs(10, 2.0, 0), 1);
+    }
+
+    #[test]
+    fn controller_learns_the_drain_rate_from_completion_gaps() {
+        let registry = Registry::new();
+        let ctl = AdmissionController::new(&registry, None);
+        assert_eq!(ctl.drain_per_sec(), None);
+        // No drain data yet: the static fallback, clamped.
+        assert_eq!(ctl.retry_after(5, 1, 30), 1);
+        assert_eq!(ctl.retry_after(5, 120, 30), 30);
+
+        ctl.note_completion();
+        assert_eq!(ctl.drain_per_sec(), None, "one completion is not a gap");
+        std::thread::sleep(Duration::from_millis(20));
+        ctl.note_completion();
+        let rate = ctl.drain_per_sec().expect("two completions make a rate");
+        assert!(
+            (5.0..500.0).contains(&rate),
+            "a ~20ms gap is a rate in the tens per second, got {rate}"
+        );
+        // The derived Retry-After stays clamped and sane.
+        let ra = ctl.retry_after(100, 1, 30);
+        assert!((1..=30).contains(&ra));
+    }
+
+    #[test]
+    fn prediction_adds_queue_wait_p99_and_cost_estimate() {
+        let registry = Registry::new();
+        // Flat 50 ms execution estimate at any length.
+        let costs = Arc::new(CachedCost::from_fn(64, 4, 8, |_, _| 0.050));
+        let ctl = AdmissionController::new(&registry, Some(costs));
+
+        // Cold server: only the execution term. 50 ms fits a 200 ms budget…
+        let roomy = Deadline::within(Duration::from_millis(200));
+        assert!(!ctl.predicts_violation(10, &roomy));
+        // …but not a 10 ms one.
+        let tight = Deadline::within(Duration::from_millis(10));
+        assert!(ctl.predicts_violation(10, &tight));
+
+        // Oversized lengths clamp into the profiled range instead of
+        // panicking at the admission boundary.
+        assert!(!ctl.predicts_violation(100_000, &Deadline::within(Duration::from_secs(5))));
+
+        // Feed the shared histogram a fat queue-wait tail: predictions
+        // now include it and the 200 ms budget no longer fits.
+        let wait = registry.histogram("live_queue_wait_nanoseconds", "", &[]);
+        for _ in 0..100 {
+            wait.record(400_000_000); // 400 ms
+        }
+        assert!(ctl.predicts_violation(10, &roomy));
+
+        // An expired deadline is always a violation.
+        assert!(ctl.predicts_violation(10, &Deadline::at(Instant::now())));
+    }
+}

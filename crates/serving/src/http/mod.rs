@@ -28,13 +28,18 @@
 //!
 //! Robustness is part of the design, not an afterthought:
 //!
-//! - **Backpressure.** Accepted connections queue in a *bounded* hand-off
-//!   queue (`pending_connections`); when it fills, the acceptor blocks and
-//!   further clients wait in the kernel backlog. Independently, in-flight
-//!   inference is capped at `max_queue_depth` — beyond it the server
-//!   sheds with `429 Too Many Requests` + `Retry-After` instead of letting
-//!   queue wait (and therefore tail latency) grow without bound. This is
-//!   the static precursor of the ROADMAP's SLO-aware admission control.
+//! - **Backpressure and SLO-aware admission.** Accepted connections queue
+//!   in a *bounded* hand-off queue (`pending_connections`); when it fills,
+//!   the acceptor blocks and further clients wait in the kernel backlog.
+//!   In-flight inference is capped at `max_queue_depth` (beyond it: `429`),
+//!   and on top of the cap the [`admission::AdmissionController`] sheds
+//!   `503` when live queue-wait p99 plus this request's cost-table
+//!   estimate exceeds its deadline. Every request carries an end-to-end
+//!   deadline (`x-tt-deadline-ms` header, default `TT_SLO_MS`); expired
+//!   work is dropped with `504` at admission and at the engine's
+//!   pre-schedule/pre-execute boundaries. All shed responses carry a
+//!   `Retry-After` derived from the observed drain rate. See
+//!   `docs/ROBUSTNESS.md` for the full shed taxonomy.
 //! - **Limits.** Request bodies above `max_body_bytes` are refused with
 //!   `413` at header time; malformed requests/JSON get `400`; per
 //!   connection read/write timeouts bound a slow peer's hold on a worker.
@@ -49,6 +54,7 @@
 //! land in the same registry `/metrics` renders, so the front-end is
 //! visible in its own exposition.
 
+pub mod admission;
 pub mod parser;
 
 use std::collections::VecDeque;
@@ -65,7 +71,10 @@ use tt_telemetry::{
     trace_tree_json, Counter, Gauge, Histogram, Registry, SpanContext, Stopwatch, TraceId, Tracer,
 };
 
-use crate::live::LiveClient;
+use crate::cost_table::CachedCost;
+use crate::deadline::Deadline;
+use crate::live::{LiveClient, LiveError};
+use admission::AdmissionController;
 use parser::{parse_request, HttpRequest, ParseOutcome};
 
 /// Configuration of the HTTP front-end. Every field has a `TT_HTTP_*`
@@ -94,9 +103,17 @@ pub struct HttpConfig {
     /// Per-connection socket write timeout (`TT_HTTP_WRITE_TIMEOUT_MS`,
     /// default 5000 ms).
     pub write_timeout: Duration,
-    /// `Retry-After` seconds advertised on a `429` shed
-    /// (`TT_HTTP_RETRY_AFTER_S`, default 1).
+    /// `Retry-After` seconds advertised on a shed before the server has
+    /// observed a drain rate (`TT_HTTP_RETRY_AFTER_S`, default 1). Once
+    /// completions flow, `Retry-After` derives from the observed drain
+    /// rate instead (see [`admission::AdmissionController::retry_after`]).
     pub retry_after_s: u64,
+    /// Upper clamp on any advertised `Retry-After` value in seconds
+    /// (`TT_RETRY_AFTER_MAX`, default 30).
+    pub retry_after_max: u64,
+    /// Default end-to-end deadline budget for `/v1/infer` requests that
+    /// carry no `x-tt-deadline-ms` header (`TT_SLO_MS`, default 1000 ms).
+    pub slo: Duration,
 }
 
 impl Default for HttpConfig {
@@ -110,6 +127,8 @@ impl Default for HttpConfig {
             read_timeout: Duration::from_millis(5000),
             write_timeout: Duration::from_millis(5000),
             retry_after_s: 1,
+            retry_after_max: 30,
+            slo: Duration::from_millis(1000),
         }
     }
 }
@@ -138,6 +157,8 @@ impl HttpConfig {
                 d.write_timeout.as_millis() as u64,
             )),
             retry_after_s: env("TT_HTTP_RETRY_AFTER_S", d.retry_after_s),
+            retry_after_max: env("TT_RETRY_AFTER_MAX", d.retry_after_max).max(1),
+            slo: Duration::from_millis(env("TT_SLO_MS", d.slo.as_millis() as u64).max(1)),
         }
     }
 }
@@ -167,6 +188,22 @@ pub trait InferHandler: Send + Sync + 'static {
         let _ = trace;
         self.infer(tokens)
     }
+
+    /// The full request-context path: trace plus an end-to-end
+    /// [`Deadline`]. A deadline-aware backend (the [`LiveClient`]) drops
+    /// the job with [`InferError::DeadlineExceeded`] at its stage
+    /// boundaries once the budget is gone; the default implementation
+    /// ignores the deadline — a handler without deadline support still
+    /// serves, it just never sheds in-queue.
+    fn infer_deadline(
+        &self,
+        tokens: Vec<u32>,
+        trace: Option<SpanContext>,
+        deadline: Option<Deadline>,
+    ) -> Result<InferReply, InferError> {
+        let _ = deadline;
+        self.infer_traced(tokens, trace)
+    }
 }
 
 /// Why an [`InferHandler`] refused or failed a request.
@@ -178,6 +215,10 @@ pub enum InferError {
     /// The engine cannot answer right now (shut down, or it dropped the
     /// job's batch after an execution failure) — HTTP `503`.
     Unavailable(String),
+    /// The request's end-to-end deadline expired before execution — the
+    /// engine shed it at a stage boundary rather than serve a dead answer
+    /// — HTTP `504`.
+    DeadlineExceeded(String),
 }
 
 /// Admission-time vocabulary check: wraps any handler and refuses token
@@ -197,7 +238,7 @@ impl<H: InferHandler> VocabGuard<H> {
 
 impl<H: InferHandler> InferHandler for VocabGuard<H> {
     fn infer(&self, tokens: Vec<u32>) -> Result<InferReply, InferError> {
-        self.infer_traced(tokens, None)
+        self.infer_deadline(tokens, None, None)
     }
 
     fn infer_traced(
@@ -205,13 +246,22 @@ impl<H: InferHandler> InferHandler for VocabGuard<H> {
         tokens: Vec<u32>,
         trace: Option<SpanContext>,
     ) -> Result<InferReply, InferError> {
+        self.infer_deadline(tokens, trace, None)
+    }
+
+    fn infer_deadline(
+        &self,
+        tokens: Vec<u32>,
+        trace: Option<SpanContext>,
+        deadline: Option<Deadline>,
+    ) -> Result<InferReply, InferError> {
         if let Some(&bad) = tokens.iter().find(|&&t| t >= self.vocab_size) {
             return Err(InferError::BadRequest(format!(
                 "token id {bad} out of range for vocabulary of {}",
                 self.vocab_size
             )));
         }
-        self.inner.infer_traced(tokens, trace)
+        self.inner.infer_deadline(tokens, trace, deadline)
     }
 }
 
@@ -231,7 +281,7 @@ pub struct InferReply {
 
 impl InferHandler for LiveClient {
     fn infer(&self, tokens: Vec<u32>) -> Result<InferReply, InferError> {
-        self.infer_traced(tokens, None)
+        self.infer_deadline(tokens, None, None)
     }
 
     fn infer_traced(
@@ -239,14 +289,26 @@ impl InferHandler for LiveClient {
         tokens: Vec<u32>,
         trace: Option<SpanContext>,
     ) -> Result<InferReply, InferError> {
-        match self.try_infer_traced(tokens, trace) {
-            Some(resp) => Ok(InferReply {
+        self.infer_deadline(tokens, trace, None)
+    }
+
+    fn infer_deadline(
+        &self,
+        tokens: Vec<u32>,
+        trace: Option<SpanContext>,
+        deadline: Option<Deadline>,
+    ) -> Result<InferReply, InferError> {
+        match self.infer_request(tokens, trace, deadline) {
+            Ok(resp) => Ok(InferReply {
                 cls_vector: resp.cls_vector,
                 latency_ms: resp.latency.as_secs_f64() * 1e3,
                 batch_size: resp.batch_size,
                 padded_len: resp.padded_len,
             }),
-            None => Err(InferError::Unavailable(
+            Err(LiveError::DeadlineExceeded) => Err(InferError::DeadlineExceeded(
+                "deadline expired while the request waited in the engine queue".into(),
+            )),
+            Err(LiveError::Unavailable) => Err(InferError::Unavailable(
                 "engine dropped the job (shut down, or its batch failed to execute)".into(),
             )),
         }
@@ -267,7 +329,16 @@ struct HttpMetrics {
     latency: [(&'static str, Arc<Histogram>); 5],
     active_connections: Arc<Gauge>,
     infer_inflight: Arc<Gauge>,
-    sheds: Arc<Counter>,
+    /// Shed counters by taxonomy: `capacity` (429, in-flight cap),
+    /// `predicted_slo` (503, admission prediction), `deadline` (504,
+    /// expired budget — at admission or inside the engine). Eagerly
+    /// registered so the family scrapes complete from the first request.
+    sheds_capacity: Arc<Counter>,
+    sheds_predicted: Arc<Counter>,
+    sheds_deadline: Arc<Counter>,
+    /// Requests that were admitted, served 200 — but finished past their
+    /// deadline anyway (the answer arrived too late to be useful).
+    slo_violations: Arc<Counter>,
 }
 
 /// Route label for metrics: known routes verbatim, everything else pooled
@@ -313,11 +384,34 @@ impl HttpMetrics {
                 "Inference requests admitted and not yet answered",
                 &[],
             ),
-            sheds: registry.counter(
+            sheds_capacity: registry.counter(
                 "http_sheds_total",
-                "Requests shed with 429 because the engine queue was full",
+                "Requests shed at admission, by reason",
+                &[("reason", "capacity")],
+            ),
+            sheds_predicted: registry.counter(
+                "http_sheds_total",
+                "Requests shed at admission, by reason",
+                &[("reason", "predicted_slo")],
+            ),
+            sheds_deadline: registry.counter(
+                "http_sheds_total",
+                "Requests shed at admission, by reason",
+                &[("reason", "deadline")],
+            ),
+            slo_violations: registry.counter(
+                "slo_violation_total",
+                "Admitted requests answered 200 but past their deadline",
                 &[],
             ),
+        }
+    }
+
+    fn shed(&self, reason: &str) {
+        match reason {
+            "capacity" => self.sheds_capacity.inc(),
+            "predicted_slo" => self.sheds_predicted.inc(),
+            _ => self.sheds_deadline.inc(),
         }
     }
 
@@ -348,6 +442,7 @@ fn status_label(status: u16) -> &'static str {
         413 => "413",
         429 => "429",
         503 => "503",
+        504 => "504",
         _ => "500",
     }
 }
@@ -362,6 +457,7 @@ fn status_reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     }
 }
@@ -437,6 +533,7 @@ struct ServerShared {
     queue: WorkQueue,
     shutting_down: AtomicBool,
     infer_inflight: AtomicUsize,
+    admission: AdmissionController,
 }
 
 /// A running HTTP front-end: one acceptor thread plus a worker pool.
@@ -488,6 +585,22 @@ impl HttpServer {
         registry: &Registry,
         tracer: Tracer,
     ) -> std::io::Result<HttpServer> {
+        HttpServer::start_with_costs(config, handler, registry, tracer, None)
+    }
+
+    /// [`start_traced`](Self::start_traced), additionally handing the
+    /// admission controller the engine's cost table. With it, SLO-aware
+    /// admission prices each request's length (queue-wait p99 + execution
+    /// estimate vs. its deadline) and sheds predictable violations with
+    /// `503` before they reach the engine; without it, the prediction
+    /// falls back to the queue-wait term alone.
+    pub fn start_with_costs(
+        config: HttpConfig,
+        handler: Arc<dyn InferHandler>,
+        registry: &Registry,
+        tracer: Tracer,
+        costs: Option<Arc<CachedCost>>,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let metrics = HttpMetrics::register(registry);
@@ -500,6 +613,7 @@ impl HttpServer {
             tracer,
             shutting_down: AtomicBool::new(false),
             infer_inflight: AtomicUsize::new(0),
+            admission: AdmissionController::new(registry, costs),
         });
 
         let mut workers = Vec::new();
@@ -582,6 +696,13 @@ fn acceptor_loop(listener: TcpListener, shared: &ServerShared) {
 
 fn worker_loop(shared: &ServerShared) {
     while let Some(stream) = shared.queue.pop() {
+        // Chaos injection point: a stalled worker (GC pause, noisy
+        // neighbor, page fault storm). The connection it holds waits; the
+        // rest of the pool keeps serving, and admission control sees the
+        // resulting queue-wait inflation.
+        if let Some(stall) = tt_chaos::worker_stall() {
+            std::thread::sleep(stall);
+        }
         shared.metrics.active_connections.add(1.0);
         handle_connection(stream, shared);
         shared.metrics.active_connections.add(-1.0);
@@ -684,6 +805,22 @@ fn dispatch(request: &HttpRequest, shared: &ServerShared) -> Response {
     }
 }
 
+/// Build a shed response: count it under its taxonomy reason, attach a
+/// drain-rate-derived `Retry-After`, and answer with the shed status
+/// (`429` capacity / `503` predicted SLO / `504` deadline).
+fn shed_response(shared: &ServerShared, status: u16, reason: &str, message: &str) -> Response {
+    shared.metrics.shed(reason);
+    let (status, ct, body, mut extra) = error_body(status, message);
+    let depth = shared.infer_inflight.load(Ordering::SeqCst);
+    let retry = shared.admission.retry_after(
+        depth,
+        shared.config.retry_after_s,
+        shared.config.retry_after_max,
+    );
+    extra.push(("Retry-After".to_string(), retry.to_string()));
+    (status, ct, body, extra)
+}
+
 fn infer_route(request: &HttpRequest, shared: &ServerShared) -> Response {
     let body: InferRequestBody = match serde_json::from_slice(&request.body) {
         Ok(body) => body,
@@ -693,15 +830,45 @@ fn infer_route(request: &HttpRequest, shared: &ServerShared) -> Response {
         return error_body(400, "tokens must be non-empty");
     }
 
-    // Admission control: the engine queue depth (admitted, unanswered
-    // inferences) is capped; beyond it, shed instead of queuing.
+    // End-to-end deadline: per-request header override, else the server's
+    // SLO default. The deadline clock starts here, at admission — queue
+    // wait, scheduling and execution all spend the same budget.
+    let deadline = match request.header("x-tt-deadline-ms") {
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Deadline::within(Duration::from_millis(ms)),
+            _ => {
+                return error_body(
+                    400,
+                    &format!(
+                        "x-tt-deadline-ms must be a positive integer of milliseconds, got '{raw}'"
+                    ),
+                )
+            }
+        },
+        None => Deadline::within(shared.config.slo),
+    };
+
+    // Admission boundary 1 — capacity: the in-flight cap bounds queue
+    // depth outright; beyond it, shed instead of queuing.
     let depth = shared.infer_inflight.fetch_add(1, Ordering::SeqCst);
     if depth >= shared.config.max_queue_depth {
         shared.infer_inflight.fetch_sub(1, Ordering::SeqCst);
-        shared.metrics.sheds.inc();
-        let (status, ct, body, mut extra) = error_body(429, "engine queue is full; retry later");
-        extra.push(("Retry-After".to_string(), shared.config.retry_after_s.to_string()));
-        return (status, ct, body, extra);
+        return shed_response(shared, 429, "capacity", "engine queue is full; retry later");
+    }
+    // Admission boundary 2 — SLO prediction: observed queue-wait p99 plus
+    // this request's execution estimate must fit its remaining budget,
+    // else admitting it would predictably produce a dead answer.
+    if shared.admission.predicts_violation(body.tokens.len(), &deadline) {
+        shared.infer_inflight.fetch_sub(1, Ordering::SeqCst);
+        if deadline.expired() {
+            return shed_response(shared, 504, "deadline", "deadline expired before admission");
+        }
+        return shed_response(
+            shared,
+            503,
+            "predicted_slo",
+            "predicted completion time exceeds the request deadline; retry later",
+        );
     }
     shared.metrics.infer_inflight.add(1.0);
 
@@ -717,10 +884,14 @@ fn infer_route(request: &HttpRequest, shared: &ServerShared) -> Response {
 
     let handler = shared.handler.clone();
     let tokens = body.tokens;
-    let result = catch_unwind(AssertUnwindSafe(move || handler.infer_traced(tokens, ctx)));
+    let result =
+        catch_unwind(AssertUnwindSafe(move || handler.infer_deadline(tokens, ctx, Some(deadline))));
 
     shared.infer_inflight.fetch_sub(1, Ordering::SeqCst);
     shared.metrics.infer_inflight.add(-1.0);
+    // Every answered admission — success or failure — is drain: the
+    // Retry-After estimate tracks how fast slots free up.
+    shared.admission.note_completion();
 
     let mut trace_headers = Vec::new();
     if let Some(ctx) = ctx {
@@ -729,6 +900,13 @@ fn infer_route(request: &HttpRequest, shared: &ServerShared) -> Response {
 
     let response = match result {
         Ok(Ok(reply)) => {
+            if deadline.expired() {
+                // Served, but past its budget: the answer shipped anyway
+                // (the work was already spent) and the violation is
+                // counted — this is the metric SLO-aware admission exists
+                // to keep at zero.
+                shared.metrics.slo_violations.inc();
+            }
             if let Some(span) = root.as_mut() {
                 span.attr_int("status", 200);
                 span.attr_int("batch_size", reply.batch_size as i64);
@@ -739,6 +917,12 @@ fn infer_route(request: &HttpRequest, shared: &ServerShared) -> Response {
         }
         Ok(Err(InferError::BadRequest(message))) => error_body(400, &message),
         Ok(Err(InferError::Unavailable(message))) => error_body(503, &message),
+        Ok(Err(InferError::DeadlineExceeded(message))) => {
+            // Shed inside the engine (pre-schedule or pre-execute
+            // boundary): same taxonomy bucket as an admission-time
+            // deadline shed, same Retry-After contract.
+            shed_response(shared, 504, "deadline", &message)
+        }
         Err(_panic) => error_body(503, "inference engine is unavailable"),
     };
     if let Some(span) = root.as_mut() {
@@ -819,6 +1003,19 @@ fn write_response(
     } else {
         "Connection: keep-alive\r\n\r\n"
     });
+    // Chaos injection point: the peer (or a middlebox) vanishes
+    // mid-response. A partial head goes out, then the socket dies — the
+    // caller sees an error exactly as it would from a real broken pipe,
+    // and per-request accounting must still balance.
+    if tt_chaos::conn_drop() {
+        let cut = head.len().min(16);
+        let _ = stream.write_all(&head.as_bytes()[..cut]);
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "tt-chaos: injected connection drop mid-response",
+        ));
+    }
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()

@@ -16,6 +16,9 @@
 //!   distributions);
 //! - [`cost_table`] — the `cached_cost` table and its warm-up construction
 //!   from a `tt-runtime` cost model;
+//! - [`deadline`] — one definition of "expired": wall-clock [`Deadline`]s
+//!   for the live path plus the sim-clock expiry/EDF/lazy-trigger helpers
+//!   shared by the simulators;
 //! - [`scheduler`] — DP (Algorithm 3), naive single-batch, no-batch and
 //!   pad-to-max (TF-serving-like) schedulers, plus a brute-force optimum
 //!   used by tests;
@@ -45,6 +48,7 @@
 pub mod cache;
 pub mod cluster;
 pub mod cost_table;
+pub mod deadline;
 pub mod http;
 pub mod live;
 pub mod multi_model;
@@ -55,6 +59,7 @@ pub mod simulator;
 pub mod stats;
 
 pub use cost_table::CachedCost;
+pub use deadline::Deadline;
 pub use http::{HttpConfig, HttpServer, InferError, InferHandler, InferReply, VocabGuard};
 pub use request::{LengthDist, Request, WorkloadSpec};
 pub use scheduler::{

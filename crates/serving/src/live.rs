@@ -30,6 +30,7 @@ use tt_telemetry::{
 use tt_tensor::Tensor;
 
 use crate::cost_table::CachedCost;
+use crate::deadline::Deadline;
 use crate::request::Request;
 use crate::scheduler::BatchScheduler;
 
@@ -59,6 +60,11 @@ pub struct LiveMetrics {
     batches: Arc<Counter>,
     /// Jobs sitting in the engine channel right now (enqueue/dequeue).
     queue_depth: Arc<Gauge>,
+    /// Jobs found expired at the pre-schedule drain boundary.
+    deadline_pre_schedule: Arc<Counter>,
+    /// Jobs found expired at the pre-execute boundary (Algorithm 3 had
+    /// already placed them in a batch; the batch runs without them).
+    deadline_pre_execute: Arc<Counter>,
 }
 
 impl LiveMetrics {
@@ -103,6 +109,16 @@ impl LiveMetrics {
                 "Jobs currently queued for the engine (incremented on submit, decremented when drained for batching)",
                 &[],
             ),
+            deadline_pre_schedule: registry.counter(
+                "deadline_exceeded_total",
+                "Requests dropped because their deadline expired, by stage boundary",
+                &[("stage", "pre_schedule")],
+            ),
+            deadline_pre_execute: registry.counter(
+                "deadline_exceeded_total",
+                "Requests dropped because their deadline expired, by stage boundary",
+                &[("stage", "pre_execute")],
+            ),
         }
     }
 
@@ -122,10 +138,25 @@ impl LiveMetrics {
 struct Job {
     tokens: Vec<u32>,
     submitted: Instant,
-    reply: Sender<LiveResponse>,
+    reply: Sender<Result<LiveResponse, LiveError>>,
     /// Root span context of a sampled request; the engine hangs its
     /// queue-wait / schedule / execute spans under it.
     trace: Option<SpanContext>,
+    /// End-to-end deadline; the engine drops the job (with a typed reply,
+    /// never silently) if it expires before execution starts.
+    deadline: Option<Deadline>,
+}
+
+/// Why the engine did not answer a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveError {
+    /// The engine is gone, or it dropped this job's batch instead of
+    /// answering (poisoned batch — the engine survives, the job doesn't).
+    Unavailable,
+    /// The job's deadline expired while it waited in the queue or for its
+    /// batch to start; serving it late would help nobody, so it was
+    /// dropped at a stage boundary. The HTTP layer maps this to 504.
+    DeadlineExceeded,
 }
 
 /// The engine's answer to one request.
@@ -178,12 +209,30 @@ impl LiveClient {
         tokens: Vec<u32>,
         trace: Option<SpanContext>,
     ) -> Option<LiveResponse> {
+        self.infer_request(tokens, trace, None).ok()
+    }
+
+    /// The full-fidelity submission path: span context for tracing plus an
+    /// optional end-to-end [`Deadline`]. Blocks until the engine answers
+    /// or drops the job, and reports the drop reason as a typed
+    /// [`LiveError`] — `DeadlineExceeded` when the deadline expired at an
+    /// engine stage boundary, `Unavailable` for everything else.
+    pub fn infer_request(
+        &self,
+        tokens: Vec<u32>,
+        trace: Option<SpanContext>,
+        deadline: Option<Deadline>,
+    ) -> Result<LiveResponse, LiveError> {
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx.send(Job { tokens, submitted: Instant::now(), reply: reply_tx, trace }).ok()?;
+        self.tx
+            .send(Job { tokens, submitted: Instant::now(), reply: reply_tx, trace, deadline })
+            .map_err(|_| LiveError::Unavailable)?;
         if let Some(depth) = &self.queue_depth {
             depth.add(1.0);
         }
-        reply_rx.recv().ok()
+        // A dropped reply channel (poisoned batch, engine shutdown) reads
+        // as a closed channel here.
+        reply_rx.recv().unwrap_or(Err(LiveError::Unavailable))
     }
 }
 
@@ -304,6 +353,24 @@ fn engine_loop(
             // the batching stage, not the queue.
             m.queue_depth.add(-(jobs.len() as f64));
         }
+
+        // Pre-schedule deadline boundary: jobs that expired while queued
+        // are answered (typed, never silently dropped) before Algorithm 3
+        // ever sees them — batches must not carry dead work.
+        jobs.retain(|job| {
+            if job.deadline.is_some_and(|d| d.expired()) {
+                if let Some(m) = &metrics {
+                    m.deadline_pre_schedule.inc();
+                }
+                let _ = job.reply.send(Err(LiveError::DeadlineExceeded));
+                false
+            } else {
+                true
+            }
+        });
+        if jobs.is_empty() {
+            continue;
+        }
         let any_traced = jobs.iter().any(|j| j.trace.is_some());
 
         // Scheduler speaks `Request`; lengths are what it batches on.
@@ -319,6 +386,21 @@ fn engine_loop(
         let splits = batching.len();
 
         for batch in batching {
+            // Pre-execute deadline boundary: the scheduler may have queued
+            // several batches back to back, and earlier batches' execution
+            // time can expire later batches' members. Drop them now and
+            // re-pad — running them would waste GEMM time on dead work.
+            let (batch, expired): (Vec<usize>, Vec<usize>) =
+                batch.into_iter().partition(|&i| !jobs[i].deadline.is_some_and(|d| d.expired()));
+            for i in expired {
+                if let Some(m) = &metrics {
+                    m.deadline_pre_execute.inc();
+                }
+                let _ = jobs[i].reply.send(Err(LiveError::DeadlineExceeded));
+            }
+            if batch.is_empty() {
+                continue;
+            }
             let rows: Vec<&[u32]> = batch.iter().map(|&i| jobs[i].tokens.as_slice()).collect();
             let (ids, mask, padded_len) = pad_batch(&rows);
             let real: u64 = rows.iter().map(|r| r.len() as u64).sum();
@@ -408,12 +490,12 @@ fn engine_loop(
             for (row, &job_idx) in batch.iter().enumerate() {
                 let job = &jobs[job_idx];
                 let cls = cls_vector(&run.encoder_output, row);
-                let _ = job.reply.send(LiveResponse {
+                let _ = job.reply.send(Ok(LiveResponse {
                     cls_vector: cls,
                     latency: job.submitted.elapsed(),
                     batch_size: batch.len(),
                     padded_len,
-                });
+                }));
                 served += 1;
             }
         }
@@ -508,6 +590,90 @@ mod tests {
     fn shutdown_with_no_traffic_is_clean() {
         let (eng, _model) = engine();
         assert_eq!(eng.shutdown(), 0);
+    }
+
+    #[test]
+    fn expired_job_is_answered_with_a_typed_504_at_the_pre_schedule_boundary() {
+        let registry = Registry::new();
+        let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+        let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+        let costs =
+            Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+        let eng =
+            LiveEngine::start_instrumented(model, runtime, Arc::new(DpScheduler), costs, &registry);
+        let client = eng.client();
+
+        // Already expired at submission: the engine must answer with the
+        // typed error before Algorithm 3 ever sees the job.
+        let dead = Deadline::at(Instant::now());
+        assert_eq!(
+            client.infer_request(vec![5, 6, 7], None, Some(dead)).unwrap_err(),
+            LiveError::DeadlineExceeded
+        );
+        // A live deadline sails through.
+        let live = Deadline::within(std::time::Duration::from_secs(30));
+        let resp = client.infer_request(vec![5, 6, 7], None, Some(live)).expect("within deadline");
+        assert_eq!(resp.batch_size, 1);
+        drop(client); // the engine drains until every client handle is gone
+        assert_eq!(eng.shutdown(), 1, "only the live request counts as served");
+
+        let snap = registry.snapshot();
+        let pre_schedule = snap
+            .find("deadline_exceeded_total", &[("stage", "pre_schedule")])
+            .and_then(|f| f.counter);
+        assert_eq!(pre_schedule, Some(1));
+        let pre_execute = snap
+            .find("deadline_exceeded_total", &[("stage", "pre_execute")])
+            .and_then(|f| f.counter);
+        assert_eq!(pre_execute, Some(0), "family is registered even when it never fires");
+    }
+
+    #[test]
+    fn job_expiring_during_scheduling_is_dropped_at_the_pre_execute_boundary() {
+        /// Sleeps inside Algorithm 3 — a deterministic stand-in for
+        /// "earlier batches' execution expired later batches' members".
+        struct SlowScheduler(std::time::Duration);
+        impl BatchScheduler for SlowScheduler {
+            fn schedule(
+                &self,
+                queue: &[Request],
+                costs: &CachedCost,
+            ) -> crate::scheduler::Batching {
+                std::thread::sleep(self.0);
+                DpScheduler.schedule(queue, costs)
+            }
+            fn name(&self) -> &'static str {
+                "slow"
+            }
+        }
+
+        let registry = Registry::new();
+        let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+        let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+        let costs =
+            Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+        let eng = LiveEngine::start_instrumented(
+            model,
+            runtime,
+            Arc::new(SlowScheduler(std::time::Duration::from_millis(60))),
+            costs,
+            &registry,
+        );
+
+        // Alive at the pre-schedule drain, expired by the time its batch
+        // would execute (the scheduler itself burns the budget).
+        let d = Deadline::within(std::time::Duration::from_millis(20));
+        assert_eq!(
+            eng.client().infer_request(vec![5, 6, 7], None, Some(d)).unwrap_err(),
+            LiveError::DeadlineExceeded
+        );
+        assert_eq!(eng.shutdown(), 0);
+
+        let snap = registry.snapshot();
+        let pre_execute = snap
+            .find("deadline_exceeded_total", &[("stage", "pre_execute")])
+            .and_then(|f| f.counter);
+        assert_eq!(pre_execute, Some(1), "the drop happened after scheduling, not before");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 
 use crate::cost_table::CachedCost;
+use crate::deadline::{shed_expired, sim_deadline};
 use crate::request::Request;
 use crate::scheduler::BatchScheduler;
 use crate::stats::LatencyStats;
@@ -112,10 +113,7 @@ pub fn simulate_multi_model(
             }
             // Shed queued requests whose deadline already passed.
             if shedding == Shedding::ExpiredSlo {
-                let slo = st.class.slo;
-                let before = st.queue.len();
-                st.queue.retain(|r| clock - r.arrival <= slo);
-                st.report.shed += before - st.queue.len();
+                st.report.shed += shed_expired(&mut st.queue, clock, st.class.slo);
             }
         }
 
@@ -143,8 +141,8 @@ pub fn simulate_multi_model(
             .enumerate()
             .filter(|(_, s)| !s.queue.is_empty())
             .min_by(|(_, a), (_, b)| {
-                let da = a.queue.front().expect("non-empty").arrival + a.class.slo;
-                let db = b.queue.front().expect("non-empty").arrival + b.class.slo;
+                let da = sim_deadline(a.queue.front().expect("non-empty").arrival, a.class.slo);
+                let db = sim_deadline(b.queue.front().expect("non-empty").arrival, b.class.slo);
                 da.partial_cmp(&db).expect("finite deadlines")
             })
             .map(|(i, _)| i)

@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 
 use crate::cache::ResponseCache;
 use crate::cost_table::CachedCost;
+use crate::deadline::lazy_fire_deadline;
 use crate::request::Request;
 use crate::scheduler::BatchScheduler;
 use crate::stats::LatencyStats;
@@ -152,8 +153,7 @@ pub fn simulate(
                 queue.len().min(costs.max_batch()),
             );
             let full = queue.len() >= costs.max_batch();
-            let deadline =
-                (front.arrival + timeout).min(front.arrival + (slo / 2.0 - est).max(0.0));
+            let deadline = lazy_fire_deadline(front.arrival, timeout, slo, est);
             if !full && clock < deadline {
                 // Wait until the deadline or the next arrival, whichever
                 // comes first, then re-evaluate.

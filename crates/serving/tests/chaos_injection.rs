@@ -1,0 +1,156 @@
+//! Fault-injection integration tests: arm `tt-chaos` against the *real*
+//! engine and HTTP front-end and verify the blast radius of each fault is
+//! one request (or one batch), never a thread or the process.
+//!
+//! Chaos state is process-global, so this file is its own test binary and
+//! every test serializes on [`CHAOS_LOCK`].
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tt_chaos::ChaosConfig;
+use tt_gpusim::device::DeviceKind;
+use tt_model::bert::{Bert, BertConfig};
+use tt_runtime::{RuntimeConfig, TurboRuntime};
+use tt_serving::http::{HttpConfig, HttpServer};
+use tt_serving::live::{LiveEngine, LiveError};
+use tt_serving::{CachedCost, DpScheduler};
+use tt_telemetry::Registry;
+
+/// Serializes tests: `tt-chaos` configuration is a process-global.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn engine() -> LiveEngine {
+    let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+    let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+    let costs =
+        Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+    LiveEngine::start(model, runtime, Arc::new(DpScheduler), costs)
+}
+
+/// An injected executor panic costs the batch its answer (typed
+/// `Unavailable`, never a hang) — and the engine thread survives to serve
+/// the next request once the fault clears.
+#[test]
+fn executor_panic_drops_the_batch_but_not_the_engine() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let eng = engine();
+
+    tt_chaos::install(ChaosConfig { executor_op_panic: 1.0, seed: 7, ..ChaosConfig::default() });
+    let poisoned = eng.client().infer_request(vec![5, 17, 42, 8], None, None);
+    assert_eq!(poisoned.unwrap_err(), LiveError::Unavailable, "the batch dies, typed");
+    assert!(tt_chaos::total_fired() >= 1, "the fault must actually have fired");
+
+    tt_chaos::disarm();
+    let healthy = eng
+        .client()
+        .infer_request(vec![5, 17, 42, 8], None, None)
+        .expect("engine survived the panic");
+    assert!(!healthy.cls_vector.is_empty());
+    assert_eq!(eng.shutdown(), 1, "only the healthy request counts as served");
+}
+
+/// Same contract for an allocator plan failure — the other panic-class
+/// fault, injected one layer deeper.
+#[test]
+fn allocator_failure_drops_the_batch_but_not_the_engine() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let eng = engine();
+
+    tt_chaos::install(ChaosConfig { alloc_plan_fail: 1.0, seed: 7, ..ChaosConfig::default() });
+    assert_eq!(
+        eng.client().infer_request(vec![1, 2, 3], None, None).unwrap_err(),
+        LiveError::Unavailable
+    );
+
+    tt_chaos::disarm();
+    eng.client()
+        .infer_request(vec![1, 2, 3], None, None)
+        .expect("engine survived the allocator failure");
+    assert_eq!(eng.shutdown(), 1);
+}
+
+/// An op slowdown delays the answer but corrupts nothing: the request
+/// still serves, measurably slower than the injected delay.
+#[test]
+fn op_slowdown_delays_but_serves() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let eng = engine();
+
+    tt_chaos::install(ChaosConfig {
+        op_slowdown: 1.0,
+        op_slowdown_ms: 5,
+        seed: 7,
+        ..ChaosConfig::default()
+    });
+    let start = Instant::now();
+    let response =
+        eng.client().infer_request(vec![5, 17, 42, 8], None, None).expect("slow but served");
+    let elapsed = start.elapsed();
+    tt_chaos::disarm();
+
+    assert!(!response.cls_vector.is_empty());
+    // Every op in the graph slept 5 ms; even one op proves the delay
+    // threaded through without breaking numerics.
+    assert!(elapsed >= Duration::from_millis(5), "injected delay must be observable");
+    assert_eq!(eng.shutdown(), 1);
+}
+
+/// HTTP-layer faults: a stalled worker delays its response but the server
+/// answers everything; a dropped connection truncates one response while
+/// the listener keeps accepting.
+#[test]
+fn http_worker_stall_and_connection_drop_are_survivable() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let eng = engine();
+    let registry = Registry::new();
+    let config = HttpConfig { addr: "127.0.0.1:0".into(), workers: 2, ..HttpConfig::default() };
+    let server =
+        HttpServer::start(config, Arc::new(eng.client()), &registry).expect("server starts");
+    let addr = server.addr();
+
+    let exchange = || {
+        let body = "{\"tokens\": [5, 17, 42, 8]}";
+        let raw = format!(
+            "POST /v1/infer HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("write");
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        response
+    };
+
+    // Worker stall: the response arrives anyway, after the injected sleep.
+    tt_chaos::install(ChaosConfig {
+        worker_stall: 1.0,
+        worker_stall_ms: 20,
+        seed: 7,
+        ..ChaosConfig::default()
+    });
+    let start = Instant::now();
+    let stalled = exchange();
+    assert!(stalled.contains("cls_vector"), "stalled worker still serves: {stalled}");
+    assert!(start.elapsed() >= Duration::from_millis(20), "the stall must be observable");
+
+    // Connection drop: this response is truncated mid-head…
+    tt_chaos::install(ChaosConfig { conn_drop: 1.0, seed: 7, ..ChaosConfig::default() });
+    let dropped = exchange();
+    assert!(
+        !dropped.contains("\r\n\r\n"),
+        "a dropped connection must not deliver a complete response: {dropped:?}"
+    );
+
+    // …but the server survives and the next exchange is whole.
+    tt_chaos::disarm();
+    let healthy = exchange();
+    assert!(healthy.starts_with("HTTP/1.1 200"), "server survived the drop: {healthy}");
+    assert!(healthy.contains("cls_vector"));
+
+    server.shutdown();
+    eng.shutdown();
+}

@@ -461,13 +461,146 @@ fn queue_full_sheds_429_with_retry_after() {
     assert_eq!(first.status, 200, "occupying request still completes");
 
     let snap = registry.snapshot();
-    assert_eq!(snap.find("http_sheds_total", &[]).unwrap().counter, Some(1));
+    assert_eq!(
+        snap.find("http_sheds_total", &[("reason", "capacity")]).unwrap().counter,
+        Some(1),
+        "a queue-full shed is a capacity shed"
+    );
+    for reason in ["predicted_slo", "deadline"] {
+        assert_eq!(
+            snap.find("http_sheds_total", &[("reason", reason)]).unwrap().counter,
+            Some(0),
+            "no {reason} sheds in a pure capacity test"
+        );
+    }
     assert_eq!(
         snap.find("http_requests_total", &[("route", "/v1/infer"), ("status", "429")])
             .unwrap()
             .counter,
         Some(1)
     );
+    server.shutdown();
+}
+
+fn post_infer_with_deadline(
+    addr: std::net::SocketAddr,
+    body: &str,
+    deadline_ms: &str,
+) -> WireResponse {
+    roundtrip(
+        addr,
+        &format!(
+            "POST /v1/infer HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             x-tt-deadline-ms: {deadline_ms}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn deadline_header_must_be_a_positive_integer() {
+    let (server, _registry) = server_with(Arc::new(EchoHandler), |_| {});
+    for bad in ["0", "-5", "soon", "1.5", ""] {
+        let resp = post_infer_with_deadline(server.addr(), "{\"tokens\": [1]}", bad);
+        assert_eq!(resp.status, 400, "deadline {bad:?} must be rejected");
+        assert!(resp.body.contains("x-tt-deadline-ms"), "body: {}", resp.body);
+    }
+    // A sane value is accepted and served.
+    let ok = post_infer_with_deadline(server.addr(), "{\"tokens\": [1]}", "30000");
+    assert_eq!(ok.status, 200);
+    server.shutdown();
+}
+
+/// When the cost table prices a request above its entire deadline budget,
+/// admission sheds it up front with `503` + `Retry-After` — no engine
+/// cycles are spent on an answer that cannot arrive in time.
+#[test]
+fn predicted_slo_violation_sheds_503_with_retry_after() {
+    let registry = Registry::new();
+    // Every request is priced at 1000 s — no deadline can accommodate it.
+    let costs = Arc::new(CachedCost::from_fn(64, 4, 8, |_, _| 1000.0));
+    let config = HttpConfig { addr: "127.0.0.1:0".into(), ..HttpConfig::default() };
+    let server = HttpServer::start_with_costs(
+        config,
+        Arc::new(EchoHandler),
+        &registry,
+        Tracer::disabled(),
+        Some(costs),
+    )
+    .expect("server starts");
+
+    let resp = post_infer(server.addr(), "{\"tokens\": [1, 2, 3]}");
+    assert_eq!(resp.status, 503);
+    let retry: u64 =
+        resp.header("retry-after").expect("sheds carry Retry-After").parse().expect("integer");
+    assert!((1..=30).contains(&retry), "Retry-After {retry} outside [1, 30]");
+    assert!(resp.body.contains("deadline"), "body names the reason: {}", resp.body);
+
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.find("http_sheds_total", &[("reason", "predicted_slo")]).unwrap().counter,
+        Some(1)
+    );
+    server.shutdown();
+}
+
+/// A deadline that expires inside the engine maps to `504 Gateway
+/// Timeout` with the same shed contract (`Retry-After`, taxonomy label)
+/// as an admission-time shed.
+#[test]
+fn engine_deadline_exceeded_maps_to_504_shed() {
+    struct AlwaysLate;
+    impl InferHandler for AlwaysLate {
+        fn infer(&self, _tokens: Vec<u32>) -> Result<InferReply, InferError> {
+            Err(InferError::DeadlineExceeded("deadline expired in the engine queue".into()))
+        }
+    }
+    let (server, registry) = server_with(Arc::new(AlwaysLate), |_| {});
+    let resp = post_infer(server.addr(), "{\"tokens\": [1]}");
+    assert_eq!(resp.status, 504);
+    assert!(resp.header("retry-after").is_some(), "504 sheds carry Retry-After");
+    assert!(resp.body.contains("error"), "body: {}", resp.body);
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.find("http_sheds_total", &[("reason", "deadline")]).unwrap().counter, Some(1));
+    assert_eq!(
+        snap.find("http_requests_total", &[("route", "/v1/infer"), ("status", "504")])
+            .unwrap()
+            .counter,
+        Some(1)
+    );
+    server.shutdown();
+}
+
+/// A request that is *served* but finishes after its deadline is not a
+/// shed — it is an SLO violation, counted under `slo_violation_total`.
+#[test]
+fn late_success_counts_as_slo_violation_not_shed() {
+    struct Sleepy;
+    impl InferHandler for Sleepy {
+        fn infer(&self, tokens: Vec<u32>) -> Result<InferReply, InferError> {
+            std::thread::sleep(Duration::from_millis(60));
+            Ok(InferReply {
+                cls_vector: vec![0.0],
+                latency_ms: 60.0,
+                batch_size: 1,
+                padded_len: tokens.len(),
+            })
+        }
+    }
+    let (server, registry) = server_with(Arc::new(Sleepy), |_| {});
+    let resp = post_infer_with_deadline(server.addr(), "{\"tokens\": [1]}", "5");
+    assert_eq!(resp.status, 200, "late work that completes is still served");
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.find("slo_violation_total", &[]).unwrap().counter, Some(1));
+    for reason in ["capacity", "predicted_slo", "deadline"] {
+        assert_eq!(
+            snap.find("http_sheds_total", &[("reason", reason)]).unwrap().counter,
+            Some(0),
+            "a late success is not a shed"
+        );
+    }
     server.shutdown();
 }
 

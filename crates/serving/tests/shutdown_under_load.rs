@@ -1,0 +1,200 @@
+//! Shutdown under load: a live engine draining a queue that holds a mix
+//! of expired and still-live requests must answer *everyone* — live jobs
+//! with results, expired jobs with the typed deadline error (the HTTP
+//! layer's `504`), never a silent drop — and the final metrics flush must
+//! account for the split exactly.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tt_gpusim::device::DeviceKind;
+use tt_model::bert::{Bert, BertConfig};
+use tt_runtime::{RuntimeConfig, TurboRuntime};
+use tt_serving::http::{HttpConfig, HttpServer};
+use tt_serving::live::{LiveEngine, LiveError};
+use tt_serving::request::Request;
+use tt_serving::scheduler::{BatchScheduler, Batching, DpScheduler};
+use tt_serving::{CachedCost, Deadline};
+use tt_telemetry::Registry;
+
+/// Algorithm 3 with a built-in stall: the first scheduling pass sleeps, so
+/// jobs submitted behind it pile into one queue and drain together.
+struct SlowScheduler(Duration);
+
+impl BatchScheduler for SlowScheduler {
+    fn schedule(&self, queue: &[Request], costs: &CachedCost) -> Batching {
+        std::thread::sleep(self.0);
+        DpScheduler.schedule(queue, costs)
+    }
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+}
+
+#[test]
+fn draining_a_mixed_queue_answers_expired_jobs_with_the_typed_deadline_error() {
+    const EXPIRED: usize = 4;
+    const LIVE: usize = 4;
+
+    let registry = Registry::new();
+    let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+    let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+    let costs =
+        Arc::new(CachedCost::from_fn(64, 16, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+    let engine = LiveEngine::start_instrumented(
+        model,
+        runtime,
+        // The stall keeps the engine busy while the mixed queue forms, so
+        // expired and live jobs are drained in the same pass.
+        Arc::new(SlowScheduler(Duration::from_millis(50))),
+        costs,
+        &registry,
+    );
+
+    let mut handles = Vec::new();
+    for i in 0..(EXPIRED + LIVE) {
+        let client = engine.client();
+        // Half the queue is dead on arrival, half has all the time in the
+        // world — exactly the state a server being shut down under load
+        // has to drain.
+        let deadline = if i < EXPIRED {
+            Deadline::at(Instant::now())
+        } else {
+            Deadline::within(Duration::from_secs(30))
+        };
+        handles.push(std::thread::spawn(move || {
+            client.infer_request(vec![5, 17, 42, 8], None, Some(deadline))
+        }));
+    }
+
+    let mut ok = 0;
+    let mut deadline_errors = 0;
+    for handle in handles {
+        match handle.join().expect("client thread") {
+            Ok(response) => {
+                assert!(!response.cls_vector.is_empty(), "served jobs carry a real result");
+                ok += 1;
+            }
+            Err(LiveError::DeadlineExceeded) => deadline_errors += 1,
+            Err(other) => panic!("no job may be dropped or failed, got {other:?}"),
+        }
+    }
+    assert_eq!(ok, LIVE, "every live job is served through the drain");
+    assert_eq!(deadline_errors, EXPIRED, "every expired job gets the typed 504, not a drop");
+
+    // Graceful shutdown: the engine exits only after the queue is empty.
+    let served = engine.shutdown();
+    assert_eq!(served, LIVE, "served count excludes deadline-shed jobs");
+
+    // The final metrics flush balances: served + deadline-shed accounts
+    // for every submission.
+    let snap = registry.snapshot();
+    let served_metric =
+        snap.find("live_requests_total", &[]).and_then(|m| m.counter).expect("requests counter");
+    let shed_pre_schedule = snap
+        .find("deadline_exceeded_total", &[("stage", "pre_schedule")])
+        .and_then(|m| m.counter)
+        .expect("pre_schedule counter");
+    let shed_pre_execute = snap
+        .find("deadline_exceeded_total", &[("stage", "pre_execute")])
+        .and_then(|m| m.counter)
+        .expect("pre_execute counter");
+    assert_eq!(served_metric, LIVE as u64);
+    assert_eq!(
+        shed_pre_schedule + shed_pre_execute,
+        EXPIRED as u64,
+        "every expired job is visible in deadline_exceeded_total"
+    );
+    assert_eq!(
+        served_metric + shed_pre_schedule + shed_pre_execute,
+        (EXPIRED + LIVE) as u64,
+        "the flush accounts for every submitted job"
+    );
+}
+
+/// The same contract at the HTTP boundary: shut the server down while a
+/// mix of tight- and roomy-deadline requests is in flight; every client
+/// gets a well-formed response, and the flushed final scrape's per-status
+/// counts sum to every request sent.
+#[test]
+fn http_shutdown_under_mixed_deadline_load_accounts_for_every_request() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    const TIGHT: usize = 6;
+    const ROOMY: usize = 6;
+
+    let registry = Registry::new();
+    let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+    let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+    let costs =
+        Arc::new(CachedCost::from_fn(64, 16, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+    let engine = LiveEngine::start_instrumented(
+        model,
+        runtime,
+        Arc::new(SlowScheduler(Duration::from_millis(30))),
+        costs,
+        &registry,
+    );
+    let config = HttpConfig { addr: "127.0.0.1:0".into(), workers: 4, ..HttpConfig::default() };
+    let server =
+        HttpServer::start(config, Arc::new(engine.client()), &registry).expect("server starts");
+    let addr = server.addr();
+
+    let post = move |deadline_ms: u64| {
+        let body = "{\"tokens\": [5, 17, 42, 8]}";
+        let raw = format!(
+            "POST /v1/infer HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             x-tt-deadline-ms: {deadline_ms}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .expect("well-formed status line")
+    };
+
+    let mut handles = Vec::new();
+    for i in 0..(TIGHT + ROOMY) {
+        // 1 ms budgets cannot survive the 30 ms scheduler stall: they are
+        // shed at admission (503/504, once the shared queue-wait histogram
+        // predicts the wait) or at the engine's deadline boundaries (504).
+        // 30 s budgets ride out the stall and serve (200).
+        let tight = i < TIGHT;
+        let deadline_ms = if tight { 1 } else { 30_000 };
+        handles.push(std::thread::spawn(move || (tight, post(deadline_ms))));
+    }
+    let outcomes: Vec<(bool, u16)> =
+        handles.into_iter().map(|h| h.join().expect("client")).collect();
+
+    // Shutdown drains whatever is still in flight, then flushes metrics.
+    let final_metrics = server.shutdown();
+    engine.shutdown();
+
+    let count_of = |status: u16| {
+        let needle = format!("http_requests_total{{route=\"/v1/infer\",status=\"{status}\"}} ");
+        final_metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&needle))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0)
+    };
+    for &(tight, status) in &outcomes {
+        if tight {
+            assert!(
+                status == 503 || status == 504,
+                "a 1 ms budget must be shed (503/504), got {status}"
+            );
+        } else {
+            assert_eq!(status, 200, "a 30 s budget must be served through the drain");
+        }
+    }
+    let shed: u64 = outcomes.iter().filter(|&&(tight, _)| tight).count() as u64;
+    assert_eq!(count_of(200), ROOMY as u64, "final scrape matches client-side 200s");
+    assert_eq!(count_of(503) + count_of(504), shed, "final scrape accounts for every shed request");
+}
