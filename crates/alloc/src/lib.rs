@@ -18,7 +18,11 @@
 //! - [`caching`] — a PyTorch/CUB-style caching device allocator
 //!   (malloc/free per tensor against a reuse pool);
 //! - [`naive`] — `cudaMalloc`/`cudaFree` per tensor, the strawman whose
-//!   50 % allocation-stall the paper cites on Tesla M40.
+//!   50 % allocation-stall the paper cites on Tesla M40;
+//! - [`paged`] — a paged KV-cache arena extending the chunked-reuse idea
+//!   from single-graph-pass lifetimes to the multi-iteration lifetimes of
+//!   autoregressive decoding (per-sequence page tables, O(1) append,
+//!   immediate reclamation).
 //!
 //! All allocators speak [`TensorUsage`] — the `{first_op, last_op, size}`
 //! records extracted from a topologically-sorted computation graph by
@@ -29,9 +33,11 @@
 pub mod caching;
 pub mod gsoc;
 pub mod naive;
+pub mod paged;
 pub mod sim;
 pub mod turbo;
 
+pub use paged::{KvError, KvSeq, PageSlot, PagedKvArena, PagedKvConfig};
 pub use turbo::{AllocMetrics, TurboAllocator, TurboConfig};
 
 /// Identifier of an activation tensor within one inference plan.

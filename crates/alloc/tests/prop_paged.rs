@@ -1,0 +1,266 @@
+//! Property-based tests of the paged KV arena: under arbitrary
+//! admit/append/release interleavings — including ones that exhaust the
+//! page budget — the arena never leaks or double-frees a page, its
+//! occupancy accounting is exact, and the page-table translation stays a
+//! bijection between live logical positions and physical slots.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use tt_alloc::{KvError, KvSeq, PagedKvArena, PagedKvConfig};
+
+/// A deliberately tiny arena (8 pages × 2 slots) so random interleavings
+/// regularly hit `OutOfPages` on both the admit and append paths.
+fn tiny_config() -> PagedKvConfig {
+    PagedKvConfig { layers: 2, heads: 1, head_dim: 2, page_slots: 2, num_pages: 8 }
+}
+
+/// One step of the random schedule. Sequence-picking indices are reduced
+/// modulo the live count at execution time.
+#[derive(Debug, Clone)]
+enum Op {
+    Admit { prompt_len: usize },
+    Append { pick: usize },
+    Release { pick: usize },
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..12).prop_map(|prompt_len| Op::Admit { prompt_len }),
+            (0usize..16).prop_map(|pick| Op::Append { pick }),
+            (0usize..16).prop_map(|pick| Op::Release { pick }),
+        ],
+        0..80,
+    )
+}
+
+/// The model the arena is checked against: what we believe each live
+/// sequence holds.
+#[derive(Debug)]
+struct ModelSeq {
+    seq: KvSeq,
+    len: usize,
+    pages: usize,
+}
+
+/// Every invariant the arena promises, checked against the model.
+/// (The vendored proptest shim's `prop_assert!` panics on failure, so
+/// this helper needs no `Result` plumbing.)
+fn check_invariants(arena: &PagedKvArena, live: &[ModelSeq]) {
+    let cfg = *arena.config();
+    let model_pages: usize = live.iter().map(|s| s.pages).sum();
+    let model_slots: usize = live.iter().map(|s| s.len).sum();
+
+    prop_assert_eq!(arena.pages_in_use(), model_pages, "page accounting drifted");
+    prop_assert_eq!(arena.used_slots(), model_slots, "slot accounting drifted");
+    prop_assert_eq!(arena.active_seqs(), live.len());
+    prop_assert_eq!(
+        arena.pages_in_use() + arena.free_pages(),
+        cfg.num_pages,
+        "pages neither leak nor double-free: used + free is constant"
+    );
+    let allocated_slots = model_pages * cfg.page_slots;
+    let expected_occupancy =
+        if allocated_slots == 0 { 1.0 } else { model_slots as f64 / allocated_slots as f64 };
+    prop_assert!((arena.occupancy() - expected_occupancy).abs() < 1e-12);
+
+    // Translation is total over written positions, bounded, and globally
+    // injective: no two live logical positions share a physical slot.
+    let mut seen = HashSet::new();
+    for s in live {
+        prop_assert_eq!(arena.len_of(s.seq), Ok(s.len));
+        for pos in 0..s.len {
+            let loc = arena.translate(s.seq, pos).expect("written position translates");
+            prop_assert!(loc.page < cfg.num_pages);
+            prop_assert!(loc.slot < cfg.page_slots);
+            prop_assert!(
+                seen.insert((loc.page, loc.slot)),
+                "physical slot ({}, {}) aliased by two logical positions",
+                loc.page,
+                loc.slot
+            );
+        }
+        prop_assert_eq!(
+            arena.translate(s.seq, s.len),
+            Err(KvError::OutOfRange { pos: s.len, len: s.len }),
+            "positions past the written length must not translate"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The main interleaving property: run a random schedule, checking
+    /// the full invariant set after every step, then drain and require
+    /// the arena back at exactly its initial state.
+    #[test]
+    fn random_interleavings_never_leak_or_alias_pages(ops in ops_strategy()) {
+        let cfg = tiny_config();
+        let mut arena = PagedKvArena::new(cfg);
+        let mut live: Vec<ModelSeq> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Admit { prompt_len } => {
+                    let before = arena.free_pages();
+                    match arena.admit(prompt_len) {
+                        Ok(seq) => {
+                            let pages = cfg.pages_for(prompt_len);
+                            prop_assert_eq!(arena.free_pages(), before - pages);
+                            live.push(ModelSeq { seq, len: 0, pages });
+                        }
+                        Err(KvError::OutOfPages { requested, free }) => {
+                            // All-or-nothing: a failed admission returns
+                            // every partially reserved page.
+                            prop_assert_eq!(arena.free_pages(), before);
+                            prop_assert!(requested >= 1);
+                            prop_assert_eq!(free, before);
+                        }
+                        Err(other) => prop_assert!(false, "unexpected admit error {other:?}"),
+                    }
+                }
+                Op::Append { pick } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let i = pick % live.len();
+                    let grows_page = live[i].len == live[i].pages * cfg.page_slots;
+                    match arena.append(live[i].seq) {
+                        Ok(pos) => {
+                            prop_assert_eq!(pos, live[i].len, "append claims positions in order");
+                            live[i].len += 1;
+                            if grows_page {
+                                live[i].pages += 1;
+                            }
+                        }
+                        Err(KvError::OutOfPages { .. }) => {
+                            // Only a page-boundary append can fail, and a
+                            // failed append leaves the sequence unchanged.
+                            prop_assert!(grows_page && arena.free_pages() == 0);
+                            prop_assert_eq!(arena.len_of(live[i].seq), Ok(live[i].len));
+                        }
+                        Err(other) => prop_assert!(false, "unexpected append error {other:?}"),
+                    }
+                }
+                Op::Release { pick } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let s = live.swap_remove(pick % live.len());
+                    prop_assert_eq!(arena.release(s.seq), Ok(s.pages), "release frees exactly the held pages");
+                    // The handle is dead: every further use is a typed error.
+                    prop_assert_eq!(arena.release(s.seq), Err(KvError::UnknownSeq), "double release");
+                    prop_assert_eq!(arena.append(s.seq), Err(KvError::UnknownSeq));
+                    prop_assert_eq!(arena.len_of(s.seq), Err(KvError::UnknownSeq));
+                }
+            }
+            check_invariants(&arena, &live);
+        }
+
+        // Drain: the arena must return to its pristine state bit-for-bit.
+        for s in live.drain(..) {
+            prop_assert_eq!(arena.release(s.seq), Ok(s.pages));
+        }
+        prop_assert_eq!(arena.pages_in_use(), 0);
+        prop_assert_eq!(arena.used_slots(), 0);
+        prop_assert_eq!(arena.free_pages(), cfg.num_pages);
+        prop_assert_eq!(arena.active_seqs(), 0);
+        prop_assert_eq!(arena.occupancy(), 1.0);
+        prop_assert_eq!(arena.fragmentation(), 0.0);
+    }
+
+    /// Writes round-trip: data written at a logical position reads back
+    /// identically after other sequences have churned pages around it.
+    #[test]
+    fn writes_survive_interleaved_churn(
+        lens in prop::collection::vec(1usize..6, 1..4),
+        churn in 0usize..6,
+    ) {
+        let cfg = tiny_config();
+        let mut arena = PagedKvArena::new(cfg);
+        let mut seqs = Vec::new();
+        for (si, &len) in lens.iter().enumerate() {
+            let Ok(seq) = arena.admit(len) else { continue };
+            let mut wrote = 0;
+            for pos in 0..len {
+                if arena.append(seq).is_err() {
+                    break;
+                }
+                let tag = (si * 100 + pos) as f32;
+                for layer in 0..cfg.layers {
+                    let k = vec![tag + layer as f32; cfg.heads * cfg.head_dim];
+                    let v = vec![-(tag + layer as f32); cfg.heads * cfg.head_dim];
+                    arena.write(seq, layer, pos, &k, &v).unwrap();
+                }
+                wrote += 1;
+            }
+            seqs.push((si, seq, wrote));
+        }
+        // Churn: admit/release short-lived sequences to recycle pages.
+        for _ in 0..churn {
+            if let Ok(s) = arena.admit(1) {
+                let _ = arena.append(s);
+                let _ = arena.release(s);
+            }
+        }
+        for &(si, seq, wrote) in &seqs {
+            for pos in 0..wrote {
+                let tag = (si * 100 + pos) as f32;
+                for layer in 0..cfg.layers {
+                    let (k, v) = arena.kv_at(seq, layer, pos).unwrap();
+                    prop_assert!(k.iter().all(|&x| x == tag + layer as f32));
+                    prop_assert!(v.iter().all(|&x| x == -(tag + layer as f32)));
+                }
+            }
+        }
+        for (_, seq, _) in seqs {
+            arena.release(seq).unwrap();
+        }
+        prop_assert_eq!(arena.pages_in_use(), 0);
+    }
+
+    /// `can_admit` is an exact oracle for admit-then-first-append: when it
+    /// says yes, admission *and* one decode slot both succeed.
+    #[test]
+    fn can_admit_guarantees_room_for_prompt_plus_one(
+        held in 0usize..16,
+        prompt_len in 0usize..12,
+    ) {
+        let cfg = tiny_config();
+        let mut arena = PagedKvArena::new(cfg);
+        // Occupy part of the arena with appended (page-backed) slots.
+        if held > 0 {
+            if let Ok(s) = arena.admit(held) {
+                for _ in 0..held {
+                    if arena.append(s).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        if arena.can_admit(prompt_len) {
+            let seq = arena.admit(prompt_len).expect("can_admit promised room");
+            for _ in 0..=prompt_len {
+                arena.append(seq).expect("prompt slots plus one decode slot fit");
+            }
+        } else {
+            // The refusal is honest too: prompt + one decode slot cannot
+            // all be appended without tripping OutOfPages.
+            let free_before = arena.free_pages();
+            if let Ok(seq) = arena.admit(prompt_len) {
+                let mut failed = false;
+                for _ in 0..=prompt_len {
+                    if arena.append(seq).is_err() {
+                        failed = true;
+                        break;
+                    }
+                }
+                prop_assert!(failed, "can_admit said no but prompt+1 appends all fit");
+                arena.release(seq).unwrap();
+                prop_assert_eq!(arena.free_pages(), free_before);
+            }
+        }
+    }
+}

@@ -19,7 +19,11 @@
 //! Fault classes (see `tt-chaos`): executor op panic, executor op
 //! slowdown, allocator plan failure, HTTP worker stall, connection drop
 //! mid-response — each alone, then all five at once, then a chaos-free
-//! overload phase for the SLO assertion.
+//! overload phase for the SLO assertion. A final generation phase starves
+//! the paged KV arena (tiny page budget + the `kv_alloc_fail` point) and
+//! asserts the continuous-batching contract: starved streams die with a
+//! typed `out_of_pages` terminal event, their pages are reclaimed, and
+//! the engine keeps serving.
 //!
 //! `--smoke` runs a scaled-down deterministic pass (seeded via
 //! `TT_CHAOS_SEED`, default below) for CI; the full run also writes
@@ -163,11 +167,97 @@ fn main() {
         &rows,
     );
 
+    println!("phase: kv page exhaustion (generation)");
+    let kv = run_kv_exhaustion_phase(seed);
+    println!(
+        "  streams={} completed={} starved={} injected_faults={} leaked_pages={}",
+        kv.streams, kv.completed, kv.starved, kv.fired, kv.leaked
+    );
+
     if smoke {
         println!("smoke OK");
         return;
     }
-    write_markdown(&reports, seed, slo);
+    write_markdown(&reports, &kv, seed, slo);
+}
+
+/// Outcome of the generation-side KV starvation phase.
+struct KvPhaseReport {
+    streams: usize,
+    completed: usize,
+    starved: usize,
+    fired: u64,
+    leaked: usize,
+}
+
+/// Starve the paged KV arena two ways — a page budget far below the
+/// demanded token volume, then the `kv_alloc_fail` injection point — and
+/// assert the blast radius of each starvation is one stream.
+fn run_kv_exhaustion_phase(seed: u64) -> KvPhaseReport {
+    use tt_model::gpt::{Gpt, GptConfig};
+    use tt_runtime::decode::DecodeConfig;
+    use tt_serving::{FinishReason, GenClient, GenConfig, GenEngine};
+
+    // 6 pages x 2 slots = 12 token slots, against 6 concurrent streams
+    // each wanting up to 3 + 24 slots: natural mid-generation exhaustion.
+    let config = GenConfig {
+        kv: DecodeConfig { page_slots: 2, num_pages: 6 },
+        max_active: 8,
+        max_new_tokens: 64,
+        eos_token: None,
+    };
+    let model = Gpt::new_random(&GptConfig::tiny(), 2024);
+    let costs = Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-6 * (len * b) as f64));
+    let eng = GenEngine::start(model, config, costs);
+
+    // Mixed demand: short streams finish inside their reserved pages while
+    // the long ones decode past the budget and starve — the decisive case
+    // being that starvation retires victims without cascading to the
+    // streams that can still fit.
+    let streams = 6;
+    let mut rxs = Vec::new();
+    for c in 0..streams {
+        let prompt: Vec<u32> = (1..=(2 + c as u32 % 3)).collect();
+        let max_new = if c % 2 == 0 { 1 } else { 24 };
+        rxs.push(eng.client().generate(prompt, max_new).expect("submission succeeds"));
+    }
+    let (mut completed, mut starved) = (0, 0);
+    for rx in &rxs {
+        match GenClient::collect(rx).1 {
+            Some(FinishReason::Length | FinishReason::Eos) => completed += 1,
+            Some(FinishReason::OutOfPages) => starved += 1,
+            other => panic!("kv phase: unexpected terminal state {other:?}"),
+        }
+    }
+    assert!(starved >= 1, "12-slot arena under 6 hungry streams must starve someone");
+    assert!(completed >= 1, "exhaustion must not cascade to every stream");
+
+    // Injected starvation: with the allocator faulted, the victim stream
+    // dies typed while the engine survives.
+    tt_chaos::install(ChaosConfig { kv_alloc_fail: 1.0, seed, ..ChaosConfig::default() });
+    let rx = eng.client().generate(vec![1, 2, 3], 8).expect("submission succeeds");
+    let (tokens, finish) = GenClient::collect(&rx);
+    assert_eq!(finish, Some(FinishReason::OutOfPages), "injected starvation dies typed");
+    assert!(tokens.is_empty());
+    let fired = tt_chaos::total_fired();
+    assert!(fired >= 1, "the kv_alloc_fail point must actually have fired");
+    tt_chaos::disarm();
+
+    // The engine keeps serving once the fault clears and pages returned.
+    let rx = eng.client().generate(vec![4, 5], 8).expect("submission succeeds");
+    let (tokens, finish) = GenClient::collect(&rx);
+    assert!(matches!(finish, Some(FinishReason::Length | FinishReason::Eos)));
+    assert!(!tokens.is_empty(), "post-chaos probe generation must produce tokens");
+
+    let summary = eng.shutdown();
+    assert_eq!(summary.pages_leaked, 0, "every page reclaimed after starvation");
+    KvPhaseReport {
+        streams: streams + 2,
+        completed: completed + 1,
+        starved: starved + 1,
+        fired,
+        leaked: summary.pages_leaked,
+    }
 }
 
 /// One chaos phase on a fresh stack: boot engine + server, arm the fault
@@ -359,7 +449,7 @@ fn requests_total_sum(exposition: &str) -> u64 {
         .sum()
 }
 
-fn write_markdown(reports: &[PhaseReport], seed: u64, slo: Duration) {
+fn write_markdown(reports: &[PhaseReport], kv: &KvPhaseReport, seed: u64, slo: Duration) {
     let mut md = String::new();
     let _ = writeln!(md, "# Chaos suite (`chaos_suite`)\n");
     let _ = writeln!(
@@ -390,6 +480,18 @@ fn write_markdown(reports: &[PhaseReport], seed: u64, slo: Duration) {
          connection-drop fault, and engine-failure `503`s (a batch lost to an \
          injected panic — answered, never silently dropped). Shed taxonomy and \
          injection points: `docs/ROBUSTNESS.md`."
+    );
+    let _ = writeln!(
+        md,
+        "\n## KV page exhaustion (generation)\n\n\
+         A 6-page x 2-slot paged KV arena under {} concurrent generation \
+         streams (natural starvation), then the `kv_alloc_fail` injection \
+         point ({} faults fired): {} streams completed, {} died with the typed \
+         `out_of_pages` terminal event, {} pages leaked. Starvation's blast \
+         radius is one stream: victims retire with their pages reclaimed the \
+         same iteration, survivors keep decoding, and a post-chaos probe \
+         generates normally. See `docs/GENERATION.md`.",
+        kv.streams, kv.fired, kv.completed, kv.starved, kv.leaked
     );
     let _ = std::fs::create_dir_all("results");
     std::fs::write("results/chaos_suite.md", md).expect("write results/chaos_suite.md");

@@ -21,11 +21,12 @@ use std::sync::Arc;
 
 use tt_gpusim::device::DeviceKind;
 use tt_model::bert::{Bert, BertConfig};
+use tt_model::gpt::{Gpt, GptConfig};
 use tt_runtime::{RuntimeConfig, TurboRuntime};
-use tt_serving::http::{HttpConfig, HttpServer, VocabGuard};
+use tt_serving::http::{GenerateHandler, HttpConfig, HttpServer, VocabGuard};
 use tt_serving::live::LiveEngine;
 use tt_serving::scheduler::InstrumentedScheduler;
-use tt_serving::{CachedCost, DpScheduler};
+use tt_serving::{CachedCost, DpScheduler, GenConfig, GenEngine};
 use tt_telemetry::{Registry, Tracer};
 
 fn main() {
@@ -67,6 +68,25 @@ fn main() {
         tracer.clone(),
     );
 
+    // A decoder-only GPT behind the streaming route, scheduled by the
+    // continuous-batching engine over the paged KV arena. Sized from the
+    // environment (TT_KV_*, TT_GEN_*); the same gpt config family as the
+    // encoder knob (`base` trades latency for paper-scale compute).
+    let gpt_config = match model_kind.as_str() {
+        "base" => GptConfig::small(),
+        _ => GptConfig::tiny(),
+    };
+    println!("loading GPT ({model_kind}) …");
+    let gpt = Gpt::new_random(&gpt_config, 2024);
+    let gen_engine = GenEngine::start_traced(
+        gpt,
+        GenConfig::from_env(),
+        costs.clone(),
+        &registry,
+        tracer.clone(),
+    );
+    let generate: Arc<dyn GenerateHandler> = Arc::new(gen_engine.client());
+
     let config = HttpConfig::from_env();
     // Vocabulary admission check at the boundary: an out-of-range token id
     // is a client error (400), not an engine incident.
@@ -74,13 +94,20 @@ fn main() {
     // Hand the admission controller the engine's cost table: SLO-aware
     // admission prices each request (queue-wait p99 + execution estimate)
     // against its deadline and sheds predictable violations up front.
-    let server =
-        HttpServer::start_with_costs(config.clone(), handler, &registry, tracer, Some(costs))
-            .expect("binding the HTTP listener");
+    let server = HttpServer::start_generative(
+        config.clone(),
+        handler,
+        Some(generate),
+        &registry,
+        tracer,
+        Some(costs),
+    )
+    .expect("binding the HTTP listener");
     println!("serving on http://{}", server.addr());
     // Keep the sample ids inside the smallest (tiny, 97-word) vocabulary so
     // pasting the hint verbatim succeeds under every TT_HTTP_MODEL.
     println!("  POST /v1/infer   {{\"tokens\": [5, 17, 42, 8]}}  (append ?trace=1 to sample)");
+    println!("  POST /v1/generate {{\"prompt\": [5, 17], \"max_new_tokens\": 8}}  (chunked NDJSON stream)");
     println!("  GET  /v1/traces/<id>  span tree of a sampled request (id from x-tt-trace-id)");
     println!("  GET  /metrics    Prometheus text exposition");
     println!("  GET  /healthz    liveness");

@@ -75,6 +75,9 @@ fn main() {
     let served = engine.shutdown();
     assert_eq!(served, CLIENTS * REQUESTS_PER_CLIENT + http_ok, "every request must be answered");
 
+    // --- Generative decode: paged-KV arena + continuous batching ---------
+    drive_generation(&registry);
+
     // --- Cluster view: per-server utilisation + skew ---------------------
     let trace = WorkloadSpec {
         rate_per_sec: 400.0,
@@ -150,6 +153,47 @@ fn main() {
     snap.find("slo_violation_total", &[])
         .and_then(|m| m.counter)
         .expect("missing slo_violation_total");
+
+    // Generative decode families (docs/GENERATION.md): the continuous
+    // batching loop and the paged KV arena must both report.
+    assert!(counter(&snap, "decode_tokens_total") > 0, "no decoded tokens recorded");
+    assert!(hist(&snap, "ttft_ms").count() > 0, "ttft_ms histogram is empty");
+    assert!(hist(&snap, "batch_active_seqs").count() > 0, "batch_active_seqs histogram is empty");
+    for gauge in ["kv_pages_in_use", "kv_page_occupancy"] {
+        snap.find(gauge, &[])
+            .and_then(|m| m.gauge)
+            .unwrap_or_else(|| panic!("missing gauge {gauge}"));
+    }
+    assert_eq!(
+        snap.find("kv_pages_in_use", &[]).and_then(|m| m.gauge),
+        Some(0.0),
+        "all KV pages must be free after the generation session"
+    );
+}
+
+/// A short generative session against an instrumented continuous-batching
+/// engine, so the decode metric families (`decode_tokens_total`, `ttft_ms`,
+/// `batch_active_seqs`, `kv_*` gauges) are populated in the same registry.
+fn drive_generation(registry: &Registry) {
+    use tt_model::gpt::{Gpt, GptConfig};
+    use tt_serving::{GenClient, GenConfig, GenEngine};
+
+    let model = Gpt::new_random(&GptConfig::tiny(), 2024);
+    let costs = Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-6 * (len * b) as f64));
+    let engine = GenEngine::start_instrumented(model, GenConfig::default(), costs, registry);
+    let rxs: Vec<_> = (0..3u32)
+        .map(|c| {
+            engine
+                .client()
+                .generate(vec![1 + c, 2 + c, 3 + c], 4 + c as usize)
+                .expect("generation submission")
+        })
+        .collect();
+    for rx in &rxs {
+        let (tokens, _) = GenClient::collect(rx);
+        assert!(!tokens.is_empty(), "generation must produce tokens");
+    }
+    assert_eq!(engine.shutdown().pages_leaked, 0, "generation session leaked KV pages");
 }
 
 /// Put the HTTP front-end (with SLO-aware admission) in front of the live
@@ -409,6 +453,22 @@ fn render_markdown(
     let chunks = snap.find("alloc_chunks", &[]).and_then(|m| m.gauge).unwrap_or(0.0);
     writeln!(w, "| resident bytes (final) | {resident} |").unwrap();
     writeln!(w, "| cached chunks (final) | {chunks} |").unwrap();
+
+    // Generative decode (continuous batching over the paged KV arena).
+    writeln!(w, "\n## Generative decode\n").unwrap();
+    let ttft = hist(snap, "ttft_ms");
+    let active = hist(snap, "batch_active_seqs");
+    let steps = hist(snap, "decode_step_us");
+    writeln!(w, "| metric | value |").unwrap();
+    writeln!(w, "|---|---|").unwrap();
+    writeln!(w, "| decoded tokens | {} |", counter(snap, "decode_tokens_total")).unwrap();
+    writeln!(w, "| TTFT mean / p99 | {:.2} ms / {} ms |", ttft.mean(), ttft.p99()).unwrap();
+    writeln!(w, "| decode step mean | {} |", us(steps.mean() as u64 * 1000)).unwrap();
+    writeln!(w, "| batch occupancy (mean active seqs/iter) | {:.2} |", active.mean()).unwrap();
+    let occupancy = snap.find("kv_page_occupancy", &[]).and_then(|m| m.gauge).unwrap_or(0.0);
+    let in_use = snap.find("kv_pages_in_use", &[]).and_then(|m| m.gauge).unwrap_or(0.0);
+    writeln!(w, "| KV pages in use (final) | {in_use} |").unwrap();
+    writeln!(w, "| KV slot occupancy (final) | {} |", fmt_pct(occupancy)).unwrap();
 
     // Cluster.
     writeln!(w, "\n## Cluster (4 simulated servers, 400 req/s)\n").unwrap();

@@ -19,6 +19,7 @@
 //! | [`FaultPoint::AllocPlanFail`] | before the allocator plans a batch | batch dropped, clients get `503` |
 //! | [`FaultPoint::WorkerStall`] | before an HTTP worker serves a connection | queueing delay, admission pressure |
 //! | [`FaultPoint::ConnDrop`] | mid-response write | client sees a truncated response |
+//! | [`FaultPoint::KvAllocFail`] | when the paged KV arena allocates a page | sequence gets a typed error, pages reclaimed |
 //!
 //! ## Zero cost when disabled
 //!
@@ -52,6 +53,7 @@
 //! | `TT_CHAOS_WORKER_STALL` | probability an HTTP worker stalls |
 //! | `TT_CHAOS_WORKER_STALL_MS` | stall length, milliseconds |
 //! | `TT_CHAOS_CONN_DROP` | probability a response write is cut mid-stream |
+//! | `TT_CHAOS_KV_ALLOC_FAIL` | probability a paged KV page allocation fails |
 //! | `TT_CHAOS_SEED` | SplitMix64 seed for the fire decisions |
 
 #![warn(missing_docs)]
@@ -59,7 +61,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
-/// The five fault classes the stack can inject.
+/// The six fault classes the stack can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultPoint {
     /// An operator dispatch in the executor panics.
@@ -72,15 +74,18 @@ pub enum FaultPoint {
     WorkerStall,
     /// A connection is dropped mid-response.
     ConnDrop,
+    /// The paged KV arena fails a page allocation (exhaustion mid-decode).
+    KvAllocFail,
 }
 
 /// Every fault point, in declaration order (indexable by `as usize`).
-pub const FAULT_POINTS: [FaultPoint; 5] = [
+pub const FAULT_POINTS: [FaultPoint; 6] = [
     FaultPoint::ExecutorOpPanic,
     FaultPoint::OpSlowdown,
     FaultPoint::AllocPlanFail,
     FaultPoint::WorkerStall,
     FaultPoint::ConnDrop,
+    FaultPoint::KvAllocFail,
 ];
 
 impl FaultPoint {
@@ -92,6 +97,7 @@ impl FaultPoint {
             FaultPoint::AllocPlanFail => "alloc_plan_fail",
             FaultPoint::WorkerStall => "worker_stall",
             FaultPoint::ConnDrop => "conn_drop",
+            FaultPoint::KvAllocFail => "kv_alloc_fail",
         }
     }
 
@@ -119,6 +125,8 @@ pub struct ChaosConfig {
     pub worker_stall_ms: u64,
     /// Probability a response write is cut mid-stream.
     pub conn_drop: f64,
+    /// Probability a paged KV arena page allocation fails.
+    pub kv_alloc_fail: f64,
     /// Seed for the deterministic fire decisions.
     pub seed: u64,
 }
@@ -133,6 +141,7 @@ impl Default for ChaosConfig {
             worker_stall: 0.0,
             worker_stall_ms: 20,
             conn_drop: 0.0,
+            kv_alloc_fail: 0.0,
             seed: 0,
         }
     }
@@ -156,6 +165,7 @@ impl ChaosConfig {
             worker_stall: env("TT_CHAOS_WORKER_STALL", d.worker_stall),
             worker_stall_ms: env("TT_CHAOS_WORKER_STALL_MS", d.worker_stall_ms),
             conn_drop: env("TT_CHAOS_CONN_DROP", d.conn_drop),
+            kv_alloc_fail: env("TT_CHAOS_KV_ALLOC_FAIL", d.kv_alloc_fail),
             seed: env("TT_CHAOS_SEED", d.seed),
         }
     }
@@ -168,6 +178,7 @@ impl ChaosConfig {
             self.alloc_plan_fail,
             self.worker_stall,
             self.conn_drop,
+            self.kv_alloc_fail,
         ]
         .iter()
         .any(|&p| p > 0.0)
@@ -180,6 +191,7 @@ impl ChaosConfig {
             FaultPoint::AllocPlanFail => self.alloc_plan_fail,
             FaultPoint::WorkerStall => self.worker_stall,
             FaultPoint::ConnDrop => self.conn_drop,
+            FaultPoint::KvAllocFail => self.kv_alloc_fail,
         }
     }
 }
@@ -190,8 +202,8 @@ struct ChaosState {
     armed: AtomicBool,
     /// Fire threshold per point: `floor(p · 2⁶⁴)` so a uniform u64 draw
     /// `< threshold` fires with probability `p` (saturated for `p ≥ 1`).
-    thresholds: [AtomicU64; 5],
-    fired: [AtomicU64; 5],
+    thresholds: [AtomicU64; 6],
+    fired: [AtomicU64; 6],
     op_slowdown_ms: AtomicU64,
     worker_stall_ms: AtomicU64,
     seed: AtomicU64,
@@ -200,8 +212,8 @@ struct ChaosState {
 
 static STATE: ChaosState = ChaosState {
     armed: AtomicBool::new(false),
-    thresholds: [const { AtomicU64::new(0) }; 5],
-    fired: [const { AtomicU64::new(0) }; 5],
+    thresholds: [const { AtomicU64::new(0) }; 6],
+    fired: [const { AtomicU64::new(0) }; 6],
     op_slowdown_ms: AtomicU64::new(0),
     worker_stall_ms: AtomicU64::new(0),
     seed: AtomicU64::new(0),
@@ -333,8 +345,17 @@ pub fn conn_drop() -> bool {
     fires(FaultPoint::ConnDrop)
 }
 
+/// Paged KV arena hook: whether this page allocation should fail, standing
+/// in for genuine page exhaustion mid-decode. The arena surfaces the fired
+/// fault as its typed out-of-pages error, so the blast radius is exactly
+/// one sequence — never the engine.
+#[inline]
+pub fn kv_alloc_fail() -> bool {
+    fires(FaultPoint::KvAllocFail)
+}
+
 /// How many times each point has fired since the last [`install`].
-pub fn fired_counts() -> [(FaultPoint, u64); 5] {
+pub fn fired_counts() -> [(FaultPoint, u64); 6] {
     FAULT_POINTS.map(|p| (p, STATE.fired[p.index()].load(Ordering::Relaxed)))
 }
 

@@ -12,6 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use tt_alloc::{KvError, KvSeq, PagedKvArena, PagedKvConfig};
 use tt_kernels as k;
 use tt_tensor::{sgemm, GemmSpec};
 
@@ -173,6 +174,98 @@ impl Gpt {
         GptState { steps: 0, caches: vec![Cache::default(); self.blocks.len()] }
     }
 
+    /// Token + position embedding for one token at position `t`.
+    fn embed(&self, token: u32, t: usize) -> Vec<f32> {
+        let cfg = &self.config;
+        let h = cfg.model_dim();
+        assert!(t < cfg.max_position, "context length exceeded");
+        assert!((token as usize) < cfg.vocab_size, "token id out of vocabulary");
+        let tok = self.store.get(self.tok_emb).as_slice();
+        let pos = self.store.get(self.pos_emb).as_slice();
+        (0..h).map(|i| tok[token as usize * h + i] + pos[t * h + i]).collect()
+    }
+
+    /// `src · W + b` for a single row.
+    fn proj(&self, w: usize, b: usize, src: &[f32]) -> Vec<f32> {
+        let h = self.config.model_dim();
+        let mut out = vec![0.0f32; h];
+        // m = 1: sgemm routes this to its unpacked gemv-style thin path,
+        // streaming the weight matrix exactly once.
+        sgemm(GemmSpec::nn(1, h, h), src, self.store.get(w).as_slice(), &mut out);
+        k::add_bias(1, h, &mut out, self.store.get(b).as_slice());
+        out
+    }
+
+    /// Pre-LN attention input: `ln1(x)` projected to Q, K, V — each laid
+    /// out `[head][head_dim]` contiguously.
+    fn qkv(&self, bw: &BlockWeights, x: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let h = self.config.model_dim();
+        let mut normed = vec![0.0f32; h];
+        k::layer_norm(
+            1,
+            h,
+            x,
+            self.store.get(bw.ln1_gamma).as_slice(),
+            self.store.get(bw.ln1_beta).as_slice(),
+            self.config.layer_norm_eps,
+            &mut normed,
+        );
+        (
+            self.proj(bw.wq, bw.bq, &normed),
+            self.proj(bw.wk, bw.bk, &normed),
+            self.proj(bw.wv, bw.bv, &normed),
+        )
+    }
+
+    /// Pre-LN FFN residual delta: `ffn(ln2(x))` (caller adds it to `x`).
+    fn ffn_delta(&self, bw: &BlockWeights, x: &[f32]) -> Vec<f32> {
+        let cfg = &self.config;
+        let h = cfg.model_dim();
+        let mut normed = vec![0.0f32; h];
+        k::layer_norm(
+            1,
+            h,
+            x,
+            self.store.get(bw.ln2_gamma).as_slice(),
+            self.store.get(bw.ln2_beta).as_slice(),
+            cfg.layer_norm_eps,
+            &mut normed,
+        );
+        let mut inner = vec![0.0f32; cfg.ffn_dim];
+        sgemm(
+            GemmSpec::nn(1, h, cfg.ffn_dim),
+            &normed,
+            self.store.get(bw.w1).as_slice(),
+            &mut inner,
+        );
+        k::add_bias_gelu(1, cfg.ffn_dim, &mut inner, self.store.get(bw.b1).as_slice());
+        let mut out = vec![0.0f32; h];
+        sgemm(GemmSpec::nn(1, cfg.ffn_dim, h), &inner, self.store.get(bw.w2).as_slice(), &mut out);
+        k::add_bias(1, h, &mut out, self.store.get(bw.b2).as_slice());
+        out
+    }
+
+    /// Final LN + tied-embedding projection (GPT-2 ties output weights to
+    /// the token embedding).
+    fn lm_logits(&self, x: &[f32]) -> Vec<f32> {
+        let cfg = &self.config;
+        let h = cfg.model_dim();
+        let mut normed = vec![0.0f32; h];
+        k::layer_norm(
+            1,
+            h,
+            x,
+            self.store.get(self.ln_f_gamma).as_slice(),
+            self.store.get(self.ln_f_beta).as_slice(),
+            cfg.layer_norm_eps,
+            &mut normed,
+        );
+        let emb = self.store.get(self.tok_emb).as_slice();
+        (0..cfg.vocab_size)
+            .map(|v| normed.iter().zip(&emb[v * h..(v + 1) * h]).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
     /// Feed one token; returns the `[vocab]` logits for the next position
     /// and grows the KV caches.
     pub fn step(&self, state: &mut GptState, token: u32) -> Vec<f32> {
@@ -180,39 +273,12 @@ impl Gpt {
         let h = cfg.model_dim();
         let (heads, d) = (cfg.num_heads, cfg.head_dim);
         let t = state.steps;
-        assert!(t < cfg.max_position, "context length exceeded");
-        assert!((token as usize) < cfg.vocab_size, "token id out of vocabulary");
-
-        // Embedding.
-        let tok = self.store.get(self.tok_emb).as_slice();
-        let pos = self.store.get(self.pos_emb).as_slice();
-        let mut x: Vec<f32> =
-            (0..h).map(|i| tok[token as usize * h + i] + pos[t * h + i]).collect();
+        let mut x = self.embed(token, t);
 
         let scale = 1.0 / (d as f32).sqrt();
         for (li, bw) in self.blocks.iter().enumerate() {
             // Pre-LN attention: x += attn(ln1(x)).
-            let mut normed = vec![0.0f32; h];
-            k::layer_norm(
-                1,
-                h,
-                &x,
-                self.store.get(bw.ln1_gamma).as_slice(),
-                self.store.get(bw.ln1_beta).as_slice(),
-                cfg.layer_norm_eps,
-                &mut normed,
-            );
-            let proj = |w: usize, b: usize, src: &[f32]| -> Vec<f32> {
-                let mut out = vec![0.0f32; h];
-                // m = 1: sgemm routes this to its unpacked gemv-style thin
-                // path, streaming the weight matrix exactly once.
-                sgemm(GemmSpec::nn(1, h, h), src, self.store.get(w).as_slice(), &mut out);
-                k::add_bias(1, h, &mut out, self.store.get(b).as_slice());
-                out
-            };
-            let q = proj(bw.wq, bw.bq, &normed);
-            let knew = proj(bw.wk, bw.bk, &normed);
-            let vnew = proj(bw.wv, bw.bv, &normed);
+            let (q, knew, vnew) = self.qkv(bw, &x);
 
             // Grow the cache to [head][t+1][d].
             let cache = &mut state.caches[li];
@@ -251,60 +317,112 @@ impl Gpt {
                     }
                 }
             }
-            let o = proj(bw.wo, bw.bo, &attn);
+            let o = self.proj(bw.wo, bw.bo, &attn);
             for (xi, oi) in x.iter_mut().zip(o.iter()) {
                 *xi += oi;
             }
 
             // Pre-LN FFN: x += ffn(ln2(x)).
-            let mut normed = vec![0.0f32; h];
-            k::layer_norm(
-                1,
-                h,
-                &x,
-                self.store.get(bw.ln2_gamma).as_slice(),
-                self.store.get(bw.ln2_beta).as_slice(),
-                cfg.layer_norm_eps,
-                &mut normed,
-            );
-            let mut inner = vec![0.0f32; cfg.ffn_dim];
-            sgemm(
-                GemmSpec::nn(1, h, cfg.ffn_dim),
-                &normed,
-                self.store.get(bw.w1).as_slice(),
-                &mut inner,
-            );
-            k::add_bias_gelu(1, cfg.ffn_dim, &mut inner, self.store.get(bw.b1).as_slice());
-            let mut out = vec![0.0f32; h];
-            sgemm(
-                GemmSpec::nn(1, cfg.ffn_dim, h),
-                &inner,
-                self.store.get(bw.w2).as_slice(),
-                &mut out,
-            );
-            k::add_bias(1, h, &mut out, self.store.get(bw.b2).as_slice());
-            for (xi, oi) in x.iter_mut().zip(out.iter()) {
-                *xi += oi;
+            let f = self.ffn_delta(bw, &x);
+            for (xi, fi) in x.iter_mut().zip(f.iter()) {
+                *xi += fi;
             }
         }
         state.steps += 1;
+        self.lm_logits(&x)
+    }
 
-        // Final LN + tied-embedding projection (GPT-2 ties output weights
-        // to the token embedding).
-        let mut normed = vec![0.0f32; h];
-        k::layer_norm(
-            1,
-            h,
-            &x,
-            self.store.get(self.ln_f_gamma).as_slice(),
-            self.store.get(self.ln_f_beta).as_slice(),
-            cfg.layer_norm_eps,
-            &mut normed,
-        );
-        let emb = self.store.get(self.tok_emb).as_slice();
-        (0..cfg.vocab_size)
-            .map(|v| normed.iter().zip(&emb[v * h..(v + 1) * h]).map(|(a, b)| a * b).sum())
-            .collect()
+    /// The [`PagedKvConfig`] matching this model's shape: an arena built
+    /// from it accepts [`step_paged`](Self::step_paged) for this model.
+    pub fn kv_config(&self, page_slots: usize, num_pages: usize) -> PagedKvConfig {
+        PagedKvConfig {
+            layers: self.config.num_layers,
+            heads: self.config.num_heads,
+            head_dim: self.config.head_dim,
+            page_slots,
+            num_pages,
+        }
+    }
+
+    /// Feed one token of sequence `seq`, reading and growing its KV cache
+    /// in the paged arena instead of a private [`GptState`]. The token's
+    /// position is the sequence's current cache length, so interleaving
+    /// steps of different sequences is safe — this is the decode step of
+    /// the continuous-batching engine.
+    ///
+    /// Errors are typed and recoverable at the serving layer:
+    /// [`KvError::OutOfPages`] means the arena (or the `kv_alloc_fail`
+    /// chaos point) refused the next slot *before* any state changed.
+    /// On any error the caller should release the sequence; its pages are
+    /// reclaimed in full.
+    pub fn step_paged(
+        &self,
+        arena: &mut PagedKvArena,
+        seq: KvSeq,
+        token: u32,
+    ) -> Result<Vec<f32>, KvError> {
+        let cfg = &self.config;
+        let h = cfg.model_dim();
+        let (heads, d) = (cfg.num_heads, cfg.head_dim);
+        debug_assert_eq!(arena.config().layers, cfg.num_layers, "arena shape mismatch");
+        debug_assert_eq!(arena.config().slot_floats(), h, "arena shape mismatch");
+        let pos = arena.append(seq)?;
+        let mut x = self.embed(token, pos);
+
+        let scale = 1.0 / (d as f32).sqrt();
+        for (li, bw) in self.blocks.iter().enumerate() {
+            // Pre-LN attention: x += attn(ln1(x)), K/V through the page table.
+            let (q, knew, vnew) = self.qkv(bw, &x);
+            arena.write(seq, li, pos, &knew, &vnew)?;
+
+            let mut attn = vec![0.0f32; h];
+            let mut probs = vec![0.0f32; pos + 1];
+            for hd in 0..heads {
+                let qv = &q[hd * d..(hd + 1) * d];
+                for (tt, p) in probs.iter_mut().enumerate() {
+                    let (kt, _) = arena.kv_at(seq, li, tt)?;
+                    let kh = &kt[hd * d..(hd + 1) * d];
+                    *p = qv.iter().zip(kh).map(|(a, b)| a * b).sum::<f32>() * scale;
+                }
+                k::softmax_rows(1, pos + 1, &mut probs);
+                for (tt, &p) in probs.iter().enumerate() {
+                    let (_, vt) = arena.kv_at(seq, li, tt)?;
+                    let vh = &vt[hd * d..(hd + 1) * d];
+                    let dst = &mut attn[hd * d..(hd + 1) * d];
+                    for (o, &val) in dst.iter_mut().zip(vh) {
+                        *o += p * val;
+                    }
+                }
+            }
+            let o = self.proj(bw.wo, bw.bo, &attn);
+            for (xi, oi) in x.iter_mut().zip(o.iter()) {
+                *xi += oi;
+            }
+
+            // Pre-LN FFN: x += ffn(ln2(x)).
+            let f = self.ffn_delta(bw, &x);
+            for (xi, fi) in x.iter_mut().zip(f.iter()) {
+                *xi += fi;
+            }
+        }
+        Ok(self.lm_logits(&x))
+    }
+
+    /// Run the whole prompt through [`step_paged`](Self::step_paged),
+    /// returning the logits after the final prompt token (the first
+    /// decode distribution). The sequence must be freshly admitted.
+    pub fn prefill_paged(
+        &self,
+        arena: &mut PagedKvArena,
+        seq: KvSeq,
+        prompt: &[u32],
+    ) -> Result<Vec<f32>, KvError> {
+        assert!(!prompt.is_empty(), "prompt must not be empty");
+        let mut logits = Vec::new();
+        for &tok in prompt {
+            logits = self.step_paged(arena, seq, tok)?;
+        }
+        Ok(logits)
     }
 
     /// Greedy generation: feed the prompt, then extend by `n` tokens.
@@ -447,6 +565,83 @@ mod tests {
         for _ in 0..4 {
             m.step(&mut st, 1);
         }
+    }
+
+    #[test]
+    fn paged_decode_matches_unpaged_step() {
+        // The paged path must be numerically identical to the private-cache
+        // path at every position, including across page boundaries
+        // (page_slots = 3 with 7 tokens crosses two).
+        let cfg = GptConfig::tiny();
+        let m = Gpt::new_random(&cfg, 23);
+        let tokens = [4u32, 9, 13, 2, 7, 1, 22];
+        let mut st = m.init_state();
+        let mut arena = PagedKvArena::new(m.kv_config(3, 16));
+        let seq = arena.admit(3).unwrap();
+        for &t in &tokens {
+            let unpaged = m.step(&mut st, t);
+            let paged = m.step_paged(&mut arena, seq, t).unwrap();
+            for (a, b) in unpaged.iter().zip(&paged) {
+                assert!((a - b).abs() < 1e-6, "paged logits diverge: {a} vs {b}");
+            }
+        }
+        assert_eq!(arena.len_of(seq).unwrap(), tokens.len());
+    }
+
+    #[test]
+    fn interleaved_paged_sequences_do_not_crosstalk() {
+        // Two sequences stepped turn-by-turn through one arena must each
+        // match their own serial unpaged run.
+        let cfg = GptConfig::tiny();
+        let m = Gpt::new_random(&cfg, 24);
+        let prompts = [[3u32, 17, 5, 9], [30u32, 2, 28, 11]];
+        let mut arena = PagedKvArena::new(m.kv_config(2, 16));
+        let seqs = [arena.admit(4).unwrap(), arena.admit(4).unwrap()];
+        let mut states = [m.init_state(), m.init_state()];
+        for (step, (t0, t1)) in prompts[0].iter().zip(&prompts[1]).enumerate() {
+            let toks = [*t0, *t1];
+            for i in 0..2 {
+                let unpaged = m.step(&mut states[i], toks[i]);
+                let paged = m.step_paged(&mut arena, seqs[i], toks[i]).unwrap();
+                for (a, b) in unpaged.iter().zip(&paged) {
+                    assert!((a - b).abs() < 1e-6, "seq {i} step {step}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_paged_returns_first_decode_logits() {
+        let cfg = GptConfig::tiny();
+        let m = Gpt::new_random(&cfg, 25);
+        let prompt = [1u32, 2, 3];
+        let mut st = m.init_state();
+        let mut serial = Vec::new();
+        for &t in &prompt {
+            serial = m.step(&mut st, t);
+        }
+        let mut arena = PagedKvArena::new(m.kv_config(4, 8));
+        let seq = arena.admit(prompt.len()).unwrap();
+        let logits = m.prefill_paged(&mut arena, seq, &prompt).unwrap();
+        for (a, b) in serial.iter().zip(&logits) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn paged_exhaustion_mid_decode_is_typed_and_recoverable() {
+        let cfg = GptConfig::tiny();
+        let m = Gpt::new_random(&cfg, 26);
+        // 2 pages of 2 slots: the fifth token has nowhere to go.
+        let mut arena = PagedKvArena::new(m.kv_config(2, 2));
+        let seq = arena.admit(2).unwrap();
+        for t in 0..4 {
+            m.step_paged(&mut arena, seq, t).unwrap();
+        }
+        let err = m.step_paged(&mut arena, seq, 4).unwrap_err();
+        assert!(matches!(err, tt_alloc::KvError::OutOfPages { .. }));
+        assert_eq!(arena.release(seq).unwrap(), 2, "all pages come back");
+        assert_eq!(arena.free_pages(), 2);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Generative decode execution: the runtime face of the paged KV cache.
+//!
+//! The encoder runtimes in this crate are *stateless per request* — plan,
+//! execute, discard. Autoregressive decoding inverts that: per-request
+//! state (the KV cache) outlives every individual step, and the expensive
+//! thing to get wrong is recomputing the prefix each token. This module
+//! owns the pairing of a [`Gpt`] with a [`PagedKvArena`] and exposes the
+//! two primitives the continuous-batching engine schedules:
+//!
+//! - [`GenerativeRuntime::prefill`] — run a whole prompt through the
+//!   cache, producing the first decode distribution;
+//! - [`GenerativeRuntime::decode_step`] — one token of one sequence,
+//!   attending over the page-table-resolved prefix in O(prefix) instead
+//!   of re-running the model over it in O(prefix · model).
+//!
+//! Both are timed into `tt-telemetry` histograms (`prefill_us`,
+//! `decode_step_us`) when instrumented, and both surface
+//! [`KvError::OutOfPages`] as a typed, recoverable error so the scheduler
+//! can retire one sequence without stalling the rest of the batch.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tt_alloc::{KvError, KvSeq, PagedKvArena};
+use tt_model::gpt::Gpt;
+use tt_telemetry::{Histogram, Registry};
+
+/// Arena sizing for a generative runtime, overridable from the
+/// environment (`TT_KV_PAGE_SLOTS`, `TT_KV_PAGES`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeConfig {
+    /// Token slots per physical page.
+    pub page_slots: usize,
+    /// Physical pages in the arena.
+    pub num_pages: usize,
+}
+
+impl Default for DecodeConfig {
+    fn default() -> Self {
+        DecodeConfig { page_slots: 16, num_pages: 256 }
+    }
+}
+
+impl DecodeConfig {
+    /// Defaults overridden by `TT_KV_PAGE_SLOTS` / `TT_KV_PAGES` when set
+    /// and parseable; invalid values fall back silently (serving must not
+    /// fail to boot over a typo'd knob).
+    pub fn from_env() -> Self {
+        let mut cfg = DecodeConfig::default();
+        if let Some(v) = env_usize("TT_KV_PAGE_SLOTS") {
+            cfg.page_slots = v.max(1);
+        }
+        if let Some(v) = env_usize("TT_KV_PAGES") {
+            cfg.num_pages = v.max(1);
+        }
+        cfg
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+#[derive(Debug, Clone)]
+struct DecodeMetrics {
+    prefill_us: Arc<Histogram>,
+    decode_step_us: Arc<Histogram>,
+}
+
+/// A [`Gpt`] bound to a [`PagedKvArena`]: the decode execution engine the
+/// continuous-batching scheduler drives. Single-threaded by design, like
+/// the paper's serving loop — concurrency lives one layer up, in the
+/// engine that interleaves sequences across iterations.
+pub struct GenerativeRuntime {
+    model: Gpt,
+    arena: PagedKvArena,
+    metrics: Option<DecodeMetrics>,
+}
+
+impl std::fmt::Debug for GenerativeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenerativeRuntime")
+            .field("arena", &self.arena)
+            .field("instrumented", &self.metrics.is_some())
+            .finish()
+    }
+}
+
+impl GenerativeRuntime {
+    /// Bind `model` to a fresh arena shaped by `config`.
+    pub fn new(model: Gpt, config: DecodeConfig) -> Self {
+        let arena = PagedKvArena::new(model.kv_config(config.page_slots, config.num_pages));
+        GenerativeRuntime { model, arena, metrics: None }
+    }
+
+    /// Register the `kv_*` gauges (via the arena) and the decode timing
+    /// histograms in `registry`.
+    pub fn instrument(&mut self, registry: &Registry) {
+        self.arena.instrument(registry);
+        self.metrics = Some(DecodeMetrics {
+            prefill_us: registry.histogram(
+                "prefill_us",
+                "Prompt prefill wall time in microseconds",
+                &[],
+            ),
+            decode_step_us: registry.histogram(
+                "decode_step_us",
+                "Single-token decode step wall time in microseconds",
+                &[],
+            ),
+        });
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &Gpt {
+        &self.model
+    }
+
+    /// The underlying arena (occupancy, page budget, translation).
+    pub fn arena(&self) -> &PagedKvArena {
+        &self.arena
+    }
+
+    /// Whether a prompt of `prompt_len` tokens (plus one decode slot of
+    /// headroom) currently fits the page budget.
+    pub fn can_admit(&self, prompt_len: usize) -> bool {
+        self.arena.can_admit(prompt_len)
+    }
+
+    /// Admit a sequence, reserving pages for its prompt.
+    pub fn admit(&mut self, prompt_len: usize) -> Result<KvSeq, KvError> {
+        self.arena.admit(prompt_len)
+    }
+
+    /// Run the whole prompt through the cache; returns the logits after
+    /// the last prompt token (the first decode distribution).
+    pub fn prefill(&mut self, seq: KvSeq, prompt: &[u32]) -> Result<Vec<f32>, KvError> {
+        let start = Instant::now();
+        let out = self.model.prefill_paged(&mut self.arena, seq, prompt);
+        if let Some(m) = &self.metrics {
+            m.prefill_us.record(start.elapsed().as_micros() as u64);
+        }
+        out
+    }
+
+    /// One decode step: feed `token`, attend over the paged prefix,
+    /// return next-token logits.
+    pub fn decode_step(&mut self, seq: KvSeq, token: u32) -> Result<Vec<f32>, KvError> {
+        let start = Instant::now();
+        let out = self.model.step_paged(&mut self.arena, seq, token);
+        if let Some(m) = &self.metrics {
+            m.decode_step_us.record(start.elapsed().as_micros() as u64);
+        }
+        out
+    }
+
+    /// Release a finished or expired sequence; its pages are free for the
+    /// next admission immediately. Returns pages freed.
+    pub fn release(&mut self, seq: KvSeq) -> Result<usize, KvError> {
+        self.arena.release(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_model::gpt::GptConfig;
+
+    fn runtime() -> GenerativeRuntime {
+        let model = Gpt::new_random(&GptConfig::tiny(), 7);
+        GenerativeRuntime::new(model, DecodeConfig { page_slots: 4, num_pages: 16 })
+    }
+
+    #[test]
+    fn prefill_then_decode_produces_logits_and_grows_cache() {
+        let mut rt = runtime();
+        let seq = rt.admit(3).unwrap();
+        let logits = rt.prefill(seq, &[1, 2, 3]).unwrap();
+        assert_eq!(logits.len(), rt.model().config.vocab_size);
+        let next = tt_tensor::ops::argmax(&logits).unwrap() as u32;
+        rt.decode_step(seq, next).unwrap();
+        assert_eq!(rt.arena().len_of(seq).unwrap(), 4);
+        assert_eq!(rt.release(seq).unwrap(), 1);
+    }
+
+    #[test]
+    fn instrumented_runtime_times_prefill_and_steps() {
+        let registry = Registry::new();
+        let mut rt = runtime();
+        rt.instrument(&registry);
+        let seq = rt.admit(2).unwrap();
+        rt.prefill(seq, &[1, 2]).unwrap();
+        rt.decode_step(seq, 3).unwrap();
+        let snap = registry.snapshot();
+        let prefill = snap.find("prefill_us", &[]).unwrap().histogram.clone().unwrap();
+        let step = snap.find("decode_step_us", &[]).unwrap().histogram.clone().unwrap();
+        assert_eq!(prefill.count(), 1);
+        assert_eq!(step.count(), 1);
+        assert!(snap.find("kv_pages_in_use", &[]).is_some());
+    }
+
+    #[test]
+    fn decode_config_env_overrides() {
+        // Temporarily set, read, restore: tests in this crate run in one
+        // process, so scope the mutation tightly.
+        std::env::set_var("TT_KV_PAGE_SLOTS", "8");
+        std::env::set_var("TT_KV_PAGES", "32");
+        let cfg = DecodeConfig::from_env();
+        std::env::remove_var("TT_KV_PAGE_SLOTS");
+        std::env::remove_var("TT_KV_PAGES");
+        assert_eq!(cfg, DecodeConfig { page_slots: 8, num_pages: 32 });
+    }
+}

@@ -27,6 +27,7 @@
 //! ```
 
 pub mod cost;
+pub mod decode;
 pub mod executor;
 pub mod variants;
 

@@ -14,6 +14,12 @@
 //!   [`LiveEngine`](crate::live::LiveEngine)) and the response carries the
 //!   classification vector, end-to-end latency, and the batch shape the
 //!   scheduler chose;
+//! - `POST /v1/generate` — JSON body `{"prompt": [...], "max_new_tokens": 8}`;
+//!   a **streaming** route: the response uses chunked transfer encoding,
+//!   one NDJSON event per generated token as the continuous-batching
+//!   [`GenEngine`](crate::generate::GenEngine) produces them, ending with
+//!   a terminal `{"event":"done",...}` chunk (see `docs/GENERATION.md`
+//!   for the wire format);
 //! - `GET /metrics` — the live [`Registry`] rendered in the Prometheus
 //!   text exposition format, scrapeable while the engine serves;
 //! - `GET /v1/traces/<id>` — the recorded span tree of a sampled request
@@ -73,6 +79,7 @@ use tt_telemetry::{
 
 use crate::cost_table::CachedCost;
 use crate::deadline::Deadline;
+use crate::generate::{FinishReason, GenClient, TokenEvent};
 use crate::live::{LiveClient, LiveError};
 use admission::AdmissionController;
 use parser::{parse_request, HttpRequest, ParseOutcome};
@@ -315,18 +322,64 @@ impl InferHandler for LiveClient {
     }
 }
 
+/// The generative backend behind `POST /v1/generate`.
+///
+/// Production wires the [`GenClient`] of a running
+/// [`GenEngine`](crate::generate::GenEngine); tests substitute stubs.
+/// The returned receiver yields one [`TokenEvent`] per generated token
+/// and always ends with a terminal [`TokenEvent::Done`].
+pub trait GenerateHandler: Send + Sync + 'static {
+    /// Start one generation; returns the event stream. Rejections that
+    /// prevent a stream from existing at all map to [`InferError`];
+    /// everything after that — including deadline expiry and page
+    /// exhaustion mid-generation — arrives as a typed terminal event on
+    /// the stream.
+    fn generate(
+        &self,
+        prompt: Vec<u32>,
+        max_new_tokens: usize,
+        trace: Option<SpanContext>,
+        deadline: Option<Deadline>,
+    ) -> Result<crossbeam::channel::Receiver<TokenEvent>, InferError>;
+}
+
+impl GenerateHandler for GenClient {
+    fn generate(
+        &self,
+        prompt: Vec<u32>,
+        max_new_tokens: usize,
+        trace: Option<SpanContext>,
+        deadline: Option<Deadline>,
+    ) -> Result<crossbeam::channel::Receiver<TokenEvent>, InferError> {
+        self.generate_request(prompt, max_new_tokens, trace, deadline)
+            .map_err(|_| InferError::Unavailable("generation engine is gone".into()))
+    }
+}
+
 /// JSON body of `POST /v1/infer`.
 #[derive(Debug, Deserialize)]
 struct InferRequestBody {
     tokens: Vec<u32>,
 }
 
+/// JSON body of `POST /v1/generate`. An absent (or zero) `max_new_tokens`
+/// means "server default" — [`DEFAULT_MAX_NEW_TOKENS`].
+#[derive(Debug, Deserialize)]
+struct GenerateRequestBody {
+    prompt: Vec<u32>,
+    #[serde(default)]
+    max_new_tokens: usize,
+}
+
+/// Tokens generated when the client does not ask for a specific count.
+const DEFAULT_MAX_NEW_TOKENS: usize = 16;
+
 /// Server-side telemetry, reported into the same registry `/metrics`
 /// renders.
 #[derive(Clone)]
 struct HttpMetrics {
     registry: Registry,
-    latency: [(&'static str, Arc<Histogram>); 5],
+    latency: [(&'static str, Arc<Histogram>); 6],
     active_connections: Arc<Gauge>,
     infer_inflight: Arc<Gauge>,
     /// Shed counters by taxonomy: `capacity` (429, in-flight cap),
@@ -346,6 +399,7 @@ struct HttpMetrics {
 fn route_label(path: &str, method: &str) -> &'static str {
     match (method, path) {
         ("POST", "/v1/infer") => "/v1/infer",
+        ("POST", "/v1/generate") => "/v1/generate",
         ("GET", "/metrics") => "/metrics",
         ("GET", "/healthz") => "/healthz",
         ("GET", p) if p.starts_with("/v1/traces/") => "/v1/traces",
@@ -369,6 +423,7 @@ impl HttpMetrics {
             registry: registry.clone(),
             latency: [
                 hist("/v1/infer"),
+                hist("/v1/generate"),
                 hist("/metrics"),
                 hist("/healthz"),
                 hist("/v1/traces"),
@@ -527,6 +582,8 @@ impl WorkQueue {
 struct ServerShared {
     config: HttpConfig,
     handler: Arc<dyn InferHandler>,
+    /// Generative backend; `/v1/generate` answers `503` when absent.
+    generate: Option<Arc<dyn GenerateHandler>>,
     metrics: HttpMetrics,
     registry: Registry,
     tracer: Tracer,
@@ -601,6 +658,22 @@ impl HttpServer {
         tracer: Tracer,
         costs: Option<Arc<CachedCost>>,
     ) -> std::io::Result<HttpServer> {
+        HttpServer::start_generative(config, handler, None, registry, tracer, costs)
+    }
+
+    /// [`start_with_costs`](Self::start_with_costs), additionally wiring a
+    /// generative backend behind the streaming `POST /v1/generate` route
+    /// (in production the [`GenClient`] of a running
+    /// [`GenEngine`](crate::generate::GenEngine)). Servers started without
+    /// one answer `503` on that route.
+    pub fn start_generative(
+        config: HttpConfig,
+        handler: Arc<dyn InferHandler>,
+        generate: Option<Arc<dyn GenerateHandler>>,
+        registry: &Registry,
+        tracer: Tracer,
+        costs: Option<Arc<CachedCost>>,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let metrics = HttpMetrics::register(registry);
@@ -608,6 +681,7 @@ impl HttpServer {
             queue: WorkQueue::new(config.pending_connections),
             config,
             handler,
+            generate,
             metrics,
             registry: registry.clone(),
             tracer,
@@ -723,6 +797,13 @@ fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
                 ParseOutcome::Complete { request, consumed } => {
                     buf.drain(..consumed);
                     let draining = shared.shutting_down.load(Ordering::SeqCst);
+                    if request.method == "POST" && request.path() == "/v1/generate" {
+                        // Streaming route: it owns the socket for the whole
+                        // generation (chunked transfer encoding, one chunk
+                        // per token event) and always ends the connection.
+                        generate_route(&mut stream, &request, shared);
+                        return;
+                    }
                     let close = request.wants_close() || draining;
                     let served = respond(&mut stream, &request, close, shared);
                     if !served || close {
@@ -795,7 +876,7 @@ fn dispatch(request: &HttpRequest, shared: &ServerShared) -> Response {
         ),
         ("POST", "/v1/infer") => infer_route(request, shared),
         ("GET", p) if p.starts_with("/v1/traces/") => traces_route(p, shared),
-        (_, "/healthz" | "/metrics" | "/v1/infer") => {
+        (_, "/healthz" | "/metrics" | "/v1/infer" | "/v1/generate") => {
             error_body(405, &format!("{} not allowed on {}", request.method, request.path()))
         }
         (_, p) if p.starts_with("/v1/traces/") => {
@@ -937,6 +1018,221 @@ fn infer_route(request: &HttpRequest, shared: &ServerShared) -> Response {
     let (status, ct, body, mut extra) = response;
     extra.extend(trace_headers);
     (status, ct, body, extra)
+}
+
+/// One token event as an NDJSON line (the `/v1/generate` wire format; see
+/// `docs/GENERATION.md`).
+fn event_json(ev: &TokenEvent) -> String {
+    match ev {
+        TokenEvent::Token { index, token } => {
+            format!("{{\"event\":\"token\",\"index\":{index},\"token\":{token}}}\n")
+        }
+        TokenEvent::Done { finish, tokens } => format!(
+            "{{\"event\":\"done\",\"finish\":\"{}\",\"tokens\":{tokens},\"error\":{}}}\n",
+            finish.as_str(),
+            finish.is_error()
+        ),
+    }
+}
+
+/// Write one HTTP/1.1 chunk (`<hex len>\r\n<data>\r\n`) and flush, so the
+/// client sees the token *now*, not when a buffer fills. The `conn_drop`
+/// chaos point applies per chunk — a stream can die mid-generation, and
+/// the engine must reclaim the sequence's pages when it does.
+fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
+    if tt_chaos::conn_drop() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "tt-chaos: injected connection drop mid-stream",
+        ));
+    }
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Balances the in-flight admission slot taken by a generation stream, on
+/// every exit path (including panics and mid-stream write failures).
+struct InflightSlot<'a>(&'a ServerShared);
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.0.infer_inflight.fetch_sub(1, Ordering::SeqCst);
+        self.0.metrics.infer_inflight.add(-1.0);
+        self.0.admission.note_completion();
+    }
+}
+
+/// `POST /v1/generate`: the streaming route. Owns the socket: admission
+/// errors are written as complete responses; an admitted generation
+/// answers `200` with `Transfer-Encoding: chunked` and one NDJSON event
+/// per token, ending with a terminal `done` chunk. The engine's own
+/// terminal events (deadline expiry mid-generation, page exhaustion) ride
+/// the stream — the client never hangs on a retired sequence.
+fn generate_route(stream: &mut TcpStream, request: &HttpRequest, shared: &ServerShared) {
+    let route = "/v1/generate";
+    let watch = Stopwatch::start();
+    let plain = |stream: &mut TcpStream, resp: Response| {
+        let (status, ct, body, extra) = resp;
+        let _ = write_response(stream, status, &ct, &body, &extra, true);
+        shared.metrics.observe(route, status, watch.elapsed_nanos());
+    };
+
+    let body: GenerateRequestBody = match serde_json::from_slice(&request.body) {
+        Ok(body) => body,
+        Err(e) => return plain(stream, error_body(400, &format!("malformed JSON body: {e:?}"))),
+    };
+    if body.prompt.is_empty() {
+        return plain(stream, error_body(400, "prompt must be non-empty"));
+    }
+    let deadline = match request.header("x-tt-deadline-ms") {
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Deadline::within(Duration::from_millis(ms)),
+            _ => {
+                return plain(
+                    stream,
+                    error_body(
+                        400,
+                        &format!(
+                        "x-tt-deadline-ms must be a positive integer of milliseconds, got '{raw}'"
+                    ),
+                    ),
+                )
+            }
+        },
+        None => Deadline::within(shared.config.slo),
+    };
+    let Some(backend) = shared.generate.clone() else {
+        return plain(
+            stream,
+            error_body(503, "this server has no generative backend behind /v1/generate"),
+        );
+    };
+
+    // Same capacity boundary as `/v1/infer`: a stream holds an in-flight
+    // slot for its whole lifetime (it also holds this worker thread).
+    let depth = shared.infer_inflight.fetch_add(1, Ordering::SeqCst);
+    if depth >= shared.config.max_queue_depth {
+        shared.infer_inflight.fetch_sub(1, Ordering::SeqCst);
+        let resp = shed_response(shared, 429, "capacity", "engine queue is full; retry later");
+        return plain(stream, resp);
+    }
+    shared.metrics.infer_inflight.add(1.0);
+    let _slot = InflightSlot(shared);
+
+    let force = request.query_param("trace").is_some_and(|v| v != "0");
+    let mut root = shared.tracer.start_root("http", force);
+    if let Some(span) = root.as_mut() {
+        span.attr_str("route", route);
+        span.attr_int("prompt_len", body.prompt.len() as i64);
+        span.attr_int("max_new_tokens", body.max_new_tokens as i64);
+    }
+    let ctx = root.as_ref().map(|span| span.context());
+
+    let max_new =
+        if body.max_new_tokens == 0 { DEFAULT_MAX_NEW_TOKENS } else { body.max_new_tokens };
+    let prompt = body.prompt;
+    let result =
+        catch_unwind(AssertUnwindSafe(|| backend.generate(prompt, max_new, ctx, Some(deadline))));
+    let events = match result {
+        Ok(Ok(events)) => events,
+        Ok(Err(InferError::BadRequest(message))) => {
+            return plain(stream, error_body(400, &message))
+        }
+        Ok(Err(InferError::DeadlineExceeded(message))) => {
+            let resp = shed_response(shared, 504, "deadline", &message);
+            return plain(stream, resp);
+        }
+        Ok(Err(InferError::Unavailable(message))) => {
+            return plain(stream, error_body(503, &message))
+        }
+        Err(_panic) => return plain(stream, error_body(503, "generation backend is unavailable")),
+    };
+
+    // Wait for the first event before committing to a status line: an
+    // engine-side rejection that produced no tokens becomes a proper HTTP
+    // error instead of a 200 stream that instantly fails.
+    let first = match events.recv() {
+        Ok(ev) => ev,
+        Err(_) => return plain(stream, error_body(503, "generation engine is gone")),
+    };
+    if let TokenEvent::Done { finish, tokens: 0 } = first {
+        match finish {
+            FinishReason::Deadline => {
+                let resp =
+                    shed_response(shared, 504, "deadline", "deadline expired before generation");
+                return plain(stream, resp);
+            }
+            FinishReason::OutOfPages => {
+                let resp =
+                    shed_response(shared, 429, "capacity", "KV-cache pages exhausted; retry later");
+                return plain(stream, resp);
+            }
+            FinishReason::Rejected => {
+                return plain(
+                    stream,
+                    error_body(
+                        400,
+                        "prompt cannot be served (longer than the context window or KV \
+                         arena, or contains out-of-vocabulary token ids)",
+                    ),
+                )
+            }
+            // A 0-token eos/length stream is still a valid (empty) stream.
+            FinishReason::Eos | FinishReason::Length => {}
+        }
+    }
+
+    // Commit: 200 + chunked. Streams always close the connection — chunk
+    // framing ends the body, but keep-alive buys nothing after a
+    // generation-length hold on this worker.
+    let mut head = String::from(
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\n",
+    );
+    if let Some(ctx) = ctx {
+        head.push_str(&format!("x-tt-trace-id: {}\r\n", ctx.trace));
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    if tt_chaos::conn_drop() {
+        let cut = head.len().min(16);
+        let _ = stream.write_all(&head.as_bytes()[..cut]);
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        shared.metrics.observe(route, 200, watch.elapsed_nanos());
+        return;
+    }
+    if stream.write_all(head.as_bytes()).and_then(|()| stream.flush()).is_err() {
+        shared.metrics.observe(route, 200, watch.elapsed_nanos());
+        return;
+    }
+
+    let mut current = first;
+    loop {
+        if write_chunk(stream, event_json(&current).as_bytes()).is_err() {
+            // Dead peer (or injected drop): dropping `events` below makes
+            // the engine's next send fail, retiring the sequence and
+            // freeing its pages the same iteration.
+            break;
+        }
+        if let TokenEvent::Done { finish, .. } = &current {
+            if let Some(span) = root.as_mut() {
+                span.attr_str("finish", finish.as_str());
+            }
+            let _ = stream.write_all(b"0\r\n\r\n").and_then(|()| stream.flush());
+            break;
+        }
+        match events.recv() {
+            Ok(ev) => current = ev,
+            Err(_) => {
+                // Engine vanished mid-stream: close the chunk framing so
+                // the client sees a terminated (if incomplete) body.
+                let _ = stream.write_all(b"0\r\n\r\n").and_then(|()| stream.flush());
+                break;
+            }
+        }
+    }
+    shared.metrics.observe(route, 200, watch.elapsed_nanos());
 }
 
 /// `GET /v1/traces/<id>`: the span tree of one sampled request as JSON.

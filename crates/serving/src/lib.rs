@@ -27,6 +27,9 @@
 //!   latency numbers of paper Figure 12 / Table 4;
 //! - [`live`] — a real threaded serving engine (crossbeam channels + real
 //!   numerics) proving the Fig. 2 architecture end to end;
+//! - [`generate`] — iteration-level (continuous) batching for generative
+//!   decoding: one decode step per active sequence per iteration over the
+//!   paged KV arena, page-budget admission, per-token event streams;
 //! - [`http`] — the network front-end: a dependency-free HTTP/1.1 server
 //!   (worker pool over `TcpListener`) routing `POST /v1/infer` into the
 //!   live engine, with `GET /metrics` Prometheus scraping, bounded-queue
@@ -49,6 +52,7 @@ pub mod cache;
 pub mod cluster;
 pub mod cost_table;
 pub mod deadline;
+pub mod generate;
 pub mod http;
 pub mod live;
 pub mod multi_model;
@@ -60,7 +64,10 @@ pub mod stats;
 
 pub use cost_table::CachedCost;
 pub use deadline::Deadline;
-pub use http::{HttpConfig, HttpServer, InferError, InferHandler, InferReply, VocabGuard};
+pub use generate::{FinishReason, GenClient, GenConfig, GenEngine, TokenEvent};
+pub use http::{
+    GenerateHandler, HttpConfig, HttpServer, InferError, InferHandler, InferReply, VocabGuard,
+};
 pub use request::{LengthDist, Request, WorkloadSpec};
 pub use scheduler::{
     BatchScheduler, DpScheduler, InstrumentedScheduler, LatencyDpScheduler, MemoryAwareDpScheduler,

@@ -98,6 +98,40 @@ fn op_slowdown_delays_but_serves() {
     assert_eq!(eng.shutdown(), 1);
 }
 
+/// The `kv_alloc_fail` point starves the paged KV arena: the victim
+/// stream ends in a typed `out_of_pages` terminal event (never a hang),
+/// its pages are reclaimed the same iteration, and the generation engine
+/// keeps serving once the fault clears.
+#[test]
+fn kv_alloc_failure_retires_the_stream_and_reclaims_pages() {
+    use tt_model::gpt::{Gpt, GptConfig};
+    use tt_serving::{FinishReason, GenClient, GenConfig, GenEngine, TokenEvent};
+
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let model = Gpt::new_random(&GptConfig::tiny(), 3);
+    let costs = Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-6 * (len * b) as f64));
+    let eng = GenEngine::start(model, GenConfig::default(), costs);
+
+    tt_chaos::install(ChaosConfig { kv_alloc_fail: 1.0, seed: 7, ..ChaosConfig::default() });
+    let rx = eng.client().generate(vec![1, 2, 3], 8).expect("submission succeeds");
+    let (tokens, finish) = GenClient::collect(&rx);
+    assert_eq!(finish, Some(FinishReason::OutOfPages), "the starved stream dies typed");
+    assert!(tokens.is_empty(), "no token can be produced without a page");
+    assert!(tt_chaos::total_fired() >= 1, "the fault must actually have fired");
+
+    // Fault cleared: the same engine serves the next request completely.
+    tt_chaos::disarm();
+    let rx = eng.client().generate(vec![1, 2, 3], 8).expect("submission succeeds");
+    let (tokens, finish) = GenClient::collect(&rx);
+    assert!(matches!(finish, Some(FinishReason::Length | FinishReason::Eos)));
+    assert!(!tokens.is_empty(), "healthy generation produces tokens");
+    let done = rx.try_recv();
+    assert!(done.is_err() || matches!(done, Ok(TokenEvent::Done { .. })), "stream terminated");
+
+    let summary = eng.shutdown();
+    assert_eq!(summary.pages_leaked, 0, "starved and healthy pages all returned");
+}
+
 /// HTTP-layer faults: a stalled worker delays its response but the server
 /// answers everything; a dropped connection truncates one response while
 /// the listener keeps accepting.

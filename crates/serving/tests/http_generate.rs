@@ -1,0 +1,378 @@
+//! Integration tests for the streaming `POST /v1/generate` route: a real
+//! server on an ephemeral port, spoken to over raw `TcpStream`s, with the
+//! continuous-batching [`GenEngine`] (real GPT numerics, paged KV arena)
+//! behind it.
+//!
+//! Covers the streaming contract end to end: chunked NDJSON token events
+//! with a terminal `done` chunk, concurrent mixed-length streams, tokens
+//! arriving incrementally (TTFT strictly before stream completion),
+//! deadline expiry mid-stream surfacing as a typed terminal event (never a
+//! hang), and the admission error taxonomy (400/503) decided *before* the
+//! `200` status line is committed.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tt_model::gpt::{Gpt, GptConfig};
+use tt_serving::http::{GenerateHandler, HttpConfig, HttpServer, InferError};
+use tt_serving::{CachedCost, Deadline, FinishReason, GenConfig, GenEngine, TokenEvent};
+use tt_telemetry::{Registry, SpanContext, Tracer};
+
+/// A parsed wire response.
+#[derive(Debug)]
+struct WireResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl WireResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+}
+
+fn parse_response(raw: &str) -> WireResponse {
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has a blank line");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 =
+        status_line.split(' ').nth(1).expect("status code").parse().expect("numeric status");
+    let headers = lines
+        .map(|l| {
+            let (n, v) = l.split_once(':').expect("header line");
+            (n.trim().to_string(), v.trim().to_string())
+        })
+        .collect();
+    WireResponse { status, headers, body: body.to_string() }
+}
+
+/// Undo `Transfer-Encoding: chunked` framing: `<hex>\r\n<data>\r\n`
+/// repeated, terminated by a zero-length chunk.
+fn decode_chunked(body: &str) -> String {
+    let mut out = String::new();
+    let mut rest = body;
+    while let Some((size_line, tail)) = rest.split_once("\r\n") {
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+        if size == 0 {
+            break;
+        }
+        out.push_str(&tail[..size]);
+        rest = &tail[size + 2..]; // skip the chunk's trailing \r\n
+    }
+    out
+}
+
+/// One decoded NDJSON generation event.
+#[derive(Debug, PartialEq)]
+enum Event {
+    Token { index: u64, token: u64 },
+    Done { finish: String, tokens: u64, error: bool },
+}
+
+fn parse_events(ndjson: &str) -> Vec<Event> {
+    ndjson
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| {
+            let v = serde::json::parse(line).expect("event line parses as JSON");
+            let kind = v.get("event").and_then(|e| e.as_str()).expect("event field");
+            let int = |k: &str| v.get(k).and_then(|x| x.as_f64()).expect(k) as u64;
+            match kind {
+                "token" => Event::Token { index: int("index"), token: int("token") },
+                "done" => Event::Done {
+                    finish: v.get("finish").and_then(|f| f.as_str()).expect("finish").to_string(),
+                    tokens: int("tokens"),
+                    error: match v.get("error") {
+                        Some(serde::json::Value::Bool(b)) => *b,
+                        other => panic!("error flag missing or non-bool: {other:?}"),
+                    },
+                },
+                other => panic!("unknown event kind {other:?} in {line}"),
+            }
+        })
+        .collect()
+}
+
+fn generate_request(prompt: &[u32], max_new_tokens: usize) -> String {
+    let ids = prompt.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+    let body = format!("{{\"prompt\":[{ids}],\"max_new_tokens\":{max_new_tokens}}}");
+    format!(
+        "POST /v1/generate HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn roundtrip(addr: SocketAddr, raw: &str) -> WireResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read response");
+    parse_response(&buf)
+}
+
+/// Stream a generation and return the parsed events plus the wall-clock
+/// moments of the first token event and of stream completion.
+fn stream_generation(
+    addr: SocketAddr,
+    raw: &str,
+) -> (WireResponse, Vec<Event>, Duration, Duration) {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write request");
+
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut ttft = None;
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if ttft.is_none() && String::from_utf8_lossy(&buf).contains("\"event\":\"token\"") {
+                    ttft = Some(start.elapsed());
+                }
+            }
+            Err(e) => panic!("stream read failed: {e}"),
+        }
+    }
+    let total = start.elapsed();
+    let raw = String::from_utf8(buf).expect("utf-8 response");
+    let resp = parse_response(&raw);
+    let events = parse_events(&decode_chunked(&resp.body));
+    (resp, events, ttft.unwrap_or(total), total)
+}
+
+/// Boot a real engine (tiny GPT, paged arena) behind a real server.
+fn generative_server(config: GenConfig) -> (HttpServer, GenEngine, Registry) {
+    let registry = Registry::new();
+    let model = Gpt::new_random(&GptConfig::tiny(), 11);
+    let costs = Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-6 * (len * b) as f64));
+    let engine = GenEngine::start_instrumented(model, config, costs.clone(), &registry);
+    let generate: Arc<dyn GenerateHandler> = Arc::new(engine.client());
+    let http = HttpConfig { addr: "127.0.0.1:0".into(), ..HttpConfig::default() };
+    let server = HttpServer::start_generative(
+        http,
+        Arc::new(NoInfer),
+        Some(generate),
+        &registry,
+        Tracer::disabled(),
+        Some(costs),
+    )
+    .expect("server starts");
+    (server, engine, registry)
+}
+
+/// The `/v1/infer` backend is irrelevant here; refuse everything.
+struct NoInfer;
+
+impl tt_serving::InferHandler for NoInfer {
+    fn infer(&self, _tokens: Vec<u32>) -> Result<tt_serving::InferReply, tt_serving::InferError> {
+        Err(tt_serving::InferError::Unavailable("generation-only server".into()))
+    }
+}
+
+#[test]
+fn generate_streams_chunked_token_events_with_terminal_done() {
+    let (server, engine, _registry) = generative_server(GenConfig::default());
+    let (resp, events, _ttft, _total) =
+        stream_generation(server.addr(), &generate_request(&[1, 2, 3], 8));
+
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
+    assert!(resp.header("content-type").unwrap().contains("ndjson"));
+
+    let (done, tokens) = events.split_last().expect("at least the terminal event");
+    for (i, ev) in tokens.iter().enumerate() {
+        match ev {
+            Event::Token { index, .. } => assert_eq!(*index, i as u64, "indices are 0-based"),
+            other => panic!("non-token event before done: {other:?}"),
+        }
+    }
+    match done {
+        Event::Done { finish, tokens: n, error } => {
+            assert!(!error, "healthy generation must not end in an error event");
+            assert!(finish == "length" || finish == "eos", "finish: {finish}");
+            assert_eq!(*n as usize, tokens.len(), "done.tokens counts the emitted tokens");
+            assert!(*n >= 1, "at least one token generated");
+        }
+        other => panic!("terminal event is not done: {other:?}"),
+    }
+
+    server.shutdown();
+    let summary = engine.shutdown();
+    assert_eq!(summary.pages_leaked, 0, "all KV pages returned after the stream");
+}
+
+#[test]
+fn concurrent_mixed_length_streams_all_complete_and_free_pages() {
+    let (server, engine, registry) = generative_server(GenConfig::default());
+    let addr = server.addr();
+
+    let mut clients = Vec::new();
+    for (prompt_len, max_new) in [(2usize, 4usize), (5, 9), (3, 16)] {
+        clients.push(std::thread::spawn(move || {
+            let prompt: Vec<u32> = (1..=prompt_len as u32).collect();
+            stream_generation(addr, &generate_request(&prompt, max_new))
+        }));
+    }
+    let mut total_tokens = 0u64;
+    for client in clients {
+        let (resp, events, ttft, total) = client.join().expect("client thread");
+        assert_eq!(resp.status, 200);
+        let Some(Event::Done { error: false, tokens, .. }) = events.last() else {
+            panic!("stream must end in a non-error done: {events:?}");
+        };
+        total_tokens += tokens;
+        assert!(ttft <= total, "first token cannot arrive after the stream closes");
+    }
+
+    // The engine's decode telemetry saw every streamed token, and every
+    // page went back to the arena.
+    let snap = registry.snapshot();
+    let decoded = snap.find("decode_tokens_total", &[]).unwrap().counter.unwrap();
+    assert_eq!(decoded, total_tokens, "decode_tokens_total matches the streamed tokens");
+    assert_eq!(snap.find("ttft_ms", &[]).unwrap().histogram.clone().unwrap().count(), 3);
+    server.shutdown();
+    assert_eq!(engine.shutdown().pages_leaked, 0);
+}
+
+/// A scripted backend emitting events on a fixed cadence: proves the HTTP
+/// layer flushes per token (no buffering until completion) with timing
+/// that does not depend on model speed.
+struct ScriptedStream {
+    script: Vec<TokenEvent>,
+    delay: Duration,
+}
+
+impl GenerateHandler for ScriptedStream {
+    fn generate(
+        &self,
+        _prompt: Vec<u32>,
+        _max_new_tokens: usize,
+        _trace: Option<SpanContext>,
+        _deadline: Option<Deadline>,
+    ) -> Result<crossbeam::channel::Receiver<TokenEvent>, InferError> {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let script = self.script.clone();
+        let delay = self.delay;
+        std::thread::spawn(move || {
+            for ev in script {
+                std::thread::sleep(delay);
+                if tx.send(ev).is_err() {
+                    return; // client went away: stop producing
+                }
+            }
+        });
+        Ok(rx)
+    }
+}
+
+fn scripted_server(script: Vec<TokenEvent>, delay: Duration) -> HttpServer {
+    let registry = Registry::new();
+    let generate: Arc<dyn GenerateHandler> = Arc::new(ScriptedStream { script, delay });
+    let http = HttpConfig { addr: "127.0.0.1:0".into(), ..HttpConfig::default() };
+    HttpServer::start_generative(
+        http,
+        Arc::new(NoInfer),
+        Some(generate),
+        &registry,
+        Tracer::disabled(),
+        None,
+    )
+    .expect("server starts")
+}
+
+#[test]
+fn tokens_arrive_incrementally_ttft_strictly_before_stream_end() {
+    let script = vec![
+        TokenEvent::Token { index: 0, token: 7 },
+        TokenEvent::Token { index: 1, token: 8 },
+        TokenEvent::Token { index: 2, token: 9 },
+        TokenEvent::Done { finish: FinishReason::Length, tokens: 3 },
+    ];
+    let server = scripted_server(script, Duration::from_millis(25));
+    let (resp, events, ttft, total) = stream_generation(server.addr(), &generate_request(&[1], 3));
+
+    assert_eq!(resp.status, 200);
+    assert_eq!(events.len(), 4);
+    // Three more 25 ms events follow the first: if the server buffered the
+    // stream until completion, TTFT would equal total.
+    assert!(
+        total >= ttft + Duration::from_millis(50),
+        "tokens must stream incrementally: ttft={ttft:?} total={total:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn deadline_expiry_mid_stream_is_a_terminal_error_event_not_a_hang() {
+    let script = vec![
+        TokenEvent::Token { index: 0, token: 7 },
+        TokenEvent::Token { index: 1, token: 8 },
+        TokenEvent::Done { finish: FinishReason::Deadline, tokens: 2 },
+    ];
+    let server = scripted_server(script, Duration::from_millis(5));
+    let (resp, events, _ttft, _total) =
+        stream_generation(server.addr(), &generate_request(&[1], 64));
+
+    // The status line was already committed (200 + chunked) when the
+    // deadline hit: the failure surfaces in-band as a typed terminal
+    // event, and the chunked framing still terminates cleanly.
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        events.last(),
+        Some(&Event::Done { finish: "deadline".into(), tokens: 2, error: true }),
+        "events: {events:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn admission_errors_are_plain_http_statuses_not_streams() {
+    let (server, engine, _registry) = generative_server(GenConfig::default());
+    let addr = server.addr();
+
+    // Malformed JSON and empty prompts are client errors.
+    let raw = "POST /v1/generate HTTP/1.1\r\nHost: t\r\nContent-Length: 12\r\n\
+               Connection: close\r\n\r\n{\"prompt\": [";
+    assert_eq!(roundtrip(addr, raw).status, 400);
+    assert_eq!(roundtrip(addr, &generate_request(&[], 4)).status, 400);
+
+    // A prompt that cannot fit the context window is rejected by the
+    // engine *before* any token: the peeked terminal event maps to a
+    // plain 400, never a 200 stream that instantly errors.
+    let oversized: Vec<u32> = (0..40).collect(); // tiny GPT max_position = 32
+    let resp = roundtrip(addr, &generate_request(&oversized, 4));
+    assert_eq!(resp.status, 400);
+    assert!(resp.header("transfer-encoding").is_none(), "rejections are not chunked");
+
+    // An out-of-vocabulary id is the same typed rejection (regression:
+    // it used to assert inside the embedding and kill the engine thread).
+    assert_eq!(roundtrip(addr, &generate_request(&[1, 9999, 2], 4)).status, 400);
+    let resp = roundtrip(addr, &generate_request(&[1, 2], 2));
+    assert_eq!(resp.status, 200, "engine survives the bad prompt");
+
+    // Wrong method on the route.
+    assert_eq!(
+        roundtrip(addr, "GET /v1/generate HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").status,
+        405
+    );
+
+    server.shutdown();
+    assert_eq!(engine.shutdown().pages_leaked, 0);
+}
+
+#[test]
+fn server_without_generative_backend_answers_503() {
+    let registry = Registry::new();
+    let http = HttpConfig { addr: "127.0.0.1:0".into(), ..HttpConfig::default() };
+    let server = HttpServer::start(http, Arc::new(NoInfer), &registry).expect("server starts");
+    let resp = roundtrip(server.addr(), &generate_request(&[1, 2], 4));
+    assert_eq!(resp.status, 503);
+    assert!(resp.body.contains("no generative backend"), "body: {}", resp.body);
+    server.shutdown();
+}
