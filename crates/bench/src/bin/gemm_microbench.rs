@@ -25,7 +25,10 @@ use std::time::Instant;
 
 use serde::Serialize;
 use tt_bench::print_table;
-use tt_tensor::{batched_sgemm, sgemm, GemmSpec, Trans};
+use tt_tensor::{
+    batched_sgemm, kernel_variant, kernel_variant_name, set_kernel_override, sgemm, sgemm_q8,
+    GemmSpec, KernelVariant, Q8Matrix, Trans,
+};
 
 /// The pre-PR GEMM implementations, kept as the in-bench baseline so the
 /// speedup column stays measurable after the old code left the library.
@@ -148,6 +151,10 @@ impl Case {
         Case { label, family: "nn", batch: 1, spec: GemmSpec::nn(m, k, n) }
     }
 
+    fn gemv(label: &'static str, m: usize, k: usize, n: usize) -> Self {
+        Case { label, family: "decode", batch: 1, spec: GemmSpec::nn(m, k, n) }
+    }
+
     fn batched(label: &'static str, batch: usize, spec: GemmSpec) -> Self {
         Case { label, family: "batched", batch, spec }
     }
@@ -181,6 +188,12 @@ fn sweep_cases() -> Vec<Case> {
         Case::nn("ffn2, b20 s100", 2000, FFN, HIDDEN),
         // Decoder-style thin rows.
         Case::nn("decoder token step", 1, 1024, 1024),
+        // Decode-step GEMVs: the m=1 shapes `step_paged` actually issues
+        // per GPT-2-small layer (projection, FFN up/down) — the
+        // bandwidth-bound regime the SMALL_M fast path serves.
+        Case::gemv("decode gemv, m1 proj", 1, HIDDEN, HIDDEN),
+        Case::gemv("decode gemv, m1 ffn1", 1, HIDDEN, FFN),
+        Case::gemv("decode gemv, m1 ffn2", 1, FFN, HIDDEN),
         // Attention score product q·kᵀ: batch·heads × (seq, 64, seq).
         Case::batched("scores, b1 s10", HEADS, GemmSpec::nt(10, HEAD_DIM, 10)),
         Case::batched("scores, b1 s100", HEADS, GemmSpec::nt(100, HEAD_DIM, 100)),
@@ -256,16 +269,21 @@ struct Entry {
     new_gflops: f64,
     ref_gflops: f64,
     speedup: f64,
+    /// int8 entries only: max |q8 − f32| over the output.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    max_abs_err: Option<f64>,
 }
 
 #[derive(Serialize)]
 struct Report {
     bench: String,
     threads: usize,
+    kernel_variant: String,
     cases: usize,
     geomean_speedup: f64,
     geomean_nn: f64,
     geomean_batched: f64,
+    geomean_int8: f64,
     entries: Vec<Entry>,
 }
 
@@ -322,22 +340,134 @@ fn run_case(case: &Case, timed: bool) -> Entry {
         new_gflops,
         ref_gflops,
         speedup: if timed { new_gflops / ref_gflops } else { 1.0 },
+        max_abs_err: None,
+    }
+}
+
+/// int8 weight-only GEMM vs the f32 packed engine on the same shape.
+/// `reference` here is the *new* f32 engine (not the pre-PR axpy): the
+/// speedup column answers "what does quantizing this weight buy on top".
+/// Every output channel is checked against `Q8Matrix::error_bound`.
+fn run_int8_case(
+    label: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    tb: Trans,
+    timed: bool,
+) -> Entry {
+    let a = fill(1, m * k);
+    let w = fill(2, k * n);
+    let q = Q8Matrix::quantize(&w, k, n, tb);
+    let spec = GemmSpec { m, k, n, ta: Trans::No, tb, alpha: 1.0, beta: 0.0 };
+    let mut c_f32 = vec![f32::NAN; m * n];
+    let mut c_q8 = vec![f32::NAN; m * n];
+    sgemm(spec, &a, &w, &mut c_f32);
+    sgemm_q8(m, 1.0, &a, &q, &mut c_q8);
+
+    let mut max_err = 0.0f64;
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let err = (c_q8[i * n + j] - c_f32[i * n + j]).abs();
+            let bound = q.error_bound(j, arow) + 1e-4;
+            assert!(err <= bound, "{label}: channel {j} error {err} exceeds bound {bound}");
+            max_err = max_err.max(err as f64);
+        }
+    }
+
+    let flops = spec.flops();
+    let (new_gflops, ref_gflops) = if timed {
+        let t_q8 = time_min(|| sgemm_q8(m, 1.0, &a, &q, &mut c_q8), 0.15);
+        let t_f32 = time_min(|| sgemm(spec, &a, &w, &mut c_f32), 0.15);
+        (flops as f64 / t_q8 / 1e9, flops as f64 / t_f32 / 1e9)
+    } else {
+        (0.0, 0.0)
+    };
+    Entry {
+        label: label.to_string(),
+        family: "int8".to_string(),
+        batch: 1,
+        m,
+        k,
+        n,
+        flops,
+        new_gflops,
+        ref_gflops,
+        speedup: if timed { new_gflops / ref_gflops } else { 1.0 },
+        max_abs_err: Some(max_err),
+    }
+}
+
+/// int8 sweep: the decode GEMVs a quantized GPT-2-small issues per token,
+/// plus the tied-embedding lm head (`[n, k]`, `trans_b`).
+fn int8_cases() -> Vec<(&'static str, usize, usize, usize, Trans)> {
+    vec![
+        ("int8 gemv, m1 proj", 1, HIDDEN, HIDDEN, Trans::No),
+        ("int8 gemv, m1 ffn1", 1, HIDDEN, FFN, Trans::No),
+        ("int8 gemv, m1 ffn2", 1, FFN, HIDDEN, Trans::No),
+        ("int8 lm head, m1", 1, HIDDEN, 50257, Trans::Yes),
+        ("int8 prefill, m100 proj", 100, HIDDEN, HIDDEN, Trans::No),
+    ]
+}
+
+/// Smoke: the scalar micro-kernel and the runtime-dispatched SIMD variant
+/// must agree on integer-valued inputs (whose products and sums are exactly
+/// representable, so any divergence is a kernel bug, not rounding).
+fn smoke_variant_divergence() {
+    let detected = kernel_variant();
+    for case in smoke_cases() {
+        let spec = case.spec;
+        let a = fill(1, case.batch * spec.m * spec.k);
+        let b = fill(2, case.batch * spec.k * spec.n);
+        let mut c_scalar = vec![f32::NAN; case.batch * spec.m * spec.n];
+        let mut c_simd = vec![f32::NAN; case.batch * spec.m * spec.n];
+        let run = |c: &mut [f32]| {
+            if case.batch == 1 {
+                sgemm(spec, &a, &b, c);
+            } else {
+                batched_sgemm(case.batch, spec, &a, &b, c);
+            }
+        };
+        set_kernel_override(KernelVariant::Scalar).expect("scalar is always available");
+        run(&mut c_scalar);
+        set_kernel_override(detected).expect("detected variant must re-apply");
+        run(&mut c_simd);
+        let err = max_rel_err(&c_simd, &c_scalar);
+        assert!(
+            err <= 1e-6,
+            "{}: scalar and {} kernels diverge ({err:.2e})",
+            case.label,
+            detected.name()
+        );
+        println!("smoke ok: {} scalar == {}", case.label, detected.name());
     }
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
+        println!("kernel variant: {}", kernel_variant_name());
         for case in smoke_cases() {
             let e = run_case(&case, false);
             println!("smoke ok: {} ({}x{}x{}, batch {})", e.label, e.m, e.k, e.n, e.batch);
+        }
+        smoke_variant_divergence();
+        // int8 smoke: small shapes in both layouts, checked against the
+        // per-channel error bound.
+        for (label, m, k, n, tb) in
+            [("int8 smoke nn", 5, 33, 17, Trans::No), ("int8 smoke nt", 3, 16, 21, Trans::Yes)]
+        {
+            let e = run_int8_case(label, m, k, n, tb, false);
+            println!("smoke ok: {} (max abs err {:.2e})", e.label, e.max_abs_err.unwrap());
         }
         println!("gemm_microbench --smoke: all correctness checks passed");
         return;
     }
 
+    println!("kernel variant: {}", kernel_variant_name());
     let cases = sweep_cases();
-    let entries: Vec<Entry> = cases
+    let mut entries: Vec<Entry> = cases
         .iter()
         .map(|case| {
             let e = run_case(case, true);
@@ -348,18 +478,35 @@ fn main() {
             e
         })
         .collect();
+    for (label, m, k, n, tb) in int8_cases() {
+        let e = run_int8_case(label, m, k, n, tb, true);
+        println!(
+            "{:24} {:9.2} GFLOP/s vs {:7.2} f32 engine ({:5.2}x, max err {:.2e})",
+            e.label,
+            e.new_gflops,
+            e.ref_gflops,
+            e.speedup,
+            e.max_abs_err.unwrap()
+        );
+        entries.push(e);
+    }
 
-    let all: Vec<f64> = entries.iter().map(|e| e.speedup).collect();
+    // The headline geomean stays vs the pre-PR reference; int8 entries are
+    // measured against the new f32 engine and reported separately.
+    let all: Vec<f64> = entries.iter().filter(|e| e.family != "int8").map(|e| e.speedup).collect();
     let nn: Vec<f64> = entries.iter().filter(|e| e.family == "nn").map(|e| e.speedup).collect();
     let batched: Vec<f64> =
         entries.iter().filter(|e| e.family == "batched").map(|e| e.speedup).collect();
+    let int8: Vec<f64> = entries.iter().filter(|e| e.family == "int8").map(|e| e.speedup).collect();
     let report = Report {
         bench: "gemm_microbench".to_string(),
         threads: std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1),
+        kernel_variant: kernel_variant_name().to_string(),
         cases: entries.len(),
         geomean_speedup: geomean(&all),
         geomean_nn: geomean(&nn),
         geomean_batched: geomean(&batched),
+        geomean_int8: geomean(&int8),
         entries,
     };
 
@@ -373,17 +520,24 @@ fn main() {
                 format!("{:.2}", e.ref_gflops),
                 format!("{:.2}", e.new_gflops),
                 format!("{:.2}x", e.speedup),
+                e.max_abs_err.map(|err| format!("{err:.2e}")).unwrap_or_default(),
             ]
         })
         .collect();
     print_table(
         "GEMM microbench: packed engine vs pre-PR reference",
-        &["shape", "batch×(m, k, n)", "ref GFLOP/s", "new GFLOP/s", "speedup"],
+        &["shape", "batch×(m, k, n)", "ref GFLOP/s", "new GFLOP/s", "speedup", "max abs err"],
         &rows,
     );
     println!(
-        "\ngeomean speedup: {:.2}x (nn {:.2}x, batched {:.2}x) on {} thread(s)",
-        report.geomean_speedup, report.geomean_nn, report.geomean_batched, report.threads
+        "\ngeomean speedup: {:.2}x (nn {:.2}x, batched {:.2}x; int8 vs f32 {:.2}x) \
+         on {} thread(s), kernel {}",
+        report.geomean_speedup,
+        report.geomean_nn,
+        report.geomean_batched,
+        report.geomean_int8,
+        report.threads,
+        report.kernel_variant
     );
 
     let mut md = String::new();
@@ -395,18 +549,25 @@ fn main() {
     let _ = writeln!(md, "reference = the pre-PR `sgemm` axpy row-sweep (single GEMMs) and the");
     let _ = writeln!(
         md,
-        "per-head naive triple loop (batched GEMMs). min-of-reps timing, {} thread(s).\n",
-        report.threads
+        "per-head naive triple loop (batched GEMMs). `int8` rows compare weight-only\n\
+         int8 against the *new* f32 engine on the same shape (see docs/KERNELS.md for\n\
+         the scale scheme and error bound). min-of-reps timing, {} thread(s),\n\
+         `{}` micro-kernel.\n",
+        report.threads, report.kernel_variant
     );
-    let _ = writeln!(md, "| shape | batch×(m, k, n) | ref GFLOP/s | new GFLOP/s | speedup |");
-    let _ = writeln!(md, "|---|---|---|---|---|");
+    let _ = writeln!(
+        md,
+        "| shape | batch×(m, k, n) | ref GFLOP/s | new GFLOP/s | speedup | max abs err |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|");
     for r in &rows {
         let _ = writeln!(md, "| {} |", r.join(" | "));
     }
     let _ = writeln!(
         md,
-        "\n**Geomean speedup: {:.2}x** — nn family {:.2}x, batched (attention) family {:.2}x.",
-        report.geomean_speedup, report.geomean_nn, report.geomean_batched
+        "\n**Geomean speedup: {:.2}x** — nn family {:.2}x, batched (attention) family \
+         {:.2}x; int8-vs-f32 {:.2}x on the decode shapes.",
+        report.geomean_speedup, report.geomean_nn, report.geomean_batched, report.geomean_int8
     );
     let _ = writeln!(md, "\nMachine-readable trajectory: `BENCH_gemm.json` at the repo root.");
     std::fs::write("results/gemm_microbench.md", md).expect("write results/gemm_microbench.md");

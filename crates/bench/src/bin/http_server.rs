@@ -43,6 +43,23 @@ fn main() {
     // request can opt in with `?trace=1`.
     let tracer = Tracer::from_env();
 
+    // GEMM micro-kernel selection: runtime CPU detection, overridable with
+    // TT_GEMM_KERNEL (scalar|simd|avx2). Logged at startup and exported as
+    // a labeled gauge so a scrape can tell which kernel a deployment runs.
+    let variant = tt_tensor::kernel_variant_name();
+    let int8 = tt_model::weights::int8_enabled();
+    println!(
+        "gemm kernel: {variant} (override via TT_GEMM_KERNEL), int8 weights: {}",
+        if int8 { "on (TT_GEMM_INT8)" } else { "off" }
+    );
+    registry
+        .gauge(
+            "gemm_kernel_variant",
+            "Selected GEMM micro-kernel (labeled; value is always 1)",
+            &[("variant", variant)],
+        )
+        .set(1.0);
+
     let model_kind = std::env::var("TT_HTTP_MODEL").unwrap_or_else(|_| "tiny".into());
     let bert_config = match model_kind.as_str() {
         "base" => BertConfig::base(),

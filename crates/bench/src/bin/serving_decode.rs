@@ -62,7 +62,10 @@ struct DecodeBenchReport {
     requests: usize,
     continuous: ModeReport,
     naive: ModeReport,
+    int8: ModeReport,
     speedup: f64,
+    int8_vs_f32: f64,
+    int8_stream_match: f64,
 }
 
 fn main() {
@@ -98,6 +101,12 @@ fn main() {
     let (naive, naive_wall) = run_naive(&model, &jobs);
     println!("mode: continuous batching (paged KV arena)");
     let (continuous, cont_wall) = run_continuous(model, &jobs);
+    // Same seed → identical weights, then quantized: the delta against the
+    // f32 continuous run is the int8 GEMV/GEMM effect alone.
+    println!("mode: continuous batching + int8 weights");
+    let mut qmodel = Gpt::new_random(&config, 2024);
+    qmodel.quantize_int8();
+    let (int8, int8_wall) = run_continuous(qmodel, &jobs);
 
     // Fairness: both modes must have generated the identical token
     // streams — the comparison is scheduling, never decoding quality.
@@ -107,9 +116,22 @@ fn main() {
         assert!(!c.tokens.is_empty(), "request {i} generated nothing");
     }
 
+    // int8 is an approximation, so token streams may legally diverge from
+    // f32 (documented tolerance, docs/KERNELS.md) — but every stream must
+    // still complete its full token budget. Record how many streams stayed
+    // greedy-identical to f32 as an accuracy signal alongside the speed.
+    assert_eq!(int8.len(), continuous.len());
+    let matching = continuous.iter().zip(&int8).filter(|(c, q)| c.tokens == q.tokens).count();
+    for (i, q) in int8.iter().enumerate() {
+        assert_eq!(q.tokens.len(), jobs[i].max_new, "int8 request {i} truncated its stream");
+    }
+
     let cont_report = mode_report(&continuous, cont_wall);
     let naive_report = mode_report(&naive, naive_wall);
+    let int8_report = mode_report(&int8, int8_wall);
     let speedup = cont_report.tokens_per_sec / naive_report.tokens_per_sec;
+    let int8_vs_f32 = int8_report.tokens_per_sec / cont_report.tokens_per_sec;
+    let int8_stream_match = matching as f64 / continuous.len() as f64;
     assert!(
         speedup > 1.0,
         "continuous batching ({:.1} tok/s) must beat naive re-prefill ({:.1} tok/s)",
@@ -117,14 +139,22 @@ fn main() {
         naive_report.tokens_per_sec
     );
 
-    let rows =
-        vec![row("continuous batching", &cont_report), row("naive re-prefill", &naive_report)];
+    let rows = vec![
+        row("continuous batching", &cont_report),
+        row("continuous + int8 weights", &int8_report),
+        row("naive re-prefill", &naive_report),
+    ];
     print_table(
         &format!("Generative decode ({model_name}, {requests} mixed-length requests)"),
         &["mode", "tokens", "wall s", "tok/s", "ttft mean ms", "ttft p50 ms", "ttft max ms"],
         &rows,
     );
     println!("\nspeedup (tokens/sec): {speedup:.2}x");
+    println!(
+        "int8 vs f32 continuous: {int8_vs_f32:.2}x tokens/sec, {matching}/{} streams \
+         greedy-identical",
+        continuous.len()
+    );
 
     if smoke {
         println!("smoke OK");
@@ -137,7 +167,10 @@ fn main() {
         requests,
         continuous: cont_report,
         naive: naive_report,
+        int8: int8_report,
         speedup,
+        int8_vs_f32,
+        int8_stream_match,
     };
     write_outputs(&report, &jobs);
 }
@@ -278,9 +311,11 @@ fn write_outputs(report: &DecodeBenchReport, jobs: &[Job]) {
         "| mode | tokens | wall s | tok/s | ttft mean ms | ttft p50 ms | ttft max ms |"
     );
     let _ = writeln!(md, "|---|---|---|---|---|---|---|");
-    for (name, r) in
-        [("continuous batching", &report.continuous), ("naive re-prefill", &report.naive)]
-    {
+    for (name, r) in [
+        ("continuous batching", &report.continuous),
+        ("continuous + int8 weights", &report.int8),
+        ("naive re-prefill", &report.naive),
+    ] {
         let _ = writeln!(
             md,
             "| {name} | {} | {:.4} | {:.1} | {:.3} | {:.3} | {:.3} |",
@@ -294,8 +329,15 @@ fn write_outputs(report: &DecodeBenchReport, jobs: &[Job]) {
          tail is the whole queue ahead of a request; continuous batching \
          decodes every active sequence each iteration against the paged KV \
          cache and admits waiting prompts at token boundaries.\n\n\
+         With int8 weight-only quantization on top of continuous batching \
+         (same seed, same schedule), decode throughput is **{:.2}x** the f32 \
+         run and {:.0}% of streams stayed greedy-identical to f32 — the \
+         int8 path trades bounded per-logit error (`docs/KERNELS.md`) for \
+         4x less weight traffic per GEMV.\n\n\
          Machine-readable: `BENCH_decode.json` at the repo root.",
-        report.speedup
+        report.speedup,
+        report.int8_vs_f32,
+        report.int8_stream_match * 100.0,
     );
     let _ = std::fs::create_dir_all("results");
     std::fs::write("results/serving_decode.md", md).expect("write results/serving_decode.md");

@@ -133,6 +133,17 @@ fn main() {
         trace_overhead.pct_of_execute
     );
 
+    // Fusion families (docs/KERNELS.md): the fused executor must report
+    // both the fused ops it issued and the passes the fusion pass elided.
+    assert!(
+        counter(&snap, "executor_fused_ops_total") > 0,
+        "no fused ops executed — the graph fusion pass is inactive"
+    );
+    assert!(
+        counter(&snap, "fusion_elided_passes_total") > 0,
+        "no elided passes recorded — the graph fusion pass is inactive"
+    );
+
     // Robustness families (docs/ROBUSTNESS.md): the shed taxonomy and
     // deadline counters must be present in the exposition, and the
     // deliberately-impossible deadline above must have registered a shed.
@@ -423,6 +434,15 @@ fn render_markdown(
         )
         .unwrap();
     }
+
+    writeln!(
+        w,
+        "\nGraph fusion: **{}** fused ops executed, **{}** intermediate \
+         memory passes elided by the fusion pass (see docs/KERNELS.md).",
+        counter(snap, "executor_fused_ops_total"),
+        counter(snap, "fusion_elided_passes_total"),
+    )
+    .unwrap();
 
     // Allocator.
     writeln!(w, "\n## Allocator\n").unwrap();

@@ -136,6 +136,97 @@ proptest! {
         prop_assert!(k::gelu_scalar(lo) <= k::gelu_scalar(hi) + 1e-5);
     }
 
+    /// Fused bias+GELU equals add_bias followed by gelu for any geometry,
+    /// including tile-edge column counts (1, SIMD-width ± 1, …).
+    #[test]
+    fn fused_bias_gelu_equivalence(
+        rows in 1usize..5,
+        cols_i in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let cols = [1usize, 7, 8, 9, 15, 16, 17, 31][cols_i];
+        let n = rows * cols;
+        let src: Vec<f32> = (0..n).map(|i| ((i as u64 * 37 + seed) % 101) as f32 * 0.08 - 4.0).collect();
+        let bias: Vec<f32> = (0..cols).map(|i| (i as f32 - 3.0) * 0.2).collect();
+        let mut fused = src.clone();
+        k::add_bias_gelu(rows, cols, &mut fused, &bias);
+        let mut unfused = src.clone();
+        k::add_bias(rows, cols, &mut unfused, &bias);
+        k::gelu(&mut unfused);
+        for (f, u) in fused.iter().zip(&unfused) {
+            prop_assert!((f - u).abs() < 1e-6, "{f} vs {u}");
+        }
+    }
+
+    /// Fused bias+residual+LayerNorm equals the three-pass composition for
+    /// any geometry, including hidden sizes straddling vector widths.
+    #[test]
+    fn fused_bias_residual_layernorm_equivalence(
+        rows in 1usize..5,
+        hidden_i in 0usize..7,
+        seed in 0u64..1000,
+    ) {
+        let hidden = [1usize, 7, 8, 9, 16, 17, 33][hidden_i];
+        let n = rows * hidden;
+        let gen = |mul: u64, off: f32| -> Vec<f32> {
+            (0..n).map(|i| ((i as u64 * mul + seed) % 89) as f32 * 0.05 + off).collect()
+        };
+        let x = gen(13, -2.0);
+        let residual = gen(29, -1.0);
+        let bias: Vec<f32> = (0..hidden).map(|i| i as f32 * 0.03).collect();
+        let gamma = vec![1.1f32; hidden];
+        let beta = vec![0.4f32; hidden];
+        let mut fused = vec![0.0; n];
+        k::add_bias_residual_layer_norm(
+            rows, hidden, &x, &bias, &residual, &gamma, &beta, 1e-5, &mut fused,
+        );
+        let mut sum = x.clone();
+        k::add_bias(rows, hidden, &mut sum, &bias);
+        k::residual_add(&mut sum, &residual);
+        let mut unfused = vec![0.0; n];
+        k::layer_norm(rows, hidden, &sum, &gamma, &beta, 1e-5, &mut unfused);
+        for (f, u) in fused.iter().zip(&unfused) {
+            prop_assert!((f - u).abs() < 1e-4, "{f} vs {u}");
+        }
+    }
+
+    /// Fused scale+mask+softmax equals scale, additive mask, then softmax,
+    /// for any attention geometry including single-key rows.
+    #[test]
+    fn fused_scale_mask_softmax_equivalence(
+        b in 1usize..3,
+        h in 1usize..3,
+        sq in 1usize..4,
+        sk_i in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let sk = [1usize, 2, 7, 8, 9, 17][sk_i];
+        let n = b * h * sq * sk;
+        let scores: Vec<f32> =
+            (0..n).map(|i| ((i as u64 * 41 + seed) % 71) as f32 * 0.1 - 3.0).collect();
+        // Additive mask: pad the tail keys of each batch when sk allows.
+        let mask: Vec<f32> = (0..b * sk)
+            .map(|i| if sk > 1 && i % sk == sk - 1 { f32::NEG_INFINITY } else { 0.0 })
+            .collect();
+        let scale = 0.37f32;
+        let mut fused = scores.clone();
+        k::scale_mask_softmax(b, h, sq, sk, scale, Some(&mask), &mut fused);
+        let mut unfused = scores.clone();
+        for v in unfused.iter_mut() {
+            *v *= scale;
+        }
+        for row in 0..b * h * sq {
+            let bi = row / (h * sq);
+            for (v, &m) in unfused[row * sk..(row + 1) * sk].iter_mut().zip(&mask[bi * sk..]) {
+                *v += m;
+            }
+        }
+        k::softmax_rows(b * h * sq, sk, &mut unfused);
+        for (f, u) in fused.iter().zip(&unfused) {
+            prop_assert!((f - u).abs() < 1e-5, "{f} vs {u}");
+        }
+    }
+
     /// scale_mask_softmax gives padded key positions exactly zero weight.
     #[test]
     fn masked_keys_get_zero_probability(

@@ -13,7 +13,8 @@ use tt_tensor::{sgemm, GemmSpec, Tensor};
 
 use crate::bound::{BoundGraph, InputBinding};
 use crate::encoder_layer::{
-    declare_layer_weights, emit_layer, layer_forward, EncoderDims, EncoderLayerWeights,
+    declare_layer_weights, emit_layer, encoder_layer_program, layer_forward_with, EncoderDims,
+    EncoderLayerWeights,
 };
 use crate::weights::{WeightInit, WeightStore};
 
@@ -168,8 +169,9 @@ impl Albert {
 
         let dims = self.config.dims();
         let mask_slice = mask.map(|m| m.as_slice());
+        let prog = encoder_layer_program(&dims, batch, seq, mask_slice.is_some());
         for _ in 0..self.config.num_layers {
-            layer_forward(&self.store, &self.shared_layer, &dims, batch, seq, &mut x, mask_slice);
+            layer_forward_with(&prog, &self.store, &self.shared_layer, &mut x, mask_slice);
         }
         Tensor::from_vec([batch, seq, h], x).expect("sized by construction")
     }
@@ -262,7 +264,10 @@ fn build_albert_graph(
         g.tensors[x].class = TensorClass::Output;
         g.tensors[x].name = "encoder_output".into();
 
-        BoundGraph { graph: g, weights: bindings, inputs, output: x }
+        // Fine-grained emission → fusion pass → rebound fused graph.
+        let fine = BoundGraph { graph: g, weights: bindings, inputs, output: x };
+        let fused = tt_graph::fusion::fuse(&fine.graph);
+        fine.rebind(fused)
     }
 }
 

@@ -6,7 +6,8 @@ use tt_tensor::Tensor;
 
 use crate::bound::{BoundGraph, InputBinding};
 use crate::encoder_layer::{
-    declare_layer_weights, emit_layer, layer_forward, EncoderDims, EncoderLayerWeights,
+    declare_layer_weights, emit_layer, encoder_layer_program, layer_forward_with, EncoderDims,
+    EncoderLayerWeights,
 };
 use crate::weights::{WeightInit, WeightStore};
 
@@ -157,6 +158,18 @@ impl Bert {
         self.store.bytes()
     }
 
+    /// Attach int8 sidecars to every encoder GEMM weight (`[k, n]` layout).
+    /// The graph executor then routes those MatMuls through `sgemm_q8`;
+    /// embeddings and LayerNorm parameters stay f32.
+    pub fn quantize_int8(&mut self) {
+        for i in 0..self.layers.len() {
+            let lw = self.layers[i];
+            for w in [lw.wq, lw.wk, lw.wv, lw.wo, lw.w1, lw.w2] {
+                self.store.quantize(w, tt_tensor::Trans::No);
+            }
+        }
+    }
+
     /// Eager forward pass: `ids` is `[batch, seq]` (f32-encoded token ids),
     /// `mask` an optional `[batch, seq]` additive attention mask. Returns
     /// the final hidden states `[batch, seq, hidden]`.
@@ -190,8 +203,11 @@ impl Bert {
 
         let dims = self.config.dims();
         let mask_slice = mask.map(|m| m.as_slice());
+        // One fused-program compilation serves every layer: each call
+        // rebinds the weight slots to that layer's store indices.
+        let prog = encoder_layer_program(&dims, batch, seq, mask_slice.is_some());
         for lw in &self.layers {
-            layer_forward(&self.store, lw, &dims, batch, seq, &mut x, mask_slice);
+            layer_forward_with(&prog, &self.store, lw, &mut x, mask_slice);
         }
         Tensor::from_vec([batch, seq, h], x).expect("sized by construction")
     }
@@ -278,7 +294,12 @@ fn build_bert_graph(
         g.tensors[x].class = TensorClass::Output;
         g.tensors[x].name = "encoder_output".into();
 
-        BoundGraph { graph: g, weights: bindings, inputs, output: x }
+        // Emission above is fine-grained; the fusion pass produces the
+        // fused graph the executor issues (weights/inputs/outputs survive
+        // by name, so rebinding is exact).
+        let fine = BoundGraph { graph: g, weights: bindings, inputs, output: x };
+        let fused = tt_graph::fusion::fuse(&fine.graph);
+        fine.rebind(fused)
     }
 }
 

@@ -1,13 +1,16 @@
-//! One transformer encoder layer: eager forward + fused-graph emission.
+//! One transformer encoder layer: fine-grained graph emission + a
+//! program-backed forward.
 //!
 //! BERT and ALBERT share this module; ALBERT's cross-layer weight sharing
 //! falls out naturally by emitting the same declared weight tensors for
-//! every layer.
+//! every layer. [`emit_layer`] emits one node per *fine-grained* kernel —
+//! the graph a training framework would execute — and every consumer
+//! (graph builders, [`layer_forward`]) obtains the fused form by running
+//! the `tt_graph::fusion` pass, never by hand-wiring fused kernels.
 
 use tt_graph::{Graph, OpKind, TensorClass, TensorId};
-use tt_kernels as k;
-use tt_tensor::{batched_sgemm, sgemm, GemmSpec};
 
+use crate::program::Program;
 use crate::weights::{WeightInit, WeightStore};
 
 /// Dimensions of an encoder layer.
@@ -126,12 +129,65 @@ impl EncoderLayerWeights {
 }
 
 // ---------------------------------------------------------------------------
-// Eager forward
+// Program-backed forward
 // ---------------------------------------------------------------------------
 
-/// Run one encoder layer eagerly: `x` is `[batch, seq, hidden]` flat and is
+/// Compile one encoder layer as a [`Program`]: fine-grained emission
+/// followed by the fusion pass. The weight slot order matches
+/// [`encoder_weight_table`].
+pub fn encoder_layer_program(
+    dims: &EncoderDims,
+    batch: usize,
+    seq: usize,
+    masked: bool,
+) -> Program {
+    let mut g = Graph::new();
+    let x = g.add_tensor("x", vec![batch, seq, dims.hidden()], TensorClass::Input);
+    let mask = masked.then(|| g.add_tensor("mask", vec![batch, seq], TensorClass::Input));
+    let mut bindings = Vec::new();
+    let mut fabricated = 0usize;
+    let lw = EncoderLayerWeights::fabricate(&mut fabricated);
+    let w = declare_layer_weights(&mut g, &mut bindings, &lw, dims, "layer");
+    let y = emit_layer(&mut g, &w, dims, batch, seq, x, mask, "layer");
+    g.tensors[y].class = TensorClass::Output;
+    let weight_ids: Vec<TensorId> = bindings.iter().map(|&(t, _)| t).collect();
+    let mut input_ids = vec![x];
+    if let Some(m) = mask {
+        input_ids.push(m);
+    }
+    Program::compile(&g, &weight_ids, &input_ids, &[y])
+}
+
+/// The weight-index table binding one layer's store indices to the slots
+/// of [`encoder_layer_program`] (i.e. [`declare_layer_weights`] order).
+pub fn encoder_weight_table(lw: &EncoderLayerWeights) -> Vec<usize> {
+    vec![
+        lw.wq,
+        lw.bq,
+        lw.wk,
+        lw.bk,
+        lw.wv,
+        lw.bv,
+        lw.wo,
+        lw.bo,
+        lw.ln1_gamma,
+        lw.ln1_beta,
+        lw.w1,
+        lw.b1,
+        lw.w2,
+        lw.b2,
+        lw.ln2_gamma,
+        lw.ln2_beta,
+    ]
+}
+
+/// Run one encoder layer: `x` is `[batch, seq, hidden]` flat and is
 /// replaced by the layer output. `mask` is the `[batch, seq]` additive
 /// attention mask, if any.
+///
+/// The layer is compiled through the fusion pass and executed as a
+/// [`Program`] — the fused bias+GELU / bias+residual+LayerNorm /
+/// scale+mask+softmax kernels are issued by the pass, not hand-called.
 pub fn layer_forward(
     store: &WeightStore,
     lw: &EncoderLayerWeights,
@@ -141,76 +197,27 @@ pub fn layer_forward(
     x: &mut Vec<f32>,
     mask: Option<&[f32]>,
 ) {
-    let hidden = dims.hidden();
-    let (heads, d) = (dims.heads, dims.head_dim);
-    let tokens = batch * seq;
-    assert_eq!(x.len(), tokens * hidden, "layer input size");
+    assert_eq!(x.len(), batch * seq * dims.hidden(), "layer input size");
+    let prog = encoder_layer_program(dims, batch, seq, mask.is_some());
+    layer_forward_with(&prog, store, lw, x, mask);
+}
 
-    let proj = |w: usize, b: usize, x: &[f32]| -> Vec<f32> {
-        let mut out = vec![0.0f32; tokens * hidden];
-        sgemm(GemmSpec::nn(tokens, hidden, hidden), x, store.get(w).as_slice(), &mut out);
-        k::add_bias(tokens, hidden, &mut out, store.get(b).as_slice());
-        let mut split = vec![0.0f32; tokens * hidden];
-        k::split_heads(batch, seq, heads, d, &out, &mut split);
-        split
-    };
-    let q = proj(lw.wq, lw.bq, x);
-    let key = proj(lw.wk, lw.bk, x);
-    let v = proj(lw.wv, lw.bv, x);
-
-    // scores[b,h,s,s] = q · kᵀ. Batched over batch·heads small matrices;
-    // batched_sgemm picks per-head vs intra-GEMM parallelism from this
-    // shape, so keep the batch dimension maximal (all heads in one call).
-    let mut scores = vec![0.0f32; batch * heads * seq * seq];
-    batched_sgemm(batch * heads, GemmSpec::nt(seq, d, seq), &q, &key, &mut scores);
-    k::scale_mask_softmax(batch, heads, seq, seq, dims.scale(), mask, &mut scores);
-
-    // ctx[b,h,s,d] = probs · v
-    let mut ctx = vec![0.0f32; tokens * hidden];
-    batched_sgemm(batch * heads, GemmSpec::nn(seq, seq, d), &scores, &v, &mut ctx);
-    let mut merged = vec![0.0f32; tokens * hidden];
-    k::merge_heads(batch, seq, heads, d, &ctx, &mut merged);
-
-    // Output projection + bias + residual + LayerNorm.
-    let mut attn = vec![0.0f32; tokens * hidden];
-    sgemm(GemmSpec::nn(tokens, hidden, hidden), &merged, store.get(lw.wo).as_slice(), &mut attn);
-    k::add_bias(tokens, hidden, &mut attn, store.get(lw.bo).as_slice());
-    k::residual_add(&mut attn, x);
-    let mut x1 = vec![0.0f32; tokens * hidden];
-    k::layer_norm(
-        tokens,
-        hidden,
-        &attn,
-        store.get(lw.ln1_gamma).as_slice(),
-        store.get(lw.ln1_beta).as_slice(),
-        dims.eps,
-        &mut x1,
-    );
-
-    // FFN.
-    let mut inner = vec![0.0f32; tokens * dims.ffn_dim];
-    sgemm(GemmSpec::nn(tokens, hidden, dims.ffn_dim), &x1, store.get(lw.w1).as_slice(), &mut inner);
-    k::add_bias_gelu(tokens, dims.ffn_dim, &mut inner, store.get(lw.b1).as_slice());
-    let mut out = vec![0.0f32; tokens * hidden];
-    sgemm(
-        GemmSpec::nn(tokens, dims.ffn_dim, hidden),
-        &inner,
-        store.get(lw.w2).as_slice(),
-        &mut out,
-    );
-    k::add_bias(tokens, hidden, &mut out, store.get(lw.b2).as_slice());
-    k::residual_add(&mut out, &x1);
-    let mut x2 = vec![0.0f32; tokens * hidden];
-    k::layer_norm(
-        tokens,
-        hidden,
-        &out,
-        store.get(lw.ln2_gamma).as_slice(),
-        store.get(lw.ln2_beta).as_slice(),
-        dims.eps,
-        &mut x2,
-    );
-    *x = x2;
+/// [`layer_forward`] with a pre-compiled program (all layers of a model
+/// share one compilation when their shapes agree).
+pub fn layer_forward_with(
+    prog: &Program,
+    store: &WeightStore,
+    lw: &EncoderLayerWeights,
+    x: &mut Vec<f32>,
+    mask: Option<&[f32]>,
+) {
+    let table = encoder_weight_table(lw);
+    let mut ins: Vec<&[f32]> = vec![x.as_slice()];
+    if let Some(m) = mask {
+        ins.push(m);
+    }
+    let mut outs = prog.run(store, &table, &ins);
+    *x = outs.pop().expect("one output slot");
 }
 
 // ---------------------------------------------------------------------------
@@ -273,8 +280,14 @@ pub fn declare_layer_weights(
     }
 }
 
-/// Emit one fused encoder layer (paper Fig. 3) into the graph. Returns the
-/// layer output tensor `[batch, seq, hidden]`.
+/// Emit one **fine-grained** encoder layer into the graph (one node per
+/// kernel launch a training framework would issue — no fused ops). Returns
+/// the layer output tensor `[batch, seq, hidden]`.
+///
+/// Callers that want the paper's fused execution (Fig. 3) run
+/// `tt_graph::fusion::fuse` over the finished graph; the pass collapses
+/// the bias+split, scale+mask+softmax, bias+GELU and
+/// bias+residual+LayerNorm chains emitted here into single kernels.
 #[allow(clippy::too_many_arguments)]
 pub fn emit_layer(
     g: &mut Graph,
@@ -293,59 +306,69 @@ pub fn emit_layer(
     };
     let tok_shape = vec![batch, seq, h];
     let head_shape = vec![batch, heads, seq, d];
+    let score_shape = vec![batch, heads, seq, seq];
 
     let mm = OpKind::MatMul { trans_b: false, alpha: 1.0 };
 
-    let q0 = act(g, "q0", tok_shape.clone());
-    g.add_node(mm.clone(), vec![x, w.wq], q0);
-    let q = act(g, "q", head_shape.clone());
-    g.add_node(OpKind::AddBiasSplitHeads { heads }, vec![q0, w.bq], q);
+    // Q/K/V projections: matmul → bias → head split.
+    let qkv = |g: &mut Graph, name: &str, wm: TensorId, bm: TensorId| -> TensorId {
+        let p0 = act(g, &format!("{name}0"), tok_shape.clone());
+        g.add_node(mm.clone(), vec![x, wm], p0);
+        let pb = act(g, &format!("{name}b"), tok_shape.clone());
+        g.add_node(OpKind::AddBias, vec![p0, bm], pb);
+        let p = act(g, name, head_shape.clone());
+        g.add_node(OpKind::SplitHeads { heads }, vec![pb], p);
+        p
+    };
+    let q = qkv(g, "q", w.wq, w.bq);
+    let key = qkv(g, "k", w.wk, w.bk);
+    let v = qkv(g, "v", w.wv, w.bv);
 
-    let k0 = act(g, "k0", tok_shape.clone());
-    g.add_node(mm.clone(), vec![x, w.wk], k0);
-    let key = act(g, "k", head_shape.clone());
-    g.add_node(OpKind::AddBiasSplitHeads { heads }, vec![k0, w.bk], key);
-
-    let v0 = act(g, "v0", tok_shape.clone());
-    g.add_node(mm.clone(), vec![x, w.wv], v0);
-    let v = act(g, "v", head_shape.clone());
-    g.add_node(OpKind::AddBiasSplitHeads { heads }, vec![v0, w.bv], v);
-
-    let scores = act(g, "scores", vec![batch, heads, seq, seq]);
+    // Attention scores: scale → (mask) → softmax, emitted separately.
+    let scores = act(g, "scores", score_shape.clone());
     g.add_node(OpKind::MatMul { trans_b: true, alpha: 1.0 }, vec![q, key], scores);
-    let probs = act(g, "probs", vec![batch, heads, seq, seq]);
-    let mut sm_inputs = vec![scores];
-    if let Some(m) = mask {
-        sm_inputs.push(m);
-    }
-    g.add_node(OpKind::ScaleMaskSoftmax { scale: dims.scale() }, sm_inputs, probs);
+    let scaled = act(g, "scores_scaled", score_shape.clone());
+    g.add_node(OpKind::Scale { alpha: dims.scale() }, vec![scores], scaled);
+    let pre_softmax = if let Some(m) = mask {
+        let masked = act(g, "scores_masked", score_shape.clone());
+        g.add_node(OpKind::Mask, vec![scaled, m], masked);
+        masked
+    } else {
+        scaled
+    };
+    let probs = act(g, "probs", score_shape);
+    g.add_node(OpKind::Softmax, vec![pre_softmax], probs);
 
     let ctx = act(g, "ctx", head_shape);
     g.add_node(mm.clone(), vec![probs, v], ctx);
     let merged = act(g, "merged", tok_shape.clone());
     g.add_node(OpKind::MergeHeads, vec![ctx], merged);
 
+    // Output projection epilogue: bias → residual → LayerNorm.
     let attn = act(g, "attn", tok_shape.clone());
     g.add_node(mm.clone(), vec![merged, w.wo], attn);
+    let attn_b = act(g, "attn_biased", tok_shape.clone());
+    g.add_node(OpKind::AddBias, vec![attn, w.bo], attn_b);
+    let sum1 = act(g, "attn_residual", tok_shape.clone());
+    g.add_node(OpKind::Residual, vec![attn_b, x], sum1);
     let x1 = act(g, "x1", tok_shape.clone());
-    g.add_node(
-        OpKind::AddBiasResidualLayerNorm { eps: dims.eps },
-        vec![attn, w.bo, x, w.ln1_gamma, w.ln1_beta],
-        x1,
-    );
+    g.add_node(OpKind::LayerNorm { eps: dims.eps }, vec![sum1, w.ln1_gamma, w.ln1_beta], x1);
 
+    // FFN: bias → GELU, then the second epilogue.
     let inner = act(g, "ffn_inner", vec![batch, seq, dims.ffn_dim]);
     g.add_node(mm.clone(), vec![x1, w.w1], inner);
+    let inner_b = act(g, "ffn_biased", vec![batch, seq, dims.ffn_dim]);
+    g.add_node(OpKind::AddBias, vec![inner, w.b1], inner_b);
     let inner_act = act(g, "ffn_act", vec![batch, seq, dims.ffn_dim]);
-    g.add_node(OpKind::AddBiasGelu, vec![inner, w.b1], inner_act);
+    g.add_node(OpKind::Gelu, vec![inner_b], inner_act);
     let ffn_out = act(g, "ffn_out", tok_shape.clone());
     g.add_node(mm, vec![inner_act, w.w2], ffn_out);
+    let ffn_b = act(g, "ffn_out_biased", tok_shape.clone());
+    g.add_node(OpKind::AddBias, vec![ffn_out, w.b2], ffn_b);
+    let sum2 = act(g, "ffn_residual", tok_shape.clone());
+    g.add_node(OpKind::Residual, vec![ffn_b, x1], sum2);
     let x2 = act(g, "x2", tok_shape);
-    g.add_node(
-        OpKind::AddBiasResidualLayerNorm { eps: dims.eps },
-        vec![ffn_out, w.b2, x1, w.ln2_gamma, w.ln2_beta],
-        x2,
-    );
+    g.add_node(OpKind::LayerNorm { eps: dims.eps }, vec![sum2, w.ln2_gamma, w.ln2_beta], x2);
     x2
 }
 
@@ -404,7 +427,7 @@ mod tests {
     }
 
     #[test]
-    fn graph_emission_matches_expected_op_count() {
+    fn graph_emission_is_fine_grained_and_fuses_to_figure3() {
         let (_store, lw, dims) = setup();
         let mut g = Graph::new();
         let x = g.add_tensor("x", vec![1, 4, dims.hidden()], TensorClass::Activation);
@@ -416,9 +439,17 @@ mod tests {
         emit_layer(&mut g, &w, &dims, 1, 4, x, None, "l0");
         let stats = g.stats();
         assert_eq!(stats.gemm_nodes, 8, "QKV (3) + scores + ctx + output + FFN (2)");
-        assert_eq!(stats.nodes, 16, "8 GEMM + 3 bias-split + softmax + merge + gelu + 2 LN");
+        assert_eq!(stats.nodes, 25, "fine-grained: one node per kernel launch (maskless)");
+        assert!(g.nodes.iter().all(|n| !n.kind.is_fused()), "emission stays fine-grained");
         assert_eq!(bindings.len(), 16);
         g.topo_order();
+
+        // The fusion pass recovers exactly the paper's Fig. 3 layer.
+        let f = tt_graph::fusion::fuse(&g);
+        let fstats = f.stats();
+        assert_eq!(fstats.gemm_nodes, 8);
+        assert_eq!(fstats.nodes, 16, "8 GEMM + 3 bias-split + softmax + merge + gelu + 2 LN");
+        assert_eq!(f.nodes.iter().filter(|n| n.kind.is_fused()).count(), 7);
     }
 
     #[test]
@@ -432,7 +463,19 @@ mod tests {
         let h1 = emit_layer(&mut g, &w, &dims, 1, 4, x, None, "l0");
         let _h2 = emit_layer(&mut g, &w, &dims, 1, 4, h1, None, "l1");
         assert_eq!(bindings.len(), 16, "weights declared once");
-        assert_eq!(g.stats().nodes, 32, "two emissions of 16 nodes");
+        assert_eq!(g.stats().nodes, 50, "two fine-grained emissions of 25 nodes");
+        assert_eq!(tt_graph::fusion::fuse(&g).stats().nodes, 32, "two fused layers of 16");
         g.topo_order();
+    }
+
+    #[test]
+    fn layer_program_reports_fusion_savings() {
+        let dims = tiny_dims();
+        let masked = encoder_layer_program(&dims, 2, 4, true);
+        assert_eq!(masked.nodes(), 16);
+        assert_eq!(masked.fused_ops(), 7);
+        assert_eq!(masked.elided_passes(), 10, "26 fine-grained kernels became 16");
+        let maskless = encoder_layer_program(&dims, 2, 4, false);
+        assert_eq!(maskless.elided_passes(), 9, "25 fine-grained kernels became 16");
     }
 }

@@ -13,10 +13,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use tt_alloc::{KvError, KvSeq, PagedKvArena, PagedKvConfig};
+use tt_graph::{Graph, OpKind, TensorClass};
 use tt_kernels as k;
-use tt_tensor::{sgemm, GemmSpec};
+use tt_tensor::Trans;
 
-use crate::weights::{WeightInit, WeightStore};
+use crate::program::Program;
+use crate::weights::{int8_enabled, WeightInit, WeightStore};
 
 /// GPT hyper-parameters.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -135,6 +137,86 @@ impl GptState {
     }
 }
 
+/// P1 — `ln1(x)` projected to Q, K, V for one token (m = 1). The AddBias
+/// outputs are program outputs, so the pass correctly leaves them unfused.
+fn compile_qkv_program(h: usize, eps: f32) -> Program {
+    let mut g = Graph::new();
+    let x = g.add_tensor("x", vec![1, h], TensorClass::Input);
+    let gamma = g.add_tensor("ln1_gamma", vec![h], TensorClass::Weight);
+    let beta = g.add_tensor("ln1_beta", vec![h], TensorClass::Weight);
+    let normed = g.add_tensor("normed", vec![1, h], TensorClass::Activation);
+    g.add_node(OpKind::LayerNorm { eps }, vec![x, gamma, beta], normed);
+    let mut weights = vec![gamma, beta];
+    let mut outs = Vec::new();
+    for name in ["q", "k", "v"] {
+        let w = g.add_tensor(format!("w{name}"), vec![h, h], TensorClass::Weight);
+        let b = g.add_tensor(format!("b{name}"), vec![h], TensorClass::Weight);
+        let raw = g.add_tensor(format!("{name}_raw"), vec![1, h], TensorClass::Activation);
+        let out = g.add_tensor(name, vec![1, h], TensorClass::Output);
+        g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![normed, w], raw);
+        g.add_node(OpKind::AddBias, vec![raw, b], out);
+        weights.extend([w, b]);
+        outs.push(out);
+    }
+    Program::compile(&g, &weights, &[x], &outs)
+}
+
+/// P2 — everything after attention: output projection, first residual, and
+/// the FFN with its residual. Pre-LN means the first residual's output has
+/// *two* consumers (`ln2` and the final residual), so the pass must *not*
+/// emit AddBiasResidualLayerNorm here — only the FFN's bias+GELU fuses.
+fn compile_post_program(h: usize, ffn: usize, eps: f32) -> Program {
+    let mut g = Graph::new();
+    let attn = g.add_tensor("attn", vec![1, h], TensorClass::Input);
+    let x = g.add_tensor("x", vec![1, h], TensorClass::Input);
+    let wo = g.add_tensor("wo", vec![h, h], TensorClass::Weight);
+    let bo = g.add_tensor("bo", vec![h], TensorClass::Weight);
+    let gamma = g.add_tensor("ln2_gamma", vec![h], TensorClass::Weight);
+    let beta = g.add_tensor("ln2_beta", vec![h], TensorClass::Weight);
+    let w1 = g.add_tensor("w1", vec![h, ffn], TensorClass::Weight);
+    let b1 = g.add_tensor("b1", vec![ffn], TensorClass::Weight);
+    let w2 = g.add_tensor("w2", vec![ffn, h], TensorClass::Weight);
+    let b2 = g.add_tensor("b2", vec![h], TensorClass::Weight);
+
+    let o_raw = g.add_tensor("o_raw", vec![1, h], TensorClass::Activation);
+    g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![attn, wo], o_raw);
+    let o = g.add_tensor("o", vec![1, h], TensorClass::Activation);
+    g.add_node(OpKind::AddBias, vec![o_raw, bo], o);
+    let x1 = g.add_tensor("x1", vec![1, h], TensorClass::Activation);
+    g.add_node(OpKind::Residual, vec![o, x], x1);
+    let n2 = g.add_tensor("n2", vec![1, h], TensorClass::Activation);
+    g.add_node(OpKind::LayerNorm { eps }, vec![x1, gamma, beta], n2);
+    let i_raw = g.add_tensor("ffn_raw", vec![1, ffn], TensorClass::Activation);
+    g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![n2, w1], i_raw);
+    let i_bias = g.add_tensor("ffn_bias", vec![1, ffn], TensorClass::Activation);
+    g.add_node(OpKind::AddBias, vec![i_raw, b1], i_bias);
+    let i_act = g.add_tensor("ffn_act", vec![1, ffn], TensorClass::Activation);
+    g.add_node(OpKind::Gelu, vec![i_bias], i_act);
+    let f_raw = g.add_tensor("f_raw", vec![1, h], TensorClass::Activation);
+    g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![i_act, w2], f_raw);
+    let f = g.add_tensor("f", vec![1, h], TensorClass::Activation);
+    g.add_node(OpKind::AddBias, vec![f_raw, b2], f);
+    let y = g.add_tensor("y", vec![1, h], TensorClass::Output);
+    g.add_node(OpKind::Residual, vec![f, x1], y);
+    Program::compile(&g, &[wo, bo, gamma, beta, w1, b1, w2, b2], &[attn, x], &[y])
+}
+
+/// P3 — final LayerNorm + tied-embedding projection. The `trans_b` GEMM
+/// over `tok_emb` `[vocab, h]` replaces the old scalar vocab loop: it rides
+/// the dispatched dot kernel, and the int8 sidecar when quantized.
+fn compile_lm_program(h: usize, vocab: usize, eps: f32) -> Program {
+    let mut g = Graph::new();
+    let x = g.add_tensor("x", vec![1, h], TensorClass::Input);
+    let gamma = g.add_tensor("ln_f_gamma", vec![h], TensorClass::Weight);
+    let beta = g.add_tensor("ln_f_beta", vec![h], TensorClass::Weight);
+    let emb = g.add_tensor("tok_emb", vec![vocab, h], TensorClass::Weight);
+    let normed = g.add_tensor("final_normed", vec![1, h], TensorClass::Activation);
+    g.add_node(OpKind::LayerNorm { eps }, vec![x, gamma, beta], normed);
+    let logits = g.add_tensor("logits", vec![1, vocab], TensorClass::Output);
+    g.add_node(OpKind::MatMul { trans_b: true, alpha: 1.0 }, vec![normed, emb], logits);
+    Program::compile(&g, &[gamma, beta, emb], &[x], &[logits])
+}
+
 /// The model.
 #[derive(Debug)]
 pub struct Gpt {
@@ -143,13 +225,19 @@ pub struct Gpt {
     store: WeightStore,
     tok_emb: usize,
     pos_emb: usize,
-    ln_f_gamma: usize,
-    ln_f_beta: usize,
     blocks: Vec<BlockWeights>,
+    p_qkv: Program,
+    p_post: Program,
+    p_lm: Program,
+    qkv_tables: Vec<Vec<usize>>,
+    post_tables: Vec<Vec<usize>>,
+    lm_table: Vec<usize>,
 }
 
 impl Gpt {
-    /// Build a GPT with seeded random weights.
+    /// Build a GPT with seeded random weights. Decode-step programs are
+    /// compiled once here (m = 1 shapes are fixed), and if `TT_GEMM_INT8`
+    /// is set the weight GEMM operands get int8 sidecars immediately.
     pub fn new_random(config: &GptConfig, seed: u64) -> Self {
         let mut store = WeightStore::new();
         let mut init = WeightInit::new(seed);
@@ -158,15 +246,88 @@ impl Gpt {
         let pos_emb = store.push(init.embedding(config.max_position, h));
         let ln_f_gamma = store.push(init.gamma(h));
         let ln_f_beta = store.push(init.beta(h));
-        let blocks = (0..config.num_layers)
+        let blocks: Vec<BlockWeights> = (0..config.num_layers)
             .map(|_| BlockWeights::create(&mut store, &mut init, h, config.ffn_dim))
             .collect();
-        Gpt { config: config.clone(), store, tok_emb, pos_emb, ln_f_gamma, ln_f_beta, blocks }
+        let qkv_tables = blocks
+            .iter()
+            .map(|b| vec![b.ln1_gamma, b.ln1_beta, b.wq, b.bq, b.wk, b.bk, b.wv, b.bv])
+            .collect();
+        let post_tables = blocks
+            .iter()
+            .map(|b| vec![b.wo, b.bo, b.ln2_gamma, b.ln2_beta, b.w1, b.b1, b.w2, b.b2])
+            .collect();
+        let mut gpt = Gpt {
+            config: config.clone(),
+            store,
+            tok_emb,
+            pos_emb,
+            blocks,
+            p_qkv: compile_qkv_program(h, config.layer_norm_eps),
+            p_post: compile_post_program(h, config.ffn_dim, config.layer_norm_eps),
+            p_lm: compile_lm_program(h, config.vocab_size, config.layer_norm_eps),
+            qkv_tables,
+            post_tables,
+            lm_table: vec![ln_f_gamma, ln_f_beta, tok_emb],
+        };
+        if int8_enabled() {
+            gpt.quantize_int8();
+        }
+        gpt
     }
 
     /// Total parameter bytes.
     pub fn param_bytes(&self) -> usize {
         self.store.bytes()
+    }
+
+    /// Attach int8 sidecars (per-output-channel scales, f32 accumulate) to
+    /// every 2-D weight GEMM operand: the six projection matrices per block
+    /// and the tied-embedding lm head. Decode-step GEMVs then move a
+    /// quarter of the weight bytes. Biases and LayerNorm parameters stay
+    /// f32 — they are O(h), not worth the accuracy cost.
+    pub fn quantize_int8(&mut self) {
+        for i in 0..self.blocks.len() {
+            let bw = self.blocks[i];
+            for w in [bw.wq, bw.wk, bw.wv, bw.wo, bw.w1, bw.w2] {
+                self.store.quantize(w, Trans::No);
+            }
+        }
+        self.store.quantize(self.tok_emb, Trans::Yes);
+    }
+
+    /// True once [`quantize_int8`](Self::quantize_int8) has run.
+    pub fn is_quantized(&self) -> bool {
+        self.store.quantized_count() > 0
+    }
+
+    /// Switch between the fused programs and their decomposed (fine-grained)
+    /// twins. `set_fused(false)` is the numerical reference for the
+    /// fused/unfused identity tests and the un-fused benchmark baseline.
+    pub fn set_fused(&mut self, fused: bool) {
+        if fused {
+            let cfg = &self.config;
+            let h = cfg.model_dim();
+            self.p_qkv = compile_qkv_program(h, cfg.layer_norm_eps);
+            self.p_post = compile_post_program(h, cfg.ffn_dim, cfg.layer_norm_eps);
+            self.p_lm = compile_lm_program(h, cfg.vocab_size, cfg.layer_norm_eps);
+        } else {
+            self.p_qkv = self.p_qkv.decomposed();
+            self.p_post = self.p_post.decomposed();
+            self.p_lm = self.p_lm.decomposed();
+        }
+    }
+
+    /// Fused kernels issued per decode step (all layers + lm head).
+    pub fn fused_ops_per_step(&self) -> usize {
+        self.config.num_layers * (self.p_qkv.fused_ops() + self.p_post.fused_ops())
+            + self.p_lm.fused_ops()
+    }
+
+    /// Memory-bound passes the fusion pass removed per decode step.
+    pub fn elided_passes_per_step(&self) -> usize {
+        self.config.num_layers * (self.p_qkv.elided_passes() + self.p_post.elided_passes())
+            + self.p_lm.elided_passes()
     }
 
     /// Fresh generation state.
@@ -185,85 +346,27 @@ impl Gpt {
         (0..h).map(|i| tok[token as usize * h + i] + pos[t * h + i]).collect()
     }
 
-    /// `src · W + b` for a single row.
-    fn proj(&self, w: usize, b: usize, src: &[f32]) -> Vec<f32> {
-        let h = self.config.model_dim();
-        let mut out = vec![0.0f32; h];
-        // m = 1: sgemm routes this to its unpacked gemv-style thin path,
-        // streaming the weight matrix exactly once.
-        sgemm(GemmSpec::nn(1, h, h), src, self.store.get(w).as_slice(), &mut out);
-        k::add_bias(1, h, &mut out, self.store.get(b).as_slice());
-        out
-    }
-
     /// Pre-LN attention input: `ln1(x)` projected to Q, K, V — each laid
-    /// out `[head][head_dim]` contiguously.
-    fn qkv(&self, bw: &BlockWeights, x: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
-        let h = self.config.model_dim();
-        let mut normed = vec![0.0f32; h];
-        k::layer_norm(
-            1,
-            h,
-            x,
-            self.store.get(bw.ln1_gamma).as_slice(),
-            self.store.get(bw.ln1_beta).as_slice(),
-            self.config.layer_norm_eps,
-            &mut normed,
-        );
-        (
-            self.proj(bw.wq, bw.bq, &normed),
-            self.proj(bw.wk, bw.bk, &normed),
-            self.proj(bw.wv, bw.bv, &normed),
-        )
+    /// out `[head][head_dim]` contiguously. Runs the compiled P1 program.
+    fn qkv(&self, li: usize, x: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut outs = self.p_qkv.run(&self.store, &self.qkv_tables[li], &[x]);
+        let v = outs.pop().expect("v output");
+        let kk = outs.pop().expect("k output");
+        let q = outs.pop().expect("q output");
+        (q, kk, v)
     }
 
-    /// Pre-LN FFN residual delta: `ffn(ln2(x))` (caller adds it to `x`).
-    fn ffn_delta(&self, bw: &BlockWeights, x: &[f32]) -> Vec<f32> {
-        let cfg = &self.config;
-        let h = cfg.model_dim();
-        let mut normed = vec![0.0f32; h];
-        k::layer_norm(
-            1,
-            h,
-            x,
-            self.store.get(bw.ln2_gamma).as_slice(),
-            self.store.get(bw.ln2_beta).as_slice(),
-            cfg.layer_norm_eps,
-            &mut normed,
-        );
-        let mut inner = vec![0.0f32; cfg.ffn_dim];
-        sgemm(
-            GemmSpec::nn(1, h, cfg.ffn_dim),
-            &normed,
-            self.store.get(bw.w1).as_slice(),
-            &mut inner,
-        );
-        k::add_bias_gelu(1, cfg.ffn_dim, &mut inner, self.store.get(bw.b1).as_slice());
-        let mut out = vec![0.0f32; h];
-        sgemm(GemmSpec::nn(1, cfg.ffn_dim, h), &inner, self.store.get(bw.w2).as_slice(), &mut out);
-        k::add_bias(1, h, &mut out, self.store.get(bw.b2).as_slice());
-        out
+    /// Everything after attention for block `li`: output projection +
+    /// residual, then the pre-LN FFN + residual (compiled P2 program).
+    fn post_attn_ffn(&self, li: usize, attn: &[f32], x: &[f32]) -> Vec<f32> {
+        self.p_post.run(&self.store, &self.post_tables[li], &[attn, x]).pop().expect("block output")
     }
 
     /// Final LN + tied-embedding projection (GPT-2 ties output weights to
-    /// the token embedding).
+    /// the token embedding) — compiled P3 program, whose `trans_b` GEMM
+    /// takes the dispatched dot/int8 path instead of a scalar vocab loop.
     fn lm_logits(&self, x: &[f32]) -> Vec<f32> {
-        let cfg = &self.config;
-        let h = cfg.model_dim();
-        let mut normed = vec![0.0f32; h];
-        k::layer_norm(
-            1,
-            h,
-            x,
-            self.store.get(self.ln_f_gamma).as_slice(),
-            self.store.get(self.ln_f_beta).as_slice(),
-            cfg.layer_norm_eps,
-            &mut normed,
-        );
-        let emb = self.store.get(self.tok_emb).as_slice();
-        (0..cfg.vocab_size)
-            .map(|v| normed.iter().zip(&emb[v * h..(v + 1) * h]).map(|(a, b)| a * b).sum())
-            .collect()
+        self.p_lm.run(&self.store, &self.lm_table, &[x]).pop().expect("logits output")
     }
 
     /// Feed one token; returns the `[vocab]` logits for the next position
@@ -276,9 +379,9 @@ impl Gpt {
         let mut x = self.embed(token, t);
 
         let scale = 1.0 / (d as f32).sqrt();
-        for (li, bw) in self.blocks.iter().enumerate() {
+        for li in 0..self.blocks.len() {
             // Pre-LN attention: x += attn(ln1(x)).
-            let (q, knew, vnew) = self.qkv(bw, &x);
+            let (q, knew, vnew) = self.qkv(li, &x);
 
             // Grow the cache to [head][t+1][d].
             let cache = &mut state.caches[li];
@@ -317,16 +420,9 @@ impl Gpt {
                     }
                 }
             }
-            let o = self.proj(bw.wo, bw.bo, &attn);
-            for (xi, oi) in x.iter_mut().zip(o.iter()) {
-                *xi += oi;
-            }
-
-            // Pre-LN FFN: x += ffn(ln2(x)).
-            let f = self.ffn_delta(bw, &x);
-            for (xi, fi) in x.iter_mut().zip(f.iter()) {
-                *xi += fi;
-            }
+            // Output projection + residual, then pre-LN FFN + residual —
+            // one compiled program (the bias+GELU fuses in the pass).
+            x = self.post_attn_ffn(li, &attn, &x);
         }
         state.steps += 1;
         self.lm_logits(&x)
@@ -370,9 +466,9 @@ impl Gpt {
         let mut x = self.embed(token, pos);
 
         let scale = 1.0 / (d as f32).sqrt();
-        for (li, bw) in self.blocks.iter().enumerate() {
+        for li in 0..self.blocks.len() {
             // Pre-LN attention: x += attn(ln1(x)), K/V through the page table.
-            let (q, knew, vnew) = self.qkv(bw, &x);
+            let (q, knew, vnew) = self.qkv(li, &x);
             arena.write(seq, li, pos, &knew, &vnew)?;
 
             let mut attn = vec![0.0f32; h];
@@ -394,16 +490,8 @@ impl Gpt {
                     }
                 }
             }
-            let o = self.proj(bw.wo, bw.bo, &attn);
-            for (xi, oi) in x.iter_mut().zip(o.iter()) {
-                *xi += oi;
-            }
-
-            // Pre-LN FFN: x += ffn(ln2(x)).
-            let f = self.ffn_delta(bw, &x);
-            for (xi, fi) in x.iter_mut().zip(f.iter()) {
-                *xi += fi;
-            }
+            // Output projection + residual, then pre-LN FFN + residual.
+            x = self.post_attn_ffn(li, &attn, &x);
         }
         Ok(self.lm_logits(&x))
     }
@@ -650,5 +738,97 @@ mod tests {
         let params = m.param_bytes() / 4;
         // GPT-2 small ≈ 124 M parameters (with tied output embedding).
         assert!((100_000_000..160_000_000).contains(&params), "params {params}");
+    }
+
+    #[test]
+    fn programs_report_pre_ln_fusion_shape() {
+        // Pre-LN blocks the bias+residual+LN epilogue (the first residual's
+        // output feeds both ln2 and the final residual), so exactly one
+        // fusion fires per block: the FFN's bias+GELU.
+        let cfg = GptConfig::tiny();
+        let m = Gpt::new_random(&cfg, 30);
+        assert_eq!(m.p_qkv.fused_ops(), 0);
+        assert_eq!(m.p_post.fused_ops(), 1);
+        assert_eq!(m.p_post.elided_passes(), 1);
+        assert_eq!(m.p_lm.fused_ops(), 0);
+        let names = m.p_post.op_names().join(" ");
+        assert!(names.contains("AddBiasGelu"), "bias+GELU must fuse: {names}");
+        assert!(
+            !names.contains("AddBiasResidualLayerNorm"),
+            "pre-LN must not fuse the residual epilogue: {names}"
+        );
+        assert_eq!(m.fused_ops_per_step(), cfg.num_layers);
+        assert_eq!(m.elided_passes_per_step(), cfg.num_layers);
+    }
+
+    #[test]
+    fn fused_forward_matches_decomposed_within_1e5() {
+        // e2e pin: fused programs vs their decomposed twins, over prefill
+        // (paged) and several decode steps.
+        let cfg = GptConfig::tiny();
+        let fused = Gpt::new_random(&cfg, 31);
+        let mut unfused = Gpt::new_random(&cfg, 31);
+        unfused.set_fused(false);
+        assert_eq!(unfused.fused_ops_per_step(), 0);
+        // The decomposed twin executes every fine-grained pass again.
+        assert_eq!(unfused.elided_passes_per_step(), 0);
+        assert!(unfused.p_post.nodes() > fused.p_post.nodes());
+
+        let prompt = [3u32, 17, 5, 9];
+        let mut arena_f = PagedKvArena::new(fused.kv_config(2, 16));
+        let mut arena_u = PagedKvArena::new(unfused.kv_config(2, 16));
+        let sf = arena_f.admit(4).unwrap();
+        let su = arena_u.admit(4).unwrap();
+        let mut lf = fused.prefill_paged(&mut arena_f, sf, &prompt).unwrap();
+        let mut lu = unfused.prefill_paged(&mut arena_u, su, &prompt).unwrap();
+        for _ in 0..3 {
+            for (a, b) in lf.iter().zip(&lu) {
+                assert!((a - b).abs() < 1e-5, "fused {a} vs unfused {b}");
+            }
+            let next = tt_tensor::ops::argmax(&lf).unwrap() as u32;
+            lf = fused.step_paged(&mut arena_f, sf, next).unwrap();
+            lu = unfused.step_paged(&mut arena_u, su, next).unwrap();
+        }
+    }
+
+    #[test]
+    fn int8_decode_tracks_f32_within_documented_tolerance() {
+        // Weight-only int8 with per-channel scales: per-GEMM relative error
+        // ≤ 0.5/127 ≈ 0.4 % of the channel's max weight (see
+        // docs/KERNELS.md). Through a 2-layer tiny model the logits stay
+        // within 0.1 abs of f32 — and must actually differ (sidecar used).
+        let cfg = GptConfig::tiny();
+        let f32_model = Gpt::new_random(&cfg, 32);
+        let mut q8_model = Gpt::new_random(&cfg, 32);
+        q8_model.quantize_int8();
+        assert!(q8_model.is_quantized());
+        assert!(!f32_model.is_quantized());
+
+        let tokens = [4u32, 9, 13, 2, 7];
+        let mut st_f = f32_model.init_state();
+        let mut st_q = q8_model.init_state();
+        let mut max_diff = 0.0f32;
+        for &t in &tokens {
+            let lf = f32_model.step(&mut st_f, t);
+            let lq = q8_model.step(&mut st_q, t);
+            for (a, b) in lf.iter().zip(&lq) {
+                max_diff = max_diff.max((a - b).abs());
+            }
+        }
+        assert!(max_diff > 0.0, "quantized path must actually run");
+        assert!(max_diff < 0.1, "int8 drift {max_diff} exceeds documented tolerance");
+    }
+
+    #[test]
+    fn quantization_preserves_greedy_argmax_on_tiny() {
+        // Not guaranteed in general, but on this seeded tiny model the
+        // int8 logit drift is far below the argmax margin — a regression
+        // here means the scale scheme broke, not that the property is deep.
+        let cfg = GptConfig::tiny();
+        let a = Gpt::new_random(&cfg, 33).generate_greedy(&[1, 2, 3], 6);
+        let mut q = Gpt::new_random(&cfg, 33);
+        q.quantize_int8();
+        let b = q.generate_greedy(&[1, 2, 3], 6);
+        assert_eq!(a, b);
     }
 }

@@ -34,11 +34,13 @@ pub mod checkpoint;
 pub mod decoder;
 pub mod encoder_layer;
 pub mod gpt;
+pub mod program;
 pub mod seq2seq;
 pub mod tokenizer;
 pub mod weights;
 
 pub use bound::{BoundGraph, InputBinding};
+pub use program::Program;
 
 use tt_tensor::Tensor;
 

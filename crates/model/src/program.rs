@@ -1,0 +1,422 @@
+//! Compiled layer programs — the model-side client of the graph fusion
+//! pass (paper §4.1.1).
+//!
+//! A [`Program`] is a small IR: the model emits one **fine-grained** op
+//! sequence per layer (one node per kernel a training framework would
+//! launch), [`compile`](Program::compile) runs `tt_graph::fusion::fuse`
+//! over it, and execution issues the surviving (fused) nodes in
+//! topological order. The forward paths of `bert.rs` / `gpt.rs` therefore
+//! get their bias+GELU, bias+residual+LayerNorm and scale+mask+softmax
+//! collapses from the *pass*, not from hand-wired kernel calls — and every
+//! program knows exactly how many memory-bound passes the pass elided
+//! ([`Program::elided_passes`]).
+//!
+//! GEMM nodes whose second operand is a 2-D weight consult the
+//! [`WeightStore`]'s int8 sidecar ([`tt_tensor::Q8Matrix`]): when present
+//! (and its layout matches the node's transpose flag), the node runs
+//! through `sgemm_q8` — per-output-channel scales, f32 accumulate, a
+//! quarter of the weight traffic on the bandwidth-bound decode GEMVs.
+
+use tt_graph::{fusion, Graph, Node, NodeId, OpKind, TensorClass, TensorId};
+use tt_kernels as k;
+use tt_tensor::{batched_sgemm, sgemm, sgemm_q8, GemmSpec, Q8Matrix, Trans};
+
+use crate::weights::WeightStore;
+
+/// A fused, topologically ordered op sequence with named parameter slots.
+///
+/// Weights are *slots*, not store indices: the same compiled program runs
+/// every layer of a model by passing a different weight-index table to
+/// [`run`](Program::run) (ALBERT-style sharing falls out for free).
+#[derive(Debug, Clone)]
+pub struct Program {
+    graph: Graph,
+    order: Vec<NodeId>,
+    weight_slots: Vec<TensorId>,
+    input_slots: Vec<TensorId>,
+    output_slots: Vec<TensorId>,
+    fine_nodes: usize,
+}
+
+impl Program {
+    /// Compile a fine-grained graph: run the fusion pass, re-derive the
+    /// topological order, and re-locate the declared weight/input/output
+    /// tensors (by name — the pass only drops anonymous intermediates).
+    ///
+    /// `weights`, `inputs` and `outputs` are tensor ids *in the fine
+    /// graph*; their order defines the slot order `run` expects.
+    pub fn compile(
+        fine: &Graph,
+        weights: &[TensorId],
+        inputs: &[TensorId],
+        outputs: &[TensorId],
+    ) -> Program {
+        let graph = fusion::fuse(fine);
+        let relocate = |ids: &[TensorId], what: &str| -> Vec<TensorId> {
+            ids.iter()
+                .map(|&t| {
+                    let name = &fine.tensors[t].name;
+                    graph
+                        .tensors
+                        .iter()
+                        .position(|ti| &ti.name == name)
+                        .unwrap_or_else(|| panic!("{what} tensor {name} lost in fusion"))
+                })
+                .collect()
+        };
+        let weight_slots = relocate(weights, "weight");
+        let input_slots = relocate(inputs, "input");
+        let output_slots = relocate(outputs, "output");
+        let order = graph.topo_order();
+        Program {
+            graph,
+            order,
+            weight_slots,
+            input_slots,
+            output_slots,
+            fine_nodes: fine.nodes.len(),
+        }
+    }
+
+    /// The unfused twin: every fused kernel expanded back into its
+    /// fine-grained constituents (`tt_graph::fusion::decompose`). Slot
+    /// bindings carry over — decomposition only *adds* intermediate
+    /// tensors. This is the numerical reference the fused/unfused identity
+    /// tests pin against, and the PyTorch-like baseline for benchmarks.
+    pub fn decomposed(&self) -> Program {
+        let graph = fusion::decompose(&self.graph);
+        let order = graph.topo_order();
+        Program {
+            order,
+            graph,
+            weight_slots: self.weight_slots.clone(),
+            input_slots: self.input_slots.clone(),
+            output_slots: self.output_slots.clone(),
+            fine_nodes: self.fine_nodes,
+        }
+    }
+
+    /// Nodes issued per run (post-fusion).
+    pub fn nodes(&self) -> usize {
+        self.graph.nodes.len()
+    }
+
+    /// Fused custom kernels in the compiled stream.
+    pub fn fused_ops(&self) -> usize {
+        self.graph.nodes.iter().filter(|n| n.kind.is_fused()).count()
+    }
+
+    /// Memory-bound passes the fusion pass removed (fine-grained node
+    /// count minus compiled node count).
+    pub fn elided_passes(&self) -> usize {
+        self.fine_nodes - self.graph.nodes.len()
+    }
+
+    /// Number of weight slots `run` expects.
+    pub fn weight_slot_count(&self) -> usize {
+        self.weight_slots.len()
+    }
+
+    /// Op-kind debug names in execution order (for tests and trace
+    /// attribution).
+    pub fn op_names(&self) -> Vec<String> {
+        self.order.iter().map(|&i| format!("{:?}", self.graph.nodes[i].kind)).collect()
+    }
+
+    /// Execute the program. `weight_table[slot]` is the store index bound
+    /// to weight slot `slot`; `inputs` follow the compiled input-slot
+    /// order. Returns one buffer per output slot.
+    pub fn run(
+        &self,
+        store: &WeightStore,
+        weight_table: &[usize],
+        inputs: &[&[f32]],
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(weight_table.len(), self.weight_slots.len(), "weight table arity");
+        assert_eq!(inputs.len(), self.input_slots.len(), "input arity");
+        let widx = |t: TensorId| -> usize {
+            let slot = self.weight_slots.iter().position(|&w| w == t).unwrap_or_else(|| {
+                panic!("weight tensor {} has no slot", self.graph.tensors[t].name)
+            });
+            weight_table[slot]
+        };
+
+        let mut bufs: Vec<Option<Vec<f32>>> = vec![None; self.graph.tensors.len()];
+        for &nid in &self.order {
+            let node = &self.graph.nodes[nid];
+            let ins: Vec<&[f32]> =
+                node.inputs
+                    .iter()
+                    .map(|&t| match self.graph.tensors[t].class {
+                        TensorClass::Weight => store.get(widx(t)).as_slice(),
+                        TensorClass::Input => {
+                            let pos = self.input_slots.iter().position(|&i| i == t).unwrap_or_else(
+                                || panic!("unbound input {}", self.graph.tensors[t].name),
+                            );
+                            inputs[pos]
+                        }
+                        TensorClass::Activation | TensorClass::Output => {
+                            bufs[t].as_deref().unwrap_or_else(|| {
+                                panic!("tensor {} read before write", self.graph.tensors[t].name)
+                            })
+                        }
+                    })
+                    .collect();
+            // int8 sidecar lookup for weight GEMMs.
+            let quant = match &node.kind {
+                OpKind::MatMul { .. }
+                    if self.graph.tensors[node.inputs[1]].class == TensorClass::Weight =>
+                {
+                    store.quant(widx(node.inputs[1]))
+                }
+                _ => None,
+            };
+            let mut out = vec![0.0f32; self.graph.tensors[node.output].elements()];
+            exec(&self.graph, node, &ins, quant, &mut out);
+            drop(ins);
+            bufs[node.output] = Some(out);
+        }
+        self.output_slots
+            .iter()
+            .map(|&t| {
+                bufs[t].take().unwrap_or_else(|| {
+                    panic!("output {} never produced", self.graph.tensors[t].name)
+                })
+            })
+            .collect()
+    }
+}
+
+/// Execute one node. Mirrors `tt-runtime`'s executor dispatch (the two are
+/// kept semantically identical by the cross-checking tests in
+/// `tt-runtime`), plus the int8 weight path.
+fn exec(graph: &Graph, node: &Node, ins: &[&[f32]], quant: Option<&Q8Matrix>, out: &mut [f32]) {
+    let shape_of = |i: usize| -> &[usize] { &graph.tensors[node.inputs[i]].shape };
+    let out_shape: &[usize] = &graph.tensors[node.output].shape;
+
+    match &node.kind {
+        OpKind::MatMul { trans_b, alpha } => {
+            let a = shape_of(0);
+            let b = shape_of(1);
+            if b.len() == 2 {
+                // 2-D weight: `[k, n]`, or `[n, k]` with trans_b (the
+                // tied-embedding lm head).
+                let m: usize = a[..a.len() - 1].iter().product();
+                let kk = a[a.len() - 1];
+                let (tb, n) = if *trans_b { (Trans::Yes, b[0]) } else { (Trans::No, b[1]) };
+                if let Some(q) = quant {
+                    if q.trans() == tb && q.k == kk && q.n == n {
+                        sgemm_q8(m, *alpha, ins[0], q, out);
+                        return;
+                    }
+                }
+                let spec = GemmSpec { m, k: kk, n, ta: Trans::No, tb, alpha: *alpha, beta: 0.0 };
+                sgemm(spec, ins[0], ins[1], out);
+            } else {
+                let batch = a[0] * a[1];
+                let (m, kk) = (a[2], a[3]);
+                let (tb, n) = if *trans_b { (Trans::Yes, b[2]) } else { (Trans::No, b[3]) };
+                let spec = GemmSpec { m, k: kk, n, ta: Trans::No, tb, alpha: *alpha, beta: 0.0 };
+                batched_sgemm(batch, spec, ins[0], ins[1], out);
+            }
+        }
+        OpKind::AddBias => {
+            let cols = *out_shape.last().expect("rank >= 1");
+            out.copy_from_slice(ins[0]);
+            k::add_bias(out.len() / cols, cols, out, ins[1]);
+        }
+        OpKind::Gelu => {
+            out.copy_from_slice(ins[0]);
+            k::gelu(out);
+        }
+        OpKind::AddBiasGelu => {
+            let cols = *out_shape.last().expect("rank >= 1");
+            out.copy_from_slice(ins[0]);
+            k::add_bias_gelu(out.len() / cols, cols, out, ins[1]);
+        }
+        OpKind::SplitHeads { heads } => {
+            let (b, s) = (shape_of(0)[0], shape_of(0)[1]);
+            let d = out_shape[3];
+            k::split_heads(b, s, *heads, d, ins[0], out);
+        }
+        OpKind::AddBiasSplitHeads { heads } => {
+            let (b, s) = (shape_of(0)[0], shape_of(0)[1]);
+            let d = out_shape[3];
+            k::add_bias_split_heads(b, s, *heads, d, ins[0], ins[1], out);
+        }
+        OpKind::MergeHeads => {
+            let src = shape_of(0); // [b, h, s, d]
+            k::merge_heads(src[0], src[2], src[1], src[3], ins[0], out);
+        }
+        OpKind::Scale { alpha } => {
+            for (o, &x) in out.iter_mut().zip(ins[0]) {
+                *o = x * alpha;
+            }
+        }
+        OpKind::Mask => {
+            // scores [b, h, sq, sk] + mask [b, sk].
+            let s = shape_of(0);
+            let (b, h, sq, sk) = (s[0], s[1], s[2], s[3]);
+            for ((row, o_row), i_row) in
+                (0..b * h * sq).zip(out.chunks_mut(sk)).zip(ins[0].chunks(sk))
+            {
+                let bi = row / (h * sq);
+                let mrow = &ins[1][bi * sk..(bi + 1) * sk];
+                for ((o, &x), &m) in o_row.iter_mut().zip(i_row).zip(mrow) {
+                    *o = x + m;
+                }
+            }
+        }
+        OpKind::Softmax => {
+            let len = *out_shape.last().expect("rank >= 1");
+            out.copy_from_slice(ins[0]);
+            k::softmax_rows(out.len() / len, len, out);
+        }
+        OpKind::ScaleMaskSoftmax { scale } => {
+            let s = shape_of(0);
+            let sk = *s.last().expect("rank >= 1");
+            out.copy_from_slice(ins[0]);
+            if s.len() == 4 {
+                k::scale_mask_softmax(s[0], s[1], s[2], sk, *scale, ins.get(1).copied(), out);
+            } else {
+                assert!(ins.len() == 1, "mask requires [b, h, sq, sk] scores");
+                tt_tensor::ops::scale_inplace(out, *scale);
+                k::softmax_rows(out.len() / sk.max(1), sk, out);
+            }
+        }
+        OpKind::Residual => {
+            out.copy_from_slice(ins[0]);
+            k::residual_add(out, ins[1]);
+        }
+        OpKind::LayerNorm { eps } => {
+            let hidden = *out_shape.last().expect("rank >= 1");
+            k::layer_norm(out.len() / hidden, hidden, ins[0], ins[1], ins[2], *eps, out);
+        }
+        OpKind::AddBiasResidualLayerNorm { eps } => {
+            let hidden = *out_shape.last().expect("rank >= 1");
+            k::add_bias_residual_layer_norm(
+                out.len() / hidden,
+                hidden,
+                ins[0],
+                ins[1],
+                ins[2],
+                ins[3],
+                ins[4],
+                *eps,
+                out,
+            );
+        }
+        OpKind::Embedding => {
+            let ids_shape = shape_of(0);
+            let (b, s) = (ids_shape[0], ids_shape[1]);
+            let hidden = *out_shape.last().expect("rank >= 1");
+            let ids: Vec<u32> = ins[0].iter().map(|&v| v as u32).collect();
+            k::embed(b, s, hidden, &ids, ins[1], ins[2], None, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_graph::TensorClass::{Activation, Input, Output, Weight};
+    use tt_tensor::Tensor;
+
+    /// x·W + b → GELU, fine-grained; the pass must fuse bias+GELU.
+    fn linear_gelu_program() -> (Program, Graph) {
+        let mut g = Graph::new();
+        let x = g.add_tensor("x", vec![3, 8], Input);
+        let w = g.add_tensor("w", vec![8, 4], Weight);
+        let b = g.add_tensor("b", vec![4], Weight);
+        let h = g.add_tensor("h", vec![3, 4], Activation);
+        let hb = g.add_tensor("hb", vec![3, 4], Activation);
+        let y = g.add_tensor("y", vec![3, 4], Output);
+        g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![x, w], h);
+        g.add_node(OpKind::AddBias, vec![h, b], hb);
+        g.add_node(OpKind::Gelu, vec![hb], y);
+        (Program::compile(&g, &[w, b], &[x], &[y]), g)
+    }
+
+    #[test]
+    fn compile_fuses_and_counts_elisions() {
+        let (p, fine) = linear_gelu_program();
+        assert_eq!(fine.nodes.len(), 3);
+        assert_eq!(p.nodes(), 2, "MatMul + AddBiasGelu");
+        assert_eq!(p.fused_ops(), 1);
+        assert_eq!(p.elided_passes(), 1);
+        assert!(p.op_names().iter().any(|n| n.contains("AddBiasGelu")));
+    }
+
+    #[test]
+    fn run_matches_hand_called_kernels() {
+        let (p, _) = linear_gelu_program();
+        let mut store = WeightStore::new();
+        let w = store.push(Tensor::from_fn([8, 4], |_| 0.3));
+        let b = store.push(Tensor::from_fn([4], |_| -0.1));
+        let x: Vec<f32> = (0..24).map(|i| (i as f32 * 0.17).sin()).collect();
+
+        let got = p.run(&store, &[w, b], &[&x]);
+
+        let mut want = vec![0.0f32; 12];
+        sgemm(GemmSpec::nn(3, 8, 4), &x, store.get(w).as_slice(), &mut want);
+        k::add_bias_gelu(3, 4, &mut want, store.get(b).as_slice());
+        assert_eq!(got.len(), 1);
+        for (g, w) in got[0].iter().zip(&want) {
+            assert!((g - w).abs() < 1e-6, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn trans_b_weight_gemm_runs_and_quantizes() {
+        // lm-head shape: x [1, 8] · embᵀ where emb is [n=5, k=8].
+        let mut g = Graph::new();
+        let x = g.add_tensor("x", vec![1, 8], Input);
+        let e = g.add_tensor("emb", vec![5, 8], Weight);
+        let y = g.add_tensor("logits", vec![1, 5], Output);
+        g.add_node(OpKind::MatMul { trans_b: true, alpha: 1.0 }, vec![x, e], y);
+        let p = Program::compile(&g, &[e], &[x], &[y]);
+
+        let mut store = WeightStore::new();
+        let e = store.push(Tensor::from_fn([5, 8], |i| ((i * 7 % 13) as f32 - 6.0) * 0.1));
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 * 0.3).cos()).collect();
+
+        let f32_out = p.run(&store, &[e], &[&x]);
+        let want: Vec<f32> = (0..5)
+            .map(|v| {
+                x.iter().zip(&store.get(e).as_slice()[v * 8..(v + 1) * 8]).map(|(a, b)| a * b).sum()
+            })
+            .collect();
+        for (g, w) in f32_out[0].iter().zip(&want) {
+            assert!((g - w).abs() < 1e-5, "{g} vs {w}");
+        }
+
+        // Quantize the head and re-run: within the per-channel error bound.
+        store.quantize(e, Trans::Yes);
+        let q8_out = p.run(&store, &[e], &[&x]);
+        let q = store.quant(e).unwrap();
+        for (j, (g, w)) in q8_out[0].iter().zip(&want).enumerate() {
+            let bound = q.error_bound(j, &x) + 1e-6;
+            assert!((g - w).abs() <= bound, "channel {j}: |{g} - {w}| > {bound}");
+        }
+    }
+
+    #[test]
+    fn weight_table_rebinds_slots_per_call() {
+        // One program, two weight tables — the per-layer reuse BERT relies on.
+        let mut g = Graph::new();
+        let x = g.add_tensor("x", vec![2, 4], Input);
+        let w = g.add_tensor("w", vec![4, 4], Weight);
+        let y = g.add_tensor("y", vec![2, 4], Output);
+        g.add_node(OpKind::MatMul { trans_b: false, alpha: 1.0 }, vec![x, w], y);
+        let p = Program::compile(&g, &[w], &[x], &[y]);
+
+        let mut store = WeightStore::new();
+        let w1 = store.push(Tensor::full([4, 4], 1.0));
+        let w2 = store.push(Tensor::full([4, 4], 2.0));
+        let x = vec![1.0f32; 8];
+        let a = p.run(&store, &[w1], &[&x]);
+        let b = p.run(&store, &[w2], &[&x]);
+        assert!(a[0].iter().all(|&v| (v - 4.0).abs() < 1e-6));
+        assert!(b[0].iter().all(|&v| (v - 8.0).abs() < 1e-6));
+    }
+}

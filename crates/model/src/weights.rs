@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tt_tensor::Tensor;
+use tt_tensor::{Q8Matrix, Tensor, Trans};
 
 /// Seeded weight factory.
 #[derive(Debug)]
@@ -49,11 +49,25 @@ impl WeightInit {
     }
 }
 
+/// Whether int8 weight-only quantization is requested for this process
+/// (`TT_GEMM_INT8=1`). Models consult this at construction time to decide
+/// which linear weights get a [`Q8Matrix`] sidecar.
+pub fn int8_enabled() -> bool {
+    std::env::var("TT_GEMM_INT8").map(|v| v == "1" || v.eq_ignore_ascii_case("true")) == Ok(true)
+}
+
 /// A flat, indexable store of model weights; graph weight tensors bind to
 /// indices in this store.
+///
+/// Each f32 weight may carry an optional int8 sidecar ([`Q8Matrix`],
+/// per-output-channel scales, f32 accumulate). GEMM call sites that find a
+/// sidecar route through `sgemm_q8` — the bandwidth-bound decode GEMVs read
+/// a quarter of the bytes; the f32 original stays resident as the
+/// numerical reference.
 #[derive(Debug, Default)]
 pub struct WeightStore {
     tensors: Vec<Tensor>,
+    quantized: Vec<Option<Q8Matrix>>,
 }
 
 impl WeightStore {
@@ -65,12 +79,38 @@ impl WeightStore {
     /// Add a weight, returning its index.
     pub fn push(&mut self, t: Tensor) -> usize {
         self.tensors.push(t);
+        self.quantized.push(None);
         self.tensors.len() - 1
     }
 
     /// Get a weight by index.
     pub fn get(&self, idx: usize) -> &Tensor {
         &self.tensors[idx]
+    }
+
+    /// Build the int8 sidecar for a 2-D weight. `trans` declares the
+    /// storage layout: `Trans::No` for a `[k, n]` linear weight,
+    /// `Trans::Yes` for an `[n, k]` matrix multiplied transposed (the tied
+    /// embedding used as the GPT lm head).
+    pub fn quantize(&mut self, idx: usize, trans: Trans) {
+        let t = &self.tensors[idx];
+        let dims = t.shape().dims();
+        assert_eq!(dims.len(), 2, "only 2-D weights can be quantized, got {dims:?}");
+        let (k, n) = match trans {
+            Trans::No => (dims[0], dims[1]),
+            Trans::Yes => (dims[1], dims[0]),
+        };
+        self.quantized[idx] = Some(Q8Matrix::quantize(t.as_slice(), k, n, trans));
+    }
+
+    /// The int8 sidecar of a weight, if one was built.
+    pub fn quant(&self, idx: usize) -> Option<&Q8Matrix> {
+        self.quantized.get(idx).and_then(|q| q.as_ref())
+    }
+
+    /// Number of weights carrying an int8 sidecar.
+    pub fn quantized_count(&self) -> usize {
+        self.quantized.iter().filter(|q| q.is_some()).count()
     }
 
     /// Number of stored weights.
@@ -83,9 +123,14 @@ impl WeightStore {
         self.tensors.is_empty()
     }
 
-    /// Total parameter bytes.
+    /// Total parameter bytes (f32 masters only).
     pub fn bytes(&self) -> usize {
         self.tensors.iter().map(|t| t.len() * 4).sum()
+    }
+
+    /// Total int8 sidecar bytes.
+    pub fn quantized_bytes(&self) -> usize {
+        self.quantized.iter().flatten().map(|q| q.bytes()).sum()
     }
 }
 
@@ -119,5 +164,26 @@ mod tests {
         assert_eq!(s.get(i).as_slice(), &[3.0; 4]);
         assert_eq!(s.len(), 1);
         assert_eq!(s.bytes(), 16);
+    }
+
+    #[test]
+    fn quantized_sidecar_is_optional_and_layout_aware() {
+        let mut s = WeightStore::new();
+        let w = s.push(WeightInit::new(3).linear(8, 12)); // [k=8, n=12]
+        let e = s.push(WeightInit::new(4).embedding(10, 8)); // [n=10, k=8] as lm head
+        assert!(s.quant(w).is_none() && s.quant(e).is_none());
+        assert_eq!(s.quantized_count(), 0);
+
+        s.quantize(w, Trans::No);
+        s.quantize(e, Trans::Yes);
+        assert_eq!(s.quantized_count(), 2);
+        let qw = s.quant(w).unwrap();
+        assert_eq!((qw.k, qw.n), (8, 12));
+        let qe = s.quant(e).unwrap();
+        assert_eq!((qe.k, qe.n), (8, 10));
+        assert!(s.quantized_bytes() > 0);
+        // 1 byte/weight + 4 bytes/channel of scales; on these tiny matrices
+        // the scale vectors keep it just over 1/3 of the f32 footprint.
+        assert!(s.quantized_bytes() < s.bytes() / 2, "sidecars are ~1/4 of f32 + scales");
     }
 }

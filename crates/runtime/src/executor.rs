@@ -21,7 +21,7 @@ use tt_model::bound::{BoundGraph, InputBinding};
 use tt_model::weights::WeightStore;
 use tt_telemetry::{AttrValue, Counter, Histogram, Registry, SpanContext, Stopwatch, Tracer};
 use tt_tensor::storage::{Arena, Region};
-use tt_tensor::{batched_sgemm, sgemm, GemmSpec, Tensor, Trans};
+use tt_tensor::{batched_sgemm, sgemm, sgemm_q8, GemmSpec, Q8Matrix, Tensor, Trans};
 
 /// Every operator class the executor dispatches, in a fixed order. The
 /// per-op time-share metrics (paper Table 2's GEMM / non-GEMM split) key
@@ -74,6 +74,7 @@ pub struct ExecutorMetrics {
     op_ns: Vec<Arc<Histogram>>,
     gemm_mflops: Arc<Histogram>,
     gemm_flops_total: Arc<Counter>,
+    fused_ops_total: Arc<Counter>,
 }
 
 impl ExecutorMetrics {
@@ -103,12 +104,21 @@ impl ExecutorMetrics {
             "Total floating point operations issued through MatMul nodes",
             &[],
         );
-        ExecutorMetrics { op_ns, gemm_mflops, gemm_flops_total }
+        let fused_ops_total = registry.counter(
+            "executor_fused_ops_total",
+            "Fused kernels (bias+GELU, bias+residual+LN, scale+mask+softmax, \
+             bias+split-heads) executed in place of their unfused chains",
+            &[],
+        );
+        ExecutorMetrics { op_ns, gemm_mflops, gemm_flops_total, fused_ops_total }
     }
 
     #[inline]
     fn observe(&self, kind: &OpKind, nanos: u64) {
         self.op_ns[op_index(kind)].record(nanos);
+        if kind.is_fused() {
+            self.fused_ops_total.inc();
+        }
     }
 
     #[inline]
@@ -129,7 +139,12 @@ pub fn matmul_flops(graph: &Graph, node: &Node) -> Option<u64> {
     let a = &graph.tensors[node.inputs[0]].shape;
     let b = &graph.tensors[node.inputs[1]].shape;
     let (batch, m, k, n) = if b.len() == 2 {
-        (1, a[..a.len() - 1].iter().product::<usize>(), a[a.len() - 1], b[1])
+        (
+            1,
+            a[..a.len() - 1].iter().product::<usize>(),
+            a[a.len() - 1],
+            if *trans_b { b[0] } else { b[1] },
+        )
     } else {
         (a[0] * a[1], a[2], a[3], if *trans_b { b[2] } else { b[3] })
     };
@@ -292,6 +307,16 @@ pub fn execute_traced(
             std::thread::sleep(delay);
         }
 
+        // int8 sidecar lookup: a MatMul whose second operand is a bound
+        // weight may run through the quantized kernel (dispatch checks the
+        // layout actually matches the node's transpose flag).
+        let quant = match &node.kind {
+            OpKind::MatMul { .. } if graph.tensors[node.inputs[1]].class == TensorClass::Weight => {
+                bound.weight_index(node.inputs[1]).and_then(|w| store.quant(w))
+            }
+            _ => None,
+        };
+
         let op_start_ns = trace.map(|(t, _)| t.now_ns());
         let watch = (metrics.is_some() || trace.is_some()).then(Stopwatch::start);
         if node.output == bound.output {
@@ -303,7 +328,7 @@ pub fn execute_traced(
                     Src::Arena(r) => arena.slice(*r),
                 })
                 .collect();
-            dispatch(graph, node, &ins, &mut output_buf);
+            dispatch(graph, node, &ins, quant, &mut output_buf);
         } else {
             let out_region = region_of[&node.output];
             let regions: Vec<Region> = srcs
@@ -322,7 +347,7 @@ pub fn execute_traced(
                     Src::Arena(_) => it.next().expect("one arena view per region"),
                 })
                 .collect();
-            dispatch(graph, node, &ins, out);
+            dispatch(graph, node, &ins, quant, out);
         }
         if let Some(w) = watch {
             let nanos = w.elapsed_nanos();
@@ -366,8 +391,9 @@ pub fn execute_traced(
 }
 
 /// Execute one operator: `ins` in the node's input order, `out` the
-/// preallocated output region.
-fn dispatch(graph: &Graph, node: &Node, ins: &[&[f32]], out: &mut [f32]) {
+/// preallocated output region. `quant` is the int8 sidecar of a MatMul's
+/// weight operand, when one exists.
+fn dispatch(graph: &Graph, node: &Node, ins: &[&[f32]], quant: Option<&Q8Matrix>, out: &mut [f32]) {
     let shape_of = |i: usize| -> &[usize] { &graph.tensors[node.inputs[i]].shape };
     let out_shape: &[usize] = &graph.tensors[node.output].shape;
 
@@ -376,10 +402,18 @@ fn dispatch(graph: &Graph, node: &Node, ins: &[&[f32]], out: &mut [f32]) {
             let a = shape_of(0);
             let b = shape_of(1);
             if b.len() == 2 {
+                // 2-D weight: `[k, n]`, or `[n, k]` under trans_b (the
+                // tied-embedding lm head layout).
                 let m: usize = a[..a.len() - 1].iter().product();
-                let (kk, n) = (a[a.len() - 1], b[1]);
-                assert!(!(*trans_b), "2-D weights are stored [k, n]");
-                let spec = GemmSpec::nn(m, kk, n).with_alpha(*alpha);
+                let kk = a[a.len() - 1];
+                let (tb, n) = if *trans_b { (Trans::Yes, b[0]) } else { (Trans::No, b[1]) };
+                if let Some(q) = quant {
+                    if q.trans() == tb && q.k == kk && q.n == n {
+                        sgemm_q8(m, *alpha, ins[0], q, out);
+                        return;
+                    }
+                }
+                let spec = GemmSpec { m, k: kk, n, ta: Trans::No, tb, alpha: *alpha, beta: 0.0 };
                 sgemm(spec, ins[0], ins[1], out);
             } else {
                 let batch = a[0] * a[1];

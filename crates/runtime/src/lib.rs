@@ -140,6 +140,8 @@ struct State {
     bert_cost_cache: HashMap<CostKey, CostBreakdown>,
     /// Per-op-kind timing sink, set by [`TurboRuntime::instrument`].
     exec_metrics: Option<executor::ExecutorMetrics>,
+    /// Memory-bound passes removed by the fusion pass, per executed graph.
+    fusion_elided: Option<std::sync::Arc<tt_telemetry::Counter>>,
 }
 
 #[derive(Debug, PartialEq, Eq, Hash, Clone, Copy)]
@@ -181,6 +183,7 @@ impl TurboRuntime {
                 tuned_shapes: HashSet::new(),
                 bert_cost_cache: HashMap::new(),
                 exec_metrics: None,
+                fusion_elided: None,
             }),
         }
     }
@@ -192,6 +195,11 @@ impl TurboRuntime {
     pub fn instrument(&self, registry: &tt_telemetry::Registry) {
         let mut state = self.state.lock();
         state.exec_metrics = Some(executor::ExecutorMetrics::register(registry));
+        state.fusion_elided = Some(registry.counter(
+            "fusion_elided_passes_total",
+            "Memory-bound kernel passes the graph fusion pass removed before execution",
+            &[],
+        ));
         state.allocator.attach_metrics(tt_alloc::AllocMetrics::register(registry));
     }
 
@@ -336,6 +344,13 @@ impl TurboRuntime {
         let mut state = self.state.lock();
         cb.alloc = self.alloc_overhead(&mut state, &transformed);
         cb.overhead = self.profile.per_infer_overhead + self.pretune_cost(&mut state, batch, seq);
+        if let Some(counter) = &state.fusion_elided {
+            // How many fine-grained passes this graph would have issued
+            // unfused. Zero for `FusionLevel::Decomposed` by construction.
+            let elided = tt_graph::fusion::decompose(&transformed.graph).nodes.len()
+                - transformed.graph.nodes.len();
+            counter.add(elided as u64);
+        }
         let State { allocator, arena, exec_metrics, .. } = &mut *state;
         let exec = executor::execute_traced(
             &transformed,
@@ -464,6 +479,50 @@ mod tests {
         assert!(h.sum > 0, "GEMM time must be nonzero");
         assert_eq!(snap.find("alloc_plans_total", &[]).unwrap().counter, Some(1));
         assert!(snap.find("alloc_resident_bytes", &[]).unwrap().gauge.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fusion_counters_report_fused_ops_and_elided_passes() {
+        let cfg = BertConfig::tiny();
+        let model = Bert::new_random(&cfg, 5);
+        let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+        let registry = tt_telemetry::Registry::new();
+        rt.instrument(&registry);
+        rt.run_bert(&model, &ids_batch(&[&[1, 2, 3, 4]])).unwrap();
+        let snap = registry.snapshot();
+        // 7 fused kernels per encoder layer (3 bias+split-heads,
+        // scale+softmax, bias+GELU, 2 bias+residual+LN).
+        let fused = snap.find("executor_fused_ops_total", &[]).unwrap().counter.unwrap();
+        assert_eq!(fused, 7 * cfg.num_layers as u64);
+        // Each maskless layer elides 9 memory-bound passes.
+        let elided = snap.find("fusion_elided_passes_total", &[]).unwrap().counter.unwrap();
+        assert_eq!(elided, 9 * cfg.num_layers as u64);
+
+        // A decomposed (PyTorch-like) runtime fuses nothing.
+        let rt_pt =
+            TurboRuntime::new(RuntimeConfig::new(RuntimeKind::PyTorchLike, DeviceKind::RTX2060));
+        let reg_pt = tt_telemetry::Registry::new();
+        rt_pt.instrument(&reg_pt);
+        rt_pt.run_bert(&model, &ids_batch(&[&[1, 2, 3, 4]])).unwrap();
+        let snap_pt = reg_pt.snapshot();
+        assert_eq!(snap_pt.find("executor_fused_ops_total", &[]).unwrap().counter, Some(0));
+        assert_eq!(snap_pt.find("fusion_elided_passes_total", &[]).unwrap().counter, Some(0));
+    }
+
+    #[test]
+    fn quantized_bert_executes_within_int8_tolerance() {
+        // The executor's int8 GEMM path: same graph, sidecar-quantized
+        // weights, output within the weight-only-quantization budget.
+        let cfg = BertConfig::tiny();
+        let mut model = Bert::new_random(&cfg, 6);
+        let ids = ids_batch(&[&[2, 4, 6, 8]]);
+        let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+        let f32_out = rt.run_bert(&model, &ids).unwrap().encoder_output;
+        model.quantize_int8();
+        let q8_out = rt.run_bert(&model, &ids).unwrap().encoder_output;
+        let diff = q8_out.max_abs_diff(&f32_out).unwrap();
+        assert!(diff > 0.0, "int8 path must actually run");
+        assert!(diff < 0.1, "int8 drift {diff} exceeds the documented budget");
     }
 
     #[test]

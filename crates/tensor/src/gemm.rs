@@ -22,14 +22,23 @@
 //!
 //! Packing is the single place that understands the four `Trans` layouts:
 //! the micro-kernel always reads two contiguous, zero-padded panels, so
-//! partial tiles need no edge variants and the inner loop auto-vectorizes.
-//! Each packed A element is reused NR times and each packed B element MR
-//! times straight from registers; the KC×NR B strip stays L1-resident while
-//! the MC×KC A panel streams from L2. Parallelism (rayon) splits the row
-//! dimension of C across macro-blocks; [`batched_sgemm`] additionally picks
-//! between per-head parallelism and intra-GEMM parallelism by problem size.
+//! partial tiles need no edge variants. Each packed A element is reused NR
+//! times and each packed B element MR times straight from registers; the
+//! KC×NR B strip stays L1-resident while the MC×KC A panel streams from
+//! L2. Parallelism (rayon) splits the row dimension of C across
+//! macro-blocks; [`batched_sgemm`] additionally picks between per-head
+//! parallelism and intra-GEMM parallelism by problem size.
+//!
+//! The register tile itself lives in [`crate::simd`] and is dispatched at
+//! runtime: an explicit AVX2+FMA 4×16 kernel where the CPU supports it, a
+//! portable auto-vectorized 4×8 tile otherwise (`TT_GEMM_KERNEL` forces a
+//! variant). The strip width `nr` therefore varies per variant; `MR` is
+//! fixed. See [`crate::q8`] for the int8 weight-quantized sibling of the
+//! thin-GEMV path.
 
 use rayon::prelude::*;
+
+use crate::simd::{self, Acc, Kernel, NR_MAX};
 
 /// Transpose flag for a GEMM operand, mirroring BLAS conventions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,13 +98,16 @@ impl GemmSpec {
     }
 }
 
-/// Rows of the register micro-tile. Sized with [`NR`] for the baseline
-/// x86-64 target (SSE2, 16 xmm registers): the 4×8 accumulator block is 8
-/// vector registers, leaving room for the A broadcasts and the B row. On an
-/// AVX2 `target-cpu=native` build 8×8 or 6×16 would be the natural choice.
+/// Rows of the register micro-tile, shared by every kernel variant: the
+/// packed A layout is MR-tall strips regardless of dispatch. With the
+/// scalar tile's 4×8 accumulator block (8 SSE2 vector registers) there is
+/// room left for the A broadcasts and the B row; the AVX2 tile widens the
+/// columns instead of the rows ([`crate::simd`]).
 pub const MR: usize = 4;
 
-/// Columns of the register micro-tile (two 4-wide vectors per C row).
+/// Columns of the *scalar* register micro-tile (two 4-wide vectors per C
+/// row). The AVX2 tile uses 16 ([`crate::simd::NR_MAX`]); packing width
+/// follows the selected kernel at runtime.
 pub const NR: usize = 8;
 
 /// Rows of A packed per macro-panel: MC×KC·4B = 128 KiB, sized to stay
@@ -177,6 +189,35 @@ fn available_threads() -> usize {
     std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
+/// Which execution path [`sgemm`] routes a spec to. Exposed so callers and
+/// regression tests can assert that a shape class hits the path it was
+/// tuned for (decode steps must take [`KernelPath::Gemv`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// `m == 0 || n == 0`: nothing to do.
+    Noop,
+    /// `k == 0 || alpha == 0`: only `beta · C` is applied.
+    ScaleOnly,
+    /// `m ≤ 4`: unpacked thin-matrix kernel (axpy/dot over B, no packing
+    /// copy) — the single-token decode path.
+    Gemv,
+    /// The packed-panel register-blocked engine.
+    Blocked,
+}
+
+/// The path [`sgemm`] will take for `spec`.
+pub fn kernel_path(spec: GemmSpec) -> KernelPath {
+    if spec.m == 0 || spec.n == 0 {
+        KernelPath::Noop
+    } else if spec.k == 0 || spec.alpha == 0.0 {
+        KernelPath::ScaleOnly
+    } else if spec.m <= SMALL_M {
+        KernelPath::Gemv
+    } else {
+        KernelPath::Blocked
+    }
+}
+
 /// Shape-checked entry: route to the degenerate, thin, or blocked kernel.
 fn run(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32], allow_par: bool) {
     if spec.m == 0 || spec.n == 0 {
@@ -227,31 +268,28 @@ fn small_m_kernel(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32]) {
                     if s == 0.0 {
                         continue;
                     }
-                    let b_row = &b[l * n..(l + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                        *cv += s * bv;
-                    }
+                    simd::axpy(s, &b[l * n..(l + 1) * n], c_row);
                 }
             }
             Trans::Yes => {
                 // c_row[j] += alpha * dot(A[i][:], B[j][:]).
-                for (j, cv) in c_row.iter_mut().enumerate() {
-                    let b_row = &b[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    match ta {
-                        Trans::No => {
-                            let a_row = &a[i * k..(i + 1) * k];
-                            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                                acc += av * bv;
-                            }
+                match ta {
+                    Trans::No => {
+                        let a_row = &a[i * k..(i + 1) * k];
+                        for (j, cv) in c_row.iter_mut().enumerate() {
+                            *cv += alpha * simd::dot(a_row, &b[j * k..(j + 1) * k]);
                         }
-                        Trans::Yes => {
+                    }
+                    Trans::Yes => {
+                        for (j, cv) in c_row.iter_mut().enumerate() {
+                            let b_row = &b[j * k..(j + 1) * k];
+                            let mut acc = 0.0f32;
                             for (l, &bv) in b_row.iter().enumerate() {
                                 acc += a[l * m + i] * bv;
                             }
+                            *cv += alpha * acc;
                         }
                     }
-                    *cv += alpha * acc;
                 }
             }
         }
@@ -261,7 +299,8 @@ fn small_m_kernel(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32]) {
 /// The blocked engine: pack panels, sweep the macro-tile grid.
 fn blocked(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32], par: bool) {
     let GemmSpec { m, k, n, ta, tb, alpha, beta } = spec;
-    let bp_len = KC.min(k) * NC.min(n).next_multiple_of(NR);
+    let kern = simd::kernel();
+    let bp_len = KC.min(k) * NC.min(n).next_multiple_of(kern.nr);
     let mut bp = vec![0.0f32; bp_len];
 
     let mut jc = 0;
@@ -273,7 +312,7 @@ fn blocked(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32], par: bool) {
             // The first depth panel applies the caller's beta; subsequent
             // panels accumulate on top of it.
             let beta_eff = if pc == 0 { beta } else { 1.0 };
-            pack_b(&mut bp, b, k, n, tb, pc, kc, jc, nc);
+            pack_b(&mut bp, b, k, n, tb, pc, kc, jc, nc, kern.nr);
             let bp = &bp[..];
 
             let row_block = |blk: usize, c_blk: &mut [f32]| {
@@ -281,7 +320,7 @@ fn blocked(spec: GemmSpec, a: &[f32], b: &[f32], c: &mut [f32], par: bool) {
                 let mc = c_blk.len() / n;
                 let mut ap = vec![0.0f32; mc.next_multiple_of(MR) * kc];
                 pack_a(&mut ap, a, m, k, ta, row0, mc, pc, kc);
-                macro_kernel(&ap, bp, c_blk, n, mc, nc, kc, jc, alpha, beta_eff);
+                macro_kernel(kern, &ap, bp, c_blk, n, mc, nc, kc, jc, alpha, beta_eff);
             };
             if par {
                 c.par_chunks_mut(MC * n).enumerate().for_each(|(blk, c_blk)| {
@@ -342,9 +381,10 @@ fn pack_a(
     }
 }
 
-/// Pack `B[pc..pc+kc, jc..jc+nc]` into NR-wide strips: strip `s` holds
-/// columns `jc + s·NR ..`, depth-major. Every slot is written (the buffer is
-/// reused across panels), with columns past `nc` zero-padded.
+/// Pack `B[pc..pc+kc, jc..jc+nc]` into `nr`-wide strips: strip `s` holds
+/// columns `jc + s·nr ..`, depth-major. Every slot is written (the buffer is
+/// reused across panels), with columns past `nc` zero-padded. The strip
+/// width follows the dispatched micro-kernel.
 #[allow(clippy::too_many_arguments)]
 fn pack_b(
     bp: &mut [f32],
@@ -356,33 +396,34 @@ fn pack_b(
     kc: usize,
     jc: usize,
     nc: usize,
+    nr: usize,
 ) {
-    let strips = nc.div_ceil(NR);
+    let strips = nc.div_ceil(nr);
     for strip in 0..strips {
-        let dst = &mut bp[strip * NR * kc..(strip + 1) * NR * kc];
-        let j0 = jc + strip * NR;
-        let cols = NR.min(jc + nc - j0);
+        let dst = &mut bp[strip * nr * kc..(strip + 1) * nr * kc];
+        let j0 = jc + strip * nr;
+        let cols = nr.min(jc + nc - j0);
         match tb {
             Trans::No => {
-                // B is k×n row-major: NR consecutive elements per depth step.
+                // B is k×n row-major: nr consecutive elements per depth step.
                 for l in 0..kc {
-                    let d = &mut dst[l * NR..(l + 1) * NR];
+                    let d = &mut dst[l * nr..(l + 1) * nr];
                     d[..cols].copy_from_slice(&b[(pc + l) * n + j0..(pc + l) * n + j0 + cols]);
                     d[cols..].fill(0.0);
                 }
             }
             Trans::Yes => {
-                // B is stored n×k: contiguous reads per B row, NR-strided
+                // B is stored n×k: contiguous reads per B row, nr-strided
                 // writes into the strip.
-                for jj in 0..NR {
+                for jj in 0..nr {
                     if jj < cols {
                         let src = &b[(j0 + jj) * k + pc..(j0 + jj) * k + pc + kc];
                         for (l, &v) in src.iter().enumerate() {
-                            dst[l * NR + jj] = v;
+                            dst[l * nr + jj] = v;
                         }
                     } else {
                         for l in 0..kc {
-                            dst[l * NR + jj] = 0.0;
+                            dst[l * nr + jj] = 0.0;
                         }
                     }
                 }
@@ -392,10 +433,12 @@ fn pack_b(
 }
 
 /// Sweep the packed panels over one row macro-block of C: for every
-/// (NR-strip, MR-strip) pair run the register micro-kernel, then blend the
-/// tile into C with alpha/beta, clipping the zero-padded edge rows/columns.
+/// (nr-strip, MR-strip) pair run the dispatched register micro-kernel,
+/// then blend the tile into C with alpha/beta, clipping the zero-padded
+/// edge rows/columns.
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel(
+    kern: Kernel,
     ap: &[f32],
     bp: &[f32],
     c_blk: &mut [f32],
@@ -407,17 +450,21 @@ fn macro_kernel(
     alpha: f32,
     beta_eff: f32,
 ) {
+    let nr = kern.nr;
     let m_strips = mc.div_ceil(MR);
-    let n_strips = nc.div_ceil(NR);
+    let n_strips = nc.div_ceil(nr);
     for sj in 0..n_strips {
-        let b_strip = &bp[sj * NR * kc..(sj + 1) * NR * kc];
-        let j0 = jc + sj * NR;
-        let cols = NR.min(jc + nc - j0);
+        let b_strip = &bp[sj * nr * kc..(sj + 1) * nr * kc];
+        let j0 = jc + sj * nr;
+        let cols = nr.min(jc + nc - j0);
         for si in 0..m_strips {
             let a_strip = &ap[si * MR * kc..(si + 1) * MR * kc];
             let i0 = si * MR;
             let rows = MR.min(mc - i0);
-            let acc = micro_kernel(kc, a_strip, b_strip);
+            let mut acc: Acc = [[0.0; NR_MAX]; MR];
+            // SAFETY: both strips are exactly kc·MR / kc·nr elements, and
+            // the AVX2 tile is only ever selected after feature detection.
+            unsafe { (kern.micro)(kc, a_strip, b_strip, &mut acc) };
             for (r, acc_row) in acc.iter().enumerate().take(rows) {
                 let c_row = &mut c_blk[(i0 + r) * n + j0..(i0 + r) * n + j0 + cols];
                 if beta_eff == 0.0 {
@@ -436,25 +483,6 @@ fn macro_kernel(
             }
         }
     }
-}
-
-/// The register tile: an MR×NR accumulator block updated with an outer
-/// product per depth step. Both panels are contiguous and zero-padded, so
-/// there are no edge branches and the fixed-size array arithmetic
-/// auto-vectorizes (two 4-wide vectors per C row on the SSE2 baseline).
-#[inline]
-fn micro_kernel(kc: usize, a_strip: &[f32], b_strip: &[f32]) -> [[f32; NR]; MR] {
-    let mut acc = [[0.0f32; NR]; MR];
-    for (av, bv) in a_strip.chunks_exact(MR).zip(b_strip.chunks_exact(NR)).take(kc) {
-        let av: &[f32; MR] = av.try_into().expect("MR-sized chunk");
-        let bv: &[f32; NR] = bv.try_into().expect("NR-sized chunk");
-        for (acc_row, &a_val) in acc.iter_mut().zip(av.iter()) {
-            for (acc_v, &b_val) in acc_row.iter_mut().zip(bv.iter()) {
-                *acc_v += a_val * b_val;
-            }
-        }
-    }
-    acc
 }
 
 #[cfg(test)]
@@ -697,5 +725,44 @@ mod tests {
     #[test]
     fn flops_counts_fma_as_two() {
         assert_eq!(GemmSpec::nn(2, 3, 4).flops(), 48);
+    }
+
+    #[test]
+    fn decode_shapes_take_the_gemv_path() {
+        // The single-token decode GEMMs of `step_paged` are m=1 over large
+        // k/n; they must hit the unpacked thin kernel, not the packed
+        // engine (satellite regression guard for the decode fast path).
+        for &(k, n) in &[(768, 768), (768, 3072), (3072, 768), (768, 50257)] {
+            assert_eq!(kernel_path(GemmSpec::nn(1, k, n)), KernelPath::Gemv, "m=1 {k}x{n}");
+        }
+        assert_eq!(kernel_path(GemmSpec::nt(1, 64, 128)), KernelPath::Gemv);
+        assert_eq!(kernel_path(GemmSpec::nn(SMALL_M, 64, 64)), KernelPath::Gemv);
+        assert_eq!(kernel_path(GemmSpec::nn(SMALL_M + 1, 64, 64)), KernelPath::Blocked);
+        assert_eq!(kernel_path(GemmSpec::nn(0, 4, 4)), KernelPath::Noop);
+        assert_eq!(kernel_path(GemmSpec::nn(2, 0, 4)), KernelPath::ScaleOnly);
+    }
+
+    #[test]
+    fn scalar_and_simd_kernels_agree() {
+        // Force both variants over a mix of blocked and thin shapes; the
+        // results may differ only by f32 reassociation.
+        use crate::simd::{kernel_variant, set_kernel_override, KernelVariant};
+        let prev = kernel_variant();
+        if set_kernel_override(KernelVariant::Avx2).is_err() {
+            return; // no AVX2 on this host: the scalar path is the only path
+        }
+        for &(m, k, n) in &[(1, 300, 80), (4, 65, 33), (13, 200, 47), (64, 768, 96), (130, 64, 70)]
+        {
+            let a = seq(m * k);
+            let b = seq(k * n);
+            let mut c_simd = vec![0.0; m * n];
+            set_kernel_override(KernelVariant::Avx2).unwrap();
+            sgemm_serial(GemmSpec::nn(m, k, n), &a, &b, &mut c_simd);
+            let mut c_scalar = vec![0.0; m * n];
+            set_kernel_override(KernelVariant::Scalar).unwrap();
+            sgemm_serial(GemmSpec::nn(m, k, n), &a, &b, &mut c_scalar);
+            assert_close(&c_simd, &c_scalar);
+        }
+        set_kernel_override(prev).unwrap();
     }
 }

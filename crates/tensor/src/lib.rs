@@ -20,12 +20,16 @@
 
 pub mod gemm;
 pub mod ops;
+pub mod q8;
 pub mod shape;
+pub mod simd;
 pub mod storage;
 pub mod tensor;
 
-pub use gemm::{batched_sgemm, sgemm, sgemm_serial, GemmSpec, Trans};
+pub use gemm::{batched_sgemm, kernel_path, sgemm, sgemm_serial, GemmSpec, KernelPath, Trans};
+pub use q8::{sgemm_q8, Q8Matrix};
 pub use shape::Shape;
+pub use simd::{kernel_variant, kernel_variant_name, set_kernel_override, KernelVariant};
 pub use tensor::Tensor;
 
 /// Crate-wide error type.

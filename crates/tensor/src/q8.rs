@@ -1,0 +1,351 @@
+//! Weight-only int8 GEMM: per-output-channel scales, f32 activations and
+//! accumulation.
+//!
+//! The decode steps that dominate `/v1/generate` traffic are GEMV-shaped
+//! (`m = 1`): every weight byte is read exactly once per token, so they run
+//! at memory bandwidth, not FLOP/s. Quantizing the *weights* to int8 —
+//! activations stay f32 — cuts that traffic 4× while keeping the accuracy
+//! loss tiny and analyzable:
+//!
+//! - each output channel `j` (a column of `op(W)`) gets its own scale
+//!   `s_j = max|W[:,j]| / 127`, so no channel is crushed by another's range;
+//! - quantization is round-to-nearest: `|w - s_j·q|  ≤ s_j/2` per weight;
+//! - the kernel accumulates `Σ_l a_l · q[l][j]` in f32 and applies `s_j`
+//!   once at the end, so the only error is the weight rounding itself, and
+//!   the absolute output error is bounded by `s_j/2 · Σ_l |a_l|`
+//!   ([`Q8Matrix::error_bound`], pinned by tests).
+//!
+//! [`Q8Matrix`] is a *sidecar*: models keep their f32 weights and attach a
+//! quantized copy per weight matrix, so the quantized path is selectable
+//! per-matrix and per-call (`TT_GEMM_INT8` gates it at the model layer).
+
+use crate::gemm::Trans;
+
+/// An int8-quantized weight matrix representing `op(W)` of shape `k × n`.
+///
+/// Storage follows the f32 operand it shadows: `trans == No` stores
+/// `[k, n]` row-major (the layout of linear-layer weights), `trans == Yes`
+/// stores `[n, k]` row-major (the layout of a tied-embedding LM head used
+/// as `x · Eᵀ`). Scales are always per *logical output channel* `j ∈ 0..n`.
+#[derive(Debug, Clone)]
+pub struct Q8Matrix {
+    /// Contraction dimension of `op(W)`.
+    pub k: usize,
+    /// Output channels of `op(W)`.
+    pub n: usize,
+    trans: Trans,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl Q8Matrix {
+    /// Quantize `w`, the storage of `op(W)` with the given layout:
+    /// `trans == No` → `w` is `[k, n]`; `trans == Yes` → `w` is `[n, k]`.
+    pub fn quantize(w: &[f32], k: usize, n: usize, trans: Trans) -> Self {
+        assert_eq!(w.len(), k * n, "weight storage has wrong length");
+        let mut scales = vec![0.0f32; n];
+        match trans {
+            Trans::No => {
+                for l in 0..k {
+                    for (j, s) in scales.iter_mut().enumerate() {
+                        *s = s.max(w[l * n + j].abs());
+                    }
+                }
+            }
+            Trans::Yes => {
+                for (j, s) in scales.iter_mut().enumerate() {
+                    for &v in &w[j * k..(j + 1) * k] {
+                        *s = s.max(v.abs());
+                    }
+                }
+            }
+        }
+        for s in scales.iter_mut() {
+            *s = if *s > 0.0 { *s / 127.0 } else { 1.0 };
+        }
+        let mut data = vec![0i8; k * n];
+        match trans {
+            Trans::No => {
+                for l in 0..k {
+                    for j in 0..n {
+                        data[l * n + j] = quant(w[l * n + j], scales[j]);
+                    }
+                }
+            }
+            Trans::Yes => {
+                for j in 0..n {
+                    for l in 0..k {
+                        data[j * k + l] = quant(w[j * k + l], scales[j]);
+                    }
+                }
+            }
+        }
+        Q8Matrix { k, n, trans, data, scales }
+    }
+
+    /// The storage layout this matrix shadows.
+    pub fn trans(&self) -> Trans {
+        self.trans
+    }
+
+    /// Per-output-channel scales (`n` entries).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Bytes held by the quantized data + scales.
+    pub fn bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * 4
+    }
+
+    /// Worst-case absolute error of output channel `j` for an activation
+    /// row `a`: round-to-nearest loses at most `scale/2` per weight, so the
+    /// dot product is off by at most `scale_j/2 · Σ|a_l|`. Tests pin the
+    /// kernel against exactly this bound.
+    pub fn error_bound(&self, j: usize, a: &[f32]) -> f32 {
+        let sum_abs: f32 = a.iter().map(|v| v.abs()).sum();
+        0.5 * self.scales[j] * sum_abs
+    }
+}
+
+fn quant(v: f32, scale: f32) -> i8 {
+    (v / scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// `C = alpha · A · op(W)` with `A: m×k` f32 row-major and `W` the int8
+/// sidecar (beta = 0 semantics: `C` is overwritten). This is the quantized
+/// twin of the thin-GEMV path: `m` is expected to be small (decode steps
+/// have `m = 1`), every weight byte is touched once, and accumulation is
+/// f32 throughout.
+pub fn sgemm_q8(m: usize, alpha: f32, a: &[f32], w: &Q8Matrix, c: &mut [f32]) {
+    let (k, n) = (w.k, w.n);
+    assert_eq!(a.len(), m * k, "A has wrong length for q8 gemm");
+    assert_eq!(c.len(), m * n, "C has wrong length for q8 gemm");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        match w.trans {
+            Trans::No => row_axpy(a_row, w, c_row),
+            Trans::Yes => row_dot(a_row, w, c_row),
+        }
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            *cv *= alpha * w.scales[j];
+        }
+    }
+}
+
+/// `c[j] = Σ_l a[l] · q[l][j]` over `[k, n]`-stored int8 rows (axpy form).
+fn row_axpy(a: &[f32], w: &Q8Matrix, c: &mut [f32]) {
+    let n = w.n;
+    c.fill(0.0);
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::kernel_variant() == crate::simd::KernelVariant::Avx2 {
+        for (l, &s) in a.iter().enumerate() {
+            if s == 0.0 {
+                continue;
+            }
+            // SAFETY: avx2+fma verified by kernel selection.
+            unsafe { axpy_i8_avx2(s, &w.data[l * n..(l + 1) * n], c) };
+        }
+        return;
+    }
+    for (l, &s) in a.iter().enumerate() {
+        if s == 0.0 {
+            continue;
+        }
+        let row = &w.data[l * n..(l + 1) * n];
+        for (cv, &qv) in c.iter_mut().zip(row.iter()) {
+            *cv += s * qv as f32;
+        }
+    }
+}
+
+/// `c[j] = dot(a, q_row_j)` over `[n, k]`-stored int8 rows (dot form).
+fn row_dot(a: &[f32], w: &Q8Matrix, c: &mut [f32]) {
+    let k = w.k;
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::kernel_variant() == crate::simd::KernelVariant::Avx2 {
+        for (j, cv) in c.iter_mut().enumerate() {
+            // SAFETY: avx2+fma verified by kernel selection.
+            *cv = unsafe { dot_i8_avx2(a, &w.data[j * k..(j + 1) * k]) };
+        }
+        return;
+    }
+    for (j, cv) in c.iter_mut().enumerate() {
+        let row = &w.data[j * k..(j + 1) * k];
+        let mut acc = 0.0f32;
+        for (&av, &qv) in a.iter().zip(row.iter()) {
+            acc += av * qv as f32;
+        }
+        *cv = acc;
+    }
+}
+
+/// `y += s · widen(q)` — int8 row axpy, 8 lanes per step via
+/// sign-extend + convert + FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy_i8_avx2(s: f32, q: &[i8], y: &mut [f32]) {
+    use core::arch::x86_64::*;
+    let n = q.len().min(y.len());
+    let sv = _mm256_set1_ps(s);
+    let mut j = 0;
+    while j + 8 <= n {
+        let bytes = _mm_loadl_epi64(q.as_ptr().add(j) as *const __m128i);
+        let wide = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+        let yv = _mm256_loadu_ps(y.as_ptr().add(j));
+        _mm256_storeu_ps(y.as_mut_ptr().add(j), _mm256_fmadd_ps(sv, wide, yv));
+        j += 8;
+    }
+    while j < n {
+        *y.get_unchecked_mut(j) += s * *q.get_unchecked(j) as f32;
+        j += 1;
+    }
+}
+
+/// `Σ a[l] · widen(q[l])` — f32-accumulated int8 dot product.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_i8_avx2(a: &[f32], q: &[i8]) -> f32 {
+    use core::arch::x86_64::*;
+    let n = a.len().min(q.len());
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut l = 0;
+    while l + 16 <= n {
+        let b0 = _mm_loadl_epi64(q.as_ptr().add(l) as *const __m128i);
+        let b1 = _mm_loadl_epi64(q.as_ptr().add(l + 8) as *const __m128i);
+        acc0 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(a.as_ptr().add(l)),
+            _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b0)),
+            acc0,
+        );
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(a.as_ptr().add(l + 8)),
+            _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b1)),
+            acc1,
+        );
+        l += 16;
+    }
+    if l + 8 <= n {
+        let b0 = _mm_loadl_epi64(q.as_ptr().add(l) as *const __m128i);
+        acc0 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(a.as_ptr().add(l)),
+            _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b0)),
+            acc0,
+        );
+        l += 8;
+    }
+    let sum = _mm256_add_ps(acc0, acc1);
+    let hi = _mm256_extractf128_ps(sum, 1);
+    let lo = _mm256_castps256_ps128(sum);
+    let qd = _mm_add_ps(lo, hi);
+    let d = _mm_add_ps(qd, _mm_movehl_ps(qd, qd));
+    let sc = _mm_add_ss(d, _mm_shuffle_ps(d, d, 1));
+    let mut total = _mm_cvtss_f32(sc);
+    while l < n {
+        total += a.get_unchecked(l) * *q.get_unchecked(l) as f32;
+        l += 1;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{sgemm_serial, GemmSpec};
+
+    fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantized_nn_stays_within_error_bound() {
+        for &(m, k, n) in &[(1, 64, 48), (1, 768, 256), (3, 100, 33), (4, 257, 9)] {
+            let a = pseudo(m * k, 7);
+            let w = pseudo(k * n, 13);
+            let q = Q8Matrix::quantize(&w, k, n, Trans::No);
+            let mut got = vec![0.0f32; m * n];
+            sgemm_q8(m, 1.0, &a, &q, &mut got);
+            let mut want = vec![0.0f32; m * n];
+            sgemm_serial(GemmSpec::nn(m, k, n), &a, &w, &mut want);
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let bound = q.error_bound(j, a_row) + 1e-5;
+                    let err = (got[i * n + j] - want[i * n + j]).abs();
+                    assert!(err <= bound, "({m},{k},{n}) out[{i},{j}] err {err} > bound {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_nt_stays_within_error_bound() {
+        for &(m, k, n) in &[(1, 64, 200), (1, 96, 1000), (2, 33, 17)] {
+            let a = pseudo(m * k, 3);
+            let w_t = pseudo(n * k, 11); // stored [n, k]
+            let q = Q8Matrix::quantize(&w_t, k, n, Trans::Yes);
+            let mut got = vec![0.0f32; m * n];
+            sgemm_q8(m, 1.0, &a, &q, &mut got);
+            let mut want = vec![0.0f32; m * n];
+            sgemm_serial(GemmSpec::nt(m, k, n), &a, &w_t, &mut want);
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let bound = q.error_bound(j, a_row) + 1e-5;
+                    let err = (got[i * n + j] - want[i * n + j]).abs();
+                    assert!(err <= bound, "nt ({m},{k},{n}) out[{i},{j}] err {err} > {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_scales_the_quantized_product() {
+        let (k, n) = (32, 16);
+        let a = pseudo(k, 5);
+        let w = pseudo(k * n, 9);
+        let q = Q8Matrix::quantize(&w, k, n, Trans::No);
+        let mut one = vec![0.0f32; n];
+        let mut two = vec![0.0f32; n];
+        sgemm_q8(1, 1.0, &a, &q, &mut one);
+        sgemm_q8(1, 2.0, &a, &q, &mut two);
+        for j in 0..n {
+            assert!((two[j] - 2.0 * one[j]).abs() < 1e-4 * one[j].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn zero_and_constant_columns_roundtrip() {
+        // A zero column must not produce NaNs (scale falls back to 1.0)
+        // and a constant column is exactly representable.
+        let (k, n) = (8, 2);
+        let mut w = vec![0.0f32; k * n];
+        for l in 0..k {
+            w[l * n + 1] = 0.5;
+        }
+        let q = Q8Matrix::quantize(&w, k, n, Trans::No);
+        let a = vec![1.0f32; k];
+        let mut out = vec![f32::NAN; n];
+        sgemm_q8(1, 1.0, &a, &q, &mut out);
+        assert_eq!(out[0], 0.0);
+        assert!((out[1] - 0.5 * k as f32).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sidecar_is_quarter_sized() {
+        let (k, n) = (256, 512);
+        let w = pseudo(k * n, 21);
+        let q = Q8Matrix::quantize(&w, k, n, Trans::No);
+        assert!(q.bytes() < k * n * 4 / 3, "int8 sidecar must be ~4x smaller than f32");
+    }
+}

@@ -1,0 +1,414 @@
+//! Runtime-dispatched GEMM micro-kernels: explicit AVX2+FMA register tiles
+//! with a portable scalar fallback.
+//!
+//! The packed-panel engine in [`crate::gemm`] is kernel-agnostic: packing
+//! always produces MR-tall A strips and `nr`-wide B strips, and the only
+//! code that differs per architecture is the innermost register tile. This
+//! module owns that tile, selected **once per process** (cached in an
+//! atomic) from, in priority order:
+//!
+//! 1. an explicit override installed by [`set_kernel_override`] (benches
+//!    use this to measure the scalar and SIMD paths side by side);
+//! 2. the `TT_GEMM_KERNEL` environment variable (`scalar` | `simd`);
+//! 3. CPU feature detection (`avx2` + `fma` → the AVX2 tile).
+//!
+//! Two tiles exist:
+//!
+//! - **scalar** — the portable 4×8 accumulator block; fixed-size array
+//!   arithmetic that auto-vectorizes to two 4-wide vectors per C row on the
+//!   SSE2 baseline. This is both the non-x86 fallback and the reference the
+//!   CI smoke diffs the SIMD path against.
+//! - **avx2** — a 4×16 tile: eight YMM accumulators (two per C row), one
+//!   FMA chain each, which is exactly the eight in-flight chains needed to
+//!   cover FMA latency (4 cycles) at full throughput (2/cycle). Per depth
+//!   step it issues two B loads and four A broadcasts, staying under the
+//!   two-loads-per-cycle port budget, so large GEMMs run FMA-bound rather
+//!   than load-bound.
+//!
+//! The selected variant is visible through [`kernel_variant`] /
+//! [`kernel_variant_name`] so servers can log it at startup and benches can
+//! attribute their numbers to the path actually taken (the
+//! `gemm_kernel_variant` gauge in `tt-serving`).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::gemm::MR;
+
+/// Widest B-strip the engine packs (the AVX2 tile's NR). Accumulator
+/// blocks are sized for this so both tiles share one type.
+pub const NR_MAX: usize = 16;
+
+/// The register accumulator block handed to a micro-kernel. Tiles with
+/// `nr < NR_MAX` leave the upper columns untouched.
+pub(crate) type Acc = [[f32; NR_MAX]; MR];
+
+/// Which micro-kernel implementation the process dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelVariant {
+    /// Portable auto-vectorized 4×8 tile (SSE2 baseline, non-x86 fallback).
+    Scalar,
+    /// Explicit AVX2+FMA 4×16 tile (runtime-detected).
+    Avx2,
+}
+
+impl KernelVariant {
+    /// Stable label used in logs, gauges, and bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "scalar",
+            KernelVariant::Avx2 => "avx2",
+        }
+    }
+}
+
+/// A resolved micro-kernel: its B-strip width and the tile function.
+#[derive(Clone, Copy)]
+pub(crate) struct Kernel {
+    /// Columns of the register tile (B strips are packed this wide).
+    pub nr: usize,
+    /// The tile: `acc[r][0..nr] += Σ_l a_strip[l·MR+r] · b_strip[l·nr..]`.
+    ///
+    /// # Safety
+    /// `a_strip` must hold at least `kc·MR` elements and `b_strip` at
+    /// least `kc·nr`; the AVX2 tile additionally requires the CPU to
+    /// support AVX2+FMA (guaranteed by construction: it is only selected
+    /// after feature detection).
+    pub micro: unsafe fn(kc: usize, a_strip: &[f32], b_strip: &[f32], acc: &mut Acc),
+}
+
+const UNRESOLVED: u8 = 0;
+const SCALAR: u8 = 1;
+const AVX2: u8 = 2;
+
+static SELECTED: AtomicU8 = AtomicU8::new(UNRESOLVED);
+
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn resolve() -> KernelVariant {
+    match SELECTED.load(Ordering::Relaxed) {
+        SCALAR => return KernelVariant::Scalar,
+        AVX2 => return KernelVariant::Avx2,
+        _ => {}
+    }
+    let picked = match std::env::var("TT_GEMM_KERNEL").as_deref() {
+        Ok("scalar") => KernelVariant::Scalar,
+        Ok("simd") | Ok("avx2") if avx2_available() => KernelVariant::Avx2,
+        _ => {
+            if avx2_available() {
+                KernelVariant::Avx2
+            } else {
+                KernelVariant::Scalar
+            }
+        }
+    };
+    let code = match picked {
+        KernelVariant::Scalar => SCALAR,
+        KernelVariant::Avx2 => AVX2,
+    };
+    SELECTED.store(code, Ordering::Relaxed);
+    picked
+}
+
+/// The micro-kernel variant this process dispatches to.
+pub fn kernel_variant() -> KernelVariant {
+    resolve()
+}
+
+/// [`kernel_variant`] as its log/gauge label.
+pub fn kernel_variant_name() -> &'static str {
+    kernel_variant().name()
+}
+
+/// Force a specific micro-kernel for the rest of the process (or until the
+/// next override). Benches use this to time the scalar and SIMD paths on
+/// the same machine; it is not intended for production configuration
+/// (use `TT_GEMM_KERNEL` there).
+///
+/// Returns `Err` — leaving the selection unchanged — if the requested
+/// variant is not supported on this CPU.
+pub fn set_kernel_override(variant: KernelVariant) -> std::result::Result<(), &'static str> {
+    let code = match variant {
+        KernelVariant::Scalar => SCALAR,
+        KernelVariant::Avx2 => {
+            if !avx2_available() {
+                return Err("avx2+fma not available on this CPU");
+            }
+            AVX2
+        }
+    };
+    SELECTED.store(code, Ordering::Relaxed);
+    Ok(())
+}
+
+/// The kernel descriptor for the currently selected variant.
+pub(crate) fn kernel() -> Kernel {
+    match resolve() {
+        KernelVariant::Scalar => Kernel { nr: 8, micro: micro_scalar },
+        #[cfg(target_arch = "x86_64")]
+        KernelVariant::Avx2 => Kernel { nr: NR_MAX, micro: micro_avx2 },
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelVariant::Avx2 => unreachable!("avx2 variant cannot be selected off x86_64"),
+    }
+}
+
+/// Portable 4×8 tile: fixed-size array arithmetic the compiler unrolls and
+/// auto-vectorizes on the SSE2 baseline. Marked `unsafe` only to share the
+/// dispatch signature; it has no safety requirements beyond the slice
+/// lengths in the [`Kernel::micro`] contract.
+unsafe fn micro_scalar(kc: usize, a_strip: &[f32], b_strip: &[f32], acc: &mut Acc) {
+    const NR: usize = 8;
+    for (av, bv) in a_strip.chunks_exact(MR).zip(b_strip.chunks_exact(NR)).take(kc) {
+        let av: &[f32; MR] = av.try_into().expect("MR-sized chunk");
+        let bv: &[f32; NR] = bv.try_into().expect("NR-sized chunk");
+        for (acc_row, &a_val) in acc.iter_mut().zip(av.iter()) {
+            for (acc_v, &b_val) in acc_row[..NR].iter_mut().zip(bv.iter()) {
+                *acc_v += a_val * b_val;
+            }
+        }
+    }
+}
+
+/// Explicit AVX2+FMA 4×16 tile. Eight YMM accumulators carry eight
+/// independent FMA chains; per depth step: two 8-wide B loads, four A
+/// broadcasts, eight FMAs.
+///
+/// # Safety
+/// Requires AVX2+FMA (ensured by selection) and the slice lengths of the
+/// [`Kernel::micro`] contract.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn micro_avx2(kc: usize, a_strip: &[f32], b_strip: &[f32], acc: &mut Acc) {
+    use core::arch::x86_64::*;
+    debug_assert!(a_strip.len() >= kc * MR && b_strip.len() >= kc * NR_MAX);
+    let ap = a_strip.as_ptr();
+    let bp = b_strip.as_ptr();
+    let mut c00 = _mm256_setzero_ps();
+    let mut c01 = _mm256_setzero_ps();
+    let mut c10 = _mm256_setzero_ps();
+    let mut c11 = _mm256_setzero_ps();
+    let mut c20 = _mm256_setzero_ps();
+    let mut c21 = _mm256_setzero_ps();
+    let mut c30 = _mm256_setzero_ps();
+    let mut c31 = _mm256_setzero_ps();
+    for l in 0..kc {
+        let b0 = _mm256_loadu_ps(bp.add(l * NR_MAX));
+        let b1 = _mm256_loadu_ps(bp.add(l * NR_MAX + 8));
+        let a0 = _mm256_broadcast_ss(&*ap.add(l * MR));
+        c00 = _mm256_fmadd_ps(a0, b0, c00);
+        c01 = _mm256_fmadd_ps(a0, b1, c01);
+        let a1 = _mm256_broadcast_ss(&*ap.add(l * MR + 1));
+        c10 = _mm256_fmadd_ps(a1, b0, c10);
+        c11 = _mm256_fmadd_ps(a1, b1, c11);
+        let a2 = _mm256_broadcast_ss(&*ap.add(l * MR + 2));
+        c20 = _mm256_fmadd_ps(a2, b0, c20);
+        c21 = _mm256_fmadd_ps(a2, b1, c21);
+        let a3 = _mm256_broadcast_ss(&*ap.add(l * MR + 3));
+        c30 = _mm256_fmadd_ps(a3, b0, c30);
+        c31 = _mm256_fmadd_ps(a3, b1, c31);
+    }
+    _mm256_storeu_ps(acc[0].as_mut_ptr(), c00);
+    _mm256_storeu_ps(acc[0].as_mut_ptr().add(8), c01);
+    _mm256_storeu_ps(acc[1].as_mut_ptr(), c10);
+    _mm256_storeu_ps(acc[1].as_mut_ptr().add(8), c11);
+    _mm256_storeu_ps(acc[2].as_mut_ptr(), c20);
+    _mm256_storeu_ps(acc[2].as_mut_ptr().add(8), c21);
+    _mm256_storeu_ps(acc[3].as_mut_ptr(), c30);
+    _mm256_storeu_ps(acc[3].as_mut_ptr().add(8), c31);
+}
+
+/// `y += s · x` — the axpy update of the thin-GEMV path, SIMD-dispatched.
+pub(crate) fn axpy(s: f32, x: &[f32], y: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if kernel_variant() == KernelVariant::Avx2 {
+        // SAFETY: avx2+fma verified by selection.
+        unsafe { axpy_avx2(s, x, y) };
+        return;
+    }
+    for (yv, &xv) in y.iter_mut().zip(x.iter()) {
+        *yv += s * xv;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy_avx2(s: f32, x: &[f32], y: &mut [f32]) {
+    use core::arch::x86_64::*;
+    let n = x.len().min(y.len());
+    let sv = _mm256_set1_ps(s);
+    let mut i = 0;
+    while i + 16 <= n {
+        let y0 = _mm256_loadu_ps(y.as_ptr().add(i));
+        let y1 = _mm256_loadu_ps(y.as_ptr().add(i + 8));
+        let x0 = _mm256_loadu_ps(x.as_ptr().add(i));
+        let x1 = _mm256_loadu_ps(x.as_ptr().add(i + 8));
+        _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_fmadd_ps(sv, x0, y0));
+        _mm256_storeu_ps(y.as_mut_ptr().add(i + 8), _mm256_fmadd_ps(sv, x1, y1));
+        i += 16;
+    }
+    while i < n {
+        *y.get_unchecked_mut(i) += s * x.get_unchecked(i);
+        i += 1;
+    }
+}
+
+/// `Σ x[i]·y[i]` — the dot product of the thin-GEMV transposed path,
+/// SIMD-dispatched.
+pub(crate) fn dot(x: &[f32], y: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if kernel_variant() == KernelVariant::Avx2 {
+        // SAFETY: avx2+fma verified by selection.
+        return unsafe { dot_avx2(x, y) };
+    }
+    x.iter().zip(y.iter()).map(|(&a, &b)| a * b).sum()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_avx2(x: &[f32], y: &[f32]) -> f32 {
+    use core::arch::x86_64::*;
+    let n = x.len().min(y.len());
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 32 <= n {
+        acc0 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(x.as_ptr().add(i)),
+            _mm256_loadu_ps(y.as_ptr().add(i)),
+            acc0,
+        );
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(x.as_ptr().add(i + 8)),
+            _mm256_loadu_ps(y.as_ptr().add(i + 8)),
+            acc1,
+        );
+        acc2 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(x.as_ptr().add(i + 16)),
+            _mm256_loadu_ps(y.as_ptr().add(i + 16)),
+            acc2,
+        );
+        acc3 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(x.as_ptr().add(i + 24)),
+            _mm256_loadu_ps(y.as_ptr().add(i + 24)),
+            acc3,
+        );
+        i += 32;
+    }
+    while i + 8 <= n {
+        acc0 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(x.as_ptr().add(i)),
+            _mm256_loadu_ps(y.as_ptr().add(i)),
+            acc0,
+        );
+        i += 8;
+    }
+    let sum = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+    let hi = _mm256_extractf128_ps(sum, 1);
+    let lo = _mm256_castps256_ps128(sum);
+    let q = _mm_add_ps(lo, hi);
+    let d = _mm_add_ps(q, _mm_movehl_ps(q, q));
+    let s = _mm_add_ss(d, _mm_shuffle_ps(d, d, 1));
+    let mut total = _mm_cvtss_f32(s);
+    while i < n {
+        total += x.get_unchecked(i) * y.get_unchecked(i);
+        i += 1;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 13 + 5) % 17) as f32 * 0.25 - 2.0).collect()
+    }
+
+    #[test]
+    fn variant_resolves_and_names() {
+        let v = kernel_variant();
+        assert!(!v.name().is_empty());
+        assert_eq!(kernel_variant_name(), v.name());
+    }
+
+    #[test]
+    fn scalar_override_always_honored() {
+        let prev = kernel_variant();
+        set_kernel_override(KernelVariant::Scalar).unwrap();
+        assert_eq!(kernel_variant(), KernelVariant::Scalar);
+        set_kernel_override(prev).unwrap();
+    }
+
+    #[test]
+    fn micro_kernels_agree_on_shared_columns() {
+        // The scalar tile covers 8 columns; when AVX2 is available its
+        // 16-column tile must produce identical sums on those columns for
+        // a B strip replicated to both widths.
+        let kc = 37;
+        let a = seq(kc * MR);
+        let b8 = seq(kc * 8);
+        let mut acc_s: Acc = [[0.0; NR_MAX]; MR];
+        // SAFETY: slice lengths satisfy the micro contract.
+        unsafe { micro_scalar(kc, &a, &b8, &mut acc_s) };
+        // Reference accumulation.
+        let mut want = [[0.0f32; 8]; MR];
+        for l in 0..kc {
+            for r in 0..MR {
+                for c in 0..8 {
+                    want[r][c] += a[l * MR + r] * b8[l * 8 + c];
+                }
+            }
+        }
+        for r in 0..MR {
+            for c in 0..8 {
+                assert!((acc_s[r][c] - want[r][c]).abs() <= 1e-4 * want[r][c].abs().max(1.0));
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        if super::avx2_available() {
+            let mut b16 = vec![0.0f32; kc * NR_MAX];
+            for l in 0..kc {
+                for c in 0..8 {
+                    b16[l * NR_MAX + c] = b8[l * 8 + c];
+                }
+            }
+            let mut acc_v: Acc = [[0.0; NR_MAX]; MR];
+            // SAFETY: avx2 checked above; lengths satisfy the contract.
+            unsafe { micro_avx2(kc, &a, &b16, &mut acc_v) };
+            for r in 0..MR {
+                for c in 0..8 {
+                    assert!(
+                        (acc_v[r][c] - want[r][c]).abs() <= 1e-4 * want[r][c].abs().max(1.0),
+                        "avx2 tile diverged at ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_and_dot_match_reference() {
+        for n in [0, 1, 7, 8, 15, 16, 33, 100] {
+            let x = seq(n);
+            let mut y = seq(n);
+            let y0 = y.clone();
+            axpy(0.5, &x, &mut y);
+            for i in 0..n {
+                assert!((y[i] - (y0[i] + 0.5 * x[i])).abs() < 1e-5);
+            }
+            let d = dot(&x, &y0);
+            let want: f32 = x.iter().zip(y0.iter()).map(|(&a, &b)| a * b).sum();
+            assert!((d - want).abs() <= 1e-3 * want.abs().max(1.0), "dot n={n}: {d} vs {want}");
+        }
+    }
+}
