@@ -120,6 +120,14 @@ fn main() {
         Some(costs),
     )
     .expect("binding the HTTP listener");
+    // Mirror the gemm-kernel log/gauge pair: the active connection driver
+    // is logged at startup and exported as `http_driver{driver}` so a
+    // scrape can tell an epoll-reactor deployment from the threaded
+    // fallback (see docs/NETWORKING.md).
+    println!(
+        "http driver: {} (override via TT_HTTP_DRIVER=reactor|threads)",
+        server.driver().name()
+    );
     println!("serving on http://{}", server.addr());
     // Keep the sample ids inside the smallest (tiny, 97-word) vocabulary so
     // pasting the hint verbatim succeeds under every TT_HTTP_MODEL.

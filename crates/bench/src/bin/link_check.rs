@@ -1,0 +1,246 @@
+//! CI validator for the repository's markdown cross-link web: every
+//! relative link and intra-document anchor in the root `*.md` files and
+//! `docs/` must resolve, so the documentation layer (README →
+//! ARCHITECTURE → NETWORKING → ROBUSTNESS → OBSERVABILITY → …) cannot
+//! rot as files move.
+//!
+//! Std-only, like the rest of the bench tooling. Checks, per file:
+//!
+//! 1. inline links/images `[text](target)` and reference definitions
+//!    `[label]: target`, outside fenced code blocks;
+//! 2. `http(s):`/`mailto:` targets are skipped (no network in CI);
+//! 3. relative targets must exist on disk, resolved against the linking
+//!    file's directory;
+//! 4. `#anchor` fragments — bare or on a relative target — must match a
+//!    heading in the target file, using GitHub's slug rules (lowercase,
+//!    punctuation stripped, spaces to `-`, duplicate slugs suffixed).
+//!
+//! Exits non-zero listing every broken link; prints a one-line summary
+//! on success. Run it from the repo root (CI does).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let files = collect_markdown();
+    assert!(!files.is_empty(), "link_check must run from the repo root (no *.md found)");
+
+    // First pass: every file's heading-anchor set.
+    let anchors: HashMap<PathBuf, Vec<String>> = files
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+            (path.clone(), heading_slugs(&text))
+        })
+        .collect();
+
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for path in &files {
+        let text = std::fs::read_to_string(path).expect("file read in first pass");
+        for (line_no, target) in extract_links(&text) {
+            checked += 1;
+            if let Err(reason) = check_target(path, &target, &anchors) {
+                broken.push(format!("{}:{line_no}: [{target}] {reason}", path.display()));
+            }
+        }
+    }
+
+    if broken.is_empty() {
+        println!("link_check OK: {checked} links across {} markdown files", files.len());
+        return;
+    }
+    eprintln!("link_check FAILED: {} broken link(s)", broken.len());
+    for b in &broken {
+        eprintln!("  {b}");
+    }
+    std::process::exit(1);
+}
+
+/// Imported reference material whose links point into *source* repos
+/// (paper abstracts, retrieved snippets, the per-PR task file) — not part
+/// of this repo's cross-link web.
+const IMPORTED: &[&str] = &["SNIPPETS.md", "PAPERS.md", "PAPER.md", "ISSUE.md"];
+
+/// Root-level `*.md` plus everything under `docs/`, recursively.
+fn collect_markdown() -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(".").expect("read repo root").flatten() {
+        let path = entry.path();
+        let imported =
+            path.file_name().and_then(|n| n.to_str()).is_some_and(|n| IMPORTED.contains(&n));
+        if path.extension().is_some_and(|e| e == "md") && !imported {
+            files.push(path);
+        }
+    }
+    walk_docs(Path::new("docs"), &mut files);
+    files.sort();
+    files
+}
+
+fn walk_docs(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk_docs(&path, files);
+        } else if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+}
+
+/// `(line number, target)` for every link outside fenced code blocks:
+/// inline `[text](target)` (optionally `![...]`, optional `"title"`) and
+/// reference definitions `[label]: target`.
+fn extract_links(text: &str) -> Vec<(usize, String)> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        links.extend(inline_targets(line).into_iter().map(|t| (i + 1, t)));
+        if let Some(target) = reference_target(line) {
+            links.push((i + 1, target));
+        }
+    }
+    links
+}
+
+/// Every `(target)` that directly follows a `[...]` on this line,
+/// skipping inline-code spans (backticks).
+fn inline_targets(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut in_code = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'`' => in_code = !in_code,
+            b'[' if !in_code => {
+                // Find the matching bracket (no nesting in practice).
+                let Some(close) = line[i + 1..].find(']').map(|p| i + 1 + p) else { break };
+                if bytes.get(close + 1) == Some(&b'(') {
+                    if let Some(end) = line[close + 2..].find(')').map(|p| close + 2 + p) {
+                        let raw = &line[close + 2..end];
+                        // Strip an optional "title" suffix.
+                        let target = raw.split_whitespace().next().unwrap_or("");
+                        if !target.is_empty() {
+                            out.push(target.to_string());
+                        }
+                        i = end + 1;
+                        continue;
+                    }
+                }
+                i = close;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A reference-style definition: `[label]: target` at line start.
+fn reference_target(line: &str) -> Option<String> {
+    let trimmed = line.trim_start();
+    if !trimmed.starts_with('[') {
+        return None;
+    }
+    let close = trimmed.find("]:")?;
+    let target = trimmed[close + 2..].split_whitespace().next()?;
+    (!target.is_empty()).then(|| target.to_string())
+}
+
+fn check_target(
+    from: &Path,
+    target: &str,
+    anchors: &HashMap<PathBuf, Vec<String>>,
+) -> Result<(), String> {
+    if target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+    {
+        return Ok(()); // external; CI has no network
+    }
+    let (path_part, anchor) = match target.split_once('#') {
+        Some((p, a)) => (p, Some(a)),
+        None => (target, None),
+    };
+    let resolved = if path_part.is_empty() {
+        from.to_path_buf() // bare `#anchor`: same file
+    } else {
+        from.parent().unwrap_or(Path::new(".")).join(path_part)
+    };
+    if !resolved.exists() {
+        return Err(format!("target does not exist: {}", resolved.display()));
+    }
+    if let Some(anchor) = anchor {
+        let canonical = normalize(&resolved);
+        let Some(slugs) = anchors.get(&canonical) else {
+            return Ok(()); // anchored into a non-markdown file; existence is enough
+        };
+        let want = anchor.to_ascii_lowercase();
+        if !slugs.iter().any(|s| s == &want) {
+            return Err(format!("no heading for anchor #{anchor} in {}", resolved.display()));
+        }
+    }
+    Ok(())
+}
+
+/// Normalize `./docs/../README.md`-style paths to match the keys the
+/// anchor map was built with (lexical only; no symlink resolution).
+fn normalize(path: &Path) -> PathBuf {
+    let mut out = PathBuf::new();
+    for comp in path.components() {
+        match comp {
+            std::path::Component::CurDir => {}
+            std::path::Component::ParentDir => {
+                out.pop();
+            }
+            c => out.push(c),
+        }
+    }
+    // The collector produces `./README.md`-style paths.
+    Path::new(".").join(out)
+}
+
+/// GitHub's heading-to-anchor slug algorithm, close enough for CI:
+/// lowercase, keep alphanumerics/hyphens/underscores, spaces become
+/// hyphens, everything else drops; duplicate slugs get `-1`, `-2`, …
+fn heading_slugs(text: &str) -> Vec<String> {
+    let mut slugs: Vec<String> = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !line.starts_with('#') {
+            continue;
+        }
+        let title = line.trim_start_matches('#').trim();
+        let mut slug = String::new();
+        for ch in title.chars() {
+            match ch {
+                'A'..='Z' => slug.push(ch.to_ascii_lowercase()),
+                'a'..='z' | '0'..='9' | '-' | '_' => slug.push(ch),
+                ' ' => slug.push('-'),
+                _ => {}
+            }
+        }
+        let taken =
+            slugs.iter().filter(|s| **s == slug || s.starts_with(&format!("{slug}-"))).count();
+        if slugs.contains(&slug) {
+            slug = format!("{slug}-{taken}");
+        }
+        slugs.push(slug);
+    }
+    slugs
+}

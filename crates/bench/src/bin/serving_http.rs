@@ -1,29 +1,34 @@
 //! HTTP serving load test: N concurrent TCP clients against the real
-//! front-end (`tt_serving::http`) wrapped around a live engine.
+//! front-end (`tt_serving::http`) wrapped around a live engine — run once
+//! per connection driver (epoll reactor and threaded fallback).
 //!
 //! This measures what the paper's Figure 12 measures for the in-process
 //! serving loop, but at the *network boundary*: end-to-end wall latency
 //! (connect → JSON response) including HTTP parsing, admission control and
-//! the engine's DP batching, at several client concurrency levels. The
-//! queue-depth cap is deliberately finite, so the top concurrency level
-//! also exercises the `429` shed path — shed rate is a first-class column,
-//! not an error.
+//! the engine's DP batching, across a socket sweep from 2 to 512
+//! concurrent clients. The top of the sweep is the reactor's reason to
+//! exist: 512 simultaneous sockets against a 16-thread execution pool,
+//! where a thread-per-connection design queues in the accept backlog.
+//! The queue-depth cap is deliberately finite, so saturated levels also
+//! exercise the shed path — shed rate is a first-class column, not an
+//! error.
 //!
-//! Outputs `results/serving_http.md` (human-readable), `BENCH_http.json`
-//! at the repo root (machine-readable trajectory for later PRs — e.g. the
-//! ROADMAP's async front-end — to regress against), and
-//! `results/trace.json` — every span the run's [`Tracer`] collected, in
-//! Chrome trace-event form, loadable in Perfetto / `chrome://tracing`.
-//! The first request of every client forces sampling (`?trace=1`), so the
-//! trace file is never empty; `TT_TRACE_SAMPLE` widens coverage.
-//! `--smoke` runs one tiny level and writes only the trace file (which CI
-//! then validates with the `trace_check` bin).
+//! Outputs `results/serving_http.md` (human-readable, one table per
+//! driver), `BENCH_http.json` at the repo root (machine-readable
+//! trajectory keyed by driver for later PRs to regress against), and
+//! `results/trace.json` — every span the reactor run's [`Tracer`]
+//! collected, in Chrome trace-event form, loadable in Perfetto /
+//! `chrome://tracing`. The first request of every client forces sampling
+//! (`?trace=1`), so the trace file is never empty; `TT_TRACE_SAMPLE`
+//! widens coverage. `--smoke` runs one tiny level under the driver
+//! `TT_HTTP_DRIVER` selects (so CI covers both drivers with two
+//! invocations) and writes only the trace file.
 
 use std::fmt::Write as _;
 use std::io::{Read, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,20 +37,25 @@ use tt_bench::{fmt_pct, print_table};
 use tt_gpusim::device::DeviceKind;
 use tt_model::bert::{Bert, BertConfig};
 use tt_runtime::{RuntimeConfig, TurboRuntime};
-use tt_serving::http::{HttpConfig, HttpServer};
+use tt_serving::http::{DriverKind, HttpConfig, HttpServer};
 use tt_serving::live::LiveEngine;
 use tt_serving::scheduler::InstrumentedScheduler;
 use tt_serving::stats::LatencyStats;
 use tt_serving::{CachedCost, DpScheduler};
-use tt_telemetry::{chrome_trace_json, Registry, Tracer};
+use tt_telemetry::{chrome_trace_json, Registry, SpanRecord, Tracer};
 
-/// Requests each client issues per concurrency level.
-const REQUESTS_PER_CLIENT: usize = 30;
-/// In-flight cap: finite so the top levels measure shedding, large enough
-/// that low levels shed nothing. Must be *below* the worker-pool width —
-/// the pool bounds concurrent admissions, so a depth at or above it can
-/// never be reached and the shed path would sit unexercised.
-const QUEUE_DEPTH: usize = 12;
+/// The socket sweep: (concurrent clients, requests each). Low levels
+/// measure uncontended latency, the middle measures admission control
+/// under saturation, and the 64–512 tail measures connection scalability
+/// — request counts taper there so the sweep stays fast while every
+/// socket still sees several requests.
+const LEVELS: &[(usize, usize)] =
+    &[(2, 30), (8, 30), (16, 30), (32, 30), (64, 16), (128, 8), (256, 8), (512, 4)];
+/// In-flight cap. Sized *above* the execution-pool width: moderate
+/// concurrency (8–16 clients) rides the queue instead of shedding, so
+/// shed rate stays near zero until the sweep genuinely saturates the
+/// hand-off path at the 64+ socket levels.
+const QUEUE_DEPTH: usize = 48;
 /// Token-length range of the synthetic workload (the paper's variable-
 /// length serving regime, scaled to the tiny model).
 const LEN_RANGE: std::ops::RangeInclusive<usize> = 4..=48;
@@ -69,17 +79,73 @@ struct LevelReport {
 }
 
 #[derive(Serialize)]
+struct DriverReport {
+    driver: &'static str,
+    levels: Vec<LevelReport>,
+}
+
+#[derive(Serialize)]
 struct HttpBenchReport {
     bench: &'static str,
     model: &'static str,
     queue_depth: usize,
-    requests_per_client: usize,
-    levels: Vec<LevelReport>,
+    drivers: Vec<DriverReport>,
+}
+
+/// One full sweep under one connection driver: fresh registry, engine and
+/// server, so drivers cannot contaminate each other's metrics.
+struct DriverRun {
+    report: DriverReport,
+    http_lines: Vec<String>,
+    spans: Vec<SpanRecord>,
+    served: usize,
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
 
+    if smoke {
+        // CI invokes the smoke once per driver via TT_HTTP_DRIVER; honor
+        // the same selection a production `http_server` would.
+        let kind = DriverKind::from_env();
+        let run = run_driver(kind, &[(2, 3)]);
+        let ok_total: usize = run.report.levels.iter().map(|r| r.ok).sum();
+        assert!(ok_total > 0, "smoke run must complete requests");
+        assert_eq!(run.served, ok_total, "engine served exactly the admitted requests");
+        assert!(!run.spans.is_empty(), "forced-trace requests must leave spans");
+        let joined = run.http_lines.join("\n");
+        assert!(
+            joined.contains(&format!("http_driver{{driver=\"{}\"}}", kind.name())),
+            "final scrape must report the active driver"
+        );
+        if kind == DriverKind::Reactor {
+            for family in ["reactor_wakeups_total", "reactor_registered_fds"] {
+                assert!(joined.contains(family), "reactor scrape missing {family}");
+            }
+        }
+        let _ = std::fs::create_dir_all("results");
+        std::fs::write("results/trace.json", chrome_trace_json(&run.spans))
+            .expect("write results/trace.json");
+        println!("smoke OK ({} driver)", kind.name());
+        return;
+    }
+
+    // Full sweep: reactor first (the default driver and the headline
+    // numbers), threaded fallback second for the comparison table.
+    let reactor = run_driver(DriverKind::Reactor, LEVELS);
+    let threads = run_driver(DriverKind::Threads, LEVELS);
+
+    // The exported trace timeline comes from the reactor run — the
+    // driver a default deployment actually serves with.
+    let _ = std::fs::create_dir_all("results");
+    std::fs::write("results/trace.json", chrome_trace_json(&reactor.spans))
+        .expect("write results/trace.json");
+    println!("wrote results/trace.json ({} spans)", reactor.spans.len());
+
+    write_outputs(&[reactor, threads]);
+}
+
+fn run_driver(kind: DriverKind, levels: &[(usize, usize)]) -> DriverRun {
     let registry = Registry::new();
     let tracer = Tracer::from_env();
     let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
@@ -107,25 +173,25 @@ fn main() {
         max_queue_depth: QUEUE_DEPTH,
         ..HttpConfig::default()
     };
-    // `start_with_costs` hands the admission controller the engine's cost
-    // table, activating SLO-aware shedding (503/504) alongside the
-    // capacity cap (429).
-    let server = HttpServer::start_with_costs(
+    // Explicit driver pin (no TT_HTTP_DRIVER lookup): both sweeps must
+    // run the driver they claim to, regardless of environment. Costs go
+    // to the admission controller for SLO-aware shedding (503/504)
+    // alongside the capacity cap (429).
+    let server = HttpServer::start_with_driver(
         config,
         Arc::new(engine.client()),
+        None,
         &registry,
         tracer.clone(),
         Some(costs.clone()),
+        kind,
     )
     .expect("server starts");
     let addr = server.addr();
-    println!("serving_http: engine + HTTP front-end on {addr}");
-
-    let levels: &[usize] = if smoke { &[2] } else { &[2, 8, 16, 32] };
-    let per_client = if smoke { 3 } else { REQUESTS_PER_CLIENT };
+    println!("serving_http[{}]: engine + HTTP front-end on {addr}", kind.name());
 
     let mut reports = Vec::new();
-    for &concurrency in levels {
+    for &(concurrency, per_client) in levels {
         reports.push(run_level(addr, concurrency, per_client));
     }
 
@@ -148,7 +214,7 @@ fn main() {
         })
         .collect();
     print_table(
-        "HTTP serving load test (tiny BERT, DP scheduler)",
+        &format!("HTTP serving load test — {} driver (tiny BERT, DP scheduler)", kind.name()),
         &[
             "clients",
             "requests",
@@ -165,41 +231,24 @@ fn main() {
         &rows,
     );
 
-    // Graceful shutdown flushes the final exposition; keep the http_*
-    // families as the observability record of the run.
+    // Graceful shutdown flushes the final exposition; keep the http_* and
+    // reactor_* families as the observability record of the run.
     let final_metrics = server.shutdown();
     let served = engine.shutdown();
-    let http_lines: Vec<&str> = final_metrics
+    let http_lines: Vec<String> = final_metrics
         .lines()
-        .filter(|l| l.starts_with("http_") && !l.contains("_bucket"))
+        .filter(|l| (l.starts_with("http_") || l.starts_with("reactor_")) && !l.contains("_bucket"))
+        .map(str::to_string)
         .collect();
-    println!("\nfinal scrape ({} http_* series):", http_lines.len());
-    for line in &http_lines {
-        println!("  {line}");
+    println!("[{}] final scrape: {} http_*/reactor_* series", kind.name(), http_lines.len());
+    println!("[{}] engine served {served} requests", kind.name());
+
+    DriverRun {
+        report: DriverReport { driver: kind.name(), levels: reports },
+        http_lines,
+        spans: tracer.all_spans(),
+        served,
     }
-    println!("engine served {served} requests");
-
-    // Export everything the tracer collected as a Chrome trace-event file
-    // — drop it into Perfetto (ui.perfetto.dev) or chrome://tracing. One
-    // timeline lane per sampled request.
-    let spans = tracer.all_spans();
-    let _ = std::fs::create_dir_all("results");
-    std::fs::write("results/trace.json", chrome_trace_json(&spans))
-        .expect("write results/trace.json");
-    println!("wrote results/trace.json ({} spans)", spans.len());
-
-    if smoke {
-        let shed_total: usize = reports.iter().map(|r| r.shed).sum();
-        let ok_total: usize = reports.iter().map(|r| r.ok).sum();
-        assert!(ok_total > 0, "smoke run must complete requests");
-        assert_eq!(served, ok_total, "engine served exactly the admitted requests");
-        assert!(!spans.is_empty(), "forced-trace requests must leave spans");
-        let _ = shed_total;
-        println!("smoke OK");
-        return;
-    }
-
-    write_outputs(&reports, &http_lines);
 }
 
 fn run_level(addr: SocketAddr, concurrency: usize, per_client: usize) -> LevelReport {
@@ -271,9 +320,11 @@ fn run_level(addr: SocketAddr, concurrency: usize, per_client: usize) -> LevelRe
     }
 }
 
-/// One request on a fresh connection; returns the status code.
+/// One request on a fresh connection; returns the status code. The
+/// connect timeout is the 512-socket guardrail: a driver that strands
+/// connections in the accept backlog turns up as errors, not a hang.
 fn request(addr: SocketAddr, body: &str, force_trace: bool) -> Option<u16> {
-    let mut stream = TcpStream::connect(addr).ok()?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2)).ok()?;
     let target = if force_trace { "/v1/infer?trace=1" } else { "/v1/infer" };
     let raw = format!(
         "POST {target} HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\n\
@@ -286,14 +337,15 @@ fn request(addr: SocketAddr, body: &str, force_trace: bool) -> Option<u16> {
     response.split(' ').nth(1)?.parse().ok()
 }
 
-fn write_outputs(reports: &[LevelReport], http_lines: &[&str]) {
+fn write_outputs(runs: &[DriverRun]) {
     let mut md = String::new();
     let _ = writeln!(md, "# HTTP serving load test (`serving_http`)\n");
     let _ = writeln!(
         md,
-        "N concurrent TCP clients, each issuing {REQUESTS_PER_CLIENT} `POST /v1/infer` \
-         requests (tiny BERT, token lengths {}–{}, DP scheduler, engine queue depth \
-         capped at {QUEUE_DEPTH}). Latency is end-to-end wall time: TCP connect → HTTP \
+        "N concurrent TCP clients against the full stack (tiny BERT, token lengths \
+         {}–{}, DP scheduler, engine queue depth capped at {QUEUE_DEPTH}), swept from 2 \
+         to 512 sockets and run once per connection driver (see \
+         `docs/NETWORKING.md`). Latency is end-to-end wall time: TCP connect → HTTP \
          parse → admission → LiveEngine batch → JSON response. Sheds are the \
          admission-control path working as designed, not failures, broken out by \
          taxonomy reason (docs/ROBUSTNESS.md): `429` capacity, `503` predicted SLO \
@@ -301,39 +353,45 @@ fn write_outputs(reports: &[LevelReport], http_lines: &[&str]) {
         LEN_RANGE.start(),
         LEN_RANGE.end(),
     );
-    let _ = writeln!(
-        md,
-        "| clients | requests | ok | 429 | 503 | 504 | shed rate | req/s | p50 ms | p95 ms | p99 ms | mean ms |"
-    );
-    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|---|---|---|---|");
-    for r in reports {
+    for run in runs {
+        let _ = writeln!(md, "## `{}` driver\n", run.report.driver);
         let _ = writeln!(
             md,
-            "| {} | {} | {} | {} | {} | {} | {} | {:.1} | {:.2} | {:.2} | {:.2} | {:.2} |",
-            r.concurrency,
-            r.requests,
-            r.ok,
-            r.shed_429,
-            r.shed_503,
-            r.shed_504,
-            fmt_pct(r.shed_rate),
-            r.throughput_rps,
-            r.p50_ms,
-            r.p95_ms,
-            r.p99_ms,
-            r.mean_ms,
+            "| clients | requests | ok | 429 | 503 | 504 | shed rate | req/s | p50 ms | p95 ms | p99 ms | mean ms |"
         );
+        let _ = writeln!(md, "|---|---|---|---|---|---|---|---|---|---|---|---|");
+        for r in &run.report.levels {
+            let _ = writeln!(
+                md,
+                "| {} | {} | {} | {} | {} | {} | {} | {:.1} | {:.2} | {:.2} | {:.2} | {:.2} |",
+                r.concurrency,
+                r.requests,
+                r.ok,
+                r.shed_429,
+                r.shed_503,
+                r.shed_504,
+                fmt_pct(r.shed_rate),
+                r.throughput_rps,
+                r.p50_ms,
+                r.p95_ms,
+                r.p99_ms,
+                r.mean_ms,
+            );
+        }
+        let _ = writeln!(
+            md,
+            "\nFinal flushed `http_*`/`reactor_*` series from the graceful-shutdown \
+             snapshot:\n\n```"
+        );
+        for line in &run.http_lines {
+            let _ = writeln!(md, "{line}");
+        }
+        let _ = writeln!(md, "```\n");
     }
-    let _ =
-        writeln!(md, "\nFinal flushed `http_*` series from the graceful-shutdown snapshot:\n\n```");
-    for line in http_lines {
-        let _ = writeln!(md, "{line}");
-    }
-    let _ = writeln!(md, "```");
     let _ = writeln!(
         md,
-        "\nMachine-readable trajectory: `BENCH_http.json` at the repo root. \
-         Request timelines: `results/trace.json` (Chrome trace-event format — \
+        "Machine-readable trajectory: `BENCH_http.json` at the repo root (keyed by \
+         driver). Request timelines: `results/trace.json` (Chrome trace-event format — \
          load it in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`)."
     );
     std::fs::write("results/serving_http.md", md).expect("write results/serving_http.md");
@@ -342,8 +400,10 @@ fn write_outputs(reports: &[LevelReport], http_lines: &[&str]) {
         bench: "serving_http",
         model: "bert-tiny",
         queue_depth: QUEUE_DEPTH,
-        requests_per_client: REQUESTS_PER_CLIENT,
-        levels: reports.to_vec(),
+        drivers: runs
+            .iter()
+            .map(|r| DriverReport { driver: r.report.driver, levels: r.report.levels.clone() })
+            .collect(),
     };
     let json = serde_json::to_string(&report).expect("serialize BENCH_http.json");
     std::fs::write("BENCH_http.json", json).expect("write BENCH_http.json");

@@ -19,6 +19,7 @@
 //! | [`FaultPoint::AllocPlanFail`] | before the allocator plans a batch | batch dropped, clients get `503` |
 //! | [`FaultPoint::WorkerStall`] | before an HTTP worker serves a connection | queueing delay, admission pressure |
 //! | [`FaultPoint::ConnDrop`] | mid-response write | client sees a truncated response |
+//! | [`FaultPoint::ConnStall`] | when a connection becomes readable | read deferred through the reactor's timer wheel — a synthetic slow peer |
 //! | [`FaultPoint::KvAllocFail`] | when the paged KV arena allocates a page | sequence gets a typed error, pages reclaimed |
 //!
 //! ## Zero cost when disabled
@@ -53,6 +54,8 @@
 //! | `TT_CHAOS_WORKER_STALL` | probability an HTTP worker stalls |
 //! | `TT_CHAOS_WORKER_STALL_MS` | stall length, milliseconds |
 //! | `TT_CHAOS_CONN_DROP` | probability a response write is cut mid-stream |
+//! | `TT_CHAOS_CONN_STALL` | probability a readable connection's processing is deferred |
+//! | `TT_CHAOS_CONN_STALL_MS` | deferral length, milliseconds |
 //! | `TT_CHAOS_KV_ALLOC_FAIL` | probability a paged KV page allocation fails |
 //! | `TT_CHAOS_SEED` | SplitMix64 seed for the fire decisions |
 
@@ -61,7 +64,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
-/// The six fault classes the stack can inject.
+/// The seven fault classes the stack can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultPoint {
     /// An operator dispatch in the executor panics.
@@ -76,16 +79,20 @@ pub enum FaultPoint {
     ConnDrop,
     /// The paged KV arena fails a page allocation (exhaustion mid-decode).
     KvAllocFail,
+    /// A readable connection's processing is deferred — the reactor parks
+    /// it on the timer wheel as if the peer had paused mid-send.
+    ConnStall,
 }
 
 /// Every fault point, in declaration order (indexable by `as usize`).
-pub const FAULT_POINTS: [FaultPoint; 6] = [
+pub const FAULT_POINTS: [FaultPoint; 7] = [
     FaultPoint::ExecutorOpPanic,
     FaultPoint::OpSlowdown,
     FaultPoint::AllocPlanFail,
     FaultPoint::WorkerStall,
     FaultPoint::ConnDrop,
     FaultPoint::KvAllocFail,
+    FaultPoint::ConnStall,
 ];
 
 impl FaultPoint {
@@ -98,6 +105,7 @@ impl FaultPoint {
             FaultPoint::WorkerStall => "worker_stall",
             FaultPoint::ConnDrop => "conn_drop",
             FaultPoint::KvAllocFail => "kv_alloc_fail",
+            FaultPoint::ConnStall => "conn_stall",
         }
     }
 
@@ -125,6 +133,10 @@ pub struct ChaosConfig {
     pub worker_stall_ms: u64,
     /// Probability a response write is cut mid-stream.
     pub conn_drop: f64,
+    /// Probability a readable connection's processing is deferred.
+    pub conn_stall: f64,
+    /// Deferral length when a connection stall fires.
+    pub conn_stall_ms: u64,
     /// Probability a paged KV arena page allocation fails.
     pub kv_alloc_fail: f64,
     /// Seed for the deterministic fire decisions.
@@ -141,6 +153,8 @@ impl Default for ChaosConfig {
             worker_stall: 0.0,
             worker_stall_ms: 20,
             conn_drop: 0.0,
+            conn_stall: 0.0,
+            conn_stall_ms: 20,
             kv_alloc_fail: 0.0,
             seed: 0,
         }
@@ -165,6 +179,8 @@ impl ChaosConfig {
             worker_stall: env("TT_CHAOS_WORKER_STALL", d.worker_stall),
             worker_stall_ms: env("TT_CHAOS_WORKER_STALL_MS", d.worker_stall_ms),
             conn_drop: env("TT_CHAOS_CONN_DROP", d.conn_drop),
+            conn_stall: env("TT_CHAOS_CONN_STALL", d.conn_stall),
+            conn_stall_ms: env("TT_CHAOS_CONN_STALL_MS", d.conn_stall_ms),
             kv_alloc_fail: env("TT_CHAOS_KV_ALLOC_FAIL", d.kv_alloc_fail),
             seed: env("TT_CHAOS_SEED", d.seed),
         }
@@ -178,6 +194,7 @@ impl ChaosConfig {
             self.alloc_plan_fail,
             self.worker_stall,
             self.conn_drop,
+            self.conn_stall,
             self.kv_alloc_fail,
         ]
         .iter()
@@ -191,6 +208,7 @@ impl ChaosConfig {
             FaultPoint::AllocPlanFail => self.alloc_plan_fail,
             FaultPoint::WorkerStall => self.worker_stall,
             FaultPoint::ConnDrop => self.conn_drop,
+            FaultPoint::ConnStall => self.conn_stall,
             FaultPoint::KvAllocFail => self.kv_alloc_fail,
         }
     }
@@ -202,20 +220,22 @@ struct ChaosState {
     armed: AtomicBool,
     /// Fire threshold per point: `floor(p · 2⁶⁴)` so a uniform u64 draw
     /// `< threshold` fires with probability `p` (saturated for `p ≥ 1`).
-    thresholds: [AtomicU64; 6],
-    fired: [AtomicU64; 6],
+    thresholds: [AtomicU64; 7],
+    fired: [AtomicU64; 7],
     op_slowdown_ms: AtomicU64,
     worker_stall_ms: AtomicU64,
+    conn_stall_ms: AtomicU64,
     seed: AtomicU64,
     draws: AtomicU64,
 }
 
 static STATE: ChaosState = ChaosState {
     armed: AtomicBool::new(false),
-    thresholds: [const { AtomicU64::new(0) }; 6],
-    fired: [const { AtomicU64::new(0) }; 6],
+    thresholds: [const { AtomicU64::new(0) }; 7],
+    fired: [const { AtomicU64::new(0) }; 7],
     op_slowdown_ms: AtomicU64::new(0),
     worker_stall_ms: AtomicU64::new(0),
+    conn_stall_ms: AtomicU64::new(0),
     seed: AtomicU64::new(0),
     draws: AtomicU64::new(0),
 };
@@ -245,6 +265,7 @@ pub fn install(config: ChaosConfig) {
     }
     STATE.op_slowdown_ms.store(config.op_slowdown_ms, Ordering::SeqCst);
     STATE.worker_stall_ms.store(config.worker_stall_ms, Ordering::SeqCst);
+    STATE.conn_stall_ms.store(config.conn_stall_ms, Ordering::SeqCst);
     STATE.seed.store(config.seed, Ordering::SeqCst);
     STATE.draws.store(0, Ordering::SeqCst);
     STATE.armed.store(config.any_armed(), Ordering::SeqCst);
@@ -345,6 +366,15 @@ pub fn conn_drop() -> bool {
     fires(FaultPoint::ConnDrop)
 }
 
+/// HTTP read hook: the deferral to apply if [`FaultPoint::ConnStall`]
+/// fires. The reactor parks the readable connection on its timer wheel for
+/// this long — a synthetic slow peer; the threaded driver sleeps instead.
+#[inline]
+pub fn conn_stall() -> Option<Duration> {
+    fires(FaultPoint::ConnStall)
+        .then(|| Duration::from_millis(STATE.conn_stall_ms.load(Ordering::Relaxed)))
+}
+
 /// Paged KV arena hook: whether this page allocation should fail, standing
 /// in for genuine page exhaustion mid-decode. The arena surfaces the fired
 /// fault as its typed out-of-pages error, so the blast radius is exactly
@@ -355,7 +385,7 @@ pub fn kv_alloc_fail() -> bool {
 }
 
 /// How many times each point has fired since the last [`install`].
-pub fn fired_counts() -> [(FaultPoint, u64); 6] {
+pub fn fired_counts() -> [(FaultPoint, u64); 7] {
     FAULT_POINTS.map(|p| (p, STATE.fired[p.index()].load(Ordering::Relaxed)))
 }
 

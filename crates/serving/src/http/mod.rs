@@ -2,9 +2,22 @@
 //!
 //! The paper's serving framework sits behind a network front-end that
 //! feeds the sequence-length-aware batch scheduler; this module is that
-//! boundary, built directly on [`std::net::TcpListener`] with a small
-//! worker pool — no external dependencies, matching the offline build
-//! environment.
+//! boundary, built directly on [`std::net::TcpListener`] with no external
+//! dependencies, matching the offline build environment.
+//!
+//! Two **connection drivers** implement the byte-moving half, selected by
+//! `TT_HTTP_DRIVER` behind the same public API (see `docs/NETWORKING.md`):
+//!
+//! - [`DriverKind::Reactor`] (default on Linux) — a readiness-driven
+//!   epoll event loop: one reactor thread owns every socket nonblocking,
+//!   per-connection state machines drive the incremental [`parser`], a
+//!   timer wheel bounds slow peers, and parsed requests are handed to a
+//!   bounded execution pool. Connection count decouples from thread
+//!   count, so thousands of concurrent sockets ride on
+//!   `workers + 2` threads.
+//! - [`DriverKind::Threads`] — the classic blocking acceptor + worker
+//!   pool (one connection per worker thread at a time); the portable
+//!   fallback and the baseline the reactor is benchmarked against.
 //!
 //! Routes:
 //!
@@ -19,7 +32,9 @@
 //!   one NDJSON event per generated token as the continuous-batching
 //!   [`GenEngine`](crate::generate::GenEngine) produces them, ending with
 //!   a terminal `{"event":"done",...}` chunk (see `docs/GENERATION.md`
-//!   for the wire format);
+//!   for the wire format). Under the reactor driver, token events queue
+//!   per connection and flush on socket writability — a stream holds no
+//!   thread while it waits for the next token;
 //! - `GET /metrics` — the live [`Registry`] rendered in the Prometheus
 //!   text exposition format, scrapeable while the engine serves;
 //! - `GET /v1/traces/<id>` — the recorded span tree of a sampled request
@@ -34,47 +49,54 @@
 //!
 //! Robustness is part of the design, not an afterthought:
 //!
-//! - **Backpressure and SLO-aware admission.** Accepted connections queue
-//!   in a *bounded* hand-off queue (`pending_connections`); when it fills,
-//!   the acceptor blocks and further clients wait in the kernel backlog.
-//!   In-flight inference is capped at `max_queue_depth` (beyond it: `429`),
-//!   and on top of the cap the [`admission::AdmissionController`] sheds
-//!   `503` when live queue-wait p99 plus this request's cost-table
-//!   estimate exceeds its deadline. Every request carries an end-to-end
-//!   deadline (`x-tt-deadline-ms` header, default `TT_SLO_MS`); expired
-//!   work is dropped with `504` at admission and at the engine's
-//!   pre-schedule/pre-execute boundaries. All shed responses carry a
-//!   `Retry-After` derived from the observed drain rate. See
-//!   `docs/ROBUSTNESS.md` for the full shed taxonomy.
+//! - **Backpressure and SLO-aware admission.** Parsed requests hand off
+//!   to the execution pool through a *bounded* queue
+//!   (`pending_connections`); overflow sheds `429` instead of queueing
+//!   unboundedly. In-flight inference is capped at `max_queue_depth`
+//!   (beyond it: `429`), and on top of the cap the
+//!   [`admission::AdmissionController`] sheds `503` when live queue-wait
+//!   p99 plus this request's cost-table estimate exceeds its deadline.
+//!   Every request carries an end-to-end deadline (`x-tt-deadline-ms`
+//!   header, default `TT_SLO_MS`); expired work is dropped with `504` at
+//!   admission and at the engine's pre-schedule/pre-execute boundaries.
+//!   All shed responses carry a `Retry-After` derived from the observed
+//!   drain rate. See `docs/ROBUSTNESS.md` for the full shed taxonomy.
 //! - **Limits.** Request bodies above `max_body_bytes` are refused with
 //!   `413` at header time; malformed requests/JSON get `400`; per
-//!   connection read/write timeouts bound a slow peer's hold on a worker.
+//!   connection read/write timeouts bound a slow peer's hold on the
+//!   server (enforced by the reactor's timer wheel, or by socket
+//!   timeouts under the threaded driver).
 //! - **Graceful shutdown.** [`HttpServer::shutdown`] stops accepting,
-//!   lets the workers drain every accepted connection and in-flight
-//!   request, joins all threads, and returns a final metrics snapshot —
-//!   no request that got a `2xx` admission is dropped.
+//!   drains every registered connection and in-flight request, joins all
+//!   threads, and returns a final metrics snapshot — no request that got
+//!   a `2xx` admission is dropped.
 //!
 //! The server reports its own traffic through `tt-telemetry` the same way
 //! the engine does: `http_requests_total{route,status}`, a per-route
-//! latency histogram, an active-connections gauge and a shed counter all
-//! land in the same registry `/metrics` renders, so the front-end is
-//! visible in its own exposition.
+//! latency histogram, an active-connections gauge, a shed counter and —
+//! under the reactor — `reactor_*` event-loop health metrics all land in
+//! the same registry `/metrics` renders, so the front-end is visible in
+//! its own exposition.
 
 pub mod admission;
 pub mod parser;
 
+#[cfg(target_os = "linux")]
+mod reactor;
+#[cfg(target_os = "linux")]
+mod sys;
+mod threaded;
+
 use std::collections::VecDeque;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 use tt_telemetry::{
-    trace_tree_json, Counter, Gauge, Histogram, Registry, SpanContext, Stopwatch, TraceId, Tracer,
+    trace_tree_json, Counter, Gauge, Histogram, Registry, Span, SpanContext, TraceId, Tracer,
 };
 
 use crate::cost_table::CachedCost;
@@ -82,7 +104,7 @@ use crate::deadline::Deadline;
 use crate::generate::{FinishReason, GenClient, TokenEvent};
 use crate::live::{LiveClient, LiveError};
 use admission::AdmissionController;
-use parser::{parse_request, HttpRequest, ParseOutcome};
+use parser::HttpRequest;
 
 /// Configuration of the HTTP front-end. Every field has a `TT_HTTP_*`
 /// environment override (see [`HttpConfig::from_env`] and the README
@@ -92,11 +114,14 @@ pub struct HttpConfig {
     /// Bind address (`TT_HTTP_ADDR`, default `127.0.0.1:7070`; use port 0
     /// for an ephemeral port, e.g. in tests).
     pub addr: String,
-    /// Worker threads handling connections (`TT_HTTP_WORKERS`, default 4).
+    /// Execution-pool threads running inference requests — and, under the
+    /// threaded driver, connection-serving worker threads
+    /// (`TT_HTTP_WORKERS`, default 4).
     pub workers: usize,
-    /// Bounded accepted-connection hand-off queue between the acceptor
-    /// and the workers (`TT_HTTP_PENDING`, default 64). When full, the
-    /// acceptor blocks — the bounded-accept half of backpressure.
+    /// Bounded hand-off queue into the execution pool: parsed requests
+    /// under the reactor, accepted connections under the threaded driver
+    /// (`TT_HTTP_PENDING`, default 64). When full, the reactor sheds
+    /// `429`; the threaded acceptor blocks.
     pub pending_connections: usize,
     /// In-flight inference cap; beyond it `/v1/infer` sheds with `429`
     /// (`TT_HTTP_QUEUE_DEPTH`, default 32).
@@ -104,11 +129,16 @@ pub struct HttpConfig {
     /// Request body size limit in bytes, enforced at header time with
     /// `413` (`TT_HTTP_MAX_BODY`, default 1 MiB).
     pub max_body_bytes: usize,
-    /// Per-connection socket read timeout (`TT_HTTP_READ_TIMEOUT_MS`,
-    /// default 5000 ms).
+    /// Per-connection read/idle timeout (`TT_HTTP_READ_TIMEOUT_MS`,
+    /// default 5000 ms). The reactor answers a mid-request stall with
+    /// `408` from its timer wheel and closes idle keep-alive connections
+    /// silently; the threaded driver applies it as the socket read
+    /// timeout.
     pub read_timeout: Duration,
-    /// Per-connection socket write timeout (`TT_HTTP_WRITE_TIMEOUT_MS`,
-    /// default 5000 ms).
+    /// Per-connection write timeout (`TT_HTTP_WRITE_TIMEOUT_MS`, default
+    /// 5000 ms): how long a written-but-unflushed response may sit
+    /// against a peer that stopped reading before the connection is
+    /// abandoned.
     pub write_timeout: Duration,
     /// `Retry-After` seconds advertised on a shed before the server has
     /// observed a drain rate (`TT_HTTP_RETRY_AFTER_S`, default 1). Once
@@ -168,6 +198,60 @@ impl HttpConfig {
             slo: Duration::from_millis(env("TT_SLO_MS", d.slo.as_millis() as u64).max(1)),
         }
     }
+}
+
+/// Which connection driver moves bytes between sockets and the execution
+/// pool. Selected by `TT_HTTP_DRIVER` (`reactor` | `threads`); exported
+/// at `/metrics` as the `http_driver{driver}` gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverKind {
+    /// Readiness-driven epoll event loop (Linux; the default there). One
+    /// reactor thread owns every socket; requests execute on the bounded
+    /// pool; streams flush on writability. See `docs/NETWORKING.md`.
+    Reactor,
+    /// Blocking acceptor + worker pool: one thread serves one connection
+    /// at a time. Portable fallback (`TT_HTTP_DRIVER=threads`), and the
+    /// default off Linux.
+    Threads,
+}
+
+impl DriverKind {
+    /// Stable lowercase name, used in logs and the `http_driver` gauge
+    /// label.
+    pub fn name(self) -> &'static str {
+        match self {
+            DriverKind::Reactor => "reactor",
+            DriverKind::Threads => "threads",
+        }
+    }
+
+    /// Driver selected by `TT_HTTP_DRIVER`, defaulting to the reactor on
+    /// Linux and the threaded driver elsewhere. Asking for `reactor` on a
+    /// platform without epoll falls back to `threads` rather than failing
+    /// — the serving surface is identical.
+    pub fn from_env() -> Self {
+        let default =
+            if cfg!(target_os = "linux") { DriverKind::Reactor } else { DriverKind::Threads };
+        match std::env::var("TT_HTTP_DRIVER").ok().as_deref() {
+            Some("threads") => DriverKind::Threads,
+            Some("reactor") if cfg!(target_os = "linux") => DriverKind::Reactor,
+            _ => default,
+        }
+    }
+}
+
+/// The seam between [`HttpServer`] and a running connection driver: the
+/// server starts one at bind time and only ever needs to wake it for
+/// shutdown and join its threads. Everything route-level (admission,
+/// deadlines, tracing, chaos, metrics) lives above this seam and is
+/// shared by both implementations.
+trait ConnectionDriver: Send {
+    /// Nudge the driver to notice `ServerShared::shutting_down` (self-pipe
+    /// wake for the reactor, a throwaway connection for the blocking
+    /// acceptor). Idempotent.
+    fn begin_shutdown(&self);
+    /// Block until every thread the driver spawned has drained and exited.
+    fn join(&mut self);
 }
 
 /// The inference backend behind `POST /v1/infer`.
@@ -517,22 +601,24 @@ fn status_reason(status: u16) -> &'static str {
     }
 }
 
-/// A bounded blocking hand-off queue between the acceptor and the worker
-/// pool (std `Mutex` + `Condvar`; the vendored crossbeam shim's receiver
-/// is single-consumer, and the pool needs many consumers).
-struct WorkQueue {
-    state: Mutex<QueueState>,
+/// A bounded blocking hand-off queue (std `Mutex` + `Condvar`; the
+/// vendored crossbeam shim's receiver is single-consumer, and the pool
+/// needs many consumers). The threaded driver queues accepted
+/// connections through it; the reactor queues parsed requests for the
+/// execution pool.
+struct WorkQueue<T> {
+    state: Mutex<QueueState<T>>,
     readable: Condvar,
     writable: Condvar,
     capacity: usize,
 }
 
-struct QueueState {
-    items: VecDeque<TcpStream>,
+struct QueueState<T> {
+    items: VecDeque<T>,
     closed: bool,
 }
 
-impl WorkQueue {
+impl<T> WorkQueue<T> {
     fn new(capacity: usize) -> Self {
         WorkQueue {
             state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
@@ -542,26 +628,38 @@ impl WorkQueue {
         }
     }
 
-    /// Blocking bounded push; drops the stream if the queue is closed.
-    fn push(&self, stream: TcpStream) {
+    /// Blocking bounded push; drops the item if the queue is closed.
+    fn push(&self, item: T) {
         let mut state = self.state.lock().expect("queue lock");
         while state.items.len() >= self.capacity && !state.closed {
             state = self.writable.wait(state).expect("queue lock");
         }
         if state.closed {
-            return; // shutting down: hang up on the un-handed-off peer
+            return; // shutting down: the un-handed-off item is dropped
         }
-        state.items.push_back(stream);
+        state.items.push_back(item);
         self.readable.notify_one();
     }
 
+    /// Non-blocking push: `Err(item)` back if the queue is full or
+    /// closed, so a reactor thread can shed instead of stalling.
+    fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        self.readable.notify_one();
+        Ok(())
+    }
+
     /// Blocking pop; `None` once the queue is closed *and* drained.
-    fn pop(&self) -> Option<TcpStream> {
+    fn pop(&self) -> Option<T> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
-            if let Some(stream) = state.items.pop_front() {
+            if let Some(item) = state.items.pop_front() {
                 self.writable.notify_one();
-                return Some(stream);
+                return Some(item);
             }
             if state.closed {
                 return None;
@@ -578,7 +676,7 @@ impl WorkQueue {
     }
 }
 
-/// Shared server state handed to every worker.
+/// Shared server state handed to every driver and execution-pool thread.
 struct ServerShared {
     config: HttpConfig,
     handler: Arc<dyn InferHandler>,
@@ -587,13 +685,14 @@ struct ServerShared {
     metrics: HttpMetrics,
     registry: Registry,
     tracer: Tracer,
-    queue: WorkQueue,
     shutting_down: AtomicBool,
     infer_inflight: AtomicUsize,
     admission: AdmissionController,
 }
 
-/// A running HTTP front-end: one acceptor thread plus a worker pool.
+/// A running HTTP front-end: a connection driver (reactor event loop or
+/// blocking acceptor + worker pool, see [`DriverKind`]) over the shared
+/// routing, admission and telemetry core.
 ///
 /// ```no_run
 /// use std::sync::Arc;
@@ -613,14 +712,14 @@ struct ServerShared {
 pub struct HttpServer {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    driver: Option<Box<dyn ConnectionDriver>>,
+    kind: DriverKind,
 }
 
 impl HttpServer {
     /// Bind `config.addr`, register the `http_*` metric family in
-    /// `registry`, and start the acceptor and worker threads. The returned
-    /// server is live: [`addr`](Self::addr) tells the (possibly ephemeral)
+    /// `registry`, and start the connection driver. The returned server
+    /// is live: [`addr`](Self::addr) tells the (possibly ephemeral)
     /// bound address.
     pub fn start(
         config: HttpConfig,
@@ -665,7 +764,8 @@ impl HttpServer {
     /// generative backend behind the streaming `POST /v1/generate` route
     /// (in production the [`GenClient`] of a running
     /// [`GenEngine`](crate::generate::GenEngine)). Servers started without
-    /// one answer `503` on that route.
+    /// one answer `503` on that route. The connection driver comes from
+    /// `TT_HTTP_DRIVER` (see [`DriverKind::from_env`]).
     pub fn start_generative(
         config: HttpConfig,
         handler: Arc<dyn InferHandler>,
@@ -674,11 +774,38 @@ impl HttpServer {
         tracer: Tracer,
         costs: Option<Arc<CachedCost>>,
     ) -> std::io::Result<HttpServer> {
+        HttpServer::start_with_driver(
+            config,
+            handler,
+            generate,
+            registry,
+            tracer,
+            costs,
+            DriverKind::from_env(),
+        )
+    }
+
+    /// [`start_generative`](Self::start_generative) with an explicit
+    /// [`DriverKind`] instead of the `TT_HTTP_DRIVER` environment lookup
+    /// — what benches and tests use to pin a driver without mutating
+    /// process-global environment. On a platform without epoll a
+    /// requested [`DriverKind::Reactor`] silently runs the threaded
+    /// driver (and reports `threads` in [`driver`](Self::driver) and the
+    /// `http_driver` gauge).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with_driver(
+        config: HttpConfig,
+        handler: Arc<dyn InferHandler>,
+        generate: Option<Arc<dyn GenerateHandler>>,
+        registry: &Registry,
+        tracer: Tracer,
+        costs: Option<Arc<CachedCost>>,
+        kind: DriverKind,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let metrics = HttpMetrics::register(registry);
         let shared = Arc::new(ServerShared {
-            queue: WorkQueue::new(config.pending_connections),
             config,
             handler,
             generate,
@@ -690,25 +817,31 @@ impl HttpServer {
             admission: AdmissionController::new(registry, costs),
         });
 
-        let mut workers = Vec::new();
-        for i in 0..shared.config.workers {
-            let shared = shared.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("tt-http-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawning http worker"),
-            );
-        }
-        let acceptor = {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("tt-http-acceptor".into())
-                .spawn(move || acceptor_loop(listener, &shared))
-                .expect("spawning http acceptor")
+        #[cfg(not(target_os = "linux"))]
+        let kind = match kind {
+            DriverKind::Reactor => DriverKind::Threads,
+            k => k,
         };
+        let driver: Box<dyn ConnectionDriver> = match kind {
+            #[cfg(target_os = "linux")]
+            DriverKind::Reactor => Box::new(reactor::ReactorDriver::start(listener, &shared)?),
+            #[cfg(not(target_os = "linux"))]
+            DriverKind::Reactor => unreachable!("reactor remapped to threads above"),
+            DriverKind::Threads => {
+                Box::new(threaded::ThreadedDriver::start(listener, addr, &shared))
+            }
+        };
+        // Mirrors `gemm_kernel_variant`: a labeled always-1 gauge so a
+        // scrape can tell which driver a deployment is running.
+        registry
+            .gauge(
+                "http_driver",
+                "Active HTTP connection driver (labeled; value is always 1)",
+                &[("driver", kind.name())],
+            )
+            .set(1.0);
 
-        Ok(HttpServer { addr, shared, acceptor: Some(acceptor), workers })
+        Ok(HttpServer { addr, shared, driver: Some(driver), kind })
     }
 
     /// The bound listen address (resolves port 0 to the real port).
@@ -716,155 +849,48 @@ impl HttpServer {
         self.addr
     }
 
-    /// Graceful shutdown: stop accepting, drain every accepted connection
-    /// and in-flight request, join all threads, and return a final
-    /// snapshot of the registry in Prometheus text form — the last scrape
-    /// a monitoring system would otherwise have missed.
+    /// Which connection driver this server is running.
+    pub fn driver(&self) -> DriverKind {
+        self.kind
+    }
+
+    /// Graceful shutdown: stop accepting, drain every registered
+    /// connection and in-flight request, join all threads, and return a
+    /// final snapshot of the registry in Prometheus text form — the last
+    /// scrape a monitoring system would otherwise have missed.
     pub fn shutdown(mut self) -> String {
         self.begin_shutdown();
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        if let Some(mut driver) = self.driver.take() {
+            driver.join();
         }
         self.shared.registry.render_prometheus()
     }
 
     fn begin_shutdown(&self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        // Wake the acceptor out of its blocking accept() with a throwaway
-        // connection; it re-checks the flag before handing the stream off.
-        let _ = TcpStream::connect(self.addr);
+        if let Some(driver) = &self.driver {
+            driver.begin_shutdown();
+        }
     }
 }
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
         self.begin_shutdown();
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        if let Some(mut driver) = self.driver.take() {
+            driver.join();
         }
     }
 }
 
-fn acceptor_loop(listener: TcpListener, shared: &ServerShared) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _peer)) => stream,
-            Err(_) => continue, // transient accept error; keep serving
-        };
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            break; // the wake-up connection (or a late client) is dropped
-        }
-        let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-        let _ = stream.set_nodelay(true);
-        shared.queue.push(stream);
-    }
-    shared.queue.close();
-}
-
-fn worker_loop(shared: &ServerShared) {
-    while let Some(stream) = shared.queue.pop() {
-        // Chaos injection point: a stalled worker (GC pause, noisy
-        // neighbor, page fault storm). The connection it holds waits; the
-        // rest of the pool keeps serving, and admission control sees the
-        // resulting queue-wait inflation.
-        if let Some(stall) = tt_chaos::worker_stall() {
-            std::thread::sleep(stall);
-        }
-        shared.metrics.active_connections.add(1.0);
-        handle_connection(stream, shared);
-        shared.metrics.active_connections.add(-1.0);
-    }
-}
-
-/// Serve one connection: keep-alive loop of read → parse → route → write.
-/// Pipelined requests already in the buffer are answered without another
-/// read. Returns when the peer closes, asks to close, errors, times out,
-/// or the server is draining for shutdown.
-fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    loop {
-        // Answer everything parseable before reading again.
-        loop {
-            match parse_request(&buf, shared.config.max_body_bytes) {
-                ParseOutcome::Complete { request, consumed } => {
-                    buf.drain(..consumed);
-                    let draining = shared.shutting_down.load(Ordering::SeqCst);
-                    if request.method == "POST" && request.path() == "/v1/generate" {
-                        // Streaming route: it owns the socket for the whole
-                        // generation (chunked transfer encoding, one chunk
-                        // per token event) and always ends the connection.
-                        generate_route(&mut stream, &request, shared);
-                        return;
-                    }
-                    let close = request.wants_close() || draining;
-                    let served = respond(&mut stream, &request, close, shared);
-                    if !served || close {
-                        return;
-                    }
-                }
-                ParseOutcome::Incomplete => break,
-                ParseOutcome::Invalid(reason) => {
-                    let _ = write_error(&mut stream, 400, reason, &[]);
-                    shared.metrics.observe("other", 400, 0);
-                    return;
-                }
-                ParseOutcome::BodyTooLarge { declared } => {
-                    let reason = format!(
-                        "body of {declared} bytes exceeds the {}-byte limit",
-                        shared.config.max_body_bytes
-                    );
-                    let _ = write_error(&mut stream, 413, &reason, &[]);
-                    shared.metrics.observe("other", 413, 0);
-                    return;
-                }
-            }
-        }
-
-        match stream.read(&mut chunk) {
-            Ok(0) => return, // peer closed
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if !buf.is_empty() {
-                    // Mid-request stall: tell the peer before hanging up.
-                    let _ = write_error(&mut stream, 408, "timed out mid-request", &[]);
-                    shared.metrics.observe("other", 408, 0);
-                }
-                return;
-            }
-            Err(_) => return,
-        }
-    }
-}
-
-/// Route one request and write the response. Returns `false` if the write
-/// failed (connection is dead).
-fn respond(
-    stream: &mut TcpStream,
-    request: &HttpRequest,
-    close: bool,
-    shared: &ServerShared,
-) -> bool {
-    let route = route_label(request.path(), &request.method);
-    let watch = Stopwatch::start();
-    let (status, content_type, body, extra) = dispatch(request, shared);
-    let ok = write_response(stream, status, &content_type, &body, &extra, close).is_ok();
-    shared.metrics.observe(route, status, watch.elapsed_nanos());
-    ok
-}
-
+/// Routed response: status, content type, body, extra headers.
 type Response = (u16, String, Vec<u8>, Vec<(String, String)>);
 
+/// Route one parsed request to a complete response. `POST /v1/infer`
+/// blocks on the engine, so only execution-pool (or threaded-driver
+/// worker) threads may call this with that route; the reactor answers
+/// the non-blocking routes inline and ships the blocking ones to the
+/// pool.
 fn dispatch(request: &HttpRequest, shared: &ServerShared) -> Response {
     match (request.method.as_str(), request.path()) {
         ("GET", "/healthz") => json_response(200, "{\"status\":\"ok\"}".into()),
@@ -914,19 +940,9 @@ fn infer_route(request: &HttpRequest, shared: &ServerShared) -> Response {
     // End-to-end deadline: per-request header override, else the server's
     // SLO default. The deadline clock starts here, at admission — queue
     // wait, scheduling and execution all spend the same budget.
-    let deadline = match request.header("x-tt-deadline-ms") {
-        Some(raw) => match raw.trim().parse::<u64>() {
-            Ok(ms) if ms > 0 => Deadline::within(Duration::from_millis(ms)),
-            _ => {
-                return error_body(
-                    400,
-                    &format!(
-                        "x-tt-deadline-ms must be a positive integer of milliseconds, got '{raw}'"
-                    ),
-                )
-            }
-        },
-        None => Deadline::within(shared.config.slo),
+    let deadline = match parse_deadline(request, shared) {
+        Ok(deadline) => deadline,
+        Err(resp) => return resp,
     };
 
     // Admission boundary 1 — capacity: the in-flight cap bounds queue
@@ -1020,6 +1036,23 @@ fn infer_route(request: &HttpRequest, shared: &ServerShared) -> Response {
     (status, ct, body, extra)
 }
 
+/// Per-request deadline: `x-tt-deadline-ms` header override, else the
+/// configured SLO default. `Err` carries the `400` for a malformed header.
+fn parse_deadline(request: &HttpRequest, shared: &ServerShared) -> Result<Deadline, Response> {
+    match request.header("x-tt-deadline-ms") {
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Ok(Deadline::within(Duration::from_millis(ms))),
+            _ => Err(error_body(
+                400,
+                &format!(
+                    "x-tt-deadline-ms must be a positive integer of milliseconds, got '{raw}'"
+                ),
+            )),
+        },
+        None => Ok(Deadline::within(shared.config.slo)),
+    }
+}
+
 /// One token event as an NDJSON line (the `/v1/generate` wire format; see
 /// `docs/GENERATION.md`).
 fn event_json(ev: &TokenEvent) -> String {
@@ -1035,29 +1068,13 @@ fn event_json(ev: &TokenEvent) -> String {
     }
 }
 
-/// Write one HTTP/1.1 chunk (`<hex len>\r\n<data>\r\n`) and flush, so the
-/// client sees the token *now*, not when a buffer fills. The `conn_drop`
-/// chaos point applies per chunk — a stream can die mid-generation, and
-/// the engine must reclaim the sequence's pages when it does.
-fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
-    if tt_chaos::conn_drop() {
-        let _ = stream.shutdown(std::net::Shutdown::Both);
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::ConnectionReset,
-            "tt-chaos: injected connection drop mid-stream",
-        ));
-    }
-    write!(stream, "{:x}\r\n", data.len())?;
-    stream.write_all(data)?;
-    stream.write_all(b"\r\n")?;
-    stream.flush()
-}
-
 /// Balances the in-flight admission slot taken by a generation stream, on
-/// every exit path (including panics and mid-stream write failures).
-struct InflightSlot<'a>(&'a ServerShared);
+/// every exit path (including panics, mid-stream write failures, and —
+/// under the reactor — client disconnects that cancel the stream-mux
+/// entry owning this slot).
+struct InflightSlot(Arc<ServerShared>);
 
-impl Drop for InflightSlot<'_> {
+impl Drop for InflightSlot {
     fn drop(&mut self) {
         self.0.infer_inflight.fetch_sub(1, Ordering::SeqCst);
         self.0.metrics.infer_inflight.add(-1.0);
@@ -1065,71 +1082,75 @@ impl Drop for InflightSlot<'_> {
     }
 }
 
-/// `POST /v1/generate`: the streaming route. Owns the socket: admission
-/// errors are written as complete responses; an admitted generation
-/// answers `200` with `Transfer-Encoding: chunked` and one NDJSON event
-/// per token, ending with a terminal `done` chunk. The engine's own
-/// terminal events (deadline expiry mid-generation, page exhaustion) ride
-/// the stream — the client never hangs on a retired sequence.
-fn generate_route(stream: &mut TcpStream, request: &HttpRequest, shared: &ServerShared) {
-    let route = "/v1/generate";
-    let watch = Stopwatch::start();
-    let plain = |stream: &mut TcpStream, resp: Response| {
-        let (status, ct, body, extra) = resp;
-        let _ = write_response(stream, status, &ct, &body, &extra, true);
-        shared.metrics.observe(route, status, watch.elapsed_nanos());
-    };
+/// An admitted, started generation: the live token stream plus everything
+/// whose lifetime must equal the stream's — the in-flight slot, the root
+/// span (records on drop), and the trace id for the response head.
+struct StreamState {
+    events: crossbeam::channel::Receiver<TokenEvent>,
+    slot: InflightSlot,
+    span: Option<Span>,
+    trace: Option<TraceId>,
+}
 
+/// How `POST /v1/generate` admission resolved.
+enum GenAdmission {
+    /// No stream: a complete (error or shed) response to write.
+    Plain(Response),
+    /// Admitted: the engine accepted the generation and will produce
+    /// events. The first event still decides between a `200` chunked
+    /// stream and a typed rejection (see [`classify_first_event`]).
+    Stream(StreamState),
+}
+
+/// Everything `POST /v1/generate` does before the first token event:
+/// body/deadline validation, backend presence, the capacity boundary
+/// (taking an [`InflightSlot`]), the root span, and submission to the
+/// engine. Shared verbatim by both drivers; only the event-pumping half
+/// differs (blocking loop vs. reactor stream mux).
+fn generate_admit(request: &HttpRequest, shared: &Arc<ServerShared>) -> GenAdmission {
     let body: GenerateRequestBody = match serde_json::from_slice(&request.body) {
         Ok(body) => body,
-        Err(e) => return plain(stream, error_body(400, &format!("malformed JSON body: {e:?}"))),
+        Err(e) => {
+            return GenAdmission::Plain(error_body(400, &format!("malformed JSON body: {e:?}")))
+        }
     };
     if body.prompt.is_empty() {
-        return plain(stream, error_body(400, "prompt must be non-empty"));
+        return GenAdmission::Plain(error_body(400, "prompt must be non-empty"));
     }
-    let deadline = match request.header("x-tt-deadline-ms") {
-        Some(raw) => match raw.trim().parse::<u64>() {
-            Ok(ms) if ms > 0 => Deadline::within(Duration::from_millis(ms)),
-            _ => {
-                return plain(
-                    stream,
-                    error_body(
-                        400,
-                        &format!(
-                        "x-tt-deadline-ms must be a positive integer of milliseconds, got '{raw}'"
-                    ),
-                    ),
-                )
-            }
-        },
-        None => Deadline::within(shared.config.slo),
+    let deadline = match parse_deadline(request, shared) {
+        Ok(deadline) => deadline,
+        Err(resp) => return GenAdmission::Plain(resp),
     };
     let Some(backend) = shared.generate.clone() else {
-        return plain(
-            stream,
-            error_body(503, "this server has no generative backend behind /v1/generate"),
-        );
+        return GenAdmission::Plain(error_body(
+            503,
+            "this server has no generative backend behind /v1/generate",
+        ));
     };
 
     // Same capacity boundary as `/v1/infer`: a stream holds an in-flight
-    // slot for its whole lifetime (it also holds this worker thread).
+    // slot for its whole lifetime.
     let depth = shared.infer_inflight.fetch_add(1, Ordering::SeqCst);
     if depth >= shared.config.max_queue_depth {
         shared.infer_inflight.fetch_sub(1, Ordering::SeqCst);
-        let resp = shed_response(shared, 429, "capacity", "engine queue is full; retry later");
-        return plain(stream, resp);
+        return GenAdmission::Plain(shed_response(
+            shared,
+            429,
+            "capacity",
+            "engine queue is full; retry later",
+        ));
     }
     shared.metrics.infer_inflight.add(1.0);
-    let _slot = InflightSlot(shared);
+    let slot = InflightSlot(shared.clone());
 
     let force = request.query_param("trace").is_some_and(|v| v != "0");
-    let mut root = shared.tracer.start_root("http", force);
-    if let Some(span) = root.as_mut() {
-        span.attr_str("route", route);
+    let mut span = shared.tracer.start_root("http", force);
+    if let Some(span) = span.as_mut() {
+        span.attr_str("route", "/v1/generate");
         span.attr_int("prompt_len", body.prompt.len() as i64);
         span.attr_int("max_new_tokens", body.max_new_tokens as i64);
     }
-    let ctx = root.as_ref().map(|span| span.context());
+    let ctx = span.as_ref().map(|span| span.context());
 
     let max_new =
         if body.max_new_tokens == 0 { DEFAULT_MAX_NEW_TOKENS } else { body.max_new_tokens };
@@ -1139,100 +1160,67 @@ fn generate_route(stream: &mut TcpStream, request: &HttpRequest, shared: &Server
     let events = match result {
         Ok(Ok(events)) => events,
         Ok(Err(InferError::BadRequest(message))) => {
-            return plain(stream, error_body(400, &message))
+            return GenAdmission::Plain(error_body(400, &message))
         }
         Ok(Err(InferError::DeadlineExceeded(message))) => {
-            let resp = shed_response(shared, 504, "deadline", &message);
-            return plain(stream, resp);
+            return GenAdmission::Plain(shed_response(shared, 504, "deadline", &message))
         }
         Ok(Err(InferError::Unavailable(message))) => {
-            return plain(stream, error_body(503, &message))
+            return GenAdmission::Plain(error_body(503, &message))
         }
-        Err(_panic) => return plain(stream, error_body(503, "generation backend is unavailable")),
+        Err(_panic) => {
+            return GenAdmission::Plain(error_body(503, "generation backend is unavailable"))
+        }
     };
+    // The slot rides inside the stream state from here on: dropping the
+    // stream (client gone, engine done) releases the admission slot.
+    GenAdmission::Stream(StreamState { events, slot, span, trace: ctx.map(|c| c.trace) })
+}
 
-    // Wait for the first event before committing to a status line: an
-    // engine-side rejection that produced no tokens becomes a proper HTTP
-    // error instead of a 200 stream that instantly fails.
-    let first = match events.recv() {
-        Ok(ev) => ev,
-        Err(_) => return plain(stream, error_body(503, "generation engine is gone")),
-    };
+/// Classify the first event of an admitted stream: an engine-side
+/// rejection that produced no tokens becomes a proper HTTP error instead
+/// of a `200` stream that instantly fails. `None` means commit to the
+/// `200` chunked stream (a 0-token eos/length stream is still a valid,
+/// empty stream).
+fn classify_first_event(first: &TokenEvent, shared: &ServerShared) -> Option<Response> {
     if let TokenEvent::Done { finish, tokens: 0 } = first {
-        match finish {
-            FinishReason::Deadline => {
-                let resp =
-                    shed_response(shared, 504, "deadline", "deadline expired before generation");
-                return plain(stream, resp);
-            }
-            FinishReason::OutOfPages => {
-                let resp =
-                    shed_response(shared, 429, "capacity", "KV-cache pages exhausted; retry later");
-                return plain(stream, resp);
-            }
-            FinishReason::Rejected => {
-                return plain(
-                    stream,
-                    error_body(
-                        400,
-                        "prompt cannot be served (longer than the context window or KV \
-                         arena, or contains out-of-vocabulary token ids)",
-                    ),
-                )
-            }
-            // A 0-token eos/length stream is still a valid (empty) stream.
-            FinishReason::Eos | FinishReason::Length => {}
-        }
+        return reject_response(finish, shared);
     }
+    None
+}
 
-    // Commit: 200 + chunked. Streams always close the connection — chunk
-    // framing ends the body, but keep-alive buys nothing after a
-    // generation-length hold on this worker.
+/// The typed rejection for a fatal zero-token finish; `None` for the
+/// non-fatal finishes.
+fn reject_response(finish: &FinishReason, shared: &ServerShared) -> Option<Response> {
+    match finish {
+        FinishReason::Deadline => {
+            Some(shed_response(shared, 504, "deadline", "deadline expired before generation"))
+        }
+        FinishReason::OutOfPages => {
+            Some(shed_response(shared, 429, "capacity", "KV-cache pages exhausted; retry later"))
+        }
+        FinishReason::Rejected => Some(error_body(
+            400,
+            "prompt cannot be served (longer than the context window or KV \
+             arena, or contains out-of-vocabulary token ids)",
+        )),
+        // A 0-token eos/length stream is still a valid (empty) stream.
+        FinishReason::Eos | FinishReason::Length => None,
+    }
+}
+
+/// The committed `200` chunked-stream response head. Streams always close
+/// the connection — chunk framing ends the body, and keep-alive buys
+/// nothing after a generation-length exchange.
+fn stream_head(trace: Option<TraceId>) -> String {
     let mut head = String::from(
         "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\n",
     );
-    if let Some(ctx) = ctx {
-        head.push_str(&format!("x-tt-trace-id: {}\r\n", ctx.trace));
+    if let Some(trace) = trace {
+        head.push_str(&format!("x-tt-trace-id: {trace}\r\n"));
     }
     head.push_str("Connection: close\r\n\r\n");
-    if tt_chaos::conn_drop() {
-        let cut = head.len().min(16);
-        let _ = stream.write_all(&head.as_bytes()[..cut]);
-        let _ = stream.shutdown(std::net::Shutdown::Both);
-        shared.metrics.observe(route, 200, watch.elapsed_nanos());
-        return;
-    }
-    if stream.write_all(head.as_bytes()).and_then(|()| stream.flush()).is_err() {
-        shared.metrics.observe(route, 200, watch.elapsed_nanos());
-        return;
-    }
-
-    let mut current = first;
-    loop {
-        if write_chunk(stream, event_json(&current).as_bytes()).is_err() {
-            // Dead peer (or injected drop): dropping `events` below makes
-            // the engine's next send fail, retiring the sequence and
-            // freeing its pages the same iteration.
-            break;
-        }
-        if let TokenEvent::Done { finish, .. } = &current {
-            if let Some(span) = root.as_mut() {
-                span.attr_str("finish", finish.as_str());
-            }
-            let _ = stream.write_all(b"0\r\n\r\n").and_then(|()| stream.flush());
-            break;
-        }
-        match events.recv() {
-            Ok(ev) => current = ev,
-            Err(_) => {
-                // Engine vanished mid-stream: close the chunk framing so
-                // the client sees a terminated (if incomplete) body.
-                let _ = stream.write_all(b"0\r\n\r\n").and_then(|()| stream.flush());
-                break;
-            }
-        }
-    }
-    shared.metrics.observe(route, 200, watch.elapsed_nanos());
+    head
 }
 
 /// `GET /v1/traces/<id>`: the span tree of one sampled request as JSON.
@@ -1276,20 +1264,20 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn write_response(
-    stream: &mut TcpStream,
+/// Serialize a response head (both drivers write the identical bytes).
+fn render_head(
     status: u16,
     content_type: &str,
-    body: &[u8],
+    body_len: usize,
     extra_headers: &[(String, String)],
     close: bool,
-) -> std::io::Result<()> {
+) -> String {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         status,
         status_reason(status),
         content_type,
-        body.len()
+        body_len
     );
     for (name, value) in extra_headers {
         head.push_str(&format!("{name}: {value}\r\n"));
@@ -1299,30 +1287,5 @@ fn write_response(
     } else {
         "Connection: keep-alive\r\n\r\n"
     });
-    // Chaos injection point: the peer (or a middlebox) vanishes
-    // mid-response. A partial head goes out, then the socket dies — the
-    // caller sees an error exactly as it would from a real broken pipe,
-    // and per-request accounting must still balance.
-    if tt_chaos::conn_drop() {
-        let cut = head.len().min(16);
-        let _ = stream.write_all(&head.as_bytes()[..cut]);
-        let _ = stream.shutdown(std::net::Shutdown::Both);
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::ConnectionReset,
-            "tt-chaos: injected connection drop mid-response",
-        ));
-    }
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()
-}
-
-fn write_error(
-    stream: &mut TcpStream,
-    status: u16,
-    message: &str,
-    extra_headers: &[(String, String)],
-) -> std::io::Result<()> {
-    let (status, ct, body, _) = error_body(status, message);
-    write_response(stream, status, &ct, &body, extra_headers, true)
+    head
 }

@@ -1,0 +1,1197 @@
+//! The epoll reactor connection driver: readiness-driven I/O so
+//! connection count decouples from thread count.
+//!
+//! One reactor thread owns every socket (all nonblocking, registered
+//! edge-triggered) and runs the event loop:
+//!
+//! ```text
+//!              epoll_wait ──► accept burst ──► register conn (EPOLLIN|OUT|RDHUP|ET)
+//!                   │
+//!                   ├──► conn readable ──► read to buffer ──► parser state machine
+//!                   │         GET routes answered inline; POST /v1/infer and
+//!                   │         /v1/generate hand off to the bounded execution pool
+//!                   │
+//!                   ├──► conn writable ──► flush pending output buffer
+//!                   │
+//!                   ├──► self-pipe wake ──► drain completion queue
+//!                   │         (responses from the exec pool, token events from
+//!                   │          the stream mux) ──► append to out buffers ──► flush
+//!                   │
+//!                   └──► timer wheel tick ──► read/write/idle timeouts, chaos stalls
+//! ```
+//!
+//! Per-connection state machine: `Idle` (parsing) → `Executing` (one
+//! request in the pool; pipelined bytes stay buffered so responses keep
+//! order) → back to `Idle`, or → `Streaming` once a generation commits
+//! its `200` chunked head. Slow peers never hold a thread: a stalled
+//! read gets `408` from the **timer wheel** (hashed, 512 slots × 8 ms),
+//! a stalled write is abandoned after `write_timeout`, and an idle
+//! keep-alive connection is closed silently after `read_timeout`.
+//!
+//! `/v1/generate` streams are reactor-native: a single **stream mux**
+//! thread polls every active generation's event channel and posts token
+//! chunks to the reactor through the completion queue + self-pipe, so a
+//! stream in progress pins no thread — backpressure is the connection's
+//! output buffer flushing on writability. A client disconnect cancels
+//! the mux entry, dropping the engine-side receiver, which retires the
+//! sequence and frees its KV pages the same iteration.
+//!
+//! Loop health is exported as `reactor_*` metrics (registered fds, ready
+//! events per wake, loop latency, wakeups, timer fires). Architecture
+//! and tuning: `docs/NETWORKING.md`.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tt_telemetry::{Counter, Gauge, Histogram, Registry, TraceId};
+
+use super::parser::{parse_request, HttpRequest, ParseOutcome};
+use super::sys::{
+    Epoll, EpollEvent, WakeHandle, WakePipe, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT,
+    EPOLLRDHUP,
+};
+use super::{
+    dispatch, error_body, event_json, generate_admit, infer_route, reject_response, render_head,
+    route_label, shed_response, stream_head, ConnectionDriver, GenAdmission, Response,
+    ServerShared, StreamState, WorkQueue,
+};
+use crate::generate::{FinishReason, TokenEvent};
+
+/// Epoll token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Epoll token of the self-pipe read end.
+const TOKEN_WAKE: u64 = 1;
+/// First token handed to an accepted connection.
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Timer wheel geometry: 512 slots × 8 ms tick ≈ a 4 s horizon per
+/// rotation; longer deadlines simply survive a lap and re-arm.
+const WHEEL_SLOTS: usize = 512;
+const TICK_MS: u64 = 8;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TimerKind {
+    /// Read/idle deadline: `408` a mid-request stall, close an idle conn.
+    Read,
+    /// Write deadline: abandon a peer that stopped reading our response.
+    Write,
+    /// Chaos `conn_stall` deferral: resume reading when it fires.
+    Stall,
+}
+
+struct TimerEntry {
+    conn: u64,
+    kind: TimerKind,
+    /// Lazy cancellation: the entry only fires if the connection's
+    /// generation counter for this kind still matches.
+    generation: u64,
+    deadline: Instant,
+}
+
+/// Hashed timer wheel. Entries land in `deadline`'s slot; firing a slot
+/// re-arms entries whose deadline is still in the future (later laps).
+struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    start: Instant,
+    /// Ticks fully processed since `start`.
+    cursor: u64,
+    pending: usize,
+}
+
+impl TimerWheel {
+    fn new(start: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            start,
+            cursor: 0,
+            pending: 0,
+        }
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        (t.saturating_duration_since(self.start).as_millis() as u64) / TICK_MS
+    }
+
+    fn arm(&mut self, entry: TimerEntry) {
+        let tick = self.tick_of(entry.deadline).max(self.cursor + 1);
+        self.slots[(tick % WHEEL_SLOTS as u64) as usize].push(entry);
+        self.pending += 1;
+    }
+
+    /// Advance to `now`, moving due entries into `fired`.
+    fn advance(&mut self, now: Instant, fired: &mut Vec<TimerEntry>) {
+        let target = self.tick_of(now);
+        let mut rearm = Vec::new();
+        while self.cursor < target {
+            self.cursor += 1;
+            let slot = (self.cursor % WHEEL_SLOTS as u64) as usize;
+            for entry in self.slots[slot].drain(..) {
+                self.pending -= 1;
+                if entry.deadline <= now {
+                    fired.push(entry);
+                } else {
+                    rearm.push(entry); // a later lap owns this entry
+                }
+            }
+        }
+        for entry in rearm {
+            self.arm(entry);
+        }
+    }
+
+    /// How long `epoll_wait` may sleep: one tick while timers are
+    /// pending, forever otherwise (completions arrive via the wake pipe).
+    fn timeout(&self) -> Option<Duration> {
+        (self.pending > 0).then(|| Duration::from_millis(TICK_MS))
+    }
+}
+
+/// Event-loop health metrics (see `docs/NETWORKING.md` /
+/// `docs/OBSERVABILITY.md`).
+struct ReactorMetrics {
+    registered_fds: Arc<Gauge>,
+    ready_events: Arc<Histogram>,
+    loop_latency: Arc<Histogram>,
+    wakeups: Arc<Counter>,
+    timer_fires: Arc<Counter>,
+}
+
+impl ReactorMetrics {
+    fn register(registry: &Registry) -> ReactorMetrics {
+        ReactorMetrics {
+            registered_fds: registry.gauge(
+                "reactor_registered_fds",
+                "File descriptors registered with the reactor (listener + wake pipe + connections)",
+                &[],
+            ),
+            ready_events: registry.histogram(
+                "reactor_ready_events_per_wake",
+                "Ready events delivered per epoll_wait return",
+                &[],
+            ),
+            loop_latency: registry.histogram(
+                "reactor_loop_latency_nanoseconds",
+                "Time the event loop spends processing between two epoll_wait calls",
+                &[],
+            ),
+            wakeups: registry.counter(
+                "reactor_wakeups_total",
+                "Times the event loop returned from epoll_wait",
+                &[],
+            ),
+            timer_fires: registry.counter(
+                "reactor_timer_fires_total",
+                "Timer-wheel entries that fired (read/write/stall deadlines)",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Where a connection is in its request lifecycle.
+enum ConnState {
+    /// Parsing; inline routes answer immediately.
+    Idle,
+    /// One request is in the execution pool; buffered pipelined bytes
+    /// wait so responses keep arrival order.
+    Executing { started: Instant, route: &'static str },
+    /// A committed `200` chunked generation stream; token chunks arrive
+    /// from the stream mux and flush on writability.
+    Streaming { started: Instant },
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed request bytes.
+    buf: Vec<u8>,
+    /// Rendered-but-unflushed response bytes.
+    out: Vec<u8>,
+    written: usize,
+    state: ConnState,
+    /// Edge-triggered write readiness: cleared on `WouldBlock`, set again
+    /// by the next `EPOLLOUT` edge.
+    can_write: bool,
+    /// The current request asked for `Connection: close` (or the server
+    /// is draining).
+    wants_close: bool,
+    /// No more output will be produced; close once `out` drains.
+    finished: bool,
+    /// Remove this connection at the next reap point.
+    closed: bool,
+    peer_closed: bool,
+    read_generation: u64,
+    write_generation: u64,
+    stall_generation: u64,
+    /// A chaos `conn_stall` is parked on the timer wheel.
+    stalled: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::with_capacity(1024),
+            out: Vec::new(),
+            written: 0,
+            state: ConnState::Idle,
+            can_write: true,
+            wants_close: false,
+            finished: false,
+            closed: false,
+            peer_closed: false,
+            read_generation: 0,
+            write_generation: 0,
+            stall_generation: 0,
+            stalled: false,
+        }
+    }
+
+    fn out_drained(&self) -> bool {
+        self.written == self.out.len()
+    }
+}
+
+/// A parsed request handed to the execution pool.
+enum ExecJob {
+    Infer { conn: u64, request: HttpRequest },
+    Generate { conn: u64, request: HttpRequest },
+}
+
+/// What flows back to the reactor thread from the execution pool and the
+/// stream mux, through the completion queue + self-pipe wake.
+enum Completion {
+    /// A complete response for the connection's in-flight request.
+    Response { conn: u64, resp: Response },
+    /// An admitted generation whose first event was a fatal zero-token
+    /// finish: answer a typed rejection instead of a `200` stream.
+    StreamReject { conn: u64, finish: FinishReason },
+    /// First real event arrived: commit the `200` chunked head.
+    StreamOpen { conn: u64, trace: Option<TraceId> },
+    /// One NDJSON token event to append as a chunk.
+    StreamChunk { conn: u64, json: String },
+    /// Stream over: append the terminal chunk and close after flush.
+    StreamClose { conn: u64 },
+}
+
+/// Completion channel: a plain mutexed queue (many producers, the
+/// reactor as sole consumer) plus the self-pipe to interrupt
+/// `epoll_wait`.
+#[derive(Clone)]
+struct Poster {
+    completions: Arc<Mutex<VecDeque<Completion>>>,
+    wake: WakeHandle,
+}
+
+impl Poster {
+    fn send(&self, completion: Completion) {
+        let first = {
+            let mut queue = self.completions.lock().expect("completion lock");
+            queue.push_back(completion);
+            queue.len() == 1
+        };
+        // Coalesce wakes: only the empty→non-empty transition needs to
+        // interrupt epoll_wait; the reactor drains the whole queue per
+        // loop iteration anyway.
+        if first {
+            self.wake.wake();
+        }
+    }
+}
+
+/// One live generation owned by the stream mux: the engine-side event
+/// receiver plus everything whose lifetime equals the stream's (the
+/// admission slot and root span ride inside [`StreamState`]).
+struct MuxEntry {
+    conn: u64,
+    stream: StreamState,
+    /// The first event decides `200`-vs-rejection; set once delivered.
+    opened: bool,
+}
+
+/// The stream mux: one thread, total, for every active generation
+/// stream. Round-robins `try_recv` over the entries and forwards events
+/// to the reactor as completions; parks briefly when all streams are
+/// quiet. Dropping an entry drops its receiver — the engine's next send
+/// fails, retiring the sequence and freeing its KV pages.
+struct StreamMux {
+    state: Mutex<MuxState>,
+    wakeup: Condvar,
+    poster: Poster,
+}
+
+struct MuxState {
+    entries: Vec<MuxEntry>,
+    shutdown: bool,
+}
+
+impl StreamMux {
+    fn new(poster: Poster) -> StreamMux {
+        StreamMux {
+            state: Mutex::new(MuxState { entries: Vec::new(), shutdown: false }),
+            wakeup: Condvar::new(),
+            poster,
+        }
+    }
+
+    /// Adopt an admitted stream (called from an exec worker).
+    fn add(&self, conn: u64, stream: StreamState) {
+        let mut state = self.state.lock().expect("mux lock");
+        state.entries.push(MuxEntry { conn, stream, opened: false });
+        self.wakeup.notify_one();
+    }
+
+    /// Drop a connection's stream, if any (client gone or chaos-killed):
+    /// releases the admission slot and the engine-side receiver.
+    fn cancel(&self, conn: u64) {
+        let mut state = self.state.lock().expect("mux lock");
+        state.entries.retain(|e| e.conn != conn);
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("mux lock").shutdown = true;
+        self.wakeup.notify_all();
+    }
+
+    fn run(&self) {
+        let mut state = self.state.lock().expect("mux lock");
+        loop {
+            if state.shutdown {
+                return;
+            }
+            if state.entries.is_empty() {
+                state = self.wakeup.wait(state).expect("mux lock");
+                continue;
+            }
+            let mut progressed = false;
+            let mut i = 0;
+            while i < state.entries.len() {
+                if self.pump(&mut state.entries[i]) {
+                    state.entries.remove(i);
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !progressed {
+                // All streams quiet: park briefly instead of spinning.
+                let (s, _) =
+                    self.wakeup.wait_timeout(state, Duration::from_micros(500)).expect("mux lock");
+                state = s;
+            }
+        }
+    }
+
+    /// Drain one entry's currently-available events. Returns `true` when
+    /// the entry is finished and must be removed.
+    fn pump(&self, entry: &mut MuxEntry) -> bool {
+        loop {
+            match entry.stream.events.try_recv() {
+                Ok(event) => {
+                    if !entry.opened {
+                        entry.opened = true;
+                        if let TokenEvent::Done { finish, tokens: 0 } = &event {
+                            if matches!(
+                                finish,
+                                FinishReason::Deadline
+                                    | FinishReason::OutOfPages
+                                    | FinishReason::Rejected
+                            ) {
+                                self.poster.send(Completion::StreamReject {
+                                    conn: entry.conn,
+                                    finish: *finish,
+                                });
+                                return true;
+                            }
+                        }
+                        self.poster.send(Completion::StreamOpen {
+                            conn: entry.conn,
+                            trace: entry.stream.trace,
+                        });
+                    }
+                    let done = if let TokenEvent::Done { finish, .. } = &event {
+                        if let Some(span) = entry.stream.span.as_mut() {
+                            span.attr_str("finish", finish.as_str());
+                        }
+                        true
+                    } else {
+                        false
+                    };
+                    self.poster.send(Completion::StreamChunk {
+                        conn: entry.conn,
+                        json: event_json(&event),
+                    });
+                    if done {
+                        self.poster.send(Completion::StreamClose { conn: entry.conn });
+                        return true;
+                    }
+                }
+                Err(crossbeam::channel::TryRecvError::Empty) => return false,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    // Engine vanished mid-stream: terminate the chunk
+                    // framing (or answer 503 if nothing was committed).
+                    if entry.opened {
+                        self.poster.send(Completion::StreamClose { conn: entry.conn });
+                    } else {
+                        self.poster.send(Completion::Response {
+                            conn: entry.conn,
+                            resp: error_body(503, "generation engine is gone"),
+                        });
+                    }
+                    return true;
+                }
+            }
+        }
+    }
+}
+
+/// The running reactor driver, as seen by [`HttpServer`].
+pub(super) struct ReactorDriver {
+    wake: WakeHandle,
+    reactor: Option<JoinHandle<()>>,
+    exec_workers: Vec<JoinHandle<()>>,
+    mux_thread: Option<JoinHandle<()>>,
+}
+
+impl ReactorDriver {
+    pub(super) fn start(
+        listener: TcpListener,
+        shared: &Arc<ServerShared>,
+    ) -> std::io::Result<ReactorDriver> {
+        listener.set_nonblocking(true)?;
+        let epoll = Epoll::new()?;
+        let wake_pipe = WakePipe::new()?;
+        let wake = wake_pipe.handle();
+        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(wake_pipe.read_fd(), EPOLLIN, TOKEN_WAKE)?;
+
+        let poster =
+            Poster { completions: Arc::new(Mutex::new(VecDeque::new())), wake: wake.clone() };
+        let mux = Arc::new(StreamMux::new(poster.clone()));
+        let exec: Arc<WorkQueue<ExecJob>> =
+            Arc::new(WorkQueue::new(shared.config.pending_connections));
+
+        let mut exec_workers = Vec::new();
+        for i in 0..shared.config.workers {
+            let shared = shared.clone();
+            let exec = exec.clone();
+            let poster = poster.clone();
+            let mux = mux.clone();
+            exec_workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tt-http-exec-{i}"))
+                    .spawn(move || exec_loop(&shared, &exec, &poster, &mux))
+                    .expect("spawning http exec worker"),
+            );
+        }
+        let mux_thread = {
+            let mux = mux.clone();
+            std::thread::Builder::new()
+                .name("tt-http-mux".into())
+                .spawn(move || mux.run())
+                .expect("spawning http stream mux")
+        };
+        let reactor_thread = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("tt-http-reactor".into())
+                .spawn(move || {
+                    Reactor {
+                        epoll,
+                        listener: Some(listener),
+                        wake_pipe,
+                        conns: HashMap::new(),
+                        next_token: TOKEN_FIRST_CONN,
+                        wheel: TimerWheel::new(Instant::now()),
+                        metrics: ReactorMetrics::register(&shared.registry),
+                        completions: poster.completions.clone(),
+                        exec,
+                        mux,
+                        shared,
+                    }
+                    .run()
+                })
+                .expect("spawning http reactor")
+        };
+
+        Ok(ReactorDriver {
+            wake,
+            reactor: Some(reactor_thread),
+            exec_workers,
+            mux_thread: Some(mux_thread),
+        })
+    }
+}
+
+impl ConnectionDriver for ReactorDriver {
+    fn begin_shutdown(&self) {
+        self.wake.wake();
+    }
+
+    fn join(&mut self) {
+        // The reactor closes the exec queue and shuts the mux down as it
+        // exits, so the join order below cannot deadlock.
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
+        }
+        for worker in self.exec_workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(mux) = self.mux_thread.take() {
+            let _ = mux.join();
+        }
+    }
+}
+
+/// Execution-pool worker: runs the blocking half of a request (engine
+/// inference, generation admission) off the reactor thread.
+fn exec_loop(
+    shared: &Arc<ServerShared>,
+    exec: &WorkQueue<ExecJob>,
+    poster: &Poster,
+    mux: &StreamMux,
+) {
+    while let Some(job) = exec.pop() {
+        // Chaos injection point: a stalled worker (GC pause, noisy
+        // neighbor, page fault storm). The request it holds waits; the
+        // reactor keeps serving every other connection, and admission
+        // control sees the resulting queue-wait inflation.
+        if let Some(stall) = tt_chaos::worker_stall() {
+            std::thread::sleep(stall);
+        }
+        match job {
+            ExecJob::Infer { conn, request } => {
+                let resp = infer_route(&request, shared);
+                poster.send(Completion::Response { conn, resp });
+            }
+            ExecJob::Generate { conn, request } => match generate_admit(&request, shared) {
+                GenAdmission::Plain(resp) => poster.send(Completion::Response { conn, resp }),
+                // The stream (owning the admission slot and root span)
+                // moves to the mux; this worker is free again — a stream
+                // in progress pins no thread.
+                GenAdmission::Stream(stream) => mux.add(conn, stream),
+            },
+        }
+    }
+}
+
+/// The event loop itself. Owned by the reactor thread; every socket and
+/// timer lives here, so nothing below needs a lock.
+struct Reactor {
+    epoll: Epoll,
+    listener: Option<TcpListener>,
+    wake_pipe: WakePipe,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    wheel: TimerWheel,
+    metrics: ReactorMetrics,
+    completions: Arc<Mutex<VecDeque<Completion>>>,
+    exec: Arc<WorkQueue<ExecJob>>,
+    mux: Arc<StreamMux>,
+    shared: Arc<ServerShared>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = vec![EpollEvent::zeroed(); 256];
+        let mut draining = false;
+        self.update_fd_gauge();
+        loop {
+            let timeout = self.wheel.timeout();
+            let n = self.epoll.wait(&mut events, timeout).unwrap_or_default();
+            let woke = Instant::now();
+            self.metrics.wakeups.inc();
+            self.metrics.ready_events.record(n as u64);
+
+            let mut touched: Vec<u64> = Vec::with_capacity(n);
+            for event in events.iter().take(n) {
+                // Copy out of the (packed) event before use.
+                let ev = *event;
+                let (mask, token) = (ev.events, ev.data);
+                match token {
+                    TOKEN_LISTENER => self.accept_burst(),
+                    TOKEN_WAKE => self.wake_pipe.drain(),
+                    token => {
+                        self.conn_event(token, mask);
+                        touched.push(token);
+                    }
+                }
+            }
+            self.drain_completions(&mut touched);
+            self.fire_timers(&mut touched);
+            for token in touched {
+                self.reap(token);
+            }
+
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                self.begin_drain(&mut draining);
+                if self.conns.is_empty() {
+                    break;
+                }
+            }
+            // Loop latency: the stretch spent processing (everything
+            // between returning from epoll_wait and re-entering it).
+            self.metrics.loop_latency.record(woke.elapsed().as_nanos() as u64);
+        }
+        // Unblock the exec pool and the mux so their threads exit.
+        self.exec.close();
+        self.mux.shutdown();
+    }
+
+    fn update_fd_gauge(&self) {
+        let base = 1 + usize::from(self.listener.is_some()); // wake pipe (+ listener)
+        self.metrics.registered_fds.set((self.conns.len() + base) as f64);
+    }
+
+    fn accept_burst(&mut self) {
+        loop {
+            // Scope the listener borrow to the accept call itself: the
+            // match arms below need `&mut self` (readable/reap).
+            let accepted = {
+                let Some(listener) = &self.listener else { break };
+                listener.accept()
+            };
+            match accepted {
+                Ok((stream, _peer)) => {
+                    if self.shared.shutting_down.load(Ordering::SeqCst) {
+                        continue; // draining: hang up on late arrivals
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .epoll
+                        .add(stream.as_raw_fd(), EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET, token)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    let mut conn = Conn::new(stream);
+                    self.arm_read_timer(&mut conn, token);
+                    self.conns.insert(token, conn);
+                    self.shared.metrics.active_connections.add(1.0);
+                    // Opportunistic first read: the request bytes often
+                    // land right behind the connect, so serving them now
+                    // saves a full epoll round-trip per short-lived
+                    // connection. Harmless when empty (WouldBlock); the
+                    // registration above still reports the next edge.
+                    self.readable(token, false);
+                    self.reap(token);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break, // transient (EMFILE, aborted handshake)
+            }
+        }
+        self.update_fd_gauge();
+    }
+
+    fn arm_read_timer(&mut self, conn: &mut Conn, token: u64) {
+        conn.read_generation += 1;
+        self.wheel.arm(TimerEntry {
+            conn: token,
+            kind: TimerKind::Read,
+            generation: conn.read_generation,
+            deadline: Instant::now() + self.shared.config.read_timeout,
+        });
+    }
+
+    fn conn_event(&mut self, token: u64, mask: u32) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if mask & (EPOLLERR | EPOLLHUP) != 0 {
+            conn.closed = true;
+            return;
+        }
+        if mask & EPOLLOUT != 0 {
+            conn.can_write = true;
+            self.flush(token);
+        }
+        if mask & (EPOLLIN | EPOLLRDHUP) != 0 {
+            self.readable(token, false);
+        }
+    }
+
+    /// Pull everything the socket has, then let the state machine act on
+    /// it. `resume` is set when a chaos stall just elapsed (skip drawing
+    /// another stall for the same readiness burst).
+    fn readable(&mut self, token: u64, resume: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if conn.closed || conn.stalled {
+            return;
+        }
+        // Chaos injection point: the peer pauses mid-send. The reactor
+        // parks the connection on the timer wheel — no thread sleeps.
+        if !resume {
+            if let Some(stall) = tt_chaos::conn_stall() {
+                conn.stalled = true;
+                conn.stall_generation += 1;
+                self.wheel.arm(TimerEntry {
+                    conn: token,
+                    kind: TimerKind::Stall,
+                    generation: conn.stall_generation,
+                    deadline: Instant::now() + stall,
+                });
+                return;
+            }
+        }
+        let mut chunk = [0u8; 4096];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.closed = true;
+                    return;
+                }
+            }
+        }
+        if matches!(conn.state, ConnState::Idle) {
+            if !conn.buf.is_empty() && !conn.finished {
+                // Fresh bytes reset the read clock (mirrors the threaded
+                // driver's per-read socket timeout).
+                self.arm_read_timer_for(token);
+            }
+            self.process_buffer(token);
+        }
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if conn.peer_closed {
+            match conn.state {
+                // An HTTP client that closed mid-stream is gone: cancel
+                // the generation so its KV pages free immediately.
+                ConnState::Streaming { .. } => conn.closed = true,
+                ConnState::Idle if conn.out_drained() && !conn.finished => conn.closed = true,
+                // Response(s) still buffered or executing: flush, then
+                // close (writes to a dead peer fail and close anyway).
+                _ => conn.wants_close = true,
+            }
+        }
+    }
+
+    fn arm_read_timer_for(&mut self, token: u64) {
+        if let Some(mut conn) = self.conns.remove(&token) {
+            self.arm_read_timer(&mut conn, token);
+            self.conns.insert(token, conn);
+        }
+    }
+
+    /// Parse-and-route loop for an `Idle` connection. Inline routes are
+    /// answered on the reactor thread; blocking routes dispatch to the
+    /// execution pool and pause parsing until the response comes back
+    /// (pipelined bytes stay buffered so responses keep order).
+    fn process_buffer(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.closed || conn.finished || !matches!(conn.state, ConnState::Idle) {
+                return;
+            }
+            match parse_request(&conn.buf, self.shared.config.max_body_bytes) {
+                ParseOutcome::Complete { request, consumed } => {
+                    conn.buf.drain(..consumed);
+                    // The pending read deadline belonged to this request.
+                    conn.read_generation += 1;
+                    let draining = self.shared.shutting_down.load(Ordering::SeqCst);
+                    let close = request.wants_close() || draining;
+                    conn.wants_close = close;
+                    match (request.method.as_str(), request.path()) {
+                        ("POST", "/v1/infer") => {
+                            self.dispatch_exec(token, request, "/v1/infer");
+                            return;
+                        }
+                        ("POST", "/v1/generate") => {
+                            // Streams always close the connection.
+                            self.conns.get_mut(&token).expect("conn exists").wants_close = true;
+                            self.dispatch_exec(token, request, "/v1/generate");
+                            return;
+                        }
+                        _ => {
+                            let route = route_label(request.path(), &request.method);
+                            let started = Instant::now();
+                            let resp = dispatch(&request, &self.shared);
+                            let status = resp.0;
+                            self.enqueue_response(token, resp, close);
+                            self.shared.metrics.observe(
+                                route,
+                                status,
+                                started.elapsed().as_nanos() as u64,
+                            );
+                            if close {
+                                return;
+                            }
+                        }
+                    }
+                }
+                ParseOutcome::Incomplete => return,
+                ParseOutcome::Invalid(reason) => {
+                    let resp = error_body(400, reason);
+                    self.enqueue_response(token, resp, true);
+                    self.shared.metrics.observe("other", 400, 0);
+                    return;
+                }
+                ParseOutcome::BodyTooLarge { declared } => {
+                    let reason = format!(
+                        "body of {declared} bytes exceeds the {}-byte limit",
+                        self.shared.config.max_body_bytes
+                    );
+                    let resp = error_body(413, &reason);
+                    self.enqueue_response(token, resp, true);
+                    self.shared.metrics.observe("other", 413, 0);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Hand a blocking route to the execution pool; a full hand-off
+    /// queue sheds `429` inline instead of stalling the event loop.
+    fn dispatch_exec(&mut self, token: u64, request: HttpRequest, route: &'static str) {
+        let started = Instant::now();
+        let job = if route == "/v1/infer" {
+            ExecJob::Infer { conn: token, request }
+        } else {
+            ExecJob::Generate { conn: token, request }
+        };
+        {
+            let conn = self.conns.get_mut(&token).expect("conn exists");
+            conn.state = ConnState::Executing { started, route };
+        }
+        if let Err(_job) = self.exec.try_push(job) {
+            let resp = shed_response(
+                &self.shared,
+                429,
+                "capacity",
+                "request hand-off queue is full; retry later",
+            );
+            let status = resp.0;
+            let close = {
+                let conn = self.conns.get_mut(&token).expect("conn exists");
+                conn.state = ConnState::Idle;
+                conn.wants_close
+            };
+            self.enqueue_response(token, resp, close);
+            self.shared.metrics.observe(route, status, started.elapsed().as_nanos() as u64);
+            if !close {
+                self.arm_read_timer_for(token);
+                self.process_buffer(token);
+            }
+        }
+    }
+
+    /// Render a complete response into the connection's output buffer
+    /// and start flushing. The `conn_drop` chaos point applies here —
+    /// per response, exactly like the threaded driver's write path.
+    fn enqueue_response(&mut self, token: u64, resp: Response, close: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let (status, ct, body, extra) = resp;
+        let head = render_head(status, &ct, body.len(), &extra, close);
+        if tt_chaos::conn_drop() {
+            // Injected mid-response connection loss: a partial head goes
+            // out, then the socket dies.
+            let cut = head.len().min(16);
+            let _ = conn.stream.write_all(&head.as_bytes()[..cut]);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            conn.closed = true;
+            return;
+        }
+        conn.out.extend_from_slice(head.as_bytes());
+        conn.out.extend_from_slice(&body);
+        if close {
+            conn.finished = true;
+        }
+        self.flush(token);
+    }
+
+    /// Append one chunked-transfer-encoded NDJSON event. The `conn_drop`
+    /// chaos point applies per chunk, mirroring the threaded driver.
+    fn enqueue_chunk(&mut self, token: u64, data: &[u8]) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if tt_chaos::conn_drop() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            conn.closed = true;
+            return;
+        }
+        conn.out.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+        conn.out.extend_from_slice(data);
+        conn.out.extend_from_slice(b"\r\n");
+        self.flush(token);
+    }
+
+    /// Write as much buffered output as the socket accepts. `WouldBlock`
+    /// clears write readiness and arms the write deadline; a drained
+    /// buffer on a finished connection closes it.
+    fn flush(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if conn.closed {
+            return;
+        }
+        while conn.can_write && conn.written < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.written..]) {
+                Ok(0) => {
+                    conn.closed = true;
+                    return;
+                }
+                Ok(n) => conn.written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    conn.can_write = false;
+                    conn.write_generation += 1;
+                    self.wheel.arm(TimerEntry {
+                        conn: token,
+                        kind: TimerKind::Write,
+                        generation: conn.write_generation,
+                        deadline: Instant::now() + self.shared.config.write_timeout,
+                    });
+                    return;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.closed = true;
+                    return;
+                }
+            }
+        }
+        if conn.out_drained() && !conn.out.is_empty() {
+            conn.out.clear();
+            conn.written = 0;
+            conn.write_generation += 1; // cancel the write deadline
+            if conn.finished {
+                conn.closed = true;
+            }
+        }
+    }
+
+    /// Apply every queued completion from the exec pool and stream mux.
+    fn drain_completions(&mut self, touched: &mut Vec<u64>) {
+        let pending: Vec<Completion> = {
+            let mut queue = self.completions.lock().expect("completion lock");
+            queue.drain(..).collect()
+        };
+        for completion in pending {
+            match completion {
+                Completion::Response { conn: token, resp } => {
+                    touched.push(token);
+                    if !self.conns.contains_key(&token) {
+                        continue; // connection died while the pool worked
+                    }
+                    let (route, started) = {
+                        let conn = self.conns.get_mut(&token).expect("conn exists");
+                        match conn.state {
+                            ConnState::Executing { started, route } => (route, started),
+                            _ => ("other", Instant::now()),
+                        }
+                    };
+                    let status = resp.0;
+                    let draining = self.shared.shutting_down.load(Ordering::SeqCst);
+                    let close = {
+                        let conn = self.conns.get_mut(&token).expect("conn exists");
+                        conn.state = ConnState::Idle;
+                        conn.wants_close || draining
+                    };
+                    self.enqueue_response(token, resp, close);
+                    self.shared.metrics.observe(route, status, started.elapsed().as_nanos() as u64);
+                    if !close {
+                        // Keep-alive: resume the parse loop over any
+                        // pipelined bytes, and restart the idle clock.
+                        self.arm_read_timer_for(token);
+                        self.process_buffer(token);
+                    }
+                }
+                Completion::StreamReject { conn: token, finish } => {
+                    touched.push(token);
+                    if !self.conns.contains_key(&token) {
+                        continue;
+                    }
+                    let resp = reject_response(&finish, &self.shared)
+                        .unwrap_or_else(|| error_body(503, "generation stream rejected"));
+                    let (started, status) = {
+                        let conn = self.conns.get_mut(&token).expect("conn exists");
+                        let started = match conn.state {
+                            ConnState::Executing { started, .. } => started,
+                            _ => Instant::now(),
+                        };
+                        conn.state = ConnState::Idle;
+                        (started, resp.0)
+                    };
+                    self.enqueue_response(token, resp, true);
+                    self.shared.metrics.observe(
+                        "/v1/generate",
+                        status,
+                        started.elapsed().as_nanos() as u64,
+                    );
+                }
+                Completion::StreamOpen { conn: token, trace } => {
+                    touched.push(token);
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        self.mux.cancel(token);
+                        continue;
+                    };
+                    if conn.closed {
+                        self.mux.cancel(token);
+                        continue;
+                    }
+                    let started = match conn.state {
+                        ConnState::Executing { started, .. } => started,
+                        _ => Instant::now(),
+                    };
+                    let head = stream_head(trace);
+                    if tt_chaos::conn_drop() {
+                        let cut = head.len().min(16);
+                        let _ = conn.stream.write_all(&head.as_bytes()[..cut]);
+                        let _ = conn.stream.shutdown(Shutdown::Both);
+                        conn.closed = true;
+                        self.mux.cancel(token);
+                        self.shared.metrics.observe(
+                            "/v1/generate",
+                            200,
+                            started.elapsed().as_nanos() as u64,
+                        );
+                        continue;
+                    }
+                    conn.state = ConnState::Streaming { started };
+                    conn.out.extend_from_slice(head.as_bytes());
+                    self.flush(token);
+                }
+                Completion::StreamChunk { conn: token, json } => {
+                    touched.push(token);
+                    if self.conns.get(&token).map(|c| c.closed).unwrap_or(true) {
+                        self.mux.cancel(token);
+                        continue;
+                    }
+                    self.enqueue_chunk(token, json.as_bytes());
+                    if self.conns.get(&token).map(|c| c.closed).unwrap_or(true) {
+                        // The chunk-level conn_drop chaos fired (or the
+                        // write died): cancel so the engine reclaims the
+                        // sequence's pages.
+                        self.mux.cancel(token);
+                    }
+                }
+                Completion::StreamClose { conn: token } => {
+                    touched.push(token);
+                    let Some(conn) = self.conns.get_mut(&token) else { continue };
+                    if conn.closed {
+                        continue;
+                    }
+                    let started = match conn.state {
+                        ConnState::Streaming { started } | ConnState::Executing { started, .. } => {
+                            started
+                        }
+                        ConnState::Idle => Instant::now(),
+                    };
+                    conn.out.extend_from_slice(b"0\r\n\r\n");
+                    conn.finished = true;
+                    self.shared.metrics.observe(
+                        "/v1/generate",
+                        200,
+                        started.elapsed().as_nanos() as u64,
+                    );
+                    self.flush(token);
+                }
+            }
+        }
+    }
+
+    /// Fire due timer-wheel entries: read/idle deadlines, write
+    /// deadlines, chaos stall resumes.
+    fn fire_timers(&mut self, touched: &mut Vec<u64>) {
+        let mut fired = Vec::new();
+        self.wheel.advance(Instant::now(), &mut fired);
+        for entry in fired {
+            let token = entry.conn;
+            let Some(conn) = self.conns.get_mut(&token) else { continue };
+            let live = match entry.kind {
+                TimerKind::Read => entry.generation == conn.read_generation,
+                TimerKind::Write => entry.generation == conn.write_generation,
+                TimerKind::Stall => entry.generation == conn.stall_generation,
+            };
+            if !live || conn.closed {
+                continue;
+            }
+            self.metrics.timer_fires.inc();
+            touched.push(token);
+            match entry.kind {
+                TimerKind::Read => {
+                    if !matches!(conn.state, ConnState::Idle) {
+                        continue; // request made it out of the parser
+                    }
+                    if conn.buf.is_empty() {
+                        // Idle keep-alive expiry: close silently.
+                        conn.closed = conn.out_drained();
+                        conn.finished = true;
+                    } else {
+                        // Slow-loris / mid-request stall: tell the peer
+                        // before hanging up.
+                        let resp = error_body(408, "timed out mid-request");
+                        self.enqueue_response(token, resp, true);
+                        self.shared.metrics.observe("other", 408, 0);
+                    }
+                }
+                TimerKind::Write => {
+                    // The peer stopped reading our response: abandon it.
+                    conn.closed = true;
+                }
+                TimerKind::Stall => {
+                    conn.stalled = false;
+                    self.readable(token, true);
+                }
+            }
+        }
+    }
+
+    /// Remove a connection marked closed: drop the socket (deregistering
+    /// it from epoll), cancel any stream, update gauges.
+    fn reap(&mut self, token: u64) {
+        let remove = self.conns.get(&token).map(|c| c.closed).unwrap_or(false);
+        if !remove {
+            return;
+        }
+        let conn = self.conns.remove(&token).expect("conn exists");
+        if matches!(conn.state, ConnState::Streaming { .. } | ConnState::Executing { .. }) {
+            // A live generation stream (or one still being admitted)
+            // dies with its connection; dropping the mux entry drops the
+            // engine-side receiver, freeing the sequence's KV pages.
+            self.mux.cancel(token);
+        }
+        self.shared.metrics.active_connections.add(-1.0);
+        self.update_fd_gauge();
+        drop(conn);
+    }
+
+    /// First pass after the shutdown flag flips: stop accepting (drop —
+    /// and thereby close — the listener) and close connections with
+    /// nothing in flight. Executing/streaming connections drain.
+    fn begin_drain(&mut self, draining: &mut bool) {
+        if !*draining {
+            *draining = true;
+            if let Some(listener) = self.listener.take() {
+                let _ = self.epoll.delete(listener.as_raw_fd());
+            }
+        }
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                matches!(c.state, ConnState::Idle) && c.out_drained() && c.buf.is_empty()
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        for token in idle {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.closed = true;
+            }
+            self.reap(token);
+        }
+        self.update_fd_gauge();
+    }
+}

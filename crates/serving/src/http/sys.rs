@@ -1,0 +1,184 @@
+//! Thin epoll + self-pipe FFI for the reactor driver (Linux only).
+//!
+//! The build environment vendors every dependency, so there is no `libc`
+//! crate to lean on. Instead this module declares the four glibc symbols
+//! the reactor needs — `epoll_create1`, `epoll_ctl`, `epoll_wait`,
+//! `pipe2` — as `extern "C"` items; the std runtime already links against
+//! glibc, so no extra linkage is required. Everything is wrapped in safe
+//! RAII types ([`Epoll`], [`WakePipe`]) so the reactor itself contains no
+//! `unsafe`.
+//!
+//! Only the constants the reactor actually uses are defined, with values
+//! from the Linux UAPI headers (`<sys/epoll.h>`, `<fcntl.h>`); they are
+//! ABI-stable by kernel policy.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Readable (incoming bytes, or a peer FIN makes `read` return 0).
+pub(super) const EPOLLIN: u32 = 0x1;
+/// Writable (send buffer has room again).
+pub(super) const EPOLLOUT: u32 = 0x4;
+/// Error condition on the fd (e.g. an RST from the peer).
+pub(super) const EPOLLERR: u32 = 0x8;
+/// Full hang-up: both directions are gone.
+pub(super) const EPOLLHUP: u32 = 0x10;
+/// Peer shut down its write half (half-close FIN).
+pub(super) const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered registration: one event per readiness *transition*.
+pub(super) const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CLOEXEC: i32 = 0x80000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const O_NONBLOCK: i32 = 0x800;
+const O_CLOEXEC: i32 = 0x80000;
+
+/// `struct epoll_event`. On x86-64 the kernel ABI packs it (no padding
+/// between the 32-bit mask and the 64-bit data word).
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub(super) struct EpollEvent {
+    /// Readiness mask (`EPOLL*` bits).
+    pub(super) events: u32,
+    /// Caller-owned token; the reactor stores the connection id here.
+    pub(super) data: u64,
+}
+
+impl EpollEvent {
+    pub(super) fn zeroed() -> EpollEvent {
+        EpollEvent { events: 0, data: 0 }
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+}
+
+/// An owned epoll instance. Closing the fd (on drop) deregisters
+/// everything still attached to it.
+pub(super) struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    pub(super) fn new() -> io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd: unsafe { OwnedFd::from_raw_fd(fd) } })
+    }
+
+    /// Register `fd` for `events`, tagging its wakeups with `token`.
+    pub(super) fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data: token };
+        let rc = unsafe { epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_ADD, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Deregister `fd`. (Closing an fd deregisters it implicitly; this is
+    /// for fds that outlive their registration, like the drained listener.)
+    pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+        // Pre-2.6.9 kernels require a non-null event pointer even for DEL.
+        let mut ev = EpollEvent::zeroed();
+        let rc = unsafe { epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_DEL, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Block until readiness or `timeout` (`None` = forever), retrying
+    /// `EINTR`. Returns how many entries of `events` were filled.
+    pub(super) fn wait(
+        &self,
+        events: &mut [EpollEvent],
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        let ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 1ns timeout does not become a busy-loop 0ms poll.
+            Some(d) => d.as_millis().clamp(1, i32::MAX as u128) as i32,
+        };
+        loop {
+            let n = unsafe {
+                epoll_wait(self.fd.as_raw_fd(), events.as_mut_ptr(), events.len() as i32, ms)
+            };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// The classic self-pipe trick: other threads write a byte to wake the
+/// reactor out of `epoll_wait`. Both ends are nonblocking — a full pipe
+/// means a wake is already pending, so the dropped byte is harmless.
+pub(super) struct WakePipe {
+    read: File,
+    write: Arc<File>,
+}
+
+impl WakePipe {
+    pub(super) fn new() -> io::Result<WakePipe> {
+        let mut fds = [0i32; 2];
+        let rc = unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let (read, write) = unsafe { (File::from_raw_fd(fds[0]), File::from_raw_fd(fds[1])) };
+        Ok(WakePipe { read, write: Arc::new(write) })
+    }
+
+    /// The read end's fd, for epoll registration.
+    pub(super) fn read_fd(&self) -> RawFd {
+        self.read.as_raw_fd()
+    }
+
+    /// A cloneable write-end handle for the exec pool and stream mux.
+    pub(super) fn handle(&self) -> WakeHandle {
+        WakeHandle { write: self.write.clone() }
+    }
+
+    /// Swallow every pending wake byte.
+    pub(super) fn drain(&mut self) {
+        let mut sink = [0u8; 64];
+        loop {
+            match (&self.read).read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(_) => break, // WouldBlock: drained
+            }
+        }
+    }
+}
+
+/// Write end of the reactor's [`WakePipe`], shared by every thread that
+/// needs to interrupt `epoll_wait` (exec workers posting completions, the
+/// stream mux, shutdown).
+#[derive(Clone)]
+pub(super) struct WakeHandle {
+    write: Arc<File>,
+}
+
+impl WakeHandle {
+    /// Wake the reactor. Never blocks; a full pipe already holds a wake.
+    pub(super) fn wake(&self) {
+        let _ = (&*self.write).write(&[1u8]);
+    }
+}

@@ -1,0 +1,328 @@
+//! The threaded connection driver: a blocking acceptor plus a worker
+//! pool, one connection per worker thread at a time.
+//!
+//! This is the portable fallback behind `TT_HTTP_DRIVER=threads` (and the
+//! default off Linux) and the baseline the epoll reactor is benchmarked
+//! against in `BENCH_http.json`. Its capacity model is thread-bound:
+//! `workers` connections are served concurrently, further accepted
+//! connections wait in the bounded hand-off queue, and beyond that the
+//! acceptor blocks and clients queue in the kernel backlog. See
+//! `docs/NETWORKING.md` for the comparison with the reactor's
+//! readiness-driven model.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use tt_telemetry::Stopwatch;
+
+use super::parser::{parse_request, HttpRequest, ParseOutcome};
+use super::{
+    classify_first_event, dispatch, error_body, event_json, generate_admit, render_head,
+    route_label, ConnectionDriver, GenAdmission, Response, ServerShared, StreamState, WorkQueue,
+};
+use crate::generate::TokenEvent;
+
+/// The running threaded driver: acceptor thread, worker pool, and the
+/// bounded connection hand-off queue between them.
+pub(super) struct ThreadedDriver {
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadedDriver {
+    pub(super) fn start(
+        listener: TcpListener,
+        addr: SocketAddr,
+        shared: &Arc<ServerShared>,
+    ) -> ThreadedDriver {
+        let queue = Arc::new(WorkQueue::new(shared.config.pending_connections));
+        let mut workers = Vec::new();
+        for i in 0..shared.config.workers {
+            let shared = shared.clone();
+            let queue = queue.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tt-http-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &queue))
+                    .expect("spawning http worker"),
+            );
+        }
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("tt-http-acceptor".into())
+                .spawn(move || acceptor_loop(listener, &shared, &queue))
+                .expect("spawning http acceptor")
+        };
+        ThreadedDriver { addr, acceptor: Some(acceptor), workers }
+    }
+}
+
+impl ConnectionDriver for ThreadedDriver {
+    fn begin_shutdown(&self) {
+        // Wake the acceptor out of its blocking accept() with a throwaway
+        // connection; it re-checks the flag before handing the stream off.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn join(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &ServerShared, queue: &WorkQueue<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => continue, // transient accept error; keep serving
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break; // the wake-up connection (or a late client) is dropped
+        }
+        let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+        let _ = stream.set_nodelay(true);
+        queue.push(stream);
+    }
+    queue.close();
+}
+
+fn worker_loop(shared: &Arc<ServerShared>, queue: &WorkQueue<TcpStream>) {
+    while let Some(stream) = queue.pop() {
+        // Chaos injection point: a stalled worker (GC pause, noisy
+        // neighbor, page fault storm). The connection it holds waits; the
+        // rest of the pool keeps serving, and admission control sees the
+        // resulting queue-wait inflation.
+        if let Some(stall) = tt_chaos::worker_stall() {
+            std::thread::sleep(stall);
+        }
+        shared.metrics.active_connections.add(1.0);
+        handle_connection(stream, shared);
+        shared.metrics.active_connections.add(-1.0);
+    }
+}
+
+/// Serve one connection: keep-alive loop of read → parse → route → write.
+/// Pipelined requests already in the buffer are answered without another
+/// read. Returns when the peer closes, asks to close, errors, times out,
+/// or the server is draining for shutdown.
+fn handle_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Answer everything parseable before reading again.
+        loop {
+            match parse_request(&buf, shared.config.max_body_bytes) {
+                ParseOutcome::Complete { request, consumed } => {
+                    buf.drain(..consumed);
+                    let draining = shared.shutting_down.load(Ordering::SeqCst);
+                    if request.method == "POST" && request.path() == "/v1/generate" {
+                        // Streaming route: it owns the socket for the whole
+                        // generation (chunked transfer encoding, one chunk
+                        // per token event) and always ends the connection.
+                        generate_route(&mut stream, &request, shared);
+                        return;
+                    }
+                    let close = request.wants_close() || draining;
+                    let served = respond(&mut stream, &request, close, shared);
+                    if !served || close {
+                        return;
+                    }
+                }
+                ParseOutcome::Incomplete => break,
+                ParseOutcome::Invalid(reason) => {
+                    let _ = write_error(&mut stream, 400, reason, &[]);
+                    shared.metrics.observe("other", 400, 0);
+                    return;
+                }
+                ParseOutcome::BodyTooLarge { declared } => {
+                    let reason = format!(
+                        "body of {declared} bytes exceeds the {}-byte limit",
+                        shared.config.max_body_bytes
+                    );
+                    let _ = write_error(&mut stream, 413, &reason, &[]);
+                    shared.metrics.observe("other", 413, 0);
+                    return;
+                }
+            }
+        }
+
+        // Chaos injection point: the peer pauses mid-send (the reactor
+        // parks the connection on its timer wheel instead of sleeping).
+        if let Some(stall) = tt_chaos::conn_stall() {
+            std::thread::sleep(stall);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if !buf.is_empty() {
+                    // Mid-request stall: tell the peer before hanging up.
+                    let _ = write_error(&mut stream, 408, "timed out mid-request", &[]);
+                    shared.metrics.observe("other", 408, 0);
+                }
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Route one request and write the response. Returns `false` if the write
+/// failed (connection is dead).
+fn respond(
+    stream: &mut TcpStream,
+    request: &HttpRequest,
+    close: bool,
+    shared: &ServerShared,
+) -> bool {
+    let route = route_label(request.path(), &request.method);
+    let watch = Stopwatch::start();
+    let (status, content_type, body, extra) = dispatch(request, shared);
+    let ok = write_response(stream, status, &content_type, &body, &extra, close).is_ok();
+    shared.metrics.observe(route, status, watch.elapsed_nanos());
+    ok
+}
+
+/// Write one HTTP/1.1 chunk (`<hex len>\r\n<data>\r\n`) and flush, so the
+/// client sees the token *now*, not when a buffer fills. The `conn_drop`
+/// chaos point applies per chunk — a stream can die mid-generation, and
+/// the engine must reclaim the sequence's pages when it does.
+fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
+    if tt_chaos::conn_drop() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "tt-chaos: injected connection drop mid-stream",
+        ));
+    }
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// `POST /v1/generate`: the streaming route under the threaded driver.
+/// Owns the socket — and this worker thread — for the stream's whole
+/// lifetime: admission errors are written as complete responses; an
+/// admitted generation answers `200` with `Transfer-Encoding: chunked`
+/// and one NDJSON event per token, ending with a terminal `done` chunk.
+/// The engine's own terminal events (deadline expiry mid-generation,
+/// page exhaustion) ride the stream — the client never hangs on a
+/// retired sequence.
+fn generate_route(stream: &mut TcpStream, request: &HttpRequest, shared: &Arc<ServerShared>) {
+    let route = "/v1/generate";
+    let watch = Stopwatch::start();
+    let plain = |stream: &mut TcpStream, resp: Response| {
+        let (status, ct, body, extra) = resp;
+        let _ = write_response(stream, status, &ct, &body, &extra, true);
+        shared.metrics.observe(route, status, watch.elapsed_nanos());
+    };
+
+    let StreamState { events, slot: _slot, mut span, trace } = match generate_admit(request, shared)
+    {
+        GenAdmission::Plain(resp) => return plain(stream, resp),
+        GenAdmission::Stream(state) => state,
+    };
+
+    // Wait for the first event before committing to a status line: an
+    // engine-side rejection that produced no tokens becomes a proper HTTP
+    // error instead of a 200 stream that instantly fails.
+    let first = match events.recv() {
+        Ok(ev) => ev,
+        Err(_) => return plain(stream, error_body(503, "generation engine is gone")),
+    };
+    if let Some(resp) = classify_first_event(&first, shared) {
+        return plain(stream, resp);
+    }
+
+    // Commit: 200 + chunked; streams always close the connection.
+    let head = super::stream_head(trace);
+    if tt_chaos::conn_drop() {
+        let cut = head.len().min(16);
+        let _ = stream.write_all(&head.as_bytes()[..cut]);
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        shared.metrics.observe(route, 200, watch.elapsed_nanos());
+        return;
+    }
+    if stream.write_all(head.as_bytes()).and_then(|()| stream.flush()).is_err() {
+        shared.metrics.observe(route, 200, watch.elapsed_nanos());
+        return;
+    }
+
+    let mut current = first;
+    loop {
+        if write_chunk(stream, event_json(&current).as_bytes()).is_err() {
+            // Dead peer (or injected drop): dropping `events` below makes
+            // the engine's next send fail, retiring the sequence and
+            // freeing its pages the same iteration.
+            break;
+        }
+        if let TokenEvent::Done { finish, .. } = &current {
+            if let Some(span) = span.as_mut() {
+                span.attr_str("finish", finish.as_str());
+            }
+            let _ = stream.write_all(b"0\r\n\r\n").and_then(|()| stream.flush());
+            break;
+        }
+        match events.recv() {
+            Ok(ev) => current = ev,
+            Err(_) => {
+                // Engine vanished mid-stream: close the chunk framing so
+                // the client sees a terminated (if incomplete) body.
+                let _ = stream.write_all(b"0\r\n\r\n").and_then(|()| stream.flush());
+                break;
+            }
+        }
+    }
+    shared.metrics.observe(route, 200, watch.elapsed_nanos());
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(String, String)],
+    close: bool,
+) -> std::io::Result<()> {
+    let head = render_head(status, content_type, body.len(), extra_headers, close);
+    // Chaos injection point: the peer (or a middlebox) vanishes
+    // mid-response. A partial head goes out, then the socket dies — the
+    // caller sees an error exactly as it would from a real broken pipe,
+    // and per-request accounting must still balance.
+    if tt_chaos::conn_drop() {
+        let cut = head.len().min(16);
+        let _ = stream.write_all(&head.as_bytes()[..cut]);
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "tt-chaos: injected connection drop mid-response",
+        ));
+    }
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn write_error(
+    stream: &mut TcpStream,
+    status: u16,
+    message: &str,
+    extra_headers: &[(String, String)],
+) -> std::io::Result<()> {
+    let (status, ct, body, _) = error_body(status, message);
+    write_response(stream, status, &ct, &body, extra_headers, true)
+}

@@ -171,6 +171,20 @@ fn http_worker_stall_and_connection_drop_are_survivable() {
     assert!(stalled.contains("cls_vector"), "stalled worker still serves: {stalled}");
     assert!(start.elapsed() >= Duration::from_millis(20), "the stall must be observable");
 
+    // Connection stall: the read is deferred (timer-wheel parked under
+    // the reactor, a worker sleep under the threaded driver) but the
+    // request still serves, completely, after the injected delay.
+    tt_chaos::install(ChaosConfig {
+        conn_stall: 1.0,
+        conn_stall_ms: 60,
+        seed: 7,
+        ..ChaosConfig::default()
+    });
+    let start = Instant::now();
+    let parked = exchange();
+    assert!(parked.contains("cls_vector"), "stalled connection still serves: {parked}");
+    assert!(start.elapsed() >= Duration::from_millis(60), "the stall must be observable");
+
     // Connection drop: this response is truncated mid-head…
     tt_chaos::install(ChaosConfig { conn_drop: 1.0, seed: 7, ..ChaosConfig::default() });
     let dropped = exchange();

@@ -1,0 +1,352 @@
+//! Reactor-driver edge cases: the failure modes a readiness-driven event
+//! loop must get right that a thread-per-connection server gets "for
+//! free" from blocking socket timeouts.
+//!
+//! Every server here pins [`DriverKind::Reactor`] explicitly (no
+//! `TT_HTTP_DRIVER` environment races between tests): slow-loris partial
+//! requests hitting the timer wheel, mid-stream client disconnects
+//! releasing engine-side resources, pipelined keep-alive requests spread
+//! across separate readiness wakeups, a 512-socket concurrency smoke, and
+//! graceful shutdown draining registered connections.
+
+#![cfg(target_os = "linux")]
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tt_serving::http::{
+    DriverKind, GenerateHandler, HttpConfig, HttpServer, InferError, InferHandler, InferReply,
+};
+use tt_serving::{Deadline, TokenEvent};
+use tt_telemetry::{Registry, SpanContext, Tracer};
+
+/// Echo backend: the reply's `cls_vector` mirrors the request tokens, so
+/// response ordering is observable on the wire.
+struct EchoHandler;
+
+impl InferHandler for EchoHandler {
+    fn infer(&self, tokens: Vec<u32>) -> Result<InferReply, InferError> {
+        Ok(InferReply {
+            cls_vector: tokens.iter().map(|&t| t as f32).collect(),
+            latency_ms: 0.1,
+            batch_size: 1,
+            padded_len: tokens.len(),
+        })
+    }
+}
+
+/// Parks every inference until released; counts starts so tests can wait
+/// for a request to be provably in flight.
+struct GatedHandler {
+    started: AtomicUsize,
+    release: Mutex<mpsc::Receiver<()>>,
+}
+
+impl InferHandler for GatedHandler {
+    fn infer(&self, tokens: Vec<u32>) -> Result<InferReply, InferError> {
+        self.started.fetch_add(1, Ordering::SeqCst);
+        let rx = self.release.lock().unwrap();
+        let _ = rx.recv_timeout(Duration::from_secs(10));
+        Ok(InferReply {
+            cls_vector: vec![0.0],
+            latency_ms: 1.0,
+            batch_size: 1,
+            padded_len: tokens.len(),
+        })
+    }
+}
+
+fn reactor_server(
+    handler: Arc<dyn InferHandler>,
+    tweak: impl FnOnce(&mut HttpConfig),
+) -> (HttpServer, Registry) {
+    let registry = Registry::new();
+    let mut config = HttpConfig { addr: "127.0.0.1:0".into(), ..HttpConfig::default() };
+    tweak(&mut config);
+    let server = HttpServer::start_with_driver(
+        config,
+        handler,
+        None,
+        &registry,
+        Tracer::disabled(),
+        None,
+        DriverKind::Reactor,
+    )
+    .expect("server starts");
+    assert_eq!(server.driver(), DriverKind::Reactor, "test must exercise the reactor");
+    (server, registry)
+}
+
+fn read_all(stream: &mut TcpStream) -> String {
+    let mut buf = String::new();
+    let _ = stream.read_to_string(&mut buf);
+    buf
+}
+
+fn infer_request(tokens: &[u32], close: bool) -> String {
+    let body = format!(
+        "{{\"tokens\": [{}]}}",
+        tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    let conn = if close { "Connection: close\r\n" } else { "" };
+    format!(
+        "POST /v1/infer HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n{conn}\r\n{body}",
+        body.len()
+    )
+}
+
+/// A slow-loris client — request head trickling in, never completing —
+/// must get `408` from the timer wheel, not hold a connection slot
+/// forever and not occupy any thread while it stalls.
+#[test]
+fn slow_loris_partial_head_gets_408_from_timer_wheel() {
+    let (server, registry) =
+        reactor_server(Arc::new(EchoHandler), |c| c.read_timeout = Duration::from_millis(120));
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.write_all(b"POST /v1/infer HTTP/1.1\r\nHost: t\r\nCont").expect("partial head");
+    // Send nothing more; the read deadline must fire on its own.
+    let start = Instant::now();
+    let resp = read_all(&mut stream);
+    assert!(resp.starts_with("HTTP/1.1 408"), "stalled request gets 408, got: {resp:?}");
+    assert!(start.elapsed() >= Duration::from_millis(100), "408 waits for the deadline");
+    assert!(start.elapsed() < Duration::from_secs(3), "408 does not wait for default timeouts");
+
+    // The wheel fired at least once, and the stall is visible in metrics.
+    let snap = registry.snapshot();
+    let fires = snap.find("reactor_timer_fires_total", &[]).unwrap().counter.unwrap();
+    assert!(fires >= 1, "timer wheel fired for the stalled read, got {fires}");
+    server.shutdown();
+}
+
+/// An idle keep-alive connection (no bytes at all) is closed silently at
+/// the read deadline — no `408`, just EOF.
+#[test]
+fn idle_keepalive_connection_expires_silently() {
+    let (server, _registry) =
+        reactor_server(Arc::new(EchoHandler), |c| c.read_timeout = Duration::from_millis(120));
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let resp = read_all(&mut stream);
+    assert!(resp.is_empty(), "idle expiry closes without a response, got: {resp:?}");
+    server.shutdown();
+}
+
+/// Generation backend whose event channel the test feeds by hand: the
+/// sender's failure is the observable proof that a client disconnect
+/// propagated through the reactor and stream mux to the engine side —
+/// exactly the signal the real engine uses to retire a sequence and free
+/// its KV pages.
+struct ManualStream {
+    senders: Mutex<Vec<crossbeam::channel::Sender<TokenEvent>>>,
+}
+
+impl GenerateHandler for ManualStream {
+    fn generate(
+        &self,
+        _prompt: Vec<u32>,
+        _max_new_tokens: usize,
+        _trace: Option<SpanContext>,
+        _deadline: Option<Deadline>,
+    ) -> Result<crossbeam::channel::Receiver<TokenEvent>, InferError> {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.senders.lock().unwrap().push(tx);
+        Ok(rx)
+    }
+}
+
+#[test]
+fn mid_stream_client_disconnect_releases_engine_side_stream() {
+    let backend = Arc::new(ManualStream { senders: Mutex::new(Vec::new()) });
+    let registry = Registry::new();
+    let config = HttpConfig { addr: "127.0.0.1:0".into(), ..HttpConfig::default() };
+    let server = HttpServer::start_with_driver(
+        config,
+        Arc::new(EchoHandler),
+        Some(backend.clone() as Arc<dyn GenerateHandler>),
+        &registry,
+        Tracer::disabled(),
+        None,
+        DriverKind::Reactor,
+    )
+    .expect("server starts");
+
+    let body = "{\"prompt\": [1, 2], \"max_new_tokens\": 64}";
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "POST /v1/generate HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write request");
+
+    // Wait for admission, then emit one token so the 200 head commits.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let tx = loop {
+        if let Some(tx) = backend.senders.lock().unwrap().first().cloned() {
+            break tx;
+        }
+        assert!(Instant::now() < deadline, "stream never admitted");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    tx.send(TokenEvent::Token { index: 0, token: 7 }).expect("stream is live");
+
+    // Read the head + first chunk, then vanish mid-stream.
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut first = [0u8; 1];
+    stream.read_exact(&mut first).expect("stream head arrives");
+    drop(stream);
+
+    // The reactor must notice the hangup and cancel the mux entry, which
+    // drops the engine-side receiver: our next sends start failing. In
+    // the real engine that same drop retires the sequence and frees its
+    // KV pages the same decode iteration.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        std::thread::sleep(Duration::from_millis(10));
+        if tx.send(TokenEvent::Token { index: 1, token: 8 }).is_err() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "disconnect never propagated to the engine-side channel"
+        );
+    }
+    server.shutdown();
+}
+
+/// Pipelined keep-alive requests spread across separate readiness
+/// wakeups: a burst of three in one write, then — after the reactor has
+/// gone back to sleep — a fourth on the same connection. Responses come
+/// back in order with request-identifying bodies.
+#[test]
+fn pipelined_keepalive_requests_across_wakeups_stay_ordered() {
+    let (server, _registry) = reactor_server(Arc::new(EchoHandler), |_| {});
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    let burst: String =
+        [&[11u32][..], &[22], &[33]].iter().map(|tokens| infer_request(tokens, false)).collect();
+    stream.write_all(burst.as_bytes()).expect("write pipelined burst");
+
+    let mut seen = String::new();
+    let mut chunk = [0u8; 4096];
+    for marker in ["[11.0]", "[22.0]", "[33.0]"] {
+        while !seen.contains(marker) {
+            let n = stream.read(&mut chunk).expect("burst responses");
+            assert!(n > 0, "connection closed before {marker}; got: {seen}");
+            seen.push_str(&String::from_utf8_lossy(&chunk[..n]));
+        }
+    }
+    for (earlier, later) in [("[11.0]", "[22.0]"), ("[22.0]", "[33.0]")] {
+        assert!(
+            seen.find(earlier).unwrap() < seen.find(later).unwrap(),
+            "pipelined responses out of order: {seen}"
+        );
+    }
+
+    // Let the reactor return to epoll_wait, then reuse the connection on
+    // a fresh readiness edge.
+    std::thread::sleep(Duration::from_millis(50));
+    stream.write_all(infer_request(&[44], true).as_bytes()).expect("write follow-up");
+    let tail = read_all(&mut stream);
+    assert!(tail.contains("[44.0]"), "follow-up served on same connection: {tail}");
+    server.shutdown();
+}
+
+/// 512 concurrent sockets — far beyond any worker-thread count — all
+/// held open at once, then all served, with zero connect/accept errors.
+#[test]
+fn five_hundred_twelve_concurrent_sockets_all_served() {
+    const SOCKETS: usize = 512;
+    let (server, registry) = reactor_server(Arc::new(EchoHandler), |_| {});
+    let addr: SocketAddr = server.addr();
+
+    let mut sockets = Vec::with_capacity(SOCKETS);
+    for i in 0..SOCKETS {
+        let stream = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect #{i}: {e}"));
+        sockets.push(stream);
+    }
+    // Every socket is open simultaneously before any is served.
+    for stream in &mut sockets {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .expect("write");
+    }
+    let mut served = 0usize;
+    for mut stream in sockets {
+        let resp = read_all(&mut stream);
+        assert!(resp.starts_with("HTTP/1.1 200"), "socket got: {resp:?}");
+        served += 1;
+    }
+    assert_eq!(served, SOCKETS);
+
+    // The loop's own health metrics saw the swarm.
+    let snap = registry.snapshot();
+    let wakeups = snap.find("reactor_wakeups_total", &[]).unwrap().counter.unwrap();
+    assert!(wakeups >= 1);
+    assert!(snap.find("reactor_registered_fds", &[]).is_some());
+    assert!(snap.find("reactor_ready_events_per_wake", &[]).is_some());
+    server.shutdown();
+}
+
+/// Graceful shutdown with live registered connections: the in-flight
+/// request completes (drained, not dropped), the idle keep-alive
+/// connection is closed, and only then does the listener port die.
+#[test]
+fn shutdown_drains_registered_connections() {
+    let (release_tx, release_rx) = mpsc::channel();
+    let gated =
+        Arc::new(GatedHandler { started: AtomicUsize::new(0), release: Mutex::new(release_rx) });
+    let (server, _registry) = reactor_server(gated.clone(), |_| {});
+    let addr = server.addr();
+
+    // One idle keep-alive connection (served, then parked open)...
+    let mut idle = TcpStream::connect(addr).expect("connect idle");
+    idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    idle.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").expect("write");
+    let mut chunk = [0u8; 1024];
+    let n = idle.read(&mut chunk).expect("healthz response");
+    assert!(String::from_utf8_lossy(&chunk[..n]).starts_with("HTTP/1.1 200"));
+
+    // ...and one connection with a request parked inside the handler.
+    let mut busy = TcpStream::connect(addr).expect("connect busy");
+    busy.write_all(infer_request(&[5], true).as_bytes()).expect("write");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while gated.started.load(Ordering::SeqCst) == 0 {
+        assert!(Instant::now() < deadline, "request never reached the handler");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(100));
+    release_tx.send(()).expect("release the parked request");
+
+    // The parked request drains to a complete response...
+    let resp = read_all(&mut busy);
+    assert!(resp.starts_with("HTTP/1.1 200"), "drained response, got: {resp:?}");
+    assert!(resp.contains("cls_vector"), "drained response has a body: {resp}");
+    // ...the idle connection is closed (EOF, not a hang)...
+    match idle.read(&mut chunk) {
+        Ok(0) => {}
+        Ok(n) => panic!("idle conn got unexpected bytes: {:?}", &chunk[..n]),
+        Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+            panic!("idle connection not closed by shutdown")
+        }
+        Err(_) => {} // reset is fine too
+    }
+    // ...and the listener is gone once shutdown returns.
+    let final_metrics = shutdown.join().expect("shutdown thread");
+    assert!(final_metrics.contains("http_requests_total"));
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener port must be closed after graceful shutdown"
+    );
+}
