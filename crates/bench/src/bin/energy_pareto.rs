@@ -1,0 +1,271 @@
+//! Energy-vs-latency scheduling Pareto sweep: for a range of load points
+//! (requests accumulated per scheduling round), compare Algorithm 3 under
+//! its two objectives — `latency` (minimize total execution time, the
+//! paper's formulation) and `energy` (minimize predicted joules among the
+//! batch splits that still meet the SLO, falling back to the latency
+//! optimum when nothing fits).
+//!
+//! Both objectives price the *same* runtime-derived `cached_cost` /
+//! `cached_energy` tables, so the comparison isolates the scheduling
+//! decision. Per load point and trial the sweep records predicted batch
+//! joules, predicted elapsed time and whether the schedule meets the SLO
+//! budget, then asserts the energy objective's contract:
+//!
+//! 1. **Never worse than SLO** — whenever the latency optimum meets the
+//!    budget, so does the energy schedule (identical attainment);
+//! 2. **Never more joules** — the energy schedule's predicted joules are
+//!    ≤ the latency schedule's on every single trial;
+//! 3. **Actually saves somewhere** — at ≥ 1 load point the mean saving is
+//!    strictly positive at equal SLO attainment.
+//!
+//! Outputs `results/energy_pareto.md` and `BENCH_energy.json` (single
+//! line, machine-readable). `--smoke` runs a scaled-down sweep, asserts
+//! the same invariants and writes nothing.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use tt_bench::print_table;
+use tt_gpusim::device::DeviceKind;
+use tt_model::bert::BertConfig;
+use tt_runtime::{RuntimeConfig, TurboRuntime};
+use tt_serving::scheduler::{batching_cost, batching_energy, BatchScheduler};
+use tt_serving::{CachedCost, DpScheduler, EnergyAwareDpScheduler, LengthDist, Request};
+
+/// Aggregates for one (load point, objective) cell of the sweep.
+#[derive(Serialize, Clone, Copy, Default)]
+struct ObjectiveStats {
+    joules_mean: f64,
+    elapsed_ms_mean: f64,
+    slo_attainment: f64,
+}
+
+#[derive(Serialize)]
+struct LoadPoint {
+    queue_depth: usize,
+    trials: usize,
+    latency: ObjectiveStats,
+    energy: ObjectiveStats,
+    /// Mean predicted joules saved by the energy objective, as a fraction
+    /// of the latency objective's joules (positive = energy cheaper).
+    joules_saved_pct: f64,
+}
+
+#[derive(Serialize)]
+struct EnergyBenchReport {
+    bench: &'static str,
+    model: &'static str,
+    device: &'static str,
+    slo_ms: f64,
+    points: Vec<LoadPoint>,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Both passes price BERT-base: the divergence between the objectives
+    // lives in the ratio of compute power to idle power, and a tiny config
+    // is overhead-dominated — every split costs the same, both objectives
+    // agree, and the sweep would be vacuous. Smoke shrinks the grid and
+    // trial count, not the model (warm-up prices the cost model, it never
+    // executes the network).
+    let (max_len, bucket, max_batch, depths, trials): (usize, usize, usize, Vec<usize>, usize) =
+        if smoke { (128, 16, 8, vec![4, 8], 3) } else { (256, 16, 16, vec![2, 4, 8, 16, 32], 12) };
+    let (cfg, model_name) = (BertConfig::base(), "bert-base");
+    let device = DeviceKind::V100;
+    println!(
+        "energy_pareto: model={model_name} depths={depths:?} trials={trials}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let rt = TurboRuntime::new(RuntimeConfig::turbo(device));
+    let costs =
+        CachedCost::warm_up(&rt, &cfg, max_len, max_batch, bucket).with_energy_profile(&rt, &cfg);
+    let lengths = LengthDist::ClampedNormal {
+        mean: max_len as f64 * 0.4,
+        std: max_len as f64 * 0.25,
+        lo: 5,
+        hi: max_len,
+    };
+
+    // The SLO budget is derived from the table itself so the sweep is
+    // device- and model-portable: 1.25x the latency optimum of a pilot
+    // queue at the middle load point — real slack at low load, binding at
+    // high load.
+    let pilot_depth = depths[depths.len() / 2];
+    let pilot = queue(&lengths, pilot_depth, 0xB00F);
+    let pilot_batching = DpScheduler.schedule(&pilot, &costs);
+    let slo_budget = 1.25 * batching_cost(&pilot, &pilot_batching, &costs);
+    println!(
+        "slo budget: {:.3} ms (1.25x latency optimum at depth {pilot_depth})",
+        slo_budget * 1e3
+    );
+
+    let energy_sched = EnergyAwareDpScheduler { slo_budget };
+    let mut points = Vec::new();
+    for &depth in &depths {
+        let mut lat = ObjectiveStats::default();
+        let mut en = ObjectiveStats::default();
+        for trial in 0..trials {
+            let q = queue(&lengths, depth, (depth as u64) << 16 | trial as u64);
+
+            let lat_b = DpScheduler.schedule(&q, &costs);
+            let lat_elapsed = batching_cost(&q, &lat_b, &costs);
+            let lat_joules = batching_energy(&q, &lat_b, &costs);
+
+            let en_b = energy_sched.schedule(&q, &costs);
+            let en_elapsed = batching_cost(&q, &en_b, &costs);
+            let en_joules = batching_energy(&q, &en_b, &costs);
+
+            // Contract 1: the energy objective never loses an SLO the
+            // latency optimum would have met.
+            if lat_elapsed <= slo_budget {
+                assert!(
+                    en_elapsed <= slo_budget,
+                    "depth {depth} trial {trial}: energy schedule broke a feasible SLO \
+                     ({en_elapsed:.4}s > {slo_budget:.4}s)"
+                );
+            }
+            // Contract 2: it never predicts more joules — the latency
+            // optimum is itself feasible whenever anything is.
+            assert!(
+                en_joules <= lat_joules * (1.0 + 1e-9),
+                "depth {depth} trial {trial}: energy schedule costs more joules \
+                 ({en_joules:.4} J > {lat_joules:.4} J)"
+            );
+
+            lat.joules_mean += lat_joules;
+            lat.elapsed_ms_mean += lat_elapsed * 1e3;
+            lat.slo_attainment += f64::from(u8::from(lat_elapsed <= slo_budget));
+            en.joules_mean += en_joules;
+            en.elapsed_ms_mean += en_elapsed * 1e3;
+            en.slo_attainment += f64::from(u8::from(en_elapsed <= slo_budget));
+        }
+        let n = trials as f64;
+        for s in [&mut lat, &mut en] {
+            s.joules_mean /= n;
+            s.elapsed_ms_mean /= n;
+            s.slo_attainment /= n;
+        }
+        let joules_saved_pct = (1.0 - en.joules_mean / lat.joules_mean) * 100.0;
+        points.push(LoadPoint {
+            queue_depth: depth,
+            trials,
+            latency: lat,
+            energy: en,
+            joules_saved_pct,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.queue_depth.to_string(),
+                format!("{:.2}", p.latency.joules_mean),
+                format!("{:.2}", p.energy.joules_mean),
+                format!("{:+.1}%", p.joules_saved_pct),
+                format!("{:.2}", p.latency.elapsed_ms_mean),
+                format!("{:.2}", p.energy.elapsed_ms_mean),
+                format!("{:.0}%", p.latency.slo_attainment * 100.0),
+                format!("{:.0}%", p.energy.slo_attainment * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Energy-under-SLO scheduling sweep ({model_name}, slo {:.1} ms)",
+            slo_budget * 1e3
+        ),
+        &["depth", "lat J", "en J", "saved", "lat ms", "en ms", "lat SLO", "en SLO"],
+        &rows,
+    );
+    // Contract 3: the sweep must exhibit the Pareto point the layer exists
+    // for — strictly fewer predicted joules at equal SLO attainment.
+    let winning = points
+        .iter()
+        .filter(|p| p.joules_saved_pct > 0.0 && p.energy.slo_attainment >= p.latency.slo_attainment)
+        .count();
+    println!("\n{winning}/{} load points save joules at equal SLO attainment", points.len());
+    assert!(
+        winning >= 1,
+        "no load point saved joules at equal SLO attainment — the energy objective is inert"
+    );
+
+    if smoke {
+        println!("smoke OK");
+        return;
+    }
+
+    let report = EnergyBenchReport {
+        bench: "energy_pareto",
+        model: "bert-base",
+        device: "V100",
+        slo_ms: slo_budget * 1e3,
+        points,
+    };
+    write_outputs(&report);
+}
+
+/// A deterministic queue of `depth` requests, lengths drawn from `dist`.
+fn queue(dist: &LengthDist, depth: usize, seed: u64) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..depth).map(|i| Request::new(i, dist.sample(&mut rng), 0.0)).collect()
+}
+
+fn write_outputs(report: &EnergyBenchReport) {
+    let mut md = String::new();
+    let _ = writeln!(md, "# Energy-under-SLO scheduling sweep (`energy_pareto`)\n");
+    let _ = writeln!(
+        md,
+        "Algorithm 3 under two objectives over the same runtime-priced cost and \
+         energy tables (`{}` on a modeled {}): **latency** minimizes total \
+         execution time; **energy** minimizes predicted joules among batch \
+         splits meeting the {:.1} ms SLO budget, falling back to the latency \
+         optimum when nothing fits (see `docs/ENERGY.md`). Each load point is \
+         the number of requests accumulated per scheduling round.\n",
+        report.model, report.device, report.slo_ms
+    );
+    let _ = writeln!(
+        md,
+        "| queue depth | latency J | energy J | joules saved | latency ms | \
+         energy ms | latency SLO | energy SLO |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|");
+    for p in &report.points {
+        let _ = writeln!(
+            md,
+            "| {} | {:.2} | {:.2} | {:+.1}% | {:.2} | {:.2} | {:.0}% | {:.0}% |",
+            p.queue_depth,
+            p.latency.joules_mean,
+            p.energy.joules_mean,
+            p.joules_saved_pct,
+            p.latency.elapsed_ms_mean,
+            p.energy.elapsed_ms_mean,
+            p.latency.slo_attainment * 100.0,
+            p.energy.slo_attainment * 100.0,
+        );
+    }
+    let _ = writeln!(
+        md,
+        "\nThe two objectives price padding differently: a padded token costs \
+         the latency objective only time, but costs the energy objective \
+         full-power compute joules — and modeled compute draw is several \
+         times the idle draw that prices a batch's fixed overhead window. \
+         The energy objective therefore spends SLO slack on splits that \
+         avoid padded work even when they add overhead windows, cutting \
+         predicted joules while every schedule the latency objective could \
+         have met still meets its deadline (asserted per trial). Under load \
+         the budget binds, the feasible set collapses onto the latency \
+         optimum and the two objectives converge — the fallback guarantees \
+         the energy objective is never worse than the SLO.\n\n\
+         Machine-readable: `BENCH_energy.json` at the repo root."
+    );
+    let _ = std::fs::create_dir_all("results");
+    std::fs::write("results/energy_pareto.md", md).expect("write results/energy_pareto.md");
+
+    let json = serde_json::to_string(report).expect("serialize BENCH_energy.json");
+    std::fs::write("BENCH_energy.json", json).expect("write BENCH_energy.json");
+    println!("\nwrote results/energy_pareto.md and BENCH_energy.json");
+}

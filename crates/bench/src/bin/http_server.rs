@@ -22,12 +22,16 @@ use std::sync::Arc;
 use tt_gpusim::device::DeviceKind;
 use tt_model::bert::{Bert, BertConfig};
 use tt_model::gpt::{Gpt, GptConfig};
-use tt_runtime::{RuntimeConfig, TurboRuntime};
+use tt_runtime::decode::DecodeEnergyModel;
+use tt_runtime::{RuntimeConfig, RuntimeKind, TurboRuntime};
+use tt_serving::generate::start_engine_with_energy;
 use tt_serving::http::{GenerateHandler, HttpConfig, HttpServer, VocabGuard};
 use tt_serving::live::LiveEngine;
-use tt_serving::scheduler::InstrumentedScheduler;
-use tt_serving::{CachedCost, DpScheduler, GenConfig, GenEngine};
-use tt_telemetry::{Registry, Tracer};
+use tt_serving::scheduler::{BatchScheduler, InstrumentedScheduler};
+use tt_serving::{CachedCost, DpScheduler, EnergyAwareDpScheduler, GenConfig, SchedObjective};
+use tt_telemetry::{
+    EnergyMeter, EnergySampler, EnergySamplerConfig, ModeledPowerSource, Registry, Tracer,
+};
 
 fn main() {
     let registry = Registry::new();
@@ -67,15 +71,41 @@ fn main() {
     };
     println!("loading BERT ({model_kind}) …");
     let model = Arc::new(Bert::new_random(&bert_config, 2024));
-    let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+    let device_kind = DeviceKind::RTX2060;
+    let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(device_kind)));
     runtime.instrument(&registry);
+    // Energy accounting: one process-wide meter shared by the encoder
+    // runtime (prefill phase), the decode runtime (both phases) and the
+    // background power sampler that turns its counters into watt gauges.
+    let meter = Arc::new(EnergyMeter::new());
+    runtime.instrument_energy(meter.clone());
     // The static profile seeds the table; completed batches feed measured
-    // times back through an EWMA so costs track the live machine.
+    // times back through an EWMA so costs track the live machine. The
+    // energy profile prices the same bucket grid in modeled joules so the
+    // energy-under-SLO scheduler can compare batch splits.
     let costs = Arc::new(
         CachedCost::from_fn(64, 16, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64)
+            .with_energy_profile(&runtime, &bert_config)
             .with_online_updates(0.2),
     );
-    let scheduler = Arc::new(InstrumentedScheduler::new(Arc::new(DpScheduler), &registry));
+    // Read the HTTP config before the scheduler: the energy objective
+    // prices batch splits against the deployment's SLO budget.
+    let config = HttpConfig::from_env();
+    // Algorithm 3's objective: latency (default) minimizes total execution
+    // time; energy minimizes predicted joules among splits that still meet
+    // the SLO, falling back to the latency optimum when nothing fits.
+    let objective = SchedObjective::from_env();
+    let base_scheduler: Arc<dyn BatchScheduler> = match objective {
+        SchedObjective::Energy => {
+            Arc::new(EnergyAwareDpScheduler { slo_budget: config.slo.as_secs_f64() })
+        }
+        SchedObjective::Latency => Arc::new(DpScheduler),
+    };
+    println!(
+        "scheduler objective: {} (override via TT_SCHED_OBJECTIVE=latency|energy)",
+        objective.as_str()
+    );
+    let scheduler = Arc::new(InstrumentedScheduler::new(base_scheduler, &registry));
     let engine = LiveEngine::start_traced(
         model,
         runtime,
@@ -95,16 +125,44 @@ fn main() {
     };
     println!("loading GPT ({model_kind}) …");
     let gpt = Gpt::new_random(&gpt_config, 2024);
-    let gen_engine = GenEngine::start_traced(
+    let gen_engine = start_engine_with_energy(
         gpt,
         GenConfig::from_env(),
         costs.clone(),
-        &registry,
+        Some(&registry),
         tracer.clone(),
+        Some(DecodeEnergyModel {
+            device: device_kind.config(),
+            profile: RuntimeKind::Turbo.profile(),
+            meter: meter.clone(),
+        }),
     );
     let generate: Arc<dyn GenerateHandler> = Arc::new(gen_engine.client());
 
-    let config = HttpConfig::from_env();
+    // RAPL-style background sampler: turns the meter's microjoule counters
+    // into power_watts / energy_joules_total / joules-per-request families
+    // in /metrics. On by default; TT_ENERGY=0 disables it. The handle must
+    // outlive the serve loop — dropping it stops the sampling thread.
+    let _sampler = EnergySamplerConfig::enabled_in_env().then(|| {
+        let mut sampler_config = EnergySamplerConfig::from_env();
+        sampler_config.per_request =
+            Some(registry.counter("live_requests_total", "Requests served", &[]));
+        sampler_config.per_token = Some(registry.counter(
+            "decode_tokens_total",
+            "Tokens emitted by the decode engine",
+            &[],
+        ));
+        println!(
+            "energy sampler: on, every {:?} (TT_ENERGY=0 to disable, TT_ENERGY_SAMPLE_MS to tune)",
+            sampler_config.interval
+        );
+        let source =
+            Arc::new(ModeledPowerSource::new(meter.clone(), device_kind.config().idle_watts));
+        EnergySampler::start(&registry, source, sampler_config)
+    });
+    if _sampler.is_none() {
+        println!("energy sampler: off (TT_ENERGY=0)");
+    }
     // Vocabulary admission check at the boundary: an out-of-range token id
     // is a client error (400), not an engine incident.
     let handler = Arc::new(VocabGuard::new(engine.client(), bert_config.vocab_size));
@@ -128,6 +186,20 @@ fn main() {
         "http driver: {} (override via TT_HTTP_DRIVER=reactor|threads)",
         server.driver().name()
     );
+    // One info-gauge carrying the deployment's build/runtime identity as
+    // labels (value always 1) — the Prometheus `*_info` idiom, joinable
+    // against every other series in a scrape.
+    registry
+        .gauge(
+            "tt_build_info",
+            "Build and runtime configuration identity (labeled; value is always 1)",
+            &[
+                ("kernel_variant", variant),
+                ("http_driver", server.driver().name()),
+                ("int8", if int8 { "on" } else { "off" }),
+            ],
+        )
+        .set(1.0);
     println!("serving on http://{}", server.addr());
     // Keep the sample ids inside the smallest (tiny, 97-word) vocabulary so
     // pasting the hint verbatim succeeds under every TT_HTTP_MODEL.

@@ -30,7 +30,10 @@ use tt_serving::live::LiveEngine;
 use tt_serving::request::{LengthDist, WorkloadSpec};
 use tt_serving::scheduler::InstrumentedScheduler;
 use tt_serving::{CachedCost, DpScheduler};
-use tt_telemetry::{Counter, Histogram, Registry, RegistrySnapshot, Tracer};
+use tt_telemetry::{
+    Counter, EnergyMeter, EnergySampler, EnergySamplerConfig, Histogram, ModeledPowerSource,
+    Registry, RegistrySnapshot, Tracer,
+};
 
 const CLIENTS: usize = 12;
 const REQUESTS_PER_CLIENT: usize = 8;
@@ -42,6 +45,25 @@ fn main() {
     let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
     let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
     runtime.instrument(&registry);
+    // Energy accounting: the encoder and decode runtimes charge one shared
+    // meter, and a RAPL-style background sampler turns its microjoule
+    // counters into the watt/joule families asserted on below.
+    let meter = Arc::new(EnergyMeter::new());
+    runtime.instrument_energy(meter.clone());
+    let sampler_wall = Instant::now();
+    let sampler = EnergySampler::start(
+        &registry,
+        Arc::new(ModeledPowerSource::new(meter.clone(), DeviceKind::RTX2060.config().idle_watts)),
+        EnergySamplerConfig {
+            interval: std::time::Duration::from_millis(5),
+            per_request: Some(registry.counter("live_requests_total", "Requests served", &[])),
+            per_token: Some(registry.counter(
+                "decode_tokens_total",
+                "Tokens emitted by the decode engine",
+                &[],
+            )),
+        },
+    );
     // Strong per-batch fixed cost → the DP scheduler prefers batching, so
     // mixed-length batches (and therefore padding waste) actually occur.
     let costs =
@@ -76,7 +98,12 @@ fn main() {
     assert_eq!(served, CLIENTS * REQUESTS_PER_CLIENT + http_ok, "every request must be answered");
 
     // --- Generative decode: paged-KV arena + continuous batching ---------
-    drive_generation(&registry);
+    drive_generation(&registry, meter.clone());
+
+    // --- Energy sampler: final tick, then measure its own footprint ------
+    let sampler_wall_ns = sampler_wall.elapsed().as_nanos() as f64;
+    let sampler_ticks = sampler.stop();
+    let energy = measure_energy(&registry, sampler_wall_ns, sampler_ticks);
 
     // --- Cluster view: per-server utilisation + skew ---------------------
     let trace = WorkloadSpec {
@@ -111,7 +138,7 @@ fn main() {
     println!("{prometheus}");
 
     let snap = registry.snapshot();
-    let md = render_markdown(&snap, &overhead, &trace_overhead, &prometheus);
+    let md = render_markdown(&snap, &overhead, &trace_overhead, &energy, &prometheus);
     std::fs::write("results/telemetry_report.md", &md)
         .expect("writing results/telemetry_report.md");
     eprintln!("wrote results/telemetry_report.md ({} metrics)", snap.metrics.len());
@@ -180,18 +207,87 @@ fn main() {
         Some(0.0),
         "all KV pages must be free after the generation session"
     );
+
+    // Energy families (docs/ENERGY.md): both execution phases must have
+    // charged the meter, the sampler must have derived watts and
+    // joules-per-token, and its own footprint must respect the same 2%
+    // budget as the rest of the telemetry.
+    assert!(energy.prefill_j > 0.0, "no prefill joules metered — encoder energy path inactive");
+    assert!(energy.decode_j > 0.0, "no decode joules metered — decode energy path inactive");
+    assert!(energy.idle_j > 0.0, "no idle joules synthesized by the power source");
+    snap.find("power_watts", &[("phase", "total")])
+        .and_then(|m| m.gauge)
+        .expect("missing power_watts{phase=\"total\"}");
+    assert!(energy.joules_per_token > 0.0, "energy_joules_per_token must be derived and non-zero");
+    assert!(
+        snap.find("process_uptime_seconds", &[]).and_then(|m| m.gauge).unwrap_or(0.0) > 0.0,
+        "process_uptime_seconds must be published"
+    );
+    assert!(
+        energy.sampler_pct_of_wall < 2.0,
+        "energy sampler overhead {}% of wall time exceeds the 2% budget",
+        energy.sampler_pct_of_wall
+    );
+}
+
+/// Energy digest: the per-phase joule totals, the derived per-token rate,
+/// and the sampler's own cost as a fraction of the wall time it covered.
+struct EnergyDigest {
+    prefill_j: f64,
+    decode_j: f64,
+    idle_j: f64,
+    joules_per_token: f64,
+    sampler_ticks: u64,
+    sampler_tick_ns: u64,
+    sampler_pct_of_wall: f64,
+}
+
+fn measure_energy(registry: &Registry, sampler_wall_ns: f64, sampler_ticks: u64) -> EnergyDigest {
+    let snap = registry.snapshot();
+    let phase_j = |phase: &str| {
+        snap.find("energy_joules_total", &[("phase", phase)])
+            .and_then(|m| m.gauge)
+            .unwrap_or_else(|| panic!("missing energy_joules_total{{phase=\"{phase}\"}}"))
+    };
+    let sampler_tick_ns = counter(&snap, "energy_sampler_tick_ns_total");
+    EnergyDigest {
+        prefill_j: phase_j("prefill"),
+        decode_j: phase_j("decode"),
+        idle_j: phase_j("idle"),
+        joules_per_token: snap
+            .find("energy_joules_per_token", &[])
+            .and_then(|m| m.gauge)
+            .unwrap_or(0.0),
+        sampler_ticks,
+        sampler_tick_ns,
+        sampler_pct_of_wall: 100.0 * sampler_tick_ns as f64 / sampler_wall_ns.max(1.0),
+    }
 }
 
 /// A short generative session against an instrumented continuous-batching
 /// engine, so the decode metric families (`decode_tokens_total`, `ttft_ms`,
 /// `batch_active_seqs`, `kv_*` gauges) are populated in the same registry.
-fn drive_generation(registry: &Registry) {
+fn drive_generation(registry: &Registry, meter: Arc<EnergyMeter>) {
     use tt_model::gpt::{Gpt, GptConfig};
-    use tt_serving::{GenClient, GenConfig, GenEngine};
+    use tt_runtime::decode::DecodeEnergyModel;
+    use tt_runtime::RuntimeKind;
+    use tt_serving::generate::start_engine_with_energy;
+    use tt_serving::{GenClient, GenConfig};
 
     let model = Gpt::new_random(&GptConfig::tiny(), 2024);
     let costs = Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-6 * (len * b) as f64));
-    let engine = GenEngine::start_instrumented(model, GenConfig::default(), costs, registry);
+    let engine = start_engine_with_energy(
+        model,
+        GenConfig::default(),
+        costs,
+        Some(registry),
+        Tracer::disabled(),
+        Some(DecodeEnergyModel {
+            device: DeviceKind::RTX2060.config(),
+            profile: RuntimeKind::Turbo.profile(),
+            meter,
+        }),
+    );
     let rxs: Vec<_> = (0..3u32)
         .map(|c| {
             engine
@@ -347,6 +443,7 @@ fn render_markdown(
     snap: &RegistrySnapshot,
     overhead: &Overhead,
     trace_overhead: &TraceOverhead,
+    energy: &EnergyDigest,
     prometheus: &str,
 ) -> String {
     let mut md = String::new();
@@ -512,8 +609,29 @@ fn render_markdown(
         writeln!(w, "| {} | {} | {:.4} |", policy, utils.join(", "), skew).unwrap();
     }
 
+    // Energy (docs/ENERGY.md).
+    writeln!(w, "\n## Energy\n").unwrap();
+    writeln!(w, "| metric | value |").unwrap();
+    writeln!(w, "|---|---|").unwrap();
+    writeln!(w, "| prefill joules | {:.6} J |", energy.prefill_j).unwrap();
+    writeln!(w, "| decode joules | {:.6} J |", energy.decode_j).unwrap();
+    writeln!(w, "| idle joules | {:.4} J |", energy.idle_j).unwrap();
+    writeln!(w, "| joules per decoded token | {:.6} J |", energy.joules_per_token).unwrap();
+    writeln!(
+        w,
+        "\nThe modeled power source attributes busy microjoules per phase \
+         (prefill = full-sequence forwards, decode = single-token steps) and \
+         synthesizes idle draw from wall time; the background sampler took \
+         **{} ticks** costing {} total — **{:.4}%** of the wall time it \
+         covered (budget: 2%).\n",
+        energy.sampler_ticks,
+        us(energy.sampler_tick_ns),
+        energy.sampler_pct_of_wall,
+    )
+    .unwrap();
+
     // Overhead.
-    writeln!(w, "\n## Telemetry overhead\n").unwrap();
+    writeln!(w, "## Telemetry overhead\n").unwrap();
     writeln!(
         w,
         "One instrumentation point (histogram record + counter increment) costs \

@@ -47,6 +47,104 @@ pub fn streaming_time(dev: &DeviceConfig, bytes: u64) -> f64 {
     kernel_time(dev, &l)
 }
 
+/// Modeled energy of one kernel launch, reported next to its latency
+/// estimate.
+///
+/// Derived from the same roofline activity that prices time: dynamic
+/// compute energy is linear in FLOPs executed, DRAM energy linear in bytes
+/// moved, and the static/idle draw is charged over the launch's full wall
+/// time — launch overhead included, because the board burns leakage while
+/// the host sets up the grid. Constants live on
+/// [`DeviceConfig`] (`pj_per_flop`,
+/// `pj_per_byte`, `idle_watts`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyEstimate {
+    /// Dynamic switching energy of the FLOPs, joules.
+    pub compute_j: f64,
+    /// Dynamic DRAM access energy of the bytes moved, joules.
+    pub dram_j: f64,
+    /// Static/idle draw over the launch's wall time, joules.
+    pub static_j: f64,
+}
+
+impl EnergyEstimate {
+    /// Total joules of the launch.
+    pub fn total(&self) -> f64 {
+        self.compute_j + self.dram_j + self.static_j
+    }
+
+    /// Total microjoules, rounded — the integer currency the telemetry
+    /// counters and per-request attribution use (exact u64 arithmetic, so
+    /// shares provably sum back to the total).
+    pub fn total_uj(&self) -> u64 {
+        (self.total() * 1e6).round() as u64
+    }
+
+    /// Accumulate another launch's energy into this one.
+    pub fn accumulate(&mut self, other: &EnergyEstimate) {
+        self.compute_j += other.compute_j;
+        self.dram_j += other.dram_j;
+        self.static_j += other.static_j;
+    }
+}
+
+/// Energy of a kernel doing `flops` FLOPs and `bytes` of DRAM traffic over
+/// `seconds` of wall time (one launch, overhead included in `seconds`).
+pub fn op_energy_timed(dev: &DeviceConfig, flops: u64, bytes: u64, seconds: f64) -> EnergyEstimate {
+    EnergyEstimate {
+        compute_j: dev.flop_energy(flops),
+        dram_j: dev.dram_energy(bytes),
+        static_j: dev.static_energy(seconds.max(0.0)),
+    }
+}
+
+/// Energy of a generic roofline kernel: wall time from the same
+/// `launch + max(compute, mem)` model the latency estimates use.
+pub fn op_energy(dev: &DeviceConfig, flops: u64, bytes: u64) -> EnergyEstimate {
+    let seconds = dev.launch_overhead() + dev.compute_time(flops).max(dev.mem_time(bytes));
+    op_energy_timed(dev, flops, bytes, seconds)
+}
+
+/// Energy of a (possibly strided-batched) GEMM `batch × (m×k · k×n)`,
+/// including one launch — the energy column next to [`gemm_time`].
+pub fn gemm_energy(
+    dev: &DeviceConfig,
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> EnergyEstimate {
+    gemm_energy_eff(dev, batch, m, k, n, GEMM_EFFICIENCY)
+}
+
+/// [`gemm_energy`] with an explicit efficiency fraction. Efficiency does
+/// not change the FLOPs executed (dynamic energy is invariant), but a less
+/// efficient GEMM occupies the board longer and so burns more static
+/// energy — exactly the lever the energy-aware scheduler trades against.
+pub fn gemm_energy_eff(
+    dev: &DeviceConfig,
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    eff: f64,
+) -> EnergyEstimate {
+    let flops = 2.0 * batch as f64 * m as f64 * n as f64 * k as f64;
+    let bytes =
+        4.0 * batch as f64 * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64);
+    EnergyEstimate {
+        compute_j: flops * dev.pj_per_flop * 1e-12,
+        dram_j: bytes * dev.pj_per_byte * 1e-12,
+        static_j: dev.static_energy(gemm_time_eff(dev, batch, m, k, n, eff)),
+    }
+}
+
+/// Energy of a clean bandwidth-bound kernel moving `bytes` — the energy
+/// column next to [`streaming_time`].
+pub fn streaming_energy(dev: &DeviceConfig, bytes: u64) -> EnergyEstimate {
+    op_energy_timed(dev, 0, bytes, streaming_time(dev, bytes))
+}
+
 /// Per-component breakdown of one transformer attention layer (paper
 /// Table 2's denominator).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -222,6 +320,74 @@ mod tests {
             true,
         );
         assert!(before.layernorm_share() > after.layernorm_share());
+    }
+
+    #[test]
+    fn energy_is_monotone_in_flops_and_bytes() {
+        let d = DeviceKind::V100.config();
+        // More FLOPs ⇒ more joules (dynamic compute + longer occupancy).
+        let mut prev = 0.0;
+        for flops in [1u64 << 20, 1 << 24, 1 << 28, 1 << 32] {
+            let e = op_energy(&d, flops, 1 << 20).total();
+            assert!(e > prev, "energy must grow with FLOPs: {e} after {prev}");
+            prev = e;
+        }
+        // More bytes ⇒ more joules (DRAM energy + longer occupancy).
+        let mut prev = 0.0;
+        for bytes in [1u64 << 20, 1 << 24, 1 << 28, 1 << 32] {
+            let e = op_energy(&d, 1 << 20, bytes).total();
+            assert!(e > prev, "energy must grow with bytes: {e} after {prev}");
+            prev = e;
+        }
+        // GEMM energy is monotone in every dimension.
+        let base = gemm_energy(&d, 1, 64, 256, 256).total();
+        assert!(gemm_energy(&d, 2, 64, 256, 256).total() > base);
+        assert!(gemm_energy(&d, 1, 128, 256, 256).total() > base);
+        assert!(gemm_energy(&d, 1, 64, 512, 256).total() > base);
+        assert!(gemm_energy(&d, 1, 64, 256, 512).total() > base);
+    }
+
+    #[test]
+    fn fused_op_energy_is_below_the_decomposed_sum() {
+        // A fused kernel executes the same FLOPs but elides the launch (one
+        // static-overhead charge instead of two) and the intermediate
+        // tensor's DRAM round trip. Its energy must therefore sit at or
+        // below the decomposed ops' sum — the energy face of the paper's
+        // fusion argument.
+        let d = DeviceKind::RTX2060.config();
+        let tensor_bytes = 4 * 40 * 768u64; // batch 1, seq 40, hidden 768
+                                            // Decomposed: add-bias (read+write) then GELU (read+write).
+        let decomposed = streaming_energy(&d, 2 * tensor_bytes).total()
+            + streaming_energy(&d, 2 * tensor_bytes).total();
+        // Fused add-bias+GELU: one launch, one read, one write.
+        let fused = streaming_energy(&d, 2 * tensor_bytes).total();
+        assert!(fused < decomposed, "fused {fused} must undercut decomposed {decomposed}");
+        // And with FLOPs in play: same work split across two launches with
+        // an intermediate round trip can never beat the single launch.
+        let one = op_energy(&d, 2_000_000, 2 * tensor_bytes).total();
+        let two = op_energy(&d, 1_000_000, 2 * tensor_bytes).total()
+            + op_energy(&d, 1_000_000, 2 * tensor_bytes).total();
+        assert!(one < two);
+    }
+
+    #[test]
+    fn energy_estimate_accounting_is_exact() {
+        let d = DeviceKind::V100.config();
+        let mut sum = EnergyEstimate::default();
+        sum.accumulate(&gemm_energy(&d, 1, 64, 256, 256));
+        sum.accumulate(&streaming_energy(&d, 1 << 20));
+        let expect =
+            gemm_energy(&d, 1, 64, 256, 256).total() + streaming_energy(&d, 1 << 20).total();
+        assert!((sum.total() - expect).abs() < 1e-12);
+        // Microjoule rounding stays within half a microjoule.
+        assert!((sum.total_uj() as f64 - sum.total() * 1e6).abs() <= 0.5);
+        // Efficiency only moves the static term: dynamic energy is
+        // invariant, total grows as efficiency drops.
+        let eff_hi = gemm_energy_eff(&d, 1, 512, 512, 512, 0.9);
+        let eff_lo = gemm_energy_eff(&d, 1, 512, 512, 512, 0.45);
+        assert!((eff_hi.compute_j - eff_lo.compute_j).abs() < 1e-15);
+        assert!((eff_hi.dram_j - eff_lo.dram_j).abs() < 1e-15);
+        assert!(eff_lo.static_j > eff_hi.static_j);
     }
 
     #[test]

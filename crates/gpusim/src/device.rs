@@ -47,6 +47,10 @@ impl DeviceKind {
                 launch_overhead_us: 5.0,
                 peak_tflops: 14.0,
                 mem_bandwidth_gbps: 900.0,
+                idle_watts: 40.0,
+                max_watts: 300.0,
+                pj_per_flop: 13.0,
+                pj_per_byte: 85.0,
             },
             DeviceKind::RTX2060 => DeviceConfig {
                 name: "GeForce RTX 2060",
@@ -68,6 +72,10 @@ impl DeviceKind {
                 launch_overhead_us: 6.0,
                 peak_tflops: 6.5,
                 mem_bandwidth_gbps: 336.0,
+                idle_watts: 12.0,
+                max_watts: 160.0,
+                pj_per_flop: 16.0,
+                pj_per_byte: 130.0,
             },
             DeviceKind::M40 => DeviceConfig {
                 name: "Tesla M40",
@@ -89,6 +97,10 @@ impl DeviceKind {
                 launch_overhead_us: 7.0,
                 peak_tflops: 6.8,
                 mem_bandwidth_gbps: 288.0,
+                idle_watts: 15.0,
+                max_watts: 250.0,
+                pj_per_flop: 24.0,
+                pj_per_byte: 245.0,
             },
         }
     }
@@ -139,6 +151,18 @@ pub struct DeviceConfig {
     pub peak_tflops: f64,
     /// Peak DRAM bandwidth in GB/s.
     pub mem_bandwidth_gbps: f64,
+    /// Static/idle board draw in watts: what the card burns while a kernel
+    /// occupies it without switching activity (leakage, fans, memory
+    /// refresh). Charged for the full duration of every launch.
+    pub idle_watts: f64,
+    /// Board power limit (TDP) in watts. A sanity ceiling: the model's
+    /// idle + peak-compute + peak-DRAM draw never exceeds it (pinned in
+    /// tests), matching how real boards clock-throttle at the limit.
+    pub max_watts: f64,
+    /// Dynamic switching energy per single-precision FLOP, picojoules.
+    pub pj_per_flop: f64,
+    /// Dynamic DRAM access energy per byte moved, picojoules.
+    pub pj_per_byte: f64,
 }
 
 impl DeviceConfig {
@@ -161,6 +185,21 @@ impl DeviceConfig {
     pub fn launch_overhead(&self) -> f64 {
         self.launch_overhead_us * 1e-6
     }
+
+    /// Dynamic switching energy of `flops` FLOPs, joules.
+    pub fn flop_energy(&self, flops: u64) -> f64 {
+        flops as f64 * self.pj_per_flop * 1e-12
+    }
+
+    /// Dynamic DRAM access energy of `bytes` of traffic, joules.
+    pub fn dram_energy(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.pj_per_byte * 1e-12
+    }
+
+    /// Static/idle energy burned over `seconds` of occupancy, joules.
+    pub fn static_energy(&self, seconds: f64) -> f64 {
+        self.idle_watts * seconds
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +213,7 @@ mod tests {
             assert!(c.num_sms > 0 && c.warp_size == 32);
             assert!(c.peak_tflops > 1.0 && c.mem_bandwidth_gbps > 100.0);
             assert!(c.shfl_latency > c.arith_latency, "shuffles cost more than adds");
+            assert!(c.idle_watts > 0.0 && c.idle_watts < c.max_watts);
         }
         assert!(
             DeviceKind::V100.config().num_sms > DeviceKind::RTX2060.config().num_sms,
@@ -188,5 +228,29 @@ mod tests {
         assert!((t - 1.0).abs() < 1e-9);
         assert!((c.mem_time(900_000_000_000) - 1.0).abs() < 1e-9);
         assert!((c.compute_time(14_000_000_000_000) - 1.0).abs() < 1e-9);
+        // Energy conversions: 1 TFLOP at 13 pJ/FLOP = 13 J; 1 GB at
+        // 85 pJ/byte = 0.085 J; one second of idle = 40 J.
+        assert!((c.flop_energy(1_000_000_000_000) - 13.0).abs() < 1e-9);
+        assert!((c.dram_energy(1_000_000_000) - 0.085).abs() < 1e-9);
+        assert!((c.static_energy(1.0) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modeled_power_never_exceeds_the_board_limit() {
+        // Saturating both rooflines at once (the worst case the model can
+        // produce in one second: peak FLOP/s and peak DRAM bandwidth) must
+        // stay under the TDP — boards clock-throttle rather than exceed it.
+        for kind in [DeviceKind::V100, DeviceKind::RTX2060, DeviceKind::M40] {
+            let c = kind.config();
+            let worst = c.idle_watts
+                + c.flop_energy((c.peak_tflops * 1e12) as u64)
+                + c.dram_energy((c.mem_bandwidth_gbps * 1e9) as u64);
+            assert!(
+                worst <= c.max_watts,
+                "{}: modeled worst-case draw {worst:.1} W exceeds TDP {} W",
+                c.name,
+                c.max_watts
+            );
+        }
     }
 }

@@ -48,6 +48,7 @@ pub mod pipeline;
 pub mod reduction;
 pub mod warp;
 
+pub use cost::EnergyEstimate;
 pub use device::{DeviceConfig, DeviceKind};
 pub use kernels::{LayerNormAlgo, SoftmaxAlgo};
 pub use launch::KernelLaunch;

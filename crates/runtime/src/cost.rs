@@ -2,10 +2,13 @@
 //! run) node by node under a [`VariantProfile`], using the kernel and
 //! roofline models of `tt-gpusim`.
 
-use tt_gpusim::cost::{gemm_time_eff, streaming_time};
+use tt_gpusim::cost::{
+    gemm_energy_eff, gemm_time_eff, op_energy_timed, streaming_energy, streaming_time,
+    EnergyEstimate,
+};
 use tt_gpusim::device::DeviceConfig;
 use tt_gpusim::kernels::{layernorm_launches, softmax_launches, BatchShape};
-use tt_gpusim::launch::sequence_time;
+use tt_gpusim::launch::{kernel_time, sequence_time, KernelLaunch};
 use tt_graph::{Graph, Node, OpKind};
 use tt_model::decoder::Seq2SeqDecoderConfig;
 
@@ -104,6 +107,147 @@ fn node_cost(
             (streaming_time(dev, bytes), 3, 1)
         }
     }
+}
+
+/// Energy of a sequence of kernel launches: each launch's dynamic
+/// flops/bytes energy plus static draw over its own kernel time.
+fn launches_energy(dev: &DeviceConfig, launches: &[KernelLaunch]) -> EnergyEstimate {
+    let mut e = EnergyEstimate::default();
+    for l in launches {
+        e.accumulate(&op_energy_timed(dev, l.flops, l.bytes, kernel_time(dev, l)));
+    }
+    e
+}
+
+/// Price one node's energy — the joules column next to [`node_cost`]'s
+/// seconds, derived from the identical roofline activity (GEMM
+/// flops/bytes, kernel-model launches, streaming traffic).
+fn node_energy(
+    dev: &DeviceConfig,
+    profile: &VariantProfile,
+    graph: &Graph,
+    node: &Node,
+) -> EnergyEstimate {
+    let shape_of = |t: usize| -> &[usize] { &graph.tensors[t].shape };
+    let elems_of = |t: usize| -> usize { graph.tensors[t].elements() };
+    let out_shape = shape_of(node.output);
+
+    match &node.kind {
+        OpKind::MatMul { trans_b, .. } => {
+            let a = shape_of(node.inputs[0]);
+            let b = shape_of(node.inputs[1]);
+            let (batch, m, k, n) = if b.len() == 2 {
+                let m: usize = a[..a.len() - 1].iter().product();
+                (1, m, a[a.len() - 1], b[1])
+            } else {
+                let batch = a[0] * a[1];
+                let (m, k) = (a[2], a[3]);
+                let n = if *trans_b { b[2] } else { b[3] };
+                (batch, m, k, n)
+            };
+            gemm_energy_eff(dev, batch, m, k, n, profile.gemm_efficiency)
+        }
+        OpKind::Softmax | OpKind::ScaleMaskSoftmax { .. } => {
+            let row_len = *out_shape.last().expect("softmax output has rank >= 1");
+            let rows = elems_of(node.output) / row_len.max(1);
+            let launches = softmax_launches(dev, profile.softmax, BatchShape { rows, row_len });
+            launches_energy(dev, &launches)
+        }
+        OpKind::LayerNorm { .. } | OpKind::AddBiasResidualLayerNorm { .. } => {
+            let row_len = *out_shape.last().expect("layernorm output has rank >= 1");
+            let rows = elems_of(node.output) / row_len.max(1);
+            let launches = layernorm_launches(dev, profile.layernorm, BatchShape { rows, row_len });
+            launches_energy(dev, &launches)
+        }
+        OpKind::Embedding => {
+            let bytes = (2 * elems_of(node.output) * 4) as u64;
+            streaming_energy(dev, bytes)
+        }
+        _ => {
+            let reads: usize = node.inputs.iter().map(|&t| elems_of(t)).sum();
+            let bytes = ((reads + elems_of(node.output)) * 4) as u64;
+            streaming_energy(dev, bytes)
+        }
+    }
+}
+
+/// Per-node modeled joules of a graph, indexed by node id — the vector the
+/// executor threads into per-op trace spans (`energy_uj` attribute) and
+/// whose sum the engines attribute to the energy meter.
+pub fn node_energies(device: &DeviceConfig, profile: &VariantProfile, graph: &Graph) -> Vec<f64> {
+    let dev = scaled_device(device, profile);
+    graph.nodes.iter().map(|n| node_energy(&dev, profile, graph, n).total()).collect()
+}
+
+/// Total kernel energy of a graph under a profile (allocator and fixed
+/// overheads are the runtime's responsibility, as with [`graph_cost`]).
+pub fn graph_energy(
+    device: &DeviceConfig,
+    profile: &VariantProfile,
+    graph: &Graph,
+) -> EnergyEstimate {
+    let dev = scaled_device(device, profile);
+    let mut e = EnergyEstimate::default();
+    for node in &graph.nodes {
+        e.accumulate(&node_energy(&dev, profile, graph, node));
+    }
+    e
+}
+
+/// Energy of one GPT decode step at cache length `t` (the `t`-th token
+/// overall, 1-based), mirroring [`gpt_cost`]'s per-step work; `sample`
+/// adds the vocabulary projection. This is what the generative runtime
+/// attributes to the meter per executed step.
+pub fn gpt_step_energy(
+    device: &DeviceConfig,
+    profile: &VariantProfile,
+    cfg: &tt_model::gpt::GptConfig,
+    t: usize,
+    sample: bool,
+) -> EnergyEstimate {
+    let dev = scaled_device(device, profile);
+    let h = cfg.model_dim();
+    let (heads, d) = (cfg.num_heads, cfg.head_dim);
+    let eff = profile.gemm_efficiency;
+    let t = t.clamp(1, cfg.max_position);
+    let mut e = EnergyEstimate::default();
+    for _ in 0..cfg.num_layers {
+        e.accumulate(&gemm_energy_eff(&dev, 1, 1, h, h, eff));
+        e.accumulate(&gemm_energy_eff(&dev, 1, 1, h, h, eff));
+        e.accumulate(&gemm_energy_eff(&dev, 1, 1, h, h, eff));
+        e.accumulate(&gemm_energy_eff(&dev, 1, 1, h, h, eff));
+        e.accumulate(&gemm_energy_eff(&dev, heads, 1, d, t, eff));
+        e.accumulate(&gemm_energy_eff(&dev, heads, 1, t, d, eff));
+        let sm = softmax_launches(&dev, profile.softmax, BatchShape { rows: heads, row_len: t });
+        e.accumulate(&launches_energy(&dev, &sm));
+        let ln = layernorm_launches(&dev, profile.layernorm, BatchShape { rows: 1, row_len: h });
+        let ln_e = launches_energy(&dev, &ln);
+        e.accumulate(&ln_e);
+        e.accumulate(&ln_e);
+        e.accumulate(&gemm_energy_eff(&dev, 1, 1, h, cfg.ffn_dim, eff));
+        e.accumulate(&gemm_energy_eff(&dev, 1, 1, cfg.ffn_dim, h, eff));
+    }
+    if sample {
+        e.accumulate(&gemm_energy_eff(&dev, 1, 1, h, cfg.vocab_size, eff));
+    }
+    e
+}
+
+/// Energy of prefetching a whole prompt through the KV cache: the sum of
+/// the per-position step energies, sampling only at the last position —
+/// the decomposition [`gpt_cost`] uses for its timing.
+pub fn gpt_prefill_energy(
+    device: &DeviceConfig,
+    profile: &VariantProfile,
+    cfg: &tt_model::gpt::GptConfig,
+    prompt_len: usize,
+) -> EnergyEstimate {
+    let total = prompt_len.min(cfg.max_position).max(1);
+    let mut e = EnergyEstimate::default();
+    for t in 1..=total {
+        e.accumulate(&gpt_step_energy(device, profile, cfg, t, t == total));
+    }
+    e
 }
 
 /// Price a whole graph under a profile (kernel time only — allocator and
@@ -396,5 +540,46 @@ mod tests {
         let p = decoder_cost(&d, &RuntimeKind::PyTorchLike.profile(), &cfg, 100, 50).total();
         let sp = p / t;
         assert!((1.3..4.0).contains(&sp), "decoder speedup {sp:.2} plausible");
+    }
+
+    #[test]
+    fn node_energies_sum_to_graph_energy_and_grow_with_batch() {
+        let d = dev();
+        let cfg = BertConfig::base();
+        let p = RuntimeKind::Turbo.profile();
+        let small = graph_skeleton(&cfg, 1, 40, false);
+        let per_node = node_energies(&d, &p, &small.graph);
+        assert_eq!(per_node.len(), small.graph.nodes.len());
+        assert!(per_node.iter().all(|&j| j > 0.0), "every op consumes energy");
+        let total: f64 = per_node.iter().sum();
+        let ge = graph_energy(&d, &p, &small.graph);
+        assert!((total - ge.total()).abs() < 1e-9 * ge.total().max(1.0));
+        let big = graph_skeleton(&cfg, 8, 40, false);
+        assert!(graph_energy(&d, &p, &big.graph).total() > 4.0 * ge.total());
+    }
+
+    #[test]
+    fn fused_graph_spends_fewer_joules_than_decomposed() {
+        // Fusion removes intermediate DRAM round-trips and launches, so its
+        // energy must undercut the decomposed form of the same math.
+        let d = dev();
+        let cfg = BertConfig::base();
+        let bg = graph_skeleton(&cfg, 1, 40, false);
+        let p = RuntimeKind::Turbo.profile();
+        let fused = graph_energy(&d, &p, &bg.graph).total();
+        let decomposed = graph_energy(&d, &p, &tt_graph::fusion::decompose(&bg.graph)).total();
+        assert!(fused < decomposed, "fused {fused} vs decomposed {decomposed}");
+    }
+
+    #[test]
+    fn gpt_step_energy_grows_with_context_and_prefill_sums_steps() {
+        let d = dev();
+        let cfg = tt_model::gpt::GptConfig::tiny();
+        let p = RuntimeKind::Turbo.profile();
+        let early = gpt_step_energy(&d, &p, &cfg, 2, true).total();
+        let late = gpt_step_energy(&d, &p, &cfg, 30, true).total();
+        assert!(early > 0.0 && late > early, "longer prefix costs more: {early} vs {late}");
+        let prefill = gpt_prefill_energy(&d, &p, &cfg, 8).total();
+        assert!(prefill > gpt_step_energy(&d, &p, &cfg, 8, true).total());
     }
 }

@@ -22,8 +22,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use tt_alloc::{KvError, KvSeq, PagedKvArena};
+use tt_gpusim::device::DeviceConfig;
 use tt_model::gpt::Gpt;
-use tt_telemetry::{Histogram, Registry};
+use tt_telemetry::{EnergyMeter, EnergyPhase, Histogram, Registry};
+
+use crate::variants::VariantProfile;
 
 /// Arena sizing for a generative runtime, overridable from the
 /// environment (`TT_KV_PAGE_SLOTS`, `TT_KV_PAGES`).
@@ -67,6 +70,21 @@ struct DecodeMetrics {
     decode_step_us: Arc<Histogram>,
 }
 
+/// Energy pricing for generative decode: the modeled device, the variant
+/// profile the joules are priced under, and the meter the attribution
+/// lands in. Prompt prefills charge [`EnergyPhase::Prefill`]; single-token
+/// steps charge [`EnergyPhase::Decode`] — the split the power sampler
+/// publishes as per-phase `power_watts` / `energy_joules_total`.
+#[derive(Debug, Clone)]
+pub struct DecodeEnergyModel {
+    /// Device whose energy constants price the work.
+    pub device: DeviceConfig,
+    /// Variant profile (GEMM efficiency, fusion level) the work runs under.
+    pub profile: VariantProfile,
+    /// Sink for the attributed microjoules.
+    pub meter: Arc<EnergyMeter>,
+}
+
 /// A [`Gpt`] bound to a [`PagedKvArena`]: the decode execution engine the
 /// continuous-batching scheduler drives. Single-threaded by design, like
 /// the paper's serving loop — concurrency lives one layer up, in the
@@ -75,6 +93,8 @@ pub struct GenerativeRuntime {
     model: Gpt,
     arena: PagedKvArena,
     metrics: Option<DecodeMetrics>,
+    energy: Option<DecodeEnergyModel>,
+    last_energy_uj: u64,
 }
 
 impl std::fmt::Debug for GenerativeRuntime {
@@ -90,7 +110,7 @@ impl GenerativeRuntime {
     /// Bind `model` to a fresh arena shaped by `config`.
     pub fn new(model: Gpt, config: DecodeConfig) -> Self {
         let arena = PagedKvArena::new(model.kv_config(config.page_slots, config.num_pages));
-        GenerativeRuntime { model, arena, metrics: None }
+        GenerativeRuntime { model, arena, metrics: None, energy: None, last_energy_uj: 0 }
     }
 
     /// Register the `kv_*` gauges (via the arena) and the decode timing
@@ -109,6 +129,21 @@ impl GenerativeRuntime {
                 &[],
             ),
         });
+    }
+
+    /// Attach an energy model: every subsequent prefill and decode step
+    /// attributes its modeled microjoules to `model.meter` under the
+    /// matching phase, and [`last_energy_uj`](Self::last_energy_uj) reports
+    /// the most recent attribution for span annotation.
+    pub fn instrument_energy(&mut self, model: DecodeEnergyModel) {
+        self.energy = Some(model);
+    }
+
+    /// Modeled microjoules of the most recent [`prefill`](Self::prefill) or
+    /// [`decode_step`](Self::decode_step); zero when no energy model is
+    /// attached.
+    pub fn last_energy_uj(&self) -> u64 {
+        self.last_energy_uj
     }
 
     /// The underlying model.
@@ -140,6 +175,11 @@ impl GenerativeRuntime {
         if let Some(m) = &self.metrics {
             m.prefill_us.record(start.elapsed().as_micros() as u64);
         }
+        if out.is_ok() {
+            self.charge(EnergyPhase::Prefill, |e, cfg| {
+                crate::cost::gpt_prefill_energy(&e.device, &e.profile, cfg, prompt.len()).total_uj()
+            });
+        }
         out
     }
 
@@ -151,7 +191,29 @@ impl GenerativeRuntime {
         if let Some(m) = &self.metrics {
             m.decode_step_us.record(start.elapsed().as_micros() as u64);
         }
+        if out.is_ok() {
+            // Cache length *after* the append: the attention span this step
+            // actually paid for.
+            let t = self.arena.len_of(seq).unwrap_or(1);
+            self.charge(EnergyPhase::Decode, |e, cfg| {
+                crate::cost::gpt_step_energy(&e.device, &e.profile, cfg, t, true).total_uj()
+            });
+        }
         out
+    }
+
+    /// Price one unit of work against the attached energy model (no-op
+    /// without one) and remember it for span annotation.
+    fn charge(
+        &mut self,
+        phase: EnergyPhase,
+        price: impl FnOnce(&DecodeEnergyModel, &tt_model::gpt::GptConfig) -> u64,
+    ) {
+        if let Some(e) = &self.energy {
+            let uj = price(e, &self.model.config);
+            e.meter.add(phase, uj);
+            self.last_energy_uj = uj;
+        }
     }
 
     /// Release a finished or expired sequence; its pages are free for the
@@ -197,6 +259,36 @@ mod tests {
         assert_eq!(prefill.count(), 1);
         assert_eq!(step.count(), 1);
         assert!(snap.find("kv_pages_in_use", &[]).is_some());
+    }
+
+    #[test]
+    fn energy_model_attributes_prefill_and_decode_phases() {
+        use crate::variants::RuntimeKind;
+        let meter = Arc::new(EnergyMeter::default());
+        let mut rt = runtime();
+        rt.instrument_energy(DecodeEnergyModel {
+            device: tt_gpusim::device::DeviceKind::V100.config(),
+            profile: RuntimeKind::Turbo.profile(),
+            meter: Arc::clone(&meter),
+        });
+        let seq = rt.admit(3).unwrap();
+        rt.prefill(seq, &[1, 2, 3]).unwrap();
+        let prefill_uj = meter.phase_uj(EnergyPhase::Prefill);
+        assert!(prefill_uj > 0, "prefill must charge the prefill phase");
+        assert_eq!(rt.last_energy_uj(), prefill_uj);
+        assert_eq!(meter.phase_uj(EnergyPhase::Decode), 0);
+
+        rt.decode_step(seq, 4).unwrap();
+        let one_step = meter.phase_uj(EnergyPhase::Decode);
+        assert!(one_step > 0, "decode must charge the decode phase");
+        assert_eq!(rt.last_energy_uj(), one_step);
+        // A longer prefix attends over more cache: later steps cost at
+        // least as much as earlier ones.
+        rt.decode_step(seq, 5).unwrap();
+        assert!(rt.last_energy_uj() >= one_step);
+        // A full prompt pass costs more than a single token step.
+        assert!(prefill_uj > one_step);
+        assert_eq!(meter.busy_uj(), prefill_uj + one_step + rt.last_energy_uj());
     }
 
     #[test]

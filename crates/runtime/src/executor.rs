@@ -190,13 +190,16 @@ pub fn execute_with(
     arena: &mut Arena,
     metrics: Option<&ExecutorMetrics>,
 ) -> Execution {
-    execute_traced(bound, store, inputs, allocator, arena, metrics, None)
+    execute_traced(bound, store, inputs, allocator, arena, metrics, None, None)
 }
 
 /// [`execute_with`], additionally recording request-scoped spans: one
 /// `alloc_plan` span (chunks touched, bytes reused) and one span per
-/// executed operator (shape; achieved GFLOP/s for MatMuls) under every
-/// parent context in the hook.
+/// executed operator (shape; achieved GFLOP/s for MatMuls; modeled
+/// `energy_uj` when per-node joules are supplied) under every parent
+/// context in the hook. `energies` is indexed by node id, as produced by
+/// [`crate::cost::node_energies`].
+#[allow(clippy::too_many_arguments)]
 pub fn execute_traced(
     bound: &BoundGraph,
     store: &WeightStore,
@@ -205,6 +208,7 @@ pub fn execute_traced(
     arena: &mut Arena,
     metrics: Option<&ExecutorMetrics>,
     trace: Option<TraceHook<'_>>,
+    energies: Option<&[f64]>,
 ) -> Execution {
     let graph = &bound.graph;
     let (usages, order) = activation_lifetimes(graph);
@@ -371,6 +375,9 @@ pub fn execute_traced(
                         // flops per nanosecond is numerically GFLOP/s.
                         attrs
                             .push(("gflops", AttrValue::Float(flops as f64 / nanos.max(1) as f64)));
+                    }
+                    if let Some(joules) = energies.and_then(|e| e.get(node_id)) {
+                        attrs.push(("energy_uj", AttrValue::Int((joules * 1e6).round() as i64)));
                     }
                     tracer.record_span(
                         ctx.trace,

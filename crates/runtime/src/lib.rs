@@ -124,6 +124,13 @@ pub struct EncoderRun {
     pub sim_time: f64,
     /// Component breakdown of `sim_time`.
     pub breakdown: CostBreakdown,
+    /// Modeled energy of this inference in integer microjoules (kernel
+    /// dynamic + static energy, plus idle draw over the allocator/overhead
+    /// time). The same value is attributed to the attached
+    /// [`EnergyMeter`](tt_telemetry::EnergyMeter) under the prefill phase,
+    /// so per-request shares of this number reconcile exactly against the
+    /// meter.
+    pub energy_uj: u64,
     /// Allocator statistics of this inference's plan.
     pub plan_stats: tt_alloc::turbo::PlanStats,
 }
@@ -137,11 +144,15 @@ struct State {
     /// Turbo allocator replica used to price `AllocPolicy::TurboChunks`.
     turbo_for_cost: TurboAllocator,
     tuned_shapes: HashSet<(usize, usize)>,
-    bert_cost_cache: HashMap<CostKey, CostBreakdown>,
+    bert_cost_cache: HashMap<CostKey, (CostBreakdown, f64)>,
     /// Per-op-kind timing sink, set by [`TurboRuntime::instrument`].
     exec_metrics: Option<executor::ExecutorMetrics>,
     /// Memory-bound passes removed by the fusion pass, per executed graph.
     fusion_elided: Option<std::sync::Arc<tt_telemetry::Counter>>,
+    /// Busy-energy sink, set by [`TurboRuntime::instrument_energy`]. Every
+    /// executed inference attributes its modeled joules here under the
+    /// prefill phase.
+    energy_meter: Option<std::sync::Arc<tt_telemetry::EnergyMeter>>,
 }
 
 #[derive(Debug, PartialEq, Eq, Hash, Clone, Copy)]
@@ -184,6 +195,7 @@ impl TurboRuntime {
                 bert_cost_cache: HashMap::new(),
                 exec_metrics: None,
                 fusion_elided: None,
+                energy_meter: None,
             }),
         }
     }
@@ -201,6 +213,16 @@ impl TurboRuntime {
             &[],
         ));
         state.allocator.attach_metrics(tt_alloc::AllocMetrics::register(registry));
+    }
+
+    /// Attach an energy meter: every subsequent inference adds its modeled
+    /// microjoules (the same value returned in [`EncoderRun::energy_uj`])
+    /// under [`tt_telemetry::EnergyPhase::Prefill`] — full-sequence encoder
+    /// forwards are the prefill-shaped work in this stack. The sampler in
+    /// `tt_telemetry::energy` turns the meter into `power_watts` /
+    /// `energy_joules_total` metric families.
+    pub fn instrument_energy(&self, meter: std::sync::Arc<tt_telemetry::EnergyMeter>) {
+        self.state.lock().energy_meter = Some(meter);
     }
 
     /// The variant this runtime emulates.
@@ -263,17 +285,34 @@ impl TurboRuntime {
     /// Price one bound graph under this runtime (no numerics). Advances the
     /// warm allocator/tuning state exactly as a real execution would.
     pub fn cost_bound(&self, bound: &BoundGraph, batch: usize, seq: usize) -> CostBreakdown {
+        self.priced_bound(bound, batch, seq).0
+    }
+
+    /// Time and energy for one bound graph: the cost breakdown plus modeled
+    /// *steady-state* joules — dynamic kernel energy plus idle draw over
+    /// the per-inference framework overhead. Cold allocator / pretune
+    /// windows are deliberately excluded from the energy: they depend on
+    /// warm-up order, and the scheduler's energy table needs shapes to be
+    /// comparable regardless of the order they were priced in.
+    fn priced_bound(&self, bound: &BoundGraph, batch: usize, seq: usize) -> (CostBreakdown, f64) {
         let transformed = self.transform(bound);
         let mut cb = cost::graph_cost(&self.device, &self.profile, &transformed.graph);
         let mut state = self.state.lock();
         cb.alloc = self.alloc_overhead(&mut state, &transformed);
         cb.overhead = self.profile.per_infer_overhead + self.pretune_cost(&mut state, batch, seq);
-        cb
+        let joules = cost::graph_energy(&self.device, &self.profile, &transformed.graph).total()
+            + self.device.static_energy(self.profile.per_infer_overhead);
+        (cb, joules)
     }
 
-    /// Cached BERT inference cost for a `(batch, seq)` shape — the
-    /// building block of the serving framework's `cached_cost` table.
-    pub fn bert_cost(&self, cfg: &BertConfig, batch: usize, seq: usize, masked: bool) -> f64 {
+    /// Cached BERT `(cost breakdown, joules)` for a `(batch, seq)` shape.
+    fn bert_priced(
+        &self,
+        cfg: &BertConfig,
+        batch: usize,
+        seq: usize,
+        masked: bool,
+    ) -> (CostBreakdown, f64) {
         let key = CostKey {
             layers: cfg.num_layers,
             heads: cfg.num_heads,
@@ -284,13 +323,28 @@ impl TurboRuntime {
             masked,
             albert: false,
         };
-        if let Some(cb) = self.state.lock().bert_cost_cache.get(&key) {
-            return cb.total();
+        if let Some(entry) = self.state.lock().bert_cost_cache.get(&key) {
+            return *entry;
         }
         let bound = tt_model::bert::graph_skeleton(cfg, batch, seq, masked);
-        let cb = self.cost_bound(&bound, batch, seq);
-        self.state.lock().bert_cost_cache.insert(key, cb);
-        cb.total()
+        let entry = self.priced_bound(&bound, batch, seq);
+        self.state.lock().bert_cost_cache.insert(key, entry);
+        entry
+    }
+
+    /// Cached BERT inference cost for a `(batch, seq)` shape — the
+    /// building block of the serving framework's `cached_cost` table.
+    pub fn bert_cost(&self, cfg: &BertConfig, batch: usize, seq: usize, masked: bool) -> f64 {
+        self.bert_priced(cfg, batch, seq, masked).0.total()
+    }
+
+    /// Cached modeled BERT inference energy in joules for a `(batch, seq)`
+    /// shape — the building block of the serving framework's energy table
+    /// when scheduling under `TT_SCHED_OBJECTIVE=energy`. Shares the cache
+    /// (and the warm allocator replica advance) with
+    /// [`bert_cost`](Self::bert_cost).
+    pub fn bert_energy(&self, cfg: &BertConfig, batch: usize, seq: usize, masked: bool) -> f64 {
+        self.bert_priced(cfg, batch, seq, masked).1
     }
 
     /// Cached ALBERT inference cost.
@@ -305,13 +359,13 @@ impl TurboRuntime {
             masked,
             albert: true,
         };
-        if let Some(cb) = self.state.lock().bert_cost_cache.get(&key) {
-            return cb.total();
+        if let Some(entry) = self.state.lock().bert_cost_cache.get(&key) {
+            return entry.0.total();
         }
         let bound = tt_model::albert::graph_skeleton(cfg, batch, seq, masked);
-        let cb = self.cost_bound(&bound, batch, seq);
-        self.state.lock().bert_cost_cache.insert(key, cb);
-        cb.total()
+        let entry = self.priced_bound(&bound, batch, seq);
+        self.state.lock().bert_cost_cache.insert(key, entry);
+        entry.0.total()
     }
 
     /// Beam-search decoding cost (paper Fig. 10c's workload).
@@ -351,6 +405,18 @@ impl TurboRuntime {
                 - transformed.graph.nodes.len();
             counter.add(elided as u64);
         }
+        // Per-node joules under this variant's profile, indexed like
+        // `transformed.graph.nodes` — the executor stamps them onto per-op
+        // spans, and their sum (plus idle draw over the allocator/overhead
+        // windows) is what the energy meter and the caller both see, as one
+        // integer, so attribution reconciles exactly.
+        let energies = cost::node_energies(&self.device, &self.profile, &transformed.graph);
+        let dynamic: f64 = energies.iter().sum();
+        let energy_uj =
+            ((dynamic + self.device.static_energy(cb.alloc + cb.overhead)) * 1e6).round() as u64;
+        if let Some(meter) = &state.energy_meter {
+            meter.add(tt_telemetry::EnergyPhase::Prefill, energy_uj);
+        }
         let State { allocator, arena, exec_metrics, .. } = &mut *state;
         let exec = executor::execute_traced(
             &transformed,
@@ -360,11 +426,13 @@ impl TurboRuntime {
             arena,
             exec_metrics.as_ref(),
             trace,
+            Some(&energies),
         );
         EncoderRun {
             encoder_output: exec.output,
             sim_time: cb.total(),
             breakdown: cb,
+            energy_uj,
             plan_stats: exec.plan_stats,
         }
     }
@@ -510,6 +578,42 @@ mod tests {
     }
 
     #[test]
+    fn encoder_runs_report_energy_and_reconcile_with_the_meter() {
+        use tt_telemetry::{EnergyMeter, EnergyPhase};
+        let model = Bert::new_random(&BertConfig::tiny(), 4);
+        let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+        // Warm the allocator first: cold chunk mallocs draw static power
+        // that would otherwise swamp a tiny model's dynamic joules.
+        rt.run_bert(&model, &ids_batch(&[&[1, 2, 3, 4], &[5, 6, 7, 8]])).unwrap();
+        let meter = std::sync::Arc::new(EnergyMeter::new());
+        rt.instrument_energy(std::sync::Arc::clone(&meter));
+        let a = rt.run_bert(&model, &ids_batch(&[&[1, 2, 3, 4]])).unwrap();
+        let b = rt.run_bert(&model, &ids_batch(&[&[1, 2, 3, 4], &[5, 6, 7, 8]])).unwrap();
+        assert!(a.energy_uj > 0, "a forward pass must consume modeled energy");
+        assert!(b.energy_uj > a.energy_uj, "a bigger batch costs more joules");
+        // Exact reconciliation: the meter's prefill phase holds precisely
+        // the microjoules the two runs reported — no rounding drift.
+        assert_eq!(meter.phase_uj(EnergyPhase::Prefill), a.energy_uj + b.energy_uj);
+        assert_eq!(meter.phase_uj(EnergyPhase::Decode), 0);
+    }
+
+    #[test]
+    fn bert_energy_is_cached_and_consistent_with_cost() {
+        let cfg = BertConfig::tiny();
+        let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::V100));
+        let e1 = rt.bert_energy(&cfg, 2, 16, false);
+        assert!(e1 > 0.0);
+        assert_eq!(rt.state.lock().bert_cost_cache.len(), 1);
+        // Cost lookup for the same shape reuses the entry; repeated energy
+        // lookups are stable.
+        let _ = rt.bert_cost(&cfg, 2, 16, false);
+        assert_eq!(rt.state.lock().bert_cost_cache.len(), 1);
+        assert_eq!(rt.bert_energy(&cfg, 2, 16, false), e1);
+        // More work, more joules.
+        assert!(rt.bert_energy(&cfg, 4, 16, false) > e1);
+    }
+
+    #[test]
     fn quantized_bert_executes_within_int8_tolerance() {
         // The executor's int8 GEMM path: same graph, sidecar-quantized
         // weights, output within the weight-only-quantization budget.
@@ -547,6 +651,8 @@ mod tests {
         assert!(matches!(&shape.1, tt_telemetry::AttrValue::Str(s) if s.contains('x')));
         let gflops = matmul.attrs.iter().find(|(k, _)| *k == "gflops").expect("gflops attr");
         assert!(matches!(&gflops.1, tt_telemetry::AttrValue::Float(v) if *v > 0.0));
+        let energy = matmul.attrs.iter().find(|(k, _)| *k == "energy_uj").expect("energy attr");
+        assert!(matches!(&energy.1, tt_telemetry::AttrValue::Int(v) if *v > 0));
         // Every recorded span nests inside the root's interval.
         let root_span = spans.iter().find(|s| s.name == "execute").unwrap();
         for s in &spans {

@@ -134,6 +134,11 @@ pub struct CachedCost {
     /// footprint "affects … the maximum batch size of requests".
     #[serde(default)]
     memory: Option<Vec<Vec<usize>>>,
+    /// Optional energy table: `energy[bucket][batch - 1]` = modeled joules
+    /// of one batch under the runtime's power model. Feeds the
+    /// energy-under-SLO scheduling objective (`TT_SCHED_OBJECTIVE=energy`).
+    #[serde(default)]
+    energy: Option<Vec<Vec<f64>>>,
     /// Optional live refinement; see [`CachedCost::with_online_updates`].
     #[serde(default)]
     online: Option<OnlineCosts>,
@@ -162,7 +167,7 @@ impl CachedCost {
             }
             costs.push(row);
         }
-        CachedCost { bucket, max_len, max_batch, costs, memory: None, online: None }
+        CachedCost { bucket, max_len, max_batch, costs, memory: None, energy: None, online: None }
     }
 
     /// Build directly from a cost closure — used by tests and ablations to
@@ -180,7 +185,7 @@ impl CachedCost {
                 (1..=max_batch).map(|b| f(len, b)).collect()
             })
             .collect();
-        CachedCost { bucket, max_len, max_batch, costs, memory: None, online: None }
+        CachedCost { bucket, max_len, max_batch, costs, memory: None, energy: None, online: None }
     }
 
     /// Enable online cost refinement: completed batches observed through
@@ -273,6 +278,59 @@ impl CachedCost {
         self.memory.is_some()
     }
 
+    /// Profile the modeled energy of every (length, batch) cell with the
+    /// runtime's power model and attach it, enabling the energy scheduling
+    /// objective. Shares the runtime's priced-shape cache with
+    /// [`CachedCost::warm_up`], so warming cost and energy together prices
+    /// each shape once.
+    pub fn with_energy_profile(mut self, runtime: &TurboRuntime, cfg: &BertConfig) -> Self {
+        let buckets = self.max_len.div_ceil(self.bucket);
+        let mut energy = Vec::with_capacity(buckets);
+        for bi in 0..buckets {
+            let len = ((bi + 1) * self.bucket).min(self.max_len);
+            let mut row = Vec::with_capacity(self.max_batch);
+            for batch in 1..=self.max_batch {
+                row.push(runtime.bert_energy(cfg, batch, len, batch > 1));
+            }
+            energy.push(row);
+        }
+        self.energy = Some(energy);
+        self
+    }
+
+    /// Attach a synthetic energy surface — the energy analogue of
+    /// [`CachedCost::from_fn`], for scheduler tests and ablations.
+    pub fn with_energy_fn(mut self, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let buckets = self.max_len.div_ceil(self.bucket);
+        let energy = (0..buckets)
+            .map(|bi| {
+                let len = ((bi + 1) * self.bucket).min(self.max_len);
+                (1..=self.max_batch).map(|b| f(len, b)).collect()
+            })
+            .collect();
+        self.energy = Some(energy);
+        self
+    }
+
+    /// Modeled joules of executing one batch of `count` requests padded to
+    /// `max_len_in_batch`. Panics if the table was built without
+    /// [`CachedCost::with_energy_profile`] (or `with_energy_fn`).
+    pub fn batch_energy(&self, max_len_in_batch: usize, count: usize) -> f64 {
+        let energy = self.energy.as_ref().expect("energy profile not attached");
+        assert!(count >= 1 && count <= self.max_batch, "batch {count} out of profiled range");
+        assert!(
+            max_len_in_batch <= self.max_len,
+            "length {max_len_in_batch} beyond profiled {}",
+            self.max_len
+        );
+        energy[self.bucket_index(max_len_in_batch)][count - 1]
+    }
+
+    /// Whether the table carries an energy profile.
+    pub fn has_energy_profile(&self) -> bool {
+        self.energy.is_some()
+    }
+
     /// Largest batch the table covers.
     pub fn max_batch(&self) -> usize {
         self.max_batch
@@ -339,6 +397,25 @@ mod tests {
         assert!(table.batch_cost(64, 1) < table.batch_cost(64, 4));
         // …but less per request (the batching gain of paper Fig. 8).
         assert!(table.per_request_cost(64, 4) < table.per_request_cost(64, 1));
+    }
+
+    #[test]
+    fn energy_profile_tracks_work_and_round_trips() {
+        let rt = TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060));
+        let cfg = BertConfig::base();
+        let table = CachedCost::warm_up(&rt, &cfg, 128, 4, 32).with_energy_profile(&rt, &cfg);
+        assert!(table.has_energy_profile());
+        assert!(table.batch_energy(32, 1) > 0.0);
+        // Longer sequences and bigger batches burn more joules…
+        assert!(table.batch_energy(32, 1) < table.batch_energy(128, 1));
+        assert!(table.batch_energy(64, 1) < table.batch_energy(64, 4));
+        // …but batching amortizes the per-inference static draw.
+        assert!(table.batch_energy(64, 4) / 4.0 < table.batch_energy(64, 1));
+        let json = serde_json::to_string(&table).unwrap();
+        let back: CachedCost = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.batch_energy(64, 2), table.batch_energy(64, 2));
+        // Tables without the profile keep rejecting energy queries.
+        assert!(!CachedCost::from_fn(10, 2, 10, |_, _| 1.0).has_energy_profile());
     }
 
     #[test]

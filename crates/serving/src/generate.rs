@@ -30,7 +30,7 @@ use std::time::Instant;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use tt_model::gpt::Gpt;
-use tt_runtime::decode::{DecodeConfig, GenerativeRuntime};
+use tt_runtime::decode::{DecodeConfig, DecodeEnergyModel, GenerativeRuntime};
 use tt_telemetry::{AttrValue, Counter, Gauge, Histogram, Registry, SpanContext, Tracer};
 
 use crate::cost_table::CachedCost;
@@ -397,7 +397,26 @@ pub fn start_engine(
     registry: Option<&Registry>,
     tracer: Tracer,
 ) -> GenEngine {
+    start_engine_with_energy(model, config, costs, registry, tracer, None)
+}
+
+/// [`start_engine`], additionally attaching an energy model to the decode
+/// runtime: prefills charge the meter's prefill phase, token steps charge
+/// decode, and traced `prefill` / `decode_iter` spans carry an `energy_uj`
+/// attribute. The caller keeps a clone of the meter `Arc` to feed a
+/// [`tt_telemetry::ModeledPowerSource`] + sampler.
+pub fn start_engine_with_energy(
+    model: Gpt,
+    config: GenConfig,
+    costs: Arc<CachedCost>,
+    registry: Option<&Registry>,
+    tracer: Tracer,
+    energy: Option<DecodeEnergyModel>,
+) -> GenEngine {
     let mut rt = GenerativeRuntime::new(model, config.kv);
+    if let Some(e) = energy {
+        rt.instrument_energy(e);
+    }
     let metrics = registry.map(|r| {
         rt.instrument(r);
         GenMetrics::register(r)
@@ -551,7 +570,10 @@ fn engine_loop(
                     "prefill",
                     prefill_start,
                     tracer.now_ns().saturating_sub(prefill_start),
-                    vec![("prompt_len", AttrValue::Int(prompt_len as i64))],
+                    vec![
+                        ("prompt_len", AttrValue::Int(prompt_len as i64)),
+                        ("energy_uj", AttrValue::Int(rt.last_energy_uj() as i64)),
+                    ],
                 );
             }
             // Deadline may have expired *during* the prefill: pages must
@@ -657,6 +679,7 @@ fn engine_loop(
                     vec![
                         ("index", AttrValue::Int(index as i64)),
                         ("batch_active", AttrValue::Int(batch_now as i64)),
+                        ("energy_uj", AttrValue::Int(rt.last_energy_uj() as i64)),
                     ],
                 );
             }
@@ -829,6 +852,35 @@ mod tests {
         assert_eq!(tokens.len(), 2);
         assert_eq!(finish, Some(FinishReason::Length));
         assert_eq!(eng.shutdown().pages_leaked, 0);
+    }
+
+    #[test]
+    fn energy_instrumented_engine_charges_both_phases() {
+        use tt_telemetry::{EnergyMeter, EnergyPhase};
+        let registry = Registry::new();
+        let meter = Arc::new(EnergyMeter::new());
+        let model = Gpt::new_random(&GptConfig::tiny(), 39);
+        let eng = start_engine_with_energy(
+            model,
+            config(),
+            costs(),
+            Some(&registry),
+            Tracer::disabled(),
+            Some(DecodeEnergyModel {
+                device: tt_gpusim::device::DeviceKind::V100.config(),
+                profile: tt_runtime::RuntimeKind::Turbo.profile(),
+                meter: Arc::clone(&meter),
+            }),
+        );
+        let rx = eng.client().generate(vec![1, 2, 3], 6).unwrap();
+        let (tokens, _) = GenClient::collect(&rx);
+        assert_eq!(tokens.len(), 6);
+        assert_eq!(eng.shutdown().pages_leaked, 0);
+        let prefill = meter.phase_uj(EnergyPhase::Prefill);
+        let decode = meter.phase_uj(EnergyPhase::Decode);
+        assert!(prefill > 0, "prompt prefill must charge the prefill phase");
+        assert!(decode > 0, "token steps must charge the decode phase");
+        assert_eq!(meter.busy_uj(), prefill + decode);
     }
 
     #[test]

@@ -70,7 +70,8 @@ pub use http::{
 };
 pub use request::{LengthDist, Request, WorkloadSpec};
 pub use scheduler::{
-    BatchScheduler, DpScheduler, InstrumentedScheduler, LatencyDpScheduler, MemoryAwareDpScheduler,
-    NaiveBatchScheduler, NoBatchScheduler, PadToMaxScheduler,
+    BatchScheduler, DpScheduler, EnergyAwareDpScheduler, InstrumentedScheduler, LatencyDpScheduler,
+    MemoryAwareDpScheduler, NaiveBatchScheduler, NoBatchScheduler, PadToMaxScheduler,
+    SchedObjective,
 };
 pub use simulator::{simulate, ServingConfig, ServingReport, Trigger};

@@ -65,6 +65,9 @@ pub struct LiveMetrics {
     /// Jobs found expired at the pre-execute boundary (Algorithm 3 had
     /// already placed them in a batch; the batch runs without them).
     deadline_pre_execute: Arc<Counter>,
+    /// Modeled microjoules attributed to each served request (its exact
+    /// share of the executed batch's metered energy).
+    request_energy_uj: Arc<Histogram>,
 }
 
 impl LiveMetrics {
@@ -119,6 +122,11 @@ impl LiveMetrics {
                 "Requests dropped because their deadline expired, by stage boundary",
                 &[("stage", "pre_execute")],
             ),
+            request_energy_uj: registry.histogram(
+                "live_request_energy_microjoules",
+                "Modeled microjoules attributed to each served request (exact share of its batch)",
+                &[],
+            ),
         }
     }
 
@@ -171,6 +179,13 @@ pub struct LiveResponse {
     pub batch_size: usize,
     /// Padded length of the executed batch.
     pub padded_len: usize,
+    /// Modeled microjoules attributed to this request — its exact share of
+    /// the executed batch's metered energy. Summing `energy_uj` over every
+    /// response reconciles exactly (integer-exact, no float drift) with the
+    /// runtime's [`tt_telemetry::EnergyMeter`] delta, because each batch's
+    /// total is split as equal integer shares with the remainder spread
+    /// over the first rows.
+    pub energy_uj: u64,
 }
 
 /// Handle for submitting requests to a running engine.
@@ -487,14 +502,25 @@ fn engine_loop(
                 m.observe_padding(real, padded);
             }
 
+            // Attribute the batch's metered joules to its members exactly:
+            // equal integer shares, remainder microjoules to the first
+            // rows, so Σ per-request energy == the meter's counter delta.
+            let n = batch.len() as u64;
+            let energy_share = run.energy_uj / n;
+            let energy_rem = (run.energy_uj % n) as usize;
             for (row, &job_idx) in batch.iter().enumerate() {
                 let job = &jobs[job_idx];
                 let cls = cls_vector(&run.encoder_output, row);
+                let energy_uj = energy_share + u64::from(row < energy_rem);
+                if let Some(m) = &metrics {
+                    m.request_energy_uj.record(energy_uj);
+                }
                 let _ = job.reply.send(Ok(LiveResponse {
                     cls_vector: cls,
                     latency: job.submitted.elapsed(),
                     batch_size: batch.len(),
                     padded_len,
+                    energy_uj,
                 }));
                 served += 1;
             }
@@ -756,6 +782,49 @@ mod tests {
         assert_eq!(eng.shutdown(), 6);
         let depth = registry.snapshot().find("live_queue_depth", &[]).unwrap().gauge.unwrap();
         assert_eq!(depth, 0.0, "gauge balances to zero after the queue drains");
+    }
+
+    #[test]
+    fn per_request_energy_shares_reconcile_exactly_with_the_meter() {
+        use tt_telemetry::{EnergyMeter, EnergyPhase};
+        let registry = Registry::new();
+        let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+        let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+        let meter = Arc::new(EnergyMeter::new());
+        runtime.instrument_energy(meter.clone());
+        let costs =
+            Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+        let eng =
+            LiveEngine::start_instrumented(model, runtime, Arc::new(DpScheduler), costs, &registry);
+
+        // Concurrent variable-length streams: batches form nondeterministically,
+        // splits are uneven, remainders exercise the integer distribution.
+        let mut handles = Vec::new();
+        for t in 0..10u32 {
+            let client = eng.client();
+            handles.push(std::thread::spawn(move || {
+                let len = 3 + (t as usize % 4) * 11;
+                client.infer((0..len as u32).map(|i| (i + t) % 90).collect()).energy_uj
+            }));
+        }
+        let shares: Vec<u64> = handles.into_iter().map(|h| h.join().expect("client")).collect();
+        assert_eq!(eng.shutdown(), 10);
+
+        assert!(shares.iter().all(|&e| e > 0), "every request carries modeled joules");
+        assert_eq!(
+            shares.iter().sum::<u64>(),
+            meter.phase_uj(EnergyPhase::Prefill),
+            "per-request shares must sum exactly to the meter's counter delta"
+        );
+        // The per-request histogram saw every share.
+        let hist = registry
+            .snapshot()
+            .find("live_request_energy_microjoules", &[])
+            .unwrap()
+            .histogram
+            .clone()
+            .unwrap();
+        assert_eq!(hist.count(), 10);
     }
 
     #[test]

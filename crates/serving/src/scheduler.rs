@@ -365,6 +365,159 @@ impl BatchScheduler for MemoryAwareDpScheduler {
     }
 }
 
+/// Total predicted joules of a batching under the cost table's energy
+/// profile. Panics if the table carries none.
+pub fn batching_energy(queue: &[Request], batching: &Batching, costs: &CachedCost) -> f64 {
+    batching
+        .iter()
+        .map(|batch| {
+            let max_len = batch.iter().map(|&i| queue[i].len).max().expect("non-empty batch");
+            costs.batch_energy(max_len, batch.len())
+        })
+        .sum()
+}
+
+/// The scheduling objective the serving loop optimizes, selected by
+/// `TT_SCHED_OBJECTIVE` (`latency` — the default — or `energy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedObjective {
+    /// Minimize total execution time of the queue (paper Algorithm 3).
+    #[default]
+    Latency,
+    /// Minimize predicted joules among schedules that still drain the
+    /// queue within the SLO budget ([`EnergyAwareDpScheduler`]).
+    Energy,
+}
+
+impl SchedObjective {
+    /// Read `TT_SCHED_OBJECTIVE`; anything other than `energy`
+    /// (case-insensitive) falls back to [`SchedObjective::Latency`] —
+    /// serving must not fail to boot over a typo'd knob.
+    pub fn from_env() -> Self {
+        match std::env::var("TT_SCHED_OBJECTIVE") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("energy") => SchedObjective::Energy,
+            _ => SchedObjective::Latency,
+        }
+    }
+
+    /// Display name, matching the env spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SchedObjective::Latency => "latency",
+            SchedObjective::Energy => "energy",
+        }
+    }
+}
+
+/// Energy-under-SLO variant of paper Algorithm 3 (extension): among
+/// contiguous sorted partitions whose *total execution time* stays within
+/// `slo_budget` seconds, pick the one with minimal predicted joules from
+/// the table's energy profile
+/// ([`crate::cost_table::CachedCost::with_energy_profile`]).
+///
+/// Energy and elapsed time are both additive over batches but favor
+/// different splits — big batches amortize per-inference static draw
+/// (fewer joules) while padding long, so the DP keeps a Pareto frontier
+/// over `(energy, elapsed)` per sorted prefix, exactly like
+/// [`LatencyDpScheduler`] does for its objective. The final pick filters
+/// the frontier by the budget.
+///
+/// **Never worse than the SLO**: when no partition meets the budget (the
+/// queue is simply too deep), the scheduler falls back to the
+/// latency-optimal schedule of [`DpScheduler`] — the same decision the
+/// default objective would have made — so enabling the energy objective
+/// can never increase the best-achievable drain time. A test pins this.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyAwareDpScheduler {
+    /// Elapsed-time budget for draining the scheduled queue, seconds.
+    pub slo_budget: f64,
+}
+
+impl BatchScheduler for EnergyAwareDpScheduler {
+    fn schedule(&self, queue: &[Request], costs: &CachedCost) -> Batching {
+        let n = queue.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| queue[i].len);
+        let max_batch = costs.max_batch();
+
+        // Pareto state per prefix: (joules, elapsed, from_j, parent).
+        #[derive(Clone, Copy)]
+        struct St {
+            joules: f64,
+            elapsed: f64,
+            from: usize,
+            parent: usize,
+        }
+        let mut states: Vec<Vec<St>> = vec![Vec::new(); n + 1];
+        states[0].push(St { joules: 0.0, elapsed: 0.0, from: 0, parent: 0 });
+
+        for i in 1..=n {
+            let cur_len = queue[order[i - 1]].len;
+            let mut cands: Vec<St> = Vec::new();
+            #[allow(clippy::needless_range_loop)] // j indexes both states and the batch width
+            for j in i.saturating_sub(max_batch)..i {
+                let time = costs.batch_cost(cur_len, i - j);
+                let joules = costs.batch_energy(cur_len, i - j);
+                for (pi, p) in states[j].iter().enumerate() {
+                    cands.push(St {
+                        joules: p.joules + joules,
+                        elapsed: p.elapsed + time,
+                        from: j,
+                        parent: pi,
+                    });
+                }
+            }
+            // Pareto-prune: sort by joules, keep strictly decreasing
+            // elapsed. A state beaten on both axes can never redeem
+            // itself — both objectives are additive.
+            cands.sort_by(|a, b| {
+                a.joules
+                    .partial_cmp(&b.joules)
+                    .expect("finite")
+                    .then(a.elapsed.partial_cmp(&b.elapsed).expect("finite"))
+            });
+            let mut best_elapsed = f64::INFINITY;
+            let mut kept = Vec::new();
+            for s in cands {
+                if s.elapsed < best_elapsed - 1e-15 {
+                    best_elapsed = s.elapsed;
+                    kept.push(s);
+                }
+            }
+            states[i] = kept;
+        }
+
+        // Minimum-joules state that drains within the budget; none ⇒ the
+        // queue cannot meet the SLO at all, so yield to latency-optimal.
+        let Some(mut si) = states[n]
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.elapsed <= self.slo_budget)
+            .min_by(|(_, a), (_, b)| a.joules.partial_cmp(&b.joules).expect("finite"))
+            .map(|(idx, _)| idx)
+        else {
+            return DpScheduler.schedule(queue, costs);
+        };
+        let mut i = n;
+        let mut batches = Vec::new();
+        while i > 0 {
+            let st = states[i][si];
+            batches.push(order[st.from..i].to_vec());
+            si = st.parent;
+            i = st.from;
+        }
+        batches.reverse();
+        batches
+    }
+
+    fn name(&self) -> &'static str {
+        "Turbo-EnergyDP-Batch"
+    }
+}
+
 /// Exhaustive optimal batching over *contiguous sorted* partitions —
 /// exponential, test-only reference.
 pub fn brute_force_contiguous(queue: &[Request], costs: &CachedCost) -> (f64, Batching) {
@@ -631,6 +784,141 @@ mod tests {
         assert!(
             batching_cost(&queue, &tp, &costs) <= batching_cost(&queue, &lat, &costs) + 1e-12,
             "throughput DP must win its objective"
+        );
+    }
+
+    /// The table from `table()`, with an energy surface that rewards big
+    /// batches more than the cost surface does: a large per-batch static
+    /// term plus per-token dynamic energy. Minimizing joules then wants
+    /// fewer batches than minimizing seconds, so the objectives genuinely
+    /// diverge.
+    fn energy_table(max_batch: usize) -> CachedCost {
+        CachedCost::from_fn(600, max_batch, 1, |len, b| 1.0 + 0.01 * (len * b) as f64)
+            .with_energy_fn(|len, b| 40.0 + 0.05 * (len * b) as f64)
+    }
+
+    #[test]
+    fn sched_objective_reads_env_with_latency_fallback() {
+        std::env::remove_var("TT_SCHED_OBJECTIVE");
+        assert_eq!(SchedObjective::from_env(), SchedObjective::Latency);
+        std::env::set_var("TT_SCHED_OBJECTIVE", "Energy");
+        assert_eq!(SchedObjective::from_env(), SchedObjective::Energy);
+        std::env::set_var("TT_SCHED_OBJECTIVE", "frugal");
+        assert_eq!(SchedObjective::from_env(), SchedObjective::Latency);
+        std::env::remove_var("TT_SCHED_OBJECTIVE");
+        assert_eq!(SchedObjective::Energy.as_str(), "energy");
+    }
+
+    #[test]
+    fn energy_dp_matches_brute_force_under_budget() {
+        // Exactness: enumerate every contiguous sorted partition; among
+        // those draining within the budget, the DP must find the
+        // minimum-joules one.
+        let costs = energy_table(4);
+        for lens in
+            [&[5usize, 80, 300, 310][..], &[40, 45, 50, 55, 400], &[500], &[9, 9, 9, 9, 9, 9]]
+        {
+            let queue = reqs(lens);
+            // A budget between the latency optimum and the single-batch
+            // extreme, so the constraint actually bites.
+            let opt = batching_cost(&queue, &DpScheduler.schedule(&queue, &costs), &costs);
+            let budget = opt * 1.3;
+            let sched = EnergyAwareDpScheduler { slo_budget: budget };
+            let got = sched.schedule(&queue, &costs);
+            let got_energy = batching_energy(&queue, &got, &costs);
+            assert!(batching_cost(&queue, &got, &costs) <= budget + 1e-9);
+
+            let n = queue.len();
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&i| queue[i].len);
+            let mut best = f64::INFINITY;
+            for mask in 0u32..(1 << (n - 1)) {
+                let mut batching: Batching = Vec::new();
+                let mut cur = vec![order[0]];
+                for (k, &idx) in order.iter().enumerate().skip(1) {
+                    if mask & (1 << (k - 1)) != 0 {
+                        batching.push(std::mem::take(&mut cur));
+                    }
+                    cur.push(idx);
+                }
+                batching.push(cur);
+                if batching.iter().any(|b| b.len() > costs.max_batch()) {
+                    continue;
+                }
+                if batching_cost(&queue, &batching, &costs) > budget {
+                    continue;
+                }
+                best = best.min(batching_energy(&queue, &batching, &costs));
+            }
+            assert!(
+                (got_energy - best).abs() < 1e-9,
+                "energy DP {got_energy} vs brute {best} on {lens:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_objective_is_never_worse_than_slo() {
+        // The pinned SLO-safety property: with a feasible budget the
+        // energy schedule drains within it; with an infeasible budget the
+        // scheduler falls back to exactly the latency-optimal drain time.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let costs = energy_table(20);
+        for _ in 0..40 {
+            let n = rng.random_range(1..20);
+            let lens: Vec<usize> = (0..n).map(|_| rng.random_range(5..=500)).collect();
+            let queue = reqs(&lens);
+            let latency_opt = batching_cost(&queue, &DpScheduler.schedule(&queue, &costs), &costs);
+
+            let feasible = EnergyAwareDpScheduler { slo_budget: latency_opt * 1.5 };
+            let b = feasible.schedule(&queue, &costs);
+            assert!(
+                batching_cost(&queue, &b, &costs) <= latency_opt * 1.5 + 1e-9,
+                "energy schedule blew the SLO on {lens:?}"
+            );
+
+            let impossible = EnergyAwareDpScheduler { slo_budget: latency_opt * 0.5 };
+            let fb = impossible.schedule(&queue, &costs);
+            assert!(
+                (batching_cost(&queue, &fb, &costs) - latency_opt).abs() < 1e-9,
+                "infeasible budget must fall back to the latency optimum on {lens:?}"
+            );
+            // Every request is still served exactly once either way.
+            for batching in [&b, &fb] {
+                let mut seen: Vec<usize> = batching.iter().flatten().copied().collect();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..queue.len()).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn energy_objective_saves_joules_when_slack_allows() {
+        // Given SLO slack, the energy objective must find schedules that
+        // spend no more (and on diverging surfaces strictly fewer) joules
+        // than the latency optimum.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let costs = energy_table(20);
+        let mut strictly_better = 0usize;
+        for _ in 0..40 {
+            let n = rng.random_range(2..20);
+            let lens: Vec<usize> = (0..n).map(|_| rng.random_range(5..=500)).collect();
+            let queue = reqs(&lens);
+            let lat = DpScheduler.schedule(&queue, &costs);
+            let lat_time = batching_cost(&queue, &lat, &costs);
+            let en = EnergyAwareDpScheduler { slo_budget: lat_time * 1.5 }.schedule(&queue, &costs);
+            let (lat_j, en_j) =
+                (batching_energy(&queue, &lat, &costs), batching_energy(&queue, &en, &costs));
+            assert!(en_j <= lat_j + 1e-9, "energy objective lost its own objective on {lens:?}");
+            if en_j < lat_j - 1e-9 {
+                strictly_better += 1;
+            }
+        }
+        assert!(
+            strictly_better >= 10,
+            "objectives should diverge on this surface, got {strictly_better}/40"
         );
     }
 

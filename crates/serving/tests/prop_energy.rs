@@ -1,0 +1,62 @@
+//! Property test of the live engine's energy attribution contract:
+//! per-request microjoule shares must sum **exactly** (integer-exact, no
+//! float drift) to the runtime's energy-meter counter delta, for any mix
+//! of concurrent variable-length request streams.
+//!
+//! The engine splits each executed batch's metered total into equal
+//! integer shares with the remainder spread over the first rows; because
+//! the runtime adds the *same* `u64` total to the meter that it returns
+//! in `EncoderRun.energy_uj`, the reconciliation is a hard equality — the
+//! property pins it across arbitrary batch formations.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use tt_gpusim::device::DeviceKind;
+use tt_model::bert::{Bert, BertConfig};
+use tt_runtime::{RuntimeConfig, TurboRuntime};
+use tt_serving::scheduler::DpScheduler;
+use tt_serving::{live::LiveEngine, CachedCost};
+use tt_telemetry::{EnergyMeter, EnergyPhase};
+
+proptest! {
+    // Each case spins up a real engine with real numerics; keep the case
+    // count small — the property is about batch-split arithmetic, and a
+    // handful of random stream mixes covers every remainder pattern.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn concurrent_stream_energy_shares_sum_to_the_meter_delta(
+        lens in prop::collection::vec(1usize..48, 1..12),
+    ) {
+        let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+        let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+        let meter = Arc::new(EnergyMeter::new());
+        runtime.instrument_energy(meter.clone());
+        let costs =
+            Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+        let eng = LiveEngine::start(model, runtime, Arc::new(DpScheduler), costs);
+
+        let handles: Vec<_> = lens
+            .iter()
+            .enumerate()
+            .map(|(t, &len)| {
+                let client = eng.client();
+                std::thread::spawn(move || {
+                    let tokens: Vec<u32> = (0..len as u32).map(|i| (i + t as u32) % 90).collect();
+                    client.infer(tokens).energy_uj
+                })
+            })
+            .collect();
+        let shares: Vec<u64> = handles.into_iter().map(|h| h.join().expect("client")).collect();
+        prop_assert_eq!(eng.shutdown(), lens.len());
+
+        prop_assert!(shares.iter().all(|&e| e > 0), "every request carries modeled joules");
+        prop_assert_eq!(
+            shares.iter().sum::<u64>(),
+            meter.phase_uj(EnergyPhase::Prefill),
+            "attribution must reconcile exactly with the counter delta"
+        );
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod energy;
 pub mod histogram;
 pub mod metrics;
 pub mod registry;
@@ -49,6 +50,10 @@ pub mod timer;
 pub mod trace;
 
 pub use chrome::chrome_trace_json;
+pub use energy::{
+    EnergyMeter, EnergyPhase, EnergySampler, EnergySamplerConfig, ModeledPowerSource, PowerReading,
+    PowerSource,
+};
 pub use histogram::{
     bucket_index, bucket_lower, bucket_upper, Histogram, HistogramSnapshot, BUCKETS,
 };
