@@ -25,10 +25,13 @@ use tt_model::gpt::{Gpt, GptConfig};
 use tt_runtime::decode::DecodeEnergyModel;
 use tt_runtime::{RuntimeConfig, RuntimeKind, TurboRuntime};
 use tt_serving::generate::start_engine_with_energy;
-use tt_serving::http::{GenerateHandler, HttpConfig, HttpServer, VocabGuard};
-use tt_serving::live::LiveEngine;
+use tt_serving::http::{GenerateHandler, HttpConfig, HttpServer, InferHandler, VocabGuard};
+use tt_serving::live::{spawn_core, LiveEngine};
 use tt_serving::scheduler::{BatchScheduler, InstrumentedScheduler};
-use tt_serving::{CachedCost, DpScheduler, EnergyAwareDpScheduler, GenConfig, SchedObjective};
+use tt_serving::supervisor::{ReplicaFactory, ReplicaParts};
+use tt_serving::{
+    CachedCost, DpScheduler, EnergyAwareDpScheduler, Fleet, FleetConfig, GenConfig, SchedObjective,
+};
 use tt_telemetry::{
     EnergyMeter, EnergySampler, EnergySamplerConfig, ModeledPowerSource, Registry, Tracer,
 };
@@ -106,14 +109,6 @@ fn main() {
         objective.as_str()
     );
     let scheduler = Arc::new(InstrumentedScheduler::new(base_scheduler, &registry));
-    let engine = LiveEngine::start_traced(
-        model,
-        runtime,
-        scheduler,
-        costs.clone(),
-        &registry,
-        tracer.clone(),
-    );
 
     // A decoder-only GPT behind the streaming route, scheduled by the
     // continuous-batching engine over the paged KV arena. Sized from the
@@ -123,21 +118,93 @@ fn main() {
         "base" => GptConfig::small(),
         _ => GptConfig::tiny(),
     };
-    println!("loading GPT ({model_kind}) …");
-    let gpt = Gpt::new_random(&gpt_config, 2024);
-    let gen_engine = start_engine_with_energy(
-        gpt,
-        GenConfig::from_env(),
-        costs.clone(),
-        Some(&registry),
-        tracer.clone(),
-        Some(DecodeEnergyModel {
-            device: device_kind.config(),
-            profile: RuntimeKind::Turbo.profile(),
-            meter: meter.clone(),
-        }),
-    );
-    let generate: Arc<dyn GenerateHandler> = Arc::new(gen_engine.client());
+    let gen_config = GenConfig::from_env();
+    let energy_model = DecodeEnergyModel {
+        device: device_kind.config(),
+        profile: RuntimeKind::Turbo.profile(),
+        meter: meter.clone(),
+    };
+
+    // TT_FLEET_REPLICAS > 1 swaps the single engine pair for a supervised
+    // N-replica fleet behind the health-gated router: watchdog-bounced
+    // replicas, circuit-breaker routing, bounded deadline-aware retries,
+    // optional hedging (TT_HEDGE_MS). Each incarnation rebuilds its own
+    // engine pair from this factory — a bounce reloads weights, exactly
+    // like a process restart would. See docs/ROBUSTNESS.md § Fleet.
+    let fleet_config = FleetConfig::from_env();
+    let (handler, generate, _engines): (
+        Arc<dyn InferHandler>,
+        Arc<dyn GenerateHandler>,
+        Box<dyn std::any::Any>,
+    ) = if fleet_config.replicas > 1 {
+        println!(
+            "fleet: {} supervised replicas (TT_FLEET_REPLICAS), hedge={:?} (TT_HEDGE_MS)",
+            fleet_config.replicas, fleet_config.hedge
+        );
+        let factory: ReplicaFactory = {
+            let model = model.clone();
+            let runtime = runtime.clone();
+            let scheduler = scheduler.clone();
+            let costs = costs.clone();
+            let registry = registry.clone();
+            let tracer = tracer.clone();
+            let gpt_config = gpt_config.clone();
+            let energy_model = energy_model.clone();
+            Arc::new(move |id, _generation| {
+                let live = spawn_core(
+                    model.clone(),
+                    runtime.clone(),
+                    scheduler.clone(),
+                    costs.clone(),
+                    Some(&registry),
+                    tracer.clone(),
+                    id,
+                );
+                let gpt = Gpt::new_random(&gpt_config, 2024);
+                let generative = start_engine_with_energy(
+                    gpt,
+                    gen_config,
+                    costs.clone(),
+                    Some(&registry),
+                    tracer.clone(),
+                    Some(energy_model.clone()),
+                )
+                .into_parts();
+                ReplicaParts { live, generative: Some(generative) }
+            })
+        };
+        let fleet = Fleet::start(factory, fleet_config, costs.clone(), Some(&registry));
+        (
+            Arc::new(VocabGuard::new(fleet.clone(), bert_config.vocab_size)),
+            Arc::new(fleet),
+            Box::new(()),
+        )
+    } else {
+        let engine = LiveEngine::start_traced(
+            model,
+            runtime,
+            scheduler,
+            costs.clone(),
+            &registry,
+            tracer.clone(),
+        );
+        println!("loading GPT ({model_kind}) …");
+        let gpt = Gpt::new_random(&gpt_config, 2024);
+        let gen_engine = start_engine_with_energy(
+            gpt,
+            gen_config,
+            costs.clone(),
+            Some(&registry),
+            tracer.clone(),
+            Some(energy_model),
+        );
+        let generate: Arc<dyn GenerateHandler> = Arc::new(gen_engine.client());
+        // Vocabulary admission check at the boundary: an out-of-range
+        // token id is a client error (400), not an engine incident.
+        let handler: Arc<dyn InferHandler> =
+            Arc::new(VocabGuard::new(engine.client(), bert_config.vocab_size));
+        (handler, generate, Box::new((engine, gen_engine)))
+    };
 
     // RAPL-style background sampler: turns the meter's microjoule counters
     // into power_watts / energy_joules_total / joules-per-request families
@@ -163,9 +230,6 @@ fn main() {
     if _sampler.is_none() {
         println!("energy sampler: off (TT_ENERGY=0)");
     }
-    // Vocabulary admission check at the boundary: an out-of-range token id
-    // is a client error (400), not an engine incident.
-    let handler = Arc::new(VocabGuard::new(engine.client(), bert_config.vocab_size));
     // Hand the admission controller the engine's cost table: SLO-aware
     // admission prices each request (queue-wait p99 + execution estimate)
     // against its deadline and sheds predictable violations up front.

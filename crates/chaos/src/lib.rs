@@ -21,6 +21,14 @@
 //! | [`FaultPoint::ConnDrop`] | mid-response write | client sees a truncated response |
 //! | [`FaultPoint::ConnStall`] | when a connection becomes readable | read deferred through the reactor's timer wheel — a synthetic slow peer |
 //! | [`FaultPoint::KvAllocFail`] | when the paged KV arena allocates a page | sequence gets a typed error, pages reclaimed |
+//! | [`FaultPoint::ReplicaPanic`] | top of a supervised engine replica's loop | replica thread dies, supervisor restarts it |
+//! | [`FaultPoint::ReplicaStall`] | top of a supervised engine replica's loop | heartbeat stops, watchdog declares the replica stalled |
+//! | [`FaultPoint::ReplicaSlow`] | per batch in a supervised replica | latency inflation → router degrades the replica |
+//!
+//! The three replica-scoped points additionally honor `replica_target`
+//! (`TT_CHAOS_REPLICA`): when ≥ 0, only the replica with that index is
+//! eligible to fire — the fleet bench kills exactly one of N replicas and
+//! measures how the rest absorb the load.
 //!
 //! ## Zero cost when disabled
 //!
@@ -57,14 +65,20 @@
 //! | `TT_CHAOS_CONN_STALL` | probability a readable connection's processing is deferred |
 //! | `TT_CHAOS_CONN_STALL_MS` | deferral length, milliseconds |
 //! | `TT_CHAOS_KV_ALLOC_FAIL` | probability a paged KV page allocation fails |
+//! | `TT_CHAOS_REPLICA_PANIC` | probability a supervised replica's loop panics |
+//! | `TT_CHAOS_REPLICA_STALL` | probability a supervised replica's loop stalls (heartbeat stops) |
+//! | `TT_CHAOS_REPLICA_STALL_MS` | stall length, milliseconds |
+//! | `TT_CHAOS_REPLICA_SLOW` | probability a supervised replica's batch is delayed (heartbeat keeps ticking) |
+//! | `TT_CHAOS_REPLICA_SLOW_MS` | delay per fired slowdown, milliseconds |
+//! | `TT_CHAOS_REPLICA` | replica index the replica-scoped points target (-1 = all replicas) |
 //! | `TT_CHAOS_SEED` | SplitMix64 seed for the fire decisions |
 
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
-/// The seven fault classes the stack can inject.
+/// The ten fault classes the stack can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultPoint {
     /// An operator dispatch in the executor panics.
@@ -82,10 +96,22 @@ pub enum FaultPoint {
     /// A readable connection's processing is deferred — the reactor parks
     /// it on the timer wheel as if the peer had paused mid-send.
     ConnStall,
+    /// A supervised engine replica's loop panics — the whole replica
+    /// thread dies (not a caught per-batch panic) and the supervisor must
+    /// detect the death and restart it.
+    ReplicaPanic,
+    /// A supervised engine replica's loop stalls without ticking its
+    /// heartbeat — a synthetic hang the watchdog's liveness deadline must
+    /// catch.
+    ReplicaStall,
+    /// A supervised engine replica runs slow (extra per-batch latency with
+    /// the heartbeat still ticking) — the degraded-but-alive mode the
+    /// router's health state machine must route around.
+    ReplicaSlow,
 }
 
 /// Every fault point, in declaration order (indexable by `as usize`).
-pub const FAULT_POINTS: [FaultPoint; 7] = [
+pub const FAULT_POINTS: [FaultPoint; 10] = [
     FaultPoint::ExecutorOpPanic,
     FaultPoint::OpSlowdown,
     FaultPoint::AllocPlanFail,
@@ -93,6 +119,9 @@ pub const FAULT_POINTS: [FaultPoint; 7] = [
     FaultPoint::ConnDrop,
     FaultPoint::KvAllocFail,
     FaultPoint::ConnStall,
+    FaultPoint::ReplicaPanic,
+    FaultPoint::ReplicaStall,
+    FaultPoint::ReplicaSlow,
 ];
 
 impl FaultPoint {
@@ -106,6 +135,9 @@ impl FaultPoint {
             FaultPoint::ConnDrop => "conn_drop",
             FaultPoint::KvAllocFail => "kv_alloc_fail",
             FaultPoint::ConnStall => "conn_stall",
+            FaultPoint::ReplicaPanic => "replica_panic",
+            FaultPoint::ReplicaStall => "replica_stall",
+            FaultPoint::ReplicaSlow => "replica_slow",
         }
     }
 
@@ -139,6 +171,20 @@ pub struct ChaosConfig {
     pub conn_stall_ms: u64,
     /// Probability a paged KV arena page allocation fails.
     pub kv_alloc_fail: f64,
+    /// Probability a supervised replica's engine loop panics.
+    pub replica_panic: f64,
+    /// Probability a supervised replica's engine loop stalls (heartbeat
+    /// stops ticking for `replica_stall_ms`).
+    pub replica_stall: f64,
+    /// Stall length when a replica stall fires.
+    pub replica_stall_ms: u64,
+    /// Probability a supervised replica's batch is delayed (heartbeat
+    /// keeps ticking — degraded, not dead).
+    pub replica_slow: f64,
+    /// Delay per fired replica slowdown.
+    pub replica_slow_ms: u64,
+    /// Replica index the replica-scoped points target; -1 targets all.
+    pub replica_target: i64,
     /// Seed for the deterministic fire decisions.
     pub seed: u64,
 }
@@ -156,6 +202,12 @@ impl Default for ChaosConfig {
             conn_stall: 0.0,
             conn_stall_ms: 20,
             kv_alloc_fail: 0.0,
+            replica_panic: 0.0,
+            replica_stall: 0.0,
+            replica_stall_ms: 200,
+            replica_slow: 0.0,
+            replica_slow_ms: 10,
+            replica_target: -1,
             seed: 0,
         }
     }
@@ -182,6 +234,12 @@ impl ChaosConfig {
             conn_stall: env("TT_CHAOS_CONN_STALL", d.conn_stall),
             conn_stall_ms: env("TT_CHAOS_CONN_STALL_MS", d.conn_stall_ms),
             kv_alloc_fail: env("TT_CHAOS_KV_ALLOC_FAIL", d.kv_alloc_fail),
+            replica_panic: env("TT_CHAOS_REPLICA_PANIC", d.replica_panic),
+            replica_stall: env("TT_CHAOS_REPLICA_STALL", d.replica_stall),
+            replica_stall_ms: env("TT_CHAOS_REPLICA_STALL_MS", d.replica_stall_ms),
+            replica_slow: env("TT_CHAOS_REPLICA_SLOW", d.replica_slow),
+            replica_slow_ms: env("TT_CHAOS_REPLICA_SLOW_MS", d.replica_slow_ms),
+            replica_target: env("TT_CHAOS_REPLICA", d.replica_target),
             seed: env("TT_CHAOS_SEED", d.seed),
         }
     }
@@ -196,6 +254,9 @@ impl ChaosConfig {
             self.conn_drop,
             self.conn_stall,
             self.kv_alloc_fail,
+            self.replica_panic,
+            self.replica_stall,
+            self.replica_slow,
         ]
         .iter()
         .any(|&p| p > 0.0)
@@ -210,6 +271,9 @@ impl ChaosConfig {
             FaultPoint::ConnDrop => self.conn_drop,
             FaultPoint::ConnStall => self.conn_stall,
             FaultPoint::KvAllocFail => self.kv_alloc_fail,
+            FaultPoint::ReplicaPanic => self.replica_panic,
+            FaultPoint::ReplicaStall => self.replica_stall,
+            FaultPoint::ReplicaSlow => self.replica_slow,
         }
     }
 }
@@ -220,22 +284,28 @@ struct ChaosState {
     armed: AtomicBool,
     /// Fire threshold per point: `floor(p · 2⁶⁴)` so a uniform u64 draw
     /// `< threshold` fires with probability `p` (saturated for `p ≥ 1`).
-    thresholds: [AtomicU64; 7],
-    fired: [AtomicU64; 7],
+    thresholds: [AtomicU64; 10],
+    fired: [AtomicU64; 10],
     op_slowdown_ms: AtomicU64,
     worker_stall_ms: AtomicU64,
     conn_stall_ms: AtomicU64,
+    replica_stall_ms: AtomicU64,
+    replica_slow_ms: AtomicU64,
+    replica_target: AtomicI64,
     seed: AtomicU64,
     draws: AtomicU64,
 }
 
 static STATE: ChaosState = ChaosState {
     armed: AtomicBool::new(false),
-    thresholds: [const { AtomicU64::new(0) }; 7],
-    fired: [const { AtomicU64::new(0) }; 7],
+    thresholds: [const { AtomicU64::new(0) }; 10],
+    fired: [const { AtomicU64::new(0) }; 10],
     op_slowdown_ms: AtomicU64::new(0),
     worker_stall_ms: AtomicU64::new(0),
     conn_stall_ms: AtomicU64::new(0),
+    replica_stall_ms: AtomicU64::new(0),
+    replica_slow_ms: AtomicU64::new(0),
+    replica_target: AtomicI64::new(-1),
     seed: AtomicU64::new(0),
     draws: AtomicU64::new(0),
 };
@@ -266,6 +336,9 @@ pub fn install(config: ChaosConfig) {
     STATE.op_slowdown_ms.store(config.op_slowdown_ms, Ordering::SeqCst);
     STATE.worker_stall_ms.store(config.worker_stall_ms, Ordering::SeqCst);
     STATE.conn_stall_ms.store(config.conn_stall_ms, Ordering::SeqCst);
+    STATE.replica_stall_ms.store(config.replica_stall_ms, Ordering::SeqCst);
+    STATE.replica_slow_ms.store(config.replica_slow_ms, Ordering::SeqCst);
+    STATE.replica_target.store(config.replica_target, Ordering::SeqCst);
     STATE.seed.store(config.seed, Ordering::SeqCst);
     STATE.draws.store(0, Ordering::SeqCst);
     STATE.armed.store(config.any_armed(), Ordering::SeqCst);
@@ -384,8 +457,55 @@ pub fn kv_alloc_fail() -> bool {
     fires(FaultPoint::KvAllocFail)
 }
 
+/// Whether the replica-scoped points are eligible to fire on `replica`:
+/// either no target is set (-1 = all replicas) or the indices match.
+#[inline]
+fn replica_targeted(replica: usize) -> bool {
+    let target = STATE.replica_target.load(Ordering::Relaxed);
+    target < 0 || target as usize == replica
+}
+
+/// [`fires`] for the replica-scoped points: same single-load fast path,
+/// plus the target filter so a drill can aim at exactly one replica.
+#[inline]
+fn fires_replica(point: FaultPoint, replica: usize) -> bool {
+    if !STATE.armed.load(Ordering::Relaxed) {
+        return false;
+    }
+    replica_targeted(replica) && fires_slow(point)
+}
+
+/// Supervised-engine hook: panic the replica's loop thread if
+/// [`FaultPoint::ReplicaPanic`] fires. Placed *outside* the per-batch
+/// `catch_unwind`, so firing kills the whole replica thread — the fault
+/// the supervisor's watchdog exists to detect and repair.
+#[inline]
+pub fn replica_panic(replica: usize) {
+    if fires_replica(FaultPoint::ReplicaPanic, replica) {
+        panic!("tt-chaos: injected replica panic (replica {replica})");
+    }
+}
+
+/// Supervised-engine hook: the stall to apply if
+/// [`FaultPoint::ReplicaStall`] fires. The loop sleeps this long *without*
+/// ticking its heartbeat — a synthetic hang for the liveness deadline.
+#[inline]
+pub fn replica_stall(replica: usize) -> Option<Duration> {
+    fires_replica(FaultPoint::ReplicaStall, replica)
+        .then(|| Duration::from_millis(STATE.replica_stall_ms.load(Ordering::Relaxed)))
+}
+
+/// Supervised-engine hook: the per-batch delay to apply if
+/// [`FaultPoint::ReplicaSlow`] fires. The heartbeat keeps ticking — the
+/// replica is degraded, not dead, and the router must notice via latency.
+#[inline]
+pub fn replica_slow(replica: usize) -> Option<Duration> {
+    fires_replica(FaultPoint::ReplicaSlow, replica)
+        .then(|| Duration::from_millis(STATE.replica_slow_ms.load(Ordering::Relaxed)))
+}
+
 /// How many times each point has fired since the last [`install`].
-pub fn fired_counts() -> [(FaultPoint, u64); 7] {
+pub fn fired_counts() -> [(FaultPoint, u64); 10] {
     FAULT_POINTS.map(|p| (p, STATE.fired[p.index()].load(Ordering::Relaxed)))
 }
 
@@ -484,6 +604,36 @@ mod tests {
         });
         assert_eq!(op_slowdown(), Some(Duration::from_millis(3)));
         assert_eq!(worker_stall(), Some(Duration::from_millis(17)));
+        disarm();
+    }
+
+    #[test]
+    fn replica_faults_honor_the_target_filter() {
+        let _guard = locked();
+        install(ChaosConfig {
+            replica_stall: 1.0,
+            replica_stall_ms: 7,
+            replica_slow: 1.0,
+            replica_slow_ms: 3,
+            replica_target: 1,
+            ..Default::default()
+        });
+        assert!(replica_stall(0).is_none(), "untargeted replica never fires");
+        assert!(replica_slow(2).is_none());
+        assert_eq!(replica_stall(1), Some(Duration::from_millis(7)));
+        assert_eq!(replica_slow(1), Some(Duration::from_millis(3)));
+        let counts = fired_counts();
+        assert_eq!(counts[FaultPoint::ReplicaStall as usize].1, 1);
+        assert_eq!(counts[FaultPoint::ReplicaSlow as usize].1, 1);
+
+        // Target -1 hits every replica.
+        install(ChaosConfig { replica_panic: 1.0, ..Default::default() });
+        for replica in 0..3 {
+            let err = std::panic::catch_unwind(|| replica_panic(replica)).unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains(&format!("replica {replica}")), "panic message: {msg}");
+        }
+        assert_eq!(fired_counts()[FaultPoint::ReplicaPanic as usize].1, 3);
         disarm();
     }
 

@@ -375,6 +375,26 @@ impl GenEngine {
         let handle = self.handle.take().expect("shutdown runs once");
         handle.join().expect("generation engine thread exits cleanly")
     }
+
+    /// Dismantle into raw parts for a caller that manages teardown itself
+    /// (the fleet supervisor): dropping every clone of the client ends the
+    /// loop, and joining the handle yields the leak-checked
+    /// [`GenSummary`]. The caller takes over the
+    /// [`shutdown`](Self::shutdown) obligation.
+    pub fn into_parts(mut self) -> GenParts {
+        let client = self.client.take().expect("engine not shut down");
+        let handle = self.handle.take().expect("engine not shut down");
+        GenParts { client, handle }
+    }
+}
+
+/// The raw pieces of a running generation engine (see
+/// [`GenEngine::into_parts`]).
+pub struct GenParts {
+    /// Submission handle.
+    pub client: GenClient,
+    /// Join handle; resolves to the engine's exit summary.
+    pub handle: JoinHandle<GenSummary>,
 }
 
 impl Drop for GenEngine {
@@ -733,30 +753,37 @@ mod tests {
 
     #[test]
     fn concurrent_mixed_length_requests_share_iterations() {
-        let model = Gpt::new_random(&GptConfig::tiny(), 32);
-        let prompts: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![7, 8], vec![4, 9, 13, 2]];
-        let wants: Vec<usize> = vec![12, 4, 8];
-        let expects: Vec<Vec<u32>> =
-            prompts.iter().zip(&wants).map(|(p, &n)| model.generate_greedy(p, n)).collect();
-        let eng = GenEngine::start(model, config(), costs());
-        let streams: Vec<_> = prompts
-            .iter()
-            .zip(&wants)
-            .map(|(p, &n)| eng.client().generate(p.clone(), n).unwrap())
-            .collect();
-        for (rx, expect) in streams.iter().zip(&expects) {
-            let (tokens, finish) = GenClient::collect(rx);
-            assert_eq!(&tokens, expect);
-            assert_eq!(finish, Some(FinishReason::Length));
+        // On a single-core box the engine thread can win the race and
+        // fully decode the first stream before the later submissions
+        // land, so the concurrency assertion gets a few attempts;
+        // correctness stays strict on every attempt.
+        let mut max_active = 0;
+        for _ in 0..3 {
+            let model = Gpt::new_random(&GptConfig::tiny(), 32);
+            let prompts: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![7, 8], vec![4, 9, 13, 2]];
+            let wants: Vec<usize> = vec![12, 4, 8];
+            let expects: Vec<Vec<u32>> =
+                prompts.iter().zip(&wants).map(|(p, &n)| model.generate_greedy(p, n)).collect();
+            let eng = GenEngine::start(model, config(), costs());
+            let streams: Vec<_> = prompts
+                .iter()
+                .zip(&wants)
+                .map(|(p, &n)| eng.client().generate(p.clone(), n).unwrap())
+                .collect();
+            for (rx, expect) in streams.iter().zip(&expects) {
+                let (tokens, finish) = GenClient::collect(rx);
+                assert_eq!(&tokens, expect);
+                assert_eq!(finish, Some(FinishReason::Length));
+            }
+            let summary = eng.shutdown();
+            assert_eq!(summary.completed, 3);
+            assert_eq!(summary.pages_leaked, 0);
+            max_active = max_active.max(summary.max_active_observed);
+            if max_active >= 2 {
+                return;
+            }
         }
-        let summary = eng.shutdown();
-        assert_eq!(summary.completed, 3);
-        assert_eq!(summary.pages_leaked, 0);
-        assert!(
-            summary.max_active_observed >= 2,
-            "requests decoded in the same iterations (observed {})",
-            summary.max_active_observed
-        );
+        panic!("requests never decoded in the same iterations (max active {max_active})");
     }
 
     #[test]

@@ -90,7 +90,7 @@ mod threaded;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -863,6 +863,7 @@ impl HttpServer {
         if let Some(mut driver) = self.driver.take() {
             driver.join();
         }
+        sync_chaos_metrics(&self.shared.registry);
         self.shared.registry.render_prometheus()
     }
 
@@ -894,12 +895,15 @@ type Response = (u16, String, Vec<u8>, Vec<(String, String)>);
 fn dispatch(request: &HttpRequest, shared: &ServerShared) -> Response {
     match (request.method.as_str(), request.path()) {
         ("GET", "/healthz") => json_response(200, "{\"status\":\"ok\"}".into()),
-        ("GET", "/metrics") => (
-            200,
-            "text/plain; version=0.0.4".to_string(),
-            shared.registry.render_prometheus().into_bytes(),
-            Vec::new(),
-        ),
+        ("GET", "/metrics") => {
+            sync_chaos_metrics(&shared.registry);
+            (
+                200,
+                "text/plain; version=0.0.4".to_string(),
+                shared.registry.render_prometheus().into_bytes(),
+                Vec::new(),
+            )
+        }
         ("POST", "/v1/infer") => infer_route(request, shared),
         ("GET", p) if p.starts_with("/v1/traces/") => traces_route(p, shared),
         (_, "/healthz" | "/metrics" | "/v1/infer" | "/v1/generate") => {
@@ -909,6 +913,30 @@ fn dispatch(request: &HttpRequest, shared: &ServerShared) -> Response {
             error_body(405, &format!("{} not allowed on {}", request.method, request.path()))
         }
         _ => error_body(404, &format!("no route for {}", request.path())),
+    }
+}
+
+/// Scrape-time sync of the `tt-chaos` fire counters into the registry as
+/// `chaos_fired_total{point}`. The chaos counters are process-global raw
+/// totals that [`tt_chaos::install`] resets on re-arm, while registry
+/// counters are monotone — so this folds *deltas* in (a raw value below
+/// the last-seen one means a reset happened, and the raw value itself is
+/// the delta). Every injection point is registered even at zero, so the
+/// family is visible to a scraper before the first fault fires.
+fn sync_chaos_metrics(registry: &Registry) {
+    const POINTS: usize = tt_chaos::FAULT_POINTS.len();
+    static LAST_SEEN: [AtomicU64; POINTS] = [const { AtomicU64::new(0) }; POINTS];
+    for (i, (point, fired)) in tt_chaos::fired_counts().into_iter().enumerate() {
+        let last = LAST_SEEN[i].swap(fired, Ordering::Relaxed);
+        let delta = if fired >= last { fired - last } else { fired };
+        let counter = registry.counter(
+            "chaos_fired_total",
+            "Chaos faults fired, by injection point",
+            &[("point", point.name())],
+        );
+        if delta > 0 {
+            counter.add(delta);
+        }
     }
 }
 

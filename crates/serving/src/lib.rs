@@ -44,6 +44,14 @@
 //!   functionality): versioned handles, blue/green default switching;
 //! - [`multi_model`] — several model classes sharing one GPU
 //!   (earliest-deadline-first, the Nexus scenario) with SLO load shedding;
+//! - [`supervisor`] — watchdog-supervised engine replicas: heartbeat
+//!   liveness, panic/stall detection, leak-checked teardown and restart
+//!   under a fresh generation stamp, typed errors for in-flight work;
+//! - [`router`] — the [`Fleet`] front: health-gated (circuit breaker)
+//!   least-estimated-work dispatch over supervised replicas, with
+//!   optional hedged dispatch for the idempotent infer path;
+//! - [`retry`] — bounded deadline-aware retries: seeded
+//!   decorrelated-jitter backoff plus a global retry budget;
 //! - [`stats`] — latency accumulation (avg / min / max / percentiles).
 
 #![warn(missing_docs)]
@@ -58,9 +66,12 @@ pub mod live;
 pub mod multi_model;
 pub mod registry;
 pub mod request;
+pub mod retry;
+pub mod router;
 pub mod scheduler;
 pub mod simulator;
 pub mod stats;
+pub mod supervisor;
 
 pub use cost_table::CachedCost;
 pub use deadline::Deadline;
@@ -69,9 +80,14 @@ pub use http::{
     GenerateHandler, HttpConfig, HttpServer, InferError, InferHandler, InferReply, VocabGuard,
 };
 pub use request::{LengthDist, Request, WorkloadSpec};
+pub use retry::{Backoff, RetryBudget, RetryConfig};
+pub use router::{Fleet, FleetConfig, HealthConfig, HealthState};
 pub use scheduler::{
     BatchScheduler, DpScheduler, EnergyAwareDpScheduler, InstrumentedScheduler, LatencyDpScheduler,
     MemoryAwareDpScheduler, NaiveBatchScheduler, NoBatchScheduler, PadToMaxScheduler,
     SchedObjective,
 };
 pub use simulator::{simulate, ServingConfig, ServingReport, Trigger};
+pub use supervisor::{
+    ReplicaFactory, ReplicaParts, ReplicaReport, SupervisedReplica, SupervisorConfig,
+};

@@ -15,11 +15,12 @@
 //! serve as the integration point a real deployment would replace the
 //! simulated clock with.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 
 use tt_model::bert::Bert;
 use tt_model::pad_batch;
@@ -142,6 +143,75 @@ impl LiveMetrics {
     }
 }
 
+/// How often a *supervised* engine loop wakes from an idle queue poll to
+/// tick its heartbeat (an unsupervised loop blocks indefinitely instead).
+const HEARTBEAT_POLL: Duration = Duration::from_millis(25);
+
+/// A replica engine loop's liveness signal: a monotone beat counter plus
+/// the wall-clock age of the latest beat, shared between the loop (which
+/// ticks it every iteration, idle or busy) and the supervisor's watchdog
+/// (which declares the replica stalled when the age crosses the liveness
+/// deadline). Cheaply cloneable; all clones observe the same signal.
+#[derive(Clone)]
+pub struct Heartbeat {
+    inner: Arc<HeartbeatInner>,
+}
+
+struct HeartbeatInner {
+    /// Fixed epoch so beat timestamps are plain nanosecond offsets.
+    epoch: Instant,
+    last_beat_ns: AtomicU64,
+    beats: AtomicU64,
+}
+
+impl Heartbeat {
+    /// A fresh heartbeat, ticked once at creation (a replica is presumed
+    /// alive until its first liveness deadline elapses).
+    pub fn new() -> Self {
+        let hb = Heartbeat {
+            inner: Arc::new(HeartbeatInner {
+                epoch: Instant::now(),
+                last_beat_ns: AtomicU64::new(0),
+                beats: AtomicU64::new(0),
+            }),
+        };
+        hb.tick();
+        hb
+    }
+
+    /// Record a beat now.
+    pub fn tick(&self) {
+        let now = self.inner.epoch.elapsed().as_nanos() as u64;
+        self.inner.last_beat_ns.store(now, Ordering::Release);
+        self.inner.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Wall-clock time since the latest beat.
+    pub fn age(&self) -> Duration {
+        let now = self.inner.epoch.elapsed().as_nanos() as u64;
+        Duration::from_nanos(now.saturating_sub(self.inner.last_beat_ns.load(Ordering::Acquire)))
+    }
+
+    /// Total beats recorded.
+    pub fn beats(&self) -> u64 {
+        self.inner.beats.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Heartbeat {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Supervision context threaded into a replica's engine loop: the loop
+/// ticks the heartbeat every iteration and exposes itself to the
+/// replica-scoped chaos points under its fleet index.
+struct Supervision {
+    replica: usize,
+    heartbeat: Heartbeat,
+}
+
 /// A submitted inference job.
 struct Job {
     tokens: Vec<u32>,
@@ -238,6 +308,22 @@ impl LiveClient {
         trace: Option<SpanContext>,
         deadline: Option<Deadline>,
     ) -> Result<LiveResponse, LiveError> {
+        // A dropped reply channel (poisoned batch, engine shutdown) reads
+        // as a closed channel here.
+        self.submit_job(tokens, trace, deadline)?.recv().unwrap_or(Err(LiveError::Unavailable))
+    }
+
+    /// The submission half of [`infer_request`](Self::infer_request):
+    /// enqueue the job and hand back its one-shot reply channel instead of
+    /// blocking on it. A supervisor uses this to wait with a timeout and
+    /// bail out with a typed error when the replica is torn down while the
+    /// job is in flight — the caller must never hang on a bounced replica.
+    pub fn submit_job(
+        &self,
+        tokens: Vec<u32>,
+        trace: Option<SpanContext>,
+        deadline: Option<Deadline>,
+    ) -> Result<Receiver<Result<LiveResponse, LiveError>>, LiveError> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
             .send(Job { tokens, submitted: Instant::now(), reply: reply_tx, trace, deadline })
@@ -245,9 +331,7 @@ impl LiveClient {
         if let Some(depth) = &self.queue_depth {
             depth.add(1.0);
         }
-        // A dropped reply channel (poisoned batch, engine shutdown) reads
-        // as a closed channel here.
-        reply_rx.recv().unwrap_or(Err(LiveError::Unavailable))
+        Ok(reply_rx)
     }
 }
 
@@ -311,7 +395,7 @@ impl LiveEngine {
         let queue_depth = metrics.as_ref().map(|m| m.queue_depth.clone());
         let handle = std::thread::Builder::new()
             .name("tt-serving-engine".into())
-            .spawn(move || engine_loop(rx, model, runtime, scheduler, costs, metrics, tracer))
+            .spawn(move || engine_loop(rx, model, runtime, scheduler, costs, metrics, tracer, None))
             .expect("spawning the engine thread");
         LiveEngine { client: Some(LiveClient { tx, queue_depth }), handle: Some(handle) }
     }
@@ -341,8 +425,56 @@ impl Drop for LiveEngine {
     }
 }
 
+/// The raw pieces of one spawned engine-loop thread, for a caller that
+/// manages teardown and restart itself (the fleet supervisor), as opposed
+/// to [`LiveEngine`], which owns its thread for the engine's whole life.
+pub struct LiveCore {
+    /// Submission handle for this replica.
+    pub client: LiveClient,
+    /// The loop's liveness signal (ticked every iteration, idle included).
+    pub heartbeat: Heartbeat,
+    /// Join handle; resolves to the number of requests served.
+    pub handle: JoinHandle<usize>,
+}
+
+/// Spawn one *supervised* engine-loop thread serving `model`. Unlike
+/// [`LiveEngine::start`], the caller owns teardown/restart: the loop polls
+/// its queue with a timeout instead of blocking so the returned
+/// [`Heartbeat`] ticks even when idle, and it honors the replica-scoped
+/// chaos points ([`tt_chaos::replica_panic`] and friends) under fleet
+/// index `replica`. When `registry` is `Some`, the loop reports into the
+/// same unlabeled `live_*` metric families as a [`LiveEngine`] — replicas
+/// sharing one registry aggregate into fleet-wide series.
+pub fn spawn_core(
+    model: Arc<Bert>,
+    runtime: Arc<TurboRuntime>,
+    scheduler: Arc<dyn BatchScheduler>,
+    costs: Arc<CachedCost>,
+    registry: Option<&Registry>,
+    tracer: Tracer,
+    replica: usize,
+) -> LiveCore {
+    let metrics = registry.map(LiveMetrics::register);
+    let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+    let queue_depth = metrics.as_ref().map(|m| m.queue_depth.clone());
+    let heartbeat = Heartbeat::new();
+    let supervision = Supervision { replica, heartbeat: heartbeat.clone() };
+    let handle = std::thread::Builder::new()
+        .name(format!("tt-engine-replica-{replica}"))
+        .spawn(move || {
+            engine_loop(rx, model, runtime, scheduler, costs, metrics, tracer, Some(supervision))
+        })
+        .expect("spawning the replica engine thread");
+    LiveCore { client: LiveClient { tx, queue_depth }, heartbeat, handle }
+}
+
 /// The hungry serving loop: block for one job, drain whatever else is
-/// queued, schedule, execute batch by batch, repeat.
+/// queued, schedule, execute batch by batch, repeat. Under supervision
+/// the block becomes a heartbeat-ticking timeout poll, and the
+/// replica-scoped chaos points hook the top of the loop — *outside* the
+/// per-batch `catch_unwind`, so an injected replica panic kills the whole
+/// thread exactly like a real one would.
+#[allow(clippy::too_many_arguments)]
 fn engine_loop(
     rx: Receiver<Job>,
     model: Arc<Bert>,
@@ -351,9 +483,30 @@ fn engine_loop(
     costs: Arc<CachedCost>,
     metrics: Option<LiveMetrics>,
     tracer: Tracer,
+    supervision: Option<Supervision>,
 ) -> usize {
     let mut served = 0usize;
-    while let Ok(first) = rx.recv() {
+    loop {
+        let first = if let Some(s) = &supervision {
+            s.heartbeat.tick();
+            // Chaos: an injected replica panic propagates out of this
+            // thread (the watchdog's job to detect); an injected stall
+            // sleeps *without* ticking, so the liveness deadline fires.
+            tt_chaos::replica_panic(s.replica);
+            if let Some(stall) = tt_chaos::replica_stall(s.replica) {
+                std::thread::sleep(stall);
+            }
+            match rx.recv_timeout(HEARTBEAT_POLL) {
+                Ok(job) => job,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => break,
+            }
+        };
         // Drain the message queue (non-blocking) — the "requests that come
         // in a period of time" the scheduler packages.
         let mut jobs = vec![first];
@@ -401,6 +554,15 @@ fn engine_loop(
         let splits = batching.len();
 
         for batch in batching {
+            if let Some(s) = &supervision {
+                // Still alive between batches; chaos can make the replica
+                // *slow* here — heartbeat ticking, latency inflating — the
+                // degraded mode the router's health machine must notice.
+                s.heartbeat.tick();
+                if let Some(delay) = tt_chaos::replica_slow(s.replica) {
+                    std::thread::sleep(delay);
+                }
+            }
             // Pre-execute deadline boundary: the scheduler may have queued
             // several batches back to back, and earlier batches' execution
             // time can expire later batches' members. Drop them now and

@@ -1,0 +1,257 @@
+//! Restart-under-load integration tests: a replica that panics mid-batch
+//! must fail its in-flight work with typed errors (never a hang), come
+//! back under a fresh generation stamp, and serve the next wave — with
+//! the paged KV arena leak-checked across every bounce. At the fleet
+//! level, the router must route around the bounced replica and re-admit
+//! it through the half-open probe once it recovers.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tt_chaos::ChaosConfig;
+use tt_gpusim::device::DeviceKind;
+use tt_model::bert::{Bert, BertConfig};
+use tt_model::gpt::{Gpt, GptConfig};
+use tt_runtime::decode::DecodeConfig;
+use tt_runtime::{RuntimeConfig, TurboRuntime};
+use tt_serving::generate::GenEngine;
+use tt_serving::live::{spawn_core, LiveError};
+use tt_serving::scheduler::DpScheduler;
+use tt_serving::{
+    CachedCost, Fleet, FleetConfig, GenClient, GenConfig, HealthConfig, HealthState,
+    ReplicaFactory, ReplicaParts, RetryConfig, SupervisedReplica, SupervisorConfig,
+};
+use tt_telemetry::Tracer;
+
+/// Chaos state is process-global; serialize the tests that arm it.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+fn chaos_locked() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn quick_supervisor() -> SupervisorConfig {
+    SupervisorConfig {
+        liveness_deadline: Duration::from_millis(150),
+        poll_interval: Duration::from_millis(10),
+        restart_backoff: Duration::from_millis(10),
+    }
+}
+
+/// A replica factory running both engines: the supervised BERT live core
+/// and a GPT generation engine over a paged KV arena — the arena is what
+/// the bounce-time leak check audits.
+fn full_factory() -> ReplicaFactory {
+    let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+    let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+    let costs =
+        Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+    Arc::new(move |id, _generation| {
+        let gen_config = GenConfig {
+            kv: DecodeConfig { page_slots: 4, num_pages: 32 },
+            max_active: 8,
+            max_new_tokens: 32,
+            eos_token: None,
+        };
+        let gpt = Gpt::new_random(&GptConfig::tiny(), 2024);
+        ReplicaParts {
+            live: spawn_core(
+                model.clone(),
+                runtime.clone(),
+                Arc::new(DpScheduler),
+                costs.clone(),
+                None,
+                Tracer::disabled(),
+                id,
+            ),
+            generative: Some(GenEngine::start(gpt, gen_config, costs.clone()).into_parts()),
+        }
+    })
+}
+
+/// Infer-only factory for the fleet-level test.
+fn infer_factory() -> ReplicaFactory {
+    let model = Arc::new(Bert::new_random(&BertConfig::tiny(), 2024));
+    let runtime = Arc::new(TurboRuntime::new(RuntimeConfig::turbo(DeviceKind::RTX2060)));
+    let costs =
+        Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+    Arc::new(move |id, _generation| ReplicaParts {
+        live: spawn_core(
+            model.clone(),
+            runtime.clone(),
+            Arc::new(DpScheduler),
+            costs.clone(),
+            None,
+            Tracer::disabled(),
+            id,
+        ),
+        generative: None,
+    })
+}
+
+/// Serve one request, retrying until the replica is back up (bounded).
+fn serve_until_ok(replica: &SupervisedReplica, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match replica.infer_request(vec![5, 6, 7], None, None) {
+            Ok(resp) => {
+                assert_eq!(resp.batch_size, 1);
+                return;
+            }
+            Err(_) => {
+                assert!(Instant::now() < deadline, "replica never served again");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn wait_for_restarts(replica: &SupervisedReplica, at_least: u64, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    while replica.restarts() < at_least {
+        assert!(
+            Instant::now() < deadline,
+            "watchdog never reached {at_least} restarts (at {})",
+            replica.restarts()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn replica_panic_mid_batch_fails_typed_and_the_restart_serves_the_next_wave() {
+    let _guard = chaos_locked();
+    tt_chaos::disarm();
+    let replica = Arc::new(SupervisedReplica::start(0, full_factory(), quick_supervisor(), None));
+
+    // Wave 1, healthy: inference serves and a generation stream completes
+    // — pages get allocated and freed, so the bounce below audits a KV
+    // arena that has actually been used.
+    for i in 0..6 {
+        let resp = replica.infer_request(vec![5, 6, 7 + i], None, None).expect("wave 1 serves");
+        assert_eq!(resp.batch_size, 1);
+    }
+    {
+        let client = replica.gen_client().expect("generative engine present");
+        let rx = client.generate_request(vec![1, 2, 3], 8, None, None).expect("stream starts");
+        drop(client); // never keep a clone: a bounce joins the gen loop, which waits for all clients
+        let (tokens, _finish) = GenClient::collect(&rx);
+        assert_eq!(tokens.len(), 8, "healthy generation completes");
+    }
+
+    // Kill it mid-load: every loop iteration panics while armed, so the
+    // engine dies with requests queued behind it. The contract: every
+    // in-flight request returns *typed* within the reply-poll window —
+    // the recv_timeout below failing would mean a client hung forever.
+    tt_chaos::install(ChaosConfig { replica_panic: 1.0, seed: 3, ..ChaosConfig::default() });
+    let (tx, rx) = mpsc::channel();
+    let clients = 6;
+    for i in 0..clients {
+        let replica = replica.clone();
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let outcome = replica.infer_request(vec![5, 6, 7 + i], None, None);
+            let _ = tx.send(outcome);
+        });
+    }
+    for _ in 0..clients {
+        let outcome = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("an in-flight request hung across the bounce instead of failing typed");
+        if let Err(e) = outcome {
+            assert_eq!(e, LiveError::Unavailable, "failures must carry the replica-dead type");
+        }
+    }
+    wait_for_restarts(&replica, 1, Duration::from_secs(5));
+    tt_chaos::disarm();
+
+    // Next wave: the respawned incarnation serves, under a bumped stamp.
+    serve_until_ok(&replica, Duration::from_secs(10));
+    assert!(replica.generation() >= 1, "a bounce must bump the generation stamp");
+
+    // Round 2 proves the watchdog survived round 1's bounce-time KV leak
+    // check (that assert runs on the watchdog thread: a leak would have
+    // killed it, and restarts would never grow again).
+    let before = replica.restarts();
+    tt_chaos::install(ChaosConfig { replica_panic: 1.0, seed: 5, ..ChaosConfig::default() });
+    wait_for_restarts(&replica, before + 1, Duration::from_secs(5));
+    tt_chaos::disarm();
+    serve_until_ok(&replica, Duration::from_secs(10));
+
+    let replica = Arc::into_inner(replica).expect("all client threads joined");
+    // Shutdown runs the final KV leak audit (pages_leaked == 0 asserted
+    // inside) on top of the per-bounce audits above.
+    let report = replica.shutdown();
+    assert!(report.restarts >= 2, "both chaos rounds bounced the replica");
+    assert_eq!(report.generation, report.restarts, "one stamp per bounce");
+}
+
+#[test]
+fn the_fleet_routes_around_a_bounced_replica_and_readmits_it() {
+    let _guard = chaos_locked();
+    tt_chaos::disarm();
+    let costs =
+        Arc::new(CachedCost::from_fn(64, 8, 8, |len, b| 1.0e-3 + 1.0e-5 * (len * b) as f64));
+    let config = FleetConfig {
+        replicas: 2,
+        supervisor: quick_supervisor(),
+        health: HealthConfig {
+            min_samples: 2,
+            eject_cooldown: Duration::from_millis(50),
+            stale_heartbeat: Duration::from_millis(150),
+            ..HealthConfig::default()
+        },
+        retry: RetryConfig::default(),
+        hedge: None,
+    };
+    let fleet = Fleet::start(infer_factory(), config, costs, None);
+
+    for i in 0..8 {
+        fleet.infer_request(vec![5, 6, 7 + i], None, None).expect("healthy fleet serves");
+    }
+
+    // Kill replica 0 only. With a healthy sibling and the retry layer on
+    // top, the fleet keeps answering — dispatches that do land on the
+    // dying replica come back typed and retried onto replica 1.
+    tt_chaos::install(ChaosConfig {
+        replica_panic: 1.0,
+        replica_target: 0,
+        seed: 9,
+        ..ChaosConfig::default()
+    });
+    let outage_deadline = Instant::now() + Duration::from_secs(10);
+    let mut served_during_outage = 0;
+    while fleet.restarts()[0] < 1 {
+        assert!(Instant::now() < outage_deadline, "watchdog never bounced replica 0");
+        if fleet.infer_request(vec![5, 6, 7], None, None).is_ok() {
+            served_during_outage += 1;
+        }
+    }
+    assert!(served_during_outage > 0, "a 1-of-2 outage must not zero the fleet");
+    tt_chaos::disarm();
+    assert_eq!(fleet.restarts()[1], 0, "chaos blast radius leaked to the healthy replica");
+
+    // Re-admission: drive traffic until the breaker walks replica 0 back
+    // through its half-open probe to healthy.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let _ = fleet.infer_request(vec![5, 6, 7], None, None);
+        if fleet.states().iter().all(|s| *s == HealthState::Healthy) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fleet never returned to full health: {:?}",
+            fleet.states()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for i in 0..8 {
+        fleet.infer_request(vec![5, 6, 7 + i], None, None).expect("recovered fleet serves");
+    }
+    let reports = fleet.shutdown();
+    assert_eq!(reports.len(), 2);
+    assert!(reports[0].restarts >= 1);
+    assert_eq!(reports[1].restarts, 0);
+}

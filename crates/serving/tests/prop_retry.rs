@@ -1,0 +1,99 @@
+//! Property tests of the fleet retry layer's backoff and budget math.
+//!
+//! The decorrelated-jitter backoff (`sleep = min(cap, uniform(base,
+//! prev·3))`) is the piece of the retry layer most prone to silent
+//! regression: an off-by-one in the clamp turns "bounded sleeps" into
+//! "unbounded sleeps" and a seeding bug turns "replayable drills" into
+//! "flaky drills". The properties pin the contract for arbitrary
+//! configurations:
+//!
+//! - every sleep lies within `[base, max(base, cap)]`, for any seed,
+//!   stream and (possibly degenerate) base/cap pair;
+//! - the same `(seed, stream)` pair replays the exact same sleep
+//!   schedule — determinism is what makes a chaos drill reproducible;
+//! - the retry budget never goes negative and never exceeds its cap,
+//!   under any interleaving of deposits and withdrawals.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use tt_serving::{Backoff, RetryBudget, RetryConfig};
+
+proptest! {
+    #[test]
+    fn every_sleep_lies_within_base_and_cap(
+        seed in 0u64..=u64::MAX,
+        stream in 0u64..=u64::MAX,
+        base_ms in 1u64..50,
+        cap_ms in 1u64..500,
+    ) {
+        let config = RetryConfig {
+            base: Duration::from_millis(base_ms),
+            cap: Duration::from_millis(cap_ms),
+            seed,
+            ..RetryConfig::default()
+        };
+        // A cap below base is a misconfiguration the backoff must absorb
+        // by degenerating to constant-base, not by panicking or inverting
+        // the clamp.
+        let lo = config.base;
+        let hi = config.cap.max(config.base);
+        let mut backoff = Backoff::new(&config, stream);
+        for _ in 0..64 {
+            let sleep = backoff.next_sleep();
+            prop_assert!(sleep >= lo, "sleep {sleep:?} under base {lo:?}");
+            prop_assert!(sleep <= hi, "sleep {sleep:?} over cap {hi:?}");
+        }
+    }
+
+    #[test]
+    fn same_seed_and_stream_replays_the_same_schedule(
+        seed in 0u64..=u64::MAX,
+        stream in 0u64..=u64::MAX,
+    ) {
+        let config = RetryConfig { seed, ..RetryConfig::default() };
+        let schedule = |stream: u64| {
+            let mut backoff = Backoff::new(&config, stream);
+            (0..32).map(|_| backoff.next_sleep()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(schedule(stream), schedule(stream));
+    }
+
+    #[test]
+    fn budget_stays_within_zero_and_cap_under_any_interleaving(
+        ops in prop::collection::vec(prop::bool::ANY, 1..200),
+        ratio in 0.0f64..1.0,
+        cap in 0.0f64..8.0,
+    ) {
+        let budget = RetryBudget::new(ratio, cap);
+        for deposit in ops {
+            if deposit {
+                budget.deposit();
+            } else {
+                let _ = budget.try_withdraw();
+            }
+            let available = budget.available();
+            prop_assert!(available >= 0.0);
+            prop_assert!(
+                available <= cap + 1e-9,
+                "budget {available} exceeds its cap {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_bucket_capped_below_one_token_never_grants_a_retry(
+        deposits in 1usize..100,
+        ratio in 0.0f64..1.0,
+        cap in 0.0f64..0.999,
+    ) {
+        // Withdrawals are whole tokens: a bucket that cannot hold one can
+        // never authorize a retry, no matter how much traffic deposits.
+        let budget = RetryBudget::new(ratio, cap);
+        for _ in 0..deposits {
+            budget.deposit();
+            prop_assert!(!budget.try_withdraw());
+        }
+    }
+}
